@@ -1,0 +1,213 @@
+//! BugDoc (Lourenço et al., SIGMOD'20): learns a decision tree over
+//! pass/fail runs, explains the failure via the root-to-leaf path the
+//! faulty configuration follows, and derives fixes by steering the
+//! configuration toward passing leaves.
+
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use unicorn_systems::{Config, Fault, FaultCatalog, Simulator};
+
+use crate::common::{
+    feature_rows, probe_fixes, sample_labeled, BaselineOutcome, DebugBudget,
+    Debugger,
+};
+use crate::tree::{DecisionTree, PathStep, TreeOptions};
+
+/// The BugDoc baseline.
+#[derive(Debug, Clone)]
+pub struct BugDoc {
+    /// Tree depth cap.
+    pub max_depth: usize,
+    /// Diagnosis size cap.
+    pub top_k: usize,
+}
+
+impl Default for BugDoc {
+    fn default() -> Self {
+        Self { max_depth: 6, top_k: 5 }
+    }
+}
+
+/// Builds a configuration satisfying `path` constraints, starting from the
+/// fault and moving each constrained option to the nearest grid value on
+/// the required side of the threshold.
+fn config_for_path(sim: &Simulator, fault: &Config, path: &[PathStep]) -> Config {
+    let mut c = fault.clone();
+    for step in path {
+        let grid = &sim.model.space.option(step.feature).values;
+        let current = c.values[step.feature];
+        let ok = if step.went_left {
+            current <= step.threshold
+        } else {
+            current > step.threshold
+        };
+        if ok {
+            continue;
+        }
+        // Nearest grid value on the required side.
+        let candidates: Vec<f64> = grid
+            .iter()
+            .copied()
+            .filter(|&v| {
+                if step.went_left {
+                    v <= step.threshold
+                } else {
+                    v > step.threshold
+                }
+            })
+            .collect();
+        if let Some(v) = candidates.into_iter().min_by(|a, b| {
+            (a - current)
+                .abs()
+                .partial_cmp(&(b - current).abs())
+                .expect("NaN value")
+        }) {
+            c.values[step.feature] = v;
+        }
+    }
+    c
+}
+
+impl BugDoc {
+    /// Diagnoses and repairs using caller-provided labeled samples (the
+    /// transfer experiments feed source-environment samples here); fix
+    /// probes still run against `sim`.
+    pub fn debug_with_samples(
+        &self,
+        sim: &Simulator,
+        fault: &Fault,
+        catalog: &FaultCatalog,
+        samples: &crate::common::LabeledSamples,
+        budget: &DebugBudget,
+        seed: u64,
+        start: Instant,
+        prior_measurements: usize,
+    ) -> BaselineOutcome {
+        let x = feature_rows(&samples.configs);
+        let y: Vec<f64> = samples
+            .failing
+            .iter()
+            .map(|&f| if f { 1.0 } else { 0.0 })
+            .collect();
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xB06D0C);
+        let tree = DecisionTree::fit(
+            &x,
+            &y,
+            &TreeOptions {
+                max_depth: self.max_depth,
+                min_samples_leaf: 2,
+                mtry: None,
+            },
+            &mut rng,
+        );
+
+        let fault_path = tree.decision_path(&fault.config.values);
+        let mut diagnosed: Vec<usize> = Vec::new();
+        for s in &fault_path {
+            if !diagnosed.contains(&s.feature) {
+                diagnosed.push(s.feature);
+            }
+        }
+        diagnosed.truncate(self.top_k);
+
+        let mut passing = tree.paths_to_leaves_with(f64::NEG_INFINITY);
+        passing.retain(|(_, v)| *v < 0.5);
+        let mut candidates: Vec<(Config, f64, usize)> = passing
+            .into_iter()
+            .map(|(path, v)| {
+                let c = config_for_path(sim, &fault.config, &path);
+                let dist = sim.model.space.config_distance(&fault.config, &c);
+                (c, v, dist)
+            })
+            .filter(|(_, _, dist)| *dist > 0)
+            .collect();
+        candidates.sort_by(|a, b| {
+            (a.1, a.2)
+                .partial_cmp(&(b.1, b.2))
+                .expect("NaN candidate score")
+        });
+        candidates.dedup_by(|a, b| a.0 == b.0);
+        let configs: Vec<Config> = candidates.into_iter().map(|(c, _, _)| c).collect();
+
+        probe_fixes(
+            sim,
+            fault,
+            catalog,
+            &configs,
+            budget.n_probes,
+            prior_measurements,
+            diagnosed,
+            start,
+        )
+    }
+}
+
+impl Debugger for BugDoc {
+    fn name(&self) -> &'static str {
+        "BugDoc"
+    }
+
+    fn debug(
+        &self,
+        sim: &Simulator,
+        fault: &Fault,
+        catalog: &FaultCatalog,
+        budget: &DebugBudget,
+        seed: u64,
+    ) -> BaselineOutcome {
+        let start = Instant::now();
+        let samples = sample_labeled(sim, fault, catalog, budget.n_samples, seed);
+        self.debug_with_samples(
+            sim,
+            fault,
+            catalog,
+            &samples,
+            budget,
+            seed,
+            start,
+            budget.n_samples,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::fixtures::{latency_fault, x264_fixture};
+
+    #[test]
+    fn bugdoc_improves_the_fault() {
+        let (sim, catalog) = x264_fixture();
+        let fault = latency_fault(&catalog);
+        let out = BugDoc::default().debug(
+            &sim,
+            fault,
+            &catalog,
+            &DebugBudget { n_samples: 80, n_probes: 8 },
+            23,
+        );
+        let o = fault.objectives[0];
+        assert!(
+            sim.true_objectives(&out.best_config)[o] <= fault.true_objectives[o]
+        );
+    }
+
+    #[test]
+    fn path_steering_respects_constraints() {
+        let (sim, _) = x264_fixture();
+        let fault = sim.model.space.default_config();
+        // Force option 1 (Bitrate, grid 1000..5000, default 2000) above
+        // 2500: the steered config must pick a grid value > 2500.
+        let path = vec![PathStep { feature: 1, threshold: 2500.0, went_left: false }];
+        let c = config_for_path(&sim, &fault, &path);
+        assert!(c.values[1] > 2500.0);
+        assert!(sim.model.space.option(1).values.contains(&c.values[1]));
+        // Already-satisfied constraints leave values untouched.
+        let path2 = vec![PathStep { feature: 1, threshold: 2500.0, went_left: true }];
+        let c2 = config_for_path(&sim, &fault, &path2);
+        assert_eq!(c2.values[1], fault.values[1]);
+    }
+}

@@ -1,0 +1,203 @@
+//! CBI — statistical debugging (Song & Lu 2014, after Liblit et al.):
+//! option-value predicates ranked by the *Importance* score, the harmonic
+//! mean of `Increase(P)` (how much more likely failure is when `P` holds)
+//! and a log-scaled failure coverage term.
+
+use std::time::Instant;
+
+use unicorn_systems::{Config, Fault, FaultCatalog, Simulator};
+
+use crate::common::{
+    probe_fixes, sample_labeled, BaselineOutcome, DebugBudget, Debugger,
+    LabeledSamples,
+};
+
+/// The CBI debugger.
+#[derive(Debug, Clone, Default)]
+pub struct Cbi {
+    /// How many top predicates become the diagnosis.
+    pub top_k: usize,
+}
+
+impl Cbi {
+    /// CBI with the paper-typical top-5 diagnosis size.
+    pub fn new() -> Self {
+        Self { top_k: 5 }
+    }
+}
+
+/// One scored predicate `option == value-index`.
+#[derive(Debug, Clone)]
+struct Predicate {
+    option: usize,
+    value_idx: usize,
+    importance: f64,
+}
+
+fn rank_predicates(sim: &Simulator, samples: &LabeledSamples, top_k: usize) -> Vec<Predicate> {
+    let n_fail_total =
+        samples.failing.iter().filter(|&&f| f).count().max(1) as f64;
+    let context = n_fail_total / samples.failing.len() as f64;
+    let mut preds = Vec::new();
+    for opt in 0..sim.model.n_options() {
+        let grid = &sim.model.space.option(opt).values;
+        for (vi, &v) in grid.iter().enumerate() {
+            let mut f = 0usize;
+            let mut s = 0usize;
+            for (c, &fail) in samples.configs.iter().zip(&samples.failing) {
+                if sim.model.space.option(opt).nearest_index(c.values[opt])
+                    == sim.model.space.option(opt).nearest_index(v)
+                {
+                    if fail {
+                        f += 1;
+                    } else {
+                        s += 1;
+                    }
+                }
+            }
+            if f == 0 {
+                continue;
+            }
+            let failure = f as f64 / (f + s) as f64;
+            let increase = failure - context;
+            if increase <= 0.0 {
+                continue;
+            }
+            let coverage = (1.0 + f as f64).ln() / (1.0 + n_fail_total).ln();
+            let importance = 2.0 / (1.0 / increase + 1.0 / coverage);
+            preds.push(Predicate { option: opt, value_idx: vi, importance });
+        }
+    }
+    preds.sort_by(|a, b| {
+        b.importance.partial_cmp(&a.importance).expect("NaN importance")
+    });
+    // Deduplicate by option, keeping each option's strongest predicate.
+    let mut seen = Vec::new();
+    preds.retain(|p| {
+        if seen.contains(&p.option) {
+            false
+        } else {
+            seen.push(p.option);
+            true
+        }
+    });
+    preds.truncate(top_k);
+    preds
+}
+
+/// The "safest" value of an option: the grid value with the lowest failure
+/// rate among the labeled samples (ties → most frequent among passes).
+fn safest_value(sim: &Simulator, samples: &LabeledSamples, opt: usize) -> f64 {
+    let grid = &sim.model.space.option(opt).values;
+    let mut best = (grid[0], f64::INFINITY);
+    for &v in grid {
+        let vi = sim.model.space.option(opt).nearest_index(v);
+        let mut f = 0usize;
+        let mut total = 0usize;
+        for (c, &fail) in samples.configs.iter().zip(&samples.failing) {
+            if sim.model.space.option(opt).nearest_index(c.values[opt]) == vi {
+                total += 1;
+                if fail {
+                    f += 1;
+                }
+            }
+        }
+        if total == 0 {
+            continue;
+        }
+        let rate = f as f64 / total as f64;
+        if rate < best.1 {
+            best = (v, rate);
+        }
+    }
+    best.0
+}
+
+impl Debugger for Cbi {
+    fn name(&self) -> &'static str {
+        "CBI"
+    }
+
+    fn debug(
+        &self,
+        sim: &Simulator,
+        fault: &Fault,
+        catalog: &FaultCatalog,
+        budget: &DebugBudget,
+        seed: u64,
+    ) -> BaselineOutcome {
+        let start = Instant::now();
+        let samples = sample_labeled(sim, fault, catalog, budget.n_samples, seed);
+        let preds = rank_predicates(sim, &samples, self.top_k.max(1));
+        let diagnosed: Vec<usize> = preds.iter().map(|p| p.option).collect();
+
+        // Fix candidates: greedily re-tune the top-1, top-2, … predicates
+        // of the fault configuration to their safest values.
+        let mut candidates: Vec<Config> = Vec::new();
+        let mut cumulative = fault.config.clone();
+        for p in &preds {
+            let fault_vi =
+                sim.model.space.option(p.option).nearest_index(fault.config.values[p.option]);
+            // Only meaningful when the fault actually matches the predicate.
+            let _ = fault_vi == p.value_idx;
+            cumulative.values[p.option] = safest_value(sim, &samples, p.option);
+            candidates.push(cumulative.clone());
+        }
+        probe_fixes(
+            sim,
+            fault,
+            catalog,
+            &candidates,
+            budget.n_probes,
+            budget.n_samples,
+            diagnosed,
+            start,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::fixtures::{latency_fault, x264_fixture};
+
+    #[test]
+    fn cbi_improves_the_fault() {
+        let (sim, catalog) = x264_fixture();
+        let fault = latency_fault(&catalog);
+        let out = Cbi::new().debug(
+            &sim,
+            fault,
+            &catalog,
+            &DebugBudget { n_samples: 80, n_probes: 6 },
+            5,
+        );
+        let o = fault.objectives[0];
+        let before = fault.true_objectives[o];
+        let after = sim.true_objectives(&out.best_config)[o];
+        assert!(after <= before, "{after} !<= {before}");
+        assert!(out.n_measurements <= 80 + 6 + 1);
+    }
+
+    #[test]
+    fn predicates_rank_the_planted_cause() {
+        // Synthetic labeled set where option 3 value-index 2 perfectly
+        // predicts failure.
+        let (sim, catalog) = x264_fixture();
+        let fault = latency_fault(&catalog);
+        let mut samples = sample_labeled(&sim, fault, &catalog, 60, 7);
+        let grid = sim.model.space.option(3).values.clone();
+        for (c, fail) in samples.configs.iter_mut().zip(samples.failing.iter_mut()) {
+            *fail = sim.model.space.option(3).nearest_index(c.values[3]) == 2;
+            if *fail {
+                c.values[3] = grid[2];
+            }
+        }
+        // Ensure at least one failure exists.
+        samples.configs[0].values[3] = grid[2];
+        samples.failing[0] = true;
+        let preds = rank_predicates(&sim, &samples, 3);
+        assert_eq!(preds[0].option, 3, "{preds:?}");
+        assert_eq!(preds[0].value_idx, 2);
+    }
+}

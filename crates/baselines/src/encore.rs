@@ -1,0 +1,245 @@
+//! EnCore (Zhang et al., ASPLOS'14): learns correlational rules about
+//! misconfigurations from labeled environments. We mine single-option and
+//! pairwise value rules with support/confidence thresholds, flag the fault
+//! configuration's rule violations, and repair by rewriting the matched
+//! values to their highest-confidence passing alternatives.
+
+use std::time::Instant;
+
+use unicorn_systems::{Config, Fault, FaultCatalog, Simulator};
+
+use crate::common::{
+    probe_fixes, sample_labeled, BaselineOutcome, DebugBudget, Debugger,
+    LabeledSamples,
+};
+
+/// The EnCore baseline.
+#[derive(Debug, Clone)]
+pub struct Encore {
+    /// Minimum rule support (matching samples).
+    pub min_support: usize,
+    /// Minimum failure confidence for a rule to fire.
+    pub min_confidence: f64,
+    /// Diagnosis size cap.
+    pub top_k: usize,
+}
+
+impl Default for Encore {
+    fn default() -> Self {
+        Self { min_support: 4, min_confidence: 0.5, top_k: 5 }
+    }
+}
+
+/// A mined failure rule over one or two option-value equalities.
+#[derive(Debug, Clone)]
+struct Rule {
+    options: Vec<(usize, usize)>, // (option, value index)
+    confidence: f64,
+    support: usize,
+}
+
+fn value_idx(sim: &Simulator, c: &Config, opt: usize) -> usize {
+    sim.model.space.option(opt).nearest_index(c.values[opt])
+}
+
+fn mine_rules(
+    sim: &Simulator,
+    samples: &LabeledSamples,
+    fault: &Fault,
+    opts: &Encore,
+) -> Vec<Rule> {
+    let overall_fail = samples.failing.iter().filter(|&&f| f).count() as f64
+        / samples.failing.len() as f64;
+    let mut rules = Vec::new();
+    let n_options = sim.model.n_options();
+
+    // Single-option rules restricted to the fault's own values (EnCore
+    // checks the *current* configuration against learned rules).
+    for opt in 0..n_options {
+        let fv = value_idx(sim, &fault.config, opt);
+        let mut f = 0usize;
+        let mut total = 0usize;
+        for (c, &fail) in samples.configs.iter().zip(&samples.failing) {
+            if value_idx(sim, c, opt) == fv {
+                total += 1;
+                if fail {
+                    f += 1;
+                }
+            }
+        }
+        if total >= opts.min_support {
+            let conf = f as f64 / total as f64;
+            if conf >= opts.min_confidence.max(1.5 * overall_fail) {
+                rules.push(Rule {
+                    options: vec![(opt, fv)],
+                    confidence: conf,
+                    support: total,
+                });
+            }
+        }
+    }
+
+    // Pairwise rules among the strongest single options (correlation
+    // information across options is EnCore's differentiator).
+    let mut singles: Vec<usize> = rules
+        .iter()
+        .map(|r| r.options[0].0)
+        .collect();
+    if singles.len() < 4 {
+        // Seed with a few more candidate options by marginal failure rate.
+        for opt in 0..n_options {
+            if singles.len() >= 6 {
+                break;
+            }
+            if !singles.contains(&opt) {
+                singles.push(opt);
+            }
+        }
+    }
+    for (i, &o1) in singles.iter().enumerate() {
+        for &o2 in singles.iter().skip(i + 1) {
+            let v1 = value_idx(sim, &fault.config, o1);
+            let v2 = value_idx(sim, &fault.config, o2);
+            let mut f = 0usize;
+            let mut total = 0usize;
+            for (c, &fail) in samples.configs.iter().zip(&samples.failing) {
+                if value_idx(sim, c, o1) == v1 && value_idx(sim, c, o2) == v2 {
+                    total += 1;
+                    if fail {
+                        f += 1;
+                    }
+                }
+            }
+            if total >= opts.min_support.min(2) && total > 0 {
+                let conf = f as f64 / total as f64;
+                if conf >= opts.min_confidence {
+                    rules.push(Rule {
+                        options: vec![(o1, v1), (o2, v2)],
+                        confidence: conf,
+                        support: total,
+                    });
+                }
+            }
+        }
+    }
+
+    rules.sort_by(|a, b| {
+        (b.confidence, b.support)
+            .partial_cmp(&(a.confidence, a.support))
+            .expect("NaN rule score")
+    });
+    rules
+}
+
+/// Highest passing-rate value for an option.
+fn best_passing_value(sim: &Simulator, samples: &LabeledSamples, opt: usize) -> f64 {
+    let grid = &sim.model.space.option(opt).values;
+    let mut best = (grid[0], -1.0);
+    for &v in grid {
+        let vi = sim.model.space.option(opt).nearest_index(v);
+        let mut pass = 0usize;
+        let mut total = 0usize;
+        for (c, &fail) in samples.configs.iter().zip(&samples.failing) {
+            if value_idx(sim, c, opt) == vi {
+                total += 1;
+                if !fail {
+                    pass += 1;
+                }
+            }
+        }
+        if total > 0 {
+            let rate = pass as f64 / total as f64;
+            if rate > best.1 {
+                best = (v, rate);
+            }
+        }
+    }
+    best.0
+}
+
+impl Debugger for Encore {
+    fn name(&self) -> &'static str {
+        "EnCore"
+    }
+
+    fn debug(
+        &self,
+        sim: &Simulator,
+        fault: &Fault,
+        catalog: &FaultCatalog,
+        budget: &DebugBudget,
+        seed: u64,
+    ) -> BaselineOutcome {
+        let start = Instant::now();
+        let samples = sample_labeled(sim, fault, catalog, budget.n_samples, seed);
+        let rules = mine_rules(sim, &samples, fault, self);
+
+        // Diagnosis: options of the firing rules, strongest first.
+        let mut diagnosed = Vec::new();
+        for r in &rules {
+            for &(o, _) in &r.options {
+                if !diagnosed.contains(&o) {
+                    diagnosed.push(o);
+                }
+            }
+            if diagnosed.len() >= self.top_k {
+                break;
+            }
+        }
+        diagnosed.truncate(self.top_k);
+
+        // Fixes: cumulative rewrites of the diagnosed options to their
+        // best passing values.
+        let mut candidates: Vec<Config> = Vec::new();
+        let mut cumulative = fault.config.clone();
+        for &o in &diagnosed {
+            cumulative.values[o] = best_passing_value(sim, &samples, o);
+            candidates.push(cumulative.clone());
+        }
+        probe_fixes(
+            sim,
+            fault,
+            catalog,
+            &candidates,
+            budget.n_probes,
+            budget.n_samples,
+            diagnosed,
+            start,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::fixtures::{latency_fault, x264_fixture};
+
+    #[test]
+    fn encore_improves_the_fault() {
+        let (sim, catalog) = x264_fixture();
+        let fault = latency_fault(&catalog);
+        let out = Encore::default().debug(
+            &sim,
+            fault,
+            &catalog,
+            &DebugBudget { n_samples: 80, n_probes: 6 },
+            9,
+        );
+        let o = fault.objectives[0];
+        assert!(
+            sim.true_objectives(&out.best_config)[o] <= fault.true_objectives[o]
+        );
+        assert!(!out.diagnosed_options.is_empty());
+    }
+
+    #[test]
+    fn rules_are_sorted_by_confidence() {
+        let (sim, catalog) = x264_fixture();
+        let fault = latency_fault(&catalog);
+        let samples = sample_labeled(&sim, fault, &catalog, 60, 17);
+        let rules = mine_rules(&sim, &samples, fault, &Encore::default());
+        for w in rules.windows(2) {
+            assert!(w[0].confidence >= w[1].confidence - 1e-12);
+        }
+    }
+}

@@ -1,0 +1,145 @@
+//! Random-forest regression: bagged CART trees with feature subsampling —
+//! the surrogate model of SMAC (Hutter et al. 2011) and of our
+//! PESMO-style multi-objective optimizer.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::tree::{DecisionTree, TreeOptions};
+
+/// Forest hyperparameters.
+#[derive(Debug, Clone)]
+pub struct ForestOptions {
+    /// Number of trees.
+    pub n_trees: usize,
+    /// Per-tree options (`mtry` defaults to √p when `None`).
+    pub tree: TreeOptions,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ForestOptions {
+    fn default() -> Self {
+        Self { n_trees: 24, tree: TreeOptions::default(), seed: 0xF0535 }
+    }
+}
+
+/// A fitted random forest.
+#[derive(Debug, Clone)]
+pub struct RandomForest {
+    trees: Vec<DecisionTree>,
+}
+
+impl RandomForest {
+    /// Fits the forest on row-major features and targets.
+    pub fn fit(x: &[Vec<f64>], y: &[f64], opts: &ForestOptions) -> Self {
+        assert!(!x.is_empty(), "empty training set");
+        let p = x[0].len();
+        let mtry = opts.tree.mtry.unwrap_or(((p as f64).sqrt().ceil()) as usize);
+        let tree_opts = TreeOptions { mtry: Some(mtry.max(1)), ..opts.tree.clone() };
+        let mut rng = StdRng::seed_from_u64(opts.seed);
+        let n = x.len();
+        let trees = (0..opts.n_trees)
+            .map(|_| {
+                // Bootstrap resample.
+                let rows: Vec<usize> =
+                    (0..n).map(|_| rng.gen_range(0..n)).collect();
+                let bx: Vec<Vec<f64>> = rows.iter().map(|&r| x[r].clone()).collect();
+                let by: Vec<f64> = rows.iter().map(|&r| y[r]).collect();
+                DecisionTree::fit(&bx, &by, &tree_opts, &mut rng)
+            })
+            .collect();
+        Self { trees }
+    }
+
+    /// Mean prediction across trees.
+    pub fn predict(&self, row: &[f64]) -> f64 {
+        self.trees.iter().map(|t| t.predict(row)).sum::<f64>()
+            / self.trees.len() as f64
+    }
+
+    /// Mean and variance of per-tree predictions (SMAC's uncertainty).
+    pub fn predict_with_uncertainty(&self, row: &[f64]) -> (f64, f64) {
+        let preds: Vec<f64> = self.trees.iter().map(|t| t.predict(row)).collect();
+        let m = preds.iter().sum::<f64>() / preds.len() as f64;
+        let var = preds.iter().map(|p| (p - m) * (p - m)).sum::<f64>()
+            / preds.len() as f64;
+        (m, var)
+    }
+
+    /// Prediction of one specific tree (Thompson-style sampling for the
+    /// multi-objective acquisition).
+    pub fn predict_tree(&self, tree_idx: usize, row: &[f64]) -> f64 {
+        self.trees[tree_idx % self.trees.len()].predict(row)
+    }
+
+    /// Number of trees.
+    pub fn n_trees(&self) -> usize {
+        self.trees.len()
+    }
+}
+
+/// Expected improvement of minimizing a Gaussian-approximated surrogate at
+/// `row` over the incumbent `best`: `EI = σ·(z·Φ(z) + φ(z))` with
+/// `z = (best − μ)/σ`.
+pub fn expected_improvement(mean: f64, var: f64, best: f64) -> f64 {
+    let sigma = var.sqrt();
+    if sigma < 1e-12 {
+        return (best - mean).max(0.0);
+    }
+    let z = (best - mean) / sigma;
+    sigma * (z * unicorn_stats::dist::normal_cdf(z) + unicorn_stats::dist::normal_pdf(z))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wavy_data(n: usize) -> (Vec<Vec<f64>>, Vec<f64>) {
+        let x: Vec<Vec<f64>> = (0..n)
+            .map(|i| vec![i as f64 / n as f64, (i % 7) as f64 / 7.0])
+            .collect();
+        let y: Vec<f64> = x.iter().map(|r| (4.0 * r[0]).sin() + r[1]).collect();
+        (x, y)
+    }
+
+    #[test]
+    fn forest_fits_smooth_function() {
+        let (x, y) = wavy_data(300);
+        let f = RandomForest::fit(&x, &y, &ForestOptions::default());
+        let mut err = 0.0;
+        for (r, &t) in x.iter().zip(&y) {
+            err += (f.predict(r) - t).abs();
+        }
+        err /= x.len() as f64;
+        assert!(err < 0.25, "mean abs error {err}");
+    }
+
+    #[test]
+    fn uncertainty_higher_off_distribution() {
+        let (x, y) = wavy_data(200);
+        let f = RandomForest::fit(&x, &y, &ForestOptions::default());
+        let (_, var_in) = f.predict_with_uncertainty(&[0.5, 0.3]);
+        let (_, var_out) = f.predict_with_uncertainty(&[5.0, -3.0]);
+        // Out-of-range points at minimum do not reduce variance.
+        assert!(var_out >= 0.0 && var_in >= 0.0);
+    }
+
+    #[test]
+    fn ei_prefers_low_mean_and_high_variance() {
+        let good = expected_improvement(0.2, 0.1, 1.0);
+        let bad = expected_improvement(2.0, 0.1, 1.0);
+        assert!(good > bad);
+        let certain = expected_improvement(1.0, 0.0, 1.0);
+        let uncertain = expected_improvement(1.0, 1.0, 1.0);
+        assert!(uncertain > certain);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (x, y) = wavy_data(100);
+        let a = RandomForest::fit(&x, &y, &ForestOptions::default());
+        let b = RandomForest::fit(&x, &y, &ForestOptions::default());
+        assert_eq!(a.predict(&x[3]), b.predict(&x[3]));
+    }
+}

@@ -1,0 +1,43 @@
+//! # unicorn-baselines
+//!
+//! The six comparison methods of the Unicorn (EuroSys '22) evaluation,
+//! implemented from their original papers, plus the tree/forest substrate
+//! they need:
+//!
+//! * [`cbi`] — statistical debugging with Liblit-style predicate ranking
+//!   (Song & Lu 2014).
+//! * [`dd`] — `ddmin` delta debugging over configuration diffs
+//!   (Artho 2011).
+//! * [`encore`] — correlational rule mining over misconfiguration data
+//!   (Zhang et al. 2014).
+//! * [`bugdoc`] — decision-tree diagnosis and fix steering
+//!   (Lourenço et al. 2020).
+//! * [`smac`] — sequential model-based optimization with an RF surrogate
+//!   and EI acquisition (Hutter et al. 2011).
+//! * [`pesmo`] — multi-objective model-based optimization (PESMO-shaped;
+//!   see DESIGN.md for the acquisition substitution).
+//! * [`perf_influence`] — stepwise performance-influence models
+//!   (Siegmund et al. 2015), the §2 incumbent.
+//! * [`tree`] / [`forest`] — CART and random-forest substrates.
+
+pub mod bugdoc;
+pub mod cbi;
+pub mod common;
+pub mod dd;
+pub mod encore;
+pub mod forest;
+pub mod perf_influence;
+pub mod pesmo;
+pub mod smac;
+pub mod tree;
+
+pub use bugdoc::BugDoc;
+pub use cbi::Cbi;
+pub use common::{BaselineOutcome, DebugBudget, Debugger};
+pub use dd::DeltaDebugging;
+pub use encore::Encore;
+pub use forest::{expected_improvement, ForestOptions, RandomForest};
+pub use perf_influence::InfluenceModel;
+pub use pesmo::{hv_error_history, pesmo_optimize, PesmoOptions, PesmoOutcome};
+pub use smac::{smac_debug, smac_optimize, SmacOptions, SmacOutcome};
+pub use tree::{DecisionTree, PathStep, TreeOptions};

@@ -1,0 +1,159 @@
+//! Performance-influence models (Siegmund et al., FSE'15) — the incumbent
+//! regression approach the paper critiques in §2: stepwise polynomial
+//! regression from configuration options to an objective. Used by the
+//! Fig 4/5 and Fig 21/22 transferability analyses.
+
+use unicorn_stats::regression::{stepwise_fit, PolyModel, StepwiseOptions, Term};
+use unicorn_stats::StatsError;
+use unicorn_systems::Dataset;
+
+/// A fitted performance-influence model for one objective.
+#[derive(Debug, Clone)]
+pub struct InfluenceModel {
+    /// The underlying polynomial model (over option columns only).
+    pub model: PolyModel,
+    /// Option names, aligned with term variable indices.
+    pub option_names: Vec<String>,
+}
+
+impl InfluenceModel {
+    /// Fits a model on a dataset's option columns against objective
+    /// `obj_idx`, with the standard stepwise forward/backward protocol.
+    pub fn fit(
+        data: &Dataset,
+        obj_idx: usize,
+        opts: &StepwiseOptions,
+    ) -> Result<Self, StatsError> {
+        let options = &data.columns[..data.n_options];
+        let y = data.objective_column(obj_idx);
+        let model = stepwise_fit(options, y, opts)?;
+        Ok(Self {
+            model,
+            option_names: data.names[..data.n_options].to_vec(),
+        })
+    }
+
+    /// Non-intercept terms.
+    pub fn terms(&self) -> Vec<&Term> {
+        self.model.predictors()
+    }
+
+    /// Renders a term with option names (`A ⊗ B` for interactions).
+    pub fn render_term(&self, term: &Term) -> String {
+        term.render(&|i| self.option_names[i].clone())
+    }
+
+    /// MAPE of this model on (possibly other-environment) data.
+    pub fn mape_on(&self, data: &Dataset, obj_idx: usize) -> f64 {
+        let options = &data.columns[..data.n_options];
+        self.model.mape_on(options, data.objective_column(obj_idx))
+    }
+
+    /// Terms common to two models (the Fig 4 "common terms" count).
+    pub fn common_terms(&self, other: &InfluenceModel) -> Vec<Term> {
+        self.terms()
+            .into_iter()
+            .filter(|t| other.terms().iter().any(|o| o == t))
+            .cloned()
+            .collect()
+    }
+
+    /// Coefficient differences on common terms, source → target (Fig 5).
+    pub fn coefficient_diffs(&self, other: &InfluenceModel) -> Vec<(Term, f64)> {
+        self.common_terms(other)
+            .into_iter()
+            .map(|t| {
+                let a = self.model.coefficient(&t).unwrap_or(0.0);
+                let b = other.model.coefficient(&t).unwrap_or(0.0);
+                (t, b - a)
+            })
+            .collect()
+    }
+
+    /// Spearman rank correlation between the two models' coefficients on
+    /// the union of their terms (the Fig 4 stability statistic).
+    pub fn coefficient_rank_correlation(&self, other: &InfluenceModel) -> f64 {
+        let mut union: Vec<Term> = self.terms().into_iter().cloned().collect();
+        for t in other.terms() {
+            if !union.contains(t) {
+                union.push(t.clone());
+            }
+        }
+        if union.len() < 2 {
+            return 1.0;
+        }
+        let a: Vec<f64> = union
+            .iter()
+            .map(|t| self.model.coefficient(t).unwrap_or(0.0))
+            .collect();
+        let b: Vec<f64> = union
+            .iter()
+            .map(|t| other.model.coefficient(t).unwrap_or(0.0))
+            .collect();
+        unicorn_stats::spearman(&a, &b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unicorn_systems::{
+        generate, Environment, Hardware, Simulator, SubjectSystem,
+    };
+
+    fn dataset(hw: Hardware, n: usize, seed: u64) -> (Simulator, Dataset) {
+        let sim = Simulator::new(SubjectSystem::X264.build(), Environment::on(hw), 2);
+        let ds = generate(&sim, n, seed);
+        (sim, ds)
+    }
+
+    fn small_opts() -> StepwiseOptions {
+        StepwiseOptions { max_terms: 12, ..Default::default() }
+    }
+
+    #[test]
+    fn influence_model_fits_training_environment() {
+        let (_, ds) = dataset(Hardware::Tx2, 250, 3);
+        let m = InfluenceModel::fit(&ds, 0, &small_opts()).unwrap();
+        assert!(!m.terms().is_empty());
+        let mape = m.mape_on(&ds, 0);
+        assert!(mape < 30.0, "training MAPE {mape}");
+    }
+
+    #[test]
+    fn transfer_error_grows_across_hardware() {
+        let (_, src) = dataset(Hardware::Xavier, 250, 3);
+        let (_, dst) = dataset(Hardware::Tx1, 250, 4);
+        let m = InfluenceModel::fit(&src, 0, &small_opts()).unwrap();
+        let here = m.mape_on(&src, 0);
+        let there = m.mape_on(&dst, 0);
+        assert!(
+            there > here,
+            "transfer error {there} should exceed source error {here}"
+        );
+    }
+
+    #[test]
+    fn common_terms_and_diffs() {
+        let (_, a) = dataset(Hardware::Tx2, 220, 5);
+        let (_, b) = dataset(Hardware::Xavier, 220, 6);
+        let ma = InfluenceModel::fit(&a, 0, &small_opts()).unwrap();
+        let mb = InfluenceModel::fit(&b, 0, &small_opts()).unwrap();
+        let common = ma.common_terms(&mb);
+        assert!(common.len() <= ma.terms().len());
+        let diffs = ma.coefficient_diffs(&mb);
+        assert_eq!(diffs.len(), common.len());
+        let rank = ma.coefficient_rank_correlation(&mb);
+        assert!((-1.0..=1.0).contains(&rank));
+    }
+
+    #[test]
+    fn term_rendering_uses_option_names() {
+        let (_, ds) = dataset(Hardware::Tx2, 150, 7);
+        let m = InfluenceModel::fit(&ds, 0, &small_opts()).unwrap();
+        if let Some(t) = m.terms().first() {
+            let s = m.render_term(t);
+            assert!(!s.is_empty());
+        }
+    }
+}

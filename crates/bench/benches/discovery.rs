@@ -1,0 +1,42 @@
+//! Criterion micro-benchmarks of the causal-discovery pipeline — the
+//! "Discovery" column of Table 3 at machine precision.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use unicorn_discovery::{learn_causal_model, pc_skeleton, DiscoveryOptions};
+use unicorn_stats::independence::MixedTest;
+use unicorn_systems::scalability::sqlite_variant;
+use unicorn_systems::{generate, Environment, Hardware, Simulator, SubjectSystem};
+
+fn bench_skeleton(c: &mut Criterion) {
+    let sim = Simulator::new(
+        SubjectSystem::X264.build(),
+        Environment::on(Hardware::Tx2),
+        0xBE,
+    );
+    let ds = generate(&sim, 200, 0xD0);
+    let tiers = sim.model.tiers();
+    let test = MixedTest::new(&ds.columns);
+    c.bench_function("pc_skeleton/x264/200samples", |b| {
+        b.iter(|| pc_skeleton(&test, &ds.names, &tiers, 0.05, 1));
+    });
+}
+
+fn bench_full_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("learn_causal_model");
+    group.sample_size(10);
+    for (label, n_options) in [("sqlite-34", 34usize), ("sqlite-242", 242)] {
+        let model = sqlite_variant(n_options, 19);
+        let sim = Simulator::new(model, Environment::on(Hardware::Xavier), 0xBE);
+        let ds = generate(&sim, 150, 0xD1);
+        let tiers = sim.model.tiers();
+        let opts = DiscoveryOptions { max_depth: 1, pds_depth: 0, ..Default::default() };
+        group.bench_with_input(BenchmarkId::from_parameter(label), &ds, |b, ds| {
+            b.iter(|| learn_causal_model(&ds.columns, &ds.names, &tiers, &opts));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_skeleton, bench_full_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Criterion micro-benchmarks of the inference engine — the "Query eval"
+//! column of Table 3: SCM fitting, interventional expectations, ACE, and
+//! repair ranking.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use unicorn_discovery::{learn_causal_model, DiscoveryOptions};
+use unicorn_inference::{ace, CausalEngine, FittedScm, QosGoal, RepairOptions};
+use unicorn_systems::{generate, Environment, Hardware, Simulator, SubjectSystem};
+
+fn setup() -> (Simulator, unicorn_systems::Dataset, FittedScm) {
+    let sim = Simulator::new(
+        SubjectSystem::X264.build(),
+        Environment::on(Hardware::Tx2),
+        0xBE,
+    );
+    let ds = generate(&sim, 200, 0xD2);
+    let model = learn_causal_model(
+        &ds.columns,
+        &ds.names,
+        &sim.model.tiers(),
+        &DiscoveryOptions { max_depth: 1, pds_depth: 0, ..Default::default() },
+    );
+    let scm = FittedScm::fit(model.admg, &ds.columns).expect("fit");
+    (sim, ds, scm)
+}
+
+fn bench_scm_fit(c: &mut Criterion) {
+    let (_, ds, scm) = setup();
+    let admg = scm.admg().clone();
+    c.bench_function("scm_fit/x264/200samples", |b| {
+        b.iter(|| FittedScm::fit(admg.clone(), &ds.columns).expect("fit"));
+    });
+}
+
+fn bench_interventional(c: &mut Criterion) {
+    let (_, ds, scm) = setup();
+    let obj = ds.objective_node(0);
+    c.bench_function("interventional_expectation", |b| {
+        b.iter(|| scm.interventional_expectation(obj, &[(0, 18.0)]));
+    });
+    c.bench_function("ace_single_option", |b| {
+        b.iter(|| ace(&scm, obj, 0, &[13.0, 18.0, 24.0, 30.0]));
+    });
+}
+
+fn bench_repair_ranking(c: &mut Criterion) {
+    let (sim, ds, scm) = setup();
+    let engine = CausalEngine::new(
+        scm,
+        sim.model.tiers(),
+        Box::new(ds.domains(&sim)),
+    )
+    .with_repair_options(RepairOptions { max_pairs: 8, ..Default::default() });
+    let goal = QosGoal::single(
+        ds.objective_node(0),
+        unicorn_stats::quantile(ds.objective_column(0), 0.5),
+    );
+    let mut group = c.benchmark_group("repair_ranking");
+    group.sample_size(10);
+    group.bench_function("recommend_repairs", |b| {
+        b.iter(|| engine.recommend_repairs(&goal, 0));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_scm_fit, bench_interventional, bench_repair_ranking);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Fig 1 — the motivating confounding scenario: observationally, cache
+//! misses and throughput correlate positively; stratified by the cache
+//! policy the correlation flips negative; causal discovery recovers the
+//! policy as a common cause.
+
+use unicorn_bench::{section, Table};
+use unicorn_discovery::{learn_causal_model, DiscoveryOptions};
+use unicorn_graph::{TierConstraints, VarKind};
+use unicorn_stats::pearson;
+use unicorn_systems::CacheScenario;
+
+fn main() {
+    section("Fig 1: Cache-policy confounding");
+    let s = CacheScenario::generate(3000, 0xF161);
+
+    let mut t = Table::new(&["View", "corr(Cache Misses, Throughput)"]);
+    t.row(vec![
+        "(a) pooled (misleading)".into(),
+        format!("{:+.3}", pearson(&s.misses, &s.throughput)),
+    ]);
+    for (p, name) in ["LRU", "FIFO", "LIFO", "MRU"].iter().enumerate() {
+        let idx: Vec<usize> = (0..s.policy.len())
+            .filter(|&i| s.policy[i] == p as f64)
+            .collect();
+        let m: Vec<f64> = idx.iter().map(|&i| s.misses[i]).collect();
+        let th: Vec<f64> = idx.iter().map(|&i| s.throughput[i]).collect();
+        t.row(vec![
+            format!("(b) within {name}"),
+            format!("{:+.3}", pearson(&m, &th)),
+        ]);
+    }
+    t.print();
+
+    // (c) The causal model: Cache Policy must come out as a common cause.
+    let tiers = TierConstraints::new(vec![
+        VarKind::ConfigOption, // Cache Policy
+        VarKind::SystemEvent,  // Cache Misses
+        VarKind::Objective,    // Throughput
+    ]);
+    let model = learn_causal_model(
+        &s.columns(),
+        &CacheScenario::names(),
+        &tiers,
+        &DiscoveryOptions::default(),
+    );
+    println!("\n(c) learned causal model edges:");
+    for &(f, to) in model.admg.directed_edges() {
+        println!(
+            "    {} -> {}",
+            model.admg.name(f),
+            model.admg.name(to)
+        );
+    }
+    let policy_causes_both = model.admg.directed_edges().contains(&(0, 1))
+        && (model.admg.directed_edges().contains(&(0, 2))
+            || model.admg.descendants(0).contains(&2));
+    println!(
+        "\nCache Policy recovered as common cause: {}",
+        if policy_causes_both { "YES" } else { "NO" }
+    );
+}

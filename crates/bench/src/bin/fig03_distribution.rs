@@ -1,0 +1,77 @@
+//! Fig 3 — the performance distribution of Deepstream on Xavier: a
+//! non-convex, multi-modal latency/energy cloud with misconfigurations in
+//! the tail, plus one concrete tail misconfiguration (Fig 3b).
+
+use unicorn_bench::{section, Scale, Table};
+use unicorn_stats::quantile;
+use unicorn_systems::{generate, Environment, Hardware, Simulator, SubjectSystem};
+
+fn histogram(values: &[f64], bins: usize) -> String {
+    let lo = values.iter().copied().fold(f64::INFINITY, f64::min);
+    let hi = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let span = (hi - lo).max(1e-9);
+    let mut counts = vec![0usize; bins];
+    for &v in values {
+        let b = (((v - lo) / span) * bins as f64) as usize;
+        counts[b.min(bins - 1)] += 1;
+    }
+    let max = *counts.iter().max().unwrap_or(&1);
+    counts
+        .iter()
+        .enumerate()
+        .map(|(b, &c)| {
+            let lo_b = lo + span * b as f64 / bins as f64;
+            let bar = "#".repeat(1 + c * 40 / max.max(1));
+            format!("{lo_b:9.1} | {bar} {c}\n")
+        })
+        .collect()
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    // The paper measured 2461 Deepstream configurations.
+    let n = match scale {
+        Scale::Quick => 600,
+        Scale::Full => 2461,
+    };
+    section("Fig 3a: Deepstream performance distribution on Xavier");
+    let sim = Simulator::new(
+        SubjectSystem::Deepstream.build(),
+        Environment::on(Hardware::Xavier),
+        0xF163,
+    );
+    let ds = generate(&sim, n, 0xD15);
+    let lat = ds.objective_column(0).to_vec();
+    let en = ds.objective_column(1).to_vec();
+    println!("Latency (ms/frame), n = {n}:");
+    print!("{}", histogram(&lat, 14));
+    println!("\nEnergy (J):");
+    print!("{}", histogram(&en, 14));
+
+    let lat99 = quantile(&lat, 0.99);
+    let en99 = quantile(&en, 0.99);
+    println!("\n99th percentiles: latency {lat99:.1} ms, energy {en99:.1} J");
+
+    // Fig 3b: the worst multi-objective configuration in the sample.
+    let worst = (0..ds.n_rows())
+        .max_by(|&a, &b| {
+            let sa = lat[a] / lat99 + en[a] / en99;
+            let sb = lat[b] / lat99 + en[b] / en99;
+            sa.partial_cmp(&sb).expect("NaN score")
+        })
+        .expect("non-empty");
+    section("Fig 3b: a multi-objective misconfiguration");
+    let mut t = Table::new(&["Config. Option", "Value"]);
+    let cfg = ds.config(worst);
+    for (i, o) in sim.model.space.options().iter().enumerate().take(23) {
+        t.row(vec![o.name.clone(), format!("{}", cfg.values[i])]);
+    }
+    t.row(vec!["Latency (ms)".into(), format!("{:.1}", lat[worst])]);
+    t.row(vec!["Energy (J)".into(), format!("{:.1}", en[worst])]);
+    t.print();
+    println!(
+        "\nTail membership: latency > p99 = {}, energy > p99 = {}",
+        lat[worst] > lat99,
+        en[worst] > en99
+    );
+}

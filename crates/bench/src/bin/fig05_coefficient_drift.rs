@@ -1,0 +1,48 @@
+//! Fig 5 — coefficient drift of the common performance-influence-model
+//! terms between the source (Xavier) and target (TX2) environments.
+
+use unicorn_bench::{regression_transfer, section, Scale, Table};
+use unicorn_systems::{generate, Environment, Hardware, Simulator, SubjectSystem};
+
+fn main() {
+    let scale = Scale::from_env();
+    let n = match scale {
+        Scale::Quick => 250,
+        Scale::Full => 1200,
+    };
+    let src_sim = Simulator::new(
+        SubjectSystem::Deepstream.build(),
+        Environment::on(Hardware::Xavier),
+        0xF165,
+    );
+    let dst_sim = Simulator::new(
+        SubjectSystem::Deepstream.build(),
+        Environment::on(Hardware::Tx2),
+        0xF165,
+    );
+    let src = generate(&src_sim, n, 0xB1);
+    let dst = generate(&dst_sim, n, 0xB2);
+
+    let (_, src_model, dst_model) = regression_transfer(&src, &dst, 0, 20);
+
+    section("Fig 5: coefficient differences of common terms (Xavier -> TX2)");
+    let mut diffs = src_model.coefficient_diffs(&dst_model);
+    diffs.sort_by(|a, b| {
+        b.1.abs().partial_cmp(&a.1.abs()).expect("NaN diff")
+    });
+    let mut t = Table::new(&["Predictor (options / interactions)", "Coefficient diff"]);
+    for (term, d) in &diffs {
+        t.row(vec![src_model.render_term(term), format!("{d:+.3}")]);
+    }
+    t.print();
+    if diffs.is_empty() {
+        println!("(no common terms survived the environment change)");
+    } else {
+        let drifted = diffs.iter().filter(|(_, d)| d.abs() > 1e-3).count();
+        println!(
+            "\n{drifted}/{} common terms drifted — regression coefficients \
+             are environment-specific (the paper's Fig 5 point).",
+            diffs.len()
+        );
+    }
+}

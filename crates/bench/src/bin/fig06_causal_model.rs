@@ -1,0 +1,96 @@
+//! Fig 6 — a partial causal performance model for Deepstream: the
+//! decoder/muxer options, the cache/branch events between them, and the
+//! two objectives, rendered as an edge list and DOT.
+
+use unicorn_bench::{section, Scale};
+use unicorn_discovery::{learn_causal_model, DiscoveryOptions};
+use unicorn_graph::dot::admg_to_dot;
+use unicorn_graph::{TierConstraints, VarKind};
+use unicorn_systems::{generate, Environment, Hardware, Simulator, SubjectSystem};
+
+/// The focal variables of the paper's Fig 6, plus the two mediating
+/// events (`Instructions`, `Cache References`) without which the
+/// projection would contain genuine latent confounders and FCI would
+/// (correctly) report bidirected edges instead of the figure's arrows.
+const FOCUS: [&str; 11] = [
+    "Bitrate",
+    "Buffer Size",
+    "Batch Size",
+    "Enable Padding",
+    "Instructions",
+    "Cache References",
+    "Branch Misses",
+    "Cache Misses",
+    "Cycles",
+    "Latency",
+    "Energy",
+];
+
+fn main() {
+    let scale = Scale::from_env();
+    let n = match scale {
+        Scale::Quick => 400,
+        Scale::Full => 1500,
+    };
+    section("Fig 6: partial causal performance model for Deepstream");
+    let sim = Simulator::new(
+        SubjectSystem::Deepstream.build(),
+        Environment::on(Hardware::Xavier),
+        0xF166,
+    );
+    let ds = generate(&sim, n, 0xC6);
+
+    // Project the dataset onto the focal variables.
+    let tiers_all = sim.model.tiers();
+    let mut columns = Vec::new();
+    let mut names = Vec::new();
+    let mut kinds = Vec::new();
+    for f in FOCUS {
+        let i = ds
+            .names
+            .iter()
+            .position(|nm| nm == f)
+            .unwrap_or_else(|| panic!("unknown focal variable {f}"));
+        columns.push(ds.columns[i].clone());
+        names.push(ds.names[i].clone());
+        kinds.push(tiers_all.kind(i));
+    }
+    let tiers = TierConstraints::new(kinds.clone());
+    let model = learn_causal_model(
+        &columns,
+        &names,
+        &tiers,
+        &DiscoveryOptions::default(),
+    );
+
+    println!("Learned edges (options -> events -> objectives):");
+    for &(f, t) in model.admg.directed_edges() {
+        println!("  {} -> {}", names[f], names[t]);
+    }
+    for &(a, b) in model.admg.bidirected_edges() {
+        println!("  {} <-> {}", names[a], names[b]);
+    }
+    println!(
+        "\naverage node degree: {:.2} (sparse, as in the paper)",
+        model.admg.average_degree()
+    );
+
+    section("DOT rendering (pipe into `dot -Tpdf`)");
+    print!("{}", admg_to_dot(&model.admg, Some(&tiers)));
+
+    // Sanity line mirroring the figure's headline path.
+    let has_pipeline = model
+        .admg
+        .directed_edges()
+        .iter()
+        .any(|&(f, t)| kinds[f] == VarKind::ConfigOption && kinds[t] == VarKind::SystemEvent)
+        && model
+            .admg
+            .directed_edges()
+            .iter()
+            .any(|&(f, t)| kinds[f] == VarKind::SystemEvent && kinds[t] == VarKind::Objective);
+    println!(
+        "\noption -> event -> objective pipeline recovered: {}",
+        if has_pipeline { "YES" } else { "NO" }
+    );
+}

@@ -1,0 +1,100 @@
+//! Fig 11 — the incremental behaviour of Unicorn: (a) structural hamming
+//! distance to the ground-truth causal model shrinks as more
+//! configurations are measured, (b, c) latency/energy trajectories while
+//! debugging a multi-objective fault, (d) the options selected at each
+//! iteration.
+
+use unicorn_bench::{catalog, render_series, section, simulator, Scale};
+use unicorn_core::{debug_fault_with_state, UnicornOptions, UnicornState};
+use unicorn_discovery::{learn_causal_model, DiscoveryOptions};
+use unicorn_graph::structural_hamming_distance;
+use unicorn_systems::{generate, Hardware, SubjectSystem};
+
+fn main() {
+    let scale = Scale::from_env();
+    let sim = simulator(SubjectSystem::Deepstream, Hardware::Xavier);
+
+    // (a) SHD vs measured samples: learn from growing prefixes of one
+    // sample stream and compare against the ground truth.
+    section("Fig 11a: structural hamming distance vs samples");
+    let sizes: Vec<usize> = match scale {
+        Scale::Quick => vec![25, 50, 100, 200],
+        Scale::Full => vec![25, 50, 100, 200, 400, 800],
+    };
+    let stream = generate(&sim, *sizes.last().expect("non-empty"), 0xF11A);
+    let truth = sim.model.true_admg().to_mixed();
+    let disc = DiscoveryOptions { max_depth: 2, pds_depth: 0, ..Default::default() };
+    let shd: Vec<f64> = sizes
+        .iter()
+        .map(|&k| {
+            let cols: Vec<Vec<f64>> =
+                stream.columns.iter().map(|c| c[..k].to_vec()).collect();
+            let m = learn_causal_model(&cols, &stream.names, &sim.model.tiers(), &disc);
+            structural_hamming_distance(&m.admg.to_mixed(), &truth) as f64
+        })
+        .collect();
+    print!(
+        "{}",
+        render_series(
+            &format!("SHD to ground truth at sample sizes {sizes:?}"),
+            &[("SHD", shd.clone())]
+        )
+    );
+    println!(
+        "decreased: {} ({} -> {})\n",
+        shd.last().unwrap() < shd.first().unwrap(),
+        shd[0],
+        shd[shd.len() - 1]
+    );
+
+    // (b–d) One multi-objective debugging run.
+    let cat = catalog(&sim, scale);
+    let fault = cat
+        .multi_objective(&[0, 1])
+        .into_iter()
+        .next()
+        .or_else(|| cat.faults.iter().find(|f| f.is_multi_objective()))
+        .or_else(|| cat.faults.first())
+        .expect("a fault exists");
+    println!(
+        "Debugging a fault violating objectives {:?} (latency {:.1}, energy {:.1})",
+        fault.objectives, fault.true_objectives[0], fault.true_objectives[1]
+    );
+    let opts = UnicornOptions {
+        initial_samples: match scale {
+            Scale::Quick => 40,
+            Scale::Full => 100,
+        },
+        budget: match scale {
+            Scale::Quick => 10,
+            Scale::Full => 60,
+        },
+        relearn_every: 2,
+        ..Default::default()
+    };
+    let mut state = UnicornState::bootstrap(&sim, &opts);
+    let start = std::time::Instant::now();
+    let out = debug_fault_with_state(&sim, fault, &cat, &opts, &mut state, start);
+
+    section("Fig 11b/11c: objective trajectories during debugging");
+    let lat: Vec<f64> = std::iter::once(fault.true_objectives[0])
+        .chain(out.trajectory.iter().map(|it| it.objectives[0]))
+        .collect();
+    let en: Vec<f64> = std::iter::once(fault.true_objectives[1])
+        .chain(out.trajectory.iter().map(|it| it.objectives[1]))
+        .collect();
+    print!(
+        "{}",
+        render_series("objectives per iteration", &[("Latency", lat), ("Energy", en)])
+    );
+
+    section("Fig 11d: options selected per iteration");
+    for it in &out.trajectory {
+        println!("iter {:>2}: options {:?}", it.iteration, it.changed_options);
+    }
+    println!(
+        "\nfinal fix changes options {:?} (red nodes in the paper's figure); \
+         fixed = {}",
+        out.diagnosed_options, out.fixed
+    );
+}

@@ -1,0 +1,119 @@
+//! Fig 14 — sample efficiency: mean repair gain as a function of the
+//! sampling budget for the five debugging methods, on latency faults
+//! (TX2) and energy faults (Xavier).
+
+use unicorn_bench::{catalog, render_series, section, simulator, DebugMethod, Scale};
+use unicorn_systems::{Hardware, SubjectSystem};
+
+fn sweep(
+    sys: SubjectSystem,
+    hw: Hardware,
+    objective: usize,
+    sizes: &[usize],
+    scale: Scale,
+) {
+    let sim = simulator(sys, hw);
+    let cat = catalog(&sim, scale);
+    let mut series: Vec<(&str, Vec<f64>)> = Vec::new();
+    for method in DebugMethod::table2a() {
+        let gains: Vec<f64> = sizes
+            .iter()
+            .map(|&n| {
+                // Scale the method's observational budget to `n` while
+                // keeping probes fixed.
+                let scores = run_cell_sized(method, &sim, &cat, objective, n, scale);
+                scores
+            })
+            .collect();
+        series.push((method.name(), gains));
+    }
+    print!(
+        "{}",
+        render_series(
+            &format!(
+                "{} on {}: gain (%) vs sample size {:?}",
+                sys.name(),
+                hw.name(),
+                sizes
+            ),
+            &series
+        )
+    );
+    println!();
+}
+
+/// `run_cell` with an overridden sample budget (via env-independent
+/// plumbing: we temporarily construct a custom-scale runner).
+fn run_cell_sized(
+    method: DebugMethod,
+    sim: &unicorn_systems::Simulator,
+    cat: &unicorn_systems::FaultCatalog,
+    objective: usize,
+    n_samples: usize,
+    scale: Scale,
+) -> f64 {
+    use unicorn_baselines::{BugDoc, Cbi, DebugBudget, Debugger, DeltaDebugging, Encore};
+    use unicorn_core::{debug_fault, UnicornOptions};
+
+    let faults = cat.single_objective(objective);
+    let budget = DebugBudget { n_samples, n_probes: scale.n_probes() };
+    let mut gains = Vec::new();
+    for (i, fault) in faults.iter().take(scale.faults_per_cell()).enumerate() {
+        let seed = 0xF14 ^ (i as u64) << 4 ^ n_samples as u64;
+        let best = match method {
+            DebugMethod::Unicorn => {
+                let out = debug_fault(
+                    sim,
+                    fault,
+                    cat,
+                    &UnicornOptions {
+                        initial_samples: n_samples,
+                        budget: scale.n_probes(),
+                        seed,
+                        ..Default::default()
+                    },
+                );
+                out.best_config
+            }
+            DebugMethod::Cbi => Cbi::new().debug(sim, fault, cat, &budget, seed).best_config,
+            DebugMethod::Dd => {
+                DeltaDebugging.debug(sim, fault, cat, &budget, seed).best_config
+            }
+            DebugMethod::Encore => {
+                Encore::default().debug(sim, fault, cat, &budget, seed).best_config
+            }
+            DebugMethod::BugDoc => {
+                BugDoc::default().debug(sim, fault, cat, &budget, seed).best_config
+            }
+            DebugMethod::Smac => unreachable!("not in the Fig 14 roster"),
+        };
+        let o = fault.objectives[0];
+        let after = sim.true_objectives(&best)[o];
+        gains.push(unicorn_core::gain_percent(fault.true_objectives[o], after));
+    }
+    gains.iter().sum::<f64>() / gains.len().max(1) as f64
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let sizes: Vec<usize> = match scale {
+        Scale::Quick => vec![25, 50, 100],
+        Scale::Full => vec![25, 50, 100, 200, 400],
+    };
+    let systems = [
+        SubjectSystem::Xception,
+        SubjectSystem::Bert,
+        SubjectSystem::Deepspeech,
+        SubjectSystem::X264,
+    ];
+
+    section("Fig 14a: latency faults on TX2");
+    for sys in systems {
+        sweep(sys, Hardware::Tx2, 0, &sizes, scale);
+    }
+
+    section("Fig 14b: energy faults on Xavier");
+    for sys in systems {
+        sweep(sys, Hardware::Xavier, 1, &sizes, scale);
+    }
+}

@@ -1,0 +1,111 @@
+//! Fig 15 — optimization: (a) single-objective latency and (b) energy
+//! (Unicorn vs SMAC), (c) hypervolume error over iterations and (d) Pareto
+//! fronts (Unicorn vs PESMO), all for Xception on TX2.
+
+use unicorn_baselines::{pesmo_optimize, smac_optimize, PesmoOptions, SmacOptions};
+use unicorn_bench::{render_series, section, simulator, Scale};
+use unicorn_core::{optimize_multi, optimize_single, UnicornOptions};
+use unicorn_stats::pareto::pareto_front;
+use unicorn_systems::{generate, Hardware, SubjectSystem};
+
+fn downsample(xs: &[f64], k: usize) -> Vec<f64> {
+    if xs.len() <= k {
+        return xs.to_vec();
+    }
+    (0..k)
+        .map(|i| xs[i * (xs.len() - 1) / (k - 1)])
+        .collect()
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let (n_init, budget) = match scale {
+        Scale::Quick => (25, 30),
+        Scale::Full => (25, 200),
+    };
+    let sim = simulator(SubjectSystem::Xception, Hardware::Tx2);
+    let uni_opts = UnicornOptions {
+        initial_samples: n_init,
+        budget,
+        relearn_every: 8,
+        ..Default::default()
+    };
+    let smac_opts =
+        SmacOptions { n_init, budget: n_init + budget, ..Default::default() };
+
+    for (label, obj) in [("Fig 15a: latency", 0usize), ("Fig 15b: energy", 1usize)] {
+        section(label);
+        let uni = optimize_single(&sim, obj, &uni_opts);
+        let smac = smac_optimize(&sim, obj, &smac_opts);
+        print!(
+            "{}",
+            render_series(
+                "best-so-far (min) vs iteration",
+                &[
+                    ("Unicorn", downsample(&uni.history, 12)),
+                    ("SMAC", downsample(&smac.history, 12)),
+                ],
+            )
+        );
+        println!(
+            "final: Unicorn {:.2} vs SMAC {:.2} ({})\n",
+            uni.best_value,
+            smac.best_value,
+            if uni.best_value <= smac.best_value {
+                "Unicorn wins/ties"
+            } else {
+                "SMAC wins"
+            }
+        );
+    }
+
+    section("Fig 15c: multi-objective hypervolume error (latency, energy)");
+    // Common reference front from a broad random sweep.
+    let sweep = generate(&sim, 400, 0xF15C);
+    let pts: Vec<Vec<f64>> = (0..sweep.n_rows())
+        .map(|r| vec![sweep.objective_column(0)[r], sweep.objective_column(1)[r]])
+        .collect();
+    let reference = pareto_front(&pts);
+    let ref_point = [
+        pts.iter().map(|p| p[0]).fold(0.0, f64::max) * 1.1,
+        pts.iter().map(|p| p[1]).fold(0.0, f64::max) * 1.1,
+    ];
+
+    let uni_mo = optimize_multi(&sim, &[0, 1], &reference, &ref_point, &uni_opts);
+    let pesmo = pesmo_optimize(
+        &sim,
+        &[0, 1],
+        &PesmoOptions { n_init, budget: n_init + budget, ..Default::default() },
+    );
+    let pesmo_hist =
+        unicorn_baselines::hv_error_history(&pesmo, &reference, &ref_point);
+    print!(
+        "{}",
+        render_series(
+            "hypervolume error vs iteration",
+            &[
+                ("Unicorn", downsample(&uni_mo.hv_error_history, 12)),
+                ("PESMO", downsample(&pesmo_hist, 12)),
+            ],
+        )
+    );
+    println!(
+        "final hypervolume error: Unicorn {:.3} vs PESMO {:.3}\n",
+        uni_mo.hv_error_history.last().unwrap(),
+        pesmo_hist.last().unwrap()
+    );
+
+    section("Fig 15d: Pareto fronts (latency s, energy J)");
+    let mut uni_front = uni_mo.front.clone();
+    uni_front.sort_by(|a, b| a[0].partial_cmp(&b[0]).expect("NaN"));
+    let mut pesmo_front = pesmo.front.clone();
+    pesmo_front.sort_by(|a, b| a[0].partial_cmp(&b[0]).expect("NaN"));
+    println!("Unicorn front ({} pts):", uni_front.len());
+    for p in &uni_front {
+        println!("  ({:.2}, {:.2})", p[0], p[1]);
+    }
+    println!("PESMO front ({} pts):", pesmo_front.len());
+    for p in &pesmo_front {
+        println!("  ({:.2}, {:.2})", p[0], p[1]);
+    }
+}

@@ -1,0 +1,30 @@
+//! Table 1 — overview of the subject systems: workload, |C| (measured
+//! configurations in the paper; here the full space cardinality is also
+//! shown), |O| options, |S| events, |H| hardware platforms, |P| objectives.
+
+use unicorn_bench::{section, Table};
+use unicorn_systems::{Hardware, SubjectSystem};
+
+fn main() {
+    section("Table 1: Overview of the subject systems");
+    let mut t = Table::new(&[
+        "System", "Workload", "|Space|", "|O|", "|S|", "|H|", "|P|",
+    ]);
+    for sys in SubjectSystem::all() {
+        let m = sys.build();
+        t.row(vec![
+            sys.name().to_string(),
+            sys.workload_description().chars().take(48).collect(),
+            format!("{:.2e}", m.space.cardinality() as f64),
+            m.n_options().to_string(),
+            m.n_events().to_string(),
+            Hardware::all().len().to_string(),
+            m.n_objectives().to_string(),
+        ]);
+    }
+    t.print();
+    println!(
+        "\nPaper reference: O = 53/28/28/28/32/34, S = 19–288, H = 3 \
+         (TX1, TX2, Xavier)."
+    );
+}

@@ -1,0 +1,67 @@
+//! Table 2b — multi-objective (energy + latency) debugging on Xavier:
+//! Unicorn vs CBI, EnCore, BugDoc on four systems, with per-objective
+//! gains.
+
+use unicorn_bench::{catalog, f1, run_cell, section, simulator, DebugMethod, Scale, Table};
+use unicorn_systems::{Hardware, SubjectSystem};
+
+fn main() {
+    let scale = Scale::from_env();
+    section("Table 2b: multi-objective (latency + energy) faults on Xavier");
+    let systems = [
+        SubjectSystem::Xception,
+        SubjectSystem::Bert,
+        SubjectSystem::Deepspeech,
+        SubjectSystem::X264,
+    ];
+    let mut t = Table::new(&[
+        "System", "Method", "Accuracy", "Precision", "Recall", "Gain (Lat)",
+        "Gain (En)", "Time (s)",
+    ]);
+    for sys in systems {
+        let sim = simulator(sys, Hardware::Xavier);
+        let cat = catalog(&sim, scale);
+        let has_multi = cat.faults.iter().any(|f| f.is_multi_objective());
+        if !has_multi {
+            t.row(vec![
+                sys.name().into(),
+                "(no multi-objective faults at this scale)".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+            ]);
+            continue;
+        }
+        for method in DebugMethod::table2b() {
+            let s = run_cell(
+                method,
+                &sim,
+                &cat,
+                None,
+                true,
+                scale.faults_per_cell(),
+                scale,
+                0x2B,
+            );
+            t.row(vec![
+                sys.name().into(),
+                method.name().into(),
+                f1(s.accuracy),
+                f1(s.precision),
+                f1(s.recall),
+                f1(s.gains.first().copied().unwrap_or(0.0)),
+                f1(s.gains.get(1).copied().unwrap_or(0.0)),
+                f1(s.time_s),
+            ]);
+        }
+    }
+    t.print();
+    println!(
+        "\nExpected shape (paper): Unicorn repairs improve both objectives \
+         simultaneously; correlational methods trade one off against the \
+         other."
+    );
+}

@@ -1,0 +1,164 @@
+//! Table 3 — scalability: SQLite (34 → 242 options, 19 → 288 events) and
+//! Deepstream (→ 288 events) on Xavier. For each scenario: causal-path and
+//! repair-query counts, average node degree, repair gain, and the wall
+//! time of discovery, query evaluation, and one full fault diagnosis.
+
+use std::time::Instant;
+
+use unicorn_bench::{f1, f2, section, Scale, Table};
+use unicorn_core::{debug_fault, UnicornOptions};
+use unicorn_discovery::{learn_causal_model, DiscoveryOptions};
+use unicorn_graph::paths::count_causal_paths;
+use unicorn_inference::{
+    generate_repairs, root_cause_candidates, CausalEngine, FittedScm, QosGoal,
+    RepairOptions,
+};
+use unicorn_systems::scalability::{deepstream_variant, sqlite_variant};
+use unicorn_systems::{
+    discover_faults, generate, Environment, FaultDiscoveryOptions, Hardware,
+    Simulator, SystemModel,
+};
+
+struct Scenario {
+    system: &'static str,
+    model: SystemModel,
+}
+
+#[allow(clippy::too_many_lines)]
+fn run(scenario: Scenario, scale: Scale, t: &mut Table) {
+    let n = match scale {
+        Scale::Quick => 250,
+        Scale::Full => 800,
+    };
+    let sim = Simulator::new(scenario.model, Environment::on(Hardware::Xavier), 0x3AB);
+    let ds = generate(&sim, n, 0x5CA1E);
+
+    // Discovery timing.
+    // Alpha scales down with the quadratic number of pairwise tests
+    // (multiple-testing control keeps the big variants sparse).
+    let alpha = if sim.model.n_nodes() > 150 { 1e-4 } else { 0.01 };
+    let disc_opts = DiscoveryOptions { alpha, max_depth: 1, pds_depth: 0, ..Default::default() };
+    let t0 = Instant::now();
+    let model = learn_causal_model(&ds.columns, &ds.names, &sim.model.tiers(), &disc_opts);
+    let discovery_s = t0.elapsed().as_secs_f64();
+
+    // Path and query counts + query-eval timing.
+    let objectives: Vec<usize> =
+        (0..sim.model.n_objectives()).map(|o| ds.objective_node(o)).collect();
+    let paths = count_causal_paths(&model.admg, &objectives, 10_000);
+    let scm = FittedScm::fit(model.admg.clone(), &ds.columns).expect("fit");
+    let engine = CausalEngine::new(
+        scm,
+        sim.model.tiers(),
+        Box::new(ds.domains(&sim)),
+    )
+    .with_repair_options(RepairOptions { max_pairs: 30, ..Default::default() });
+    let goal = QosGoal::single(
+        ds.objective_node(0),
+        unicorn_stats::quantile(ds.objective_column(0), 0.5),
+    );
+    let t1 = Instant::now();
+    let candidates = root_cause_candidates(
+        engine.scm(),
+        &goal,
+        engine.tiers(),
+        engine.domain(),
+        engine.repair_options(),
+    );
+    let fault_values: Vec<f64> = ds.row(0);
+    let repairs =
+        generate_repairs(&fault_values, &candidates, engine.domain(), engine.repair_options());
+    let n_queries = repairs.len();
+    // Evaluate every repair's ICE — the "query evaluation" cost.
+    let _ranked = unicorn_inference::rank_repairs(
+        engine.scm(),
+        &goal,
+        0,
+        repairs,
+        engine.repair_options(),
+    );
+    let query_s = t1.elapsed().as_secs_f64();
+
+    // One full fault diagnosis (discovery + loop) for gain + total time.
+    let cat = discover_faults(
+        &sim,
+        &FaultDiscoveryOptions { n_samples: 400, ace_bases: 4, ..Default::default() },
+    );
+    let (gain, total_s) = if let Some(fault) =
+        cat.faults.iter().find(|f| f.objectives.contains(&0))
+    {
+        let t2 = Instant::now();
+        let out = debug_fault(
+            &sim,
+            fault,
+            &cat,
+            &UnicornOptions {
+                initial_samples: n.min(100),
+                budget: 6,
+                relearn_every: 4,
+                discovery: disc_opts.clone(),
+                ..Default::default()
+            },
+        );
+        let after = sim.true_objectives(&out.best_config)[0];
+        (
+            unicorn_core::gain_percent(fault.true_objectives[0], after),
+            t2.elapsed().as_secs_f64(),
+        )
+    } else {
+        (0.0, 0.0)
+    };
+
+    t.row(vec![
+        scenario.system.to_string(),
+        sim.model.n_options().to_string(),
+        sim.model.n_events().to_string(),
+        paths.to_string(),
+        n_queries.to_string(),
+        f2(model.admg.average_degree()),
+        f1(gain),
+        f1(discovery_s),
+        f1(query_s),
+        f1(total_s),
+    ]);
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    section("Table 3: scalability on Xavier");
+    let mut t = Table::new(&[
+        "System", "Configs", "Events", "Paths", "Queries", "Degree", "Gain (%)",
+        "Discovery (s)", "Query eval (s)", "Total (s)",
+    ]);
+    run(
+        Scenario { system: "SQLite", model: sqlite_variant(34, 19) },
+        scale,
+        &mut t,
+    );
+    run(
+        Scenario { system: "SQLite", model: sqlite_variant(242, 19) },
+        scale,
+        &mut t,
+    );
+    run(
+        Scenario { system: "SQLite", model: sqlite_variant(242, 288) },
+        scale,
+        &mut t,
+    );
+    run(
+        Scenario { system: "Deepstream", model: deepstream_variant(20) },
+        scale,
+        &mut t,
+    );
+    run(
+        Scenario { system: "Deepstream", model: deepstream_variant(288) },
+        scale,
+        &mut t,
+    );
+    t.print();
+    println!(
+        "\nExpected shape (paper's Table 3): runtime grows sub-exponentially \
+         with options/events because the causal graph stays sparse — the \
+         average degree *drops* as variables grow."
+    );
+}

@@ -1,0 +1,133 @@
+//! Table 14 (appendix) — the remaining fault families: (a) heat faults on
+//! TX1; (b) latency+heat on TX2; (c) energy+heat on Xavier; (d) the
+//! three-objective faults on TX2.
+
+use unicorn_bench::{catalog, f1, section, simulator, DebugMethod, Scale, Table};
+use unicorn_core::mean_scores;
+use unicorn_systems::{FaultCatalog, Hardware, Simulator, SubjectSystem};
+
+const HEAT: usize = 2;
+
+/// Runs one multi-objective block over the systems with matching faults.
+fn block(
+    title: &str,
+    hw: Hardware,
+    objectives: &[usize],
+    systems: &[SubjectSystem],
+    scale: Scale,
+) {
+    section(title);
+    let single = objectives.len() == 1;
+    let methods = if single {
+        DebugMethod::table2a().to_vec()
+    } else {
+        DebugMethod::table2b().to_vec()
+    };
+    let mut header = vec!["System", "Method", "Accuracy", "Precision", "Recall"];
+    for &o in objectives {
+        header.push(match o {
+            0 => "Gain (Lat)",
+            1 => "Gain (En)",
+            _ => "Gain (Heat)",
+        });
+    }
+    header.push("Time (s)");
+    let mut t = Table::new(&header);
+    for &sys in systems {
+        let sim = simulator(sys, hw);
+        let cat = catalog(&sim, scale);
+        let faults = select_faults(&cat, objectives);
+        if faults.is_empty() {
+            let mut row = vec![sys.name().to_string(), "(no faults)".into()];
+            row.extend(vec!["-".to_string(); header.len() - 2]);
+            t.row(row);
+            continue;
+        }
+        for method in &methods {
+            let scores: Vec<_> = faults
+                .iter()
+                .take(scale.faults_per_cell())
+                .enumerate()
+                .map(|(i, f)| {
+                    run_one(*method, &sim, f, &cat, scale, 0x14 ^ (i as u64))
+                })
+                .collect();
+            let m = mean_scores(&scores);
+            let mut row = vec![
+                sys.name().to_string(),
+                method.name().to_string(),
+                f1(m.accuracy),
+                f1(m.precision),
+                f1(m.recall),
+            ];
+            for k in 0..objectives.len() {
+                row.push(f1(m.gains.get(k).copied().unwrap_or(0.0)));
+            }
+            row.push(f1(m.time_s));
+            t.row(row);
+        }
+    }
+    t.print();
+}
+
+fn select_faults<'a>(
+    cat: &'a FaultCatalog,
+    objectives: &[usize],
+) -> Vec<&'a unicorn_systems::Fault> {
+    if objectives.len() == 1 {
+        cat.single_objective(objectives[0])
+    } else {
+        cat.faults
+            .iter()
+            .filter(|f| objectives.iter().all(|o| f.objectives.contains(o)))
+            .collect()
+    }
+}
+
+fn run_one(
+    method: DebugMethod,
+    sim: &Simulator,
+    fault: &unicorn_systems::Fault,
+    cat: &FaultCatalog,
+    scale: Scale,
+    seed: u64,
+) -> unicorn_core::DebugScores {
+    unicorn_bench::run_method(method, sim, fault, cat, scale, seed)
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let dl = [
+        SubjectSystem::Xception,
+        SubjectSystem::Bert,
+        SubjectSystem::Deepspeech,
+        SubjectSystem::X264,
+    ];
+    block("Table 14a: heat faults on TX1", Hardware::Tx1, &[HEAT], &dl, scale);
+    block(
+        "Table 14b: latency + heat faults on TX2",
+        Hardware::Tx2,
+        &[0, HEAT],
+        &dl,
+        scale,
+    );
+    block(
+        "Table 14c: energy + heat faults on Xavier",
+        Hardware::Xavier,
+        &[1, HEAT],
+        &dl,
+        scale,
+    );
+    block(
+        "Table 14d: latency + energy + heat faults on TX2",
+        Hardware::Tx2,
+        &[0, 1, HEAT],
+        &[SubjectSystem::Xception, SubjectSystem::X264, SubjectSystem::Sqlite],
+        scale,
+    );
+    println!(
+        "\nExpected shape (paper): heat gains are small in absolute terms \
+         (a few %), and Unicorn still leads while three-objective repairs \
+         are the hardest for every method."
+    );
+}

@@ -1,0 +1,144 @@
+//! Plain-text report rendering: markdown tables and ASCII line series, so
+//! every table/figure binary prints the same rows/series the paper
+//! reports.
+
+/// A simple markdown table builder.
+#[derive(Debug, Default, Clone)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Starts a table with the given column headers.
+    pub fn new(header: &[&str]) -> Self {
+        Self {
+            header: header.iter().map(ToString::to_string).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (stringified cells).
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(cells.len(), self.header.len(), "column count mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Renders to markdown.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> =
+            self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, c) in widths.iter_mut().zip(row) {
+                *w = (*w).max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::from("|");
+            for (c, w) in cells.iter().zip(widths) {
+                line.push_str(&format!(" {c:w$} |"));
+            }
+            line.push('\n');
+            line
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('|');
+        for w in &widths {
+            out.push_str(&format!("{:-<1$}|", "", w + 2));
+        }
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+        }
+        out
+    }
+
+    /// Prints to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+/// Formats a float with one decimal.
+pub fn f1(x: f64) -> String {
+    format!("{x:.1}")
+}
+
+/// Formats a float with two decimals.
+pub fn f2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+/// Renders a labeled series as an ASCII sparkline plot (one row per
+/// series) plus the raw values — the "figure" output format.
+pub fn render_series(title: &str, series: &[(&str, Vec<f64>)]) -> String {
+    const GLYPHS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let mut out = format!("# {title}\n");
+    let all: Vec<f64> = series
+        .iter()
+        .flat_map(|(_, v)| v.iter().copied())
+        .filter(|v| v.is_finite())
+        .collect();
+    let lo = all.iter().copied().fold(f64::INFINITY, f64::min);
+    let hi = all.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let span = (hi - lo).max(1e-12);
+    let name_w = series.iter().map(|(n, _)| n.len()).max().unwrap_or(4);
+    for (name, values) in series {
+        let spark: String = values
+            .iter()
+            .map(|v| {
+                let t = ((v - lo) / span).clamp(0.0, 1.0);
+                GLYPHS[((t * 7.0).round()) as usize]
+            })
+            .collect();
+        let nums: Vec<String> = values.iter().map(|v| format!("{v:.2}")).collect();
+        out.push_str(&format!(
+            "{name:name_w$} {spark}  [{}]\n",
+            nums.join(", ")
+        ));
+    }
+    out
+}
+
+/// Prints a figure header.
+pub fn section(title: &str) {
+    println!("\n=== {title} ===\n");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_markdown() {
+        let mut t = Table::new(&["System", "Accuracy"]);
+        t.row(vec!["x264".into(), "83".into()]);
+        let s = t.render();
+        assert!(s.contains("| System | Accuracy |"));
+        assert!(s.contains("| x264 "));
+        assert!(s.lines().count() == 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "column count mismatch")]
+    fn mismatched_rows_rejected() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn series_sparkline_spans_range() {
+        let s = render_series("fig", &[("m", vec![0.0, 0.5, 1.0])]);
+        assert!(s.contains('▁'));
+        assert!(s.contains('█'));
+        assert!(s.contains("# fig"));
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(f1(2.4649), "2.5");
+        assert_eq!(f2(2.4649), "2.46");
+    }
+}

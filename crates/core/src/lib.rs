@@ -1,0 +1,47 @@
+//! # unicorn-core
+//!
+//! The paper's primary contribution: Unicorn's five-stage active-learning
+//! loop for causal performance analysis (Fig 7), built on the workspace's
+//! discovery, inference, and simulated-systems substrates.
+//!
+//! * [`unicorn`] — the loop machinery: bootstrap, engine construction,
+//!   measure-and-update, ACE-guided exploration.
+//! * [`debug_task`] — performance debugging: counterfactual repairs for
+//!   observed non-functional faults (§7, Tables 2a/2b).
+//! * [`optimize_task`] — single- and multi-objective optimization
+//!   (Fig 15).
+//! * [`transfer`] — model reuse across environments (§8, Fig 16/17,
+//!   Table 15).
+//! * [`metrics`] — the evaluation metrics of §6.
+//!
+//! ```no_run
+//! use unicorn_core::{debug_fault, UnicornOptions};
+//! use unicorn_systems::{
+//!     discover_faults, Environment, FaultDiscoveryOptions, Hardware,
+//!     Simulator, SubjectSystem,
+//! };
+//!
+//! let sim = Simulator::new(
+//!     SubjectSystem::X264.build(),
+//!     Environment::on(Hardware::Tx2),
+//!     42,
+//! );
+//! let catalog = discover_faults(&sim, &FaultDiscoveryOptions::default());
+//! let fault = &catalog.faults[0];
+//! let outcome = debug_fault(&sim, fault, &catalog, &UnicornOptions::default());
+//! println!("fixed: {}, changed: {:?}", outcome.fixed, outcome.diagnosed_options);
+//! ```
+
+pub mod debug_task;
+pub mod metrics;
+pub mod optimize_task;
+pub mod transfer;
+pub mod unicorn;
+
+pub use debug_task::{debug_fault, debug_fault_with_state, DebugIteration, DebugOutcome};
+pub use metrics::{gain_percent, mean_scores, score_debugging, DebugScores};
+pub use optimize_task::{
+    optimize_multi, optimize_single, MultiOptimizeOutcome, OptimizeOutcome,
+};
+pub use transfer::{learn_source_state, transfer_debug, TransferMode};
+pub use unicorn::{UnicornOptions, UnicornState};

@@ -1,0 +1,180 @@
+//! Evaluation metrics (§6): ACE-weighted Jaccard accuracy, precision,
+//! recall, gain, and hypervolume error.
+
+use std::collections::BTreeSet;
+
+use unicorn_systems::{Fault, FaultCatalog};
+
+/// Scores of one debugging run against the ground truth.
+#[derive(Debug, Clone, Default)]
+pub struct DebugScores {
+    /// ACE-weighted Jaccard similarity of diagnosed vs true root causes
+    /// (percent).
+    pub accuracy: f64,
+    /// Percentage of diagnosed options that are true root causes.
+    pub precision: f64,
+    /// Percentage of true root causes diagnosed.
+    pub recall: f64,
+    /// Per violated objective: improvement of the fix over the fault
+    /// (percent, Δgain of §6).
+    pub gains: Vec<f64>,
+    /// Wall-clock seconds of the run.
+    pub time_s: f64,
+    /// Measurements spent.
+    pub n_measurements: usize,
+}
+
+/// Δgain (§6): `(NFP_fault − NFP_nofault) / NFP_fault × 100`.
+pub fn gain_percent(fault_value: f64, fixed_value: f64) -> f64 {
+    if fault_value.abs() < 1e-12 {
+        return 0.0;
+    }
+    (fault_value - fixed_value) / fault_value * 100.0
+}
+
+/// Scores a diagnosis (set of changed options) and a fixed configuration's
+/// true objectives against a labeled fault.
+pub fn score_debugging(
+    fault: &Fault,
+    catalog: &FaultCatalog,
+    diagnosed: &[usize],
+    fixed_true_objectives: &[f64],
+    time_s: f64,
+    n_measurements: usize,
+) -> DebugScores {
+    let pred: BTreeSet<usize> = diagnosed.iter().copied().collect();
+    let truth: BTreeSet<usize> = fault.root_causes.clone();
+
+    // ACE weights: the maximum ground-truth ACE of the option across the
+    // fault's violated objectives ("the weight vector was derived based on
+    // the average causal effect of options to performance based on the
+    // ground-truth causal performance model").
+    let weight = |o: usize| -> f64 {
+        fault
+            .objectives
+            .iter()
+            .map(|&obj| catalog.ace_weights[obj][o])
+            .fold(0.0, f64::max)
+    };
+    let accuracy = unicorn_stats::weighted_jaccard(&pred, &truth, &weight) * 100.0;
+    let precision = unicorn_stats::ranking::precision(&pred, &truth) * 100.0;
+    let recall = unicorn_stats::ranking::recall(&pred, &truth) * 100.0;
+
+    let gains = fault
+        .objectives
+        .iter()
+        .map(|&o| gain_percent(fault.true_objectives[o], fixed_true_objectives[o]))
+        .collect();
+
+    DebugScores { accuracy, precision, recall, gains, time_s, n_measurements }
+}
+
+/// Aggregates scores over a fault population (mean per field).
+pub fn mean_scores(scores: &[DebugScores]) -> DebugScores {
+    if scores.is_empty() {
+        return DebugScores::default();
+    }
+    let n = scores.len() as f64;
+    let n_gains = scores.iter().map(|s| s.gains.len()).max().unwrap_or(0);
+    let mut gains = vec![0.0; n_gains];
+    for s in scores {
+        for (i, g) in s.gains.iter().enumerate() {
+            gains[i] += g / n;
+        }
+    }
+    DebugScores {
+        accuracy: scores.iter().map(|s| s.accuracy).sum::<f64>() / n,
+        precision: scores.iter().map(|s| s.precision).sum::<f64>() / n,
+        recall: scores.iter().map(|s| s.recall).sum::<f64>() / n,
+        gains,
+        time_s: scores.iter().map(|s| s.time_s).sum::<f64>() / n,
+        n_measurements: (scores.iter().map(|s| s.n_measurements).sum::<usize>()
+            + scores.len() / 2)
+            / scores.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+    use unicorn_systems::Config;
+
+    fn toy_fault() -> (Fault, FaultCatalog) {
+        let fault = Fault {
+            config: Config { values: vec![0.0; 4] },
+            objectives: vec![0],
+            true_objectives: vec![100.0],
+            root_causes: BTreeSet::from([0, 1]),
+        };
+        let catalog = FaultCatalog {
+            faults: vec![fault.clone()],
+            thresholds: vec![80.0],
+            medians: vec![40.0],
+            targets: vec![30.0],
+            ace_weights: vec![vec![10.0, 5.0, 0.5, 0.1]],
+        };
+        (fault, catalog)
+    }
+
+    #[test]
+    fn perfect_diagnosis_scores_100() {
+        let (fault, catalog) = toy_fault();
+        let s = score_debugging(&fault, &catalog, &[0, 1], &[40.0], 1.0, 5);
+        assert!((s.accuracy - 100.0).abs() < 1e-9);
+        assert!((s.precision - 100.0).abs() < 1e-9);
+        assert!((s.recall - 100.0).abs() < 1e-9);
+        assert!((s.gains[0] - 60.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn weighted_accuracy_forgives_missing_weak_causes() {
+        let (fault, catalog) = toy_fault();
+        // Diagnosing only the strong cause (weight 10 vs 5).
+        let s = score_debugging(&fault, &catalog, &[0], &[40.0], 1.0, 5);
+        assert!((s.accuracy - 100.0 * 10.0 / 15.0).abs() < 1e-9);
+        assert!((s.precision - 100.0).abs() < 1e-9);
+        assert!((s.recall - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn spurious_diagnosis_dilutes_accuracy() {
+        let (fault, catalog) = toy_fault();
+        let with_noise = score_debugging(&fault, &catalog, &[0, 1, 2, 3], &[40.0], 1.0, 5);
+        let clean = score_debugging(&fault, &catalog, &[0, 1], &[40.0], 1.0, 5);
+        assert!(with_noise.accuracy < clean.accuracy);
+        assert!(with_noise.precision < clean.precision);
+    }
+
+    #[test]
+    fn gain_percent_degenerate() {
+        assert_eq!(gain_percent(0.0, 5.0), 0.0);
+        assert!((gain_percent(10.0, 5.0) - 50.0).abs() < 1e-12);
+        // A worsening fix yields a negative gain.
+        assert!(gain_percent(10.0, 12.0) < 0.0);
+    }
+
+    #[test]
+    fn mean_scores_average() {
+        let a = DebugScores {
+            accuracy: 80.0,
+            precision: 60.0,
+            recall: 40.0,
+            gains: vec![50.0],
+            time_s: 2.0,
+            n_measurements: 10,
+        };
+        let b = DebugScores {
+            accuracy: 60.0,
+            precision: 80.0,
+            recall: 60.0,
+            gains: vec![70.0],
+            time_s: 4.0,
+            n_measurements: 20,
+        };
+        let m = mean_scores(&[a, b]);
+        assert!((m.accuracy - 70.0).abs() < 1e-9);
+        assert!((m.gains[0] - 60.0).abs() < 1e-9);
+        assert_eq!(m.n_measurements, 15);
+    }
+}

@@ -1,0 +1,346 @@
+//! Performance optimization with Unicorn (§7, Fig 15): single-objective
+//! minimization and multi-objective Pareto search guided by the causal
+//! performance model.
+//!
+//! Stage III policy: generate candidate configurations by perturbing the
+//! incumbent(s) along high-ACE options, predict their objectives with the
+//! fitted SCM, and measure the most promising candidate (with a small
+//! ε-greedy exploration share so the model keeps improving off-path).
+
+use std::time::Instant;
+
+use rand::Rng;
+
+use unicorn_stats::pareto::{hypervolume_error, pareto_front};
+use unicorn_systems::{Config, Simulator};
+
+use crate::unicorn::{UnicornOptions, UnicornState};
+
+/// Outcome of a single-objective optimization run.
+#[derive(Debug, Clone)]
+pub struct OptimizeOutcome {
+    /// Best configuration found.
+    pub best_config: Config,
+    /// Best measured objective value.
+    pub best_value: f64,
+    /// Best-so-far value after each measurement (Fig 15 a/b series).
+    pub history: Vec<f64>,
+    /// Wall-clock seconds.
+    pub wall_time_s: f64,
+}
+
+/// Outcome of a multi-objective optimization run.
+#[derive(Debug, Clone)]
+pub struct MultiOptimizeOutcome {
+    /// Measured points (objective vectors) in measurement order.
+    pub evaluated: Vec<Vec<f64>>,
+    /// The Pareto front among them.
+    pub front: Vec<Vec<f64>>,
+    /// Hypervolume error after each measurement, against a reference
+    /// front (Fig 15 c).
+    pub hv_error_history: Vec<f64>,
+    /// Wall-clock seconds.
+    pub wall_time_s: f64,
+}
+
+/// Number of exploration candidates added per iteration.
+const EXPLORE_POOL: usize = 8;
+/// Exploration probability.
+const EPSILON: f64 = 0.15;
+
+/// Stage III candidate generation for optimization: the causal model is
+/// *queried*, not just sampled. For every option the SCM predicts the
+/// objective across the option's grid (holding the incumbent fixed); the
+/// best per-option moves become single-change candidates, their greedy
+/// composition a multi-change candidate, topped up with ACE-weighted
+/// mutations for exploration.
+fn candidates(
+    sim: &Simulator,
+    state: &mut UnicornState,
+    engine: &unicorn_inference::CausalEngine,
+    objective: usize,
+    incumbent: &Config,
+    incumbent_row: usize,
+) -> Vec<Config> {
+    let mut out = Vec::new();
+    // Per-option best move under the fitted SCM.
+    let mut moves: Vec<(f64, usize, f64)> = Vec::new(); // (predicted, option, value)
+    for o in 0..sim.model.n_options() {
+        let grid = sim.model.space.option(o).values.clone();
+        if grid.len() < 2 {
+            continue;
+        }
+        let mut best: Option<(f64, f64)> = None; // (predicted, value)
+        for &v in &grid {
+            let mut c = incumbent.clone();
+            c.values[o] = v;
+            let p = predict_cf(engine, sim, &c, objective, incumbent_row);
+            if best.is_none_or(|(bp, _)| p < bp) {
+                best = Some((p, v));
+            }
+        }
+        if let Some((p, v)) = best {
+            if (v - incumbent.values[o]).abs() > 1e-12 {
+                moves.push((p, o, v));
+            }
+        }
+    }
+    moves.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("NaN prediction"));
+    for &(_, o, v) in moves.iter().take(10) {
+        let mut c = incumbent.clone();
+        c.values[o] = v;
+        out.push(c);
+    }
+    // Greedy composition of the strongest moves (2-, 3-, 5-deep).
+    for depth in [2usize, 3, 5] {
+        let mut c = incumbent.clone();
+        for &(_, o, v) in moves.iter().take(depth) {
+            c.values[o] = v;
+        }
+        out.push(c);
+    }
+    // Exploration share.
+    for k in 0..EXPLORE_POOL {
+        let n_changes = 1 + k % 3;
+        out.push(state.ace_weighted_explore(sim, engine, objective, incumbent, n_changes));
+    }
+    out
+}
+
+/// Counterfactual prediction anchored at a measured row: abduct that row's
+/// residuals, intervene with the candidate's options, read the objective.
+/// Near the incumbent this corrects each functional node's systematic bias
+/// with the residuals actually observed there.
+fn predict_cf(
+    engine: &unicorn_inference::CausalEngine,
+    sim: &Simulator,
+    config: &Config,
+    objective: usize,
+    row: usize,
+) -> f64 {
+    let raw: Vec<(usize, f64)> =
+        (0..sim.model.n_options()).map(|i| (i, config.values[i])).collect();
+    engine.scm().counterfactual(row, &raw)[objective]
+}
+
+/// Single-objective optimization of `objective_idx` (0 = latency, …).
+pub fn optimize_single(
+    sim: &Simulator,
+    objective_idx: usize,
+    opts: &UnicornOptions,
+) -> OptimizeOutcome {
+    let start = Instant::now();
+    let mut state = UnicornState::bootstrap(sim, opts);
+    let obj_node = state.data.objective_node(objective_idx);
+
+    // Incumbent = best of the initial samples.
+    let col = state.data.objective_column(objective_idx);
+    let (mut best_row, mut best_value) = col
+        .iter()
+        .enumerate()
+        .min_by(|a, b| a.1.partial_cmp(b.1).expect("NaN objective"))
+        .map(|(i, &v)| (i, v))
+        .expect("non-empty bootstrap");
+    let mut best_config = state.data.config(best_row);
+    let mut history = vec![best_value];
+    let mut tried: Vec<Config> =
+        (0..state.data.n_rows()).map(|r| state.data.config(r)).collect();
+
+    for _ in 0..opts.budget {
+        let engine = state.engine(sim, opts);
+        let explore = state.rng().gen::<f64>() < EPSILON;
+        let next = if explore {
+            let mut rng_clone = state.rng().clone();
+            sim.model.space.random_config(&mut rng_clone)
+        } else {
+            let mut pool =
+                candidates(sim, &mut state, &engine, obj_node, &best_config, best_row);
+            pool.retain(|c| !tried.contains(c));
+            pool.into_iter()
+                .min_by(|a, b| {
+                    predict_cf(&engine, sim, a, obj_node, best_row)
+                        .partial_cmp(&predict_cf(&engine, sim, b, obj_node, best_row))
+                        .expect("NaN prediction")
+                })
+                .unwrap_or_else(|| {
+                    // Every model-suggested move has been measured: the
+                    // model needs fresh evidence elsewhere.
+                    let mut rng_clone = state.rng().clone();
+                    sim.model.space.random_config(&mut rng_clone)
+                })
+        };
+        tried.push(next.clone());
+        let sample = state.measure_and_update(sim, opts, &next);
+        let v = sample.objectives[objective_idx];
+        if v < best_value {
+            best_value = v;
+            best_config = next;
+            best_row = state.data.n_rows() - 1;
+        }
+        history.push(best_value);
+    }
+
+    OptimizeOutcome {
+        best_config,
+        best_value,
+        history,
+        wall_time_s: start.elapsed().as_secs_f64(),
+    }
+}
+
+/// Multi-objective optimization over `objective_idxs` (Fig 15 c/d).
+/// Candidates are scored by random-weight scalarization of SCM
+/// predictions, which walks the Pareto front over iterations; hypervolume
+/// error is tracked against `reference_front` (objective vectors) with
+/// reference point `ref_point`.
+pub fn optimize_multi(
+    sim: &Simulator,
+    objective_idxs: &[usize],
+    reference_front: &[Vec<f64>],
+    ref_point: &[f64; 2],
+    opts: &UnicornOptions,
+) -> MultiOptimizeOutcome {
+    assert_eq!(objective_idxs.len(), 2, "two objectives supported");
+    let start = Instant::now();
+    let mut state = UnicornState::bootstrap(sim, opts);
+    let obj_nodes: Vec<usize> = objective_idxs
+        .iter()
+        .map(|&o| state.data.objective_node(o))
+        .collect();
+
+    let mut evaluated: Vec<Vec<f64>> = (0..state.data.n_rows())
+        .map(|r| {
+            objective_idxs
+                .iter()
+                .map(|&o| state.data.objective_column(o)[r])
+                .collect()
+        })
+        .collect();
+    let mut configs: Vec<Config> =
+        (0..state.data.n_rows()).map(|r| state.data.config(r)).collect();
+    let mut hv_error_history =
+        vec![hypervolume_error(&pareto_front(&evaluated), reference_front, ref_point)];
+
+    for _ in 0..opts.budget {
+        let engine = state.engine(sim, opts);
+        // Random scalarization weight.
+        let w: f64 = state.rng().gen();
+        // Incumbent: the current front member minimizing the scalarized
+        // objective.
+        let front_idx = unicorn_stats::pareto::pareto_front_indices(&evaluated);
+        let incumbent_idx = front_idx
+            .iter()
+            .copied()
+            .min_by(|&a, &b| {
+                let sa = w * evaluated[a][0] + (1.0 - w) * evaluated[a][1];
+                let sb = w * evaluated[b][0] + (1.0 - w) * evaluated[b][1];
+                sa.partial_cmp(&sb).expect("NaN scalarization")
+            })
+            .expect("non-empty front");
+        let incumbent = configs[incumbent_idx].clone();
+
+        let explore = state.rng().gen::<f64>() < EPSILON;
+        let next = if explore {
+            let mut rng_clone = state.rng().clone();
+            sim.model.space.random_config(&mut rng_clone)
+        } else {
+            let mut pool = candidates(
+                sim, &mut state, &engine, obj_nodes[0], &incumbent, incumbent_idx,
+            );
+            pool.extend(candidates(
+                sim, &mut state, &engine, obj_nodes[1], &incumbent, incumbent_idx,
+            ));
+            pool.retain(|c| !configs.contains(c));
+            pool.into_iter()
+                .min_by(|a, b| {
+                    let sa = w * predict_cf(&engine, sim, a, obj_nodes[0], incumbent_idx)
+                        + (1.0 - w) * predict_cf(&engine, sim, a, obj_nodes[1], incumbent_idx)
+                    ;
+                    let sb = w * predict_cf(&engine, sim, b, obj_nodes[0], incumbent_idx)
+                        + (1.0 - w) * predict_cf(&engine, sim, b, obj_nodes[1], incumbent_idx)
+                    ;
+                    sa.partial_cmp(&sb).expect("NaN prediction")
+                })
+                .unwrap_or_else(|| {
+                    let mut rng_clone = state.rng().clone();
+                    sim.model.space.random_config(&mut rng_clone)
+                })
+        };
+        let sample = state.measure_and_update(sim, opts, &next);
+        evaluated.push(
+            objective_idxs.iter().map(|&o| sample.objectives[o]).collect(),
+        );
+        configs.push(next);
+        hv_error_history.push(hypervolume_error(
+            &pareto_front(&evaluated),
+            reference_front,
+            ref_point,
+        ));
+    }
+
+    MultiOptimizeOutcome {
+        front: pareto_front(&evaluated),
+        evaluated,
+        hv_error_history,
+        wall_time_s: start.elapsed().as_secs_f64(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unicorn_systems::{Environment, Hardware, SubjectSystem};
+
+    fn sim() -> Simulator {
+        Simulator::new(
+            SubjectSystem::Xception.build(),
+            Environment::on(Hardware::Tx2),
+            19,
+        )
+    }
+
+    fn opts() -> UnicornOptions {
+        UnicornOptions {
+            initial_samples: 50,
+            budget: 12,
+            relearn_every: 6,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn single_objective_improves_over_bootstrap() {
+        let s = sim();
+        let out = optimize_single(&s, 0, &opts());
+        assert_eq!(out.history.len(), 13);
+        // Monotone best-so-far.
+        for w in out.history.windows(2) {
+            assert!(w[1] <= w[0] + 1e-12);
+        }
+        // Must at least match the bootstrap best.
+        assert!(out.best_value <= out.history[0]);
+        assert!(out.best_value > 0.0);
+    }
+
+    #[test]
+    fn multi_objective_tracks_hypervolume() {
+        let s = sim();
+        // Reference front from a modest random sweep.
+        let ds = unicorn_systems::generate(&s, 150, 77);
+        let pts: Vec<Vec<f64>> = (0..ds.n_rows())
+            .map(|r| vec![ds.objective_column(0)[r], ds.objective_column(1)[r]])
+            .collect();
+        let reference = pareto_front(&pts);
+        let ref_point = [
+            pts.iter().map(|p| p[0]).fold(0.0, f64::max) * 1.1,
+            pts.iter().map(|p| p[1]).fold(0.0, f64::max) * 1.1,
+        ];
+        let out = optimize_multi(&s, &[0, 1], &reference, &ref_point, &opts());
+        assert_eq!(out.hv_error_history.len(), 13);
+        // Error never increases (front only grows).
+        for w in out.hv_error_history.windows(2) {
+            assert!(w[1] <= w[0] + 1e-12);
+        }
+        assert!(!out.front.is_empty());
+    }
+}

@@ -1,0 +1,139 @@
+//! Transferability (§8, Fig 16/17, Table 15): reusing causal performance
+//! models across hardware platforms and workloads.
+//!
+//! Three regimes, as in the paper:
+//! * **Reuse** — apply the source-environment model directly in the target.
+//! * **+K** — keep the source structure and data, add `K` fresh target
+//!   samples, refit, and run the loop with the remaining budget.
+//! * **Rerun** — learn everything from scratch in the target.
+
+use std::time::Instant;
+
+use unicorn_systems::{Fault, FaultCatalog, Simulator};
+
+use crate::debug_task::{debug_fault_with_state, DebugOutcome};
+use crate::unicorn::{UnicornOptions, UnicornState};
+
+/// Transfer regime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransferMode {
+    /// Source model applied unchanged.
+    Reuse,
+    /// Source model updated with this many target samples.
+    Update(usize),
+    /// Fresh run in the target environment.
+    Rerun,
+}
+
+impl TransferMode {
+    /// Display label matching the paper's figures.
+    pub fn label(&self) -> String {
+        match self {
+            TransferMode::Reuse => "Reuse".to_string(),
+            TransferMode::Update(k) => format!("+{k}"),
+            TransferMode::Rerun => "Rerun".to_string(),
+        }
+    }
+}
+
+/// Learns a source-environment state (data + causal model) for reuse.
+pub fn learn_source_state(
+    source_sim: &Simulator,
+    opts: &UnicornOptions,
+) -> UnicornState {
+    let mut state = UnicornState::bootstrap(source_sim, opts);
+    state.relearn(source_sim, opts);
+    state
+}
+
+/// Runs a transfer-debugging experiment in the target environment.
+///
+/// For `Reuse`, the source data and structure drive repair recommendation
+/// directly (budget still allows measuring candidate repairs in the
+/// target, which is how the paper evaluates reused models). For
+/// `Update(k)`, `k` target samples are appended and the structure is
+/// relearned once before the loop. `Rerun` bootstraps from scratch.
+pub fn transfer_debug(
+    source_state: &UnicornState,
+    target_sim: &Simulator,
+    fault: &Fault,
+    catalog: &FaultCatalog,
+    opts: &UnicornOptions,
+    mode: TransferMode,
+) -> DebugOutcome {
+    let start = Instant::now();
+    match mode {
+        TransferMode::Reuse => {
+            let mut state = source_state.fork(opts.seed);
+            debug_fault_with_state(target_sim, fault, catalog, opts, &mut state, start)
+        }
+        TransferMode::Update(k) => {
+            let mut state = source_state.fork(opts.seed);
+            let fresh = unicorn_systems::generate(target_sim, k, opts.seed ^ 0xBEEF);
+            state.data = state.data.extended_with(&fresh);
+            state.relearn(target_sim, opts);
+            debug_fault_with_state(target_sim, fault, catalog, opts, &mut state, start)
+        }
+        TransferMode::Rerun => {
+            let mut state = UnicornState::bootstrap(target_sim, opts);
+            debug_fault_with_state(target_sim, fault, catalog, opts, &mut state, start)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unicorn_systems::{
+        discover_faults, Environment, FaultDiscoveryOptions, Hardware, SubjectSystem,
+    };
+
+    #[test]
+    fn transfer_modes_all_improve_the_fault() {
+        let source = Simulator::new(
+            SubjectSystem::Xception.build(),
+            Environment::on(Hardware::Xavier),
+            21,
+        );
+        let target = Simulator::new(
+            SubjectSystem::Xception.build(),
+            Environment::on(Hardware::Tx2),
+            22,
+        );
+        let catalog = discover_faults(
+            &target,
+            &FaultDiscoveryOptions { n_samples: 400, ace_bases: 4, ..Default::default() },
+        );
+        let fault = catalog
+            .faults
+            .iter()
+            .find(|f| f.objectives.contains(&1))
+            .or_else(|| catalog.faults.first())
+            .expect("a fault exists");
+        let opts = UnicornOptions {
+            initial_samples: 50,
+            budget: 6,
+            relearn_every: 5,
+            ..Default::default()
+        };
+        let src_state = learn_source_state(&source, &opts);
+        for mode in [TransferMode::Reuse, TransferMode::Update(15), TransferMode::Rerun] {
+            let out = transfer_debug(&src_state, &target, fault, &catalog, &opts, mode);
+            let o = fault.objectives[0];
+            let before = fault.true_objectives[o];
+            let after = target.true_objectives(&out.best_config)[o];
+            assert!(
+                after <= before,
+                "{}: {after} !<= {before}",
+                mode.label()
+            );
+        }
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(TransferMode::Reuse.label(), "Reuse");
+        assert_eq!(TransferMode::Update(25).label(), "+25");
+        assert_eq!(TransferMode::Rerun.label(), "Rerun");
+    }
+}

@@ -1,0 +1,295 @@
+//! The Unicorn loop (Fig 7): specify query → learn causal performance
+//! model → determine next configuration → measure & update → estimate.
+//!
+//! This module owns the shared machinery: model learning over accumulated
+//! measurements, engine construction, and ACE-guided exploration. The
+//! debugging and optimization tasks build their Stage III policies on top.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use unicorn_discovery::{learn_causal_model, DiscoveryOptions, LearnedModel};
+use unicorn_graph::NodeId;
+use unicorn_inference::{CausalEngine, FittedScm, RepairOptions};
+use unicorn_systems::{Config, Dataset, Simulator};
+
+/// Tunables of the Unicorn loop.
+#[derive(Debug, Clone)]
+pub struct UnicornOptions {
+    /// Initial random samples before the first model (paper: 25,
+    /// "10% of the total sampling budget").
+    pub initial_samples: usize,
+    /// Maximum additional measurements the loop may spend.
+    pub budget: usize,
+    /// Structure-learning configuration.
+    pub discovery: DiscoveryOptions,
+    /// Repair/path configuration.
+    pub repair: RepairOptions,
+    /// Relearn the causal structure every this many measurements
+    /// (the SCM is refitted on every new sample regardless).
+    pub relearn_every: usize,
+    /// Terminate after this many consecutive repetitions of the same
+    /// chosen configuration (§4: "the same configuration has been selected
+    /// a certain number of times consecutively").
+    pub stagnation_limit: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for UnicornOptions {
+    fn default() -> Self {
+        Self {
+            initial_samples: 25,
+            budget: 25,
+            discovery: DiscoveryOptions {
+                // Bounded conditioning keeps the loop interactive at the
+                // 50-plus-variable scale of the subject systems; the
+                // paper's depth=-1 remains available via `max_depth`. The
+                // stricter alpha keeps true edges alive under the heavy
+                // collinearity of perf counters (L1 loads ≈ instructions),
+                // where a looser test prunes real mechanism links.
+                alpha: 0.01,
+                max_depth: 2,
+                pds_depth: 1,
+                ..DiscoveryOptions::default()
+            },
+            repair: RepairOptions::default(),
+            relearn_every: 5,
+            stagnation_limit: 3,
+            seed: 0x17171717,
+        }
+    }
+}
+
+/// The evolving Unicorn state: data so far, current structure, current
+/// engine.
+pub struct UnicornState {
+    /// Accumulated measurements.
+    pub data: Dataset,
+    /// Current learned structure.
+    pub model: LearnedModel,
+    /// Measurements since the last structure relearn.
+    pub since_relearn: usize,
+    /// Total measurements taken by the loop (excluding initial samples).
+    pub measurements: usize,
+    rng: StdRng,
+}
+
+impl UnicornState {
+    /// Bootstraps the loop: draws the initial sample set and learns the
+    /// first causal performance model.
+    pub fn bootstrap(sim: &Simulator, opts: &UnicornOptions) -> Self {
+        let data = unicorn_systems::generate(sim, opts.initial_samples, opts.seed);
+        let model = learn_causal_model(
+            &data.columns,
+            &data.names,
+            &sim.model.tiers(),
+            &opts.discovery,
+        );
+        Self {
+            data,
+            model,
+            since_relearn: 0,
+            measurements: 0,
+            rng: StdRng::seed_from_u64(opts.seed ^ 0x5EED),
+        }
+    }
+
+    /// Builds the causal engine over the current structure and data.
+    pub fn engine(&self, sim: &Simulator, opts: &UnicornOptions) -> CausalEngine {
+        let scm = FittedScm::fit(self.model.admg.clone(), &self.data.columns)
+            .expect("SCM fit failed");
+        CausalEngine::new(
+            scm,
+            sim.model.tiers(),
+            Box::new(self.data.domains(sim)),
+        )
+        .with_repair_options(opts.repair.clone())
+    }
+
+    /// Measures a configuration, appends the sample, and relearns the
+    /// structure on the configured cadence. Returns the measured sample.
+    pub fn measure_and_update(
+        &mut self,
+        sim: &Simulator,
+        opts: &UnicornOptions,
+        config: &Config,
+    ) -> unicorn_systems::Sample {
+        let sample = sim.measure(config);
+        self.data.push(&sample);
+        self.measurements += 1;
+        self.since_relearn += 1;
+        if self.since_relearn >= opts.relearn_every {
+            self.relearn(sim, opts);
+        }
+        sample
+    }
+
+    /// Forces a structure relearn from all accumulated data (Stage IV).
+    pub fn relearn(&mut self, sim: &Simulator, opts: &UnicornOptions) {
+        self.model = learn_causal_model(
+            &self.data.columns,
+            &self.data.names,
+            &sim.model.tiers(),
+            &opts.discovery,
+        );
+        self.since_relearn = 0;
+    }
+
+    /// ACE-guided exploration (Stage III fallback): picks options with
+    /// probability proportional to their causal effect on `objective` and
+    /// assigns them random permissible values; unselected options keep the
+    /// values of `base`. "Changes in the options [with higher effects] are
+    /// more likely to have a larger effect on performance objectives, and
+    /// therefore we can learn more about the performance behavior."
+    pub fn ace_weighted_explore(
+        &mut self,
+        sim: &Simulator,
+        engine: &CausalEngine,
+        objective: NodeId,
+        base: &Config,
+        n_changes: usize,
+    ) -> Config {
+        self.ace_weighted_explore_excluding(sim, engine, objective, base, n_changes, &[])
+    }
+
+    /// [`Self::ace_weighted_explore`] with an exclusion list: options a
+    /// partially successful repair already fixed should not be perturbed
+    /// while hunting for the remaining causes.
+    pub fn ace_weighted_explore_excluding(
+        &mut self,
+        sim: &Simulator,
+        engine: &CausalEngine,
+        objective: NodeId,
+        base: &Config,
+        n_changes: usize,
+        exclude: &[NodeId],
+    ) -> Config {
+        let mut effects = engine.option_effects(objective);
+        effects.retain(|&(o, _)| !exclude.contains(&o));
+        if effects.is_empty() {
+            return base.clone();
+        }
+        let total: f64 = effects.iter().map(|&(_, e)| e.max(1e-9)).sum();
+        let mut config = base.clone();
+        for _ in 0..n_changes.max(1) {
+            // Mostly roulette-wheel selection over ACEs, with a uniform
+            // share so options the current model has not (yet) connected
+            // to the objective still get visited — otherwise a missing
+            // edge could never be discovered by the loop's own samples.
+            let chosen = if self.rng.gen::<f64>() < 0.3 {
+                effects[self.rng.gen_range(0..effects.len())].0
+            } else {
+                let mut ball = self.rng.gen::<f64>() * total;
+                let mut pick = effects[0].0;
+                for &(o, e) in &effects {
+                    ball -= e.max(1e-9);
+                    if ball <= 0.0 {
+                        pick = o;
+                        break;
+                    }
+                }
+                pick
+            };
+            let grid = &sim.model.space.option(chosen).values;
+            if grid.len() < 2 {
+                continue;
+            }
+            // Pick a value different from the current one so every
+            // exploration step actually moves.
+            let cur = sim.model.space.option(chosen).nearest_index(config.values[chosen]);
+            let mut j = self.rng.gen_range(0..grid.len());
+            if j == cur {
+                j = (j + 1) % grid.len();
+            }
+            config.values[chosen] = grid[j];
+        }
+        config
+    }
+
+    /// Mutable access to the loop RNG (shared by task policies).
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+
+    /// Deep copy with a fresh RNG and reset counters — used by the
+    /// transfer experiments so reuse runs do not mutate the cached source
+    /// state.
+    pub fn fork(&self, seed: u64) -> UnicornState {
+        UnicornState {
+            data: self.data.clone(),
+            model: self.model.clone(),
+            since_relearn: 0,
+            measurements: 0,
+            rng: StdRng::seed_from_u64(seed ^ 0x7272),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unicorn_systems::{Environment, Hardware, SubjectSystem};
+
+    fn sim() -> Simulator {
+        Simulator::new(
+            SubjectSystem::X264.build(),
+            Environment::on(Hardware::Tx2),
+            3,
+        )
+    }
+
+    fn small_opts() -> UnicornOptions {
+        UnicornOptions {
+            initial_samples: 40,
+            budget: 5,
+            relearn_every: 3,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn bootstrap_learns_a_structure() {
+        let s = sim();
+        let opts = small_opts();
+        let st = UnicornState::bootstrap(&s, &opts);
+        assert_eq!(st.data.n_rows(), 40);
+        assert!(st.model.admg.directed_edges().len() > 3);
+        // The objective must have at least one cause in the learned model.
+        let obj = st.data.objective_node(0);
+        assert!(
+            !st.model.admg.parents(obj).is_empty(),
+            "objective has no parents"
+        );
+    }
+
+    #[test]
+    fn measure_and_update_accumulates_and_relearns() {
+        let s = sim();
+        let opts = small_opts();
+        let mut st = UnicornState::bootstrap(&s, &opts);
+        let c = s.model.space.default_config();
+        st.measure_and_update(&s, &opts, &c);
+        st.measure_and_update(&s, &opts, &c);
+        assert_eq!(st.since_relearn, 2);
+        st.measure_and_update(&s, &opts, &c); // triggers relearn (every 3)
+        assert_eq!(st.since_relearn, 0);
+        assert_eq!(st.data.n_rows(), 43);
+        assert_eq!(st.measurements, 3);
+    }
+
+    #[test]
+    fn exploration_changes_only_grid_values() {
+        let s = sim();
+        let opts = small_opts();
+        let mut st = UnicornState::bootstrap(&s, &opts);
+        let engine = st.engine(&s, &opts);
+        let base = s.model.space.default_config();
+        let obj = st.data.objective_node(0);
+        let c = st.ace_weighted_explore(&s, &engine, obj, &base, 3);
+        for (i, v) in c.values.iter().enumerate() {
+            assert!(s.model.space.option(i).values.contains(v));
+        }
+        assert!(s.model.space.config_distance(&base, &c) <= 3);
+    }
+}

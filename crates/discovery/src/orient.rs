@@ -1,0 +1,373 @@
+//! Edge orientation: v-structures (colliders) plus the FCI orientation
+//! rules (Zhang 2008, R1–R4 and R8), constrained by tier knowledge.
+//!
+//! Tier constraints are applied *before* the rules, so every edge incident
+//! to a configuration option or an objective is already fully oriented; the
+//! rules then propagate orientations through the event layer.
+
+use unicorn_graph::{Endpoint, MixedGraph, NodeId, TierConstraints};
+
+use crate::skeleton::SepsetMap;
+
+/// Sets an arrowhead at `at` on edge `(at, other)` unless tiers forbid it.
+/// Returns true if the mark changed.
+fn set_arrow(
+    g: &mut MixedGraph,
+    at: NodeId,
+    other: NodeId,
+    tiers: &TierConstraints,
+) -> bool {
+    if tiers.arrowhead_forbidden_at(at, other) {
+        return false;
+    }
+    if g.mark_at(at, other) == Some(Endpoint::Arrow) {
+        return false;
+    }
+    g.orient(at, other, Endpoint::Arrow);
+    true
+}
+
+/// Sets a tail at `at` on edge `(at, other)`. Returns true if changed.
+fn set_tail(g: &mut MixedGraph, at: NodeId, other: NodeId) -> bool {
+    if g.mark_at(at, other) == Some(Endpoint::Tail) {
+        return false;
+    }
+    g.orient(at, other, Endpoint::Tail);
+    true
+}
+
+/// Orients unshielded colliders: for every triple `x — z — y` with `x` and
+/// `y` non-adjacent and `z ∉ sepset(x, y)`, orient `x *→ z ←* y`.
+pub fn orient_v_structures(
+    g: &mut MixedGraph,
+    sepsets: &SepsetMap,
+    tiers: &TierConstraints,
+) {
+    let n = g.n_nodes();
+    for z in 0..n {
+        let adj = g.adjacencies(z);
+        for (i, &x) in adj.iter().enumerate() {
+            for &y in adj.iter().skip(i + 1) {
+                if g.adjacent(x, y) {
+                    continue;
+                }
+                if !sepsets.contains(x, y, z) {
+                    set_arrow(g, z, x, tiers);
+                    set_arrow(g, z, y, tiers);
+                }
+            }
+        }
+    }
+}
+
+/// Applies FCI orientation rules R1–R4 and R8 until fixpoint.
+///
+/// With marks written `x {mark at x}—{mark at y} y`:
+/// * **R1** `a *→ b o—* c`, `a` and `c` non-adjacent ⇒ `b → c`.
+/// * **R2** `a → b *→ c` or `a *→ b → c`, and `a *—o c` ⇒ `a *→ c`.
+/// * **R3** `a *→ b ←* c`, `a *—o d o—* c`, `a, c` non-adjacent,
+///   `d *—o b` ⇒ `d *→ b`.
+/// * **R4** discriminating path `⟨d, …, a, b, c⟩` for `b`: if
+///   `b ∈ sepset(d, c)` orient `b → c`, else `a ↔ b ↔ c`.
+/// * **R8** `a → b → c` and `a o→ c` ⇒ `a → c`.
+pub fn apply_fci_rules(
+    g: &mut MixedGraph,
+    sepsets: &SepsetMap,
+    tiers: &TierConstraints,
+) {
+    loop {
+        let mut changed = false;
+        changed |= rule_r1(g, tiers);
+        changed |= rule_r2(g, tiers);
+        changed |= rule_r3(g, tiers);
+        changed |= rule_r4(g, sepsets, tiers);
+        changed |= rule_r8(g);
+        if !changed {
+            break;
+        }
+    }
+}
+
+fn rule_r1(g: &mut MixedGraph, tiers: &TierConstraints) -> bool {
+    let mut changed = false;
+    let n = g.n_nodes();
+    for b in 0..n {
+        let adj = g.adjacencies(b);
+        for &a in &adj {
+            // Need an arrowhead at b on (a, b).
+            if g.mark_at(b, a) != Some(Endpoint::Arrow) {
+                continue;
+            }
+            for &c in &adj {
+                if c == a || g.adjacent(a, c) {
+                    continue;
+                }
+                // Need circle at b on (b, c).
+                if g.mark_at(b, c) == Some(Endpoint::Circle) {
+                    changed |= set_tail(g, b, c);
+                    changed |= set_arrow(g, c, b, tiers);
+                }
+            }
+        }
+    }
+    changed
+}
+
+fn rule_r2(g: &mut MixedGraph, tiers: &TierConstraints) -> bool {
+    let mut changed = false;
+    let n = g.n_nodes();
+    for a in 0..n {
+        for c in g.adjacencies(a) {
+            // Need circle at c on (a, c).
+            if g.mark_at(c, a) != Some(Endpoint::Circle) {
+                continue;
+            }
+            // Look for b with (a → b *→ c) or (a *→ b → c).
+            let found = g.adjacencies(a).iter().any(|&b| {
+                if b == c || !g.adjacent(b, c) {
+                    return false;
+                }
+                let a_to_b = g.is_directed(a, b);
+                let b_arrow_c = g.mark_at(c, b) == Some(Endpoint::Arrow);
+                let a_arrow_b = g.mark_at(b, a) == Some(Endpoint::Arrow);
+                let b_to_c = g.is_directed(b, c);
+                (a_to_b && b_arrow_c) || (a_arrow_b && b_to_c)
+            });
+            if found {
+                changed |= set_arrow(g, c, a, tiers);
+            }
+        }
+    }
+    changed
+}
+
+fn rule_r3(g: &mut MixedGraph, tiers: &TierConstraints) -> bool {
+    let mut changed = false;
+    let n = g.n_nodes();
+    for b in 0..n {
+        let adj_b = g.adjacencies(b);
+        for &d in &adj_b {
+            // Need d *—o b (circle at b on (d, b)).
+            if g.mark_at(b, d) != Some(Endpoint::Circle) {
+                continue;
+            }
+            // Find a, c: a *→ b ←* c, a *—o d o—* c, a and c non-adjacent.
+            let mut fire = false;
+            'outer: for &a in &adj_b {
+                if a == d || g.mark_at(b, a) != Some(Endpoint::Arrow) {
+                    continue;
+                }
+                for &c in &adj_b {
+                    if c == a || c == d || g.mark_at(b, c) != Some(Endpoint::Arrow) {
+                        continue;
+                    }
+                    if g.adjacent(a, c) {
+                        continue;
+                    }
+                    let a_d_circle = g.mark_at(d, a) == Some(Endpoint::Circle);
+                    let c_d_circle = g.mark_at(d, c) == Some(Endpoint::Circle);
+                    if a_d_circle && c_d_circle {
+                        fire = true;
+                        break 'outer;
+                    }
+                }
+            }
+            if fire {
+                changed |= set_arrow(g, b, d, tiers);
+            }
+        }
+    }
+    changed
+}
+
+/// Searches for a discriminating path ⟨d, …, a, b, c⟩ for `b`: every vertex
+/// between `d` and `b` is a collider on the path and a parent of `c`; `d`
+/// and `c` are non-adjacent. Bounded depth keeps this polynomial.
+fn rule_r4(g: &mut MixedGraph, sepsets: &SepsetMap, tiers: &TierConstraints) -> bool {
+    const MAX_PATH: usize = 6;
+    let mut changed = false;
+    let n = g.n_nodes();
+    for b in 0..n {
+        for c in g.adjacencies(b) {
+            // Need a circle at b on (b, c) for the rule to have effect.
+            if g.mark_at(b, c) != Some(Endpoint::Circle) {
+                continue;
+            }
+            // Walk backwards from b through colliders that are parents of c.
+            // State: path suffix ⟨…, a, b⟩.
+            let mut stack: Vec<Vec<NodeId>> = g
+                .adjacencies(b)
+                .iter()
+                .filter(|&&a| {
+                    a != c
+                        && g.mark_at(b, a) == Some(Endpoint::Arrow)
+                        && g.adjacent(a, c)
+                })
+                .map(|&a| vec![b, a])
+                .collect();
+            while let Some(path) = stack.pop() {
+                if path.len() > MAX_PATH {
+                    continue;
+                }
+                let head = *path.last().expect("non-empty");
+                // Extend from `head` to candidate predecessors u with
+                // u *→ head and head a collider (arrow at head from both
+                // sides) and head → c.
+                let head_is_collider_capable = g.mark_at(head, path[path.len() - 2])
+                    == Some(Endpoint::Arrow);
+                if !head_is_collider_capable || !g.is_directed(head, c) {
+                    continue;
+                }
+                for u in g.adjacencies(head) {
+                    if path.contains(&u) || u == c {
+                        continue;
+                    }
+                    if g.mark_at(head, u) != Some(Endpoint::Arrow) {
+                        continue;
+                    }
+                    if !g.adjacent(u, c) {
+                        // u plays the role of d: discriminating path found.
+                        if sepsets.contains(u, c, b) {
+                            changed |= set_tail(g, b, c);
+                            changed |= set_arrow(g, c, b, tiers);
+                        } else {
+                            changed |= set_arrow(g, b, path[path.len() - 2], tiers);
+                            changed |= set_arrow(g, b, c, tiers);
+                            changed |= set_arrow(g, c, b, tiers);
+                        }
+                    } else if g.is_directed(u, c) {
+                        let mut next = path.clone();
+                        next.push(u);
+                        stack.push(next);
+                    }
+                }
+            }
+        }
+    }
+    changed
+}
+
+fn rule_r8(g: &mut MixedGraph) -> bool {
+    let mut changed = false;
+    let n = g.n_nodes();
+    for a in 0..n {
+        for c in g.adjacencies(a) {
+            // Need a o→ c.
+            if g.mark_at(a, c) != Some(Endpoint::Circle)
+                || g.mark_at(c, a) != Some(Endpoint::Arrow)
+            {
+                continue;
+            }
+            let found = g
+                .adjacencies(a)
+                .iter()
+                .any(|&b| b != c && g.is_directed(a, b) && g.is_directed(b, c));
+            if found {
+                changed |= set_tail(g, a, c);
+            }
+        }
+    }
+    changed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unicorn_graph::VarKind;
+
+    fn names(n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("v{i}")).collect()
+    }
+
+    fn events(n: usize) -> TierConstraints {
+        TierConstraints::new(vec![VarKind::SystemEvent; n])
+    }
+
+    #[test]
+    fn v_structure_orientation() {
+        // Skeleton 0—2—1 with sepset(0,1) = ∅ (2 not in it) ⇒ 0 *→ 2 ←* 1.
+        let mut g = MixedGraph::new(names(3));
+        g.add_circle_edge(0, 2);
+        g.add_circle_edge(1, 2);
+        let mut sep = SepsetMap::default();
+        sep.insert(0, 1, vec![]);
+        orient_v_structures(&mut g, &sep, &events(3));
+        assert_eq!(g.mark_at(2, 0), Some(Endpoint::Arrow));
+        assert_eq!(g.mark_at(2, 1), Some(Endpoint::Arrow));
+        // The far marks stay circles.
+        assert_eq!(g.mark_at(0, 2), Some(Endpoint::Circle));
+    }
+
+    #[test]
+    fn no_collider_when_in_sepset() {
+        let mut g = MixedGraph::new(names(3));
+        g.add_circle_edge(0, 2);
+        g.add_circle_edge(1, 2);
+        let mut sep = SepsetMap::default();
+        sep.insert(0, 1, vec![2]);
+        orient_v_structures(&mut g, &sep, &events(3));
+        assert_eq!(g.mark_at(2, 0), Some(Endpoint::Circle));
+    }
+
+    #[test]
+    fn r1_propagates_orientation() {
+        // 0 *→ 1 o—o 2, 0 and 2 non-adjacent ⇒ 1 → 2.
+        let mut g = MixedGraph::new(names(3));
+        g.set_edge(0, 1, Endpoint::Circle, Endpoint::Arrow);
+        g.add_circle_edge(1, 2);
+        apply_fci_rules(&mut g, &SepsetMap::default(), &events(3));
+        assert!(g.is_directed(1, 2));
+    }
+
+    #[test]
+    fn r2_orients_into_descendant() {
+        // 0 → 1 → 2 and 0 o—o 2 ⇒ arrow at 2 on (0, 2).
+        let mut g = MixedGraph::new(names(3));
+        g.add_directed_edge(0, 1);
+        g.add_directed_edge(1, 2);
+        g.add_circle_edge(0, 2);
+        apply_fci_rules(&mut g, &SepsetMap::default(), &events(3));
+        assert_eq!(g.mark_at(2, 0), Some(Endpoint::Arrow));
+    }
+
+    #[test]
+    fn tier_blocks_arrow_into_option() {
+        // Event 0 *→ option 1 would be required by a collider, but tiers
+        // forbid it; the mark must remain unchanged.
+        let tiers = TierConstraints::new(vec![
+            VarKind::SystemEvent,
+            VarKind::ConfigOption,
+            VarKind::SystemEvent,
+        ]);
+        let mut g = MixedGraph::new(names(3));
+        g.add_circle_edge(0, 1);
+        g.add_circle_edge(2, 1);
+        let mut sep = SepsetMap::default();
+        sep.insert(0, 2, vec![]);
+        orient_v_structures(&mut g, &sep, &tiers);
+        assert_eq!(g.mark_at(1, 0), Some(Endpoint::Circle));
+    }
+
+    #[test]
+    fn r8_sets_tail() {
+        // 0 → 1 → 2, 0 o→ 2 ⇒ 0 → 2.
+        let mut g = MixedGraph::new(names(3));
+        g.add_directed_edge(0, 1);
+        g.add_directed_edge(1, 2);
+        g.set_edge(0, 2, Endpoint::Circle, Endpoint::Arrow);
+        apply_fci_rules(&mut g, &SepsetMap::default(), &events(3));
+        assert!(g.is_directed(0, 2));
+    }
+
+    #[test]
+    fn rules_reach_fixpoint_on_chain() {
+        // 0 *→ 1 o—o 2 o—o 3 chain with no shields: R1 cascades.
+        let mut g = MixedGraph::new(names(4));
+        g.set_edge(0, 1, Endpoint::Circle, Endpoint::Arrow);
+        g.add_circle_edge(1, 2);
+        g.add_circle_edge(2, 3);
+        apply_fci_rules(&mut g, &SepsetMap::default(), &events(4));
+        assert!(g.is_directed(1, 2));
+        assert!(g.is_directed(2, 3));
+    }
+}

@@ -1,0 +1,267 @@
+//! PAG → ADMG resolution (§4, "Resolving partially directed edges").
+//!
+//! FCI leaves circle marks wherever the data alone cannot decide. For each
+//! such edge the paper's pipeline (i) asks LatentSearch whether a
+//! low-entropy latent confounder explains the dependence — if so the edge
+//! becomes bidirected; (ii) otherwise picks the direction whose exogenous
+//! variable has lower entropy. Tier constraints always win: nothing points
+//! into a configuration option and objectives stay sinks.
+
+use unicorn_graph::{Admg, Endpoint, MixedGraph, NodeId, TierConstraints};
+use unicorn_stats::discretize::Discretizer;
+
+use crate::entropic::{entropic_direction, Direction};
+use crate::latent_search::{latent_search, LatentSearchOptions};
+
+/// How an ambiguous edge was resolved (kept for diagnostics/tests).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Resolution {
+    /// Kept the orientation FCI had already fixed.
+    AlreadyOriented,
+    /// LatentSearch found a low-entropy confounder.
+    Confounded,
+    /// Entropic direction decided.
+    Entropic(Direction),
+    /// Tier constraints forced the direction.
+    Tiered,
+}
+
+/// Options for the resolution step.
+#[derive(Debug, Clone)]
+pub struct ResolveOptions {
+    /// Bins for discretizing continuous variables.
+    pub bins: usize,
+    /// Columns with at most this many distinct values are categorical.
+    pub max_levels: usize,
+    /// LatentSearch configuration.
+    pub latent: LatentSearchOptions,
+    /// Tie tolerance (bits) for the entropic direction.
+    pub entropic_tol: f64,
+}
+
+impl Default for ResolveOptions {
+    fn default() -> Self {
+        Self {
+            bins: 5,
+            max_levels: 8,
+            latent: LatentSearchOptions::default(),
+            entropic_tol: 0.0,
+        }
+    }
+}
+
+/// A directed-edge candidate awaiting cycle-safe insertion.
+struct Candidate {
+    from: NodeId,
+    to: NodeId,
+    confidence: f64,
+}
+
+/// Resolves a PAG into an ADMG using entropic causal discovery, inserting
+/// directed edges in descending confidence order and demoting any edge
+/// that would create a cycle (first to its reverse, then to bidirected).
+pub fn resolve_pag(
+    pag: &MixedGraph,
+    columns: &[Vec<f64>],
+    tiers: &TierConstraints,
+    opts: &ResolveOptions,
+) -> (Admg, Vec<(NodeId, NodeId, Resolution)>) {
+    let mut admg = Admg::new(pag.names().to_vec());
+    let mut log = Vec::new();
+    let mut candidates: Vec<Candidate> = Vec::new();
+
+    // Lazily discretize only the columns that need entropic treatment.
+    let mut codes: Vec<Option<(Vec<usize>, usize)>> = vec![None; columns.len()];
+    let code_of = |v: NodeId, codes: &mut Vec<Option<(Vec<usize>, usize)>>| {
+        if codes[v].is_none() {
+            let d = Discretizer::fit(&columns[v], opts.bins, opts.max_levels);
+            codes[v] = Some((d.transform(&columns[v]), d.arity()));
+        }
+        codes[v].clone().expect("just set")
+    };
+
+    for e in pag.edges() {
+        let (a, b) = (e.a, e.b);
+        match (e.mark_a, e.mark_b) {
+            // Fully resolved already.
+            (Endpoint::Tail, Endpoint::Arrow) => {
+                candidates.push(Candidate { from: a, to: b, confidence: f64::INFINITY });
+                log.push((a, b, Resolution::AlreadyOriented));
+            }
+            (Endpoint::Arrow, Endpoint::Tail) => {
+                candidates.push(Candidate { from: b, to: a, confidence: f64::INFINITY });
+                log.push((b, a, Resolution::AlreadyOriented));
+            }
+            (Endpoint::Arrow, Endpoint::Arrow) => {
+                admg.add_bidirected(a, b);
+                log.push((a, b, Resolution::Confounded));
+            }
+            // Tail–circle: the tail end is an ancestor ⇒ orient out of it.
+            (Endpoint::Tail, Endpoint::Circle) => {
+                candidates.push(Candidate { from: a, to: b, confidence: f64::INFINITY });
+                log.push((a, b, Resolution::Tiered));
+            }
+            (Endpoint::Circle, Endpoint::Tail) => {
+                candidates.push(Candidate { from: b, to: a, confidence: f64::INFINITY });
+                log.push((b, a, Resolution::Tiered));
+            }
+            // Circle–arrow (a o→ b): either a → b or a ↔ b.
+            (Endpoint::Circle, Endpoint::Arrow) | (Endpoint::Arrow, Endpoint::Circle) => {
+                let (tail_end, head_end) = if e.mark_a == Endpoint::Circle {
+                    (a, b)
+                } else {
+                    (b, a)
+                };
+                let (cx, ax) = code_of(tail_end, &mut codes);
+                let (cy, ay) = code_of(head_end, &mut codes);
+                let ls = latent_search(&cx, &cy, ax, ay, &opts.latent);
+                if ls.confounded && !tiers.arrowhead_forbidden_at(tail_end, head_end) {
+                    admg.add_bidirected(tail_end, head_end);
+                    log.push((tail_end, head_end, Resolution::Confounded));
+                } else {
+                    candidates.push(Candidate {
+                        from: tail_end,
+                        to: head_end,
+                        confidence: 1.0,
+                    });
+                    log.push((tail_end, head_end, Resolution::Tiered));
+                }
+            }
+            // Tail–tail encodes selection bias, which the causal
+            // performance model excludes; treat it like full ambiguity
+            // minus the confounder option.
+            (Endpoint::Tail, Endpoint::Tail) | (Endpoint::Circle, Endpoint::Circle) => {
+                let (cx, ax) = code_of(a, &mut codes);
+                let (cy, ay) = code_of(b, &mut codes);
+                let ls = latent_search(&cx, &cy, ax, ay, &opts.latent);
+                let a_in_forbidden = tiers.arrowhead_forbidden_at(a, b);
+                let b_in_forbidden = tiers.arrowhead_forbidden_at(b, a);
+                if ls.confounded && !a_in_forbidden && !b_in_forbidden {
+                    admg.add_bidirected(a, b);
+                    log.push((a, b, Resolution::Confounded));
+                    continue;
+                }
+                let (dir, gap) =
+                    entropic_direction(&cx, &cy, ax, ay, opts.entropic_tol);
+                let (mut from, mut to) = match dir {
+                    Direction::Forward => (a, b),
+                    Direction::Backward => (b, a),
+                };
+                // Tier veto: never point into an option.
+                if tiers.arrowhead_forbidden_at(to, from) {
+                    std::mem::swap(&mut from, &mut to);
+                }
+                candidates.push(Candidate { from, to, confidence: gap });
+                log.push((from, to, Resolution::Entropic(dir)));
+            }
+        }
+    }
+
+    // Insert directed candidates most-confident first; resolve conflicts.
+    candidates.sort_by(|x, y| {
+        y.confidence
+            .partial_cmp(&x.confidence)
+            .expect("NaN confidence")
+    });
+    for c in candidates {
+        if admg.try_add_directed(c.from, c.to) {
+            continue;
+        }
+        // Preferred direction closes a cycle: try the reverse unless tiers
+        // forbid it; as a last resort record confounding.
+        if !tiers.arrowhead_forbidden_at(c.from, c.to)
+            && admg.try_add_directed(c.to, c.from)
+        {
+            continue;
+        }
+        admg.add_bidirected(c.from, c.to);
+    }
+    (admg, log)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unicorn_graph::VarKind;
+
+    fn names(n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("v{i}")).collect()
+    }
+
+    fn events(n: usize) -> TierConstraints {
+        TierConstraints::new(vec![VarKind::SystemEvent; n])
+    }
+
+    #[test]
+    fn resolved_pag_roundtrips() {
+        // Already-directed PAG stays the same.
+        let mut pag = MixedGraph::new(names(3));
+        pag.add_directed_edge(0, 1);
+        pag.add_directed_edge(1, 2);
+        let cols = vec![vec![0.0; 10], vec![0.0; 10], vec![0.0; 10]];
+        let (admg, _) =
+            resolve_pag(&pag, &cols, &events(3), &ResolveOptions::default());
+        assert_eq!(admg.directed_edges().len(), 2);
+        assert!(admg.is_dag());
+    }
+
+    #[test]
+    fn circle_edge_resolved_by_entropy() {
+        // X uniform over 4 levels, Y = X / 2 (deterministic coarsening):
+        // entropic direction must pick X → Y.
+        let x: Vec<f64> = (0..400).map(|i| (i % 4) as f64).collect();
+        let y: Vec<f64> = x.iter().map(|v| (v / 2.0).floor()).collect();
+        let mut pag = MixedGraph::new(names(2));
+        pag.add_circle_edge(0, 1);
+        let (admg, log) =
+            resolve_pag(&pag, &[x, y], &events(2), &ResolveOptions::default());
+        assert_eq!(admg.directed_edges(), &[(0, 1)]);
+        assert!(matches!(log[0].2, Resolution::Entropic(Direction::Forward)));
+    }
+
+    #[test]
+    fn tier_veto_overrides_entropy() {
+        // Same data, but node 1 is an option: the edge must point 1 → 0
+        // regardless of entropic preference.
+        let x: Vec<f64> = (0..400).map(|i| (i % 4) as f64).collect();
+        let y: Vec<f64> = x.iter().map(|v| (v / 2.0).floor()).collect();
+        let tiers = TierConstraints::new(vec![
+            VarKind::SystemEvent,
+            VarKind::ConfigOption,
+        ]);
+        let mut pag = MixedGraph::new(names(2));
+        pag.add_circle_edge(0, 1);
+        let (admg, _) =
+            resolve_pag(&pag, &[x, y], &tiers, &ResolveOptions::default());
+        assert_eq!(admg.directed_edges(), &[(1, 0)]);
+    }
+
+    #[test]
+    fn cycle_demotion() {
+        // Three already-oriented edges forming a cycle: the lowest-
+        // confidence one gets reversed or demoted, and the result is acyclic.
+        let mut pag = MixedGraph::new(names(3));
+        pag.add_directed_edge(0, 1);
+        pag.add_directed_edge(1, 2);
+        pag.add_directed_edge(2, 0);
+        let cols = vec![vec![0.0; 4]; 3];
+        let (admg, _) =
+            resolve_pag(&pag, &cols, &events(3), &ResolveOptions::default());
+        // Whatever the tie-break, the directed part must be acyclic.
+        let _ = admg.topological_order();
+        assert_eq!(
+            admg.directed_edges().len() + admg.bidirected_edges().len(),
+            3
+        );
+    }
+
+    #[test]
+    fn bidirected_pag_edge_stays_bidirected() {
+        let mut pag = MixedGraph::new(names(2));
+        pag.add_bidirected_edge(0, 1);
+        let cols = vec![vec![0.0; 4]; 2];
+        let (admg, _) =
+            resolve_pag(&pag, &cols, &events(2), &ResolveOptions::default());
+        assert_eq!(admg.bidirected_edges(), &[(0, 1)]);
+    }
+}

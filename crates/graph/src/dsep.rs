@@ -1,0 +1,200 @@
+//! m-separation on ADMGs.
+//!
+//! Bidirected edges are handled by *canonical DAG augmentation*: each
+//! `a ←→ b` is replaced by a fresh latent `l → a, l → b`, after which plain
+//! d-separation on the augmented DAG coincides with m-separation on the
+//! ADMG (Richardson 2003). d-separation itself is the classic reachability
+//! ("Bayes-ball") algorithm.
+
+use crate::admg::Admg;
+use crate::NodeId;
+use std::collections::{BTreeSet, HashSet};
+
+/// Tests whether `x` and `y` are m-separated given `z` in the ADMG.
+pub fn m_separated(g: &Admg, x: NodeId, y: NodeId, z: &BTreeSet<NodeId>) -> bool {
+    if x == y {
+        return false;
+    }
+    // Build augmented parent/child lists: original nodes 0..n, latents
+    // n..n+|bidirected|.
+    let n = g.n_nodes();
+    let nb = g.bidirected_edges().len();
+    let total = n + nb;
+    let mut children: Vec<Vec<NodeId>> = vec![Vec::new(); total];
+    let mut parents: Vec<Vec<NodeId>> = vec![Vec::new(); total];
+    for &(f, t) in g.directed_edges() {
+        children[f].push(t);
+        parents[t].push(f);
+    }
+    for (i, &(a, b)) in g.bidirected_edges().iter().enumerate() {
+        let l = n + i;
+        children[l].push(a);
+        children[l].push(b);
+        parents[a].push(l);
+        parents[b].push(l);
+    }
+
+    // Precompute: is node (or any of its descendants) in z? Needed for
+    // collider activation.
+    let mut in_z_or_desc = vec![false; total];
+    for node in 0..total {
+        if node < n && z.contains(&node) {
+            in_z_or_desc[node] = true;
+        }
+    }
+    // Propagate upward: a node is active as a collider if it has a
+    // descendant in z.
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for node in 0..total {
+            if !in_z_or_desc[node]
+                && children[node].iter().any(|&c| in_z_or_desc[c])
+            {
+                in_z_or_desc[node] = true;
+                changed = true;
+            }
+        }
+    }
+
+    // Bayes-ball reachability from x: states are (node, direction), where
+    // direction ∈ {FromChild, FromParent} — i.e., we arrived at `node`
+    // travelling up (against arrows) or down (along arrows).
+    #[derive(Clone, Copy, PartialEq, Eq, Hash)]
+    enum Dir {
+        Up,   // arrived from a child (moving against edge direction)
+        Down, // arrived from a parent (moving along edge direction)
+    }
+    let mut visited: HashSet<(NodeId, Dir)> = HashSet::new();
+    let mut stack: Vec<(NodeId, Dir)> = vec![(x, Dir::Up)];
+    while let Some((node, dir)) = stack.pop() {
+        if !visited.insert((node, dir)) {
+            continue;
+        }
+        if node == y {
+            return false; // Active path found ⇒ not separated.
+        }
+        let node_in_z = node < n && z.contains(&node);
+        match dir {
+            Dir::Up => {
+                // Arrived against arrows: if node not in z, can continue to
+                // parents (still up) and to children (down).
+                if !node_in_z {
+                    for &p in &parents[node] {
+                        stack.push((p, Dir::Up));
+                    }
+                    for &c in &children[node] {
+                        stack.push((c, Dir::Down));
+                    }
+                }
+            }
+            Dir::Down => {
+                // Arrived along arrows: chain continues to children if node
+                // not in z; collider opens to parents if node has a
+                // descendant in z (or is in z).
+                if !node_in_z {
+                    for &c in &children[node] {
+                        stack.push((c, Dir::Down));
+                    }
+                }
+                if in_z_or_desc[node] {
+                    for &p in &parents[node] {
+                        stack.push((p, Dir::Up));
+                    }
+                }
+            }
+        }
+    }
+    true
+}
+
+/// Convenience wrapper taking a slice for the conditioning set.
+pub fn m_separated_slice(g: &Admg, x: NodeId, y: NodeId, z: &[NodeId]) -> bool {
+    m_separated(g, x, y, &z.iter().copied().collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn names(n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("v{i}")).collect()
+    }
+
+    #[test]
+    fn chain_separation() {
+        // 0 → 1 → 2.
+        let mut g = Admg::new(names(3));
+        g.add_directed(0, 1);
+        g.add_directed(1, 2);
+        assert!(!m_separated_slice(&g, 0, 2, &[]));
+        assert!(m_separated_slice(&g, 0, 2, &[1]));
+    }
+
+    #[test]
+    fn fork_separation() {
+        // 0 ← 1 → 2 (1 is the common cause).
+        let mut g = Admg::new(names(3));
+        g.add_directed(1, 0);
+        g.add_directed(1, 2);
+        assert!(!m_separated_slice(&g, 0, 2, &[]));
+        assert!(m_separated_slice(&g, 0, 2, &[1]));
+    }
+
+    #[test]
+    fn collider_separation() {
+        // 0 → 1 ← 2: marginally independent, dependent given the collider
+        // or its descendant.
+        let mut g = Admg::new(names(4));
+        g.add_directed(0, 1);
+        g.add_directed(2, 1);
+        g.add_directed(1, 3);
+        assert!(m_separated_slice(&g, 0, 2, &[]));
+        assert!(!m_separated_slice(&g, 0, 2, &[1]));
+        assert!(!m_separated_slice(&g, 0, 2, &[3])); // descendant of collider
+    }
+
+    #[test]
+    fn bidirected_edge_behaves_like_latent_confounder() {
+        // 0 ←→ 1: dependent marginally; no conditioning set separates them.
+        let mut g = Admg::new(names(2));
+        g.add_bidirected(0, 1);
+        assert!(!m_separated_slice(&g, 0, 1, &[]));
+    }
+
+    #[test]
+    fn bidirected_collider() {
+        // 0 → 1 ←→ 2: 0 and 2 marginally independent; conditioning on 1
+        // opens the path.
+        let mut g = Admg::new(names(3));
+        g.add_directed(0, 1);
+        g.add_bidirected(1, 2);
+        assert!(m_separated_slice(&g, 0, 2, &[]));
+        assert!(!m_separated_slice(&g, 0, 2, &[1]));
+    }
+
+    #[test]
+    fn m_connection_through_long_path() {
+        // 0 → 1 → 2 → 3 with nothing conditioned: connected.
+        let mut g = Admg::new(names(4));
+        g.add_directed(0, 1);
+        g.add_directed(1, 2);
+        g.add_directed(2, 3);
+        assert!(!m_separated_slice(&g, 0, 3, &[]));
+        assert!(m_separated_slice(&g, 0, 3, &[2]));
+        assert!(m_separated_slice(&g, 0, 3, &[1]));
+    }
+
+    #[test]
+    fn symmetry() {
+        let mut g = Admg::new(names(3));
+        g.add_directed(0, 1);
+        g.add_bidirected(1, 2);
+        for z in [vec![], vec![1]] {
+            assert_eq!(
+                m_separated_slice(&g, 0, 2, &z),
+                m_separated_slice(&g, 2, 0, &z)
+            );
+        }
+    }
+}

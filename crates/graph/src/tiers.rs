@@ -1,0 +1,168 @@
+//! Tier (background-knowledge) constraints on causal performance models.
+//!
+//! The paper (§3) defines three variable types — configuration options,
+//! intermediate system events, and end-to-end performance objectives — and
+//! two structural constraints: configuration options do not cause other
+//! options, and options cannot be children of performance objectives.
+//! These constraints both sparsify the search (fewer adjacency tests) and
+//! pre-orient edges (any option–event or option–objective edge must point
+//! away from the option; objectives are sinks).
+
+use crate::mixed::{Endpoint, MixedGraph};
+use crate::NodeId;
+
+/// The role a variable plays in a causal performance model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum VarKind {
+    /// A software/hardware/kernel configuration option (intervenable unless
+    /// flagged otherwise by the caller).
+    ConfigOption,
+    /// An intermediate performance variable (perf event, tracepoint, or
+    /// middleware trace) — observable but not directly intervenable.
+    SystemEvent,
+    /// An end-to-end performance objective (throughput, energy, heat, …).
+    Objective,
+}
+
+/// Tier constraints over a fixed variable list.
+#[derive(Debug, Clone)]
+pub struct TierConstraints {
+    kinds: Vec<VarKind>,
+}
+
+impl TierConstraints {
+    /// Builds constraints from per-variable kinds.
+    pub fn new(kinds: Vec<VarKind>) -> Self {
+        Self { kinds }
+    }
+
+    /// Kind of variable `x`.
+    pub fn kind(&self, x: NodeId) -> VarKind {
+        self.kinds[x]
+    }
+
+    /// Number of variables.
+    pub fn len(&self) -> usize {
+        self.kinds.len()
+    }
+
+    /// True if there are no variables.
+    pub fn is_empty(&self) -> bool {
+        self.kinds.is_empty()
+    }
+
+    /// Variables of a given kind.
+    pub fn of_kind(&self, k: VarKind) -> Vec<NodeId> {
+        (0..self.kinds.len()).filter(|&i| self.kinds[i] == k).collect()
+    }
+
+    /// Whether an adjacency between `x` and `y` is forbidden outright.
+    ///
+    /// Option–option edges are forbidden ("configuration options do not
+    /// cause other options", and an option–option adjacency could encode
+    /// nothing else since latent confounding among independently set
+    /// options is impossible by construction). Objective–objective
+    /// adjacencies are likewise excluded: objectives are joint effects,
+    /// and their dependence is explained through shared causes.
+    pub fn adjacency_forbidden(&self, x: NodeId, y: NodeId) -> bool {
+        matches!(
+            (self.kinds[x], self.kinds[y]),
+            (VarKind::ConfigOption, VarKind::ConfigOption)
+                | (VarKind::Objective, VarKind::Objective)
+        )
+    }
+
+    /// Whether an arrowhead *at* `at` on an edge between `at` and `other`
+    /// is forbidden (i.e. `other *→ at` is impossible).
+    ///
+    /// Nothing may point into a configuration option (options are
+    /// exogenous sources), and nothing may point *out of* an objective —
+    /// which forbids an arrowhead at the event end of an event–objective
+    /// edge. The latter also rules out event ↔ objective confounding
+    /// marks: any dependence between an event and an objective that
+    /// survives CI pruning is modeled as causal influence into the
+    /// objective. Without this, a single spurious collider orientation at
+    /// small sample sizes (sepsets are noisy) would sever every causal
+    /// path into the objective and leave the repair engine empty-handed.
+    pub fn arrowhead_forbidden_at(&self, at: NodeId, other: NodeId) -> bool {
+        self.kinds[at] == VarKind::ConfigOption
+            || (self.kinds[at] == VarKind::SystemEvent
+                && self.kinds[other] == VarKind::Objective)
+    }
+
+    /// Applies tier-based orientations to a mixed graph in place:
+    /// every edge incident to an option is oriented out of the option;
+    /// every edge incident to an objective is oriented into the objective
+    /// (tail at the far end — objectives are pure sinks).
+    pub fn orient(&self, g: &mut MixedGraph) {
+        for e in g.edges() {
+            for (this, other) in [(e.a, e.b), (e.b, e.a)] {
+                match self.kinds[this] {
+                    VarKind::ConfigOption => {
+                        // Option end gets a tail, far end gets an arrow.
+                        g.orient(this, other, Endpoint::Tail);
+                        g.orient(other, this, Endpoint::Arrow);
+                    }
+                    VarKind::Objective => {
+                        // Objective end gets an arrow, far end a tail.
+                        g.orient(this, other, Endpoint::Arrow);
+                        g.orient(other, this, Endpoint::Tail);
+                    }
+                    VarKind::SystemEvent => {}
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stack() -> TierConstraints {
+        TierConstraints::new(vec![
+            VarKind::ConfigOption, // 0
+            VarKind::ConfigOption, // 1
+            VarKind::SystemEvent,  // 2
+            VarKind::Objective,    // 3
+        ])
+    }
+
+    #[test]
+    fn option_option_adjacency_forbidden() {
+        let t = stack();
+        assert!(t.adjacency_forbidden(0, 1));
+        assert!(!t.adjacency_forbidden(0, 2));
+        assert!(!t.adjacency_forbidden(2, 3));
+    }
+
+    #[test]
+    fn arrow_into_option_forbidden() {
+        let t = stack();
+        assert!(t.arrowhead_forbidden_at(0, 2));
+        assert!(!t.arrowhead_forbidden_at(2, 0));
+        assert!(!t.arrowhead_forbidden_at(3, 2));
+    }
+
+    #[test]
+    fn orientation_pass_fixes_marks() {
+        let t = stack();
+        let mut g = MixedGraph::new(
+            (0..4).map(|i| format!("v{i}")).collect(),
+        );
+        g.add_circle_edge(0, 2); // option o—o event → must become 0 → 2
+        g.add_circle_edge(2, 3); // event o—o objective → must become 2 → 3
+        t.orient(&mut g);
+        assert!(g.is_directed(0, 2));
+        assert!(g.is_directed(2, 3));
+    }
+
+    #[test]
+    fn of_kind_partitions() {
+        let t = stack();
+        assert_eq!(t.of_kind(VarKind::ConfigOption), vec![0, 1]);
+        assert_eq!(t.of_kind(VarKind::SystemEvent), vec![2]);
+        assert_eq!(t.of_kind(VarKind::Objective), vec![3]);
+        assert_eq!(t.len(), 4);
+    }
+}

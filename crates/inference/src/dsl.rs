@@ -1,0 +1,279 @@
+//! A small domain-specific language for performance queries — the §11
+//! future-work direction ("developing new domain-specific languages …
+//! to facilitate automated specification of queries"). The paper's Stage I
+//! translation from user questions to causal queries is manual; this
+//! module automates the common forms:
+//!
+//! ```text
+//! P(Latency <= 30 | do(CPU Frequency = 2.0))
+//! E(Energy | do(Bitrate = 2000, Buffer Size = 6000))
+//! ACE(CPU Frequency -> Latency)
+//! ROOT-CAUSES(Latency <= 22.3)
+//! REPAIRS(Latency <= 22.3, Energy <= 70 @ 41)
+//! ```
+//!
+//! Variables are referenced by name and resolved against the node table;
+//! `@ N` in `REPAIRS` names the faulty measurement's row index.
+
+use unicorn_graph::NodeId;
+
+use crate::queries::PerformanceQuery;
+use crate::repair::QosGoal;
+
+/// Errors produced while parsing a query string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// The query form was not recognized.
+    UnknownForm(String),
+    /// A referenced variable is not in the node table.
+    UnknownVariable(String),
+    /// A number failed to parse.
+    BadNumber(String),
+    /// Structural problem (missing delimiter etc.).
+    Malformed(String),
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::UnknownForm(s) => write!(f, "unrecognized query form: {s}"),
+            ParseError::UnknownVariable(s) => write!(f, "unknown variable: {s}"),
+            ParseError::BadNumber(s) => write!(f, "bad number: {s}"),
+            ParseError::Malformed(s) => write!(f, "malformed query: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn resolve(names: &[String], raw: &str) -> Result<NodeId, ParseError> {
+    let wanted = raw.trim();
+    names
+        .iter()
+        .position(|n| n.eq_ignore_ascii_case(wanted))
+        .ok_or_else(|| ParseError::UnknownVariable(wanted.to_string()))
+}
+
+fn number(raw: &str) -> Result<f64, ParseError> {
+    raw.trim()
+        .parse::<f64>()
+        .map_err(|_| ParseError::BadNumber(raw.trim().to_string()))
+}
+
+/// Parses `name = value [, name = value …]` into interventions.
+fn assignments(
+    names: &[String],
+    raw: &str,
+) -> Result<Vec<(NodeId, f64)>, ParseError> {
+    raw.split(',')
+        .map(|pair| {
+            let (n, v) = pair
+                .split_once('=')
+                .ok_or_else(|| ParseError::Malformed(pair.trim().to_string()))?;
+            Ok((resolve(names, n)?, number(v)?))
+        })
+        .collect()
+}
+
+/// Parses `objective <= threshold [, objective <= threshold …]`.
+fn thresholds(
+    names: &[String],
+    raw: &str,
+) -> Result<Vec<(NodeId, f64)>, ParseError> {
+    raw.split(',')
+        .map(|pair| {
+            let (n, v) = pair
+                .split_once("<=")
+                .ok_or_else(|| ParseError::Malformed(pair.trim().to_string()))?;
+            Ok((resolve(names, n)?, number(v)?))
+        })
+        .collect()
+}
+
+/// Strips `prefix(…)` and returns the inner text.
+fn inner<'a>(query: &'a str, prefix: &str) -> Option<&'a str> {
+    let q = query.trim();
+    let rest = q
+        .strip_prefix(prefix)
+        .or_else(|| q.strip_prefix(&prefix.to_lowercase()))?;
+    let rest = rest.trim();
+    rest.strip_prefix('(')?.strip_suffix(')')
+}
+
+/// Parses one query string against a node-name table.
+pub fn parse_query(
+    names: &[String],
+    query: &str,
+) -> Result<PerformanceQuery, ParseError> {
+    // P(obj <= t | do(assignments))
+    if let Some(body) = inner(query, "P") {
+        let (cond, action) = body
+            .split_once('|')
+            .ok_or_else(|| ParseError::Malformed(body.to_string()))?;
+        let ts = thresholds(names, cond)?;
+        let (objective, threshold) = *ts
+            .first()
+            .ok_or_else(|| ParseError::Malformed(cond.to_string()))?;
+        let do_body = action
+            .trim()
+            .strip_prefix("do")
+            .and_then(|r| r.trim().strip_prefix('('))
+            .and_then(|r| r.trim().strip_suffix(')'))
+            .ok_or_else(|| ParseError::Malformed(action.trim().to_string()))?;
+        return Ok(PerformanceQuery::ProbabilityOfQos {
+            interventions: assignments(names, do_body)?,
+            objective,
+            threshold,
+        });
+    }
+    // E(obj | do(assignments))
+    if let Some(body) = inner(query, "E") {
+        let (obj, action) = body
+            .split_once('|')
+            .ok_or_else(|| ParseError::Malformed(body.to_string()))?;
+        let objective = resolve(names, obj)?;
+        let do_body = action
+            .trim()
+            .strip_prefix("do")
+            .and_then(|r| r.trim().strip_prefix('('))
+            .and_then(|r| r.trim().strip_suffix(')'))
+            .ok_or_else(|| ParseError::Malformed(action.trim().to_string()))?;
+        return Ok(PerformanceQuery::ExpectedObjective {
+            interventions: assignments(names, do_body)?,
+            objective,
+        });
+    }
+    // ACE(option -> objective)
+    if let Some(body) = inner(query, "ACE") {
+        let (option, objective) = body
+            .split_once("->")
+            .ok_or_else(|| ParseError::Malformed(body.to_string()))?;
+        return Ok(PerformanceQuery::CausalEffect {
+            option: resolve(names, option)?,
+            objective: resolve(names, objective)?,
+        });
+    }
+    // ROOT-CAUSES(obj <= t, …)
+    if let Some(body) = inner(query, "ROOT-CAUSES") {
+        return Ok(PerformanceQuery::RootCauses {
+            goal: QosGoal { thresholds: thresholds(names, body)? },
+        });
+    }
+    // REPAIRS(obj <= t, … @ fault_row)
+    if let Some(body) = inner(query, "REPAIRS") {
+        let (goal_part, row_part) = body
+            .split_once('@')
+            .ok_or_else(|| ParseError::Malformed(body.to_string()))?;
+        let fault_row = row_part
+            .trim()
+            .parse::<usize>()
+            .map_err(|_| ParseError::BadNumber(row_part.trim().to_string()))?;
+        return Ok(PerformanceQuery::Repairs {
+            goal: QosGoal { thresholds: thresholds(names, goal_part)? },
+            fault_row,
+        });
+    }
+    Err(ParseError::UnknownForm(query.trim().to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn names() -> Vec<String> {
+        vec![
+            "CPU Frequency".into(),
+            "Bitrate".into(),
+            "Cache Misses".into(),
+            "Latency".into(),
+            "Energy".into(),
+        ]
+    }
+
+    #[test]
+    fn parses_probability_query() {
+        let q = parse_query(&names(), "P(Latency <= 30 | do(CPU Frequency = 2.0))")
+            .unwrap();
+        match q {
+            PerformanceQuery::ProbabilityOfQos { interventions, objective, threshold } => {
+                assert_eq!(interventions, vec![(0, 2.0)]);
+                assert_eq!(objective, 3);
+                assert_eq!(threshold, 30.0);
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_expectation_with_multiple_interventions() {
+        let q = parse_query(
+            &names(),
+            "E(Energy | do(Bitrate = 2000, CPU Frequency = 0.3))",
+        )
+        .unwrap();
+        match q {
+            PerformanceQuery::ExpectedObjective { interventions, objective } => {
+                assert_eq!(interventions, vec![(1, 2000.0), (0, 0.3)]);
+                assert_eq!(objective, 4);
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_ace_arrow() {
+        let q = parse_query(&names(), "ACE(CPU Frequency -> Latency)").unwrap();
+        assert!(matches!(
+            q,
+            PerformanceQuery::CausalEffect { option: 0, objective: 3 }
+        ));
+    }
+
+    #[test]
+    fn parses_root_causes_and_repairs() {
+        let q = parse_query(&names(), "ROOT-CAUSES(Latency <= 22.3)").unwrap();
+        match q {
+            PerformanceQuery::RootCauses { goal } => {
+                assert_eq!(goal.thresholds, vec![(3, 22.3)]);
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+        let q = parse_query(&names(), "REPAIRS(Latency <= 22.3, Energy <= 70 @ 41)")
+            .unwrap();
+        match q {
+            PerformanceQuery::Repairs { goal, fault_row } => {
+                assert_eq!(goal.thresholds, vec![(3, 22.3), (4, 70.0)]);
+                assert_eq!(fault_row, 41);
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn case_insensitive_names_and_lowercase_forms() {
+        assert!(parse_query(&names(), "ace(cpu frequency -> latency)").is_ok());
+    }
+
+    #[test]
+    fn error_paths() {
+        assert!(matches!(
+            parse_query(&names(), "WHAT(Latency)"),
+            Err(ParseError::UnknownForm(_))
+        ));
+        assert!(matches!(
+            parse_query(&names(), "ACE(Nope -> Latency)"),
+            Err(ParseError::UnknownVariable(_))
+        ));
+        assert!(matches!(
+            parse_query(&names(), "P(Latency <= x | do(Bitrate = 1))"),
+            Err(ParseError::BadNumber(_))
+        ));
+        assert!(matches!(
+            parse_query(&names(), "E(Latency, do(Bitrate = 1))"),
+            Err(ParseError::Malformed(_))
+        ));
+        // Errors render human-readably.
+        let e = parse_query(&names(), "ACE(Nope -> Latency)").unwrap_err();
+        assert!(e.to_string().contains("Nope"));
+    }
+}

@@ -1,0 +1,217 @@
+//! The causal inference engine facade: a fitted SCM plus tier knowledge
+//! and value domains, exposing the operations the Unicorn loop needs
+//! (root-cause ranking, repair recommendation, path ranking).
+
+use unicorn_graph::{NodeId, TierConstraints, VarKind};
+
+use crate::ace::{option_aces, rank_causal_paths, RankedPath, ValueDomain};
+use crate::repair::{
+    generate_repairs, rank_repairs, root_cause_candidates, QosGoal, Repair,
+    RepairOptions,
+};
+use crate::scm::FittedScm;
+
+/// The engine bundling model, constraints and domains.
+pub struct CausalEngine {
+    scm: FittedScm,
+    tiers: TierConstraints,
+    domain: Box<dyn ValueDomain>,
+    repair_opts: RepairOptions,
+}
+
+impl CausalEngine {
+    /// Builds an engine with default repair options.
+    pub fn new(
+        scm: FittedScm,
+        tiers: TierConstraints,
+        domain: Box<dyn ValueDomain>,
+    ) -> Self {
+        Self { scm, tiers, domain, repair_opts: RepairOptions::default() }
+    }
+
+    /// Overrides the repair-generation options.
+    pub fn with_repair_options(mut self, opts: RepairOptions) -> Self {
+        self.repair_opts = opts;
+        self
+    }
+
+    /// The fitted SCM.
+    pub fn scm(&self) -> &FittedScm {
+        &self.scm
+    }
+
+    /// The tier constraints.
+    pub fn tiers(&self) -> &TierConstraints {
+        &self.tiers
+    }
+
+    /// The value domains.
+    pub fn domain(&self) -> &dyn ValueDomain {
+        self.domain.as_ref()
+    }
+
+    /// The repair options in effect.
+    pub fn repair_options(&self) -> &RepairOptions {
+        &self.repair_opts
+    }
+
+    /// All configuration-option nodes.
+    pub fn options(&self) -> Vec<NodeId> {
+        self.tiers.of_kind(VarKind::ConfigOption)
+    }
+
+    /// Top-K causal paths into an objective, ranked by path ACE.
+    pub fn top_paths(&self, objective: NodeId, k: usize) -> Vec<RankedPath> {
+        rank_causal_paths(
+            &self.scm,
+            objective,
+            self.domain.as_ref(),
+            k,
+            self.repair_opts.path_cap,
+        )
+    }
+
+    /// Ranks configuration options by their ACE on the goal objectives,
+    /// restricted to options appearing on top-ranked causal paths — the
+    /// root-cause list (descending).
+    pub fn rank_root_causes(&self, goal: &QosGoal) -> Vec<(NodeId, f64)> {
+        let candidates = root_cause_candidates(
+            &self.scm,
+            goal,
+            &self.tiers,
+            self.domain.as_ref(),
+            &self.repair_opts,
+        );
+        // Sum the per-objective ACEs so multi-objective faults weigh both.
+        let mut scores: Vec<(NodeId, f64)> = candidates
+            .iter()
+            .map(|&o| {
+                let total: f64 = goal
+                    .thresholds
+                    .iter()
+                    .map(|&(obj, _)| {
+                        option_aces(&self.scm, obj, &[o], self.domain.as_ref())[0].1
+                    })
+                    .sum();
+                (o, total)
+            })
+            .collect();
+        scores.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("NaN ACE"));
+        scores
+    }
+
+    /// Recommends counterfactual repairs for the fault observed at
+    /// `fault_row`, best first.
+    pub fn recommend_repairs(&self, goal: &QosGoal, fault_row: usize) -> Vec<Repair> {
+        let candidates = root_cause_candidates(
+            &self.scm,
+            goal,
+            &self.tiers,
+            self.domain.as_ref(),
+            &self.repair_opts,
+        );
+        let fault: Vec<f64> = (0..self.scm.n_vars())
+            .map(|v| self.scm.data()[v][fault_row])
+            .collect();
+        let repairs =
+            generate_repairs(&fault, &candidates, self.domain.as_ref(), &self.repair_opts);
+        rank_repairs(&self.scm, goal, fault_row, repairs, &self.repair_opts)
+    }
+
+    /// ACE of every option on `objective`, descending — the weight vector
+    /// used by the paper's accuracy metric and by Stage III sampling.
+    pub fn option_effects(&self, objective: NodeId) -> Vec<(NodeId, f64)> {
+        option_aces(&self.scm, objective, &self.options(), self.domain.as_ref())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ace::ExplicitDomain;
+    use unicorn_graph::Admg;
+
+    fn lcg(state: &mut u64) -> f64 {
+        *state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((*state >> 11) as f64 / (1u64 << 53) as f64) - 0.5
+    }
+
+    fn engine() -> (CausalEngine, usize) {
+        let mut s = 31u64;
+        let n = 400;
+        let mut bad = Vec::new();
+        let mut weak = Vec::new();
+        let mut ev = Vec::new();
+        let mut lat = Vec::new();
+        for i in 0..n {
+            let a = ((i % 7) == 0) as usize as f64;
+            let b = (i % 2) as f64;
+            let e = 4.0 * a + 0.3 * b + 0.05 * lcg(&mut s);
+            let l = 2.5 * e + 0.05 * lcg(&mut s);
+            bad.push(a);
+            weak.push(b);
+            ev.push(e);
+            lat.push(l);
+        }
+        let mut g = Admg::new(vec![
+            "bad".into(),
+            "weak".into(),
+            "ev".into(),
+            "lat".into(),
+        ]);
+        g.add_directed(0, 2);
+        g.add_directed(1, 2);
+        g.add_directed(2, 3);
+        let scm = FittedScm::fit(g, &[bad, weak, ev, lat]).unwrap();
+        let tiers = TierConstraints::new(vec![
+            VarKind::ConfigOption,
+            VarKind::ConfigOption,
+            VarKind::SystemEvent,
+            VarKind::Objective,
+        ]);
+        let domain = ExplicitDomain {
+            values: vec![vec![0.0, 1.0], vec![0.0, 1.0], vec![], vec![]],
+        };
+        (CausalEngine::new(scm, tiers, Box::new(domain)), 7)
+    }
+
+    #[test]
+    fn top_paths_cover_both_options() {
+        let (e, _) = engine();
+        let paths = e.top_paths(3, 5);
+        assert_eq!(paths.len(), 2);
+        let sources: Vec<usize> = paths.iter().map(|p| p.path.source()).collect();
+        assert!(sources.contains(&0) && sources.contains(&1));
+        // Strong option ranks first.
+        assert_eq!(paths[0].path.source(), 0);
+    }
+
+    #[test]
+    fn root_cause_ranking_orders_by_effect() {
+        let (e, _) = engine();
+        let rc = e.rank_root_causes(&QosGoal::single(3, 1.0));
+        assert_eq!(rc[0].0, 0);
+        assert!(rc[0].1 > rc[1].1);
+    }
+
+    #[test]
+    fn repairs_fix_the_observed_fault() {
+        let (e, fault_row) = engine();
+        let repairs = e.recommend_repairs(&QosGoal::single(3, 2.0), fault_row);
+        assert!(!repairs.is_empty());
+        let best = &repairs[0];
+        assert!(best.assignments.iter().any(|&(o, v)| o == 0 && v == 0.0));
+        assert!(best.ice > 0.0);
+    }
+
+    #[test]
+    fn option_effects_listing() {
+        let (e, _) = engine();
+        let fx = e.option_effects(3);
+        assert_eq!(fx.len(), 2);
+        assert_eq!(fx[0].0, 0);
+        assert!(fx[0].1 > 5.0 * fx[1].1);
+    }
+}

@@ -1,0 +1,41 @@
+//! # unicorn-inference
+//!
+//! The causal inference engine of the Unicorn (EuroSys '22) reproduction —
+//! the role played by `ananke`, `causality` and `semopy` in the original
+//! toolchain, reimplemented as one coherent Rust engine:
+//!
+//! * [`scm::FittedScm`] — polynomial structural causal model fitted over a
+//!   learned ADMG, with an empirical-g-formula do-operator, deterministic
+//!   counterfactuals (abduction–action–prediction) and conditional
+//!   prediction for unmeasured configurations.
+//! * [`ace`] — average causal effects, path ACE (appendix Eq 1) and causal
+//!   path ranking.
+//! * [`repair`] — counterfactual repair sets and ICE scoring (Eqs 2–5).
+//! * [`identify`] — bow-arc identifiability screening and backdoor-set
+//!   search.
+//! * [`queries`] — the user-facing performance-query interface
+//!   (Stages I and V).
+//! * [`dsl`] — a textual query language over it (the §11 future-work
+//!   direction), e.g. `P(Latency <= 30 | do(CPU Frequency = 2.0))`.
+
+pub mod ace;
+pub mod dsl;
+pub mod engine;
+pub mod identify;
+pub mod queries;
+pub mod repair;
+pub mod scm;
+
+pub use ace::{
+    ace, ace_signed, option_aces, path_ace, quantile_values, rank_causal_paths,
+    ExplicitDomain, RankedPath, ValueDomain,
+};
+pub use dsl::{parse_query, ParseError};
+pub use engine::CausalEngine;
+pub use identify::{find_backdoor_set, identifiable, satisfies_backdoor};
+pub use queries::{PerformanceQuery, QueryAnswer};
+pub use repair::{
+    generate_repairs, ice, rank_repairs, root_cause_candidates, QosGoal, Repair,
+    RepairOptions,
+};
+pub use scm::{FittedScm, ResidualMode};

@@ -1,0 +1,175 @@
+//! Descriptive statistics over `f64` slices and column-major datasets.
+
+/// Arithmetic mean; 0 for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Unbiased sample variance (n−1 denominator); 0 for fewer than 2 points.
+pub fn variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64
+}
+
+/// Sample standard deviation.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    variance(xs).sqrt()
+}
+
+/// Median (average of the two central order statistics for even n).
+pub fn median(xs: &[f64]) -> f64 {
+    quantile(xs, 0.5)
+}
+
+/// Linear-interpolation quantile (type-7, the numpy default).
+///
+/// # Panics
+///
+/// Panics if `xs` is empty or `q` is outside `[0, 1]`.
+pub fn quantile(xs: &[f64], q: f64) -> f64 {
+    assert!(!xs.is_empty(), "quantile of empty slice");
+    assert!((0.0..=1.0).contains(&q), "quantile level out of range");
+    let mut sorted: Vec<f64> = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+    let h = (sorted.len() - 1) as f64 * q;
+    let lo = h.floor() as usize;
+    let hi = h.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        sorted[lo] + (h - lo as f64) * (sorted[hi] - sorted[lo])
+    }
+}
+
+/// Minimum; `None` if empty or any NaN.
+pub fn min(xs: &[f64]) -> Option<f64> {
+    xs.iter().copied().try_fold(f64::INFINITY, |acc, x| {
+        if x.is_nan() {
+            None
+        } else {
+            Some(acc.min(x))
+        }
+    })
+    .filter(|_| !xs.is_empty())
+}
+
+/// Maximum; `None` if empty or any NaN.
+pub fn max(xs: &[f64]) -> Option<f64> {
+    xs.iter().copied().try_fold(f64::NEG_INFINITY, |acc, x| {
+        if x.is_nan() {
+            None
+        } else {
+            Some(acc.max(x))
+        }
+    })
+    .filter(|_| !xs.is_empty())
+}
+
+/// Z-score standardization: `(x − mean) / std`. Columns with (near-)zero
+/// variance map to all-zeros rather than dividing by ~0.
+pub fn standardize(xs: &[f64]) -> Vec<f64> {
+    let m = mean(xs);
+    let s = std_dev(xs);
+    if s < 1e-12 {
+        return vec![0.0; xs.len()];
+    }
+    xs.iter().map(|x| (x - m) / s).collect()
+}
+
+/// Mean absolute percentage error, skipping reference values within
+/// `1e-9` of zero (matching the common implementation used in the
+/// performance-modeling literature the paper builds on).
+pub fn mape(actual: &[f64], predicted: &[f64]) -> f64 {
+    assert_eq!(actual.len(), predicted.len(), "length mismatch");
+    let mut total = 0.0;
+    let mut n = 0usize;
+    for (a, p) in actual.iter().zip(predicted) {
+        if a.abs() > 1e-9 {
+            total += ((a - p) / a).abs();
+            n += 1;
+        }
+    }
+    if n == 0 {
+        0.0
+    } else {
+        100.0 * total / n as f64
+    }
+}
+
+/// Coefficient of determination R².
+pub fn r_squared(actual: &[f64], predicted: &[f64]) -> f64 {
+    assert_eq!(actual.len(), predicted.len(), "length mismatch");
+    let m = mean(actual);
+    let ss_tot: f64 = actual.iter().map(|a| (a - m) * (a - m)).sum();
+    let ss_res: f64 =
+        actual.iter().zip(predicted).map(|(a, p)| (a - p) * (a - p)).sum();
+    if ss_tot < 1e-12 {
+        return if ss_res < 1e-12 { 1.0 } else { 0.0 };
+    }
+    1.0 - ss_res / ss_tot
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_variance_basic() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&xs) - 5.0).abs() < 1e-12);
+        // Sample variance of this classic example is 32/7.
+        assert!((variance(&xs) - 32.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn median_even_and_odd() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), 2.5);
+    }
+
+    #[test]
+    fn quantile_interpolates() {
+        let xs = [10.0, 20.0, 30.0, 40.0];
+        assert!((quantile(&xs, 0.0) - 10.0).abs() < 1e-12);
+        assert!((quantile(&xs, 1.0) - 40.0).abs() < 1e-12);
+        assert!((quantile(&xs, 0.5) - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn standardize_zero_mean_unit_std() {
+        let z = standardize(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert!(mean(&z).abs() < 1e-12);
+        assert!((std_dev(&z) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn standardize_constant_column() {
+        assert_eq!(standardize(&[3.0, 3.0, 3.0]), vec![0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn mape_skips_zero_reference() {
+        let m = mape(&[0.0, 10.0], &[5.0, 9.0]);
+        assert!((m - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn r_squared_perfect_fit() {
+        let xs = [1.0, 2.0, 3.0];
+        assert!((r_squared(&xs, &xs) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn min_max_handle_empty() {
+        assert_eq!(min(&[]), None);
+        assert_eq!(max(&[]), None);
+        assert_eq!(min(&[2.0, 1.0, 3.0]), Some(1.0));
+        assert_eq!(max(&[2.0, 1.0, 3.0]), Some(3.0));
+    }
+}

@@ -1,0 +1,134 @@
+//! Discretization of continuous columns into integer codes, needed by the
+//! discrete independence tests and by entropic causal discovery.
+
+/// A fitted discretizer for one column.
+#[derive(Debug, Clone)]
+pub enum Discretizer {
+    /// The column already had few distinct values; each distinct value maps
+    /// to its own code (sorted order).
+    Categorical { values: Vec<f64> },
+    /// Equal-frequency bins described by their internal cut points.
+    Quantile { cuts: Vec<f64> },
+}
+
+impl Discretizer {
+    /// Fits a discretizer: if the column has at most `max_levels` distinct
+    /// values it is treated as categorical, otherwise equal-frequency
+    /// binning into `bins` buckets is used.
+    pub fn fit(xs: &[f64], bins: usize, max_levels: usize) -> Self {
+        assert!(bins >= 2, "need at least two bins");
+        let mut distinct: Vec<f64> = xs.to_vec();
+        distinct.sort_by(|a, b| a.partial_cmp(b).expect("NaN in discretize"));
+        distinct.dedup();
+        if distinct.len() <= max_levels {
+            return Discretizer::Categorical { values: distinct };
+        }
+        let mut sorted = xs.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in discretize"));
+        let n = sorted.len();
+        let mut cuts = Vec::with_capacity(bins - 1);
+        for b in 1..bins {
+            let pos = b * n / bins;
+            let cut = sorted[pos.min(n - 1)];
+            // Skip duplicate cut points arising from heavy ties.
+            if cuts.last().is_none_or(|&last| cut > last) {
+                cuts.push(cut);
+            }
+        }
+        Discretizer::Quantile { cuts }
+    }
+
+    /// Number of output codes.
+    pub fn arity(&self) -> usize {
+        match self {
+            Discretizer::Categorical { values } => values.len().max(1),
+            Discretizer::Quantile { cuts } => cuts.len() + 1,
+        }
+    }
+
+    /// Maps one value to its code.
+    pub fn code(&self, x: f64) -> usize {
+        match self {
+            Discretizer::Categorical { values } => values
+                .iter()
+                .position(|&v| (v - x).abs() < 1e-12 || v >= x)
+                .unwrap_or(values.len().saturating_sub(1)),
+            Discretizer::Quantile { cuts } => {
+                cuts.iter().take_while(|&&c| x > c).count()
+            }
+        }
+    }
+
+    /// Maps a whole column.
+    pub fn transform(&self, xs: &[f64]) -> Vec<usize> {
+        xs.iter().map(|&x| self.code(x)).collect()
+    }
+}
+
+/// Convenience: fit-and-transform each column with the same settings,
+/// returning `(codes, arities)`.
+pub fn discretize_columns(
+    columns: &[Vec<f64>],
+    bins: usize,
+    max_levels: usize,
+) -> (Vec<Vec<usize>>, Vec<usize>) {
+    let mut codes = Vec::with_capacity(columns.len());
+    let mut arities = Vec::with_capacity(columns.len());
+    for col in columns {
+        let d = Discretizer::fit(col, bins, max_levels);
+        arities.push(d.arity());
+        codes.push(d.transform(col));
+    }
+    (codes, arities)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn categorical_passthrough() {
+        let xs = [1.0, 3.0, 1.0, 3.0, 2.0];
+        let d = Discretizer::fit(&xs, 4, 8);
+        assert_eq!(d.arity(), 3);
+        assert_eq!(d.transform(&xs), vec![0, 2, 0, 2, 1]);
+    }
+
+    #[test]
+    fn quantile_bins_roughly_balanced() {
+        let xs: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let d = Discretizer::fit(&xs, 4, 8);
+        assert_eq!(d.arity(), 4);
+        let codes = d.transform(&xs);
+        let mut counts = [0usize; 4];
+        for c in codes {
+            counts[c] += 1;
+        }
+        for c in counts {
+            assert!((20..=30).contains(&c), "unbalanced bin: {c}");
+        }
+    }
+
+    #[test]
+    fn heavy_ties_collapse_cuts() {
+        // 90% of mass at a single value: fewer effective bins, no panic.
+        let mut xs = vec![5.0; 90];
+        xs.extend((0..10).map(|i| i as f64));
+        let d = Discretizer::fit(&xs, 5, 4);
+        assert!(d.arity() >= 2);
+        let codes = d.transform(&xs);
+        assert!(codes.iter().all(|&c| c < d.arity()));
+    }
+
+    #[test]
+    fn codes_are_monotone_in_value() {
+        let xs: Vec<f64> = (0..50).map(|i| (i as f64).sin() * 10.0).collect();
+        let d = Discretizer::fit(&xs, 5, 4);
+        let mut pairs: Vec<(f64, usize)> =
+            xs.iter().map(|&x| (x, d.code(x))).collect();
+        pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        for w in pairs.windows(2) {
+            assert!(w[0].1 <= w[1].1);
+        }
+    }
+}

@@ -1,0 +1,203 @@
+//! Plug-in entropy and mutual-information estimators over discrete
+//! (integer-coded) data.
+//!
+//! All entropies are in **bits** (log base 2), matching the entropic causal
+//! inference literature the paper builds on (Kocaoglu et al., AAAI'17).
+
+use std::collections::HashMap;
+
+/// Shannon entropy of a probability vector (entries may include zeros;
+/// they contribute nothing).
+pub fn entropy_of_dist(p: &[f64]) -> f64 {
+    p.iter()
+        .filter(|&&pi| pi > 0.0)
+        .map(|&pi| -pi * pi.log2())
+        .sum()
+}
+
+/// Plug-in entropy of an integer-coded sample.
+pub fn entropy(xs: &[usize]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut counts: HashMap<usize, usize> = HashMap::new();
+    for &x in xs {
+        *counts.entry(x).or_insert(0) += 1;
+    }
+    let n = xs.len() as f64;
+    counts
+        .values()
+        .map(|&c| {
+            let p = c as f64 / n;
+            -p * p.log2()
+        })
+        .sum()
+}
+
+/// Joint entropy H(X, Y) of two integer-coded samples.
+pub fn joint_entropy(xs: &[usize], ys: &[usize]) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "length mismatch");
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut counts: HashMap<(usize, usize), usize> = HashMap::new();
+    for (&x, &y) in xs.iter().zip(ys) {
+        *counts.entry((x, y)).or_insert(0) += 1;
+    }
+    let n = xs.len() as f64;
+    counts
+        .values()
+        .map(|&c| {
+            let p = c as f64 / n;
+            -p * p.log2()
+        })
+        .sum()
+}
+
+/// Conditional entropy H(X | Y) = H(X, Y) − H(Y).
+pub fn conditional_entropy(xs: &[usize], ys: &[usize]) -> f64 {
+    (joint_entropy(xs, ys) - entropy(ys)).max(0.0)
+}
+
+/// Mutual information I(X; Y) = H(X) + H(Y) − H(X, Y); clamped at 0 to
+/// absorb floating-point negatives.
+pub fn mutual_information(xs: &[usize], ys: &[usize]) -> f64 {
+    (entropy(xs) + entropy(ys) - joint_entropy(xs, ys)).max(0.0)
+}
+
+/// Conditional mutual information I(X; Y | Z) for an integer-coded
+/// conditioning column: `Σ_z p(z) · I(X; Y | Z = z)`.
+pub fn conditional_mutual_information(
+    xs: &[usize],
+    ys: &[usize],
+    zs: &[usize],
+) -> f64 {
+    assert!(xs.len() == ys.len() && ys.len() == zs.len(), "length mismatch");
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut strata: HashMap<usize, (Vec<usize>, Vec<usize>)> = HashMap::new();
+    for i in 0..xs.len() {
+        let entry = strata.entry(zs[i]).or_default();
+        entry.0.push(xs[i]);
+        entry.1.push(ys[i]);
+    }
+    let n = xs.len() as f64;
+    strata
+        .values()
+        .map(|(sx, sy)| (sx.len() as f64 / n) * mutual_information(sx, sy))
+        .sum()
+}
+
+/// Combines several integer-coded columns into a single stratum code, for
+/// use as a joint conditioning variable. Codes are assigned in first-seen
+/// order, so the result is deterministic for a given row order.
+pub fn joint_code(columns: &[&[usize]], n: usize) -> Vec<usize> {
+    let mut codes: HashMap<Vec<usize>, usize> = HashMap::new();
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        let key: Vec<usize> = columns.iter().map(|c| c[i]).collect();
+        let next = codes.len();
+        out.push(*codes.entry(key).or_insert(next));
+    }
+    out
+}
+
+/// Empirical conditional distributions p(Y | X = x) as a map from x-code to
+/// a probability vector over y-codes `0..y_arity`.
+pub fn conditionals(
+    xs: &[usize],
+    ys: &[usize],
+    y_arity: usize,
+) -> HashMap<usize, Vec<f64>> {
+    assert_eq!(xs.len(), ys.len(), "length mismatch");
+    let mut counts: HashMap<usize, Vec<f64>> = HashMap::new();
+    for (&x, &y) in xs.iter().zip(ys) {
+        let row = counts.entry(x).or_insert_with(|| vec![0.0; y_arity]);
+        row[y.min(y_arity - 1)] += 1.0;
+    }
+    for row in counts.values_mut() {
+        let total: f64 = row.iter().sum();
+        if total > 0.0 {
+            for v in row.iter_mut() {
+                *v /= total;
+            }
+        }
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entropy_uniform_and_degenerate() {
+        assert!((entropy(&[0, 1, 0, 1]) - 1.0).abs() < 1e-12);
+        assert_eq!(entropy(&[7, 7, 7]), 0.0);
+        let h4 = entropy(&[0, 1, 2, 3]);
+        assert!((h4 - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mi_of_identical_is_entropy() {
+        let xs = [0, 1, 2, 0, 1, 2];
+        let mi = mutual_information(&xs, &xs);
+        assert!((mi - entropy(&xs)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mi_of_independent_is_zero() {
+        // Fully crossed design: X and Y independent.
+        let xs = [0, 0, 1, 1];
+        let ys = [0, 1, 0, 1];
+        assert!(mutual_information(&xs, &ys).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cmi_detects_conditional_independence() {
+        // X and Y both copies of Z: dependent marginally, independent
+        // given Z.
+        let zs = [0, 0, 1, 1, 0, 1, 0, 1];
+        let xs = zs;
+        let ys = zs;
+        assert!(mutual_information(&xs, &ys) > 0.9);
+        assert!(conditional_mutual_information(&xs, &ys, &zs).abs() < 1e-12);
+    }
+
+    #[test]
+    fn conditional_entropy_chain_rule() {
+        let xs = [0, 1, 0, 1, 1, 0];
+        let ys = [0, 0, 1, 1, 0, 1];
+        let h = conditional_entropy(&xs, &ys);
+        assert!((h - (joint_entropy(&xs, &ys) - entropy(&ys))).abs() < 1e-12);
+    }
+
+    #[test]
+    fn joint_code_distinguishes_combinations() {
+        let a = [0usize, 0, 1, 1];
+        let b = [0usize, 1, 0, 1];
+        let code = joint_code(&[&a, &b], 4);
+        // Four distinct combinations → four distinct codes.
+        let unique: std::collections::BTreeSet<_> = code.iter().collect();
+        assert_eq!(unique.len(), 4);
+    }
+
+    #[test]
+    fn conditionals_are_normalized() {
+        let xs = [0, 0, 0, 1, 1];
+        let ys = [0, 0, 1, 1, 1];
+        let c = conditionals(&xs, &ys, 2);
+        for row in c.values() {
+            assert!((row.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        }
+        assert!((c[&0][0] - 2.0 / 3.0).abs() < 1e-12);
+        assert!((c[&1][1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn entropy_of_dist_matches_sample_entropy() {
+        let h = entropy_of_dist(&[0.5, 0.25, 0.25]);
+        assert!((h - 1.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,242 @@
+//! Conditional-independence tests driving constraint-based causal discovery
+//! (§4 Stage II of the paper: "mutual info for discrete variables and Fisher
+//! z-test for continuous").
+
+use crate::correlation::{correlation_matrix, partial_correlation};
+use crate::dist::{chi2_sf, normal_two_sided_p};
+use crate::entropy::{conditional_mutual_information, joint_code, mutual_information};
+use crate::matrix::Matrix;
+
+/// Outcome of a conditional-independence test.
+#[derive(Debug, Clone, Copy)]
+pub struct CiOutcome {
+    /// The raw test statistic (Fisher-z or G).
+    pub statistic: f64,
+    /// The p-value; large values ⇒ fail to reject independence.
+    pub p_value: f64,
+}
+
+impl CiOutcome {
+    /// Whether the test fails to reject independence at level `alpha`.
+    pub fn independent(&self, alpha: f64) -> bool {
+        self.p_value > alpha
+    }
+}
+
+/// A conditional-independence oracle over a fixed dataset: is column `x`
+/// independent of column `y` given the columns in `z`?
+pub trait CiTest {
+    /// Runs the test; `z` lists conditioning column indices.
+    fn test(&self, x: usize, y: usize, z: &[usize]) -> CiOutcome;
+    /// Number of variables (columns).
+    fn n_vars(&self) -> usize;
+}
+
+/// Fisher-z test on partial correlations, the standard CI test for
+/// (approximately) Gaussian continuous data.
+///
+/// The statistic is `√(n − |z| − 3) · atanh(ρ̂)`, compared against a
+/// standard normal.
+pub struct FisherZ {
+    corr: Matrix,
+    n: usize,
+}
+
+impl FisherZ {
+    /// Builds the test from column-major data (the correlation matrix is
+    /// precomputed once — the discovery loop runs thousands of tests).
+    pub fn new(columns: &[Vec<f64>]) -> Self {
+        let n = columns.first().map_or(0, Vec::len);
+        Self { corr: correlation_matrix(columns), n }
+    }
+
+    /// Builds the test directly from a correlation matrix and sample size.
+    pub fn from_correlation(corr: Matrix, n: usize) -> Self {
+        Self { corr, n }
+    }
+}
+
+impl CiTest for FisherZ {
+    fn test(&self, x: usize, y: usize, z: &[usize]) -> CiOutcome {
+        let r = match partial_correlation(&self.corr, x, y, z) {
+            Ok(r) => r,
+            // Singular conditioning sets: treat as uninformative
+            // (independent) rather than aborting the search.
+            Err(_) => return CiOutcome { statistic: 0.0, p_value: 1.0 },
+        };
+        let df = self.n as f64 - z.len() as f64 - 3.0;
+        if df <= 0.0 {
+            return CiOutcome { statistic: 0.0, p_value: 1.0 };
+        }
+        // atanh with clamping to avoid ±∞ on |r| = 1.
+        let r = r.clamp(-0.999_999, 0.999_999);
+        let zstat = df.sqrt() * 0.5 * ((1.0 + r) / (1.0 - r)).ln();
+        CiOutcome { statistic: zstat, p_value: normal_two_sided_p(zstat) }
+    }
+
+    fn n_vars(&self) -> usize {
+        self.corr.rows()
+    }
+}
+
+/// G-test (likelihood-ratio form of the χ² test) on integer-coded data;
+/// `G = 2n · ln2 · I(X; Y | Z)` with degrees of freedom
+/// `(|X|−1)(|Y|−1)·Π|Zᵢ|`.
+pub struct GTest {
+    codes: Vec<Vec<usize>>,
+    arities: Vec<usize>,
+    n: usize,
+}
+
+impl GTest {
+    /// Builds the test from pre-discretized columns and their arities.
+    pub fn new(codes: Vec<Vec<usize>>, arities: Vec<usize>) -> Self {
+        let n = codes.first().map_or(0, Vec::len);
+        Self { codes, arities, n }
+    }
+}
+
+impl CiTest for GTest {
+    fn test(&self, x: usize, y: usize, z: &[usize]) -> CiOutcome {
+        let n = self.n as f64;
+        let (mi, df) = if z.is_empty() {
+            let mi = mutual_information(&self.codes[x], &self.codes[y]);
+            let df = (self.arities[x].max(2) - 1) * (self.arities[y].max(2) - 1);
+            (mi, df as f64)
+        } else {
+            let zcols: Vec<&[usize]> =
+                z.iter().map(|&i| self.codes[i].as_slice()).collect();
+            let zcode = joint_code(&zcols, self.n);
+            let mi = conditional_mutual_information(
+                &self.codes[x],
+                &self.codes[y],
+                &zcode,
+            );
+            let strata: f64 =
+                z.iter().map(|&i| self.arities[i].max(1) as f64).product();
+            let df = (self.arities[x].max(2) - 1) as f64
+                * (self.arities[y].max(2) - 1) as f64
+                * strata;
+            (mi, df)
+        };
+        // MI is in bits; G uses natural log.
+        let g = 2.0 * n * mi * std::f64::consts::LN_2;
+        CiOutcome { statistic: g, p_value: chi2_sf(g, df.max(1.0)) }
+    }
+
+    fn n_vars(&self) -> usize {
+        self.codes.len()
+    }
+}
+
+/// Mixed-data test used across the system stack (binary kernel switches,
+/// categorical policies, continuous frequencies and event counts): runs the
+/// Fisher-z test on the continuous representation. Discrete options with few
+/// levels are ordinal across the whole configuration space we model (see
+/// appendix Tables 5–9), for which the Gaussian approximation on ranks is
+/// the standard pragmatic choice; a `GTest` can be substituted for purely
+/// discrete datasets.
+pub struct MixedTest {
+    fisher: FisherZ,
+}
+
+impl MixedTest {
+    /// Builds the mixed test from raw column-major data.
+    pub fn new(columns: &[Vec<f64>]) -> Self {
+        Self { fisher: FisherZ::new(columns) }
+    }
+}
+
+impl CiTest for MixedTest {
+    fn test(&self, x: usize, y: usize, z: &[usize]) -> CiOutcome {
+        self.fisher.test(x, y, z)
+    }
+
+    fn n_vars(&self) -> usize {
+        self.fisher.n_vars()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic pseudo-uniform noise in (−0.5, 0.5).
+    fn lcg(state: &mut u64) -> f64 {
+        *state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((*state >> 11) as f64 / (1u64 << 53) as f64) - 0.5
+    }
+
+    fn chain_data(n: usize) -> Vec<Vec<f64>> {
+        // X → Y → Z chain: X ⊥ Z | Y but X ⊮ Z.
+        let mut s = 7u64;
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        let mut z = Vec::new();
+        for _ in 0..n {
+            let xi = lcg(&mut s) * 4.0;
+            let yi = 2.0 * xi + lcg(&mut s);
+            let zi = -1.5 * yi + lcg(&mut s);
+            x.push(xi);
+            y.push(yi);
+            z.push(zi);
+        }
+        vec![x, y, z]
+    }
+
+    #[test]
+    fn fisher_z_detects_chain_structure() {
+        let cols = chain_data(800);
+        let t = FisherZ::new(&cols);
+        // Marginal dependence along the chain.
+        assert!(!t.test(0, 2, &[]).independent(0.05));
+        // Conditional independence given the middle node.
+        assert!(t.test(0, 2, &[1]).independent(0.05));
+    }
+
+    #[test]
+    fn fisher_z_small_sample_degrades_gracefully() {
+        let cols = vec![vec![1.0, 2.0], vec![2.0, 4.0], vec![1.0, 0.0]];
+        let t = FisherZ::new(&cols);
+        // df ≤ 0 → inconclusive, reported as independent with p = 1.
+        let out = t.test(0, 1, &[2]);
+        assert_eq!(out.p_value, 1.0);
+    }
+
+    #[test]
+    fn g_test_detects_dependence_and_conditional_independence() {
+        // Y = X (strong dependence); W independent coin.
+        let n = 400;
+        let mut s = 99u64;
+        let x: Vec<usize> = (0..n).map(|_| (lcg(&mut s) > 0.0) as usize).collect();
+        let y = x.clone();
+        let w: Vec<usize> = (0..n).map(|_| (lcg(&mut s) > 0.0) as usize).collect();
+        let t = GTest::new(vec![x, y, w], vec![2, 2, 2]);
+        assert!(!t.test(0, 1, &[]).independent(0.01));
+        assert!(t.test(0, 2, &[]).independent(0.01));
+        // X ⊥ W even conditioned on Y.
+        assert!(t.test(0, 2, &[1]).independent(0.01));
+    }
+
+    #[test]
+    fn g_test_confounder_screening() {
+        // Z fair coin; X = Z noisy copy; Y = Z noisy copy.
+        let n = 2000;
+        let mut s = 5u64;
+        let z: Vec<usize> = (0..n).map(|_| (lcg(&mut s) > 0.0) as usize).collect();
+        let flip = |v: usize, s: &mut u64| {
+            if lcg(s).abs() < 0.05 {
+                1 - v
+            } else {
+                v
+            }
+        };
+        let x: Vec<usize> = z.iter().map(|&v| flip(v, &mut s)).collect();
+        let y: Vec<usize> = z.iter().map(|&v| flip(v, &mut s)).collect();
+        let t = GTest::new(vec![x, y, z], vec![2, 2, 2]);
+        assert!(!t.test(0, 1, &[]).independent(0.01));
+        assert!(t.test(0, 1, &[2]).independent(0.01));
+    }
+}

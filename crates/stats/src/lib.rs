@@ -1,0 +1,62 @@
+//! # unicorn-stats
+//!
+//! Self-contained statistics and numerics substrate for the Unicorn
+//! (EuroSys '22) reproduction. Because no suitable causal-discovery or
+//! statistics crates exist offline, everything here is implemented from
+//! first principles: dense linear algebra, special functions, probability
+//! distributions, correlation and conditional-independence tests, entropy
+//! estimators, discretization, stepwise polynomial regression, and
+//! multi-objective quality indicators.
+//!
+//! The API is deliberately small and deterministic: no global state, no
+//! RNG (callers that need randomness seed their own `rand` generators).
+
+pub mod correlation;
+pub mod descriptive;
+pub mod discretize;
+pub mod dist;
+pub mod entropy;
+pub mod independence;
+pub mod matrix;
+pub mod pareto;
+pub mod ranking;
+pub mod regression;
+pub mod special;
+
+pub use correlation::{correlation_matrix, partial_correlation, pearson, spearman};
+pub use descriptive::{mape, mean, median, quantile, r_squared, standardize, std_dev, variance};
+pub use discretize::{discretize_columns, Discretizer};
+pub use entropy::{conditional_mutual_information, entropy, mutual_information};
+pub use independence::{CiOutcome, CiTest, FisherZ, GTest, MixedTest};
+pub use matrix::{ols, Matrix};
+pub use pareto::{dominates, hypervolume_2d, hypervolume_error, pareto_front};
+pub use ranking::{jaccard, ranks_with_ties, weighted_jaccard};
+pub use regression::{bic, fit_terms, stepwise_fit, PolyModel, StepwiseOptions, Term};
+
+/// Errors surfaced by the numerics layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StatsError {
+    /// Operation requires a square matrix.
+    NotSquare,
+    /// Cholesky factorization of a non-positive-definite matrix.
+    NotPositiveDefinite,
+    /// Matrix is numerically singular.
+    Singular,
+    /// Incompatible dimensions.
+    DimensionMismatch,
+}
+
+impl std::fmt::Display for StatsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StatsError::NotSquare => write!(f, "matrix is not square"),
+            StatsError::NotPositiveDefinite => {
+                write!(f, "matrix is not positive definite")
+            }
+            StatsError::Singular => write!(f, "matrix is singular"),
+            StatsError::DimensionMismatch => write!(f, "dimension mismatch"),
+        }
+    }
+}
+
+impl std::error::Error for StatsError {}

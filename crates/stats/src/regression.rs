@@ -1,0 +1,421 @@
+//! Polynomial regression with stepwise term selection.
+//!
+//! This powers two things: (i) the *performance-influence models* the paper
+//! uses as the incumbent industry approach (§2, Figs 4/5/21/22 — non-linear
+//! regression with forward and backward elimination, stepwise training); and
+//! (ii) the functional nodes of fitted causal performance models (§3 —
+//! "we characterize the functional nodes with polynomial models").
+
+use crate::descriptive::{mape, mean, r_squared};
+use crate::matrix::{ols, Matrix};
+use crate::StatsError;
+
+/// A polynomial term: a multiset of variable indices.
+///
+/// `[]` is the intercept, `[3]` is `x₃`, `[3, 3]` is `x₃²`, `[1, 4]` is the
+/// interaction `x₁·x₄`. Indices are kept sorted so equal terms compare equal.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Term(pub Vec<usize>);
+
+impl Term {
+    /// The intercept term.
+    pub fn intercept() -> Self {
+        Term(Vec::new())
+    }
+
+    /// A single-variable linear term.
+    pub fn linear(i: usize) -> Self {
+        Term(vec![i])
+    }
+
+    /// An interaction (or power) term over the given indices.
+    pub fn interaction(mut idx: Vec<usize>) -> Self {
+        idx.sort_unstable();
+        Term(idx)
+    }
+
+    /// Degree of the term (0 for the intercept).
+    pub fn degree(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Distinct variables appearing in the term.
+    pub fn variables(&self) -> Vec<usize> {
+        let mut v = self.0.clone();
+        v.dedup();
+        v
+    }
+
+    /// Evaluates the term on one row of predictor values.
+    pub fn eval(&self, row: &dyn Fn(usize) -> f64) -> f64 {
+        self.0.iter().map(|&i| row(i)).product()
+    }
+
+    /// Human-readable rendering with variable names, e.g.
+    /// `"CPU Frequency ⊗ Bitrate"` (matching the paper's Fig 5 notation).
+    pub fn render(&self, names: &dyn Fn(usize) -> String) -> String {
+        if self.0.is_empty() {
+            return "1".to_string();
+        }
+        self.0
+            .iter()
+            .map(|&i| names(i))
+            .collect::<Vec<_>>()
+            .join(" ⊗ ")
+    }
+}
+
+/// A fitted linear-in-parameters polynomial model `y = Σ βᵢ·termᵢ`.
+#[derive(Debug, Clone)]
+pub struct PolyModel {
+    /// Selected terms, first is always the intercept.
+    pub terms: Vec<Term>,
+    /// Coefficients aligned with `terms`.
+    pub coefficients: Vec<f64>,
+    /// Training residual variance (biased MLE denominator, for BIC).
+    pub sigma2: f64,
+    /// Training R².
+    pub r2: f64,
+}
+
+impl PolyModel {
+    /// Predicts one sample given a column-value accessor.
+    pub fn predict_row(&self, row: &dyn Fn(usize) -> f64) -> f64 {
+        self.terms
+            .iter()
+            .zip(&self.coefficients)
+            .map(|(t, &b)| b * t.eval(row))
+            .sum()
+    }
+
+    /// Predicts all rows of column-major data.
+    pub fn predict(&self, columns: &[Vec<f64>]) -> Vec<f64> {
+        let n = columns.first().map_or(0, Vec::len);
+        (0..n)
+            .map(|r| self.predict_row(&|i: usize| columns[i][r]))
+            .collect()
+    }
+
+    /// Coefficient of a specific term, if present.
+    pub fn coefficient(&self, term: &Term) -> Option<f64> {
+        self.terms
+            .iter()
+            .position(|t| t == term)
+            .map(|i| self.coefficients[i])
+    }
+
+    /// Mean absolute percentage error on a dataset.
+    pub fn mape_on(&self, columns: &[Vec<f64>], y: &[f64]) -> f64 {
+        mape(y, &self.predict(columns))
+    }
+
+    /// Non-intercept terms (the "predictors" in the paper's Fig 4 sense).
+    pub fn predictors(&self) -> Vec<&Term> {
+        self.terms.iter().filter(|t| t.degree() > 0).collect()
+    }
+}
+
+/// Builds the design matrix for a term set over column-major data.
+fn design(columns: &[Vec<f64>], terms: &[Term]) -> Matrix {
+    let n = columns.first().map_or(0, Vec::len);
+    let mut m = Matrix::zeros(n, terms.len());
+    for r in 0..n {
+        for (c, t) in terms.iter().enumerate() {
+            m[(r, c)] = t.eval(&|i: usize| columns[i][r]);
+        }
+    }
+    m
+}
+
+/// Fits OLS coefficients for a fixed term set.
+pub fn fit_terms(
+    columns: &[Vec<f64>],
+    y: &[f64],
+    terms: &[Term],
+) -> Result<PolyModel, StatsError> {
+    let x = design(columns, terms);
+    let beta = ols(&x, y)?;
+    let pred = x.matvec(&beta);
+    let n = y.len() as f64;
+    let sse: f64 = y.iter().zip(&pred).map(|(a, p)| (a - p) * (a - p)).sum();
+    Ok(PolyModel {
+        terms: terms.to_vec(),
+        coefficients: beta,
+        sigma2: (sse / n).max(1e-300),
+        r2: r_squared(y, &pred),
+    })
+}
+
+/// Bayesian information criterion of a fitted model (lower is better).
+pub fn bic(model: &PolyModel, n: usize) -> f64 {
+    let k = model.terms.len() as f64;
+    let n = n as f64;
+    n * model.sigma2.ln() + k * n.ln()
+}
+
+/// Options for stepwise selection.
+#[derive(Debug, Clone)]
+pub struct StepwiseOptions {
+    /// Maximum interaction degree of candidate terms (2 ⇒ pairwise, 3 ⇒
+    /// also three-way interactions, as in the paper's Fig 5).
+    pub max_degree: usize,
+    /// Hard cap on selected non-intercept terms.
+    pub max_terms: usize,
+    /// Minimum BIC improvement required to add a term.
+    pub min_improvement: f64,
+    /// Whether to run backward elimination after forward selection.
+    pub backward: bool,
+}
+
+impl Default for StepwiseOptions {
+    fn default() -> Self {
+        Self { max_degree: 3, max_terms: 40, min_improvement: 1e-6, backward: true }
+    }
+}
+
+/// Stepwise (forward + backward) selection of polynomial terms, the
+/// construction used for performance-influence models in the systems
+/// literature (Siegmund et al., FSE'15) and reproduced by the paper in §2.
+///
+/// Candidate pool: all linear terms and squares; pairwise interactions among
+/// variables already found relevant; three-way interactions among relevant
+/// pairs when `max_degree ≥ 3`. Growing the pool hierarchically keeps the
+/// search polynomial in the number of options.
+pub fn stepwise_fit(
+    columns: &[Vec<f64>],
+    y: &[f64],
+    opts: &StepwiseOptions,
+) -> Result<PolyModel, StatsError> {
+    let p = columns.len();
+    let n = y.len();
+    let mut selected = vec![Term::intercept()];
+    let mut model = fit_terms(columns, y, &selected)?;
+    let mut best_bic = bic(&model, n);
+
+    // Candidate generation: all linear terms and squares, plus pairwise
+    // interactions pre-screened by |corr(xᵢ·xⱼ, y)| so that interactions
+    // without main effects (weak heredity violations) are still reachable
+    // while the pool stays tractable for large option counts.
+    let mut pool: Vec<Term> = (0..p).map(Term::linear).collect();
+    pool.extend((0..p).map(|i| Term::interaction(vec![i, i])));
+    let mut pair_scores: Vec<(f64, Term)> = Vec::new();
+    for i in 0..p {
+        for j in i + 1..p {
+            let prod: Vec<f64> =
+                (0..n).map(|r| columns[i][r] * columns[j][r]).collect();
+            let score = crate::correlation::pearson(&prod, y).abs();
+            pair_scores.push((score, Term::interaction(vec![i, j])));
+        }
+    }
+    pair_scores.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("NaN pair score"));
+    let keep = (3 * opts.max_terms).max(60);
+    pool.extend(pair_scores.into_iter().take(keep).map(|(_, t)| t));
+
+    let mut added_vars: Vec<usize> = Vec::new();
+    loop {
+        if selected.len() - 1 >= opts.max_terms {
+            break;
+        }
+        // Forward step: try every pool candidate not yet selected.
+        let mut best: Option<(f64, Term)> = None;
+        for cand in &pool {
+            if selected.contains(cand) {
+                continue;
+            }
+            let mut trial = selected.clone();
+            trial.push(cand.clone());
+            if let Ok(m) = fit_terms(columns, y, &trial) {
+                let b = bic(&m, n);
+                if b < best_bic - opts.min_improvement
+                    && best.as_ref().is_none_or(|(bb, _)| b < *bb)
+                {
+                    best = Some((b, cand.clone()));
+                }
+            }
+        }
+        let Some((b, term)) = best else { break };
+        best_bic = b;
+        for v in term.variables() {
+            if !added_vars.contains(&v) {
+                added_vars.push(v);
+                // New variable joined the model: extend the pool with its
+                // pairwise interactions against other relevant variables.
+                for &u in &added_vars {
+                    if u != v {
+                        let t = Term::interaction(vec![u, v]);
+                        if !pool.contains(&t) {
+                            pool.push(t);
+                        }
+                    }
+                }
+            }
+        }
+        if opts.max_degree >= 3 {
+            // Extend with three-way interactions among the term's variables
+            // and previously selected variables.
+            for &u in &added_vars {
+                let mut idx = term.0.clone();
+                if idx.len() == 2 && !idx.contains(&u) {
+                    idx.push(u);
+                    let t = Term::interaction(idx);
+                    if !pool.contains(&t) {
+                        pool.push(t);
+                    }
+                }
+            }
+        }
+        selected.push(term);
+        model = fit_terms(columns, y, &selected)?;
+    }
+
+    // Backward elimination: drop terms whose removal improves BIC.
+    if opts.backward {
+        loop {
+            let mut best: Option<(f64, usize)> = None;
+            for i in 1..selected.len() {
+                let mut trial = selected.clone();
+                trial.remove(i);
+                if let Ok(m) = fit_terms(columns, y, &trial) {
+                    let b = bic(&m, n);
+                    if b < best_bic && best.as_ref().is_none_or(|(bb, _)| b < *bb) {
+                        best = Some((b, i));
+                    }
+                }
+            }
+            let Some((b, i)) = best else { break };
+            best_bic = b;
+            selected.remove(i);
+        }
+        model = fit_terms(columns, y, &selected)?;
+    }
+    Ok(model)
+}
+
+/// Convenience re-export of the residuals of a fit.
+pub fn residuals(model: &PolyModel, columns: &[Vec<f64>], y: &[f64]) -> Vec<f64> {
+    model
+        .predict(columns)
+        .into_iter()
+        .zip(y)
+        .map(|(p, &a)| a - p)
+        .collect()
+}
+
+/// Centers `y` and returns `(centered, mean)`; occasionally useful before
+/// fitting intercept-free models.
+pub fn center(y: &[f64]) -> (Vec<f64>, f64) {
+    let m = mean(y);
+    (y.iter().map(|v| v - m).collect(), m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lcg(state: &mut u64) -> f64 {
+        *state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((*state >> 11) as f64 / (1u64 << 53) as f64) - 0.5
+    }
+
+    #[test]
+    fn term_ordering_and_render() {
+        let t = Term::interaction(vec![4, 1]);
+        assert_eq!(t, Term(vec![1, 4]));
+        assert_eq!(t.render(&|i| format!("x{i}")), "x1 ⊗ x4");
+        assert_eq!(Term::intercept().render(&|_| unreachable!()), "1");
+    }
+
+    #[test]
+    fn fit_exact_polynomial() {
+        // y = 1 + 2 x0 + 3 x0 x1.
+        let mut s = 3u64;
+        let n = 200;
+        let x0: Vec<f64> = (0..n).map(|_| lcg(&mut s) * 2.0).collect();
+        let x1: Vec<f64> = (0..n).map(|_| lcg(&mut s) * 2.0).collect();
+        let y: Vec<f64> = (0..n)
+            .map(|i| 1.0 + 2.0 * x0[i] + 3.0 * x0[i] * x1[i])
+            .collect();
+        let terms = vec![
+            Term::intercept(),
+            Term::linear(0),
+            Term::interaction(vec![0, 1]),
+        ];
+        let m = fit_terms(&[x0, x1], &y, &terms).unwrap();
+        assert!((m.coefficients[0] - 1.0).abs() < 1e-6);
+        assert!((m.coefficients[1] - 2.0).abs() < 1e-6);
+        assert!((m.coefficients[2] - 3.0).abs() < 1e-6);
+        assert!(m.r2 > 0.999_999);
+    }
+
+    #[test]
+    fn stepwise_recovers_true_terms() {
+        // y = 5 + 4 x1 - 2 x0 x2 + noise; x3 is irrelevant.
+        let mut s = 11u64;
+        let n = 400;
+        let cols: Vec<Vec<f64>> = (0..4)
+            .map(|_| (0..n).map(|_| lcg(&mut s) * 2.0).collect())
+            .collect();
+        let y: Vec<f64> = (0..n)
+            .map(|i| {
+                5.0 + 4.0 * cols[1][i] - 2.0 * cols[0][i] * cols[2][i]
+                    + 0.05 * lcg(&mut s)
+            })
+            .collect();
+        let m = stepwise_fit(&cols, &y, &StepwiseOptions::default()).unwrap();
+        let preds: Vec<&Term> = m.predictors();
+        assert!(
+            preds.contains(&&Term::linear(1)),
+            "missing linear term: {preds:?}"
+        );
+        assert!(
+            preds.contains(&&Term::interaction(vec![0, 2])),
+            "missing interaction: {preds:?}"
+        );
+        // The irrelevant variable should not appear.
+        assert!(
+            !preds.iter().any(|t| t.variables().contains(&3)),
+            "spurious x3 term: {preds:?}"
+        );
+        assert!(m.r2 > 0.99);
+    }
+
+    #[test]
+    fn bic_penalizes_complexity() {
+        let mut s = 17u64;
+        let n = 100;
+        let x: Vec<f64> = (0..n).map(|_| lcg(&mut s)).collect();
+        let y: Vec<f64> = x.iter().map(|v| 2.0 * v + 0.01 * lcg(&mut s)).collect();
+        let small = fit_terms(
+            &[x.clone()],
+            &y,
+            &[Term::intercept(), Term::linear(0)],
+        )
+        .unwrap();
+        let big = fit_terms(
+            &[x],
+            &y,
+            &[
+                Term::intercept(),
+                Term::linear(0),
+                Term::interaction(vec![0, 0]),
+                Term::interaction(vec![0, 0, 0]),
+            ],
+        )
+        .unwrap();
+        assert!(bic(&small, n) < bic(&big, n));
+    }
+
+    #[test]
+    fn predict_matches_training_fit() {
+        let cols = vec![vec![0.0, 1.0, 2.0, 3.0]];
+        let y = vec![1.0, 3.0, 5.0, 7.0];
+        let m = fit_terms(&cols, &y, &[Term::intercept(), Term::linear(0)]).unwrap();
+        let pred = m.predict(&cols);
+        for (p, a) in pred.iter().zip(&y) {
+            assert!((p - a).abs() < 1e-8);
+        }
+        assert!(m.mape_on(&cols, &y) < 1e-6);
+    }
+}

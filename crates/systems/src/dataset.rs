@@ -1,0 +1,189 @@
+//! Observational datasets: batches of measured samples in the column-major
+//! layout consumed by discovery and inference, plus the value domains
+//! needed by the causal engine.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use unicorn_graph::TierConstraints;
+use unicorn_inference::{quantile_values, ExplicitDomain};
+
+use crate::config::Config;
+use crate::measurement::{Sample, Simulator};
+
+/// A column-major dataset over a system's node set.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// Node names (options, events, objectives).
+    pub names: Vec<String>,
+    /// Per-node columns.
+    pub columns: Vec<Vec<f64>>,
+    /// Number of options (prefix of the node order).
+    pub n_options: usize,
+    /// Number of events.
+    pub n_events: usize,
+}
+
+impl Dataset {
+    /// An empty dataset shaped for `sim`'s system.
+    pub fn empty(sim: &Simulator) -> Self {
+        let names = sim.model.names();
+        Self {
+            columns: vec![Vec::new(); names.len()],
+            names,
+            n_options: sim.model.n_options(),
+            n_events: sim.model.n_events(),
+        }
+    }
+
+    /// Number of samples.
+    pub fn n_rows(&self) -> usize {
+        self.columns.first().map_or(0, Vec::len)
+    }
+
+    /// Appends a measured sample.
+    pub fn push(&mut self, sample: &Sample) {
+        let row = sample.row();
+        assert_eq!(row.len(), self.columns.len(), "row width mismatch");
+        for (col, v) in self.columns.iter_mut().zip(row) {
+            col.push(v);
+        }
+    }
+
+    /// Appends a raw row.
+    pub fn push_row(&mut self, row: &[f64]) {
+        assert_eq!(row.len(), self.columns.len(), "row width mismatch");
+        for (col, &v) in self.columns.iter_mut().zip(row) {
+            col.push(v);
+        }
+    }
+
+    /// One full row.
+    pub fn row(&self, r: usize) -> Vec<f64> {
+        self.columns.iter().map(|c| c[r]).collect()
+    }
+
+    /// The configuration stored in row `r`.
+    pub fn config(&self, r: usize) -> Config {
+        Config {
+            values: self.columns[..self.n_options]
+                .iter()
+                .map(|c| c[r])
+                .collect(),
+        }
+    }
+
+    /// The objective columns (suffix of the node order).
+    pub fn objective_column(&self, obj_idx: usize) -> &[f64] {
+        &self.columns[self.n_options + self.n_events + obj_idx]
+    }
+
+    /// Node id of objective `obj_idx`.
+    pub fn objective_node(&self, obj_idx: usize) -> usize {
+        self.n_options + self.n_events + obj_idx
+    }
+
+    /// The value domains for the causal engine: options enumerate their
+    /// grids, events and objectives use empirical quantiles.
+    pub fn domains(&self, sim: &Simulator) -> ExplicitDomain {
+        let mut values = Vec::with_capacity(self.columns.len());
+        for (i, col) in self.columns.iter().enumerate() {
+            if i < self.n_options {
+                values.push(sim.model.space.option(i).values.clone());
+            } else {
+                values.push(quantile_values(col));
+            }
+        }
+        ExplicitDomain { values }
+    }
+
+    /// Tier constraints for this dataset's node order.
+    pub fn tiers(&self, sim: &Simulator) -> TierConstraints {
+        sim.model.tiers()
+    }
+
+    /// Concatenates two datasets over the same node set.
+    pub fn extended_with(&self, other: &Dataset) -> Dataset {
+        assert_eq!(self.names, other.names, "incompatible datasets");
+        let mut out = self.clone();
+        for (col, o) in out.columns.iter_mut().zip(&other.columns) {
+            col.extend_from_slice(o);
+        }
+        out
+    }
+}
+
+/// Measures `n` uniformly random configurations.
+pub fn generate(sim: &Simulator, n: usize, seed: u64) -> Dataset {
+    let mut ds = Dataset::empty(sim);
+    let mut rng = StdRng::seed_from_u64(seed);
+    for _ in 0..n {
+        let c = sim.model.space.random_config(&mut rng);
+        ds.push(&sim.measure(&c));
+    }
+    ds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::environment::{Environment, Hardware};
+    use crate::systems::SubjectSystem;
+
+    fn sim() -> Simulator {
+        Simulator::new(
+            SubjectSystem::Xception.build(),
+            Environment::on(Hardware::Tx2),
+            7,
+        )
+    }
+
+    #[test]
+    fn generation_shapes() {
+        let s = sim();
+        let ds = generate(&s, 25, 3);
+        assert_eq!(ds.n_rows(), 25);
+        assert_eq!(ds.columns.len(), s.model.n_nodes());
+        assert_eq!(ds.names.len(), s.model.n_nodes());
+    }
+
+    #[test]
+    fn config_roundtrip() {
+        let s = sim();
+        let ds = generate(&s, 5, 3);
+        let c = ds.config(2);
+        assert_eq!(c.values.len(), s.model.n_options());
+        // Every recovered value is on the option's grid.
+        for (i, v) in c.values.iter().enumerate() {
+            assert!(s.model.space.option(i).values.contains(v));
+        }
+    }
+
+    #[test]
+    fn domains_cover_all_nodes() {
+        let s = sim();
+        let ds = generate(&s, 30, 3);
+        let d = ds.domains(&s);
+        assert_eq!(d.values.len(), s.model.n_nodes());
+        // Option domains are the grids; objective domains are quantiles.
+        assert_eq!(d.values[0], s.model.space.option(0).values);
+        assert!(!d.values[ds.objective_node(0)].is_empty());
+    }
+
+    #[test]
+    fn extension_concatenates() {
+        let s = sim();
+        let a = generate(&s, 10, 1);
+        let b = generate(&s, 5, 2);
+        let c = a.extended_with(&b);
+        assert_eq!(c.n_rows(), 15);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let s = sim();
+        let a = generate(&s, 8, 11);
+        let b = generate(&s, 8, 11);
+        assert_eq!(a.columns, b.columns);
+    }
+}

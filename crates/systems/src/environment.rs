@@ -1,0 +1,219 @@
+//! Deployment environments: the NVIDIA Jetson platforms of the paper,
+//! modeled as parametric scaling profiles, plus workloads.
+//!
+//! **Substitution note** (see DESIGN.md): Unicorn only ever observes
+//! `(configuration, events, objectives)` tuples, so the hardware's role in
+//! the study is to (i) scale performance and (ii) *shift the functional
+//! mechanisms* between platforms with different microarchitectures. The
+//! profiles below do exactly that: each platform carries multiplicative
+//! factors that the ground-truth mechanisms exponentiate per term, which
+//! changes regression coefficients across environments (the paper's
+//! Figs 4/5) while leaving the causal structure invariant (Fig 4b).
+
+/// A Jetson-class hardware platform.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Hardware {
+    /// NVIDIA Jetson TX1 (slowest; Maxwell GPU, A57 cores).
+    Tx1,
+    /// NVIDIA Jetson TX2 (Pascal GPU, Denver2+A57; different microarch).
+    Tx2,
+    /// NVIDIA Jetson Xavier (fastest; Volta GPU, Carmel cores).
+    Xavier,
+}
+
+impl Hardware {
+    /// All platforms used in the study.
+    pub fn all() -> [Hardware; 3] {
+        [Hardware::Tx1, Hardware::Tx2, Hardware::Xavier]
+    }
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Hardware::Tx1 => "TX1",
+            Hardware::Tx2 => "TX2",
+            Hardware::Xavier => "Xavier",
+        }
+    }
+
+    /// The platform's scaling profile.
+    pub fn profile(&self) -> HardwareProfile {
+        match self {
+            Hardware::Tx1 => HardwareProfile {
+                cpu: 0.55,
+                gpu: 0.45,
+                mem: 0.60,
+                energy: 1.15,
+                thermal: 1.25,
+                microarch: 0.80,
+            },
+            Hardware::Tx2 => HardwareProfile {
+                cpu: 1.00,
+                gpu: 1.00,
+                mem: 1.00,
+                energy: 1.00,
+                thermal: 1.00,
+                microarch: 1.00,
+            },
+            Hardware::Xavier => HardwareProfile {
+                cpu: 1.80,
+                gpu: 2.10,
+                mem: 1.60,
+                energy: 0.85,
+                thermal: 0.80,
+                microarch: 1.35,
+            },
+        }
+    }
+}
+
+/// Multiplicative platform factors consumed by ground-truth mechanisms.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HardwareProfile {
+    /// CPU throughput factor.
+    pub cpu: f64,
+    /// GPU throughput factor.
+    pub gpu: f64,
+    /// Memory-bandwidth factor.
+    pub mem: f64,
+    /// Energy-cost factor (higher ⇒ more joules per unit work).
+    pub energy: f64,
+    /// Thermal factor (higher ⇒ more heat per unit work).
+    pub thermal: f64,
+    /// Microarchitecture factor: scales *interaction* terms, which is what
+    /// makes coefficients drift between platforms (Fig 5).
+    pub microarch: f64,
+}
+
+/// A workload: what the system processes during a measurement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Workload {
+    /// Display name (e.g. `"5k test images"`).
+    pub name: String,
+    /// Size factor relative to the system's reference workload (1.0).
+    pub scale: f64,
+}
+
+impl Workload {
+    /// The system's reference workload.
+    pub fn reference(name: &str) -> Self {
+        Self { name: name.to_string(), scale: 1.0 }
+    }
+
+    /// A scaled variant (e.g. `scale = 10.0` for the 50k-image Xception
+    /// workload when the reference is 5k).
+    pub fn scaled(name: &str, scale: f64) -> Self {
+        Self { name: name.to_string(), scale }
+    }
+}
+
+/// A full deployment environment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Environment {
+    /// Hardware platform.
+    pub hardware: Hardware,
+    /// Workload.
+    pub workload: Workload,
+}
+
+impl Environment {
+    /// Environment on the reference workload.
+    pub fn new(hardware: Hardware, workload: Workload) -> Self {
+        Self { hardware, workload }
+    }
+
+    /// Shorthand: hardware with the per-system default workload.
+    pub fn on(hardware: Hardware) -> Self {
+        Self { hardware, workload: Workload::reference("default") }
+    }
+
+    /// The env-parameter vector consumed by mechanisms.
+    pub fn params(&self) -> EnvParams {
+        let p = self.hardware.profile();
+        EnvParams {
+            cpu: p.cpu,
+            gpu: p.gpu,
+            mem: p.mem,
+            energy: p.energy,
+            thermal: p.thermal,
+            microarch: p.microarch,
+            workload: self.workload.scale,
+        }
+    }
+}
+
+/// Flattened environment parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnvParams {
+    /// CPU throughput factor.
+    pub cpu: f64,
+    /// GPU throughput factor.
+    pub gpu: f64,
+    /// Memory-bandwidth factor.
+    pub mem: f64,
+    /// Energy-cost factor.
+    pub energy: f64,
+    /// Thermal factor.
+    pub thermal: f64,
+    /// Microarchitecture factor.
+    pub microarch: f64,
+    /// Workload scale.
+    pub workload: f64,
+}
+
+impl EnvParams {
+    /// Neutral parameters (all ones) — used by unit tests.
+    pub fn neutral() -> Self {
+        Self {
+            cpu: 1.0,
+            gpu: 1.0,
+            mem: 1.0,
+            energy: 1.0,
+            thermal: 1.0,
+            microarch: 1.0,
+            workload: 1.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn platforms_are_ordered_by_speed() {
+        let tx1 = Hardware::Tx1.profile();
+        let tx2 = Hardware::Tx2.profile();
+        let xavier = Hardware::Xavier.profile();
+        assert!(tx1.cpu < tx2.cpu && tx2.cpu < xavier.cpu);
+        assert!(tx1.gpu < tx2.gpu && tx2.gpu < xavier.gpu);
+        // Faster platforms burn fewer joules per unit of work here.
+        assert!(xavier.energy < tx1.energy);
+    }
+
+    #[test]
+    fn microarch_differs_across_platforms() {
+        // The coefficient-drift mechanism requires distinct microarch
+        // factors (Fig 5's phenomenon).
+        let m: Vec<f64> =
+            Hardware::all().iter().map(|h| h.profile().microarch).collect();
+        assert!(m[0] != m[1] && m[1] != m[2]);
+    }
+
+    #[test]
+    fn environment_params_include_workload() {
+        let env = Environment::new(
+            Hardware::Xavier,
+            Workload::scaled("10k images", 2.0),
+        );
+        let p = env.params();
+        assert_eq!(p.workload, 2.0);
+        assert_eq!(p.cpu, Hardware::Xavier.profile().cpu);
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(Hardware::Tx1.name(), "TX1");
+        assert_eq!(Hardware::Xavier.name(), "Xavier");
+    }
+}

@@ -1,0 +1,245 @@
+//! Scalability variants (Table 3): SQLite with 242 modifiable options and
+//! 288 events; Deepstream with 288 events.
+//!
+//! The paper's larger scenarios add (i) the full set of modifiable SQLite
+//! PRAGMA/compile-time options and (ii) the kernel *tracepoint* event
+//! groups (Block, Scheduler, IRQ, ext4). Most of the extra variables have
+//! little or no causal influence — which is precisely the phenomenon
+//! Table 3 documents (average node degree *drops* as variables grow, so
+//! runtime does not explode). We reproduce that: extra options are padded
+//! PRAGMA-like knobs with tiny or zero effect; extra events are tracepoint
+//! counters hanging off the base events or isolated noise.
+
+use crate::config::OptionKind;
+use crate::gtm::{EnvExp, SystemBuilder, SystemModel, Transform};
+use crate::substrate::{
+    add_base_events, add_stack_options, add_standard_objectives, AppWeights,
+    ObjectiveWeights,
+};
+
+/// Tracepoint subsystems (appendix Table 10).
+const TRACEPOINT_GROUPS: [&str; 4] = ["block", "sched", "irq", "ext4"];
+
+/// Adds `n_extra` synthetic PRAGMA-like options. One in eight gets a weak
+/// genuine mechanism hook (returned as a list of names); the rest are
+/// no-ops, mirroring how most of SQLite's 242 options do not influence the
+/// measured workloads.
+fn add_padding_options(b: &mut SystemBuilder, n_extra: usize) -> Vec<String> {
+    let mut hooked = Vec::new();
+    for i in 0..n_extra {
+        let name = format!("PRAGMA EXT_{i:03}");
+        b.option(&name, &[0.0, 1.0, 2.0], OptionKind::Software);
+        if i % 8 == 0 {
+            hooked.push(name);
+        }
+    }
+    hooked
+}
+
+/// Adds tracepoint events until the total event count reaches `target`.
+/// Every fourth tracepoint hangs off a base event (weak edge); the rest
+/// are isolated counters.
+fn add_tracepoint_events(b: &mut SystemBuilder, base_events: &[&str], target_extra: usize) {
+    for i in 0..target_extra {
+        let group = TRACEPOINT_GROUPS[i % TRACEPOINT_GROUPS.len()];
+        let name = format!("tp:{group}:{i:03}");
+        b.event(&name, 1.0e4, 0.05);
+        b.bias(&name, 0.1);
+        if i % 4 == 0 {
+            let parent = base_events[i % base_events.len()];
+            b.term(&name, 0.15, &[parent], EnvExp::none());
+        }
+    }
+}
+
+/// Builds the SQLite scalability variant.
+///
+/// * `n_options = 34` reproduces the baseline scenario (delegates to the
+///   standard model).
+/// * `n_options = 242` adds 208 padding PRAGMA options.
+/// * `n_events = 19` keeps the base `perf` events; `288` adds the 269
+///   tracepoint counters.
+pub fn sqlite_variant(n_options: usize, n_events: usize) -> SystemModel {
+    assert!(n_options >= 34, "SQLite baseline has 34 options");
+    assert!(n_events >= 19, "base event set has 19 events");
+    let mut b = SystemBuilder::new("SQLite");
+
+    // Reproduce the 8 PRAGMA options of the standard model.
+    b.option("PRAGMA TEMP_STORE", &[0.0, 1.0, 2.0], OptionKind::Software);
+    b.option("PRAGMA JOURNAL_MODE", &[0.0, 1.0, 2.0, 3.0, 4.0], OptionKind::Software);
+    b.option_with_default("PRAGMA SYNCHRONOUS", &[0.0, 1.0, 2.0], OptionKind::Software, 1);
+    b.option("PRAGMA LOCKING_MODE", &[0.0, 1.0], OptionKind::Software);
+    b.option_with_default(
+        "PRAGMA CACHE_SIZE",
+        &[0.0, 1000.0, 2000.0, 4000.0, 10000.0],
+        OptionKind::Software,
+        2,
+    );
+    b.option_with_default("PRAGMA PAGE_SIZE", &[2048.0, 4096.0, 8192.0], OptionKind::Software, 1);
+    b.option("PRAGMA MAX_PAGE_COUNT", &[32.0, 64.0], OptionKind::Software);
+    b.option(
+        "PRAGMA MMAP_SIZE",
+        &[30_000_000_000.0, 60_000_000_000.0],
+        OptionKind::Software,
+    );
+
+    let hooked = add_padding_options(&mut b, n_options - 34);
+    add_stack_options(&mut b);
+    add_base_events(
+        &mut b,
+        &AppWeights { compute: 0.6, memory: 1.0, branch: 0.7, io: 1.4 },
+    );
+
+    // Core PRAGMA wiring (same as the standard model).
+    b.term("Number of Syscall Enter", 0.45, &["PRAGMA SYNCHRONOUS"], EnvExp::none())
+        .term("Number of Syscall Enter", -0.30, &["PRAGMA JOURNAL_MODE"], EnvExp::none())
+        .term("Cache References", -0.35, &["PRAGMA CACHE_SIZE"], EnvExp::none())
+        .term("Cache References", 0.25, &["PRAGMA PAGE_SIZE"], EnvExp::none())
+        .term(
+            "Major Faults",
+            0.40,
+            &["PRAGMA MMAP_SIZE", "vm.swappiness"],
+            EnvExp::microarch(0.5),
+        )
+        .term("Minor Faults", 0.30, &["PRAGMA MMAP_SIZE"], EnvExp::none())
+        .term("Scheduler Sleep Time", 0.45, &["PRAGMA SYNCHRONOUS"], EnvExp::none())
+        .term(
+            "Scheduler Sleep Time",
+            -0.25,
+            &["PRAGMA SYNCHRONOUS", "PRAGMA JOURNAL_MODE"],
+            EnvExp::microarch(0.4),
+        )
+        .term("Context Switches", 0.25, &["PRAGMA LOCKING_MODE"], EnvExp::none())
+        .term("Instructions", 0.20, &["PRAGMA TEMP_STORE"], EnvExp::none());
+
+    // Weak hooks for a sparse subset of the padding options.
+    for (k, name) in hooked.iter().enumerate() {
+        let target = if k % 2 == 0 { "Minor Faults" } else { "Instructions" };
+        b.term(target, 0.03, &[name.as_str()], EnvExp::none());
+    }
+
+    if n_events > 19 {
+        let bases: Vec<&str> = vec![
+            "Context Switches",
+            "Number of Syscall Enter",
+            "Cache Misses",
+            "Scheduler Sleep Time",
+        ];
+        add_tracepoint_events(&mut b, &bases, n_events - 19);
+    }
+
+    add_standard_objectives(
+        &mut b,
+        &ObjectiveWeights {
+            latency_scale: 8.0,
+            lat_cycles: 0.55,
+            lat_cache: 0.50,
+            lat_faults: 1.25,
+            lat_wait: 0.60,
+            energy_scale: 45.0,
+            heat_scale: 15.0,
+        },
+    );
+    b.term(
+        "Latency",
+        0.55,
+        &["PRAGMA SYNCHRONOUS", "PRAGMA LOCKING_MODE"],
+        EnvExp { mem: -0.3, workload: 1.0, ..EnvExp::none() },
+    )
+    .term("Latency", 0.35, &["Scheduler Sleep Time"], EnvExp::none());
+
+    b.build()
+}
+
+/// Builds the Deepstream scalability variant with extra tracepoint events
+/// (`n_events = 20` is the standard model's count; 288 pads it out).
+pub fn deepstream_variant(n_events: usize) -> SystemModel {
+    let base = crate::systems::deepstream::build();
+    if n_events <= base.n_events() {
+        return base;
+    }
+    // Rebuild with appended tracepoints: we clone the structure by
+    // replaying the standard builder and adding events before objectives
+    // is not possible post-hoc, so instead we extend the node list
+    // directly — tracepoints depend only on base events, which precede
+    // them, and objectives must stay last.
+    let mut model = base;
+    let extra = n_events - model.n_events();
+    let n_opt = model.n_options();
+    // Insert tracepoint nodes between events and objectives.
+    let insert_at = model.event_names.len(); // index among non-option nodes
+    for i in 0..extra {
+        let group = TRACEPOINT_GROUPS[i % TRACEPOINT_GROUPS.len()];
+        let name = format!("tp:{group}:{i:03}");
+        let mut node = crate::gtm::GtNode {
+            bias: 0.1,
+            terms: Vec::new(),
+            transform: Transform::Positive,
+            noise_sd: 0.05,
+            scale: 1.0e4,
+        };
+        if i % 4 == 0 {
+            // Weak edge off a base event (node order: options, events…).
+            let parent = n_opt + (i % 19);
+            node.terms.push(crate::gtm::GtTerm {
+                coeff: 0.15,
+                parents: vec![parent],
+                env: EnvExp::none(),
+            });
+        }
+        model.event_names.push(name);
+        model.nodes.insert(insert_at + i, node);
+    }
+    // Objective mechanisms reference event node ids < insert point, so
+    // their parent indices remain valid after insertion only if no parent
+    // id ≥ options + insert_at existed. Objectives referenced events and
+    // options exclusively, all below the insertion point — safe.
+    model
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::environment::{Environment, Hardware};
+
+    #[test]
+    fn sqlite_scenarios_match_table3() {
+        let a = sqlite_variant(34, 19);
+        assert_eq!(a.n_options(), 34);
+        assert_eq!(a.n_events(), 19);
+        let b = sqlite_variant(242, 19);
+        assert_eq!(b.n_options(), 242);
+        let c = sqlite_variant(242, 288);
+        assert_eq!(c.n_options(), 242);
+        assert_eq!(c.n_events(), 288);
+    }
+
+    #[test]
+    fn average_degree_drops_with_padding() {
+        let small = sqlite_variant(34, 19).true_admg();
+        let big = sqlite_variant(242, 288).true_admg();
+        assert!(
+            big.average_degree() < small.average_degree(),
+            "{} !< {}",
+            big.average_degree(),
+            small.average_degree()
+        );
+    }
+
+    #[test]
+    fn deepstream_variant_evaluates() {
+        let m = deepstream_variant(288);
+        assert_eq!(m.n_events(), 288);
+        let env = Environment::on(Hardware::Xavier).params();
+        let c = m.space.default_config();
+        let (_, raw) = m.evaluate(&c, &env, None);
+        assert_eq!(raw.len(), m.n_nodes());
+        // Objectives still produce sane values after node insertion.
+        let lat = m.true_objectives(&c, &env)[0];
+        assert!(lat > 0.0 && lat.is_finite());
+        // And match the unpadded model's objectives exactly.
+        let base = crate::systems::deepstream::build();
+        let lat_base = base.true_objectives(&c, &env)[0];
+        assert!((lat - lat_base).abs() < 1e-9);
+    }
+}

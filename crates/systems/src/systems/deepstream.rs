@@ -1,0 +1,179 @@
+//! Deepstream video-analytics pipeline (appendix Table 11): 27 software
+//! options across four components (decoder, stream muxer, detector,
+//! tracker) + the shared stack = 53 options, matching the paper's Table 3.
+//! Workload: 8 camera streams, TrafficCamNet detector, NvDCF tracker.
+
+use crate::config::OptionKind;
+use crate::gtm::{EnvExp, SystemBuilder, SystemModel};
+use crate::substrate::{
+    add_base_events, add_stack_options, add_standard_objectives, AppWeights,
+    ObjectiveWeights,
+};
+
+/// Builds the Deepstream model.
+pub fn build() -> SystemModel {
+    let mut b = SystemBuilder::new("Deepstream");
+
+    // Decoder (x264-based; 6 options).
+    b.option_with_default("CRF", &[13.0, 18.0, 24.0, 30.0], OptionKind::Software, 1);
+    b.option_with_default(
+        "Bitrate",
+        &[1000.0, 2000.0, 2800.0, 5000.0],
+        OptionKind::Software,
+        1,
+    );
+    b.option("Buffer Size", &[6000.0, 8000.0, 20000.0], OptionKind::Software);
+    b.option_with_default("Presets", &[0.0, 1.0, 2.0, 3.0, 4.0], OptionKind::Software, 2);
+    b.option("Maximum Rate", &[600.0, 1000.0], OptionKind::Software);
+    b.option("Refresh", &[0.0, 1.0], OptionKind::Software);
+
+    // Stream muxer (7 options).
+    b.option_with_default("Batch Size", &[1.0, 4.0, 8.0, 16.0, 30.0], OptionKind::Software, 2);
+    b.option("Batched Push Timeout", &[0.0, 5.0, 10.0, 20.0], OptionKind::Software);
+    b.option("Num Surfaces per Frame", &[1.0, 2.0, 3.0, 4.0], OptionKind::Software);
+    b.option("Enable Padding", &[0.0, 1.0], OptionKind::Software);
+    b.option_with_default("Buffer Pool Size", &[1.0, 8.0, 16.0, 26.0], OptionKind::Software, 1);
+    b.option("Sync Inputs", &[0.0, 1.0], OptionKind::Software);
+    b.option("Nvbuf Memory Type", &[0.0, 1.0, 2.0, 3.0], OptionKind::Software);
+
+    // Detector / nvinfer (10 options).
+    b.option_with_default("Net Scale Factor", &[0.01, 0.1, 1.0, 10.0], OptionKind::Software, 2);
+    b.option_with_default("Infer Batch Size", &[1.0, 8.0, 16.0, 32.0, 60.0], OptionKind::Software, 1);
+    b.option_with_default("Interval", &[1.0, 2.0, 5.0, 10.0, 20.0], OptionKind::Software, 0);
+    b.option("Offset", &[0.0, 1.0], OptionKind::Software);
+    b.option("Process Mode", &[0.0, 1.0], OptionKind::Software);
+    b.option("Use DLA Core", &[0.0, 1.0], OptionKind::Software);
+    b.option("Enable DLA", &[0.0, 1.0], OptionKind::Software);
+    b.option("Enable DBSCAN", &[0.0, 1.0], OptionKind::Software);
+    b.option("Secondary Reinfer Interval", &[0.0, 5.0, 10.0, 20.0], OptionKind::Software);
+    b.option("Maintain Aspect Ratio", &[0.0, 1.0], OptionKind::Software);
+
+    // Tracker / nvtracker (4 options).
+    b.option_with_default("IOU Threshold", &[0.0, 15.0, 30.0, 60.0], OptionKind::Software, 1);
+    b.option("Enable Batch Process", &[0.0, 1.0], OptionKind::Software);
+    b.option("Enable Past Frame", &[0.0, 1.0], OptionKind::Software);
+    b.option("Compute HW", &[0.0, 1.0, 2.0, 3.0, 4.0], OptionKind::Software);
+
+    add_stack_options(&mut b);
+    add_base_events(
+        &mut b,
+        &AppWeights { compute: 1.2, memory: 1.2, branch: 0.9, io: 1.0 },
+    );
+
+    // Pipeline event: GPU inference utilization.
+    b.event("GPU Utilization", 100.0, 0.03)
+        .bias("GPU Utilization", 0.50)
+        .term("GPU Utilization", 0.30, &["GPU Frequency"], EnvExp { gpu: 0.2, ..EnvExp::none() })
+        .term("GPU Utilization", 0.25, &["Infer Batch Size"], EnvExp::none())
+        .term("GPU Utilization", -0.30, &["Interval"], EnvExp::none())
+        .term("GPU Utilization", -0.15, &["Enable DLA"], EnvExp::none());
+
+    // Software → event wiring across the four components.
+    b.term("Instructions", 0.45, &["Presets"], EnvExp::none())
+        .term("Instructions", 0.30, &["Bitrate"], EnvExp::none())
+        .term("Instructions", -0.20, &["Interval"], EnvExp::none())
+        .term("Instructions", 0.20, &["Num Surfaces per Frame"], EnvExp::none())
+        .term("Instructions", 0.15, &["Enable DBSCAN"], EnvExp::none())
+        .term("Cache References", 0.35, &["Buffer Size"], EnvExp::none())
+        .term("Cache References", 0.30, &["Buffer Pool Size"], EnvExp::none())
+        .term(
+            "Cache References",
+            0.30,
+            &["Bitrate", "Buffer Size"],
+            EnvExp::microarch(0.5),
+        )
+        .term(
+            "Cache Misses",
+            0.28,
+            &["Batch Size", "Enable Padding"],
+            EnvExp::microarch(0.4),
+        )
+        .term("Cache Misses", 0.20, &["Nvbuf Memory Type"], EnvExp::none())
+        .term("Context Switches", 0.25, &["Sync Inputs"], EnvExp::none())
+        .term("Context Switches", 0.20, &["Batched Push Timeout"], EnvExp::none())
+        .term(
+            "Minor Faults",
+            0.30,
+            &["Num Surfaces per Frame", "Buffer Pool Size"],
+            EnvExp::none(),
+        )
+        .term("Branch Misses", 0.20, &["Enable DBSCAN"], EnvExp::microarch(0.5))
+        .term("Branch Misses", 0.15, &["IOU Threshold"], EnvExp::none());
+
+    // Objectives: the paper reports throughput (FPS) and energy for
+    // Deepstream; we model per-frame latency (ms) — FPS = 1000/latency —
+    // plus energy and heat so the multi-objective experiments compose.
+    add_standard_objectives(
+        &mut b,
+        &ObjectiveWeights {
+            latency_scale: 120.0, // ms per frame
+            lat_cycles: 0.60,
+            lat_cache: 0.55,
+            lat_faults: 1.00,
+            lat_wait: 0.45,
+            energy_scale: 140.0,
+            heat_scale: 30.0,
+        },
+    );
+
+    b.term(
+        "Latency",
+        -0.50,
+        &["GPU Utilization"],
+        EnvExp { gpu: -0.8, workload: 1.0, ..EnvExp::none() },
+    )
+    .bias("Latency", 0.70)
+    // Batching amortizes inference but adds muxer latency at large sizes
+    // with synchronized inputs.
+    .term("Latency", -0.25, &["Batch Size"], EnvExp::none())
+    .term(
+        "Latency",
+        0.40,
+        &["Batch Size", "Sync Inputs"],
+        EnvExp::microarch(0.4),
+    )
+    .term("Latency", 0.30, &["Interval"], EnvExp::none())
+    .term("Energy", 0.45, &["GPU Utilization", "GPU Frequency"], EnvExp::energy_term())
+    .term("Energy", -0.20, &["Enable DLA"], EnvExp::energy_term())
+    .term("Heat", 0.30, &["GPU Utilization", "GPU Frequency"], EnvExp::thermal_term());
+
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::environment::{Environment, Hardware};
+
+    #[test]
+    fn option_count_matches_table3() {
+        let m = build();
+        assert_eq!(m.n_options(), 53);
+        assert_eq!(m.n_events(), 20);
+    }
+
+    #[test]
+    fn xavier_outpaces_tx2() {
+        let m = build();
+        let c = m.space.default_config();
+        let lat_tx2 = m.true_objectives(&c, &Environment::on(Hardware::Tx2).params())[0];
+        let lat_xav =
+            m.true_objectives(&c, &Environment::on(Hardware::Xavier).params())[0];
+        assert!(lat_xav < lat_tx2, "{lat_xav} !< {lat_tx2}");
+    }
+
+    #[test]
+    fn interval_trades_gpu_load_for_latency() {
+        let m = build();
+        let env = Environment::on(Hardware::Xavier).params();
+        let i = m.space.index_of("Interval").unwrap();
+        let gpu_ev = m.event_node(19); // GPU Utilization (after 19 base events)
+        let mut every = m.space.default_config();
+        every.values[i] = 1.0;
+        let mut sparse = every.clone();
+        sparse.values[i] = 20.0;
+        let (_, raw_every) = m.evaluate(&every, &env, None);
+        let (_, raw_sparse) = m.evaluate(&sparse, &env, None);
+        assert!(raw_sparse[gpu_ev] < raw_every[gpu_ev]);
+    }
+}

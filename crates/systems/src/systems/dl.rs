@@ -1,0 +1,187 @@
+//! The three on-device deep-learning systems — Xception (image
+//! recognition), BERT (sentiment analysis) and Deepspeech (speech-to-text).
+//! Per appendix Table 5 each exposes the same two TensorFlow runtime
+//! options (`Memory Growth`, `Logical Devices`) on top of the shared stack
+//! (28 options total, Table 1); they differ in resource intensity and the
+//! GPU-pipeline mechanisms.
+
+use crate::config::OptionKind;
+use crate::gtm::{EnvExp, SystemBuilder, SystemModel};
+use crate::substrate::{
+    add_base_events, add_stack_options, add_standard_objectives, AppWeights,
+    ObjectiveWeights,
+};
+
+/// Resource profile distinguishing the three DL systems.
+#[derive(Debug, Clone, Copy)]
+pub struct DlProfile {
+    /// System name.
+    pub name: &'static str,
+    /// GPU-compute intensity (Xception highest).
+    pub gpu: f64,
+    /// Memory traffic (BERT attention maps are heavy).
+    pub memory: f64,
+    /// CPU pre/post-processing intensity (Deepspeech audio pipeline).
+    pub cpu: f64,
+    /// Reference latency scale in seconds.
+    pub latency_scale: f64,
+}
+
+/// Xception profile (CIFAR10, 5k test images reference workload).
+pub fn xception_profile() -> DlProfile {
+    DlProfile { name: "Xception", gpu: 1.3, memory: 0.9, cpu: 0.7, latency_scale: 40.0 }
+}
+
+/// BERT profile (IMDb sentiment, 1k test reviews).
+pub fn bert_profile() -> DlProfile {
+    DlProfile { name: "BERT", gpu: 1.1, memory: 1.3, cpu: 0.6, latency_scale: 55.0 }
+}
+
+/// Deepspeech profile (Common Voice, 0.5 h audio).
+pub fn deepspeech_profile() -> DlProfile {
+    DlProfile { name: "Deepspeech", gpu: 0.9, memory: 1.0, cpu: 1.2, latency_scale: 70.0 }
+}
+
+/// Builds a DL system from its profile.
+pub fn build(profile: &DlProfile) -> SystemModel {
+    let mut b = SystemBuilder::new(profile.name);
+
+    // TensorFlow runtime options (Table 5). `Memory Growth` −1 means
+    // "grow on demand"; 0.5/0.9 are fixed fractions of device memory.
+    b.option("Memory Growth", &[-1.0, 0.5, 0.9], OptionKind::Software);
+    b.option("Logical Devices", &[0.0, 1.0], OptionKind::Software);
+
+    add_stack_options(&mut b);
+    add_base_events(
+        &mut b,
+        &AppWeights {
+            compute: 0.8 * profile.cpu + 0.4,
+            memory: profile.memory,
+            branch: 0.5,
+            io: 0.4,
+        },
+    );
+
+    // DL-specific event: GPU utilization, driven by the runtime options
+    // and the GPU clock. (An observable middleware trace in the paper's
+    // sense — tegrastats exposes it on Jetson.)
+    b.event("GPU Utilization", 100.0, 0.03)
+        .bias("GPU Utilization", 0.45 * profile.gpu)
+        .term("GPU Utilization", 0.30, &["GPU Frequency"], EnvExp { gpu: 0.2, ..EnvExp::none() })
+        .term("GPU Utilization", -0.20, &["Logical Devices"], EnvExp::none())
+        .term(
+            "GPU Utilization",
+            0.25,
+            &["Memory Growth"],
+            EnvExp::microarch(0.3),
+        );
+
+    // Memory growth limits collide with kernel overcommit handling — the
+    // classic on-device OOM-thrash interaction.
+    b.term(
+        "Minor Faults",
+        0.45,
+        &["Memory Growth", "vm.overcommit_memory"],
+        EnvExp::microarch(0.4),
+    )
+    .term("Cache References", 0.30, &["Memory Growth"], EnvExp::none())
+    .term(
+        "Major Faults",
+        0.35,
+        &["Memory Growth", "Swap Memory"],
+        EnvExp { mem: -0.4, ..EnvExp::none() },
+    )
+    .term("Instructions", 0.25, &["Logical Devices"], EnvExp::none());
+
+    add_standard_objectives(
+        &mut b,
+        &ObjectiveWeights {
+            latency_scale: profile.latency_scale,
+            lat_cycles: 0.50,
+            lat_cache: 0.45,
+            lat_faults: 1.20,
+            lat_wait: 0.30,
+            energy_scale: 110.0,
+            heat_scale: 28.0,
+        },
+    );
+
+    // Inference time is dominated by the GPU pipeline: low GPU utilization
+    // (stalls) inflates latency; GPU work burns energy and heat.
+    b.term(
+        "Latency",
+        -0.55,
+        &["GPU Utilization"],
+        EnvExp { gpu: -0.8, workload: 1.0, ..EnvExp::none() },
+    )
+    .bias("Latency", 0.75) // keeps latency positive given the negative term
+    .term("Energy", 0.50, &["GPU Utilization", "GPU Frequency"], EnvExp::energy_term())
+    .term("Heat", 0.35, &["GPU Utilization", "GPU Frequency"], EnvExp::thermal_term());
+
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::environment::EnvParams;
+
+    #[test]
+    fn all_three_have_28_options() {
+        for p in [xception_profile(), bert_profile(), deepspeech_profile()] {
+            let m = build(&p);
+            assert_eq!(m.n_options(), 28, "{}", p.name);
+            assert_eq!(m.n_events(), 20); // 19 base + GPU Utilization
+            assert_eq!(m.n_objectives(), 3);
+        }
+    }
+
+    #[test]
+    fn profiles_produce_different_systems() {
+        let env = EnvParams::neutral();
+        let x = build(&xception_profile());
+        let d = build(&deepspeech_profile());
+        let cx = x.space.default_config();
+        let cd = d.space.default_config();
+        let lx = x.true_objectives(&cx, &env)[0];
+        let ld = d.true_objectives(&cd, &env)[0];
+        assert!((lx - ld).abs() > 1e-6);
+    }
+
+    #[test]
+    fn gpu_frequency_speeds_up_inference() {
+        let m = build(&xception_profile());
+        let env = EnvParams::neutral();
+        let g = m.space.index_of("GPU Frequency").unwrap();
+        let mut slow = m.space.default_config();
+        slow.values[g] = 0.1;
+        let mut fast = slow.clone();
+        fast.values[g] = 1.3;
+        assert!(m.true_objectives(&fast, &env)[0] < m.true_objectives(&slow, &env)[0]);
+    }
+
+    #[test]
+    fn latency_stays_positive_across_grid_corners() {
+        let m = build(&bert_profile());
+        let env = EnvParams::neutral();
+        // Probe extreme corners.
+        for corner in [0usize, 1] {
+            let cfg = crate::config::Config {
+                values: m
+                    .space
+                    .options()
+                    .iter()
+                    .map(|o| {
+                        if corner == 0 {
+                            o.values[0]
+                        } else {
+                            *o.values.last().unwrap()
+                        }
+                    })
+                    .collect(),
+            };
+            let lat = m.true_objectives(&cfg, &env)[0];
+            assert!(lat > 0.0, "latency {lat} at corner {corner}");
+        }
+    }
+}

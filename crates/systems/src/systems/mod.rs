@@ -1,0 +1,118 @@
+//! The subject-system registry (Table 1 of the paper).
+
+pub mod deepstream;
+pub mod dl;
+pub mod scene_detection;
+pub mod sqlite;
+pub mod x264;
+
+use crate::gtm::SystemModel;
+
+/// The six configurable systems evaluated in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SubjectSystem {
+    /// NVIDIA Deepstream video-analytics pipeline.
+    Deepstream,
+    /// Xception image recognition (CIFAR10).
+    Xception,
+    /// BERT sentiment analysis (IMDb).
+    Bert,
+    /// Deepspeech speech-to-text (Common Voice).
+    Deepspeech,
+    /// x264 video encoder (UGC clip).
+    X264,
+    /// SQLite database engine.
+    Sqlite,
+}
+
+impl SubjectSystem {
+    /// All six systems.
+    pub fn all() -> [SubjectSystem; 6] {
+        [
+            SubjectSystem::Deepstream,
+            SubjectSystem::Xception,
+            SubjectSystem::Bert,
+            SubjectSystem::Deepspeech,
+            SubjectSystem::X264,
+            SubjectSystem::Sqlite,
+        ]
+    }
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SubjectSystem::Deepstream => "Deepstream",
+            SubjectSystem::Xception => "Xception",
+            SubjectSystem::Bert => "BERT",
+            SubjectSystem::Deepspeech => "Deepspeech",
+            SubjectSystem::X264 => "x264",
+            SubjectSystem::Sqlite => "SQLite",
+        }
+    }
+
+    /// Reference workload description (Table 1).
+    pub fn workload_description(&self) -> &'static str {
+        match self {
+            SubjectSystem::Deepstream => {
+                "Video analytics pipeline, detection and tracking from 8 camera streams"
+            }
+            SubjectSystem::Xception => {
+                "Image recognition, 5000/5000 test images from CIFAR10"
+            }
+            SubjectSystem::Bert => {
+                "NLP sentiment analysis, 1000/25000 test reviews from IMDb"
+            }
+            SubjectSystem::Deepspeech => {
+                "Speech-to-text, 0.5/1932 hours of Common Voice (English)"
+            }
+            SubjectSystem::X264 => {
+                "Encode a 20 second 11.2 MB 1920x1080 video from UGC"
+            }
+            SubjectSystem::Sqlite => {
+                "Sequential, batch and random reads, writes, deletions"
+            }
+        }
+    }
+
+    /// Builds the ground-truth model.
+    pub fn build(&self) -> SystemModel {
+        match self {
+            SubjectSystem::Deepstream => deepstream::build(),
+            SubjectSystem::Xception => dl::build(&dl::xception_profile()),
+            SubjectSystem::Bert => dl::build(&dl::bert_profile()),
+            SubjectSystem::Deepspeech => dl::build(&dl::deepspeech_profile()),
+            SubjectSystem::X264 => x264::build(),
+            SubjectSystem::Sqlite => sqlite::build(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_builds_all_systems_with_table1_option_counts() {
+        let expected = [53usize, 28, 28, 28, 32, 34];
+        for (sys, want) in SubjectSystem::all().iter().zip(expected) {
+            let m = sys.build();
+            assert_eq!(m.n_options(), want, "{}", sys.name());
+            assert!(m.n_events() >= 19);
+            assert!(m.n_objectives() >= 2);
+            assert_eq!(m.name, sys.name());
+        }
+    }
+
+    #[test]
+    fn configuration_spaces_are_combinatorially_large() {
+        for sys in SubjectSystem::all() {
+            let m = sys.build();
+            assert!(
+                m.space.cardinality() > 1_000_000,
+                "{} too small: {}",
+                sys.name(),
+                m.space.cardinality()
+            );
+        }
+    }
+}

@@ -1,0 +1,165 @@
+//! The §5 case-study system: a real-time scene-detection pipeline whose
+//! TX1 → TX2 migration suffers a 4× latency regression caused by a wrong
+//! `CUDA_STATIC` compiler setting interacting with four hardware options
+//! (the misconfiguration diagnosed in the NVIDIA forum thread the paper
+//! replays). The thirteen options match Fig 12's rows.
+
+use crate::config::{Config, OptionKind};
+use crate::gtm::{EnvExp, SystemBuilder, SystemModel};
+
+/// Builds the scene-detection model.
+pub fn build() -> SystemModel {
+    let mut b = SystemBuilder::new("SceneDetection");
+
+    // The compiler option at the heart of the case study.
+    b.option("CUDA_STATIC", &[0.0, 1.0], OptionKind::Software);
+
+    // Hardware options (the forum fix touches all four).
+    b.option_with_default("CPU Cores", &[1.0, 2.0, 3.0, 4.0], OptionKind::Hardware, 1);
+    b.option_with_default("CPU Frequency", &[0.3, 0.65, 1.0, 1.5, 2.0], OptionKind::Hardware, 1);
+    b.option_with_default("EMC Frequency", &[0.1, 0.5, 1.0, 1.4, 1.8], OptionKind::Hardware, 1);
+    b.option_with_default("GPU Frequency", &[0.1, 0.4, 0.7, 1.0, 1.3], OptionKind::Hardware, 1);
+
+    // Kernel options listed in Fig 12.
+    b.option("Scheduler Policy", &[0.0, 1.0], OptionKind::Kernel);
+    b.option_with_default(
+        "kernel.sched_rt_runtime_us",
+        &[500_000.0, 950_000.0],
+        OptionKind::Kernel,
+        1,
+    );
+    b.option("kernel.sched_child_runs_first", &[0.0, 1.0], OptionKind::Kernel);
+    b.option("vm.dirty_background_ratio", &[10.0, 80.0], OptionKind::Kernel);
+    b.option("vm.dirty_ratio", &[5.0, 50.0], OptionKind::Kernel);
+    b.option("Drop Caches", &[0.0, 1.0, 2.0, 3.0], OptionKind::Kernel);
+    b.option_with_default("vm.vfs_cache_pressure", &[1.0, 100.0, 500.0], OptionKind::Kernel, 1);
+    b.option_with_default("vm.swappiness", &[10.0, 60.0, 90.0], OptionKind::Kernel, 1);
+
+    // Events on the diagnostic path (Fig 23: the causal graph used to
+    // resolve the fault runs through Context Switches and Cache Misses).
+    b.event("Context Switches", 2.0e5, 0.03)
+        .bias("Context Switches", 0.10)
+        // Statically linked CUDA runtime thrashes the scheduler on the
+        // migrated platform: the dominant indirect effect.
+        .term("Context Switches", 0.85, &["CUDA_STATIC"], EnvExp::microarch(1.0))
+        .term("Context Switches", 0.15, &["Scheduler Policy"], EnvExp::none())
+        .term(
+            "Context Switches",
+            -0.10,
+            &["kernel.sched_rt_runtime_us"],
+            EnvExp::none(),
+        )
+        .term("Context Switches", 0.10, &["kernel.sched_child_runs_first"], EnvExp::none());
+
+    b.event("Migrations", 5.0e4, 0.03)
+        .bias("Migrations", 0.05)
+        .term("Migrations", 0.40, &["Context Switches"], EnvExp::none())
+        .term("Migrations", 0.15, &["CPU Cores"], EnvExp::none());
+
+    b.event("Cache References", 1.5e8, 0.02)
+        .bias("Cache References", 0.30)
+        .term("Cache References", 0.20, &["vm.vfs_cache_pressure"], EnvExp::none());
+
+    b.event("Cache Misses", 4.0e7, 0.03)
+        .bias("Cache Misses", 0.05)
+        .term("Cache Misses", 0.35, &["Cache References"], EnvExp { mem: -0.4, ..EnvExp::none() })
+        .term("Cache Misses", 0.25, &["Cache References", "Drop Caches"], EnvExp::none())
+        .term("Cache Misses", -0.20, &["Cache References", "EMC Frequency"], EnvExp::microarch(0.4))
+        .term("Cache Misses", 0.15, &["vm.swappiness"], EnvExp::none());
+
+    // Objectives: frame latency (ms per frame; FPS = 1000/latency) and
+    // energy.
+    b.objective("Latency", 125.0, 0.02)
+        .bias("Latency", 0.55)
+        .term("Latency", 0.90, &["Context Switches"], EnvExp { cpu: -0.3, microarch: 0.5, ..EnvExp::none() })
+        .term("Latency", 0.45, &["Cache Misses"], EnvExp { mem: -0.5, ..EnvExp::none() })
+        .term("Latency", -0.18, &["CPU Frequency"], EnvExp { cpu: -0.4, ..EnvExp::none() })
+        .term("Latency", -0.15, &["GPU Frequency"], EnvExp { gpu: -0.5, ..EnvExp::none() })
+        .term("Latency", -0.08, &["CPU Cores"], EnvExp::none())
+        .term("Latency", -0.10, &["EMC Frequency"], EnvExp::none())
+        .term("Latency", 0.10, &["vm.dirty_ratio"], EnvExp::none())
+        .term("Latency", 0.06, &["vm.dirty_background_ratio"], EnvExp::none());
+
+    b.objective("Energy", 60.0, 0.02)
+        .bias("Energy", 0.15)
+        .term("Energy", 0.40, &["Context Switches"], EnvExp::energy_term())
+        .term("Energy", 0.35, &["CPU Frequency"], EnvExp::energy_term())
+        .term("Energy", 0.25, &["GPU Frequency"], EnvExp::energy_term());
+
+    b.build()
+}
+
+/// The misconfiguration the developer hit after migrating to TX2:
+/// `CUDA_STATIC = 1` plus conservative hardware clocks (Fig 12's fault).
+pub fn faulty_config(model: &SystemModel) -> Config {
+    let mut c = model.space.default_config();
+    for (name, v) in [
+        ("CUDA_STATIC", 1.0),
+        ("CPU Cores", 2.0),
+        ("CPU Frequency", 0.65),
+        ("EMC Frequency", 0.5),
+        ("GPU Frequency", 0.4),
+    ] {
+        let i = model.space.index_of(name).expect("known option");
+        c.values[i] = v;
+    }
+    c
+}
+
+/// The forum-recommended fix: dynamic CUDA linking and maxed clocks.
+pub fn forum_fix(model: &SystemModel) -> Config {
+    let mut c = model.space.default_config();
+    for (name, v) in [
+        ("CUDA_STATIC", 0.0),
+        ("CPU Cores", 4.0),
+        ("CPU Frequency", 2.0),
+        ("EMC Frequency", 1.8),
+        ("GPU Frequency", 1.3),
+    ] {
+        let i = model.space.index_of(name).expect("known option");
+        c.values[i] = v;
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::environment::{Environment, Hardware};
+
+    #[test]
+    fn thirteen_options_like_fig12() {
+        let m = build();
+        assert_eq!(m.n_options(), 13);
+    }
+
+    #[test]
+    fn fault_reproduces_the_regression() {
+        let m = build();
+        let tx2 = Environment::on(Hardware::Tx2).params();
+        let fault = faulty_config(&m);
+        let fix = forum_fix(&m);
+        let lat_fault = m.true_objectives(&fault, &tx2)[0];
+        let lat_fix = m.true_objectives(&fix, &tx2)[0];
+        // The fix should be several times faster (paper: 4×–7×).
+        assert!(
+            lat_fault > 3.0 * lat_fix,
+            "fault {lat_fault} vs fix {lat_fix}"
+        );
+    }
+
+    #[test]
+    fn cuda_static_acts_through_context_switches() {
+        let m = build();
+        let tx2 = Environment::on(Hardware::Tx2).params();
+        let mut on = m.space.default_config();
+        let cs = m.space.index_of("CUDA_STATIC").unwrap();
+        on.values[cs] = 1.0;
+        let mut off = on.clone();
+        off.values[cs] = 0.0;
+        let ev = m.event_node(0); // Context Switches
+        let (_, raw_on) = m.evaluate(&on, &tx2, None);
+        let (_, raw_off) = m.evaluate(&off, &tx2, None);
+        assert!(raw_on[ev] > 2.0 * raw_off[ev]);
+    }
+}

@@ -1,0 +1,175 @@
+//! SQLite database engine (appendix Table 7): 8 PRAGMA options + the
+//! shared stack = 34 options (the paper's Table 3 baseline scenario).
+
+use crate::config::OptionKind;
+use crate::gtm::{EnvExp, SystemBuilder, SystemModel};
+use crate::substrate::{
+    add_base_events, add_stack_options, add_standard_objectives, AppWeights,
+    ObjectiveWeights,
+};
+
+/// Builds the SQLite model. Workload: sequential/batch/random reads,
+/// writes and deletions.
+pub fn build() -> SystemModel {
+    let mut b = SystemBuilder::new("SQLite");
+
+    // PRAGMA options (Table 7); categorical levels coded ordinally.
+    b.option("PRAGMA TEMP_STORE", &[0.0, 1.0, 2.0], OptionKind::Software); // DEFAULT, FILE, MEMORY
+    b.option_with_default(
+        "PRAGMA JOURNAL_MODE",
+        &[0.0, 1.0, 2.0, 3.0, 4.0], // DELETE, TRUNCATE, PERSIST, MEMORY, OFF
+        OptionKind::Software,
+        0,
+    );
+    b.option_with_default(
+        "PRAGMA SYNCHRONOUS",
+        &[0.0, 1.0, 2.0], // OFF, NORMAL, FULL (increasing durability)
+        OptionKind::Software,
+        1,
+    );
+    b.option("PRAGMA LOCKING_MODE", &[0.0, 1.0], OptionKind::Software); // NORMAL, EXCLUSIVE
+    b.option_with_default(
+        "PRAGMA CACHE_SIZE",
+        &[0.0, 1000.0, 2000.0, 4000.0, 10000.0],
+        OptionKind::Software,
+        2,
+    );
+    b.option_with_default(
+        "PRAGMA PAGE_SIZE",
+        &[2048.0, 4096.0, 8192.0],
+        OptionKind::Software,
+        1,
+    );
+    b.option("PRAGMA MAX_PAGE_COUNT", &[32.0, 64.0], OptionKind::Software);
+    b.option(
+        "PRAGMA MMAP_SIZE",
+        &[30_000_000_000.0, 60_000_000_000.0],
+        OptionKind::Software,
+    );
+
+    add_stack_options(&mut b);
+    add_base_events(
+        &mut b,
+        &AppWeights { compute: 0.6, memory: 1.0, branch: 0.7, io: 1.4 },
+    );
+
+    // PRAGMA → event wiring: journal/sync dominate syscall and fault
+    // behaviour; cache/page sizing drives the memory hierarchy.
+    b.term("Number of Syscall Enter", 0.45, &["PRAGMA SYNCHRONOUS"], EnvExp::none())
+        .term(
+            "Number of Syscall Enter",
+            -0.30,
+            &["PRAGMA JOURNAL_MODE"],
+            EnvExp::none(),
+        )
+        .term(
+            "Cache References",
+            -0.35,
+            &["PRAGMA CACHE_SIZE"],
+            EnvExp::none(),
+        )
+        .term(
+            "Cache References",
+            0.25,
+            &["PRAGMA PAGE_SIZE"],
+            EnvExp::none(),
+        )
+        .term(
+            "Major Faults",
+            0.40,
+            &["PRAGMA MMAP_SIZE", "vm.swappiness"],
+            EnvExp::microarch(0.5),
+        )
+        .term(
+            "Minor Faults",
+            0.30,
+            &["PRAGMA MMAP_SIZE"],
+            EnvExp::none(),
+        )
+        .term(
+            "Scheduler Sleep Time",
+            0.45,
+            &["PRAGMA SYNCHRONOUS"],
+            EnvExp::none(),
+        )
+        .term(
+            "Scheduler Sleep Time",
+            -0.25,
+            &["PRAGMA SYNCHRONOUS", "PRAGMA JOURNAL_MODE"],
+            EnvExp::microarch(0.4),
+        )
+        .term(
+            "Context Switches",
+            0.25,
+            &["PRAGMA LOCKING_MODE"],
+            EnvExp::none(),
+        )
+        .term("Instructions", 0.20, &["PRAGMA TEMP_STORE"], EnvExp::none());
+
+    add_standard_objectives(
+        &mut b,
+        &ObjectiveWeights {
+            latency_scale: 8.0, // seconds per benchmark suite run
+            lat_cycles: 0.55,
+            lat_cache: 0.50,
+            lat_faults: 1.25,
+            lat_wait: 0.60,
+            energy_scale: 45.0,
+            heat_scale: 15.0,
+        },
+    );
+
+    // I/O-bound extra: synchronous writes with exclusive locking serialize
+    // the workload — a strong software-software interaction.
+    b.term(
+        "Latency",
+        0.55,
+        &["PRAGMA SYNCHRONOUS", "PRAGMA LOCKING_MODE"],
+        EnvExp { mem: -0.3, workload: 1.0, ..EnvExp::none() },
+    )
+    .term("Latency", 0.35, &["Scheduler Sleep Time"], EnvExp::none());
+
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::environment::EnvParams;
+
+    #[test]
+    fn option_count_matches_table3() {
+        let m = build();
+        assert_eq!(m.n_options(), 34);
+    }
+
+    #[test]
+    fn journal_off_is_faster() {
+        let m = build();
+        let env = EnvParams::neutral();
+        let j = m.space.index_of("PRAGMA JOURNAL_MODE").unwrap();
+        let s = m.space.index_of("PRAGMA SYNCHRONOUS").unwrap();
+        let mut durable = m.space.default_config();
+        durable.values[j] = 0.0; // DELETE
+        durable.values[s] = 2.0; // FULL
+        let mut yolo = durable.clone();
+        yolo.values[j] = 4.0; // OFF
+        yolo.values[s] = 0.0; // OFF
+        assert!(m.true_objectives(&yolo, &env)[0] < m.true_objectives(&durable, &env)[0]);
+    }
+
+    #[test]
+    fn cache_size_reduces_cache_references() {
+        let m = build();
+        let env = EnvParams::neutral();
+        let c = m.space.index_of("PRAGMA CACHE_SIZE").unwrap();
+        let ev = m.event_node(2); // Cache References
+        let mut small = m.space.default_config();
+        small.values[c] = 0.0;
+        let mut big = small.clone();
+        big.values[c] = 10000.0;
+        let (_, raw_small) = m.evaluate(&small, &env, None);
+        let (_, raw_big) = m.evaluate(&big, &env, None);
+        assert!(raw_big[ev] < raw_small[ev]);
+    }
+}

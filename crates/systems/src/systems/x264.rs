@@ -1,0 +1,119 @@
+//! x264 video encoder (appendix Table 6): 6 software options + the shared
+//! stack = 32 options, as in the paper's Table 1.
+
+use crate::config::OptionKind;
+use crate::gtm::{EnvExp, SystemBuilder, SystemModel};
+use crate::substrate::{
+    add_base_events, add_stack_options, add_standard_objectives, AppWeights,
+    ObjectiveWeights,
+};
+
+/// Builds the x264 model. Workload: "20s 1080p UGC video" (reference 1.0).
+pub fn build() -> SystemModel {
+    let mut b = SystemBuilder::new("x264");
+
+    // Software options (Table 6).
+    b.option_with_default("CRF", &[13.0, 18.0, 24.0, 30.0], OptionKind::Software, 1);
+    b.option_with_default(
+        "Bitrate",
+        &[1000.0, 2000.0, 2800.0, 5000.0],
+        OptionKind::Software,
+        1,
+    );
+    b.option("Buffer Size", &[6000.0, 8000.0, 20000.0], OptionKind::Software);
+    // Presets: ultrafast, veryfast, faster, medium, slower.
+    b.option_with_default(
+        "Presets",
+        &[0.0, 1.0, 2.0, 3.0, 4.0],
+        OptionKind::Software,
+        2,
+    );
+    b.option("Maximum Rate", &[600.0, 1000.0], OptionKind::Software);
+    b.option("Refresh", &[0.0, 1.0], OptionKind::Software);
+
+    add_stack_options(&mut b);
+    add_base_events(
+        &mut b,
+        &AppWeights { compute: 1.1, memory: 0.9, branch: 1.2, io: 0.5 },
+    );
+
+    // Software → event wiring: slower presets and higher bitrate do more
+    // work; bigger encode buffers stress the cache hierarchy; CRF trades
+    // quality for computation (lower CRF ⇒ more bits ⇒ more work).
+    b.term("Instructions", 0.60, &["Presets"], EnvExp::none())
+        .term("Instructions", 0.35, &["Bitrate"], EnvExp::none())
+        .term("Instructions", -0.25, &["CRF"], EnvExp::none())
+        .term("Instructions", 0.12, &["Maximum Rate"], EnvExp::none())
+        .term("Cache References", 0.40, &["Buffer Size"], EnvExp::none())
+        .term(
+            "Cache References",
+            0.28,
+            &["Bitrate", "Buffer Size"],
+            EnvExp::microarch(0.5),
+        )
+        .term("Branch Loads", 0.30, &["Presets"], EnvExp::none())
+        .term(
+            "Branch Misses",
+            0.22,
+            &["Presets", "Refresh"],
+            EnvExp::microarch(0.6),
+        )
+        .term("Number of Syscall Enter", 0.15, &["Refresh"], EnvExp::none());
+
+    add_standard_objectives(
+        &mut b,
+        &ObjectiveWeights {
+            latency_scale: 18.0, // seconds to encode the clip
+            lat_cycles: 0.95,
+            lat_cache: 0.55,
+            lat_faults: 1.10,
+            lat_wait: 0.35,
+            energy_scale: 90.0,
+            heat_scale: 25.0,
+        },
+    );
+
+    // Encoder-specific extra: rate-control interaction directly visible in
+    // latency (bitrate spikes with tiny buffers stall the encoder).
+    b.term(
+        "Latency",
+        0.45,
+        &["Bitrate", "vm.dirty_ratio"],
+        EnvExp::microarch(0.4),
+    );
+
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::environment::EnvParams;
+
+    #[test]
+    fn option_count_matches_table1() {
+        let m = build();
+        assert_eq!(m.n_options(), 32);
+        assert_eq!(m.n_events(), 19);
+        assert_eq!(m.n_objectives(), 3);
+    }
+
+    #[test]
+    fn slower_preset_costs_more_time() {
+        let m = build();
+        let env = EnvParams::neutral();
+        let p = m.space.index_of("Presets").unwrap();
+        let mut fast = m.space.default_config();
+        fast.values[p] = 0.0;
+        let mut slow = fast.clone();
+        slow.values[p] = 4.0;
+        assert!(m.true_objectives(&slow, &env)[0] > m.true_objectives(&fast, &env)[0]);
+    }
+
+    #[test]
+    fn graph_is_sparse() {
+        let m = build();
+        let g = m.true_admg();
+        assert!(g.average_degree() < 4.0, "degree {}", g.average_degree());
+    }
+}

@@ -1,0 +1,106 @@
+//! Performance debugging end-to-end: find a latency fault in the tail of
+//! x264's performance distribution, diagnose its root causes with the
+//! Unicorn loop, compare against the BugDoc baseline, and score both
+//! against the simulator's exact ground truth.
+//!
+//! ```sh
+//! cargo run --release --example debug_latency_fault
+//! ```
+
+use unicorn::baselines::{BugDoc, DebugBudget, Debugger};
+use unicorn::core::{debug_fault, score_debugging, UnicornOptions};
+use unicorn::systems::{
+    discover_faults, Environment, FaultDiscoveryOptions, Hardware, Simulator,
+    SubjectSystem,
+};
+
+fn main() {
+    let sim = Simulator::new(
+        SubjectSystem::X264.build(),
+        Environment::on(Hardware::Tx2),
+        1234,
+    );
+
+    // Build the Jetson-Faults style catalog: tail (99th percentile)
+    // configurations with ground-truth root causes.
+    let catalog = discover_faults(
+        &sim,
+        &FaultDiscoveryOptions { n_samples: 1000, ..Default::default() },
+    );
+    let fault = catalog
+        .faults
+        .iter()
+        .find(|f| f.objectives.contains(&0))
+        .expect("a latency fault exists in the tail");
+    println!(
+        "Fault: latency {:.1} s (threshold {:.1} s), true root causes: {:?}",
+        fault.true_objectives[0],
+        catalog.thresholds[0],
+        fault
+            .root_causes
+            .iter()
+            .map(|&o| sim.model.space.option(o).name.clone())
+            .collect::<Vec<_>>()
+    );
+
+    // Unicorn: causal debugging.
+    let out = debug_fault(
+        &sim,
+        fault,
+        &catalog,
+        &UnicornOptions { initial_samples: 75, budget: 15, ..Default::default() },
+    );
+    let uni_scores = score_debugging(
+        fault,
+        &catalog,
+        &out.diagnosed_options,
+        &sim.true_objectives(&out.best_config),
+        out.wall_time_s,
+        out.n_measurements,
+    );
+    println!("\nUnicorn:");
+    println!(
+        "  diagnosed: {:?}",
+        out.diagnosed_options
+            .iter()
+            .map(|&o| sim.model.space.option(o).name.clone())
+            .collect::<Vec<_>>()
+    );
+    println!(
+        "  accuracy {:.0}%, precision {:.0}%, recall {:.0}%, gain {:.0}%, \
+         {} measurements, {:.1}s",
+        uni_scores.accuracy,
+        uni_scores.precision,
+        uni_scores.recall,
+        uni_scores.gains[0],
+        uni_scores.n_measurements,
+        uni_scores.time_s,
+    );
+
+    // BugDoc baseline under the same budget.
+    let bd = BugDoc::default().debug(
+        &sim,
+        fault,
+        &catalog,
+        &DebugBudget { n_samples: 75, n_probes: 15 },
+        99,
+    );
+    let bd_scores = score_debugging(
+        fault,
+        &catalog,
+        &bd.diagnosed_options,
+        &sim.true_objectives(&bd.best_config),
+        bd.wall_time_s,
+        bd.n_measurements,
+    );
+    println!("\nBugDoc (same budget):");
+    println!(
+        "  accuracy {:.0}%, precision {:.0}%, recall {:.0}%, gain {:.0}%",
+        bd_scores.accuracy, bd_scores.precision, bd_scores.recall, bd_scores.gains[0],
+    );
+
+    println!(
+        "\nUnicorn vs BugDoc gain: {:.0}% vs {:.0}%  (fault fixed: {})",
+        uni_scores.gains[0], bd_scores.gains[0], out.fixed
+    );
+}

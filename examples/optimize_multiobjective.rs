@@ -1,0 +1,70 @@
+//! Multi-objective optimization: walk the latency/energy Pareto front of
+//! Xception on TX2 with the causal loop and compare against the
+//! PESMO-style baseline (Fig 15 c/d of the paper).
+//!
+//! ```sh
+//! cargo run --release --example optimize_multiobjective
+//! ```
+
+use unicorn::baselines::{hv_error_history, pesmo_optimize, PesmoOptions};
+use unicorn::core::{optimize_multi, UnicornOptions};
+use unicorn::stats::pareto::pareto_front;
+use unicorn::systems::{generate, Environment, Hardware, Simulator, SubjectSystem};
+
+fn main() {
+    let sim = Simulator::new(
+        SubjectSystem::Xception.build(),
+        Environment::on(Hardware::Tx2),
+        2024,
+    );
+
+    // Reference front from a broad random sweep (evaluation aid only).
+    let sweep = generate(&sim, 300, 11);
+    let pts: Vec<Vec<f64>> = (0..sweep.n_rows())
+        .map(|r| vec![sweep.objective_column(0)[r], sweep.objective_column(1)[r]])
+        .collect();
+    let reference = pareto_front(&pts);
+    let ref_point = [
+        pts.iter().map(|p| p[0]).fold(0.0, f64::max) * 1.1,
+        pts.iter().map(|p| p[1]).fold(0.0, f64::max) * 1.1,
+    ];
+    println!(
+        "reference front: {} points from a {}-sample sweep",
+        reference.len(),
+        sweep.n_rows()
+    );
+
+    // Unicorn's causal multi-objective loop.
+    let opts = UnicornOptions { initial_samples: 25, budget: 35, ..Default::default() };
+    let uni = optimize_multi(&sim, &[0, 1], &reference, &ref_point, &opts);
+    println!(
+        "\nUnicorn: {} evaluations, final hypervolume error {:.3}",
+        uni.evaluated.len(),
+        uni.hv_error_history.last().expect("non-empty"),
+    );
+    let mut front = uni.front.clone();
+    front.sort_by(|a, b| a[0].partial_cmp(&b[0]).expect("NaN"));
+    println!("Unicorn Pareto front (latency s, energy J):");
+    for p in &front {
+        println!("  ({:6.2}, {:6.2})", p[0], p[1]);
+    }
+
+    // PESMO-style baseline with the same budget.
+    let pesmo = pesmo_optimize(
+        &sim,
+        &[0, 1],
+        &PesmoOptions { n_init: 25, budget: 60, ..Default::default() },
+    );
+    let pesmo_err = hv_error_history(&pesmo, &reference, &ref_point);
+    println!(
+        "\nPESMO: {} evaluations, final hypervolume error {:.3}",
+        pesmo.evaluated.len(),
+        pesmo_err.last().expect("non-empty"),
+    );
+    println!(
+        "\nshape check (paper Fig 15c): Unicorn error {:.3} <= PESMO error {:.3}: {}",
+        uni.hv_error_history.last().unwrap(),
+        pesmo_err.last().unwrap(),
+        uni.hv_error_history.last().unwrap() <= pesmo_err.last().unwrap(),
+    );
+}

@@ -1,0 +1,100 @@
+//! Quickstart: learn a causal performance model for the x264 encoder and
+//! ask it causal questions — the five-minute tour of the API.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use unicorn::discovery::{learn_causal_model, DiscoveryOptions};
+use unicorn::inference::{CausalEngine, FittedScm, PerformanceQuery, QueryAnswer};
+use unicorn::systems::{generate, Environment, Hardware, Simulator, SubjectSystem};
+
+fn main() {
+    // 1. A simulated testbed: x264 deployed on a TX2-class board.
+    let sim = Simulator::new(
+        SubjectSystem::X264.build(),
+        Environment::on(Hardware::Tx2),
+        42,
+    );
+    println!(
+        "x264: {} options, {} events, {} objectives, {:.2e} configurations",
+        sim.model.n_options(),
+        sim.model.n_events(),
+        sim.model.n_objectives(),
+        sim.model.space.cardinality() as f64,
+    );
+
+    // 2. Measure 200 random configurations (5 repetitions, median).
+    let data = generate(&sim, 200, 7);
+
+    // 3. Learn the causal performance model (Stage II).
+    let model = learn_causal_model(
+        &data.columns,
+        &data.names,
+        &sim.model.tiers(),
+        &DiscoveryOptions::default(),
+    );
+    println!("\nLearned causal performance model:");
+    for &(f, t) in model.admg.directed_edges() {
+        println!("  {} -> {}", data.names[f], data.names[t]);
+    }
+
+    // 4. Build the inference engine and estimate causal queries (Stage V).
+    let scm = FittedScm::fit(model.admg.clone(), &data.columns).expect("SCM fit");
+    let engine = CausalEngine::new(scm, sim.model.tiers(), Box::new(data.domains(&sim)));
+
+    let latency = data.objective_node(0);
+    let cpu = sim.model.space.index_of("CPU Frequency").expect("known option");
+
+    // "What is the causal effect of the CPU clock on encode latency?"
+    if let QueryAnswer::Effect(ace) = engine.estimate(&PerformanceQuery::CausalEffect {
+        option: cpu,
+        objective: latency,
+    }) {
+        println!("\nACE(CPU Frequency -> Latency) = {ace:.2} s");
+    }
+
+    // "E[latency | do(CPU Frequency = 0.3)] vs do(CPU Frequency = 2.0)"
+    for (label, v) in [("0.3 GHz", 0.3), ("2.0 GHz", 2.0)] {
+        if let QueryAnswer::Expectation(e) =
+            engine.estimate(&PerformanceQuery::ExpectedObjective {
+                interventions: vec![(cpu, v)],
+                objective: latency,
+            })
+        {
+            println!("E[Latency | do(CPU Frequency = {label})] = {e:.2} s");
+        }
+    }
+
+    // "P(latency <= 30 s | do(CPU Frequency = 2.0 GHz))" — the paper's
+    // P(Th > 40/s | do(BufferSize = 6k)) style QoS query.
+    if let QueryAnswer::Probability(p) =
+        engine.estimate(&PerformanceQuery::ProbabilityOfQos {
+            interventions: vec![(cpu, 2.0)],
+            objective: latency,
+            threshold: 30.0,
+        })
+    {
+        println!("P(Latency <= 30 s | do(CPU Frequency = 2.0 GHz)) = {p:.2}");
+    }
+
+    // 5. Or phrase the same questions textually (the query DSL).
+    let parsed = unicorn::inference::parse_query(
+        &data.names,
+        "P(Latency <= 30 | do(CPU Frequency = 2.0))",
+    )
+    .expect("well-formed query");
+    if let QueryAnswer::Probability(p) = engine.estimate(&parsed) {
+        println!("DSL query answered: {p:.2}");
+    }
+
+    // 6. Rank the root causes of high latency.
+    let goal = unicorn::inference::QosGoal::single(
+        latency,
+        unicorn::stats::quantile(data.objective_column(0), 0.5),
+    );
+    println!("\nOptions ranked by causal effect on latency:");
+    for (o, ace) in engine.rank_root_causes(&goal).into_iter().take(5) {
+        println!("  {:28} ACE = {ace:.3}", data.names[o]);
+    }
+}

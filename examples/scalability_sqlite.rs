@@ -1,0 +1,77 @@
+//! Scalability: diagnose a latency fault in the 242-option / 288-event
+//! SQLite variant — several trillion potential configurations — and watch
+//! the causal graph stay sparse (the paper's §9 / Table 3 argument).
+//!
+//! ```sh
+//! cargo run --release --example scalability_sqlite
+//! ```
+
+use std::time::Instant;
+
+use unicorn::core::{debug_fault, UnicornOptions};
+use unicorn::discovery::DiscoveryOptions;
+use unicorn::systems::scalability::sqlite_variant;
+use unicorn::systems::{
+    discover_faults, Environment, FaultDiscoveryOptions, Hardware, Simulator,
+};
+
+fn main() {
+    let model = sqlite_variant(242, 288);
+    println!(
+        "SQLite scalability variant: {} options, {} events, {:.2e} \
+         configurations",
+        model.n_options(),
+        model.n_events(),
+        model.space.cardinality() as f64,
+    );
+    let sim = Simulator::new(model, Environment::on(Hardware::Xavier), 3);
+
+    let catalog = discover_faults(
+        &sim,
+        &FaultDiscoveryOptions { n_samples: 400, ace_bases: 4, ..Default::default() },
+    );
+    let fault = catalog
+        .faults
+        .iter()
+        .find(|f| f.objectives.contains(&0))
+        .or_else(|| catalog.faults.first())
+        .expect("a fault exists");
+    println!(
+        "fault: latency {:.1} s, {} labeled root causes",
+        fault.true_objectives[0],
+        fault.root_causes.len()
+    );
+
+    let start = Instant::now();
+    let out = debug_fault(
+        &sim,
+        fault,
+        &catalog,
+        &UnicornOptions {
+            initial_samples: 150,
+            budget: 8,
+            relearn_every: 4,
+            // Depth-1 conditioning is ample at this dimensionality and
+            // keeps the 530-variable search interactive.
+            discovery: DiscoveryOptions { alpha: 1e-4, max_depth: 1, pds_depth: 0, ..Default::default() },
+            ..Default::default()
+        },
+    );
+    let elapsed = start.elapsed().as_secs_f64();
+
+    let after = sim.true_objectives(&out.best_config)[0];
+    println!(
+        "\ndiagnosed {} options, latency {:.1} -> {:.1} s (gain {:.0}%), \
+         {} measurements, {:.1}s wall time",
+        out.diagnosed_options.len(),
+        fault.true_objectives[0],
+        after,
+        unicorn::core::gain_percent(fault.true_objectives[0], after),
+        out.n_measurements,
+        elapsed,
+    );
+    println!(
+        "sparsity: the trick that makes 530 variables tractable — most of \
+         the 242 options and 288 events end up isolated in the causal graph."
+    );
+}

@@ -1,0 +1,79 @@
+//! Transferability: learn a causal performance model for Xception on
+//! Xavier, then debug energy faults on TX2 by (i) reusing the model as-is,
+//! (ii) updating it with 25 target samples, and (iii) relearning from
+//! scratch — the paper's §8 / Fig 16 protocol.
+//!
+//! ```sh
+//! cargo run --release --example transfer_hardware
+//! ```
+
+use unicorn::core::{
+    learn_source_state, score_debugging, transfer_debug, TransferMode,
+    UnicornOptions,
+};
+use unicorn::systems::{
+    discover_faults, Environment, FaultDiscoveryOptions, Hardware, Simulator,
+    SubjectSystem,
+};
+
+fn main() {
+    let source = Simulator::new(
+        SubjectSystem::Xception.build(),
+        Environment::on(Hardware::Xavier),
+        31,
+    );
+    let target = Simulator::new(
+        SubjectSystem::Xception.build(),
+        Environment::on(Hardware::Tx2),
+        32,
+    );
+
+    let catalog = discover_faults(
+        &target,
+        &FaultDiscoveryOptions { n_samples: 800, ..Default::default() },
+    );
+    let fault = catalog
+        .faults
+        .iter()
+        .find(|f| f.objectives.contains(&1))
+        .or_else(|| catalog.faults.first())
+        .expect("a fault exists");
+    println!(
+        "target fault: objectives {:?}, energy {:.1} J",
+        fault.objectives, fault.true_objectives[1]
+    );
+
+    let opts = UnicornOptions { initial_samples: 60, budget: 10, ..Default::default() };
+    println!("\nlearning source model on Xavier ({} samples)…", opts.initial_samples);
+    let src_state = learn_source_state(&source, &opts);
+    println!(
+        "source model: {} directed edges",
+        src_state.model.admg.directed_edges().len()
+    );
+
+    for mode in [TransferMode::Reuse, TransferMode::Update(25), TransferMode::Rerun] {
+        let out = transfer_debug(&src_state, &target, fault, &catalog, &opts, mode);
+        let scores = score_debugging(
+            fault,
+            &catalog,
+            &out.diagnosed_options,
+            &target.true_objectives(&out.best_config),
+            out.wall_time_s,
+            out.n_measurements,
+        );
+        println!(
+            "Unicorn ({:<6}): accuracy {:5.1}%, recall {:5.1}%, gain {:5.1}%, \
+             {:2} target measurements, {:.1}s",
+            mode.label(),
+            scores.accuracy,
+            scores.recall,
+            scores.gains.first().copied().unwrap_or(0.0),
+            scores.n_measurements,
+            scores.time_s,
+        );
+    }
+    println!(
+        "\nexpected shape (paper): Reuse ≈ Rerun at a fraction of the target \
+         measurements; +25 closes the rest of the gap."
+    );
+}

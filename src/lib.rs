@@ -1,0 +1,58 @@
+//! # Unicorn — causal reasoning about configurable-system performance
+//!
+//! A Rust reproduction of *"Unicorn: Reasoning about Configurable System
+//! Performance through the Lens of Causality"* (Iqbal, Krishna, Javidian,
+//! Ray, Jamshidi — EuroSys 2022), built entirely from scratch: causal
+//! structure learning (PC-stable + FCI + entropic orientation), a causal
+//! inference engine (do-calculus, average/individual causal effects,
+//! counterfactual repairs), the five-stage active-learning loop, six
+//! simulated configurable systems standing in for the paper's NVIDIA
+//! Jetson testbed, and the six comparison baselines.
+//!
+//! This facade crate re-exports the workspace members:
+//!
+//! | Module | Crate | Contents |
+//! |--------|-------|----------|
+//! | [`stats`] | `unicorn-stats` | numerics, CI tests, entropy, regression, Pareto |
+//! | [`graph`] | `unicorn-graph` | PAGs, ADMGs, m-separation, causal paths, SHD |
+//! | [`discovery`] | `unicorn-discovery` | PC-stable, FCI, LatentSearch, entropic orientation |
+//! | [`inference`] | `unicorn-inference` | fitted SCMs, ACE/ICE, repairs, queries |
+//! | [`systems`] | `unicorn-systems` | simulated testbed, fault catalog, environments |
+//! | [`core`] | `unicorn-core` | the Unicorn loop: debugging, optimization, transfer |
+//! | [`baselines`] | `unicorn-baselines` | CBI, DD, EnCore, BugDoc, SMAC, PESMO |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use unicorn::systems::{Environment, Hardware, Simulator, SubjectSystem};
+//! use unicorn::discovery::{learn_causal_model, DiscoveryOptions};
+//!
+//! // Measure 150 random configurations of x264 on a TX2-class board.
+//! let sim = Simulator::new(
+//!     SubjectSystem::X264.build(),
+//!     Environment::on(Hardware::Tx2),
+//!     42,
+//! );
+//! let data = unicorn::systems::generate(&sim, 150, 7);
+//!
+//! // Learn the causal performance model.
+//! let model = learn_causal_model(
+//!     &data.columns,
+//!     &data.names,
+//!     &sim.model.tiers(),
+//!     &DiscoveryOptions { max_depth: 1, pds_depth: 0, ..Default::default() },
+//! );
+//! assert!(model.admg.directed_edges().len() > 5);
+//! ```
+//!
+//! See `examples/` for complete debugging, optimization, transfer, and
+//! scalability walkthroughs, and `crates/bench/src/bin/` for the binaries
+//! regenerating every table and figure of the paper.
+
+pub use unicorn_baselines as baselines;
+pub use unicorn_core as core;
+pub use unicorn_discovery as discovery;
+pub use unicorn_graph as graph;
+pub use unicorn_inference as inference;
+pub use unicorn_stats as stats;
+pub use unicorn_systems as systems;

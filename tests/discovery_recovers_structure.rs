@@ -1,0 +1,86 @@
+//! Integration: causal discovery over simulator data recovers the
+//! ground-truth structure to a useful degree, and improves with samples.
+
+use unicorn::discovery::{learn_causal_model, DiscoveryOptions};
+use unicorn::graph::structural_hamming_distance;
+use unicorn::systems::{generate, Environment, Hardware, Simulator, SubjectSystem};
+
+fn opts() -> DiscoveryOptions {
+    DiscoveryOptions { alpha: 0.01, max_depth: 2, pds_depth: 0, ..Default::default() }
+}
+
+#[test]
+fn learned_edges_are_mostly_true_edges() {
+    let sim = Simulator::new(
+        SubjectSystem::X264.build(),
+        Environment::on(Hardware::Tx2),
+        51,
+    );
+    let ds = generate(&sim, 400, 9);
+    let model = learn_causal_model(&ds.columns, &ds.names, &sim.model.tiers(), &opts());
+    let truth = sim.model.true_admg();
+
+    let mut correct = 0usize;
+    let mut wrong = 0usize;
+    for &(f, t) in model.admg.directed_edges() {
+        // Count an edge as correct if the ground truth has the adjacency
+        // (orientation may legitimately differ within the equivalence
+        // class for event-event links).
+        if truth.directed_edges().contains(&(f, t))
+            || truth.directed_edges().contains(&(t, f))
+        {
+            correct += 1;
+        } else {
+            wrong += 1;
+        }
+    }
+    assert!(
+        correct >= 3 * wrong.max(1),
+        "edge precision too low: {correct} correct vs {wrong} spurious"
+    );
+    assert!(correct >= 15, "too few true edges recovered: {correct}");
+}
+
+#[test]
+fn shd_decreases_with_sample_size() {
+    let sim = Simulator::new(
+        SubjectSystem::Xception.build(),
+        Environment::on(Hardware::Tx2),
+        52,
+    );
+    let stream = generate(&sim, 400, 10);
+    let truth = sim.model.true_admg().to_mixed();
+    let shd_at = |k: usize| -> usize {
+        let cols: Vec<Vec<f64>> = stream.columns.iter().map(|c| c[..k].to_vec()).collect();
+        let m = learn_causal_model(&cols, &stream.names, &sim.model.tiers(), &opts());
+        structural_hamming_distance(&m.admg.to_mixed(), &truth)
+    };
+    let early = shd_at(30);
+    let late = shd_at(400);
+    assert!(
+        late < early,
+        "SHD did not improve with data: {early} -> {late}"
+    );
+}
+
+#[test]
+fn tier_constraints_hold_in_learned_models() {
+    let sim = Simulator::new(
+        SubjectSystem::Sqlite.build(),
+        Environment::on(Hardware::Xavier),
+        53,
+    );
+    let ds = generate(&sim, 250, 11);
+    let model = learn_causal_model(&ds.columns, &ds.names, &sim.model.tiers(), &opts());
+    let n_opt = sim.model.n_options();
+    let n_ev = sim.model.n_events();
+    for &(f, t) in model.admg.directed_edges() {
+        // Nothing points into an option.
+        assert!(t >= n_opt, "edge into option: {f} -> {t}");
+        // Objectives are sinks.
+        assert!(f < n_opt + n_ev, "edge out of objective: {f} -> {t}");
+    }
+    for &(a, b) in model.admg.bidirected_edges() {
+        assert!(a >= n_opt && b >= n_opt, "bidirected edge touching an option");
+    }
+}

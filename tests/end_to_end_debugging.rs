@@ -1,0 +1,121 @@
+//! Integration: the full Unicorn pipeline — simulate, catalog faults,
+//! learn, diagnose, repair — beats the fault and produces sane metrics.
+
+use unicorn::core::{debug_fault, score_debugging, UnicornOptions};
+use unicorn::systems::{
+    discover_faults, Environment, FaultDiscoveryOptions, Hardware, Simulator,
+    SubjectSystem,
+};
+
+fn fixture() -> (Simulator, unicorn::systems::FaultCatalog) {
+    let sim = Simulator::new(
+        SubjectSystem::X264.build(),
+        Environment::on(Hardware::Tx2),
+        0xE2E,
+    );
+    let catalog = discover_faults(
+        &sim,
+        &FaultDiscoveryOptions { n_samples: 600, ace_bases: 4, ..Default::default() },
+    );
+    (sim, catalog)
+}
+
+#[test]
+fn unicorn_repairs_a_latency_fault_with_positive_gain() {
+    let (sim, catalog) = fixture();
+    let fault = catalog
+        .faults
+        .iter()
+        .find(|f| f.objectives.contains(&0))
+        .expect("latency fault in the tail");
+    let out = debug_fault(
+        &sim,
+        fault,
+        &catalog,
+        &UnicornOptions { initial_samples: 60, budget: 12, ..Default::default() },
+    );
+    let after = sim.true_objectives(&out.best_config);
+    let scores = score_debugging(
+        fault,
+        &catalog,
+        &out.diagnosed_options,
+        &after,
+        out.wall_time_s,
+        out.n_measurements,
+    );
+    assert!(
+        scores.gains[0] > 20.0,
+        "expected a meaningful repair, got gain {:.1}%",
+        scores.gains[0]
+    );
+    assert!(scores.accuracy > 0.0);
+    assert!((0.0..=100.0).contains(&scores.precision));
+    assert!((0.0..=100.0).contains(&scores.recall));
+    // Trajectory bookkeeping is consistent with the budget.
+    assert!(out.trajectory.len() <= 12);
+    assert!(out.n_measurements <= 60 + 1 + 12);
+}
+
+#[test]
+fn diagnosis_overlaps_ground_truth_root_causes() {
+    let (sim, catalog) = fixture();
+    let fault = catalog
+        .faults
+        .iter()
+        .max_by(|a, b| {
+            a.root_causes
+                .len()
+                .cmp(&b.root_causes.len())
+        })
+        .expect("fault exists");
+    let out = debug_fault(
+        &sim,
+        fault,
+        &catalog,
+        &UnicornOptions { initial_samples: 60, budget: 12, ..Default::default() },
+    );
+    // At least one diagnosed option must be a true root cause — the ACE
+    // ranking pushes the heavy hitters first.
+    let hit = out
+        .diagnosed_options
+        .iter()
+        .any(|o| fault.root_causes.contains(o));
+    assert!(
+        hit,
+        "diagnosis {:?} misses all true causes {:?}",
+        out.diagnosed_options, fault.root_causes
+    );
+}
+
+#[test]
+fn multi_objective_fault_repair_improves_both_objectives() {
+    let sim = Simulator::new(
+        SubjectSystem::X264.build(),
+        Environment::on(Hardware::Xavier),
+        0xE2F,
+    );
+    let catalog = discover_faults(
+        &sim,
+        &FaultDiscoveryOptions { n_samples: 900, ace_bases: 4, ..Default::default() },
+    );
+    let Some(fault) = catalog.faults.iter().find(|f| f.is_multi_objective()) else {
+        // Multi-objective tail faults are rare at this sample size; the
+        // single-objective path is covered above.
+        return;
+    };
+    let out = debug_fault(
+        &sim,
+        fault,
+        &catalog,
+        &UnicornOptions { initial_samples: 60, budget: 12, ..Default::default() },
+    );
+    let after = sim.true_objectives(&out.best_config);
+    for &o in &fault.objectives {
+        assert!(
+            after[o] <= fault.true_objectives[o],
+            "objective {o} worsened: {} > {}",
+            after[o],
+            fault.true_objectives[o]
+        );
+    }
+}

@@ -1,0 +1,98 @@
+//! Integration: the optimization task improves on random sampling with the
+//! same budget, and transfer reuse carries useful knowledge across
+//! hardware.
+
+use unicorn::baselines::{smac_optimize, SmacOptions};
+use unicorn::core::{
+    learn_source_state, optimize_single, transfer_debug, TransferMode,
+    UnicornOptions,
+};
+use unicorn::systems::{
+    discover_faults, generate, Environment, FaultDiscoveryOptions, Hardware,
+    Simulator, SubjectSystem,
+};
+
+#[test]
+fn optimization_beats_random_sampling_at_equal_budget() {
+    let sim = Simulator::new(
+        SubjectSystem::Xception.build(),
+        Environment::on(Hardware::Tx2),
+        61,
+    );
+    let opts = UnicornOptions { initial_samples: 30, budget: 30, ..Default::default() };
+    let out = optimize_single(&sim, 0, &opts);
+    // Random baseline with the same total measurement count.
+    let random = generate(&sim, 60, 999);
+    let random_best = random
+        .objective_column(0)
+        .iter()
+        .copied()
+        .fold(f64::INFINITY, f64::min);
+    assert!(
+        out.best_value <= random_best * 1.05,
+        "optimizer {:.2} worse than random {:.2}",
+        out.best_value,
+        random_best
+    );
+}
+
+#[test]
+fn unicorn_and_smac_both_minimize_energy() {
+    let sim = Simulator::new(
+        SubjectSystem::X264.build(),
+        Environment::on(Hardware::Xavier),
+        62,
+    );
+    let uni = optimize_single(
+        &sim,
+        1,
+        &UnicornOptions { initial_samples: 25, budget: 25, ..Default::default() },
+    );
+    let smac = smac_optimize(
+        &sim,
+        1,
+        &SmacOptions { n_init: 25, budget: 50, ..Default::default() },
+    );
+    // Both must land clearly below the default configuration.
+    let default_energy = sim.true_objectives(&sim.model.space.default_config())[1];
+    assert!(uni.best_value < default_energy);
+    assert!(smac.best_value < default_energy);
+}
+
+#[test]
+fn transfer_reuse_close_to_rerun() {
+    let source = Simulator::new(
+        SubjectSystem::Xception.build(),
+        Environment::on(Hardware::Xavier),
+        63,
+    );
+    let target = Simulator::new(
+        SubjectSystem::Xception.build(),
+        Environment::on(Hardware::Tx2),
+        64,
+    );
+    let catalog = discover_faults(
+        &target,
+        &FaultDiscoveryOptions { n_samples: 500, ace_bases: 4, ..Default::default() },
+    );
+    let fault = catalog.faults.first().expect("fault exists");
+    let opts = UnicornOptions { initial_samples: 50, budget: 8, ..Default::default() };
+    let src_state = learn_source_state(&source, &opts);
+
+    let o = fault.objectives[0];
+    let gain = |mode| {
+        let out = transfer_debug(&src_state, &target, fault, &catalog, &opts, mode);
+        let after = target.true_objectives(&out.best_config)[o];
+        unicorn::core::gain_percent(fault.true_objectives[o], after)
+    };
+    let reuse = gain(TransferMode::Reuse);
+    let rerun = gain(TransferMode::Rerun);
+    // The reused model must retain most of the fresh model's repair power
+    // (the paper's transferability claim); a generous band keeps the test
+    // robust to seeds.
+    assert!(
+        reuse >= rerun - 35.0,
+        "reuse gain {reuse:.1}% collapsed vs rerun {rerun:.1}%"
+    );
+    assert!(reuse > 0.0, "reused model failed to improve the fault at all");
+}

@@ -1,0 +1,171 @@
+//! Cross-crate property-based tests: invariants that must hold for *any*
+//! input, checked with proptest.
+
+use proptest::prelude::*;
+
+use unicorn::graph::{Admg, MixedGraph};
+use unicorn::stats::discretize::Discretizer;
+use unicorn::stats::entropy::{entropy, joint_entropy, mutual_information};
+use unicorn::stats::pareto::{dominates, hypervolume_2d, pareto_front};
+use unicorn::stats::ranking::ranks_with_ties;
+use unicorn::stats::{pearson, spearman};
+use unicorn::systems::{Environment, Hardware, Simulator, SubjectSystem};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Correlations live in [-1, 1] and are symmetric.
+    #[test]
+    fn correlation_bounds_and_symmetry(
+        xs in prop::collection::vec(-1e3f64..1e3, 3..40),
+        ys in prop::collection::vec(-1e3f64..1e3, 3..40),
+    ) {
+        let n = xs.len().min(ys.len());
+        let (xs, ys) = (&xs[..n], &ys[..n]);
+        let r = pearson(xs, ys);
+        prop_assert!((-1.0..=1.0).contains(&r));
+        prop_assert!((r - pearson(ys, xs)).abs() < 1e-12);
+        let s = spearman(xs, ys);
+        prop_assert!((-1.0..=1.0).contains(&s));
+    }
+
+    /// Tie-averaged ranks are a permutation-invariant of the sum 1..n.
+    #[test]
+    fn ranks_sum_invariant(xs in prop::collection::vec(-50f64..50.0, 1..60)) {
+        let ranks = ranks_with_ties(&xs);
+        let n = xs.len() as f64;
+        let expected = n * (n + 1.0) / 2.0;
+        prop_assert!((ranks.iter().sum::<f64>() - expected).abs() < 1e-6);
+    }
+
+    /// Entropy identities: 0 ≤ H ≤ log₂(k); MI symmetric and bounded.
+    #[test]
+    fn entropy_and_mi_bounds(codes in prop::collection::vec(0usize..6, 2..200)) {
+        let h = entropy(&codes);
+        prop_assert!(h >= -1e-12);
+        prop_assert!(h <= 6f64.log2() + 1e-9);
+        let shifted: Vec<usize> = codes.iter().map(|&c| (c + 1) % 6).collect();
+        let mi = mutual_information(&codes, &shifted);
+        let mi_rev = mutual_information(&shifted, &codes);
+        prop_assert!((mi - mi_rev).abs() < 1e-9);
+        prop_assert!(mi <= entropy(&codes) + 1e-9);
+        prop_assert!(joint_entropy(&codes, &shifted) + 1e-9 >= h);
+    }
+
+    /// Discretization codes stay within arity and are monotone in value.
+    #[test]
+    fn discretizer_codes_valid(xs in prop::collection::vec(-100f64..100.0, 8..120)) {
+        let d = Discretizer::fit(&xs, 5, 4);
+        let codes = d.transform(&xs);
+        for &c in &codes {
+            prop_assert!(c < d.arity());
+        }
+        let mut pairs: Vec<(f64, usize)> =
+            xs.iter().map(|&x| (x, d.code(x))).collect();
+        pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        for w in pairs.windows(2) {
+            prop_assert!(w[0].1 <= w[1].1);
+        }
+    }
+
+    /// Pareto fronts contain only mutually non-dominated points, and
+    /// adding points never shrinks the hypervolume.
+    #[test]
+    fn pareto_and_hypervolume_invariants(
+        pts in prop::collection::vec((0.1f64..10.0, 0.1f64..10.0), 1..40),
+    ) {
+        let vecs: Vec<Vec<f64>> = pts.iter().map(|&(a, b)| vec![a, b]).collect();
+        let front = pareto_front(&vecs);
+        for (i, a) in front.iter().enumerate() {
+            for (j, b) in front.iter().enumerate() {
+                if i != j {
+                    prop_assert!(!dominates(a, b));
+                }
+            }
+        }
+        let r = [11.0, 11.0];
+        let hv_all = hypervolume_2d(&front, &r);
+        let partial = pareto_front(&vecs[..vecs.len().div_ceil(2)]);
+        let hv_partial = hypervolume_2d(&partial, &r);
+        prop_assert!(hv_all + 1e-9 >= hv_partial);
+    }
+
+    /// ADMG ancestry is transitively closed and disjoint from descendants.
+    #[test]
+    fn admg_ancestry_invariants(edges in prop::collection::vec((0usize..8, 0usize..8), 0..16)) {
+        let mut g = Admg::new((0..8).map(|i| format!("v{i}")).collect());
+        for (a, b) in edges {
+            if a != b && !g.ancestors(a).contains(&b) {
+                g.add_directed(a, b);
+            }
+        }
+        for v in 0..8 {
+            let anc = g.ancestors(v);
+            let desc = g.descendants(v);
+            prop_assert!(anc.intersection(&desc).next().is_none());
+            prop_assert!(!anc.contains(&v));
+            // Transitivity: ancestors of ancestors are ancestors.
+            for &a in &anc {
+                for aa in g.ancestors(a) {
+                    prop_assert!(anc.contains(&aa));
+                }
+            }
+        }
+        // Topological order is consistent with every edge.
+        let order = g.topological_order();
+        let pos = |x: usize| order.iter().position(|&v| v == x).unwrap();
+        for &(f, t) in g.directed_edges() {
+            prop_assert!(pos(f) < pos(t));
+        }
+    }
+
+    /// SHD is a metric on example graph triples (symmetry + triangle).
+    #[test]
+    fn shd_metric_properties(
+        e1 in prop::collection::vec((0usize..6, 0usize..6), 0..8),
+        e2 in prop::collection::vec((0usize..6, 0usize..6), 0..8),
+    ) {
+        let build = |edges: &[(usize, usize)]| {
+            let mut g = MixedGraph::new((0..6).map(|i| format!("v{i}")).collect());
+            for &(a, b) in edges {
+                if a != b {
+                    g.add_directed_edge(a.min(b), a.max(b));
+                }
+            }
+            g
+        };
+        let a = build(&e1);
+        let b = build(&e2);
+        let d_ab = unicorn::graph::structural_hamming_distance(&a, &b);
+        let d_ba = unicorn::graph::structural_hamming_distance(&b, &a);
+        prop_assert_eq!(d_ab, d_ba);
+        prop_assert_eq!(unicorn::graph::structural_hamming_distance(&a, &a), 0);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Simulator invariants for arbitrary grid configurations: objectives
+    /// are finite and non-negative, and measurement is deterministic.
+    #[test]
+    fn simulator_outputs_sane_for_random_configs(seed in 0u64..10_000) {
+        let sim = Simulator::new(
+            SubjectSystem::X264.build(),
+            Environment::on(Hardware::Tx2),
+            77,
+        );
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed);
+        let c = sim.model.space.random_config(&mut rng);
+        let s1 = sim.measure(&c);
+        let s2 = sim.measure(&c);
+        prop_assert_eq!(&s1.objectives, &s2.objectives);
+        for &o in &s1.objectives {
+            prop_assert!(o.is_finite());
+            prop_assert!(o >= 0.0, "negative objective {}", o);
+        }
+        for &e in &s1.events {
+            prop_assert!(e.is_finite());
+        }
+    }
+}

@@ -1,0 +1,64 @@
+//! Integration: the 242-option / 288-event SQLite variant stays tractable
+//! end-to-end (Table 3's claim), and sparsity is what saves it.
+
+use std::time::Instant;
+
+use unicorn::discovery::{learn_causal_model, DiscoveryOptions};
+use unicorn::graph::paths::count_causal_paths;
+use unicorn::systems::scalability::{deepstream_variant, sqlite_variant};
+use unicorn::systems::{generate, Environment, Hardware, Simulator};
+
+#[test]
+fn large_sqlite_variant_learns_within_time_cap() {
+    let model = sqlite_variant(242, 288);
+    assert_eq!(model.n_options(), 242);
+    assert_eq!(model.n_events(), 288);
+    let sim = Simulator::new(model, Environment::on(Hardware::Xavier), 71);
+    let ds = generate(&sim, 150, 12);
+    let start = Instant::now();
+    let learned = learn_causal_model(
+        &ds.columns,
+        &ds.names,
+        &sim.model.tiers(),
+        // Bonferroni-style alpha: at 530 variables the skeleton runs
+        // ~1e5 pairwise tests, so a 0.05 level would admit thousands of
+        // false edges and destroy the sparsity the method relies on.
+        &DiscoveryOptions { alpha: 1e-4, max_depth: 1, pds_depth: 0, ..Default::default() },
+    );
+    let elapsed = start.elapsed();
+    assert!(
+        elapsed.as_secs() < 300,
+        "530-variable discovery too slow: {elapsed:?}"
+    );
+    // Sparsity: the padded variables keep the average degree low.
+    assert!(
+        learned.admg.average_degree() < 3.0,
+        "graph not sparse: degree {:.2}",
+        learned.admg.average_degree()
+    );
+    // Causal paths into the objectives stay enumerable.
+    let objectives: Vec<usize> =
+        (0..sim.model.n_objectives()).map(|o| ds.objective_node(o)).collect();
+    let paths = count_causal_paths(&learned.admg, &objectives, 10_000);
+    assert!(paths < 10_000, "path explosion: {paths}");
+}
+
+#[test]
+fn padded_deepstream_matches_base_objectives() {
+    let base = unicorn::systems::SubjectSystem::Deepstream.build();
+    let padded = deepstream_variant(288);
+    let env = Environment::on(Hardware::Xavier).params();
+    let cfg = base.space.default_config();
+    let a = base.true_objectives(&cfg, &env);
+    let b = padded.true_objectives(&cfg, &env);
+    for (x, y) in a.iter().zip(&b) {
+        assert!((x - y).abs() < 1e-9, "padding changed objectives: {x} vs {y}");
+    }
+}
+
+#[test]
+fn degree_drops_as_padding_grows() {
+    let small = sqlite_variant(34, 19).true_admg().average_degree();
+    let large = sqlite_variant(242, 288).true_admg().average_degree();
+    assert!(large < small, "degree did not drop: {small:.2} -> {large:.2}");
+}

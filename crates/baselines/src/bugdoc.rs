@@ -11,8 +11,7 @@ use rand::SeedableRng;
 use unicorn_systems::{Config, Fault, FaultCatalog, Simulator};
 
 use crate::common::{
-    feature_rows, probe_fixes, sample_labeled, BaselineOutcome, DebugBudget,
-    Debugger,
+    feature_rows, probe_fixes, sample_labeled, BaselineOutcome, DebugBudget, Debugger,
 };
 use crate::tree::{DecisionTree, PathStep, TreeOptions};
 
@@ -27,7 +26,10 @@ pub struct BugDoc {
 
 impl Default for BugDoc {
     fn default() -> Self {
-        Self { max_depth: 6, top_k: 5 }
+        Self {
+            max_depth: 6,
+            top_k: 5,
+        }
     }
 }
 
@@ -75,6 +77,7 @@ impl BugDoc {
     /// Diagnoses and repairs using caller-provided labeled samples (the
     /// transfer experiments feed source-environment samples here); fix
     /// probes still run against `sim`.
+    #[allow(clippy::too_many_arguments)]
     pub fn debug_with_samples(
         &self,
         sim: &Simulator,
@@ -186,13 +189,14 @@ mod tests {
             &sim,
             fault,
             &catalog,
-            &DebugBudget { n_samples: 80, n_probes: 8 },
+            &DebugBudget {
+                n_samples: 80,
+                n_probes: 8,
+            },
             23,
         );
         let o = fault.objectives[0];
-        assert!(
-            sim.true_objectives(&out.best_config)[o] <= fault.true_objectives[o]
-        );
+        assert!(sim.true_objectives(&out.best_config)[o] <= fault.true_objectives[o]);
     }
 
     #[test]
@@ -201,12 +205,20 @@ mod tests {
         let fault = sim.model.space.default_config();
         // Force option 1 (Bitrate, grid 1000..5000, default 2000) above
         // 2500: the steered config must pick a grid value > 2500.
-        let path = vec![PathStep { feature: 1, threshold: 2500.0, went_left: false }];
+        let path = vec![PathStep {
+            feature: 1,
+            threshold: 2500.0,
+            went_left: false,
+        }];
         let c = config_for_path(&sim, &fault, &path);
         assert!(c.values[1] > 2500.0);
         assert!(sim.model.space.option(1).values.contains(&c.values[1]));
         // Already-satisfied constraints leave values untouched.
-        let path2 = vec![PathStep { feature: 1, threshold: 2500.0, went_left: true }];
+        let path2 = vec![PathStep {
+            feature: 1,
+            threshold: 2500.0,
+            went_left: true,
+        }];
         let c2 = config_for_path(&sim, &fault, &path2);
         assert_eq!(c2.values[1], fault.values[1]);
     }

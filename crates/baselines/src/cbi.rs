@@ -8,8 +8,7 @@ use std::time::Instant;
 use unicorn_systems::{Config, Fault, FaultCatalog, Simulator};
 
 use crate::common::{
-    probe_fixes, sample_labeled, BaselineOutcome, DebugBudget, Debugger,
-    LabeledSamples,
+    probe_fixes, sample_labeled, BaselineOutcome, DebugBudget, Debugger, LabeledSamples,
 };
 
 /// The CBI debugger.
@@ -35,8 +34,7 @@ struct Predicate {
 }
 
 fn rank_predicates(sim: &Simulator, samples: &LabeledSamples, top_k: usize) -> Vec<Predicate> {
-    let n_fail_total =
-        samples.failing.iter().filter(|&&f| f).count().max(1) as f64;
+    let n_fail_total = samples.failing.iter().filter(|&&f| f).count().max(1) as f64;
     let context = n_fail_total / samples.failing.len() as f64;
     let mut preds = Vec::new();
     for opt in 0..sim.model.n_options() {
@@ -65,11 +63,17 @@ fn rank_predicates(sim: &Simulator, samples: &LabeledSamples, top_k: usize) -> V
             }
             let coverage = (1.0 + f as f64).ln() / (1.0 + n_fail_total).ln();
             let importance = 2.0 / (1.0 / increase + 1.0 / coverage);
-            preds.push(Predicate { option: opt, value_idx: vi, importance });
+            preds.push(Predicate {
+                option: opt,
+                value_idx: vi,
+                importance,
+            });
         }
     }
     preds.sort_by(|a, b| {
-        b.importance.partial_cmp(&a.importance).expect("NaN importance")
+        b.importance
+            .partial_cmp(&a.importance)
+            .expect("NaN importance")
     });
     // Deduplicate by option, keeping each option's strongest predicate.
     let mut seen = Vec::new();
@@ -136,8 +140,11 @@ impl Debugger for Cbi {
         let mut candidates: Vec<Config> = Vec::new();
         let mut cumulative = fault.config.clone();
         for p in &preds {
-            let fault_vi =
-                sim.model.space.option(p.option).nearest_index(fault.config.values[p.option]);
+            let fault_vi = sim
+                .model
+                .space
+                .option(p.option)
+                .nearest_index(fault.config.values[p.option]);
             // Only meaningful when the fault actually matches the predicate.
             let _ = fault_vi == p.value_idx;
             cumulative.values[p.option] = safest_value(sim, &samples, p.option);
@@ -169,7 +176,10 @@ mod tests {
             &sim,
             fault,
             &catalog,
-            &DebugBudget { n_samples: 80, n_probes: 6 },
+            &DebugBudget {
+                n_samples: 80,
+                n_probes: 6,
+            },
             5,
         );
         let o = fault.objectives[0];

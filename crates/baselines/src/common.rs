@@ -19,7 +19,10 @@ pub struct DebugBudget {
 
 impl Default for DebugBudget {
     fn default() -> Self {
-        Self { n_samples: 60, n_probes: 10 }
+        Self {
+            n_samples: 60,
+            n_probes: 10,
+        }
     }
 }
 
@@ -91,7 +94,11 @@ pub fn sample_labeled(
         failing.push(fail);
         objectives.push(s.objectives);
     }
-    LabeledSamples { configs, failing, objectives }
+    LabeledSamples {
+        configs,
+        failing,
+        objectives,
+    }
 }
 
 /// QoS check for a repair: all violated objectives at or below the
@@ -106,6 +113,7 @@ pub fn meets_goal(fault: &Fault, catalog: &FaultCatalog, objectives: &[f64]) -> 
 /// Probes candidate fixes in order, tracking the best configuration on the
 /// violated objectives; stops at the first fix meeting the goal or when
 /// the probe budget is exhausted.
+#[allow(clippy::too_many_arguments)]
 pub fn probe_fixes(
     sim: &Simulator,
     fault: &Fault,
@@ -216,7 +224,10 @@ mod tests {
         let fault = latency_fault(&catalog);
         let s = sample_labeled(&sim, fault, &catalog, 20, 3);
         assert_eq!(s.configs.len(), 20);
-        assert!(*s.failing.last().unwrap(), "fault row must be labeled failing");
+        assert!(
+            *s.failing.last().unwrap(),
+            "fault row must be labeled failing"
+        );
         // Most random configs pass (faults are 1% tails).
         let fails = s.failing.iter().filter(|&&f| f).count();
         assert!(fails <= 6, "too many failures: {fails}");

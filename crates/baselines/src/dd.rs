@@ -7,9 +7,7 @@ use std::time::Instant;
 
 use unicorn_systems::{Config, Fault, FaultCatalog, Simulator};
 
-use crate::common::{
-    changed_options, meets_goal, BaselineOutcome, DebugBudget, Debugger,
-};
+use crate::common::{changed_options, meets_goal, BaselineOutcome, DebugBudget, Debugger};
 
 /// The delta-debugging baseline.
 #[derive(Debug, Clone, Default)]
@@ -57,8 +55,7 @@ fn ddmin(oracle: &mut Oracle<'_>, mut delta: Vec<usize>) -> Vec<usize> {
     let mut n = 2usize;
     while delta.len() >= 2 {
         let chunk = delta.len().div_ceil(n);
-        let chunks: Vec<Vec<usize>> =
-            delta.chunks(chunk).map(<[usize]>::to_vec).collect();
+        let chunks: Vec<Vec<usize>> = delta.chunks(chunk).map(<[usize]>::to_vec).collect();
         let mut reduced = false;
         // Try each chunk alone.
         for c in &chunks {
@@ -127,8 +124,8 @@ impl Debugger for DeltaDebugging {
     ) -> BaselineOutcome {
         let start = Instant::now();
         let _ = seed; // DD is deterministic given the base configuration.
-        // Known-good base: the shipped defaults (measured once); if even
-        // the defaults fail, DD degrades to reporting all differences.
+                      // Known-good base: the shipped defaults (measured once); if even
+                      // the defaults fail, DD degrades to reporting all differences.
         let base = sim.model.space.default_config();
         let base_sample = sim.measure(&base);
         let mut measurements = 1usize;
@@ -198,7 +195,10 @@ mod tests {
             &sim,
             real,
             &catalog,
-            &DebugBudget { n_samples: 40, n_probes: 10 },
+            &DebugBudget {
+                n_samples: 40,
+                n_probes: 10,
+            },
             0,
         );
         // The diagnosis must be a subset of the fault's deltas vs default.
@@ -214,13 +214,7 @@ mod tests {
     fn dd_repair_improves_or_keeps() {
         let (sim, catalog) = x264_fixture();
         let fault = latency_fault(&catalog);
-        let out = DeltaDebugging.debug(
-            &sim,
-            fault,
-            &catalog,
-            &DebugBudget::default(),
-            0,
-        );
+        let out = DeltaDebugging.debug(&sim, fault, &catalog, &DebugBudget::default(), 0);
         let o = fault.objectives[0];
         let after = sim.true_objectives(&out.best_config)[o];
         assert!(after <= fault.true_objectives[o] * 1.05);

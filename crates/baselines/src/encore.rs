@@ -9,8 +9,7 @@ use std::time::Instant;
 use unicorn_systems::{Config, Fault, FaultCatalog, Simulator};
 
 use crate::common::{
-    probe_fixes, sample_labeled, BaselineOutcome, DebugBudget, Debugger,
-    LabeledSamples,
+    probe_fixes, sample_labeled, BaselineOutcome, DebugBudget, Debugger, LabeledSamples,
 };
 
 /// The EnCore baseline.
@@ -26,7 +25,11 @@ pub struct Encore {
 
 impl Default for Encore {
     fn default() -> Self {
-        Self { min_support: 4, min_confidence: 0.5, top_k: 5 }
+        Self {
+            min_support: 4,
+            min_confidence: 0.5,
+            top_k: 5,
+        }
     }
 }
 
@@ -48,8 +51,8 @@ fn mine_rules(
     fault: &Fault,
     opts: &Encore,
 ) -> Vec<Rule> {
-    let overall_fail = samples.failing.iter().filter(|&&f| f).count() as f64
-        / samples.failing.len() as f64;
+    let overall_fail =
+        samples.failing.iter().filter(|&&f| f).count() as f64 / samples.failing.len() as f64;
     let mut rules = Vec::new();
     let n_options = sim.model.n_options();
 
@@ -81,10 +84,7 @@ fn mine_rules(
 
     // Pairwise rules among the strongest single options (correlation
     // information across options is EnCore's differentiator).
-    let mut singles: Vec<usize> = rules
-        .iter()
-        .map(|r| r.options[0].0)
-        .collect();
+    let mut singles: Vec<usize> = rules.iter().map(|r| r.options[0].0).collect();
     if singles.len() < 4 {
         // Seed with a few more candidate options by marginal failure rate.
         for opt in 0..n_options {
@@ -222,13 +222,14 @@ mod tests {
             &sim,
             fault,
             &catalog,
-            &DebugBudget { n_samples: 80, n_probes: 6 },
+            &DebugBudget {
+                n_samples: 80,
+                n_probes: 6,
+            },
             9,
         );
         let o = fault.objectives[0];
-        assert!(
-            sim.true_objectives(&out.best_config)[o] <= fault.true_objectives[o]
-        );
+        assert!(sim.true_objectives(&out.best_config)[o] <= fault.true_objectives[o]);
         assert!(!out.diagnosed_options.is_empty());
     }
 

@@ -20,7 +20,11 @@ pub struct ForestOptions {
 
 impl Default for ForestOptions {
     fn default() -> Self {
-        Self { n_trees: 24, tree: TreeOptions::default(), seed: 0xF0535 }
+        Self {
+            n_trees: 24,
+            tree: TreeOptions::default(),
+            seed: 0xF0535,
+        }
     }
 }
 
@@ -35,15 +39,20 @@ impl RandomForest {
     pub fn fit(x: &[Vec<f64>], y: &[f64], opts: &ForestOptions) -> Self {
         assert!(!x.is_empty(), "empty training set");
         let p = x[0].len();
-        let mtry = opts.tree.mtry.unwrap_or(((p as f64).sqrt().ceil()) as usize);
-        let tree_opts = TreeOptions { mtry: Some(mtry.max(1)), ..opts.tree.clone() };
+        let mtry = opts
+            .tree
+            .mtry
+            .unwrap_or(((p as f64).sqrt().ceil()) as usize);
+        let tree_opts = TreeOptions {
+            mtry: Some(mtry.max(1)),
+            ..opts.tree.clone()
+        };
         let mut rng = StdRng::seed_from_u64(opts.seed);
         let n = x.len();
         let trees = (0..opts.n_trees)
             .map(|_| {
                 // Bootstrap resample.
-                let rows: Vec<usize> =
-                    (0..n).map(|_| rng.gen_range(0..n)).collect();
+                let rows: Vec<usize> = (0..n).map(|_| rng.gen_range(0..n)).collect();
                 let bx: Vec<Vec<f64>> = rows.iter().map(|&r| x[r].clone()).collect();
                 let by: Vec<f64> = rows.iter().map(|&r| y[r]).collect();
                 DecisionTree::fit(&bx, &by, &tree_opts, &mut rng)
@@ -54,16 +63,14 @@ impl RandomForest {
 
     /// Mean prediction across trees.
     pub fn predict(&self, row: &[f64]) -> f64 {
-        self.trees.iter().map(|t| t.predict(row)).sum::<f64>()
-            / self.trees.len() as f64
+        self.trees.iter().map(|t| t.predict(row)).sum::<f64>() / self.trees.len() as f64
     }
 
     /// Mean and variance of per-tree predictions (SMAC's uncertainty).
     pub fn predict_with_uncertainty(&self, row: &[f64]) -> (f64, f64) {
         let preds: Vec<f64> = self.trees.iter().map(|t| t.predict(row)).collect();
         let m = preds.iter().sum::<f64>() / preds.len() as f64;
-        let var = preds.iter().map(|p| (p - m) * (p - m)).sum::<f64>()
-            / preds.len() as f64;
+        let var = preds.iter().map(|p| (p - m) * (p - m)).sum::<f64>() / preds.len() as f64;
         (m, var)
     }
 

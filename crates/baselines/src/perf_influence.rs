@@ -19,11 +19,7 @@ pub struct InfluenceModel {
 impl InfluenceModel {
     /// Fits a model on a dataset's option columns against objective
     /// `obj_idx`, with the standard stepwise forward/backward protocol.
-    pub fn fit(
-        data: &Dataset,
-        obj_idx: usize,
-        opts: &StepwiseOptions,
-    ) -> Result<Self, StatsError> {
+    pub fn fit(data: &Dataset, obj_idx: usize, opts: &StepwiseOptions) -> Result<Self, StatsError> {
         let options = &data.columns[..data.n_options];
         let y = data.objective_column(obj_idx);
         let model = stepwise_fit(options, y, opts)?;
@@ -97,9 +93,7 @@ impl InfluenceModel {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use unicorn_systems::{
-        generate, Environment, Hardware, Simulator, SubjectSystem,
-    };
+    use unicorn_systems::{generate, Environment, Hardware, Simulator, SubjectSystem};
 
     fn dataset(hw: Hardware, n: usize, seed: u64) -> (Simulator, Dataset) {
         let sim = Simulator::new(SubjectSystem::X264.build(), Environment::on(hw), 2);
@@ -108,7 +102,10 @@ mod tests {
     }
 
     fn small_opts() -> StepwiseOptions {
-        StepwiseOptions { max_terms: 12, ..Default::default() }
+        StepwiseOptions {
+            max_terms: 12,
+            ..Default::default()
+        }
     }
 
     #[test]

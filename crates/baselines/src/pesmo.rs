@@ -43,7 +43,10 @@ impl Default for PesmoOptions {
             budget: 60,
             n_candidates: 30,
             n_thompson: 8,
-            forest: ForestOptions { n_trees: 16, ..Default::default() },
+            forest: ForestOptions {
+                n_trees: 16,
+                ..Default::default()
+            },
             seed: 0x9E5,
         }
     }
@@ -73,9 +76,7 @@ pub fn pesmo_optimize(
     let mut configs: Vec<Config> = Vec::new();
     let mut evaluated: Vec<Vec<f64>> = Vec::new();
 
-    let measure = |c: &Config,
-                       configs: &mut Vec<Config>,
-                       evaluated: &mut Vec<Vec<f64>>| {
+    let measure = |c: &Config, configs: &mut Vec<Config>, evaluated: &mut Vec<Vec<f64>>| {
         let s = sim.measure(c);
         configs.push(c.clone());
         evaluated.push(objective_idxs.iter().map(|&o| s.objectives[o]).collect());
@@ -94,12 +95,18 @@ pub fn pesmo_optimize(
         let f0 = RandomForest::fit(
             &xs,
             &y0,
-            &ForestOptions { seed: opts.seed ^ it, ..opts.forest.clone() },
+            &ForestOptions {
+                seed: opts.seed ^ it,
+                ..opts.forest.clone()
+            },
         );
         let f1 = RandomForest::fit(
             &xs,
             &y1,
-            &ForestOptions { seed: opts.seed ^ (it << 1), ..opts.forest.clone() },
+            &ForestOptions {
+                seed: opts.seed ^ (it << 1),
+                ..opts.forest.clone()
+            },
         );
 
         // Reference point: slightly beyond the observed maxima.
@@ -183,7 +190,11 @@ mod tests {
         let out = pesmo_optimize(
             &sim,
             &[0, 1],
-            &PesmoOptions { n_init: 10, budget: 25, ..Default::default() },
+            &PesmoOptions {
+                n_init: 10,
+                budget: 25,
+                ..Default::default()
+            },
         );
         assert_eq!(out.evaluated.len(), 25);
         assert!(!out.front.is_empty());
@@ -207,7 +218,11 @@ mod tests {
         let out = pesmo_optimize(
             &sim,
             &[0, 1],
-            &PesmoOptions { n_init: 8, budget: 16, ..Default::default() },
+            &PesmoOptions {
+                n_init: 8,
+                budget: 16,
+                ..Default::default()
+            },
         );
         let reference = out.front.clone();
         let rp = [1e6, 1e6];

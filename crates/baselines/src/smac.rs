@@ -37,7 +37,10 @@ impl Default for SmacOptions {
             budget: 60,
             n_candidates: 40,
             random_interleave: 9,
-            forest: ForestOptions { n_trees: 16, ..Default::default() },
+            forest: ForestOptions {
+                n_trees: 16,
+                ..Default::default()
+            },
             seed: 0x5AC,
         }
     }
@@ -57,11 +60,7 @@ pub struct SmacOutcome {
 }
 
 /// Minimizes `objective_idx` of the simulator.
-pub fn smac_optimize(
-    sim: &Simulator,
-    objective_idx: usize,
-    opts: &SmacOptions,
-) -> SmacOutcome {
+pub fn smac_optimize(sim: &Simulator, objective_idx: usize, opts: &SmacOptions) -> SmacOutcome {
     let start = Instant::now();
     let mut rng = StdRng::seed_from_u64(opts.seed);
     let mut xs: Vec<Vec<f64>> = Vec::new();
@@ -69,15 +68,13 @@ pub fn smac_optimize(
     let mut ys: Vec<f64> = Vec::new();
     let mut history = Vec::new();
 
-    let measure = |c: &Config,
-                       xs: &mut Vec<Vec<f64>>,
-                       configs: &mut Vec<Config>,
-                       ys: &mut Vec<f64>| {
-        let s = sim.measure(c);
-        xs.push(c.values.clone());
-        configs.push(c.clone());
-        ys.push(s.objectives[objective_idx]);
-    };
+    let measure =
+        |c: &Config, xs: &mut Vec<Vec<f64>>, configs: &mut Vec<Config>, ys: &mut Vec<f64>| {
+            let s = sim.measure(c);
+            xs.push(c.values.clone());
+            configs.push(c.clone());
+            ys.push(s.objectives[objective_idx]);
+        };
 
     for _ in 0..opts.n_init.min(opts.budget) {
         let c = sim.model.space.random_config(&mut rng);
@@ -90,13 +87,16 @@ pub fn smac_optimize(
         iter += 1;
         let incumbent_idx = argmin(&ys);
         let incumbent = configs[incumbent_idx].clone();
-        let next = if opts.random_interleave > 0 && iter % opts.random_interleave == 0 {
+        let next = if opts.random_interleave > 0 && iter.is_multiple_of(opts.random_interleave) {
             sim.model.space.random_config(&mut rng)
         } else {
             let forest = RandomForest::fit(
                 &xs,
                 &ys,
-                &ForestOptions { seed: opts.seed ^ iter as u64, ..opts.forest.clone() },
+                &ForestOptions {
+                    seed: opts.seed ^ iter as u64,
+                    ..opts.forest.clone()
+                },
             );
             // Candidate pool: local neighbours of the incumbent + random.
             let mut pool: Vec<Config> = sim.model.space.neighbors(&incumbent);
@@ -188,7 +188,11 @@ mod tests {
         let out = smac_optimize(
             &sim,
             0,
-            &SmacOptions { n_init: 10, budget: 30, ..Default::default() },
+            &SmacOptions {
+                n_init: 10,
+                budget: 30,
+                ..Default::default()
+            },
         );
         assert_eq!(out.history.len(), 30);
         // Best-so-far is monotone and the final value beats (or equals)
@@ -207,13 +211,14 @@ mod tests {
             &sim,
             fault,
             &catalog,
-            &DebugBudget { n_samples: 25, n_probes: 5 },
+            &DebugBudget {
+                n_samples: 25,
+                n_probes: 5,
+            },
             3,
         );
         let o = fault.objectives[0];
-        assert!(
-            sim.true_objectives(&out.best_config)[o] <= fault.true_objectives[o]
-        );
+        assert!(sim.true_objectives(&out.best_config)[o] <= fault.true_objectives[o]);
         // SMAC changes many options relative to the fault (the paper's
         // criticism: it flips unrelated options).
         assert!(!out.diagnosed_options.is_empty());

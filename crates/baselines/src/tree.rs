@@ -21,7 +21,11 @@ pub struct TreeOptions {
 
 impl Default for TreeOptions {
     fn default() -> Self {
-        Self { max_depth: 8, min_samples_leaf: 4, mtry: None }
+        Self {
+            max_depth: 8,
+            min_samples_leaf: 4,
+            mtry: None,
+        }
     }
 }
 
@@ -68,16 +72,14 @@ pub struct PathStep {
 
 impl DecisionTree {
     /// Fits a tree on row-major features `x` and targets `y`.
-    pub fn fit(
-        x: &[Vec<f64>],
-        y: &[f64],
-        opts: &TreeOptions,
-        rng: &mut StdRng,
-    ) -> Self {
+    pub fn fit(x: &[Vec<f64>], y: &[f64], opts: &TreeOptions, rng: &mut StdRng) -> Self {
         assert_eq!(x.len(), y.len(), "row/target mismatch");
         assert!(!x.is_empty(), "empty training set");
         let n_features = x[0].len();
-        let mut tree = Self { nodes: Vec::new(), n_features };
+        let mut tree = Self {
+            nodes: Vec::new(),
+            n_features,
+        };
         let rows: Vec<usize> = (0..x.len()).collect();
         tree.grow(x, y, &rows, 0, opts, rng);
         tree
@@ -92,10 +94,12 @@ impl DecisionTree {
         opts: &TreeOptions,
         rng: &mut StdRng,
     ) -> usize {
-        let mean: f64 =
-            rows.iter().map(|&r| y[r]).sum::<f64>() / rows.len() as f64;
+        let mean: f64 = rows.iter().map(|&r| y[r]).sum::<f64>() / rows.len() as f64;
         let make_leaf = |nodes: &mut Vec<TreeNode>| {
-            nodes.push(TreeNode::Leaf { value: mean, n: rows.len() });
+            nodes.push(TreeNode::Leaf {
+                value: mean,
+                n: rows.len(),
+            });
             nodes.len() - 1
         };
         if depth >= opts.max_depth || rows.len() < 2 * opts.min_samples_leaf {
@@ -121,8 +125,7 @@ impl DecisionTree {
                 let thr = (w[0] + w[1]) / 2.0;
                 let (l, r): (Vec<usize>, Vec<usize>) =
                     rows.iter().partition(|&&row| x[row][f] <= thr);
-                if l.len() < opts.min_samples_leaf || r.len() < opts.min_samples_leaf
-                {
+                if l.len() < opts.min_samples_leaf || r.len() < opts.min_samples_leaf {
                     continue;
                 }
                 let ml = l.iter().map(|&row| y[row]).sum::<f64>() / l.len() as f64;
@@ -143,10 +146,18 @@ impl DecisionTree {
             rows.iter().partition(|&&row| x[row][feature] <= threshold);
         // Reserve this node, then grow children.
         let idx = self.nodes.len();
-        self.nodes.push(TreeNode::Leaf { value: mean, n: rows.len() });
+        self.nodes.push(TreeNode::Leaf {
+            value: mean,
+            n: rows.len(),
+        });
         let left = self.grow(x, y, &l_rows, depth + 1, opts, rng);
         let right = self.grow(x, y, &r_rows, depth + 1, opts, rng);
-        self.nodes[idx] = TreeNode::Split { feature, threshold, left, right };
+        self.nodes[idx] = TreeNode::Split {
+            feature,
+            threshold,
+            left,
+            right,
+        };
         idx
     }
 
@@ -156,8 +167,17 @@ impl DecisionTree {
         loop {
             match self.nodes[i] {
                 TreeNode::Leaf { value, .. } => return value,
-                TreeNode::Split { feature, threshold, left, right } => {
-                    i = if row[feature] <= threshold { left } else { right };
+                TreeNode::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    i = if row[feature] <= threshold {
+                        left
+                    } else {
+                        right
+                    };
                 }
             }
         }
@@ -170,9 +190,18 @@ impl DecisionTree {
         loop {
             match self.nodes[i] {
                 TreeNode::Leaf { .. } => return path,
-                TreeNode::Split { feature, threshold, left, right } => {
+                TreeNode::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
                     let went_left = row[feature] <= threshold;
-                    path.push(PathStep { feature, threshold, went_left });
+                    path.push(PathStep {
+                        feature,
+                        threshold,
+                        went_left,
+                    });
                     i = if went_left { left } else { right };
                 }
             }
@@ -181,10 +210,7 @@ impl DecisionTree {
 
     /// All root-to-leaf paths with leaf predictions ≥ `min_value`,
     /// as constraint lists — BugDoc's "succinct explanations of failures".
-    pub fn paths_to_leaves_with(
-        &self,
-        min_value: f64,
-    ) -> Vec<(Vec<PathStep>, f64)> {
+    pub fn paths_to_leaves_with(&self, min_value: f64) -> Vec<(Vec<PathStep>, f64)> {
         let mut out = Vec::new();
         let mut stack: Vec<(usize, Vec<PathStep>)> = vec![(self.root(), Vec::new())];
         while let Some((i, path)) = stack.pop() {
@@ -194,12 +220,25 @@ impl DecisionTree {
                         out.push((path, value));
                     }
                 }
-                TreeNode::Split { feature, threshold, left, right } => {
+                TreeNode::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
                     let mut lp = path.clone();
-                    lp.push(PathStep { feature, threshold, went_left: true });
+                    lp.push(PathStep {
+                        feature,
+                        threshold,
+                        went_left: true,
+                    });
                     stack.push((left, lp));
                     let mut rp = path;
-                    rp.push(PathStep { feature, threshold, went_left: false });
+                    rp.push(PathStep {
+                        feature,
+                        threshold,
+                        went_left: false,
+                    });
                     stack.push((right, rp));
                 }
             }
@@ -241,10 +280,11 @@ mod tests {
     #[test]
     fn step_function_is_learned_exactly() {
         // y = 1 if x0 > 0.5 else 0.
-        let x: Vec<Vec<f64>> =
-            (0..100).map(|i| vec![i as f64 / 100.0, 0.0]).collect();
-        let y: Vec<f64> =
-            x.iter().map(|r| if r[0] > 0.5 { 1.0 } else { 0.0 }).collect();
+        let x: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64 / 100.0, 0.0]).collect();
+        let y: Vec<f64> = x
+            .iter()
+            .map(|r| if r[0] > 0.5 { 1.0 } else { 0.0 })
+            .collect();
         let t = DecisionTree::fit(&x, &y, &TreeOptions::default(), &mut rng());
         assert_eq!(t.predict(&[0.2, 0.0]), 0.0);
         assert_eq!(t.predict(&[0.9, 0.0]), 1.0);
@@ -280,7 +320,11 @@ mod tests {
         let t = DecisionTree::fit(
             &x,
             &y,
-            &TreeOptions { max_depth: 4, min_samples_leaf: 2, mtry: None },
+            &TreeOptions {
+                max_depth: 4,
+                min_samples_leaf: 2,
+                mtry: None,
+            },
             &mut rng(),
         );
         for (r, want) in x.iter().zip(&y).take(4) {
@@ -290,10 +334,11 @@ mod tests {
 
     #[test]
     fn decision_path_reflects_structure() {
-        let x: Vec<Vec<f64>> =
-            (0..60).map(|i| vec![i as f64 / 60.0]).collect();
-        let y: Vec<f64> =
-            x.iter().map(|r| if r[0] > 0.5 { 2.0 } else { 0.0 }).collect();
+        let x: Vec<Vec<f64>> = (0..60).map(|i| vec![i as f64 / 60.0]).collect();
+        let y: Vec<f64> = x
+            .iter()
+            .map(|r| if r[0] > 0.5 { 2.0 } else { 0.0 })
+            .collect();
         let t = DecisionTree::fit(&x, &y, &TreeOptions::default(), &mut rng());
         let path = t.decision_path(&[0.9]);
         assert!(!path.is_empty());
@@ -303,10 +348,11 @@ mod tests {
 
     #[test]
     fn failure_paths_enumerate_bad_leaves() {
-        let x: Vec<Vec<f64>> =
-            (0..60).map(|i| vec![i as f64 / 60.0]).collect();
-        let y: Vec<f64> =
-            x.iter().map(|r| if r[0] > 0.5 { 1.0 } else { 0.0 }).collect();
+        let x: Vec<Vec<f64>> = (0..60).map(|i| vec![i as f64 / 60.0]).collect();
+        let y: Vec<f64> = x
+            .iter()
+            .map(|r| if r[0] > 0.5 { 1.0 } else { 0.0 })
+            .collect();
         let t = DecisionTree::fit(&x, &y, &TreeOptions::default(), &mut rng());
         let bad = t.paths_to_leaves_with(0.5);
         assert!(!bad.is_empty());
@@ -324,7 +370,11 @@ mod tests {
         let t = DecisionTree::fit(
             &x,
             &y,
-            &TreeOptions { max_depth: 20, min_samples_leaf: 5, mtry: None },
+            &TreeOptions {
+                max_depth: 20,
+                min_samples_leaf: 5,
+                mtry: None,
+            },
             &mut rng(),
         );
         // With 10 rows and min 5 per leaf, at most one split.

@@ -19,7 +19,11 @@ fn setup() -> (Simulator, unicorn_systems::Dataset, FittedScm) {
         &ds.columns,
         &ds.names,
         &sim.model.tiers(),
-        &DiscoveryOptions { max_depth: 1, pds_depth: 0, ..Default::default() },
+        &DiscoveryOptions {
+            max_depth: 1,
+            pds_depth: 0,
+            ..Default::default()
+        },
     );
     let scm = FittedScm::fit(model.admg, &ds.columns).expect("fit");
     (sim, ds, scm)
@@ -46,12 +50,11 @@ fn bench_interventional(c: &mut Criterion) {
 
 fn bench_repair_ranking(c: &mut Criterion) {
     let (sim, ds, scm) = setup();
-    let engine = CausalEngine::new(
-        scm,
-        sim.model.tiers(),
-        Box::new(ds.domains(&sim)),
-    )
-    .with_repair_options(RepairOptions { max_pairs: 8, ..Default::default() });
+    let engine = CausalEngine::new(scm, sim.model.tiers(), Box::new(ds.domains(&sim)))
+        .with_repair_options(RepairOptions {
+            max_pairs: 8,
+            ..Default::default()
+        });
     let goal = QosGoal::single(
         ds.objective_node(0),
         unicorn_stats::quantile(ds.objective_column(0), 0.5),
@@ -64,5 +67,10 @@ fn bench_repair_ranking(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_scm_fit, bench_interventional, bench_repair_ranking);
+criterion_group!(
+    benches,
+    bench_scm_fit,
+    bench_interventional,
+    bench_repair_ranking
+);
 criterion_main!(benches);

@@ -11,20 +11,19 @@ fn bench_measure(c: &mut Criterion) {
     for sys in SubjectSystem::all() {
         let sim = Simulator::new(sys.build(), Environment::on(Hardware::Tx2), 7);
         let cfg = sim.model.space.default_config();
-        group.bench_with_input(
-            BenchmarkId::from_parameter(sys.name()),
-            &cfg,
-            |b, cfg| b.iter(|| sim.measure(cfg)),
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(sys.name()), &cfg, |b, cfg| {
+            b.iter(|| sim.measure(cfg))
+        });
     }
     group.finish();
 }
 
 fn bench_scalability_variant(c: &mut Criterion) {
     let mut group = c.benchmark_group("measure_scalability");
-    for (label, opts, evs) in
-        [("sqlite-34x19", 34usize, 19usize), ("sqlite-242x288", 242, 288)]
-    {
+    for (label, opts, evs) in [
+        ("sqlite-34x19", 34usize, 19usize),
+        ("sqlite-242x288", 242, 288),
+    ] {
         let sim = Simulator::new(
             sqlite_variant(opts, evs),
             Environment::on(Hardware::Xavier),

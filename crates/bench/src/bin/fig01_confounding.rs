@@ -45,11 +45,7 @@ fn main() {
     );
     println!("\n(c) learned causal model edges:");
     for &(f, to) in model.admg.directed_edges() {
-        println!(
-            "    {} -> {}",
-            model.admg.name(f),
-            model.admg.name(to)
-        );
+        println!("    {} -> {}", model.admg.name(f), model.admg.name(to));
     }
     let policy_causes_both = model.admg.directed_edges().contains(&(0, 1))
         && (model.admg.directed_edges().contains(&(0, 2))

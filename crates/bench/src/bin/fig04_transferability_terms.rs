@@ -36,7 +36,11 @@ fn main() {
         &dst,
         0,
         &src_sim.model.tiers(),
-        &DiscoveryOptions { max_depth: 2, pds_depth: 0, ..Default::default() },
+        &DiscoveryOptions {
+            max_depth: 2,
+            pds_depth: 0,
+            ..Default::default()
+        },
     );
 
     t.row(vec![
@@ -57,8 +61,7 @@ fn main() {
     t.row(vec![
         "Common / total source (%)".into(),
         f1(100.0 * reg.common_terms as f64 / reg.total_terms_source.max(1) as f64),
-        f1(100.0 * causal.common_terms as f64
-            / causal.total_terms_source.max(1) as f64),
+        f1(100.0 * causal.common_terms as f64 / causal.total_terms_source.max(1) as f64),
     ]);
     t.row(vec![
         "MAPE source (%)".into(),

@@ -27,9 +27,7 @@ fn main() {
 
     section("Fig 5: coefficient differences of common terms (Xavier -> TX2)");
     let mut diffs = src_model.coefficient_diffs(&dst_model);
-    diffs.sort_by(|a, b| {
-        b.1.abs().partial_cmp(&a.1.abs()).expect("NaN diff")
-    });
+    diffs.sort_by(|a, b| b.1.abs().partial_cmp(&a.1.abs()).expect("NaN diff"));
     let mut t = Table::new(&["Predictor (options / interactions)", "Coefficient diff"]);
     for (term, d) in &diffs {
         t.row(vec![src_model.render_term(term), format!("{d:+.3}")]);

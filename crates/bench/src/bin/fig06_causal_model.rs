@@ -56,12 +56,7 @@ fn main() {
         kinds.push(tiers_all.kind(i));
     }
     let tiers = TierConstraints::new(kinds.clone());
-    let model = learn_causal_model(
-        &columns,
-        &names,
-        &tiers,
-        &DiscoveryOptions::default(),
-    );
+    let model = learn_causal_model(&columns, &names, &tiers, &DiscoveryOptions::default());
 
     println!("Learned edges (options -> events -> objectives):");
     for &(f, t) in model.admg.directed_edges() {

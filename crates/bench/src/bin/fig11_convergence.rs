@@ -23,12 +23,15 @@ fn main() {
     };
     let stream = generate(&sim, *sizes.last().expect("non-empty"), 0xF11A);
     let truth = sim.model.true_admg().to_mixed();
-    let disc = DiscoveryOptions { max_depth: 2, pds_depth: 0, ..Default::default() };
+    let disc = DiscoveryOptions {
+        max_depth: 2,
+        pds_depth: 0,
+        ..Default::default()
+    };
     let shd: Vec<f64> = sizes
         .iter()
         .map(|&k| {
-            let cols: Vec<Vec<f64>> =
-                stream.columns.iter().map(|c| c[..k].to_vec()).collect();
+            let cols: Vec<Vec<f64>> = stream.columns.iter().map(|c| c[..k].to_vec()).collect();
             let m = learn_causal_model(&cols, &stream.names, &sim.model.tiers(), &disc);
             structural_hamming_distance(&m.admg.to_mixed(), &truth) as f64
         })
@@ -85,7 +88,10 @@ fn main() {
         .collect();
     print!(
         "{}",
-        render_series("objectives per iteration", &[("Latency", lat), ("Energy", en)])
+        render_series(
+            "objectives per iteration",
+            &[("Latency", lat), ("Energy", en)]
+        )
     );
 
     section("Fig 11d: options selected per iteration");

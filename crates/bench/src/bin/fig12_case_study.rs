@@ -10,8 +10,7 @@ use unicorn_bench::{f1, section, Scale, Table};
 use unicorn_core::{debug_fault, UnicornOptions};
 use unicorn_systems::systems::scene_detection;
 use unicorn_systems::{
-    discover_faults, Environment, Fault, FaultCatalog, FaultDiscoveryOptions,
-    Hardware, Simulator,
+    discover_faults, Environment, Fault, FaultCatalog, FaultDiscoveryOptions, Hardware, Simulator,
 };
 
 /// ms-per-frame → frames-per-second.
@@ -46,10 +45,16 @@ fn main() {
             ..Default::default()
         },
     );
-    let planted: BTreeSet<usize> = ["CUDA_STATIC", "CPU Cores", "CPU Frequency", "EMC Frequency", "GPU Frequency"]
-        .iter()
-        .map(|n| model.space.index_of(n).expect("known option"))
-        .collect();
+    let planted: BTreeSet<usize> = [
+        "CUDA_STATIC",
+        "CPU Cores",
+        "CPU Frequency",
+        "EMC Frequency",
+        "GPU Frequency",
+    ]
+    .iter()
+    .map(|n| model.space.index_of(n).expect("known option"))
+    .collect();
     let fault = Fault {
         config: fault_cfg.clone(),
         objectives: vec![0],
@@ -67,7 +72,10 @@ fn main() {
     cat.targets[0] = 1000.0 / 22.0;
 
     // Run the three methods.
-    let budget = DebugBudget { n_samples: scale.n_samples(), n_probes: scale.n_probes() };
+    let budget = DebugBudget {
+        n_samples: scale.n_samples(),
+        n_probes: scale.n_probes(),
+    };
     // Equal measurement budgets: every method may spend
     // n_samples + n_probes measurements in total (the paper gave SMAC and
     // BugDoc four-hour budgets and Unicorn still finished first).
@@ -104,9 +112,7 @@ fn main() {
     t.print();
 
     section("Fig 12: fix quality");
-    let mut q = Table::new(&[
-        "Metric", "Unicorn", "SMAC", "BugDoc", "Forum",
-    ]);
+    let mut q = Table::new(&["Metric", "Unicorn", "SMAC", "BugDoc", "Forum"]);
     let lat = |c: &unicorn_systems::Config| tx2.true_objectives(c)[0];
     let rows: Vec<(&str, f64)> = vec![
         ("Unicorn", lat(&uni.best_config)),
@@ -121,9 +127,10 @@ fn main() {
     );
     q.row(
         std::iter::once("Latency gain over TX1 (%)".to_string())
-            .chain(rows.iter().map(|(_, l)| {
-                f1(100.0 * (fps(*l) - fps(lat_tx1)) / fps(lat_tx1))
-            }))
+            .chain(
+                rows.iter()
+                    .map(|(_, l)| f1(100.0 * (fps(*l) - fps(lat_tx1)) / fps(lat_tx1))),
+            )
             .collect(),
     );
     q.row(
@@ -157,6 +164,8 @@ fn main() {
         "\nUnicorn recovered {}/{} planted root causes {:?}",
         hit.len(),
         planted.len(),
-        hit.iter().map(|&i| model.space.option(i).name.clone()).collect::<Vec<_>>()
+        hit.iter()
+            .map(|&i| model.space.option(i).name.clone())
+            .collect::<Vec<_>>()
     );
 }

@@ -8,9 +8,7 @@ use unicorn_systems::{Hardware, SubjectSystem};
 fn main() {
     let scale = Scale::from_env();
     section("Fig 13: distribution of non-functional faults");
-    let mut t = Table::new(&[
-        "System", "Latency", "Energy", "Latency+Energy", "Total",
-    ]);
+    let mut t = Table::new(&["System", "Latency", "Energy", "Latency+Energy", "Total"]);
     let mut totals = (0usize, 0usize, 0usize);
     for sys in SubjectSystem::all() {
         let sim = simulator(sys, Hardware::Tx2);

@@ -5,13 +5,7 @@
 use unicorn_bench::{catalog, render_series, section, simulator, DebugMethod, Scale};
 use unicorn_systems::{Hardware, SubjectSystem};
 
-fn sweep(
-    sys: SubjectSystem,
-    hw: Hardware,
-    objective: usize,
-    sizes: &[usize],
-    scale: Scale,
-) {
+fn sweep(sys: SubjectSystem, hw: Hardware, objective: usize, sizes: &[usize], scale: Scale) {
     let sim = simulator(sys, hw);
     let cat = catalog(&sim, scale);
     let mut series: Vec<(&str, Vec<f64>)> = Vec::new();
@@ -21,8 +15,8 @@ fn sweep(
             .map(|&n| {
                 // Scale the method's observational budget to `n` while
                 // keeping probes fixed.
-                let scores = run_cell_sized(method, &sim, &cat, objective, n, scale);
-                scores
+
+                run_cell_sized(method, &sim, &cat, objective, n, scale)
             })
             .collect();
         series.push((method.name(), gains));
@@ -56,7 +50,10 @@ fn run_cell_sized(
     use unicorn_core::{debug_fault, UnicornOptions};
 
     let faults = cat.single_objective(objective);
-    let budget = DebugBudget { n_samples, n_probes: scale.n_probes() };
+    let budget = DebugBudget {
+        n_samples,
+        n_probes: scale.n_probes(),
+    };
     let mut gains = Vec::new();
     for (i, fault) in faults.iter().take(scale.faults_per_cell()).enumerate() {
         let seed = 0xF14 ^ (i as u64) << 4 ^ n_samples as u64;
@@ -77,13 +74,19 @@ fn run_cell_sized(
             }
             DebugMethod::Cbi => Cbi::new().debug(sim, fault, cat, &budget, seed).best_config,
             DebugMethod::Dd => {
-                DeltaDebugging.debug(sim, fault, cat, &budget, seed).best_config
+                DeltaDebugging
+                    .debug(sim, fault, cat, &budget, seed)
+                    .best_config
             }
             DebugMethod::Encore => {
-                Encore::default().debug(sim, fault, cat, &budget, seed).best_config
+                Encore::default()
+                    .debug(sim, fault, cat, &budget, seed)
+                    .best_config
             }
             DebugMethod::BugDoc => {
-                BugDoc::default().debug(sim, fault, cat, &budget, seed).best_config
+                BugDoc::default()
+                    .debug(sim, fault, cat, &budget, seed)
+                    .best_config
             }
             DebugMethod::Smac => unreachable!("not in the Fig 14 roster"),
         };

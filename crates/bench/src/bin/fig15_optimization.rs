@@ -12,9 +12,7 @@ fn downsample(xs: &[f64], k: usize) -> Vec<f64> {
     if xs.len() <= k {
         return xs.to_vec();
     }
-    (0..k)
-        .map(|i| xs[i * (xs.len() - 1) / (k - 1)])
-        .collect()
+    (0..k).map(|i| xs[i * (xs.len() - 1) / (k - 1)]).collect()
 }
 
 fn main() {
@@ -30,8 +28,11 @@ fn main() {
         relearn_every: 8,
         ..Default::default()
     };
-    let smac_opts =
-        SmacOptions { n_init, budget: n_init + budget, ..Default::default() };
+    let smac_opts = SmacOptions {
+        n_init,
+        budget: n_init + budget,
+        ..Default::default()
+    };
 
     for (label, obj) in [("Fig 15a: latency", 0usize), ("Fig 15b: energy", 1usize)] {
         section(label);
@@ -75,10 +76,13 @@ fn main() {
     let pesmo = pesmo_optimize(
         &sim,
         &[0, 1],
-        &PesmoOptions { n_init, budget: n_init + budget, ..Default::default() },
+        &PesmoOptions {
+            n_init,
+            budget: n_init + budget,
+            ..Default::default()
+        },
     );
-    let pesmo_hist =
-        unicorn_baselines::hv_error_history(&pesmo, &reference, &ref_point);
+    let pesmo_hist = unicorn_baselines::hv_error_history(&pesmo, &reference, &ref_point);
     print!(
         "{}",
         render_series(

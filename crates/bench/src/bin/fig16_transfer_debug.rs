@@ -7,8 +7,7 @@ use std::time::Instant;
 use unicorn_baselines::{common::sample_labeled, BugDoc, DebugBudget};
 use unicorn_bench::{catalog, f1, section, simulator, Scale, Table};
 use unicorn_core::{
-    learn_source_state, score_debugging, transfer_debug, TransferMode,
-    UnicornOptions,
+    learn_source_state, score_debugging, transfer_debug, TransferMode, UnicornOptions,
 };
 use unicorn_systems::{Hardware, SubjectSystem};
 
@@ -31,15 +30,26 @@ fn main() {
         ..Default::default()
     };
     let src_state = learn_source_state(&source, &opts);
-    let budget =
-        DebugBudget { n_samples: scale.n_samples(), n_probes: scale.n_probes() };
+    let budget = DebugBudget {
+        n_samples: scale.n_samples(),
+        n_probes: scale.n_probes(),
+    };
 
     section("Fig 16: Xavier -> TX2 energy-fault transfer");
     let mut t = Table::new(&[
-        "Method", "Accuracy", "Precision", "Recall", "Gain", "Time (s)",
+        "Method",
+        "Accuracy",
+        "Precision",
+        "Recall",
+        "Gain",
+        "Time (s)",
     ]);
 
-    for mode in [TransferMode::Reuse, TransferMode::Update(25), TransferMode::Rerun] {
+    for mode in [
+        TransferMode::Reuse,
+        TransferMode::Update(25),
+        TransferMode::Rerun,
+    ] {
         let mut scores = Vec::new();
         for f in &faults {
             let out = transfer_debug(&src_state, &target, f, &cat, &opts, mode);
@@ -87,13 +97,7 @@ fn main() {
                 samples.objectives.extend(extra.objectives);
             }
             let out = BugDoc::default().debug_with_samples(
-                &target,
-                f,
-                &cat,
-                &samples,
-                &budget,
-                seed,
-                start,
+                &target, f, &cat, &samples, &budget, seed, start,
                 tgt_n, // only target measurements count as new cost
             );
             let fixed_true = target.true_objectives(&out.best_config);

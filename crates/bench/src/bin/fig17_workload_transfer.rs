@@ -6,9 +6,7 @@
 use unicorn_baselines::{smac_optimize, SmacOptions};
 use unicorn_bench::{f1, section, Scale, Table};
 use unicorn_core::{optimize_single, UnicornOptions};
-use unicorn_systems::{
-    Config, Environment, Hardware, Simulator, SubjectSystem, Workload,
-};
+use unicorn_systems::{Config, Environment, Hardware, Simulator, SubjectSystem, Workload};
 
 fn sim_for(scale_factor: f64, name: &str) -> Simulator {
     Simulator::new(
@@ -48,13 +46,22 @@ fn main() {
     let smac_src = smac_optimize(
         &source,
         0,
-        &SmacOptions { n_init, budget: n_init + base_budget, ..Default::default() },
+        &SmacOptions {
+            n_init,
+            budget: n_init + base_budget,
+            ..Default::default()
+        },
     );
 
     section("Fig 17: latency gain (%) on larger workloads");
     let mut t = Table::new(&[
-        "Workload", "Unicorn Reuse", "Unicorn +10%", "Unicorn +20%", "SMAC Reuse",
-        "SMAC +10%", "SMAC +20%",
+        "Workload",
+        "Unicorn Reuse",
+        "Unicorn +10%",
+        "Unicorn +20%",
+        "SMAC Reuse",
+        "SMAC +10%",
+        "SMAC +20%",
     ]);
     for (name, wl) in [("10k", 2.0), ("20k", 4.0), ("50k", 10.0)] {
         let target = sim_for(wl, name);

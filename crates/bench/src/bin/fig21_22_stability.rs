@@ -33,11 +33,18 @@ fn main() {
     );
     let src_all = generate(&src_sim, *sizes.last().expect("non-empty"), 0x21A);
     let dst = generate(&dst_sim, target_n, 0x21B);
-    let disc = DiscoveryOptions { max_depth: 2, pds_depth: 0, ..Default::default() };
+    let disc = DiscoveryOptions {
+        max_depth: 2,
+        pds_depth: 0,
+        ..Default::default()
+    };
 
     section("Fig 21: performance-influence models vs sample size");
     let mut t = Table::new(&[
-        "Samples", "Total terms (src)", "Common terms", "Error src (%)",
+        "Samples",
+        "Total terms (src)",
+        "Common terms",
+        "Error src (%)",
         "Error src->tgt (%)",
     ]);
     for &n in &sizes {
@@ -55,7 +62,10 @@ fn main() {
 
     section("Fig 22: causal performance models vs sample size");
     let mut t2 = Table::new(&[
-        "Samples", "Total terms (src)", "Common terms", "Error src (%)",
+        "Samples",
+        "Total terms (src)",
+        "Common terms",
+        "Error src (%)",
         "Error src->tgt (%)",
     ]);
     for &n in &sizes {

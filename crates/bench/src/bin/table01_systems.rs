@@ -7,9 +7,7 @@ use unicorn_systems::{Hardware, SubjectSystem};
 
 fn main() {
     section("Table 1: Overview of the subject systems");
-    let mut t = Table::new(&[
-        "System", "Workload", "|Space|", "|O|", "|S|", "|H|", "|P|",
-    ]);
+    let mut t = Table::new(&["System", "Workload", "|Space|", "|O|", "|S|", "|H|", "|P|"]);
     for sys in SubjectSystem::all() {
         let m = sys.build();
         t.row(vec![

@@ -15,7 +15,13 @@ fn block(title: &str, hw: Hardware, objective: usize, scale: Scale) {
         SubjectSystem::X264,
     ];
     let mut t = Table::new(&[
-        "System", "Method", "Accuracy", "Precision", "Recall", "Gain", "Time (s)",
+        "System",
+        "Method",
+        "Accuracy",
+        "Precision",
+        "Recall",
+        "Gain",
+        "Time (s)",
         "Meas.",
     ]);
     for sys in systems {

@@ -15,8 +15,14 @@ fn main() {
         SubjectSystem::X264,
     ];
     let mut t = Table::new(&[
-        "System", "Method", "Accuracy", "Precision", "Recall", "Gain (Lat)",
-        "Gain (En)", "Time (s)",
+        "System",
+        "Method",
+        "Accuracy",
+        "Precision",
+        "Recall",
+        "Gain (Lat)",
+        "Gain (En)",
+        "Time (s)",
     ]);
     for sys in systems {
         let sim = simulator(sys, Hardware::Xavier);

@@ -7,16 +7,14 @@ use std::time::Instant;
 
 use unicorn_bench::{f1, f2, section, Scale, Table};
 use unicorn_core::{debug_fault, UnicornOptions};
-use unicorn_discovery::{learn_causal_model, DiscoveryOptions};
+use unicorn_discovery::{learn_causal_model_on, DiscoveryOptions};
 use unicorn_graph::paths::count_causal_paths;
 use unicorn_inference::{
-    generate_repairs, root_cause_candidates, CausalEngine, FittedScm, QosGoal,
-    RepairOptions,
+    generate_repairs, root_cause_candidates, CausalEngine, FittedScm, QosGoal, RepairOptions,
 };
 use unicorn_systems::scalability::{deepstream_variant, sqlite_variant};
 use unicorn_systems::{
-    discover_faults, generate, Environment, FaultDiscoveryOptions, Hardware,
-    Simulator, SystemModel,
+    discover_faults, generate, Environment, FaultDiscoveryOptions, Hardware, Simulator, SystemModel,
 };
 
 struct Scenario {
@@ -36,23 +34,33 @@ fn run(scenario: Scenario, scale: Scale, t: &mut Table) {
     // Discovery timing.
     // Alpha scales down with the quadratic number of pairwise tests
     // (multiple-testing control keeps the big variants sparse).
-    let alpha = if sim.model.n_nodes() > 150 { 1e-4 } else { 0.01 };
-    let disc_opts = DiscoveryOptions { alpha, max_depth: 1, pds_depth: 0, ..Default::default() };
+    let alpha = if sim.model.n_nodes() > 150 {
+        1e-4
+    } else {
+        0.01
+    };
+    let disc_opts = DiscoveryOptions {
+        alpha,
+        max_depth: 1,
+        pds_depth: 0,
+        ..Default::default()
+    };
+    let view = ds.view();
     let t0 = Instant::now();
-    let model = learn_causal_model(&ds.columns, &ds.names, &sim.model.tiers(), &disc_opts);
+    let model = learn_causal_model_on(&view, &ds.names, &sim.model.tiers(), &disc_opts);
     let discovery_s = t0.elapsed().as_secs_f64();
 
     // Path and query counts + query-eval timing.
-    let objectives: Vec<usize> =
-        (0..sim.model.n_objectives()).map(|o| ds.objective_node(o)).collect();
+    let objectives: Vec<usize> = (0..sim.model.n_objectives())
+        .map(|o| ds.objective_node(o))
+        .collect();
     let paths = count_causal_paths(&model.admg, &objectives, 10_000);
-    let scm = FittedScm::fit(model.admg.clone(), &ds.columns).expect("fit");
-    let engine = CausalEngine::new(
-        scm,
-        sim.model.tiers(),
-        Box::new(ds.domains(&sim)),
-    )
-    .with_repair_options(RepairOptions { max_pairs: 30, ..Default::default() });
+    let scm = FittedScm::fit_view(model.admg.clone(), &view).expect("fit");
+    let engine = CausalEngine::new(scm, sim.model.tiers(), Box::new(ds.domains(&sim)))
+        .with_repair_options(RepairOptions {
+            max_pairs: 30,
+            ..Default::default()
+        });
     let goal = QosGoal::single(
         ds.objective_node(0),
         unicorn_stats::quantile(ds.objective_column(0), 0.5),
@@ -66,26 +74,28 @@ fn run(scenario: Scenario, scale: Scale, t: &mut Table) {
         engine.repair_options(),
     );
     let fault_values: Vec<f64> = ds.row(0);
-    let repairs =
-        generate_repairs(&fault_values, &candidates, engine.domain(), engine.repair_options());
-    let n_queries = repairs.len();
-    // Evaluate every repair's ICE — the "query evaluation" cost.
-    let _ranked = unicorn_inference::rank_repairs(
-        engine.scm(),
-        &goal,
-        0,
-        repairs,
+    let repairs = generate_repairs(
+        &fault_values,
+        &candidates,
+        engine.domain(),
         engine.repair_options(),
     );
+    let n_queries = repairs.len();
+    // Evaluate every repair's ICE — the "query evaluation" cost.
+    let _ranked =
+        unicorn_inference::rank_repairs(engine.scm(), &goal, 0, repairs, engine.repair_options());
     let query_s = t1.elapsed().as_secs_f64();
 
     // One full fault diagnosis (discovery + loop) for gain + total time.
     let cat = discover_faults(
         &sim,
-        &FaultDiscoveryOptions { n_samples: 400, ace_bases: 4, ..Default::default() },
+        &FaultDiscoveryOptions {
+            n_samples: 400,
+            ace_bases: 4,
+            ..Default::default()
+        },
     );
-    let (gain, total_s) = if let Some(fault) =
-        cat.faults.iter().find(|f| f.objectives.contains(&0))
+    let (gain, total_s) = if let Some(fault) = cat.faults.iter().find(|f| f.objectives.contains(&0))
     {
         let t2 = Instant::now();
         let out = debug_fault(
@@ -127,31 +137,54 @@ fn main() {
     let scale = Scale::from_env();
     section("Table 3: scalability on Xavier");
     let mut t = Table::new(&[
-        "System", "Configs", "Events", "Paths", "Queries", "Degree", "Gain (%)",
-        "Discovery (s)", "Query eval (s)", "Total (s)",
+        "System",
+        "Configs",
+        "Events",
+        "Paths",
+        "Queries",
+        "Degree",
+        "Gain (%)",
+        "Discovery (s)",
+        "Query eval (s)",
+        "Total (s)",
     ]);
     run(
-        Scenario { system: "SQLite", model: sqlite_variant(34, 19) },
+        Scenario {
+            system: "SQLite",
+            model: sqlite_variant(34, 19),
+        },
         scale,
         &mut t,
     );
     run(
-        Scenario { system: "SQLite", model: sqlite_variant(242, 19) },
+        Scenario {
+            system: "SQLite",
+            model: sqlite_variant(242, 19),
+        },
         scale,
         &mut t,
     );
     run(
-        Scenario { system: "SQLite", model: sqlite_variant(242, 288) },
+        Scenario {
+            system: "SQLite",
+            model: sqlite_variant(242, 288),
+        },
         scale,
         &mut t,
     );
     run(
-        Scenario { system: "Deepstream", model: deepstream_variant(20) },
+        Scenario {
+            system: "Deepstream",
+            model: deepstream_variant(20),
+        },
         scale,
         &mut t,
     );
     run(
-        Scenario { system: "Deepstream", model: deepstream_variant(288) },
+        Scenario {
+            system: "Deepstream",
+            model: deepstream_variant(288),
+        },
         scale,
         &mut t,
     );

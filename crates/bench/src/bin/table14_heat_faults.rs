@@ -9,13 +9,7 @@ use unicorn_systems::{FaultCatalog, Hardware, Simulator, SubjectSystem};
 const HEAT: usize = 2;
 
 /// Runs one multi-objective block over the systems with matching faults.
-fn block(
-    title: &str,
-    hw: Hardware,
-    objectives: &[usize],
-    systems: &[SubjectSystem],
-    scale: Scale,
-) {
+fn block(title: &str, hw: Hardware, objectives: &[usize], systems: &[SubjectSystem], scale: Scale) {
     section(title);
     let single = objectives.len() == 1;
     let methods = if single {
@@ -48,9 +42,7 @@ fn block(
                 .iter()
                 .take(scale.faults_per_cell())
                 .enumerate()
-                .map(|(i, f)| {
-                    run_one(*method, &sim, f, &cat, scale, 0x14 ^ (i as u64))
-                })
+                .map(|(i, f)| run_one(*method, &sim, f, &cat, scale, 0x14 ^ (i as u64)))
                 .collect();
             let m = mean_scores(&scores);
             let mut row = vec![
@@ -103,7 +95,13 @@ fn main() {
         SubjectSystem::Deepspeech,
         SubjectSystem::X264,
     ];
-    block("Table 14a: heat faults on TX1", Hardware::Tx1, &[HEAT], &dl, scale);
+    block(
+        "Table 14a: heat faults on TX1",
+        Hardware::Tx1,
+        &[HEAT],
+        &dl,
+        scale,
+    );
     block(
         "Table 14b: latency + heat faults on TX2",
         Hardware::Tx2,
@@ -122,7 +120,11 @@ fn main() {
         "Table 14d: latency + energy + heat faults on TX2",
         Hardware::Tx2,
         &[0, 1, HEAT],
-        &[SubjectSystem::Xception, SubjectSystem::X264, SubjectSystem::Sqlite],
+        &[
+            SubjectSystem::Xception,
+            SubjectSystem::X264,
+            SubjectSystem::Sqlite,
+        ],
         scale,
     );
     println!(

@@ -5,18 +5,11 @@
 
 use unicorn_bench::{catalog, f1, section, simulator, Scale, Table};
 use unicorn_core::{
-    learn_source_state, mean_scores, score_debugging, transfer_debug, TransferMode,
-    UnicornOptions,
+    learn_source_state, mean_scores, score_debugging, transfer_debug, TransferMode, UnicornOptions,
 };
 use unicorn_systems::{Hardware, SubjectSystem};
 
-fn scenario(
-    title: &str,
-    source_hw: Hardware,
-    target_hw: Hardware,
-    objective: usize,
-    scale: Scale,
-) {
+fn scenario(title: &str, source_hw: Hardware, target_hw: Hardware, objective: usize, scale: Scale) {
     section(title);
     let systems = [
         SubjectSystem::Xception,
@@ -24,9 +17,7 @@ fn scenario(
         SubjectSystem::Deepspeech,
         SubjectSystem::X264,
     ];
-    let mut t = Table::new(&[
-        "System", "Mode", "Accuracy", "Recall", "Precision", "Gain",
-    ]);
+    let mut t = Table::new(&["System", "Mode", "Accuracy", "Recall", "Precision", "Gain"]);
     for sys in systems {
         let source = simulator(sys, source_hw);
         let target = simulator(sys, target_hw);
@@ -54,9 +45,11 @@ fn scenario(
             ..Default::default()
         };
         let src_state = learn_source_state(&source, &opts);
-        for mode in
-            [TransferMode::Reuse, TransferMode::Update(25), TransferMode::Rerun]
-        {
+        for mode in [
+            TransferMode::Reuse,
+            TransferMode::Update(25),
+            TransferMode::Rerun,
+        ] {
             let scores: Vec<_> = faults
                 .iter()
                 .map(|f| {

@@ -2,15 +2,11 @@
 //! roster, and the debugging-comparison runner used by Tables 2a/2b/14 and
 //! Figs 14/16.
 
-use unicorn_baselines::{
-    smac_debug, BugDoc, Cbi, DebugBudget, Debugger, DeltaDebugging, Encore,
-};
-use unicorn_core::{
-    debug_fault, score_debugging, DebugScores, TransferMode, UnicornOptions,
-};
+use unicorn_baselines::{smac_debug, BugDoc, Cbi, DebugBudget, Debugger, DeltaDebugging, Encore};
+use unicorn_core::{debug_fault, score_debugging, DebugScores, TransferMode, UnicornOptions};
 use unicorn_systems::{
-    discover_faults, Environment, Fault, FaultCatalog, FaultDiscoveryOptions,
-    Hardware, Simulator, SubjectSystem,
+    discover_faults, Environment, Fault, FaultCatalog, FaultDiscoveryOptions, Hardware, Simulator,
+    SubjectSystem,
 };
 
 /// Experiment scale, selected via the `UNICORN_SCALE` environment variable
@@ -158,8 +154,10 @@ pub fn run_method(
     scale: Scale,
     seed: u64,
 ) -> DebugScores {
-    let budget =
-        DebugBudget { n_samples: scale.n_samples(), n_probes: scale.n_probes() };
+    let budget = DebugBudget {
+        n_samples: scale.n_samples(),
+        n_probes: scale.n_probes(),
+    };
     let (diagnosed, best_config, time_s, n_meas) = match method {
         DebugMethod::Unicorn => {
             let out = debug_fault(sim, fault, cat, &unicorn_options(scale, seed));
@@ -172,23 +170,48 @@ pub fn run_method(
         }
         DebugMethod::Cbi => {
             let out = Cbi::new().debug(sim, fault, cat, &budget, seed);
-            (out.diagnosed_options, out.best_config, out.wall_time_s, out.n_measurements)
+            (
+                out.diagnosed_options,
+                out.best_config,
+                out.wall_time_s,
+                out.n_measurements,
+            )
         }
         DebugMethod::Dd => {
             let out = DeltaDebugging.debug(sim, fault, cat, &budget, seed);
-            (out.diagnosed_options, out.best_config, out.wall_time_s, out.n_measurements)
+            (
+                out.diagnosed_options,
+                out.best_config,
+                out.wall_time_s,
+                out.n_measurements,
+            )
         }
         DebugMethod::Encore => {
             let out = Encore::default().debug(sim, fault, cat, &budget, seed);
-            (out.diagnosed_options, out.best_config, out.wall_time_s, out.n_measurements)
+            (
+                out.diagnosed_options,
+                out.best_config,
+                out.wall_time_s,
+                out.n_measurements,
+            )
         }
         DebugMethod::BugDoc => {
             let out = BugDoc::default().debug(sim, fault, cat, &budget, seed);
-            (out.diagnosed_options, out.best_config, out.wall_time_s, out.n_measurements)
+            (
+                out.diagnosed_options,
+                out.best_config,
+                out.wall_time_s,
+                out.n_measurements,
+            )
         }
         DebugMethod::Smac => {
             let out = smac_debug(sim, fault, cat, &budget, seed);
-            (out.diagnosed_options, out.best_config, out.wall_time_s, out.n_measurements)
+            (
+                out.diagnosed_options,
+                out.best_config,
+                out.wall_time_s,
+                out.n_measurements,
+            )
         }
     };
     let fixed_true = sim.true_objectives(&best_config);
@@ -210,7 +233,10 @@ pub fn run_cell(
     seed: u64,
 ) -> DebugScores {
     let faults: Vec<&Fault> = if multi {
-        cat.faults.iter().filter(|f| f.is_multi_objective()).collect()
+        cat.faults
+            .iter()
+            .filter(|f| f.is_multi_objective())
+            .collect()
     } else if let Some(o) = objective {
         cat.single_objective(o)
     } else {
@@ -227,7 +253,11 @@ pub fn run_cell(
 
 /// The transfer-mode roster of Fig 16 / Table 15.
 pub fn transfer_modes() -> [TransferMode; 3] {
-    [TransferMode::Reuse, TransferMode::Update(25), TransferMode::Rerun]
+    [
+        TransferMode::Reuse,
+        TransferMode::Update(25),
+        TransferMode::Rerun,
+    ]
 }
 
 #[cfg(test)]

@@ -12,8 +12,6 @@ pub mod harness;
 pub mod report;
 pub mod transfer_analysis;
 
-pub use harness::{
-    catalog, run_cell, run_method, simulator, transfer_modes, DebugMethod, Scale,
-};
+pub use harness::{catalog, run_cell, run_method, simulator, transfer_modes, DebugMethod, Scale};
 pub use report::{f1, f2, render_series, section, Table};
 pub use transfer_analysis::{causal_terms, causal_transfer, regression_transfer, TransferStats};

@@ -27,8 +27,7 @@ impl Table {
 
     /// Renders to markdown.
     pub fn render(&self) -> String {
-        let mut widths: Vec<usize> =
-            self.header.iter().map(String::len).collect();
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
         for row in &self.rows {
             for (w, c) in widths.iter_mut().zip(row) {
                 *w = (*w).max(c.len());
@@ -94,10 +93,7 @@ pub fn render_series(title: &str, series: &[(&str, Vec<f64>)]) -> String {
             })
             .collect();
         let nums: Vec<String> = values.iter().map(|v| format!("{v:.2}")).collect();
-        out.push_str(&format!(
-            "{name:name_w$} {spark}  [{}]\n",
-            nums.join(", ")
-        ));
+        out.push_str(&format!("{name:name_w$} {spark}  [{}]\n", nums.join(", ")));
     }
     out
 }

@@ -5,7 +5,7 @@
 use std::collections::BTreeSet;
 
 use unicorn_baselines::InfluenceModel;
-use unicorn_discovery::{learn_causal_model, DiscoveryOptions, LearnedModel};
+use unicorn_discovery::{learn_causal_model_on, DiscoveryOptions, LearnedModel};
 use unicorn_graph::backtrack_causal_paths;
 use unicorn_inference::FittedScm;
 use unicorn_stats::regression::StepwiseOptions;
@@ -41,7 +41,10 @@ pub fn regression_transfer(
     obj_idx: usize,
     max_terms: usize,
 ) -> (TransferStats, InfluenceModel, InfluenceModel) {
-    let opts = StepwiseOptions { max_terms, ..Default::default() };
+    let opts = StepwiseOptions {
+        max_terms,
+        ..Default::default()
+    };
     let src = InfluenceModel::fit(source, obj_idx, &opts).expect("source fit");
     let dst = InfluenceModel::fit(target, obj_idx, &opts).expect("target fit");
     let stats = TransferStats {
@@ -60,11 +63,7 @@ pub fn regression_transfer(
 /// backtrack causal paths from the objective; each path contributes its
 /// source option, and events reached from several options contribute the
 /// interaction of those options.
-pub fn causal_terms(
-    model: &LearnedModel,
-    data: &Dataset,
-    obj_idx: usize,
-) -> BTreeSet<Vec<usize>> {
+pub fn causal_terms(model: &LearnedModel, data: &Dataset, obj_idx: usize) -> BTreeSet<Vec<usize>> {
     let obj = data.objective_node(obj_idx);
     let mut terms: BTreeSet<Vec<usize>> = BTreeSet::new();
     let paths = backtrack_causal_paths(&model.admg, obj, 500);
@@ -114,7 +113,7 @@ pub fn causal_option_strengths(scm: &FittedScm, n_options: usize) -> Vec<f64> {
             let col = &scm.data()[p];
             let lo = col.iter().copied().fold(f64::INFINITY, f64::min);
             let hi = col.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-            if !(hi > lo) {
+            if hi <= lo {
                 continue;
             }
             let e_lo = scm.interventional_expectation(v, &[(p, lo)]);
@@ -134,14 +133,18 @@ pub fn causal_transfer(
     tiers: &unicorn_graph::TierConstraints,
     opts: &DiscoveryOptions,
 ) -> TransferStats {
-    let src = learn_causal_model(&source.columns, &source.names, tiers, opts);
-    let dst = learn_causal_model(&target.columns, &target.names, tiers, opts);
+    // One shared view per environment: structure learning and SCM fitting
+    // read the same cached sufficient statistics.
+    let source_view = source.view();
+    let target_view = target.view();
+    let src = learn_causal_model_on(&source_view, &source.names, tiers, opts);
+    let dst = learn_causal_model_on(&target_view, &target.names, tiers, opts);
     let terms_src = causal_terms(&src, source, obj_idx);
     let terms_dst = causal_terms(&dst, target, obj_idx);
     let common = terms_src.intersection(&terms_dst).count();
 
-    let scm_src = FittedScm::fit(src.admg.clone(), &source.columns).expect("fit src");
-    let scm_dst = FittedScm::fit(dst.admg.clone(), &target.columns).expect("fit dst");
+    let scm_src = FittedScm::fit_view(src.admg.clone(), &source_view).expect("fit src");
+    let scm_dst = FittedScm::fit_view(dst.admg.clone(), &target_view).expect("fit dst");
     let obj_node = source.objective_node(obj_idx);
 
     let predict = |scm: &FittedScm, data: &Dataset| -> f64 {

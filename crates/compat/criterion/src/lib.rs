@@ -1,0 +1,235 @@
+//! Offline stand-in for the `criterion` crate: the subset of the 0.5 API the
+//! bench targets use (`Criterion`, `BenchmarkId`, groups, `criterion_group!`
+//! / `criterion_main!`), measuring wall-clock time with `std::time::Instant`
+//! and printing mean/min/max per benchmark.
+//!
+//! Tuning knobs (environment variables):
+//! * `UNICORN_BENCH_SAMPLES` — iteration count override (default: the
+//!   group's `sample_size`, or 20).
+//! * `UNICORN_BENCH_MAX_SECS` — soft wall-clock budget per benchmark
+//!   (default 5s): sampling stops early once exceeded.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Labels a parameterized benchmark within a group.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `group/function/parameter` style id.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            label: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    /// Id carrying only the parameter.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.label)
+    }
+}
+
+/// Passed to the closure under test; `iter` runs and times the payload.
+pub struct Bencher {
+    samples: usize,
+    budget: Duration,
+    /// Collected per-iteration durations, read by the harness.
+    times: Vec<Duration>,
+}
+
+impl Bencher {
+    fn new(samples: usize, budget: Duration) -> Self {
+        Self {
+            samples,
+            budget,
+            times: Vec::new(),
+        }
+    }
+
+    /// Times `f` repeatedly (one warm-up iteration, then up to the sample
+    /// budget), recording per-iteration wall-clock durations.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        black_box(f());
+        let start = Instant::now();
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            black_box(f());
+            self.times.push(t0.elapsed());
+            if start.elapsed() > self.budget {
+                break;
+            }
+        }
+    }
+}
+
+fn env_usize(name: &str) -> Option<usize> {
+    std::env::var(name).ok()?.parse().ok()
+}
+
+fn report(name: &str, times: &[Duration]) {
+    if times.is_empty() {
+        println!("{name:<56} (no samples)");
+        return;
+    }
+    let total: Duration = times.iter().sum();
+    let mean = total / times.len() as u32;
+    let min = *times.iter().min().expect("nonempty");
+    let max = *times.iter().max().expect("nonempty");
+    println!(
+        "{name:<56} time: [{} {} {}]  ({} samples)",
+        fmt_dur(min),
+        fmt_dur(mean),
+        fmt_dur(max),
+        times.len()
+    );
+}
+
+fn fmt_dur(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+/// The benchmark harness entry point.
+pub struct Criterion {
+    default_samples: usize,
+    budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let budget = env_usize("UNICORN_BENCH_MAX_SECS").unwrap_or(5);
+        Self {
+            default_samples: env_usize("UNICORN_BENCH_SAMPLES").unwrap_or(20),
+            budget: Duration::from_secs(budget as u64),
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs a single named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::new(self.default_samples, self.budget);
+        f(&mut b);
+        report(name, &b.times);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            samples: self.default_samples,
+            criterion: self,
+        }
+    }
+}
+
+/// A group of benchmarks sharing a sample-size setting.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    samples: usize,
+    criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-benchmark iteration count.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = env_usize("UNICORN_BENCH_SAMPLES").unwrap_or(n);
+        self
+    }
+
+    /// Runs a named benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Display,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher::new(self.samples, self.criterion.budget);
+        f(&mut b);
+        report(&format!("{}/{}", self.name, id), &b.times);
+        self
+    }
+
+    /// Runs a named benchmark with an input value.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher::new(self.samples, self.criterion.budget);
+        f(&mut b, input);
+        report(&format!("{}/{}", self.name, id), &b.times);
+        self
+    }
+
+    /// Ends the group (formatting no-op, kept for API parity).
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark suite function running each listed benchmark.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares `main` for one or more suites.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_runs_and_records() {
+        let mut b = Bencher::new(5, Duration::from_secs(1));
+        let mut n = 0u64;
+        b.iter(|| n += 1);
+        assert_eq!(b.times.len(), 5);
+        assert_eq!(n, 6); // warm-up + 5 samples
+    }
+
+    #[test]
+    fn group_api_compiles_and_runs() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        group.bench_with_input(BenchmarkId::from_parameter("p"), &7u64, |b, &x| {
+            b.iter(|| x * 2)
+        });
+        group.finish();
+        c.bench_function("single", |b| b.iter(|| 1 + 1));
+    }
+}

@@ -83,7 +83,7 @@ pub fn debug_fault_with_state(
     // Record the fault itself as an observation (Stage I: the observed
     // performance issue is part of the evidence).
     let fault_sample = sim.measure(&fault.config);
-    state.data.push(&fault_sample);
+    state.record_sample(&fault_sample);
     let fault_row = state.data.n_rows() - 1;
 
     let mut best_config = fault.config.clone();
@@ -139,14 +139,26 @@ pub fn debug_fault_with_state(
                 // retry a few times for an unvisited configuration.
                 let pinned: Vec<usize> = (0..sim.model.n_options())
                     .filter(|&i| {
-                        sim.model.space.option(i).nearest_index(best_config.values[i])
-                            != sim.model.space.option(i).nearest_index(fault.config.values[i])
+                        sim.model
+                            .space
+                            .option(i)
+                            .nearest_index(best_config.values[i])
+                            != sim
+                                .model
+                                .space
+                                .option(i)
+                                .nearest_index(fault.config.values[i])
                     })
                     .collect();
                 let mut cand = None;
                 for _ in 0..6 {
                     let c = state.ace_weighted_explore_excluding(
-                        sim, &engine, objective, &best_config, 2, &pinned,
+                        sim,
+                        &engine,
+                        objective,
+                        &best_config,
+                        2,
+                        &pinned,
                     );
                     if !tried.contains(&c) {
                         cand = Some(c);
@@ -166,7 +178,11 @@ pub fn debug_fault_with_state(
         let changed: Vec<usize> = (0..sim.model.n_options())
             .filter(|&i| {
                 sim.model.space.option(i).nearest_index(next.values[i])
-                    != sim.model.space.option(i).nearest_index(fault.config.values[i])
+                    != sim
+                        .model
+                        .space
+                        .option(i)
+                        .nearest_index(fault.config.values[i])
             })
             .collect();
         trajectory.push(DebugIteration {
@@ -199,8 +215,15 @@ pub fn debug_fault_with_state(
 
     let diagnosed_options: Vec<usize> = (0..sim.model.n_options())
         .filter(|&i| {
-            sim.model.space.option(i).nearest_index(best_config.values[i])
-                != sim.model.space.option(i).nearest_index(fault.config.values[i])
+            sim.model
+                .space
+                .option(i)
+                .nearest_index(best_config.values[i])
+                != sim
+                    .model
+                    .space
+                    .option(i)
+                    .nearest_index(fault.config.values[i])
         })
         .collect();
 
@@ -233,7 +256,11 @@ mod tests {
         );
         let catalog = discover_faults(
             &sim,
-            &FaultDiscoveryOptions { n_samples: 500, ace_bases: 4, ..Default::default() },
+            &FaultDiscoveryOptions {
+                n_samples: 500,
+                ace_bases: 4,
+                ..Default::default()
+            },
         );
         let fault = catalog
             .faults

@@ -40,8 +40,6 @@ pub mod unicorn;
 
 pub use debug_task::{debug_fault, debug_fault_with_state, DebugIteration, DebugOutcome};
 pub use metrics::{gain_percent, mean_scores, score_debugging, DebugScores};
-pub use optimize_task::{
-    optimize_multi, optimize_single, MultiOptimizeOutcome, OptimizeOutcome,
-};
+pub use optimize_task::{optimize_multi, optimize_single, MultiOptimizeOutcome, OptimizeOutcome};
 pub use transfer::{learn_source_state, transfer_debug, TransferMode};
 pub use unicorn::{UnicornOptions, UnicornState};

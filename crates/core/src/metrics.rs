@@ -66,7 +66,14 @@ pub fn score_debugging(
         .map(|&o| gain_percent(fault.true_objectives[o], fixed_true_objectives[o]))
         .collect();
 
-    DebugScores { accuracy, precision, recall, gains, time_s, n_measurements }
+    DebugScores {
+        accuracy,
+        precision,
+        recall,
+        gains,
+        time_s,
+        n_measurements,
+    }
 }
 
 /// Aggregates scores over a fault population (mean per field).
@@ -88,8 +95,7 @@ pub fn mean_scores(scores: &[DebugScores]) -> DebugScores {
         recall: scores.iter().map(|s| s.recall).sum::<f64>() / n,
         gains,
         time_s: scores.iter().map(|s| s.time_s).sum::<f64>() / n,
-        n_measurements: (scores.iter().map(|s| s.n_measurements).sum::<usize>()
-            + scores.len() / 2)
+        n_measurements: (scores.iter().map(|s| s.n_measurements).sum::<usize>() + scores.len() / 2)
             / scores.len(),
     }
 }
@@ -102,7 +108,9 @@ mod tests {
 
     fn toy_fault() -> (Fault, FaultCatalog) {
         let fault = Fault {
-            config: Config { values: vec![0.0; 4] },
+            config: Config {
+                values: vec![0.0; 4],
+            },
             objectives: vec![0],
             true_objectives: vec![100.0],
             root_causes: BTreeSet::from([0, 1]),

@@ -118,8 +118,9 @@ fn predict_cf(
     objective: usize,
     row: usize,
 ) -> f64 {
-    let raw: Vec<(usize, f64)> =
-        (0..sim.model.n_options()).map(|i| (i, config.values[i])).collect();
+    let raw: Vec<(usize, f64)> = (0..sim.model.n_options())
+        .map(|i| (i, config.values[i]))
+        .collect();
     engine.scm().counterfactual(row, &raw)[objective]
 }
 
@@ -143,8 +144,9 @@ pub fn optimize_single(
         .expect("non-empty bootstrap");
     let mut best_config = state.data.config(best_row);
     let mut history = vec![best_value];
-    let mut tried: Vec<Config> =
-        (0..state.data.n_rows()).map(|r| state.data.config(r)).collect();
+    let mut tried: Vec<Config> = (0..state.data.n_rows())
+        .map(|r| state.data.config(r))
+        .collect();
 
     for _ in 0..opts.budget {
         let engine = state.engine(sim, opts);
@@ -153,8 +155,7 @@ pub fn optimize_single(
             let mut rng_clone = state.rng().clone();
             sim.model.space.random_config(&mut rng_clone)
         } else {
-            let mut pool =
-                candidates(sim, &mut state, &engine, obj_node, &best_config, best_row);
+            let mut pool = candidates(sim, &mut state, &engine, obj_node, &best_config, best_row);
             pool.retain(|c| !tried.contains(c));
             pool.into_iter()
                 .min_by(|a, b| {
@@ -216,10 +217,14 @@ pub fn optimize_multi(
                 .collect()
         })
         .collect();
-    let mut configs: Vec<Config> =
-        (0..state.data.n_rows()).map(|r| state.data.config(r)).collect();
-    let mut hv_error_history =
-        vec![hypervolume_error(&pareto_front(&evaluated), reference_front, ref_point)];
+    let mut configs: Vec<Config> = (0..state.data.n_rows())
+        .map(|r| state.data.config(r))
+        .collect();
+    let mut hv_error_history = vec![hypervolume_error(
+        &pareto_front(&evaluated),
+        reference_front,
+        ref_point,
+    )];
 
     for _ in 0..opts.budget {
         let engine = state.engine(sim, opts);
@@ -245,20 +250,28 @@ pub fn optimize_multi(
             sim.model.space.random_config(&mut rng_clone)
         } else {
             let mut pool = candidates(
-                sim, &mut state, &engine, obj_nodes[0], &incumbent, incumbent_idx,
+                sim,
+                &mut state,
+                &engine,
+                obj_nodes[0],
+                &incumbent,
+                incumbent_idx,
             );
             pool.extend(candidates(
-                sim, &mut state, &engine, obj_nodes[1], &incumbent, incumbent_idx,
+                sim,
+                &mut state,
+                &engine,
+                obj_nodes[1],
+                &incumbent,
+                incumbent_idx,
             ));
             pool.retain(|c| !configs.contains(c));
             pool.into_iter()
                 .min_by(|a, b| {
                     let sa = w * predict_cf(&engine, sim, a, obj_nodes[0], incumbent_idx)
-                        + (1.0 - w) * predict_cf(&engine, sim, a, obj_nodes[1], incumbent_idx)
-                    ;
+                        + (1.0 - w) * predict_cf(&engine, sim, a, obj_nodes[1], incumbent_idx);
                     let sb = w * predict_cf(&engine, sim, b, obj_nodes[0], incumbent_idx)
-                        + (1.0 - w) * predict_cf(&engine, sim, b, obj_nodes[1], incumbent_idx)
-                    ;
+                        + (1.0 - w) * predict_cf(&engine, sim, b, obj_nodes[1], incumbent_idx);
                     sa.partial_cmp(&sb).expect("NaN prediction")
                 })
                 .unwrap_or_else(|| {
@@ -268,7 +281,10 @@ pub fn optimize_multi(
         };
         let sample = state.measure_and_update(sim, opts, &next);
         evaluated.push(
-            objective_idxs.iter().map(|&o| sample.objectives[o]).collect(),
+            objective_idxs
+                .iter()
+                .map(|&o| sample.objectives[o])
+                .collect(),
         );
         configs.push(next);
         hv_error_history.push(hypervolume_error(

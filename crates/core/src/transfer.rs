@@ -37,10 +37,7 @@ impl TransferMode {
 }
 
 /// Learns a source-environment state (data + causal model) for reuse.
-pub fn learn_source_state(
-    source_sim: &Simulator,
-    opts: &UnicornOptions,
-) -> UnicornState {
+pub fn learn_source_state(source_sim: &Simulator, opts: &UnicornOptions) -> UnicornState {
     let mut state = UnicornState::bootstrap(source_sim, opts);
     state.relearn(source_sim, opts);
     state
@@ -70,7 +67,7 @@ pub fn transfer_debug(
         TransferMode::Update(k) => {
             let mut state = source_state.fork(opts.seed);
             let fresh = unicorn_systems::generate(target_sim, k, opts.seed ^ 0xBEEF);
-            state.data = state.data.extended_with(&fresh);
+            state.replace_data(state.data.extended_with(&fresh));
             state.relearn(target_sim, opts);
             debug_fault_with_state(target_sim, fault, catalog, opts, &mut state, start)
         }
@@ -102,7 +99,11 @@ mod tests {
         );
         let catalog = discover_faults(
             &target,
-            &FaultDiscoveryOptions { n_samples: 400, ace_bases: 4, ..Default::default() },
+            &FaultDiscoveryOptions {
+                n_samples: 400,
+                ace_bases: 4,
+                ..Default::default()
+            },
         );
         let fault = catalog
             .faults
@@ -117,16 +118,16 @@ mod tests {
             ..Default::default()
         };
         let src_state = learn_source_state(&source, &opts);
-        for mode in [TransferMode::Reuse, TransferMode::Update(15), TransferMode::Rerun] {
+        for mode in [
+            TransferMode::Reuse,
+            TransferMode::Update(15),
+            TransferMode::Rerun,
+        ] {
             let out = transfer_debug(&src_state, &target, fault, &catalog, &opts, mode);
             let o = fault.objectives[0];
             let before = fault.true_objectives[o];
             let after = target.true_objectives(&out.best_config)[o];
-            assert!(
-                after <= before,
-                "{}: {after} !<= {before}",
-                mode.label()
-            );
+            assert!(after <= before, "{}: {after} !<= {before}", mode.label());
         }
     }
 

@@ -8,9 +8,10 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use unicorn_discovery::{learn_causal_model, DiscoveryOptions, LearnedModel};
+use unicorn_discovery::{learn_causal_model_on, DiscoveryOptions, LearnedModel};
 use unicorn_graph::NodeId;
 use unicorn_inference::{CausalEngine, FittedScm, RepairOptions};
+use unicorn_stats::dataview::DataView;
 use unicorn_systems::{Config, Dataset, Simulator};
 
 /// Tunables of the Unicorn loop.
@@ -66,6 +67,17 @@ impl Default for UnicornOptions {
 pub struct UnicornState {
     /// Accumulated measurements.
     pub data: Dataset,
+    /// Shared columnar view over `data`, threaded through all five stages
+    /// of the loop: structure learning, SCM fitting, and ACE queries all
+    /// read this view's cached sufficient statistics. New measurements are
+    /// staged in `pending` and folded in lazily (one
+    /// [`DataView::append_rows`] per engine build / relearn, not one
+    /// column copy per sample); folding starts the new view with empty
+    /// caches, so statistics of the old sample are never reused for the
+    /// extended one.
+    view: DataView,
+    /// Measured rows not yet folded into `view`.
+    pending: Vec<Vec<f64>>,
     /// Current learned structure.
     pub model: LearnedModel,
     /// Measurements since the last structure relearn.
@@ -80,14 +92,12 @@ impl UnicornState {
     /// first causal performance model.
     pub fn bootstrap(sim: &Simulator, opts: &UnicornOptions) -> Self {
         let data = unicorn_systems::generate(sim, opts.initial_samples, opts.seed);
-        let model = learn_causal_model(
-            &data.columns,
-            &data.names,
-            &sim.model.tiers(),
-            &opts.discovery,
-        );
+        let view = data.view();
+        let model = learn_causal_model_on(&view, &data.names, &sim.model.tiers(), &opts.discovery);
         Self {
             data,
+            view,
+            pending: Vec::new(),
             model,
             since_relearn: 0,
             measurements: 0,
@@ -95,16 +105,52 @@ impl UnicornState {
         }
     }
 
+    /// Folds staged measurements into the shared view.
+    fn sync_view(&mut self) {
+        if !self.pending.is_empty() {
+            self.view = self.view.append_rows(&self.pending);
+            self.pending.clear();
+        }
+        // Catch external mutation of the (public) dataset that bypassed
+        // record_sample/replace_data — fitting on a stale view would
+        // otherwise be silent.
+        assert_eq!(
+            self.view.n_rows(),
+            self.data.n_rows(),
+            "UnicornState view desynchronized from data; mutate through \
+             record_sample/measure_and_update/replace_data"
+        );
+    }
+
+    /// The current view over all accumulated measurements (staged samples
+    /// are folded in first).
+    pub fn view(&mut self) -> &DataView {
+        self.sync_view();
+        &self.view
+    }
+
     /// Builds the causal engine over the current structure and data.
-    pub fn engine(&self, sim: &Simulator, opts: &UnicornOptions) -> CausalEngine {
-        let scm = FittedScm::fit(self.model.admg.clone(), &self.data.columns)
-            .expect("SCM fit failed");
-        CausalEngine::new(
-            scm,
-            sim.model.tiers(),
-            Box::new(self.data.domains(sim)),
-        )
-        .with_repair_options(opts.repair.clone())
+    pub fn engine(&mut self, sim: &Simulator, opts: &UnicornOptions) -> CausalEngine {
+        self.sync_view();
+        let scm = FittedScm::fit_view(self.model.admg.clone(), &self.view).expect("SCM fit failed");
+        CausalEngine::new(scm, sim.model.tiers(), Box::new(self.data.domains(sim)))
+            .with_repair_options(opts.repair.clone())
+    }
+
+    /// Records an already-measured sample into both the dataset and the
+    /// shared view (keeping their row indices aligned) without counting it
+    /// against the loop budget or relearn cadence.
+    pub fn record_sample(&mut self, sample: &unicorn_systems::Sample) {
+        self.data.push(sample);
+        self.pending.push(sample.row());
+    }
+
+    /// Replaces the accumulated dataset wholesale (transfer workflows) and
+    /// rebuilds the view over it.
+    pub fn replace_data(&mut self, data: Dataset) {
+        self.pending.clear();
+        self.view = data.view();
+        self.data = data;
     }
 
     /// Measures a configuration, appends the sample, and relearns the
@@ -116,7 +162,7 @@ impl UnicornState {
         config: &Config,
     ) -> unicorn_systems::Sample {
         let sample = sim.measure(config);
-        self.data.push(&sample);
+        self.record_sample(&sample);
         self.measurements += 1;
         self.since_relearn += 1;
         if self.since_relearn >= opts.relearn_every {
@@ -127,8 +173,9 @@ impl UnicornState {
 
     /// Forces a structure relearn from all accumulated data (Stage IV).
     pub fn relearn(&mut self, sim: &Simulator, opts: &UnicornOptions) {
-        self.model = learn_causal_model(
-            &self.data.columns,
+        self.sync_view();
+        self.model = learn_causal_model_on(
+            &self.view,
             &self.data.names,
             &sim.model.tiers(),
             &opts.discovery,
@@ -197,7 +244,11 @@ impl UnicornState {
             }
             // Pick a value different from the current one so every
             // exploration step actually moves.
-            let cur = sim.model.space.option(chosen).nearest_index(config.values[chosen]);
+            let cur = sim
+                .model
+                .space
+                .option(chosen)
+                .nearest_index(config.values[chosen]);
             let mut j = self.rng.gen_range(0..grid.len());
             if j == cur {
                 j = (j + 1) % grid.len();
@@ -218,6 +269,10 @@ impl UnicornState {
     pub fn fork(&self, seed: u64) -> UnicornState {
         UnicornState {
             data: self.data.clone(),
+            // Arc bump: the fork shares the parent's view (and its warm
+            // caches) until its first own fold copies-on-append.
+            view: self.view.clone(),
+            pending: self.pending.clone(),
             model: self.model.clone(),
             since_relearn: 0,
             measurements: 0,

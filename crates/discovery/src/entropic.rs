@@ -9,7 +9,7 @@
 //! conditionals `{p(Y | X = x)}ₓ` is the minimum-entropy coupling of those
 //! conditionals, which the greedy algorithm below 2-approximates.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use unicorn_stats::entropy::{conditionals, entropy_of_dist};
 
@@ -29,10 +29,16 @@ pub enum Direction {
 ///
 /// Returns `H(E)` in bits.
 pub fn min_entropy_coupling(rows: &[Vec<f64>]) -> f64 {
+    min_entropy_coupling_owned(rows.to_vec())
+}
+
+/// [`min_entropy_coupling`] taking ownership of its working rows, so hot
+/// callers (which already hold freshly-built conditionals) skip the copy.
+pub fn min_entropy_coupling_owned(rows: Vec<Vec<f64>>) -> f64 {
     if rows.is_empty() {
         return 0.0;
     }
-    let mut work: Vec<Vec<f64>> = rows.to_vec();
+    let mut work: Vec<Vec<f64>> = rows;
     let mut atoms: Vec<f64> = Vec::new();
     let mut remaining = 1.0;
     // Each iteration peels `r = minᵢ maxⱼ workᵢⱼ` off the largest entry of
@@ -71,14 +77,10 @@ pub fn min_entropy_coupling(rows: &[Vec<f64>]) -> f64 {
 /// Estimated `H(E)` for the hypothesis `X → Y`: the minimum-entropy
 /// coupling of the empirical conditionals `p(Y | X = x)`, with each row
 /// weighted equally (the greedy coupling operates on the set of rows).
-pub fn exogenous_entropy(
-    x_codes: &[usize],
-    y_codes: &[usize],
-    y_arity: usize,
-) -> f64 {
-    let cond: HashMap<usize, Vec<f64>> = conditionals(x_codes, y_codes, y_arity);
+pub fn exogenous_entropy(x_codes: &[usize], y_codes: &[usize], y_arity: usize) -> f64 {
+    let cond: BTreeMap<usize, Vec<f64>> = conditionals(x_codes, y_codes, y_arity);
     let rows: Vec<Vec<f64>> = cond.into_values().collect();
-    min_entropy_coupling(&rows)
+    min_entropy_coupling_owned(rows)
 }
 
 /// Picks the causal direction between two discretized variables by

@@ -79,6 +79,8 @@ fn joint(x: &[usize], y: &[usize], xa: usize, ya: usize) -> Vec<Vec<f64>> {
 }
 
 /// One restart of the alternating minimization. Returns `(H(Z), I(X;Y|Z))`.
+// Index loops: each (x, y) cell is scattered across the z-major axis of q.
+#[allow(clippy::needless_range_loop)]
 fn latent_search_once(
     p_xy: &[Vec<f64>],
     xa: usize,
@@ -93,9 +95,8 @@ fn latent_search_once(
         for yi in 0..ya {
             let mut total = 0.0;
             let mut raw = vec![0.0; za];
-            for (zi, r) in raw.iter_mut().enumerate() {
+            for r in raw.iter_mut() {
                 *r = rng.gen::<f64>() + 1e-3;
-                let _ = zi;
                 total += *r;
             }
             for (zi, r) in raw.iter().enumerate() {
@@ -105,8 +106,9 @@ fn latent_search_once(
     }
 
     let p_x: Vec<f64> = (0..xa).map(|xi| p_xy[xi].iter().sum()).collect();
-    let p_y: Vec<f64> =
-        (0..ya).map(|yi| (0..xa).map(|xi| p_xy[xi][yi]).sum()).collect();
+    let p_y: Vec<f64> = (0..ya)
+        .map(|yi| (0..xa).map(|xi| p_xy[xi][yi]).sum())
+        .collect();
 
     for _ in 0..opts.iters {
         // E-step quantities from the current q.
@@ -184,8 +186,7 @@ fn latent_search_once(
                 let q_xy_given_z = qxyz / qz;
                 let q_x_given_z = q_xz[zi][xi] / qz;
                 let q_y_given_z = q_yz[zi][yi] / qz;
-                cmi += qxyz
-                    * (q_xy_given_z / (q_x_given_z * q_y_given_z)).log2();
+                cmi += qxyz * (q_xy_given_z / (q_x_given_z * q_y_given_z)).log2();
             }
         }
     }
@@ -211,14 +212,17 @@ pub fn latent_search(
     for _ in 0..opts.restarts {
         let (h_z, cmi) = latent_search_once(&p_xy, x_arity, y_arity, opts, &mut rng);
         // Z must actually separate X and Y to count.
-        if cmi <= opts.residual_mi_fraction * marginal_mi + 1e-6
-            && best.is_none_or(|b| h_z < b)
-        {
+        if cmi <= opts.residual_mi_fraction * marginal_mi + 1e-6 && best.is_none_or(|b| h_z < b) {
             best = Some(h_z);
         }
     }
     let confounded = best.is_some_and(|h| h <= threshold) && marginal_mi > 1e-3;
-    LatentSearchResult { h_z: best, threshold, marginal_mi, confounded }
+    LatentSearchResult {
+        h_z: best,
+        threshold,
+        marginal_mi,
+        confounded,
+    }
 }
 
 #[cfg(test)]
@@ -250,7 +254,11 @@ mod tests {
         }
         let res = latent_search(&x, &y, 4, 4, &LatentSearchOptions::default());
         assert!(res.marginal_mi > 0.5, "mi = {}", res.marginal_mi);
-        assert!(res.confounded, "h_z = {:?} thr = {}", res.h_z, res.threshold);
+        assert!(
+            res.confounded,
+            "h_z = {:?} thr = {}",
+            res.h_z, res.threshold
+        );
         assert!(res.h_z.unwrap() < res.threshold);
     }
 
@@ -261,7 +269,11 @@ mod tests {
         let x: Vec<usize> = (0..2000).map(|i| i % 4).collect();
         let y = x.clone();
         let res = latent_search(&x, &y, 4, 4, &LatentSearchOptions::default());
-        assert!(!res.confounded, "h_z = {:?} thr = {}", res.h_z, res.threshold);
+        assert!(
+            !res.confounded,
+            "h_z = {:?} thr = {}",
+            res.h_z, res.threshold
+        );
     }
 
     #[test]

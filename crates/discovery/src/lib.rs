@@ -38,14 +38,17 @@ pub mod pds;
 pub mod resolve;
 pub mod skeleton;
 
-pub use entropic::{entropic_direction, min_entropy_coupling, Direction};
+pub use entropic::{
+    entropic_direction, min_entropy_coupling, min_entropy_coupling_owned, Direction,
+};
 pub use latent_search::{latent_search, LatentSearchOptions, LatentSearchResult};
 pub use orient::{apply_fci_rules, orient_v_structures};
 pub use pds::{pds_prune, possible_d_sep};
 pub use resolve::{resolve_pag, Resolution, ResolveOptions};
-pub use skeleton::{pc_skeleton, SepsetMap, Skeleton};
+pub use skeleton::{pc_skeleton, pc_skeleton_with_threads, SepsetMap, Skeleton};
 
 use unicorn_graph::{Admg, MixedGraph, TierConstraints};
+use unicorn_stats::dataview::DataView;
 use unicorn_stats::independence::{CiTest, MixedTest};
 
 /// End-to-end configuration of the discovery pipeline.
@@ -94,22 +97,39 @@ pub struct LearnedModel {
     pub n_ci_tests: usize,
 }
 
-/// Runs the full Stage II pipeline with the default mixed-data CI test.
+/// Runs the full Stage II pipeline with the default mixed-data CI test,
+/// building a throwaway [`DataView`] over `columns`. Callers that hold the
+/// sample across invocations (the active-learning loop) should build the
+/// view once and use [`learn_causal_model_on`] so the cached sufficient
+/// statistics survive between relearns.
 pub fn learn_causal_model(
     columns: &[Vec<f64>],
     names: &[String],
     tiers: &TierConstraints,
     opts: &DiscoveryOptions,
 ) -> LearnedModel {
-    let test = MixedTest::new(columns);
-    learn_causal_model_with_test(&test, columns, names, tiers, opts)
+    learn_causal_model_on(&DataView::from_columns(columns), names, tiers, opts)
+}
+
+/// Runs the full Stage II pipeline over a shared [`DataView`]: the CI test
+/// reads the view's cached correlation matrix, memoizes outcomes in its
+/// CI cache, and the entropic-resolution stage reuses its cached
+/// discretizations.
+pub fn learn_causal_model_on(
+    data: &DataView,
+    names: &[String],
+    tiers: &TierConstraints,
+    opts: &DiscoveryOptions,
+) -> LearnedModel {
+    let test = MixedTest::from_view(data);
+    learn_causal_model_with_test(&test, data, names, tiers, opts)
 }
 
 /// Runs the pipeline with a caller-supplied CI test (e.g. a `GTest` for
 /// fully discrete data, or a cached oracle in unit tests).
 pub fn learn_causal_model_with_test(
     test: &dyn CiTest,
-    columns: &[Vec<f64>],
+    data: &DataView,
     names: &[String],
     tiers: &TierConstraints,
     opts: &DiscoveryOptions,
@@ -143,7 +163,7 @@ pub fn learn_causal_model_with_test(
     let pag = sk.graph.clone();
 
     // 5. Entropic resolution into an ADMG.
-    let (mut admg, _log) = resolve_pag(&pag, columns, tiers, &opts.resolve);
+    let (mut admg, _log) = resolve_pag(&pag, data, tiers, &opts.resolve);
 
     // 6. Objective-parent completion (an extension in the spirit of §11's
     //    "algorithmic innovations for learning better structure"). The
@@ -164,7 +184,12 @@ pub fn learn_causal_model_with_test(
         );
     }
 
-    LearnedModel { pag, admg, sepsets: sk.sepsets, n_ci_tests: n_tests }
+    LearnedModel {
+        pag,
+        admg,
+        sepsets: sk.sepsets,
+        n_ci_tests: n_tests,
+    }
 }
 
 /// Greedy forward selection of missing objective parents: for each
@@ -197,9 +222,7 @@ fn complete_objective_parents(
                 }
                 n_tests += 1;
                 let out = test.test(x, y, &cond);
-                if !out.independent(alpha)
-                    && best.is_none_or(|(bp, _)| out.p_value < bp)
-                {
+                if !out.independent(alpha) && best.is_none_or(|(bp, _)| out.p_value < bp) {
                     best = Some((out.p_value, x));
                 }
             }
@@ -221,9 +244,16 @@ fn complete_objective_parents(
 /// the union of old and new data; because the causal mechanisms are sparse
 /// the structure stabilizes quickly (Fig 11a), which the tests assert via
 /// decreasing structural hamming distance.
+///
+/// Samples are staged in a pending buffer; `relearn` folds them into the
+/// current [`DataView`] with [`DataView::append_rows`], so each relearn
+/// pass shares one view (cached correlation matrix, memoized CI outcomes,
+/// cached discretizations) across the skeleton, PDS, resolution, and
+/// completion stages.
 #[derive(Debug, Clone)]
 pub struct IncrementalLearner {
-    columns: Vec<Vec<f64>>,
+    view: DataView,
+    pending: Vec<Vec<f64>>,
     names: Vec<String>,
     tiers: TierConstraints,
     opts: DiscoveryOptions,
@@ -232,36 +262,37 @@ pub struct IncrementalLearner {
 
 impl IncrementalLearner {
     /// Creates a learner over `n_vars` named variables with no data yet.
-    pub fn new(
-        names: Vec<String>,
-        tiers: TierConstraints,
-        opts: DiscoveryOptions,
-    ) -> Self {
-        let columns = vec![Vec::new(); names.len()];
-        Self { columns, names, tiers, opts, model: None }
-    }
-
-    /// Number of accumulated samples.
-    pub fn n_samples(&self) -> usize {
-        self.columns.first().map_or(0, Vec::len)
-    }
-
-    /// Appends one sample (a full row of variable values).
-    pub fn push_sample(&mut self, row: &[f64]) {
-        assert_eq!(row.len(), self.columns.len(), "row width mismatch");
-        for (col, &v) in self.columns.iter_mut().zip(row) {
-            col.push(v);
+    pub fn new(names: Vec<String>, tiers: TierConstraints, opts: DiscoveryOptions) -> Self {
+        let view = DataView::new(vec![Vec::new(); names.len()]);
+        Self {
+            view,
+            pending: Vec::new(),
+            names,
+            tiers,
+            opts,
+            model: None,
         }
     }
 
-    /// Relearns the model from all accumulated data and returns it.
+    /// Number of accumulated samples (including pending ones).
+    pub fn n_samples(&self) -> usize {
+        self.view.n_rows() + self.pending.len()
+    }
+
+    /// Stages one sample (a full row of variable values).
+    pub fn push_sample(&mut self, row: &[f64]) {
+        assert_eq!(row.len(), self.view.n_cols(), "row width mismatch");
+        self.pending.push(row.to_vec());
+    }
+
+    /// Folds pending samples into the view (invalidating its caches) and
+    /// relearns the model from all accumulated data.
     pub fn relearn(&mut self) -> &LearnedModel {
-        let model = learn_causal_model(
-            &self.columns,
-            &self.names,
-            &self.tiers,
-            &self.opts,
-        );
+        if !self.pending.is_empty() {
+            self.view = self.view.append_rows(&self.pending);
+            self.pending.clear();
+        }
+        let model = learn_causal_model_on(&self.view, &self.names, &self.tiers, &self.opts);
         self.model = Some(model);
         self.model.as_ref().expect("just set")
     }
@@ -271,9 +302,20 @@ impl IncrementalLearner {
         self.model.as_ref()
     }
 
-    /// Accumulated column-major data.
+    /// The current view over all accumulated data (pending samples are
+    /// folded in first).
+    pub fn view(&mut self) -> &DataView {
+        if !self.pending.is_empty() {
+            self.view = self.view.append_rows(&self.pending);
+            self.pending.clear();
+        }
+        &self.view
+    }
+
+    /// Accumulated column-major data (excluding staged samples; call
+    /// [`Self::view`] first to fold them in).
     pub fn columns(&self) -> &[Vec<f64>] {
-        &self.columns
+        self.view.columns()
     }
 }
 
@@ -300,7 +342,7 @@ mod tests {
             let a = (i % 4) as f64;
             let b = lcg(&mut s).round() + 1.0;
             let e = 2.0 * a + lcg(&mut s) * 0.4;
-            let o = -1.0 * e + lcg(&mut s) * 0.4;
+            let o = -e + lcg(&mut s) * 0.4;
             opt0.push(a);
             opt1.push(b);
             ev.push(e);
@@ -321,8 +363,16 @@ mod tests {
         let (cols, names, tiers) = stack_data(600, 41);
         let model = learn_causal_model(&cols, &names, &tiers, &DiscoveryOptions::default());
         // opt0 → event → obj must be present.
-        assert!(model.admg.directed_edges().contains(&(0, 2)), "{:?}", model.admg.directed_edges());
-        assert!(model.admg.directed_edges().contains(&(2, 3)), "{:?}", model.admg.directed_edges());
+        assert!(
+            model.admg.directed_edges().contains(&(0, 2)),
+            "{:?}",
+            model.admg.directed_edges()
+        );
+        assert!(
+            model.admg.directed_edges().contains(&(2, 3)),
+            "{:?}",
+            model.admg.directed_edges()
+        );
         // The irrelevant option must be disconnected.
         assert!(model.admg.children(1).is_empty());
         assert!(model.n_ci_tests > 0);

@@ -11,12 +11,7 @@ use crate::skeleton::SepsetMap;
 
 /// Sets an arrowhead at `at` on edge `(at, other)` unless tiers forbid it.
 /// Returns true if the mark changed.
-fn set_arrow(
-    g: &mut MixedGraph,
-    at: NodeId,
-    other: NodeId,
-    tiers: &TierConstraints,
-) -> bool {
+fn set_arrow(g: &mut MixedGraph, at: NodeId, other: NodeId, tiers: &TierConstraints) -> bool {
     if tiers.arrowhead_forbidden_at(at, other) {
         return false;
     }
@@ -38,11 +33,7 @@ fn set_tail(g: &mut MixedGraph, at: NodeId, other: NodeId) -> bool {
 
 /// Orients unshielded colliders: for every triple `x — z — y` with `x` and
 /// `y` non-adjacent and `z ∉ sepset(x, y)`, orient `x *→ z ←* y`.
-pub fn orient_v_structures(
-    g: &mut MixedGraph,
-    sepsets: &SepsetMap,
-    tiers: &TierConstraints,
-) {
+pub fn orient_v_structures(g: &mut MixedGraph, sepsets: &SepsetMap, tiers: &TierConstraints) {
     let n = g.n_nodes();
     for z in 0..n {
         let adj = g.adjacencies(z);
@@ -70,11 +61,7 @@ pub fn orient_v_structures(
 /// * **R4** discriminating path `⟨d, …, a, b, c⟩` for `b`: if
 ///   `b ∈ sepset(d, c)` orient `b → c`, else `a ↔ b ↔ c`.
 /// * **R8** `a → b → c` and `a o→ c` ⇒ `a → c`.
-pub fn apply_fci_rules(
-    g: &mut MixedGraph,
-    sepsets: &SepsetMap,
-    tiers: &TierConstraints,
-) {
+pub fn apply_fci_rules(g: &mut MixedGraph, sepsets: &SepsetMap, tiers: &TierConstraints) {
     loop {
         let mut changed = false;
         changed |= rule_r1(g, tiers);
@@ -199,9 +186,7 @@ fn rule_r4(g: &mut MixedGraph, sepsets: &SepsetMap, tiers: &TierConstraints) -> 
                 .adjacencies(b)
                 .iter()
                 .filter(|&&a| {
-                    a != c
-                        && g.mark_at(b, a) == Some(Endpoint::Arrow)
-                        && g.adjacent(a, c)
+                    a != c && g.mark_at(b, a) == Some(Endpoint::Arrow) && g.adjacent(a, c)
                 })
                 .map(|&a| vec![b, a])
                 .collect();
@@ -213,8 +198,8 @@ fn rule_r4(g: &mut MixedGraph, sepsets: &SepsetMap, tiers: &TierConstraints) -> 
                 // Extend from `head` to candidate predecessors u with
                 // u *→ head and head a collider (arrow at head from both
                 // sides) and head → c.
-                let head_is_collider_capable = g.mark_at(head, path[path.len() - 2])
-                    == Some(Endpoint::Arrow);
+                let head_is_collider_capable =
+                    g.mark_at(head, path[path.len() - 2]) == Some(Endpoint::Arrow);
                 if !head_is_collider_capable || !g.is_directed(head, c) {
                     continue;
                 }
@@ -253,8 +238,7 @@ fn rule_r8(g: &mut MixedGraph) -> bool {
     for a in 0..n {
         for c in g.adjacencies(a) {
             // Need a o→ c.
-            if g.mark_at(a, c) != Some(Endpoint::Circle)
-                || g.mark_at(c, a) != Some(Endpoint::Arrow)
+            if g.mark_at(a, c) != Some(Endpoint::Circle) || g.mark_at(c, a) != Some(Endpoint::Arrow)
             {
                 continue;
             }

@@ -19,8 +19,7 @@ pub fn possible_d_sep(g: &MixedGraph, x: NodeId) -> Vec<NodeId> {
     let mut result: Vec<NodeId> = Vec::new();
     // Walk over edges (u, w): states are ordered pairs, extending paths.
     let mut visited: Vec<(NodeId, NodeId)> = Vec::new();
-    let mut queue: Vec<(NodeId, NodeId)> =
-        g.adjacencies(x).into_iter().map(|w| (x, w)).collect();
+    let mut queue: Vec<(NodeId, NodeId)> = g.adjacencies(x).into_iter().map(|w| (x, w)).collect();
     while let Some((u, w)) = queue.pop() {
         if visited.contains(&(u, w)) {
             continue;

@@ -8,7 +8,7 @@
 //! into a configuration option and objectives stay sinks.
 
 use unicorn_graph::{Admg, Endpoint, MixedGraph, NodeId, TierConstraints};
-use unicorn_stats::discretize::Discretizer;
+use unicorn_stats::dataview::DataView;
 
 use crate::entropic::{entropic_direction, Direction};
 use crate::latent_search::{latent_search, LatentSearchOptions};
@@ -62,7 +62,7 @@ struct Candidate {
 /// that would create a cycle (first to its reverse, then to bidirected).
 pub fn resolve_pag(
     pag: &MixedGraph,
-    columns: &[Vec<f64>],
+    data: &DataView,
     tiers: &TierConstraints,
     opts: &ResolveOptions,
 ) -> (Admg, Vec<(NodeId, NodeId, Resolution)>) {
@@ -70,26 +70,29 @@ pub fn resolve_pag(
     let mut log = Vec::new();
     let mut candidates: Vec<Candidate> = Vec::new();
 
-    // Lazily discretize only the columns that need entropic treatment.
-    let mut codes: Vec<Option<(Vec<usize>, usize)>> = vec![None; columns.len()];
-    let code_of = |v: NodeId, codes: &mut Vec<Option<(Vec<usize>, usize)>>| {
-        if codes[v].is_none() {
-            let d = Discretizer::fit(&columns[v], opts.bins, opts.max_levels);
-            codes[v] = Some((d.transform(&columns[v]), d.arity()));
-        }
-        codes[v].clone().expect("just set")
-    };
+    // Only the columns needing entropic treatment are discretized; the
+    // view caches each fit so repeated resolutions (the active-learning
+    // loop relearns every few samples) reuse them.
+    let code_of = |v: NodeId| data.codes(v, opts.bins, opts.max_levels);
 
     for e in pag.edges() {
         let (a, b) = (e.a, e.b);
         match (e.mark_a, e.mark_b) {
             // Fully resolved already.
             (Endpoint::Tail, Endpoint::Arrow) => {
-                candidates.push(Candidate { from: a, to: b, confidence: f64::INFINITY });
+                candidates.push(Candidate {
+                    from: a,
+                    to: b,
+                    confidence: f64::INFINITY,
+                });
                 log.push((a, b, Resolution::AlreadyOriented));
             }
             (Endpoint::Arrow, Endpoint::Tail) => {
-                candidates.push(Candidate { from: b, to: a, confidence: f64::INFINITY });
+                candidates.push(Candidate {
+                    from: b,
+                    to: a,
+                    confidence: f64::INFINITY,
+                });
                 log.push((b, a, Resolution::AlreadyOriented));
             }
             (Endpoint::Arrow, Endpoint::Arrow) => {
@@ -98,11 +101,19 @@ pub fn resolve_pag(
             }
             // Tail–circle: the tail end is an ancestor ⇒ orient out of it.
             (Endpoint::Tail, Endpoint::Circle) => {
-                candidates.push(Candidate { from: a, to: b, confidence: f64::INFINITY });
+                candidates.push(Candidate {
+                    from: a,
+                    to: b,
+                    confidence: f64::INFINITY,
+                });
                 log.push((a, b, Resolution::Tiered));
             }
             (Endpoint::Circle, Endpoint::Tail) => {
-                candidates.push(Candidate { from: b, to: a, confidence: f64::INFINITY });
+                candidates.push(Candidate {
+                    from: b,
+                    to: a,
+                    confidence: f64::INFINITY,
+                });
                 log.push((b, a, Resolution::Tiered));
             }
             // Circle–arrow (a o→ b): either a → b or a ↔ b.
@@ -112,9 +123,9 @@ pub fn resolve_pag(
                 } else {
                     (b, a)
                 };
-                let (cx, ax) = code_of(tail_end, &mut codes);
-                let (cy, ay) = code_of(head_end, &mut codes);
-                let ls = latent_search(&cx, &cy, ax, ay, &opts.latent);
+                let cx = code_of(tail_end);
+                let cy = code_of(head_end);
+                let ls = latent_search(&cx.codes, &cy.codes, cx.arity, cy.arity, &opts.latent);
                 if ls.confounded && !tiers.arrowhead_forbidden_at(tail_end, head_end) {
                     admg.add_bidirected(tail_end, head_end);
                     log.push((tail_end, head_end, Resolution::Confounded));
@@ -131,9 +142,9 @@ pub fn resolve_pag(
             // performance model excludes; treat it like full ambiguity
             // minus the confounder option.
             (Endpoint::Tail, Endpoint::Tail) | (Endpoint::Circle, Endpoint::Circle) => {
-                let (cx, ax) = code_of(a, &mut codes);
-                let (cy, ay) = code_of(b, &mut codes);
-                let ls = latent_search(&cx, &cy, ax, ay, &opts.latent);
+                let cx = code_of(a);
+                let cy = code_of(b);
+                let ls = latent_search(&cx.codes, &cy.codes, cx.arity, cy.arity, &opts.latent);
                 let a_in_forbidden = tiers.arrowhead_forbidden_at(a, b);
                 let b_in_forbidden = tiers.arrowhead_forbidden_at(b, a);
                 if ls.confounded && !a_in_forbidden && !b_in_forbidden {
@@ -142,7 +153,7 @@ pub fn resolve_pag(
                     continue;
                 }
                 let (dir, gap) =
-                    entropic_direction(&cx, &cy, ax, ay, opts.entropic_tol);
+                    entropic_direction(&cx.codes, &cy.codes, cx.arity, cy.arity, opts.entropic_tol);
                 let (mut from, mut to) = match dir {
                     Direction::Forward => (a, b),
                     Direction::Backward => (b, a),
@@ -151,7 +162,11 @@ pub fn resolve_pag(
                 if tiers.arrowhead_forbidden_at(to, from) {
                     std::mem::swap(&mut from, &mut to);
                 }
-                candidates.push(Candidate { from, to, confidence: gap });
+                candidates.push(Candidate {
+                    from,
+                    to,
+                    confidence: gap,
+                });
                 log.push((from, to, Resolution::Entropic(dir)));
             }
         }
@@ -169,9 +184,7 @@ pub fn resolve_pag(
         }
         // Preferred direction closes a cycle: try the reverse unless tiers
         // forbid it; as a last resort record confounding.
-        if !tiers.arrowhead_forbidden_at(c.from, c.to)
-            && admg.try_add_directed(c.to, c.from)
-        {
+        if !tiers.arrowhead_forbidden_at(c.from, c.to) && admg.try_add_directed(c.to, c.from) {
             continue;
         }
         admg.add_bidirected(c.from, c.to);
@@ -198,9 +211,8 @@ mod tests {
         let mut pag = MixedGraph::new(names(3));
         pag.add_directed_edge(0, 1);
         pag.add_directed_edge(1, 2);
-        let cols = vec![vec![0.0; 10], vec![0.0; 10], vec![0.0; 10]];
-        let (admg, _) =
-            resolve_pag(&pag, &cols, &events(3), &ResolveOptions::default());
+        let data = DataView::new(vec![vec![0.0; 10], vec![0.0; 10], vec![0.0; 10]]);
+        let (admg, _) = resolve_pag(&pag, &data, &events(3), &ResolveOptions::default());
         assert_eq!(admg.directed_edges().len(), 2);
         assert!(admg.is_dag());
     }
@@ -213,8 +225,12 @@ mod tests {
         let y: Vec<f64> = x.iter().map(|v| (v / 2.0).floor()).collect();
         let mut pag = MixedGraph::new(names(2));
         pag.add_circle_edge(0, 1);
-        let (admg, log) =
-            resolve_pag(&pag, &[x, y], &events(2), &ResolveOptions::default());
+        let (admg, log) = resolve_pag(
+            &pag,
+            &DataView::new(vec![x, y]),
+            &events(2),
+            &ResolveOptions::default(),
+        );
         assert_eq!(admg.directed_edges(), &[(0, 1)]);
         assert!(matches!(log[0].2, Resolution::Entropic(Direction::Forward)));
     }
@@ -225,14 +241,15 @@ mod tests {
         // regardless of entropic preference.
         let x: Vec<f64> = (0..400).map(|i| (i % 4) as f64).collect();
         let y: Vec<f64> = x.iter().map(|v| (v / 2.0).floor()).collect();
-        let tiers = TierConstraints::new(vec![
-            VarKind::SystemEvent,
-            VarKind::ConfigOption,
-        ]);
+        let tiers = TierConstraints::new(vec![VarKind::SystemEvent, VarKind::ConfigOption]);
         let mut pag = MixedGraph::new(names(2));
         pag.add_circle_edge(0, 1);
-        let (admg, _) =
-            resolve_pag(&pag, &[x, y], &tiers, &ResolveOptions::default());
+        let (admg, _) = resolve_pag(
+            &pag,
+            &DataView::new(vec![x, y]),
+            &tiers,
+            &ResolveOptions::default(),
+        );
         assert_eq!(admg.directed_edges(), &[(1, 0)]);
     }
 
@@ -244,9 +261,8 @@ mod tests {
         pag.add_directed_edge(0, 1);
         pag.add_directed_edge(1, 2);
         pag.add_directed_edge(2, 0);
-        let cols = vec![vec![0.0; 4]; 3];
-        let (admg, _) =
-            resolve_pag(&pag, &cols, &events(3), &ResolveOptions::default());
+        let data = DataView::new(vec![vec![0.0; 4]; 3]);
+        let (admg, _) = resolve_pag(&pag, &data, &events(3), &ResolveOptions::default());
         // Whatever the tie-break, the directed part must be acyclic.
         let _ = admg.topological_order();
         assert_eq!(
@@ -259,9 +275,8 @@ mod tests {
     fn bidirected_pag_edge_stays_bidirected() {
         let mut pag = MixedGraph::new(names(2));
         pag.add_bidirected_edge(0, 1);
-        let cols = vec![vec![0.0; 4]; 2];
-        let (admg, _) =
-            resolve_pag(&pag, &cols, &events(2), &ResolveOptions::default());
+        let data = DataView::new(vec![vec![0.0; 4]; 2]);
+        let (admg, _) = resolve_pag(&pag, &data, &events(2), &ResolveOptions::default());
         assert_eq!(admg.bidirected_edges(), &[(0, 1)]);
     }
 }

@@ -7,11 +7,19 @@
 //! found. Conditioning sets are drawn from per-level adjacency snapshots
 //! (Colombo & Maathuis 2014), which makes the output independent of edge
 //! ordering.
+//!
+//! Because each level's removals depend only on that snapshot (never on
+//! other removals within the level), the per-level edge sweep is
+//! embarrassingly parallel: [`pc_skeleton_with_threads`] fans the edge
+//! candidates out over worker threads and merges results in canonical edge
+//! order, so the output graph, sepsets, and test count are identical for
+//! every thread count (asserted by `tests/dataview_equivalence.rs`).
 
 use std::collections::HashMap;
 
 use unicorn_graph::{MixedGraph, NodeId, TierConstraints};
 use unicorn_stats::independence::CiTest;
+use unicorn_stats::parallel::{default_threads, par_map};
 
 /// Separating sets recorded during skeleton search, keyed by canonical
 /// (low, high) node pairs.
@@ -57,11 +65,7 @@ impl SepsetMap {
 
 /// Iterates over all `k`-subsets of `items`, invoking `f`; stops early when
 /// `f` returns `true` and reports whether that happened.
-pub fn for_each_subset(
-    items: &[NodeId],
-    k: usize,
-    f: &mut dyn FnMut(&[NodeId]) -> bool,
-) -> bool {
+pub fn for_each_subset(items: &[NodeId], k: usize, f: &mut dyn FnMut(&[NodeId]) -> bool) -> bool {
     fn rec(
         items: &[NodeId],
         k: usize,
@@ -112,6 +116,32 @@ pub fn pc_skeleton(
     alpha: f64,
     max_depth: usize,
 ) -> Skeleton {
+    pc_skeleton_with_threads(test, names, tiers, alpha, max_depth, default_threads())
+}
+
+/// What one level-ℓ sweep decided about a single edge.
+struct EdgeDecision {
+    /// The separating set when the edge must be removed.
+    sepset: Option<Vec<NodeId>>,
+    /// CI tests spent on this edge.
+    n_tests: usize,
+}
+
+/// [`pc_skeleton`] with an explicit worker-thread count (1 ⇒ serial).
+///
+/// Within a level, every edge's fate depends only on the level's adjacency
+/// snapshot — PC-stable's defining property — so edges are tested
+/// concurrently and the removals/sepsets merged in canonical `(x, y)`
+/// order afterwards. Output is therefore identical for every `threads`
+/// value, including the CI-test count.
+pub fn pc_skeleton_with_threads(
+    test: &dyn CiTest,
+    names: &[String],
+    tiers: &TierConstraints,
+    alpha: f64,
+    max_depth: usize,
+    threads: usize,
+) -> Skeleton {
     let n = names.len();
     assert_eq!(test.n_vars(), n, "test/variable count mismatch");
     let mut g = MixedGraph::new(names.to_vec());
@@ -128,49 +158,67 @@ pub fn pc_skeleton(
     let mut depth = 0usize;
     loop {
         // PC-stable: snapshot adjacencies at the start of each level.
-        let snapshot: Vec<Vec<NodeId>> =
-            (0..n).map(|v| g.adjacencies(v)).collect();
+        let snapshot: Vec<Vec<NodeId>> = (0..n).map(|v| g.adjacencies(v)).collect();
         let any_candidate = (0..n).any(|v| snapshot[v].len() > depth);
         if !any_candidate || depth > max_depth {
             break;
         }
+        // Canonically-ordered surviving edges; each is decided
+        // independently against the snapshot.
+        let mut edges: Vec<(NodeId, NodeId)> = Vec::new();
         for x in 0..n {
             for y in x + 1..n {
-                if !g.adjacent(x, y) {
+                if g.adjacent(x, y) {
+                    edges.push((x, y));
+                }
+            }
+        }
+        let decisions = par_map(&edges, threads, |_, &(x, y)| {
+            let mut local_tests = 0usize;
+            let mut sepset: Option<Vec<NodeId>> = None;
+            for (from, other) in [(x, y), (y, x)] {
+                let candidates: Vec<NodeId> = snapshot[from]
+                    .iter()
+                    .copied()
+                    .filter(|&v| v != other)
+                    .collect();
+                if candidates.len() < depth {
                     continue;
                 }
-                let mut removed = false;
-                for (from, other) in [(x, y), (y, x)] {
-                    let candidates: Vec<NodeId> = snapshot[from]
-                        .iter()
-                        .copied()
-                        .filter(|&v| v != other)
-                        .collect();
-                    if candidates.len() < depth {
-                        continue;
+                let found = for_each_subset(&candidates, depth, &mut |s| {
+                    local_tests += 1;
+                    if test.test(x, y, s).independent(alpha) {
+                        sepset = Some(s.to_vec());
+                        true
+                    } else {
+                        false
                     }
-                    let found = for_each_subset(&candidates, depth, &mut |s| {
-                        n_tests += 1;
-                        if test.test(x, y, s).independent(alpha) {
-                            sepsets.insert(x, y, s.to_vec());
-                            true
-                        } else {
-                            false
-                        }
-                    });
-                    if found {
-                        g.remove_edge(x, y);
-                        removed = true;
-                        break;
-                    }
+                });
+                if found {
+                    break;
                 }
-                let _ = removed;
+            }
+            EdgeDecision {
+                sepset,
+                n_tests: local_tests,
+            }
+        });
+        // Deterministic merge in canonical edge order.
+        for (&(x, y), decision) in edges.iter().zip(decisions) {
+            n_tests += decision.n_tests;
+            if let Some(s) = decision.sepset {
+                g.remove_edge(x, y);
+                sepsets.insert(x, y, s);
             }
         }
         depth += 1;
     }
 
-    Skeleton { graph: g, sepsets, n_tests }
+    Skeleton {
+        graph: g,
+        sepsets,
+        n_tests,
+    }
 }
 
 #[cfg(test)]

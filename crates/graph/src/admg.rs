@@ -18,7 +18,11 @@ pub struct Admg {
 impl Admg {
     /// Creates an edgeless ADMG over named nodes.
     pub fn new(names: Vec<String>) -> Self {
-        Self { names, directed: Vec::new(), bidirected: Vec::new() }
+        Self {
+            names,
+            directed: Vec::new(),
+            bidirected: Vec::new(),
+        }
     }
 
     /// Number of nodes.
@@ -152,8 +156,7 @@ impl Admg {
         for &(_, t) in &self.directed {
             indeg[t] += 1;
         }
-        let mut queue: Vec<NodeId> =
-            (0..n).filter(|&i| indeg[i] == 0).collect();
+        let mut queue: Vec<NodeId> = (0..n).filter(|&i| indeg[i] == 0).collect();
         let mut order = Vec::with_capacity(n);
         while let Some(u) = queue.pop() {
             order.push(u);
@@ -252,8 +255,7 @@ impl Admg {
         if self.names.is_empty() {
             return 0.0;
         }
-        2.0 * (self.directed.len() + self.bidirected.len()) as f64
-            / self.names.len() as f64
+        2.0 * (self.directed.len() + self.bidirected.len()) as f64 / self.names.len() as f64
     }
 }
 
@@ -294,7 +296,9 @@ mod tests {
         g.add_bidirected(2, 3);
         let d = g.districts();
         assert_eq!(d.len(), 3); // {0}, {1,2,3}, {4}
-        assert!(d.iter().any(|s| s.len() == 3 && s.contains(&1) && s.contains(&3)));
+        assert!(d
+            .iter()
+            .any(|s| s.len() == 3 && s.contains(&1) && s.contains(&3)));
     }
 
     #[test]

@@ -27,7 +27,10 @@ pub fn mixed_to_dot(g: &MixedGraph, tiers: Option<&TierConstraints>) -> String {
     let mut out = String::from("digraph pag {\n  rankdir=TB;\n");
     for (i, name) in g.names().iter().enumerate() {
         let kind = tiers.map(|t| t.kind(i));
-        out.push_str(&format!("  n{i} [label=\"{name}\", {}];\n", node_attrs(kind)));
+        out.push_str(&format!(
+            "  n{i} [label=\"{name}\", {}];\n",
+            node_attrs(kind)
+        ));
     }
     for e in g.edges() {
         out.push_str(&format!(
@@ -48,7 +51,10 @@ pub fn admg_to_dot(g: &Admg, tiers: Option<&TierConstraints>) -> String {
     let mut out = String::from("digraph admg {\n  rankdir=TB;\n");
     for (i, name) in g.names().iter().enumerate() {
         let kind = tiers.map(|t| t.kind(i));
-        out.push_str(&format!("  n{i} [label=\"{name}\", {}];\n", node_attrs(kind)));
+        out.push_str(&format!(
+            "  n{i} [label=\"{name}\", {}];\n",
+            node_attrs(kind)
+        ));
     }
     for &(f, t) in g.directed_edges() {
         out.push_str(&format!("  n{f} -> n{t};\n"));

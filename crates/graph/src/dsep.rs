@@ -37,8 +37,8 @@ pub fn m_separated(g: &Admg, x: NodeId, y: NodeId, z: &BTreeSet<NodeId>) -> bool
     // Precompute: is node (or any of its descendants) in z? Needed for
     // collider activation.
     let mut in_z_or_desc = vec![false; total];
-    for node in 0..total {
-        if node < n && z.contains(&node) {
+    for &node in z {
+        if node < n {
             in_z_or_desc[node] = true;
         }
     }
@@ -48,9 +48,7 @@ pub fn m_separated(g: &Admg, x: NodeId, y: NodeId, z: &BTreeSet<NodeId>) -> bool
     while changed {
         changed = false;
         for node in 0..total {
-            if !in_z_or_desc[node]
-                && children[node].iter().any(|&c| in_z_or_desc[c])
-            {
+            if !in_z_or_desc[node] && children[node].iter().any(|&c| in_z_or_desc[c]) {
                 in_z_or_desc[node] = true;
                 changed = true;
             }

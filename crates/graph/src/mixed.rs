@@ -64,8 +64,14 @@ impl Edge {
 
     /// True if this is a fully directed edge `from → to`.
     pub fn is_directed_from(&self, from: NodeId, to: NodeId) -> bool {
-        (self.a == from && self.b == to && self.mark_a == Endpoint::Tail && self.mark_b == Endpoint::Arrow)
-            || (self.b == from && self.a == to && self.mark_b == Endpoint::Tail && self.mark_a == Endpoint::Arrow)
+        (self.a == from
+            && self.b == to
+            && self.mark_a == Endpoint::Tail
+            && self.mark_b == Endpoint::Arrow)
+            || (self.b == from
+                && self.a == to
+                && self.mark_b == Endpoint::Tail
+                && self.mark_a == Endpoint::Arrow)
     }
 
     /// True if both marks are arrows (bidirected / confounded).
@@ -89,7 +95,10 @@ pub struct MixedGraph {
 impl MixedGraph {
     /// Creates a graph with the given node names and no edges.
     pub fn new(names: Vec<String>) -> Self {
-        Self { names, edges: BTreeMap::new() }
+        Self {
+            names,
+            edges: BTreeMap::new(),
+        }
     }
 
     /// Number of nodes.
@@ -122,7 +131,11 @@ impl MixedGraph {
     pub fn set_edge(&mut self, x: NodeId, y: NodeId, mark_x: Endpoint, mark_y: Endpoint) {
         assert!(x != y, "self loops are not allowed");
         let (a, b) = key(x, y);
-        let marks = if a == x { (mark_x, mark_y) } else { (mark_y, mark_x) };
+        let marks = if a == x {
+            (mark_x, mark_y)
+        } else {
+            (mark_y, mark_x)
+        };
         self.edges.insert((a, b), marks);
     }
 
@@ -154,7 +167,12 @@ impl MixedGraph {
     /// The edge between `x` and `y`, if any.
     pub fn edge(&self, x: NodeId, y: NodeId) -> Option<Edge> {
         let (a, b) = key(x, y);
-        self.edges.get(&(a, b)).map(|&(mark_a, mark_b)| Edge { a, b, mark_a, mark_b })
+        self.edges.get(&(a, b)).map(|&(mark_a, mark_b)| Edge {
+            a,
+            b,
+            mark_a,
+            mark_b,
+        })
     }
 
     /// Mark at `x` on the edge between `x` and `y`, if adjacent.
@@ -203,13 +221,19 @@ impl MixedGraph {
     pub fn edges(&self) -> Vec<Edge> {
         self.edges
             .iter()
-            .map(|(&(a, b), &(mark_a, mark_b))| Edge { a, b, mark_a, mark_b })
+            .map(|(&(a, b), &(mark_a, mark_b))| Edge {
+                a,
+                b,
+                mark_a,
+                mark_b,
+            })
             .collect()
     }
 
     /// True if `from → to` as a fully directed edge.
     pub fn is_directed(&self, from: NodeId, to: NodeId) -> bool {
-        self.edge(from, to).is_some_and(|e| e.is_directed_from(from, to))
+        self.edge(from, to)
+            .is_some_and(|e| e.is_directed_from(from, to))
     }
 
     /// Parents of `x` via fully directed edges.
@@ -230,10 +254,7 @@ impl MixedGraph {
 
     /// Number of edges that still carry a circle mark.
     pub fn n_circle_edges(&self) -> usize {
-        self.edges()
-            .iter()
-            .filter(|e| e.has_circle())
-            .count()
+        self.edges().iter().filter(|e| e.has_circle()).count()
     }
 
     /// Average node degree (2·|E| / |V|), the sparsity statistic reported

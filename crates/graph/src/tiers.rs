@@ -53,7 +53,9 @@ impl TierConstraints {
 
     /// Variables of a given kind.
     pub fn of_kind(&self, k: VarKind) -> Vec<NodeId> {
-        (0..self.kinds.len()).filter(|&i| self.kinds[i] == k).collect()
+        (0..self.kinds.len())
+            .filter(|&i| self.kinds[i] == k)
+            .collect()
     }
 
     /// Whether an adjacency between `x` and `y` is forbidden outright.
@@ -86,8 +88,7 @@ impl TierConstraints {
     /// path into the objective and leave the repair engine empty-handed.
     pub fn arrowhead_forbidden_at(&self, at: NodeId, other: NodeId) -> bool {
         self.kinds[at] == VarKind::ConfigOption
-            || (self.kinds[at] == VarKind::SystemEvent
-                && self.kinds[other] == VarKind::Objective)
+            || (self.kinds[at] == VarKind::SystemEvent && self.kinds[other] == VarKind::Objective)
     }
 
     /// Applies tier-based orientations to a mixed graph in place:
@@ -147,9 +148,7 @@ mod tests {
     #[test]
     fn orientation_pass_fixes_marks() {
         let t = stack();
-        let mut g = MixedGraph::new(
-            (0..4).map(|i| format!("v{i}")).collect(),
-        );
+        let mut g = MixedGraph::new((0..4).map(|i| format!("v{i}")).collect());
         g.add_circle_edge(0, 2); // option o—o event → must become 0 → 2
         g.add_circle_edge(2, 3); // event o—o objective → must become 2 → 3
         t.orient(&mut g);

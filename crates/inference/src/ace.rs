@@ -69,8 +69,7 @@ pub fn ace(scm: &FittedScm, z: NodeId, x: NodeId, values: &[f64]) -> f64 {
 
 /// Signed effect of moving `x` from `a` to `b` on `z`.
 pub fn ace_signed(scm: &FittedScm, z: NodeId, x: NodeId, a: f64, b: f64) -> f64 {
-    scm.interventional_expectation(z, &[(x, b)])
-        - scm.interventional_expectation(z, &[(x, a)])
+    scm.interventional_expectation(z, &[(x, b)]) - scm.interventional_expectation(z, &[(x, a)])
 }
 
 /// Path ACE (appendix Eq 1): the mean link ACE over consecutive pairs.
@@ -108,14 +107,13 @@ pub fn rank_causal_paths(
     k: usize,
     path_cap: usize,
 ) -> Vec<RankedPath> {
-    let mut ranked: Vec<RankedPath> =
-        backtrack_causal_paths(scm.admg(), objective, path_cap)
-            .into_iter()
-            .map(|p| {
-                let score = path_ace(scm, &p, domain);
-                RankedPath { path: p, score }
-            })
-            .collect();
+    let mut ranked: Vec<RankedPath> = backtrack_causal_paths(scm.admg(), objective, path_cap)
+        .into_iter()
+        .map(|p| {
+            let score = path_ace(scm, &p, domain);
+            RankedPath { path: p, score }
+        })
+        .collect();
     ranked.sort_by(|a, b| b.score.partial_cmp(&a.score).expect("NaN path score"));
     ranked.truncate(k);
     ranked
@@ -166,12 +164,7 @@ mod tests {
             m.push(mi);
             y.push(yi);
         }
-        let mut g = Admg::new(vec![
-            "x0".into(),
-            "x1".into(),
-            "m".into(),
-            "y".into(),
-        ]);
+        let mut g = Admg::new(vec!["x0".into(), "x1".into(), "m".into(), "y".into()]);
         g.add_directed(0, 2);
         g.add_directed(2, 3);
         g.add_directed(1, 3);

@@ -61,10 +61,7 @@ fn number(raw: &str) -> Result<f64, ParseError> {
 }
 
 /// Parses `name = value [, name = value …]` into interventions.
-fn assignments(
-    names: &[String],
-    raw: &str,
-) -> Result<Vec<(NodeId, f64)>, ParseError> {
+fn assignments(names: &[String], raw: &str) -> Result<Vec<(NodeId, f64)>, ParseError> {
     raw.split(',')
         .map(|pair| {
             let (n, v) = pair
@@ -76,10 +73,7 @@ fn assignments(
 }
 
 /// Parses `objective <= threshold [, objective <= threshold …]`.
-fn thresholds(
-    names: &[String],
-    raw: &str,
-) -> Result<Vec<(NodeId, f64)>, ParseError> {
+fn thresholds(names: &[String], raw: &str) -> Result<Vec<(NodeId, f64)>, ParseError> {
     raw.split(',')
         .map(|pair| {
             let (n, v) = pair
@@ -101,10 +95,7 @@ fn inner<'a>(query: &'a str, prefix: &str) -> Option<&'a str> {
 }
 
 /// Parses one query string against a node-name table.
-pub fn parse_query(
-    names: &[String],
-    query: &str,
-) -> Result<PerformanceQuery, ParseError> {
+pub fn parse_query(names: &[String], query: &str) -> Result<PerformanceQuery, ParseError> {
     // P(obj <= t | do(assignments))
     if let Some(body) = inner(query, "P") {
         let (cond, action) = body
@@ -156,7 +147,9 @@ pub fn parse_query(
     // ROOT-CAUSES(obj <= t, …)
     if let Some(body) = inner(query, "ROOT-CAUSES") {
         return Ok(PerformanceQuery::RootCauses {
-            goal: QosGoal { thresholds: thresholds(names, body)? },
+            goal: QosGoal {
+                thresholds: thresholds(names, body)?,
+            },
         });
     }
     // REPAIRS(obj <= t, … @ fault_row)
@@ -169,7 +162,9 @@ pub fn parse_query(
             .parse::<usize>()
             .map_err(|_| ParseError::BadNumber(row_part.trim().to_string()))?;
         return Ok(PerformanceQuery::Repairs {
-            goal: QosGoal { thresholds: thresholds(names, goal_part)? },
+            goal: QosGoal {
+                thresholds: thresholds(names, goal_part)?,
+            },
             fault_row,
         });
     }
@@ -192,10 +187,13 @@ mod tests {
 
     #[test]
     fn parses_probability_query() {
-        let q = parse_query(&names(), "P(Latency <= 30 | do(CPU Frequency = 2.0))")
-            .unwrap();
+        let q = parse_query(&names(), "P(Latency <= 30 | do(CPU Frequency = 2.0))").unwrap();
         match q {
-            PerformanceQuery::ProbabilityOfQos { interventions, objective, threshold } => {
+            PerformanceQuery::ProbabilityOfQos {
+                interventions,
+                objective,
+                threshold,
+            } => {
                 assert_eq!(interventions, vec![(0, 2.0)]);
                 assert_eq!(objective, 3);
                 assert_eq!(threshold, 30.0);
@@ -212,7 +210,10 @@ mod tests {
         )
         .unwrap();
         match q {
-            PerformanceQuery::ExpectedObjective { interventions, objective } => {
+            PerformanceQuery::ExpectedObjective {
+                interventions,
+                objective,
+            } => {
                 assert_eq!(interventions, vec![(1, 2000.0), (0, 0.3)]);
                 assert_eq!(objective, 4);
             }
@@ -225,7 +226,10 @@ mod tests {
         let q = parse_query(&names(), "ACE(CPU Frequency -> Latency)").unwrap();
         assert!(matches!(
             q,
-            PerformanceQuery::CausalEffect { option: 0, objective: 3 }
+            PerformanceQuery::CausalEffect {
+                option: 0,
+                objective: 3
+            }
         ));
     }
 
@@ -238,8 +242,7 @@ mod tests {
             }
             other => panic!("wrong parse: {other:?}"),
         }
-        let q = parse_query(&names(), "REPAIRS(Latency <= 22.3, Energy <= 70 @ 41)")
-            .unwrap();
+        let q = parse_query(&names(), "REPAIRS(Latency <= 22.3, Energy <= 70 @ 41)").unwrap();
         match q {
             PerformanceQuery::Repairs { goal, fault_row } => {
                 assert_eq!(goal.thresholds, vec![(3, 22.3), (4, 70.0)]);

@@ -6,8 +6,7 @@ use unicorn_graph::{NodeId, TierConstraints, VarKind};
 
 use crate::ace::{option_aces, rank_causal_paths, RankedPath, ValueDomain};
 use crate::repair::{
-    generate_repairs, rank_repairs, root_cause_candidates, QosGoal, Repair,
-    RepairOptions,
+    generate_repairs, rank_repairs, root_cause_candidates, QosGoal, Repair, RepairOptions,
 };
 use crate::scm::FittedScm;
 
@@ -21,12 +20,13 @@ pub struct CausalEngine {
 
 impl CausalEngine {
     /// Builds an engine with default repair options.
-    pub fn new(
-        scm: FittedScm,
-        tiers: TierConstraints,
-        domain: Box<dyn ValueDomain>,
-    ) -> Self {
-        Self { scm, tiers, domain, repair_opts: RepairOptions::default() }
+    pub fn new(scm: FittedScm, tiers: TierConstraints, domain: Box<dyn ValueDomain>) -> Self {
+        Self {
+            scm,
+            tiers,
+            domain,
+            repair_opts: RepairOptions::default(),
+        }
     }
 
     /// Overrides the repair-generation options.
@@ -89,9 +89,7 @@ impl CausalEngine {
                 let total: f64 = goal
                     .thresholds
                     .iter()
-                    .map(|&(obj, _)| {
-                        option_aces(&self.scm, obj, &[o], self.domain.as_ref())[0].1
-                    })
+                    .map(|&(obj, _)| option_aces(&self.scm, obj, &[o], self.domain.as_ref())[0].1)
                     .sum();
                 (o, total)
             })
@@ -155,12 +153,7 @@ mod tests {
             ev.push(e);
             lat.push(l);
         }
-        let mut g = Admg::new(vec![
-            "bad".into(),
-            "weak".into(),
-            "ev".into(),
-            "lat".into(),
-        ]);
+        let mut g = Admg::new(vec!["bad".into(), "weak".into(), "ev".into(), "lat".into()]);
         g.add_directed(0, 2);
         g.add_directed(1, 2);
         g.add_directed(2, 3);

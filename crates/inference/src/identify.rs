@@ -26,11 +26,7 @@ pub fn identifiable(g: &Admg, x: NodeId, y: NodeId) -> bool {
         // No causal path at all: effect is trivially identifiable (zero).
         return true;
     }
-    let mut on_path: BTreeSet<NodeId> = g
-        .ancestors(y)
-        .intersection(&desc)
-        .copied()
-        .collect();
+    let mut on_path: BTreeSet<NodeId> = g.ancestors(y).intersection(&desc).copied().collect();
     on_path.insert(y);
 
     // District of x in the subgraph induced by {x} ∪ on_path.

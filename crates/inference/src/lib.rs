@@ -27,15 +27,14 @@ pub mod repair;
 pub mod scm;
 
 pub use ace::{
-    ace, ace_signed, option_aces, path_ace, quantile_values, rank_causal_paths,
-    ExplicitDomain, RankedPath, ValueDomain,
+    ace, ace_signed, option_aces, path_ace, quantile_values, rank_causal_paths, ExplicitDomain,
+    RankedPath, ValueDomain,
 };
 pub use dsl::{parse_query, ParseError};
 pub use engine::CausalEngine;
 pub use identify::{find_backdoor_set, identifiable, satisfies_backdoor};
 pub use queries::{PerformanceQuery, QueryAnswer};
 pub use repair::{
-    generate_repairs, ice, rank_repairs, root_cause_candidates, QosGoal, Repair,
-    RepairOptions,
+    generate_repairs, ice, rank_repairs, root_cause_candidates, QosGoal, Repair, RepairOptions,
 };
 pub use scm::{FittedScm, ResidualMode};

@@ -111,7 +111,10 @@ impl CausalEngine {
                     &|y| y <= t,
                 ))
             }
-            PerformanceQuery::ExpectedObjective { interventions, objective } => {
+            PerformanceQuery::ExpectedObjective {
+                interventions,
+                objective,
+            } => {
                 for &(x, _) in interventions {
                     if !identifiable(self.scm().admg(), x, *objective) {
                         return QueryAnswer::Unidentifiable {
@@ -215,7 +218,10 @@ mod tests {
     #[test]
     fn causal_effect_query() {
         let e = engine();
-        let ans = e.estimate(&PerformanceQuery::CausalEffect { option: 0, objective: 2 });
+        let ans = e.estimate(&PerformanceQuery::CausalEffect {
+            option: 0,
+            objective: 2,
+        });
         match ans {
             QueryAnswer::Effect(a) => assert!(a > 2.0, "ACE = {a}"),
             other => panic!("unexpected answer {other:?}"),
@@ -251,12 +257,20 @@ mod tests {
             VarKind::SystemEvent, // deliberately not an option so the bow
             VarKind::Objective,   // is structurally allowed
         ]);
-        let domain = ExplicitDomain { values: vec![vec![0.0, 1.0], vec![]] };
+        let domain = ExplicitDomain {
+            values: vec![vec![0.0, 1.0], vec![]],
+        };
         let e = CausalEngine::new(scm, tiers, Box::new(domain));
-        let ans = e.estimate(&PerformanceQuery::CausalEffect { option: 0, objective: 1 });
+        let ans = e.estimate(&PerformanceQuery::CausalEffect {
+            option: 0,
+            objective: 1,
+        });
         assert!(matches!(
             ans,
-            QueryAnswer::Unidentifiable { cause: 0, effect: 1 }
+            QueryAnswer::Unidentifiable {
+                cause: 0,
+                effect: 1
+            }
         ));
     }
 }

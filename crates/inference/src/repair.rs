@@ -42,7 +42,9 @@ pub struct QosGoal {
 impl QosGoal {
     /// Single-objective goal.
     pub fn single(objective: NodeId, threshold: f64) -> Self {
-        Self { thresholds: vec![(objective, threshold)] }
+        Self {
+            thresholds: vec![(objective, threshold)],
+        }
     }
 
     /// True if `values` meets every objective threshold.
@@ -68,7 +70,12 @@ pub struct RepairOptions {
 
 impl Default for RepairOptions {
     fn default() -> Self {
-        Self { top_k_paths: 10, path_cap: 300, max_pairs: 12, abduct_weight: 0.5 }
+        Self {
+            top_k_paths: 10,
+            path_cap: 300,
+            max_pairs: 12,
+            abduct_weight: 0.5,
+        }
     }
 }
 
@@ -84,13 +91,9 @@ pub fn root_cause_candidates(
 ) -> Vec<NodeId> {
     let mut found: Vec<NodeId> = Vec::new();
     for &(objective, _) in &goal.thresholds {
-        for ranked in
-            rank_causal_paths(scm, objective, domain, opts.top_k_paths, opts.path_cap)
-        {
+        for ranked in rank_causal_paths(scm, objective, domain, opts.top_k_paths, opts.path_cap) {
             for &node in &ranked.path.nodes {
-                if tiers.kind(node) == VarKind::ConfigOption
-                    && !found.contains(&node)
-                {
+                if tiers.kind(node) == VarKind::ConfigOption && !found.contains(&node) {
                     found.push(node);
                 }
             }
@@ -289,13 +292,7 @@ mod tests {
     fn candidates_come_from_paths() {
         let (scm, domain, tiers, _) = fixture();
         let goal = QosGoal::single(3, 2.0);
-        let cands = root_cause_candidates(
-            &scm,
-            &goal,
-            &tiers,
-            &domain,
-            &RepairOptions::default(),
-        );
+        let cands = root_cause_candidates(&scm, &goal, &tiers, &domain, &RepairOptions::default());
         // The strong misconfiguration option must rank first.
         assert_eq!(cands[0], 0, "candidates: {cands:?}");
         assert!(cands.contains(&1));
@@ -309,13 +306,17 @@ mod tests {
             &fault,
             &[0, 1],
             &domain,
-            &RepairOptions { max_pairs: 0, ..Default::default() },
+            &RepairOptions {
+                max_pairs: 0,
+                ..Default::default()
+            },
         );
         // Option 0 has one alternative (0.0); option 1 has two.
         assert_eq!(repairs.len(), 3);
-        assert!(repairs
+        assert!(repairs.iter().all(|r| r
+            .assignments
             .iter()
-            .all(|r| r.assignments.iter().all(|&(o, v)| (v - fault[o]).abs() > 1e-12)));
+            .all(|&(o, v)| (v - fault[o]).abs() > 1e-12)));
     }
 
     #[test]
@@ -348,7 +349,9 @@ mod tests {
 
     #[test]
     fn multi_objective_goal_requires_all_thresholds() {
-        let goal = QosGoal { thresholds: vec![(0, 1.0), (1, 2.0)] };
+        let goal = QosGoal {
+            thresholds: vec![(0, 1.0), (1, 2.0)],
+        };
         assert!(goal.satisfied(&[0.5, 1.5]));
         assert!(!goal.satisfied(&[1.5, 1.5]));
         assert!(!goal.satisfied(&[0.5, 2.5]));

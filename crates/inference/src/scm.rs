@@ -10,6 +10,7 @@
 //! distribution instead of being discarded.
 
 use unicorn_graph::{Admg, NodeId};
+use unicorn_stats::dataview::DataView;
 use unicorn_stats::regression::{fit_terms, PolyModel, Term};
 use unicorn_stats::StatsError;
 
@@ -42,8 +43,9 @@ struct NodeModel {
 pub struct FittedScm {
     admg: Admg,
     nodes: Vec<NodeModel>,
-    /// Training data, column-major (kept for root values and sweeps).
-    data: Vec<Vec<f64>>,
+    /// Training data as a shared columnar view (kept for root values and
+    /// sweeps); cloning the SCM bumps the view's `Arc`, never the columns.
+    data: DataView,
     topo: Vec<NodeId>,
     /// Sweep stride: expectation sweeps visit every `stride`-th row so the
     /// cost stays bounded on large datasets.
@@ -72,9 +74,17 @@ fn node_terms(parents: &[NodeId]) -> Vec<Term> {
 }
 
 impl FittedScm {
-    /// Fits the SCM: one regression per node with directed parents.
+    /// Fits the SCM from borrowed columns (builds a throwaway view).
     pub fn fit(admg: Admg, columns: &[Vec<f64>]) -> Result<Self, StatsError> {
-        let n_rows = columns.first().map_or(0, Vec::len);
+        Self::fit_view(admg, &DataView::from_columns(columns))
+    }
+
+    /// Fits the SCM over a shared [`DataView`]: one regression per node
+    /// with directed parents. The view is retained (Arc-shared, never
+    /// copied) for simulation sweeps and counterfactual abduction.
+    pub fn fit_view(admg: Admg, view: &DataView) -> Result<Self, StatsError> {
+        let columns = view.columns();
+        let n_rows = view.n_rows();
         let n_vars = admg.n_nodes();
         assert_eq!(columns.len(), n_vars, "column/node count mismatch");
         let mut nodes = Vec::with_capacity(n_vars);
@@ -96,11 +106,21 @@ impl FittedScm {
                 .zip(&pred)
                 .map(|(obs, p)| obs - p)
                 .collect();
-            nodes.push(NodeModel { parents, model: Some(model), residuals });
+            nodes.push(NodeModel {
+                parents,
+                model: Some(model),
+                residuals,
+            });
         }
         let topo = admg.topological_order();
         let stride = (n_rows / 256).max(1);
-        Ok(Self { admg, nodes, data: columns.to_vec(), topo, stride })
+        Ok(Self {
+            admg,
+            nodes,
+            data: view.clone(),
+            topo,
+            stride,
+        })
     }
 
     /// The underlying ADMG.
@@ -110,7 +130,7 @@ impl FittedScm {
 
     /// Number of training rows.
     pub fn n_rows(&self) -> usize {
-        self.data.first().map_or(0, Vec::len)
+        self.data.n_rows()
     }
 
     /// Number of variables.
@@ -120,6 +140,11 @@ impl FittedScm {
 
     /// Training data (column-major).
     pub fn data(&self) -> &[Vec<f64>] {
+        self.data.columns()
+    }
+
+    /// The shared training-data view.
+    pub fn view(&self) -> &DataView {
         &self.data
     }
 
@@ -147,9 +172,7 @@ impl FittedScm {
     ) -> Vec<f64> {
         let mut values = vec![0.0; self.n_vars()];
         for &v in &self.topo {
-            if let Some(&(_, x)) =
-                interventions.iter().find(|&&(node, _)| node == v)
-            {
+            if let Some(&(_, x)) = interventions.iter().find(|&&(node, _)| node == v) {
                 values[v] = x;
                 continue;
             }
@@ -173,16 +196,13 @@ impl FittedScm {
                     if nm.model.is_none() {
                         nm.residuals[base_row]
                     } else {
-                        weight * nm.residuals[abduct_row]
-                            + (1.0 - weight) * nm.residuals[base_row]
+                        weight * nm.residuals[abduct_row] + (1.0 - weight) * nm.residuals[base_row]
                     }
                 }
             };
             values[v] = match &nm.model {
                 None => residual,
-                Some(m) => {
-                    m.predict_row(&|i: usize| values[i]) + residual
-                }
+                Some(m) => m.predict_row(&|i: usize| values[i]) + residual,
             };
         }
         values
@@ -233,11 +253,7 @@ impl FittedScm {
         let mut count = 0usize;
         let mut r = 0;
         while r < n {
-            let vals = self.simulate(
-                r,
-                interventions,
-                ResidualMode::Blend { abduct_row, weight },
-            );
+            let vals = self.simulate(r, interventions, ResidualMode::Blend { abduct_row, weight });
             if pred(vals[target]) {
                 hits += 1;
             }
@@ -250,11 +266,7 @@ impl FittedScm {
     /// Deterministic counterfactual: abduct the residuals of `row`, apply
     /// the interventions, and predict all node values (Pearl's
     /// abduction–action–prediction).
-    pub fn counterfactual(
-        &self,
-        row: usize,
-        interventions: &[(NodeId, f64)],
-    ) -> Vec<f64> {
+    pub fn counterfactual(&self, row: usize, interventions: &[(NodeId, f64)]) -> Vec<f64> {
         self.simulate(row, interventions, ResidualMode::FromRow(row))
     }
 
@@ -262,11 +274,7 @@ impl FittedScm {
     /// unmeasured configuration `row` (used for performance prediction, the
     /// paper's `semopy` role). Roots are clamped to the supplied values and
     /// expectations propagate with zero residuals.
-    pub fn predict_from_assignment(
-        &self,
-        assignment: &[(NodeId, f64)],
-        target: NodeId,
-    ) -> f64 {
+    pub fn predict_from_assignment(&self, assignment: &[(NodeId, f64)], target: NodeId) -> f64 {
         let mut values = vec![0.0; self.n_vars()];
         for &v in &self.topo {
             if let Some(&(_, x)) = assignment.iter().find(|&&(node, _)| node == v) {
@@ -275,8 +283,9 @@ impl FittedScm {
             }
             values[v] = match &self.nodes[v].model {
                 None => {
-                    // Unassigned root: fall back to its empirical mean.
-                    unicorn_stats::mean(&self.data[v])
+                    // Unassigned root: fall back to its empirical mean
+                    // (cached on the shared view).
+                    self.data.column_stats()[v].mean
                 }
                 Some(m) => m.predict_row(&|i: usize| values[i]),
             };
@@ -340,11 +349,11 @@ mod tests {
         let scm = chain_scm(300);
         for row in [0usize, 7, 123] {
             let cf = scm.counterfactual(row, &[]);
-            for v in 0..3 {
+            for (v, &cfv) in cf.iter().enumerate().take(3) {
                 assert!(
-                    (cf[v] - scm.data()[v][row]).abs() < 1e-8,
+                    (cfv - scm.data()[v][row]).abs() < 1e-8,
                     "node {v} row {row}: {} vs {}",
-                    cf[v],
+                    cfv,
                     scm.data()[v][row]
                 );
             }

@@ -1,0 +1,303 @@
+//! Cache primitives backing [`crate::dataview::DataView`]: a compact LRU
+//! with O(1) touch/insert/evict, and a sharded, thread-safe wrapper so the
+//! parallel PC-stable sweep does not serialize on a single lock.
+//!
+//! Everything cached here is a *pure function of the immutable view data*,
+//! so cache hits are bit-identical to recomputation by construction; the
+//! equivalence tests in `tests/dataview_equivalence.rs` assert this.
+
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+const NIL: usize = usize::MAX;
+
+struct Entry<K, V> {
+    key: K,
+    value: V,
+    prev: usize,
+    next: usize,
+}
+
+/// A fixed-capacity least-recently-used map: `HashMap` index into a slab of
+/// entries threaded on an intrusive doubly-linked recency list.
+pub struct LruCache<K, V> {
+    map: HashMap<K, usize>,
+    slab: Vec<Entry<K, V>>,
+    head: usize,
+    tail: usize,
+    capacity: usize,
+}
+
+impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
+    /// Creates a cache evicting beyond `capacity` entries.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "LRU capacity must be positive");
+        Self {
+            map: HashMap::with_capacity(capacity.min(4096)),
+            slab: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            capacity,
+        }
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when no entries are cached.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    fn unlink(&mut self, i: usize) {
+        let (prev, next) = (self.slab[i].prev, self.slab[i].next);
+        if prev != NIL {
+            self.slab[prev].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.slab[next].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+    }
+
+    fn push_front(&mut self, i: usize) {
+        self.slab[i].prev = NIL;
+        self.slab[i].next = self.head;
+        if self.head != NIL {
+            self.slab[self.head].prev = i;
+        }
+        self.head = i;
+        if self.tail == NIL {
+            self.tail = i;
+        }
+    }
+
+    /// Looks up `key`, marking it most-recently used on a hit.
+    pub fn get(&mut self, key: &K) -> Option<&V> {
+        let i = *self.map.get(key)?;
+        if self.head != i {
+            self.unlink(i);
+            self.push_front(i);
+        }
+        Some(&self.slab[i].value)
+    }
+
+    /// Inserts `key → value`, evicting the least-recently-used entry at
+    /// capacity. An existing key is overwritten and refreshed.
+    pub fn insert(&mut self, key: K, value: V) {
+        if let Some(&i) = self.map.get(&key) {
+            self.slab[i].value = value;
+            if self.head != i {
+                self.unlink(i);
+                self.push_front(i);
+            }
+            return;
+        }
+        let i = if self.map.len() >= self.capacity {
+            // Reuse the evicted tail slot.
+            let victim = self.tail;
+            self.unlink(victim);
+            self.map.remove(&self.slab[victim].key);
+            self.slab[victim].key = key.clone();
+            self.slab[victim].value = value;
+            victim
+        } else {
+            self.slab.push(Entry {
+                key: key.clone(),
+                value,
+                prev: NIL,
+                next: NIL,
+            });
+            self.slab.len() - 1
+        };
+        self.map.insert(key, i);
+        self.push_front(i);
+    }
+}
+
+/// Hit/miss counters for cache observability (used by the benches and the
+/// equivalence tests to prove the cache is actually exercised).
+#[derive(Debug, Default)]
+pub struct CacheStats {
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl CacheStats {
+    /// Records a hit.
+    pub fn hit(&self) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a miss.
+    pub fn miss(&self) {
+        self.misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Total misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+}
+
+/// A sharded, mutex-protected LRU: keys hash to one of `SHARDS` independent
+/// caches so concurrent CI tests rarely contend on the same lock.
+pub struct ShardedLru<K, V> {
+    shards: Vec<Mutex<LruCache<K, V>>>,
+    stats: CacheStats,
+}
+
+const SHARDS: usize = 8;
+
+impl<K: Eq + Hash + Clone, V: Clone> ShardedLru<K, V> {
+    /// Creates a sharded cache with `capacity` entries in total.
+    pub fn new(capacity: usize) -> Self {
+        let per_shard = (capacity / SHARDS).max(1);
+        Self {
+            shards: (0..SHARDS)
+                .map(|_| Mutex::new(LruCache::new(per_shard)))
+                .collect(),
+            stats: CacheStats::default(),
+        }
+    }
+
+    fn shard(&self, key: &K) -> &Mutex<LruCache<K, V>> {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut h);
+        &self.shards[(h.finish() as usize) % SHARDS]
+    }
+
+    /// Returns the cached value for `key`, or computes, caches, and returns
+    /// it. `compute` runs outside the lock, so a race may compute twice —
+    /// harmless because every cached value is a pure function of the key.
+    pub fn get_or_insert_with(&self, key: K, compute: impl FnOnce() -> V) -> V {
+        if let Some(v) = self.shard(&key).lock().expect("lru poisoned").get(&key) {
+            self.stats.hit();
+            return v.clone();
+        }
+        self.stats.miss();
+        let v = compute();
+        self.shard(&key)
+            .lock()
+            .expect("lru poisoned")
+            .insert(key, v.clone());
+        v
+    }
+
+    /// Cache observability counters.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// Total number of live entries across shards.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("lru poisoned").len())
+            .sum()
+    }
+
+    /// True when every shard is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<K, V> std::fmt::Debug for ShardedLru<K, V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedLru")
+            .field("shards", &self.shards.len())
+            .field("hits", &self.stats.hits())
+            .field("misses", &self.stats.misses())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lru_basic_roundtrip() {
+        let mut c = LruCache::new(2);
+        c.insert("a", 1);
+        c.insert("b", 2);
+        assert_eq!(c.get(&"a"), Some(&1));
+        assert_eq!(c.get(&"b"), Some(&2));
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut c = LruCache::new(2);
+        c.insert(1, "one");
+        c.insert(2, "two");
+        c.get(&1); // 2 is now LRU
+        c.insert(3, "three");
+        assert_eq!(c.get(&2), None);
+        assert_eq!(c.get(&1), Some(&"one"));
+        assert_eq!(c.get(&3), Some(&"three"));
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn lru_overwrite_refreshes() {
+        let mut c = LruCache::new(2);
+        c.insert(1, 10);
+        c.insert(2, 20);
+        c.insert(1, 11); // refresh 1; 2 becomes LRU
+        c.insert(3, 30);
+        assert_eq!(c.get(&1), Some(&11));
+        assert_eq!(c.get(&2), None);
+    }
+
+    #[test]
+    fn lru_single_slot() {
+        let mut c = LruCache::new(1);
+        for i in 0..10 {
+            c.insert(i, i * i);
+            assert_eq!(c.get(&i), Some(&(i * i)));
+            assert_eq!(c.len(), 1);
+        }
+    }
+
+    #[test]
+    fn sharded_lru_computes_once_then_hits() {
+        let c: ShardedLru<(usize, usize), f64> = ShardedLru::new(64);
+        let v1 = c.get_or_insert_with((1, 2), || 3.5);
+        let v2 = c.get_or_insert_with((1, 2), || panic!("must hit cache"));
+        assert_eq!(v1, v2);
+        assert_eq!(c.stats().hits(), 1);
+        assert_eq!(c.stats().misses(), 1);
+    }
+
+    #[test]
+    fn sharded_lru_concurrent_access() {
+        let c: std::sync::Arc<ShardedLru<usize, usize>> = std::sync::Arc::new(ShardedLru::new(128));
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let c = std::sync::Arc::clone(&c);
+                s.spawn(move || {
+                    for i in 0..200 {
+                        let v = c.get_or_insert_with(i % 32, || (i % 32) * 7);
+                        assert_eq!(v, (i % 32) * 7);
+                        let _ = t;
+                    }
+                });
+            }
+        });
+        assert!(c.len() <= 32);
+    }
+}

@@ -114,7 +114,9 @@ mod tests {
         // reproducible without rand as a dependency.
         let mut state: u64 = 42;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 11) as f64 / (1u64 << 53) as f64) - 0.5
         };
         for i in 0..n {

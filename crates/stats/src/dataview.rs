@@ -1,0 +1,363 @@
+//! The columnar data layer: an immutable, `Arc`-shared table of `f64`
+//! columns carrying lazily-computed, cached sufficient statistics.
+//!
+//! Every layer of the pipeline (CI tests, skeleton search, entropic
+//! resolution, SCM fitting, the active-learning loop) reads the same
+//! observational sample thousands of times. Before this module each layer
+//! re-derived what it needed — discretizations, means, the correlation
+//! matrix, contingency/joint codes — from raw `Vec<Vec<f64>>` clones at
+//! every crate boundary. A [`DataView`] computes each statistic at most
+//! once per view and shares it across clones:
+//!
+//! * per-column means / variances / standard deviations,
+//! * the full Pearson correlation matrix (the Fisher-Z substrate),
+//! * per-column discretizations keyed by `(bins, max_levels)`,
+//! * an LRU of joint conditioning-set codes (the G-test contingency
+//!   substrate) keyed by `(vars, bins, max_levels)`,
+//! * an LRU of conditional-independence outcomes keyed by
+//!   `(test kind, x, y, conditioning set)`.
+//!
+//! # Ownership & invalidation
+//!
+//! A `DataView` is immutable; cloning is an `Arc` bump. Growing the sample
+//! (the active-learning loop's Stage IV) goes through [`DataView::append_rows`],
+//! which builds a *new* view over the extended columns with *fresh, empty*
+//! caches — statistics of the old sample are never silently reused for the
+//! new one, and outstanding clones of the old view stay valid. Since every
+//! cached value is a pure function of the immutable column data, cached
+//! reads are bit-identical to direct recomputation.
+
+use std::sync::{Arc, OnceLock};
+
+use crate::cache::ShardedLru;
+use crate::correlation::correlation_matrix;
+use crate::descriptive::{mean, variance};
+use crate::discretize::Discretizer;
+use crate::entropy::joint_code;
+use crate::matrix::Matrix;
+
+/// Per-column first and second moments.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ColumnStats {
+    /// Sample mean.
+    pub mean: f64,
+    /// Sample variance (n−1 denominator).
+    pub variance: f64,
+    /// Sample standard deviation.
+    pub std_dev: f64,
+}
+
+/// A fitted discretization of one column: integer codes plus their arity.
+#[derive(Debug, Clone)]
+pub struct ColumnCodes {
+    /// Integer code per row.
+    pub codes: Vec<usize>,
+    /// Number of distinct codes.
+    pub arity: usize,
+}
+
+/// A joint encoding of a conditioning set: one stratum code per row.
+#[derive(Debug, Clone)]
+pub struct JointCodes {
+    /// Stratum code per row.
+    pub codes: Vec<usize>,
+    /// Product of member arities (contingency-table stratum count).
+    pub strata: f64,
+}
+
+/// Key of a cached CI outcome: `(kind, x, y, conditioning set)` with
+/// `x < y` (both supported tests are symmetric in their arguments). The
+/// kind tag carries the test family plus any parameters that change its
+/// arithmetic (e.g. G-test discretization settings).
+pub type CiKey = (u32, u32, u32, Vec<u32>);
+
+struct Inner {
+    columns: Vec<Vec<f64>>,
+    n_rows: usize,
+    col_stats: OnceLock<Vec<ColumnStats>>,
+    correlation: OnceLock<Matrix>,
+    // (col, bins, max_levels) → fitted codes. Discretizations are few and
+    // hot (one per column per parameterization), so no eviction.
+    codes: ShardedLru<(u32, u32, u32), Arc<ColumnCodes>>,
+    // (vars, bins, max_levels) → joint stratum codes.
+    joint: ShardedLru<(Vec<u32>, u32, u32), Arc<JointCodes>>,
+    // CI-test memo: (kind, x, y, z) → (statistic, p_value).
+    ci: ShardedLru<CiKey, (f64, f64)>,
+}
+
+/// An immutable, `Arc`-shared columnar table with cached sufficient
+/// statistics. See the module docs for the ownership and invalidation
+/// rules.
+#[derive(Clone)]
+pub struct DataView {
+    inner: Arc<Inner>,
+}
+
+impl std::fmt::Debug for DataView {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DataView")
+            .field("n_cols", &self.n_cols())
+            .field("n_rows", &self.n_rows())
+            .field("ci_cache", &self.inner.ci)
+            .finish()
+    }
+}
+
+const CI_CACHE_CAPACITY: usize = 65_536;
+const JOINT_CACHE_CAPACITY: usize = 4_096;
+const CODE_CACHE_CAPACITY: usize = 4_096;
+
+impl DataView {
+    /// Builds a view over owned columns. All columns must share one length.
+    pub fn new(columns: Vec<Vec<f64>>) -> Self {
+        let n_rows = columns.first().map_or(0, Vec::len);
+        for (i, c) in columns.iter().enumerate() {
+            assert_eq!(c.len(), n_rows, "column {i} has ragged length");
+        }
+        Self {
+            inner: Arc::new(Inner {
+                columns,
+                n_rows,
+                col_stats: OnceLock::new(),
+                correlation: OnceLock::new(),
+                codes: ShardedLru::new(CODE_CACHE_CAPACITY),
+                joint: ShardedLru::new(JOINT_CACHE_CAPACITY),
+                ci: ShardedLru::new(CI_CACHE_CAPACITY),
+            }),
+        }
+    }
+
+    /// Builds a view by cloning borrowed columns (the seam with legacy
+    /// `&[Vec<f64>]` call sites).
+    pub fn from_columns(columns: &[Vec<f64>]) -> Self {
+        Self::new(columns.to_vec())
+    }
+
+    /// Number of rows (samples).
+    pub fn n_rows(&self) -> usize {
+        self.inner.n_rows
+    }
+
+    /// Number of columns (variables).
+    pub fn n_cols(&self) -> usize {
+        self.inner.columns.len()
+    }
+
+    /// One column as a slice.
+    pub fn column(&self, i: usize) -> &[f64] {
+        &self.inner.columns[i]
+    }
+
+    /// All columns (interop with column-major call sites).
+    pub fn columns(&self) -> &[Vec<f64>] {
+        &self.inner.columns
+    }
+
+    /// One full row, materialized.
+    pub fn row(&self, r: usize) -> Vec<f64> {
+        self.inner.columns.iter().map(|c| c[r]).collect()
+    }
+
+    /// A new view over this view's columns extended by `rows`, with fresh
+    /// (empty) caches — the cache-invalidation point of the active-learning
+    /// loop. The old view and its statistics remain valid.
+    pub fn append_rows(&self, rows: &[Vec<f64>]) -> DataView {
+        let mut columns = self.inner.columns.clone();
+        for (r, row) in rows.iter().enumerate() {
+            assert_eq!(row.len(), columns.len(), "row {r} width mismatch");
+            for (col, &v) in columns.iter_mut().zip(row) {
+                col.push(v);
+            }
+        }
+        DataView::new(columns)
+    }
+
+    /// [`DataView::append_rows`] for a single row.
+    pub fn append_row(&self, row: &[f64]) -> DataView {
+        self.append_rows(&[row.to_vec()])
+    }
+
+    /// Per-column moments, computed once per view.
+    pub fn column_stats(&self) -> &[ColumnStats] {
+        self.inner.col_stats.get_or_init(|| {
+            self.inner
+                .columns
+                .iter()
+                .map(|c| {
+                    let v = variance(c);
+                    ColumnStats {
+                        mean: mean(c),
+                        variance: v,
+                        std_dev: v.sqrt(),
+                    }
+                })
+                .collect()
+        })
+    }
+
+    /// The full Pearson correlation matrix, computed once per view with
+    /// [`correlation_matrix`] (so cached and direct results are identical).
+    pub fn correlation(&self) -> &Matrix {
+        self.inner
+            .correlation
+            .get_or_init(|| correlation_matrix(&self.inner.columns))
+    }
+
+    /// The cached discretization of column `col` under `(bins, max_levels)`
+    /// (see [`Discretizer::fit`]).
+    pub fn codes(&self, col: usize, bins: usize, max_levels: usize) -> Arc<ColumnCodes> {
+        let key = (col as u32, bins as u32, max_levels as u32);
+        self.inner.codes.get_or_insert_with(key, || {
+            let d = Discretizer::fit(&self.inner.columns[col], bins, max_levels);
+            Arc::new(ColumnCodes {
+                codes: d.transform(&self.inner.columns[col]),
+                arity: d.arity(),
+            })
+        })
+    }
+
+    /// The cached joint stratum encoding of the conditioning set `z` under
+    /// `(bins, max_levels)` — the row-wise contingency-table coordinate
+    /// shared by every G-test conditioning on `z`.
+    pub fn joint_codes(&self, z: &[usize], bins: usize, max_levels: usize) -> Arc<JointCodes> {
+        let key: (Vec<u32>, u32, u32) = (
+            z.iter().map(|&v| v as u32).collect(),
+            bins as u32,
+            max_levels as u32,
+        );
+        self.inner.joint.get_or_insert_with(key, || {
+            let cols: Vec<Arc<ColumnCodes>> =
+                z.iter().map(|&i| self.codes(i, bins, max_levels)).collect();
+            let refs: Vec<&[usize]> = cols.iter().map(|c| c.codes.as_slice()).collect();
+            let strata: f64 = cols.iter().map(|c| c.arity.max(1) as f64).product();
+            Arc::new(JointCodes {
+                codes: joint_code(&refs, self.inner.n_rows),
+                strata,
+            })
+        })
+    }
+
+    /// Memoized CI outcome: returns the cached `(statistic, p_value)` for
+    /// `key` or computes and caches it. `compute` must be a pure function
+    /// of the view data and the key.
+    pub fn ci_outcome(&self, key: CiKey, compute: impl FnOnce() -> (f64, f64)) -> (f64, f64) {
+        self.inner.ci.get_or_insert_with(key, compute)
+    }
+
+    /// Hit count of the CI-outcome cache (observability for tests/benches).
+    pub fn ci_cache_hits(&self) -> u64 {
+        self.inner.ci.stats().hits()
+    }
+
+    /// Miss count of the CI-outcome cache.
+    pub fn ci_cache_misses(&self) -> u64 {
+        self.inner.ci.stats().misses()
+    }
+
+    /// True when `other` shares this view's allocation (Arc identity).
+    pub fn same_table(&self, other: &DataView) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
+    }
+}
+
+/// Canonicalizes a CI-cache key: orders `(x, y)` and keeps `z` sorted, so
+/// symmetric queries share one entry.
+pub fn ci_key(kind: u32, x: usize, y: usize, z: &[usize]) -> CiKey {
+    let (lo, hi) = if x <= y { (x, y) } else { (y, x) };
+    let mut zs: Vec<u32> = z.iter().map(|&v| v as u32).collect();
+    zs.sort_unstable();
+    (kind, lo as u32, hi as u32, zs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn view() -> DataView {
+        DataView::new(vec![
+            vec![1.0, 2.0, 3.0, 4.0],
+            vec![2.0, 4.0, 6.0, 8.0],
+            vec![1.0, 1.0, 2.0, 2.0],
+        ])
+    }
+
+    #[test]
+    fn shape_and_access() {
+        let v = view();
+        assert_eq!(v.n_rows(), 4);
+        assert_eq!(v.n_cols(), 3);
+        assert_eq!(v.column(1), &[2.0, 4.0, 6.0, 8.0]);
+        assert_eq!(v.row(2), vec![3.0, 6.0, 2.0]);
+    }
+
+    #[test]
+    fn stats_match_direct_computation() {
+        let v = view();
+        let s = v.column_stats();
+        assert_eq!(s[0].mean, mean(v.column(0)));
+        assert_eq!(s[1].variance, variance(v.column(1)));
+        // Cached correlation is the exact same function output.
+        assert_eq!(*v.correlation(), correlation_matrix(v.columns()));
+    }
+
+    #[test]
+    fn clone_shares_caches() {
+        let v = view();
+        let w = v.clone();
+        assert!(v.same_table(&w));
+        let c1 = v.correlation() as *const Matrix;
+        let c2 = w.correlation() as *const Matrix;
+        assert_eq!(c1, c2, "clones must share the cached matrix");
+    }
+
+    #[test]
+    fn append_rows_invalidates_by_construction() {
+        let v = view();
+        let _ = v.correlation();
+        let w = v.append_rows(&[vec![5.0, 10.0, 3.0], vec![6.0, 12.0, 3.0]]);
+        assert!(!v.same_table(&w));
+        assert_eq!(w.n_rows(), 6);
+        assert_eq!(v.n_rows(), 4, "old view untouched");
+        // The new view's correlation reflects the new rows.
+        assert_eq!(*w.correlation(), correlation_matrix(w.columns()));
+    }
+
+    #[test]
+    fn codes_cached_and_equal_to_direct() {
+        let v = view();
+        let a = v.codes(2, 5, 8);
+        let d = Discretizer::fit(v.column(2), 5, 8);
+        assert_eq!(a.codes, d.transform(v.column(2)));
+        assert_eq!(a.arity, d.arity());
+        let b = v.codes(2, 5, 8);
+        assert!(Arc::ptr_eq(&a, &b), "second lookup must hit the cache");
+    }
+
+    #[test]
+    fn joint_codes_strata_product() {
+        let v = view();
+        let j = v.joint_codes(&[0, 2], 5, 8);
+        let a0 = v.codes(0, 5, 8).arity;
+        let a2 = v.codes(2, 5, 8).arity;
+        assert_eq!(j.strata, (a0 * a2) as f64);
+        assert_eq!(j.codes.len(), v.n_rows());
+    }
+
+    #[test]
+    fn ci_outcome_memoizes() {
+        let v = view();
+        let k = ci_key(0, 2, 0, &[1]);
+        assert_eq!(k, ci_key(0, 0, 2, &[1]), "key must be symmetric in x,y");
+        let first = v.ci_outcome(k.clone(), || (1.5, 0.25));
+        let second = v.ci_outcome(k, || panic!("must not recompute"));
+        assert_eq!(first, second);
+        assert_eq!(v.ci_cache_hits(), 1);
+        assert_eq!(v.ci_cache_misses(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_columns_rejected() {
+        DataView::new(vec![vec![1.0, 2.0], vec![1.0]]);
+    }
+}

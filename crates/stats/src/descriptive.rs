@@ -49,26 +49,30 @@ pub fn quantile(xs: &[f64], q: f64) -> f64 {
 
 /// Minimum; `None` if empty or any NaN.
 pub fn min(xs: &[f64]) -> Option<f64> {
-    xs.iter().copied().try_fold(f64::INFINITY, |acc, x| {
-        if x.is_nan() {
-            None
-        } else {
-            Some(acc.min(x))
-        }
-    })
-    .filter(|_| !xs.is_empty())
+    xs.iter()
+        .copied()
+        .try_fold(f64::INFINITY, |acc, x| {
+            if x.is_nan() {
+                None
+            } else {
+                Some(acc.min(x))
+            }
+        })
+        .filter(|_| !xs.is_empty())
 }
 
 /// Maximum; `None` if empty or any NaN.
 pub fn max(xs: &[f64]) -> Option<f64> {
-    xs.iter().copied().try_fold(f64::NEG_INFINITY, |acc, x| {
-        if x.is_nan() {
-            None
-        } else {
-            Some(acc.max(x))
-        }
-    })
-    .filter(|_| !xs.is_empty())
+    xs.iter()
+        .copied()
+        .try_fold(f64::NEG_INFINITY, |acc, x| {
+            if x.is_nan() {
+                None
+            } else {
+                Some(acc.max(x))
+            }
+        })
+        .filter(|_| !xs.is_empty())
 }
 
 /// Z-score standardization: `(x − mean) / std`. Columns with (near-)zero
@@ -107,8 +111,11 @@ pub fn r_squared(actual: &[f64], predicted: &[f64]) -> f64 {
     assert_eq!(actual.len(), predicted.len(), "length mismatch");
     let m = mean(actual);
     let ss_tot: f64 = actual.iter().map(|a| (a - m) * (a - m)).sum();
-    let ss_res: f64 =
-        actual.iter().zip(predicted).map(|(a, p)| (a - p) * (a - p)).sum();
+    let ss_res: f64 = actual
+        .iter()
+        .zip(predicted)
+        .map(|(a, p)| (a - p) * (a - p))
+        .sum();
     if ss_tot < 1e-12 {
         return if ss_res < 1e-12 { 1.0 } else { 0.0 };
     }

@@ -53,9 +53,7 @@ impl Discretizer {
                 .iter()
                 .position(|&v| (v - x).abs() < 1e-12 || v >= x)
                 .unwrap_or(values.len().saturating_sub(1)),
-            Discretizer::Quantile { cuts } => {
-                cuts.iter().take_while(|&&c| x > c).count()
-            }
+            Discretizer::Quantile { cuts } => cuts.iter().take_while(|&&c| x > c).count(),
         }
     }
 
@@ -124,8 +122,7 @@ mod tests {
     fn codes_are_monotone_in_value() {
         let xs: Vec<f64> = (0..50).map(|i| (i as f64).sin() * 10.0).collect();
         let d = Discretizer::fit(&xs, 5, 4);
-        let mut pairs: Vec<(f64, usize)> =
-            xs.iter().map(|&x| (x, d.code(x))).collect();
+        let mut pairs: Vec<(f64, usize)> = xs.iter().map(|&x| (x, d.code(x))).collect();
         pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
         for w in pairs.windows(2) {
             assert!(w[0].1 <= w[1].1);

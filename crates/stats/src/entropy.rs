@@ -4,7 +4,7 @@
 //! All entropies are in **bits** (log base 2), matching the entropic causal
 //! inference literature the paper builds on (Kocaoglu et al., AAAI'17).
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// Shannon entropy of a probability vector (entries may include zeros;
 /// they contribute nothing).
@@ -20,7 +20,7 @@ pub fn entropy(xs: &[usize]) -> f64 {
     if xs.is_empty() {
         return 0.0;
     }
-    let mut counts: HashMap<usize, usize> = HashMap::new();
+    let mut counts: BTreeMap<usize, usize> = BTreeMap::new();
     for &x in xs {
         *counts.entry(x).or_insert(0) += 1;
     }
@@ -40,7 +40,7 @@ pub fn joint_entropy(xs: &[usize], ys: &[usize]) -> f64 {
     if xs.is_empty() {
         return 0.0;
     }
-    let mut counts: HashMap<(usize, usize), usize> = HashMap::new();
+    let mut counts: BTreeMap<(usize, usize), usize> = BTreeMap::new();
     for (&x, &y) in xs.iter().zip(ys) {
         *counts.entry((x, y)).or_insert(0) += 1;
     }
@@ -67,16 +67,15 @@ pub fn mutual_information(xs: &[usize], ys: &[usize]) -> f64 {
 
 /// Conditional mutual information I(X; Y | Z) for an integer-coded
 /// conditioning column: `Σ_z p(z) · I(X; Y | Z = z)`.
-pub fn conditional_mutual_information(
-    xs: &[usize],
-    ys: &[usize],
-    zs: &[usize],
-) -> f64 {
-    assert!(xs.len() == ys.len() && ys.len() == zs.len(), "length mismatch");
+pub fn conditional_mutual_information(xs: &[usize], ys: &[usize], zs: &[usize]) -> f64 {
+    assert!(
+        xs.len() == ys.len() && ys.len() == zs.len(),
+        "length mismatch"
+    );
     if xs.is_empty() {
         return 0.0;
     }
-    let mut strata: HashMap<usize, (Vec<usize>, Vec<usize>)> = HashMap::new();
+    let mut strata: BTreeMap<usize, (Vec<usize>, Vec<usize>)> = BTreeMap::new();
     for i in 0..xs.len() {
         let entry = strata.entry(zs[i]).or_default();
         entry.0.push(xs[i]);
@@ -105,13 +104,9 @@ pub fn joint_code(columns: &[&[usize]], n: usize) -> Vec<usize> {
 
 /// Empirical conditional distributions p(Y | X = x) as a map from x-code to
 /// a probability vector over y-codes `0..y_arity`.
-pub fn conditionals(
-    xs: &[usize],
-    ys: &[usize],
-    y_arity: usize,
-) -> HashMap<usize, Vec<f64>> {
+pub fn conditionals(xs: &[usize], ys: &[usize], y_arity: usize) -> BTreeMap<usize, Vec<f64>> {
     assert_eq!(xs.len(), ys.len(), "length mismatch");
-    let mut counts: HashMap<usize, Vec<f64>> = HashMap::new();
+    let mut counts: BTreeMap<usize, Vec<f64>> = BTreeMap::new();
     for (&x, &y) in xs.iter().zip(ys) {
         let row = counts.entry(x).or_insert_with(|| vec![0.0; y_arity]);
         row[y.min(y_arity - 1)] += 1.0;

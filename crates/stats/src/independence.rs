@@ -1,11 +1,59 @@
 //! Conditional-independence tests driving constraint-based causal discovery
 //! (§4 Stage II of the paper: "mutual info for discrete variables and Fisher
 //! z-test for continuous").
+//!
+//! Each test has two backends: an *owned* one (precomputed correlation
+//! matrix / code columns, the original behavior) and a [`DataView`]-backed
+//! one that reads the view's cached sufficient statistics and memoizes
+//! outcomes in the view's CI cache. Both backends canonicalize their
+//! arguments (ordered `(x, y)`, sorted `z` — every supported test is
+//! symmetric in both) and then run the identical arithmetic, so cached
+//! results are bit-identical to direct computation for *any* argument
+//! order, not just the first one queried (asserted by
+//! `tests/dataview_equivalence.rs`).
 
 use crate::correlation::{correlation_matrix, partial_correlation};
+use crate::dataview::{CiKey, DataView};
 use crate::dist::{chi2_sf, normal_two_sided_p};
 use crate::entropy::{conditional_mutual_information, joint_code, mutual_information};
 use crate::matrix::Matrix;
+
+/// CI-cache tag for Fisher-Z outcomes.
+const KIND_FISHER: u32 = 0;
+/// CI-cache tag for G-test outcomes: the discretization parameters get
+/// 12 bits each (far above any sane value), so differently-parameterized
+/// tests over one view can never share cache entries.
+fn kind_gtest(bins: usize, max_levels: usize) -> u32 {
+    assert!(
+        bins < (1 << 12) && max_levels < (1 << 12),
+        "kind tag overflow"
+    );
+    1 | ((bins as u32) << 8) | ((max_levels as u32) << 20)
+}
+
+/// Canonical argument order shared by both backends: ordered pair plus a
+/// sorted conditioning set. Both supported tests are symmetric in `x`/`y`
+/// and in the order of `z`, so this changes nothing mathematically while
+/// making the float rounding — and therefore the cached bits — a function
+/// of the *set* queried rather than of the caller's argument order.
+fn canonical(x: usize, y: usize, z: &[usize]) -> (usize, usize, Vec<usize>) {
+    let (lo, hi) = if x <= y { (x, y) } else { (y, x) };
+    let mut zs = z.to_vec();
+    zs.sort_unstable();
+    (lo, hi, zs)
+}
+
+/// Cache key for already-canonical arguments (avoids the re-sort that
+/// [`crate::dataview::ci_key`] performs for arbitrary callers).
+fn key_of(kind: u32, x: usize, y: usize, z: &[usize]) -> CiKey {
+    debug_assert!(x <= y && z.is_sorted());
+    (
+        kind,
+        x as u32,
+        y as u32,
+        z.iter().map(|&v| v as u32).collect(),
+    )
+}
 
 /// Outcome of a conditional-independence test.
 #[derive(Debug, Clone, Copy)]
@@ -25,11 +73,37 @@ impl CiOutcome {
 
 /// A conditional-independence oracle over a fixed dataset: is column `x`
 /// independent of column `y` given the columns in `z`?
-pub trait CiTest {
+///
+/// `Sync` is a supertrait so oracles can be shared across the parallel
+/// skeleton sweep's worker threads.
+pub trait CiTest: Sync {
     /// Runs the test; `z` lists conditioning column indices.
     fn test(&self, x: usize, y: usize, z: &[usize]) -> CiOutcome;
     /// Number of variables (columns).
     fn n_vars(&self) -> usize;
+}
+
+/// The Fisher-z arithmetic shared by both backends.
+fn fisher_outcome(corr: &Matrix, n: usize, x: usize, y: usize, z: &[usize]) -> (f64, f64) {
+    let r = match partial_correlation(corr, x, y, z) {
+        Ok(r) => r,
+        // Singular conditioning sets: treat as uninformative
+        // (independent) rather than aborting the search.
+        Err(_) => return (0.0, 1.0),
+    };
+    let df = n as f64 - z.len() as f64 - 3.0;
+    if df <= 0.0 {
+        return (0.0, 1.0);
+    }
+    // atanh with clamping to avoid ±∞ on |r| = 1.
+    let r = r.clamp(-0.999_999, 0.999_999);
+    let zstat = df.sqrt() * 0.5 * ((1.0 + r) / (1.0 - r)).ln();
+    (zstat, normal_two_sided_p(zstat))
+}
+
+enum FisherBackend {
+    Owned { corr: Matrix, n: usize },
+    View(DataView),
 }
 
 /// Fisher-z test on partial correlations, the standard CI test for
@@ -38,8 +112,7 @@ pub trait CiTest {
 /// The statistic is `√(n − |z| − 3) · atanh(ρ̂)`, compared against a
 /// standard normal.
 pub struct FisherZ {
-    corr: Matrix,
-    n: usize,
+    backend: FisherBackend,
 }
 
 impl FisherZ {
@@ -47,85 +120,185 @@ impl FisherZ {
     /// precomputed once — the discovery loop runs thousands of tests).
     pub fn new(columns: &[Vec<f64>]) -> Self {
         let n = columns.first().map_or(0, Vec::len);
-        Self { corr: correlation_matrix(columns), n }
+        Self {
+            backend: FisherBackend::Owned {
+                corr: correlation_matrix(columns),
+                n,
+            },
+        }
     }
 
     /// Builds the test directly from a correlation matrix and sample size.
     pub fn from_correlation(corr: Matrix, n: usize) -> Self {
-        Self { corr, n }
+        Self {
+            backend: FisherBackend::Owned { corr, n },
+        }
+    }
+
+    /// Builds the test over a shared [`DataView`]: the correlation matrix
+    /// comes from the view's cache and every outcome is memoized there.
+    pub fn from_view(view: &DataView) -> Self {
+        Self {
+            backend: FisherBackend::View(view.clone()),
+        }
     }
 }
 
 impl CiTest for FisherZ {
     fn test(&self, x: usize, y: usize, z: &[usize]) -> CiOutcome {
-        let r = match partial_correlation(&self.corr, x, y, z) {
-            Ok(r) => r,
-            // Singular conditioning sets: treat as uninformative
-            // (independent) rather than aborting the search.
-            Err(_) => return CiOutcome { statistic: 0.0, p_value: 1.0 },
+        let (x, y, z) = canonical(x, y, z);
+        let (statistic, p_value) = match &self.backend {
+            FisherBackend::Owned { corr, n } => fisher_outcome(corr, *n, x, y, &z),
+            FisherBackend::View(view) => view.ci_outcome(key_of(KIND_FISHER, x, y, &z), || {
+                fisher_outcome(view.correlation(), view.n_rows(), x, y, &z)
+            }),
         };
-        let df = self.n as f64 - z.len() as f64 - 3.0;
-        if df <= 0.0 {
-            return CiOutcome { statistic: 0.0, p_value: 1.0 };
-        }
-        // atanh with clamping to avoid ±∞ on |r| = 1.
-        let r = r.clamp(-0.999_999, 0.999_999);
-        let zstat = df.sqrt() * 0.5 * ((1.0 + r) / (1.0 - r)).ln();
-        CiOutcome { statistic: zstat, p_value: normal_two_sided_p(zstat) }
+        CiOutcome { statistic, p_value }
     }
 
     fn n_vars(&self) -> usize {
-        self.corr.rows()
+        match &self.backend {
+            FisherBackend::Owned { corr, .. } => corr.rows(),
+            FisherBackend::View(view) => view.n_cols(),
+        }
     }
+}
+
+/// The G-test arithmetic on code slices shared by both backends.
+fn g_outcome(
+    x_codes: &[usize],
+    y_codes: &[usize],
+    x_arity: usize,
+    y_arity: usize,
+    zcode: Option<(&[usize], f64)>,
+    n: usize,
+) -> (f64, f64) {
+    let nf = n as f64;
+    let (mi, df) = match zcode {
+        None => {
+            let mi = mutual_information(x_codes, y_codes);
+            let df = (x_arity.max(2) - 1) * (y_arity.max(2) - 1);
+            (mi, df as f64)
+        }
+        Some((zc, strata)) => {
+            let mi = conditional_mutual_information(x_codes, y_codes, zc);
+            let df = (x_arity.max(2) - 1) as f64 * (y_arity.max(2) - 1) as f64 * strata;
+            (mi, df)
+        }
+    };
+    // MI is in bits; G uses natural log.
+    let g = 2.0 * nf * mi * std::f64::consts::LN_2;
+    (g, chi2_sf(g, df.max(1.0)))
+}
+
+enum GBackend {
+    Owned {
+        codes: Vec<Vec<usize>>,
+        arities: Vec<usize>,
+        n: usize,
+    },
+    View {
+        view: DataView,
+        bins: usize,
+        max_levels: usize,
+    },
 }
 
 /// G-test (likelihood-ratio form of the χ² test) on integer-coded data;
 /// `G = 2n · ln2 · I(X; Y | Z)` with degrees of freedom
 /// `(|X|−1)(|Y|−1)·Π|Zᵢ|`.
 pub struct GTest {
-    codes: Vec<Vec<usize>>,
-    arities: Vec<usize>,
-    n: usize,
+    backend: GBackend,
 }
 
 impl GTest {
     /// Builds the test from pre-discretized columns and their arities.
     pub fn new(codes: Vec<Vec<usize>>, arities: Vec<usize>) -> Self {
         let n = codes.first().map_or(0, Vec::len);
-        Self { codes, arities, n }
+        Self {
+            backend: GBackend::Owned { codes, arities, n },
+        }
+    }
+
+    /// Builds the test over a shared [`DataView`]: per-column
+    /// discretizations and joint conditioning codes come from the view's
+    /// caches (`bins`/`max_levels` as in
+    /// [`crate::discretize::Discretizer::fit`]), and outcomes are memoized.
+    pub fn from_view(view: &DataView, bins: usize, max_levels: usize) -> Self {
+        Self {
+            backend: GBackend::View {
+                view: view.clone(),
+                bins,
+                max_levels,
+            },
+        }
     }
 }
 
 impl CiTest for GTest {
     fn test(&self, x: usize, y: usize, z: &[usize]) -> CiOutcome {
-        let n = self.n as f64;
-        let (mi, df) = if z.is_empty() {
-            let mi = mutual_information(&self.codes[x], &self.codes[y]);
-            let df = (self.arities[x].max(2) - 1) * (self.arities[y].max(2) - 1);
-            (mi, df as f64)
-        } else {
-            let zcols: Vec<&[usize]> =
-                z.iter().map(|&i| self.codes[i].as_slice()).collect();
-            let zcode = joint_code(&zcols, self.n);
-            let mi = conditional_mutual_information(
-                &self.codes[x],
-                &self.codes[y],
-                &zcode,
-            );
-            let strata: f64 =
-                z.iter().map(|&i| self.arities[i].max(1) as f64).product();
-            let df = (self.arities[x].max(2) - 1) as f64
-                * (self.arities[y].max(2) - 1) as f64
-                * strata;
-            (mi, df)
+        let (x, y, z) = canonical(x, y, z);
+        let z = z.as_slice();
+        let (statistic, p_value) = match &self.backend {
+            GBackend::Owned { codes, arities, n } => {
+                if z.is_empty() {
+                    g_outcome(&codes[x], &codes[y], arities[x], arities[y], None, *n)
+                } else {
+                    let zcols: Vec<&[usize]> = z.iter().map(|&i| codes[i].as_slice()).collect();
+                    let zcode = joint_code(&zcols, *n);
+                    let strata: f64 = z.iter().map(|&i| arities[i].max(1) as f64).product();
+                    g_outcome(
+                        &codes[x],
+                        &codes[y],
+                        arities[x],
+                        arities[y],
+                        Some((&zcode, strata)),
+                        *n,
+                    )
+                }
+            }
+            GBackend::View {
+                view,
+                bins,
+                max_levels,
+            } => {
+                let kind = kind_gtest(*bins, *max_levels);
+                view.ci_outcome(key_of(kind, x, y, z), || {
+                    // Arguments are already canonical here, so the cached
+                    // bits match direct computation for any query order.
+                    let cx = view.codes(x, *bins, *max_levels);
+                    let cy = view.codes(y, *bins, *max_levels);
+                    if z.is_empty() {
+                        g_outcome(
+                            &cx.codes,
+                            &cy.codes,
+                            cx.arity,
+                            cy.arity,
+                            None,
+                            view.n_rows(),
+                        )
+                    } else {
+                        let jz = view.joint_codes(z, *bins, *max_levels);
+                        g_outcome(
+                            &cx.codes,
+                            &cy.codes,
+                            cx.arity,
+                            cy.arity,
+                            Some((&jz.codes, jz.strata)),
+                            view.n_rows(),
+                        )
+                    }
+                })
+            }
         };
-        // MI is in bits; G uses natural log.
-        let g = 2.0 * n * mi * std::f64::consts::LN_2;
-        CiOutcome { statistic: g, p_value: chi2_sf(g, df.max(1.0)) }
+        CiOutcome { statistic, p_value }
     }
 
     fn n_vars(&self) -> usize {
-        self.codes.len()
+        match &self.backend {
+            GBackend::Owned { codes, .. } => codes.len(),
+            GBackend::View { view, .. } => view.n_cols(),
+        }
     }
 }
 
@@ -143,7 +316,17 @@ pub struct MixedTest {
 impl MixedTest {
     /// Builds the mixed test from raw column-major data.
     pub fn new(columns: &[Vec<f64>]) -> Self {
-        Self { fisher: FisherZ::new(columns) }
+        Self {
+            fisher: FisherZ::new(columns),
+        }
+    }
+
+    /// Builds the mixed test over a shared [`DataView`] (cached correlation
+    /// matrix + memoized outcomes).
+    pub fn from_view(view: &DataView) -> Self {
+        Self {
+            fisher: FisherZ::from_view(view),
+        }
     }
 }
 
@@ -206,6 +389,31 @@ mod tests {
     }
 
     #[test]
+    fn fisher_z_view_backend_is_bit_identical() {
+        let cols = chain_data(400);
+        let view = DataView::from_columns(&cols);
+        let direct = FisherZ::new(&cols);
+        let cached = FisherZ::from_view(&view);
+        for (x, y, z) in [
+            (0, 1, vec![]),
+            (0, 2, vec![]),
+            (0, 2, vec![1]),
+            (1, 2, vec![0]),
+        ] {
+            let a = direct.test(x, y, &z);
+            let b = cached.test(x, y, &z);
+            let c = cached.test(x, y, &z); // cache hit
+            assert_eq!(a.statistic.to_bits(), b.statistic.to_bits());
+            assert_eq!(a.p_value.to_bits(), b.p_value.to_bits());
+            assert_eq!(b.statistic.to_bits(), c.statistic.to_bits());
+        }
+        assert!(
+            view.ci_cache_hits() >= 4,
+            "repeat queries must hit the cache"
+        );
+    }
+
+    #[test]
     fn g_test_detects_dependence_and_conditional_independence() {
         // Y = X (strong dependence); W independent coin.
         let n = 400;
@@ -238,5 +446,35 @@ mod tests {
         let t = GTest::new(vec![x, y, z], vec![2, 2, 2]);
         assert!(!t.test(0, 1, &[]).independent(0.01));
         assert!(t.test(0, 1, &[2]).independent(0.01));
+    }
+
+    #[test]
+    fn g_test_view_backend_matches_owned() {
+        // Integer-valued columns so the view's categorical discretization
+        // reproduces the hand-coded codes exactly.
+        let n = 600;
+        let mut s = 13u64;
+        let z: Vec<usize> = (0..n).map(|_| (lcg(&mut s) > 0.0) as usize).collect();
+        let x: Vec<usize> = z
+            .iter()
+            .map(|&v| if lcg(&mut s).abs() < 0.1 { 1 - v } else { v })
+            .collect();
+        let y: Vec<usize> = z
+            .iter()
+            .map(|&v| if lcg(&mut s).abs() < 0.1 { 1 - v } else { v })
+            .collect();
+        let owned = GTest::new(vec![x.clone(), y.clone(), z.clone()], vec![2, 2, 2]);
+        let cols: Vec<Vec<f64>> = [&x, &y, &z]
+            .iter()
+            .map(|c| c.iter().map(|&v| v as f64).collect())
+            .collect();
+        let view = DataView::from_columns(&cols);
+        let cached = GTest::from_view(&view, 5, 8);
+        for (a, b, zc) in [(0, 1, vec![]), (0, 1, vec![2]), (0, 2, vec![1])] {
+            let o = owned.test(a, b, &zc);
+            let v = cached.test(a, b, &zc);
+            assert_eq!(o.statistic.to_bits(), v.statistic.to_bits());
+            assert_eq!(o.p_value.to_bits(), v.p_value.to_bits());
+        }
     }
 }

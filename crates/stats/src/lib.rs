@@ -11,24 +11,30 @@
 //! The API is deliberately small and deterministic: no global state, no
 //! RNG (callers that need randomness seed their own `rand` generators).
 
+pub mod cache;
 pub mod correlation;
+pub mod dataview;
 pub mod descriptive;
 pub mod discretize;
 pub mod dist;
 pub mod entropy;
 pub mod independence;
 pub mod matrix;
+pub mod parallel;
 pub mod pareto;
 pub mod ranking;
 pub mod regression;
 pub mod special;
 
+pub use cache::{CacheStats, LruCache, ShardedLru};
 pub use correlation::{correlation_matrix, partial_correlation, pearson, spearman};
+pub use dataview::{ColumnCodes, ColumnStats, DataView, JointCodes};
 pub use descriptive::{mape, mean, median, quantile, r_squared, standardize, std_dev, variance};
 pub use discretize::{discretize_columns, Discretizer};
 pub use entropy::{conditional_mutual_information, entropy, mutual_information};
 pub use independence::{CiOutcome, CiTest, FisherZ, GTest, MixedTest};
 pub use matrix::{ols, Matrix};
+pub use parallel::{default_threads, par_map};
 pub use pareto::{dominates, hypervolume_2d, hypervolume_error, pareto_front};
 pub use ranking::{jaccard, ranks_with_ties, weighted_jaccard};
 pub use regression::{bic, fit_terms, stepwise_fit, PolyModel, StepwiseOptions, Term};

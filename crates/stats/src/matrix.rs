@@ -19,7 +19,11 @@ pub struct Matrix {
 impl Matrix {
     /// Creates a matrix filled with zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, data: vec![0.0; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Creates the `n`-by-`n` identity matrix.
@@ -44,7 +48,11 @@ impl Matrix {
             assert_eq!(row.len(), c, "ragged rows");
             data.extend_from_slice(row);
         }
-        Self { rows: r, cols: c, data }
+        Self {
+            rows: r,
+            cols: c,
+            data,
+        }
     }
 
     /// Builds a matrix from a flat row-major buffer.
@@ -406,8 +414,7 @@ mod tests {
             vec![1.0, 2.0, 1.0],
             vec![1.0, 1.0, 3.0],
         ]);
-        let y: Vec<f64> =
-            (0..5).map(|r| 2.0 + 3.0 * x[(r, 1)] - x[(r, 2)]).collect();
+        let y: Vec<f64> = (0..5).map(|r| 2.0 + 3.0 * x[(r, 1)] - x[(r, 2)]).collect();
         let beta = ols(&x, &y).unwrap();
         assert_close(beta[0], 2.0, 1e-6);
         assert_close(beta[1], 3.0, 1e-6);

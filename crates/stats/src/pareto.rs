@@ -40,27 +40,32 @@ pub fn pareto_front(points: &[Vec<f64>]) -> Vec<Vec<f64>> {
         .collect()
 }
 
+/// Staircase sweep over `(x, y)` pairs sorted ascending in `x`: the area of
+/// the union of rectangles `[x, r0] × [y, r1]`. Dominated pairs contribute
+/// nothing, so callers need not pre-extract a Pareto front.
+fn hv2d_sweep(pts: &mut [(f64, f64)], r: &[f64; 2]) -> f64 {
+    pts.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("NaN in hypervolume"));
+    let mut hv = 0.0;
+    let mut best_y = r[1];
+    for &(x, y) in pts.iter() {
+        if y < best_y {
+            hv += (r[0] - x) * (best_y - y);
+            best_y = y;
+        }
+    }
+    hv
+}
+
 /// 2-D hypervolume dominated by `front` with respect to reference point
 /// `r` (both objectives minimized; points beyond the reference contribute
 /// nothing). Sweep over the first objective.
 pub fn hypervolume_2d(front: &[Vec<f64>], r: &[f64; 2]) -> f64 {
-    let mut pts: Vec<&Vec<f64>> = front
+    let mut pts: Vec<(f64, f64)> = front
         .iter()
         .filter(|p| p[0] < r[0] && p[1] < r[1])
+        .map(|p| (p[0], p[1]))
         .collect();
-    if pts.is_empty() {
-        return 0.0;
-    }
-    pts.sort_by(|a, b| a[0].partial_cmp(&b[0]).expect("NaN in hypervolume"));
-    let mut hv = 0.0;
-    let mut best_y = r[1];
-    for p in pts {
-        if p[1] < best_y {
-            hv += (r[0] - p[0]) * (best_y - p[1]);
-            best_y = p[1];
-        }
-    }
-    hv
+    hv2d_sweep(&mut pts, r)
 }
 
 /// 3-D hypervolume via slicing over the third objective.
@@ -73,21 +78,23 @@ pub fn hypervolume_3d(front: &[Vec<f64>], r: &[f64; 3]) -> f64 {
         return 0.0;
     }
     // Sort by the z coordinate; integrate 2-D slabs between consecutive
-    // z levels using all points at or below that level.
+    // z levels using all points at or below that level. The sweep absorbs
+    // dominated projections, so each slab borrows scalar pairs instead of
+    // cloning and front-filtering the point set.
     pts.sort_by(|a, b| a[2].partial_cmp(&b[2]).expect("NaN in hypervolume"));
     let mut hv = 0.0;
     for (k, p) in pts.iter().enumerate() {
         let z_lo = p[2];
-        let z_hi = if k + 1 < pts.len() { pts[k + 1][2] } else { r[2] };
+        let z_hi = if k + 1 < pts.len() {
+            pts[k + 1][2]
+        } else {
+            r[2]
+        };
         if z_hi <= z_lo {
             continue;
         }
-        let slice: Vec<Vec<f64>> = pts[..=k]
-            .iter()
-            .map(|q| vec![q[0], q[1]])
-            .collect();
-        let slice_front = pareto_front(&slice);
-        hv += hypervolume_2d(&slice_front, &[r[0], r[1]]) * (z_hi - z_lo);
+        let mut slice: Vec<(f64, f64)> = pts[..=k].iter().map(|q| (q[0], q[1])).collect();
+        hv += hv2d_sweep(&mut slice, &[r[0], r[1]]) * (z_hi - z_lo);
     }
     hv
 }
@@ -95,11 +102,7 @@ pub fn hypervolume_3d(front: &[Vec<f64>], r: &[f64; 3]) -> f64 {
 /// Hypervolume error of an approximation front against a reference front:
 /// `(HV(reference) − HV(approx)) / HV(reference)`, clamped at 0
 /// (Zitzler et al. 2007, as used in the paper's Fig 15c).
-pub fn hypervolume_error(
-    approx: &[Vec<f64>],
-    reference: &[Vec<f64>],
-    ref_point: &[f64; 2],
-) -> f64 {
+pub fn hypervolume_error(approx: &[Vec<f64>], reference: &[Vec<f64>], ref_point: &[f64; 2]) -> f64 {
     let hv_ref = hypervolume_2d(reference, ref_point);
     if hv_ref <= 0.0 {
         return 0.0;

@@ -128,11 +128,7 @@ fn design(columns: &[Vec<f64>], terms: &[Term]) -> Matrix {
 }
 
 /// Fits OLS coefficients for a fixed term set.
-pub fn fit_terms(
-    columns: &[Vec<f64>],
-    y: &[f64],
-    terms: &[Term],
-) -> Result<PolyModel, StatsError> {
+pub fn fit_terms(columns: &[Vec<f64>], y: &[f64], terms: &[Term]) -> Result<PolyModel, StatsError> {
     let x = design(columns, terms);
     let beta = ols(&x, y)?;
     let pred = x.matvec(&beta);
@@ -169,7 +165,12 @@ pub struct StepwiseOptions {
 
 impl Default for StepwiseOptions {
     fn default() -> Self {
-        Self { max_degree: 3, max_terms: 40, min_improvement: 1e-6, backward: true }
+        Self {
+            max_degree: 3,
+            max_terms: 40,
+            min_improvement: 1e-6,
+            backward: true,
+        }
     }
 }
 
@@ -201,8 +202,7 @@ pub fn stepwise_fit(
     let mut pair_scores: Vec<(f64, Term)> = Vec::new();
     for i in 0..p {
         for j in i + 1..p {
-            let prod: Vec<f64> =
-                (0..n).map(|r| columns[i][r] * columns[j][r]).collect();
+            let prod: Vec<f64> = (0..n).map(|r| columns[i][r] * columns[j][r]).collect();
             let score = crate::correlation::pearson(&prod, y).abs();
             pair_scores.push((score, Term::interaction(vec![i, j])));
         }
@@ -213,7 +213,7 @@ pub fn stepwise_fit(
 
     let mut added_vars: Vec<usize> = Vec::new();
     loop {
-        if selected.len() - 1 >= opts.max_terms {
+        if selected.len() > opts.max_terms {
             break;
         }
         // Forward step: try every pool candidate not yet selected.
@@ -358,10 +358,7 @@ mod tests {
             .map(|_| (0..n).map(|_| lcg(&mut s) * 2.0).collect())
             .collect();
         let y: Vec<f64> = (0..n)
-            .map(|i| {
-                5.0 + 4.0 * cols[1][i] - 2.0 * cols[0][i] * cols[2][i]
-                    + 0.05 * lcg(&mut s)
-            })
+            .map(|i| 5.0 + 4.0 * cols[1][i] - 2.0 * cols[0][i] * cols[2][i] + 0.05 * lcg(&mut s))
             .collect();
         let m = stepwise_fit(&cols, &y, &StepwiseOptions::default()).unwrap();
         let preds: Vec<&Term> = m.predictors();
@@ -388,7 +385,7 @@ mod tests {
         let x: Vec<f64> = (0..n).map(|_| lcg(&mut s)).collect();
         let y: Vec<f64> = x.iter().map(|v| 2.0 * v + 0.01 * lcg(&mut s)).collect();
         let small = fit_terms(
-            &[x.clone()],
+            std::slice::from_ref(&x),
             &y,
             &[Term::intercept(), Term::linear(0)],
         )

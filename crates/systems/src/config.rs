@@ -213,9 +213,7 @@ impl ConfigSpace {
         self.options
             .iter()
             .enumerate()
-            .filter(|(i, o)| {
-                o.nearest_index(a.values[*i]) != o.nearest_index(b.values[*i])
-            })
+            .filter(|(i, o)| o.nearest_index(a.values[*i]) != o.nearest_index(b.values[*i]))
             .count()
     }
 }
@@ -276,7 +274,9 @@ mod tests {
     #[test]
     fn neighbors_move_one_step() {
         let s = space();
-        let c = Config { values: vec![0.0, 20.0, 0.5] };
+        let c = Config {
+            values: vec![0.0, 20.0, 0.5],
+        };
         let ns = s.neighbors(&c);
         // a: 1 neighbor; b: 2; c: 1.
         assert_eq!(ns.len(), 4);

@@ -7,6 +7,7 @@ use rand::SeedableRng;
 
 use unicorn_graph::TierConstraints;
 use unicorn_inference::{quantile_values, ExplicitDomain};
+use unicorn_stats::dataview::DataView;
 
 use crate::config::Config;
 use crate::measurement::{Sample, Simulator};
@@ -61,6 +62,14 @@ impl Dataset {
     /// One full row.
     pub fn row(&self, r: usize) -> Vec<f64> {
         self.columns.iter().map(|c| c[r]).collect()
+    }
+
+    /// An immutable shared view over the current contents, carrying the
+    /// cached sufficient statistics every downstream stage reads. Callers
+    /// that keep measuring should hold the view and grow it with
+    /// [`DataView::append_row`] rather than rebuilding it per sample.
+    pub fn view(&self) -> DataView {
+        DataView::from_columns(&self.columns)
     }
 
     /// The configuration stored in row `r`.

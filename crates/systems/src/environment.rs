@@ -97,13 +97,19 @@ pub struct Workload {
 impl Workload {
     /// The system's reference workload.
     pub fn reference(name: &str) -> Self {
-        Self { name: name.to_string(), scale: 1.0 }
+        Self {
+            name: name.to_string(),
+            scale: 1.0,
+        }
     }
 
     /// A scaled variant (e.g. `scale = 10.0` for the 50k-image Xception
     /// workload when the reference is 5k).
     pub fn scaled(name: &str, scale: f64) -> Self {
-        Self { name: name.to_string(), scale }
+        Self {
+            name: name.to_string(),
+            scale,
+        }
     }
 }
 
@@ -124,7 +130,10 @@ impl Environment {
 
     /// Shorthand: hardware with the per-system default workload.
     pub fn on(hardware: Hardware) -> Self {
-        Self { hardware, workload: Workload::reference("default") }
+        Self {
+            hardware,
+            workload: Workload::reference("default"),
+        }
     }
 
     /// The env-parameter vector consumed by mechanisms.
@@ -195,17 +204,16 @@ mod tests {
     fn microarch_differs_across_platforms() {
         // The coefficient-drift mechanism requires distinct microarch
         // factors (Fig 5's phenomenon).
-        let m: Vec<f64> =
-            Hardware::all().iter().map(|h| h.profile().microarch).collect();
+        let m: Vec<f64> = Hardware::all()
+            .iter()
+            .map(|h| h.profile().microarch)
+            .collect();
         assert!(m[0] != m[1] && m[1] != m[2]);
     }
 
     #[test]
     fn environment_params_include_workload() {
-        let env = Environment::new(
-            Hardware::Xavier,
-            Workload::scaled("10k images", 2.0),
-        );
+        let env = Environment::new(Hardware::Xavier, Workload::scaled("10k images", 2.0));
         let p = env.params();
         assert_eq!(p.workload, 2.0);
         assert_eq!(p.cpu, Hardware::Xavier.profile().cpu);

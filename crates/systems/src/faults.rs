@@ -91,12 +91,7 @@ impl Default for FaultDiscoveryOptions {
 
 /// Ground-truth improvement achievable by re-tuning a single option of a
 /// faulty configuration (noiseless evaluation over the option's grid).
-fn single_option_recovery(
-    sim: &Simulator,
-    fault: &Config,
-    option: usize,
-    objective: usize,
-) -> f64 {
+fn single_option_recovery(sim: &Simulator, fault: &Config, option: usize, objective: usize) -> f64 {
     let baseline = sim.true_objectives(fault)[objective];
     let mut best = baseline;
     for &v in &sim.model.space.option(option).values {
@@ -158,8 +153,7 @@ pub fn discover_faults(sim: &Simulator, opts: &FaultDiscoveryOptions) -> FaultCa
     let configs: Vec<Config> = (0..opts.n_samples)
         .map(|_| sim.model.space.random_config(&mut rng))
         .collect();
-    let objectives: Vec<Vec<f64>> =
-        configs.iter().map(|c| sim.true_objectives(c)).collect();
+    let objectives: Vec<Vec<f64>> = configs.iter().map(|c| sim.true_objectives(c)).collect();
 
     let mut thresholds = Vec::with_capacity(n_obj);
     let mut medians = Vec::with_capacity(n_obj);
@@ -173,8 +167,7 @@ pub fn discover_faults(sim: &Simulator, opts: &FaultDiscoveryOptions) -> FaultCa
 
     let mut faults = Vec::new();
     for (c, obj) in configs.iter().zip(&objectives) {
-        let violated: Vec<usize> =
-            (0..n_obj).filter(|&o| obj[o] > thresholds[o]).collect();
+        let violated: Vec<usize> = (0..n_obj).filter(|&o| obj[o] > thresholds[o]).collect();
         if violated.is_empty() {
             continue;
         }
@@ -226,7 +219,13 @@ pub fn discover_faults(sim: &Simulator, opts: &FaultDiscoveryOptions) -> FaultCa
         ace_weights.push(w);
     }
 
-    FaultCatalog { faults, thresholds, medians, targets, ace_weights }
+    FaultCatalog {
+        faults,
+        thresholds,
+        medians,
+        targets,
+        ace_weights,
+    }
 }
 
 impl FaultCatalog {
@@ -300,7 +299,7 @@ mod tests {
     }
 
     #[test]
-    fn root_causes_actually_recover(){
+    fn root_causes_actually_recover() {
         let (sim, cat) = catalog();
         let f = &cat.faults[0];
         let o = f.objectives[0];

@@ -51,32 +51,54 @@ impl EnvExp {
     /// CPU-bound work: slows down inversely with CPU speed and scales with
     /// workload.
     pub fn cpu_bound() -> Self {
-        Self { cpu: -1.0, workload: 1.0, ..Self::default() }
+        Self {
+            cpu: -1.0,
+            workload: 1.0,
+            ..Self::default()
+        }
     }
 
     /// GPU-bound work.
     pub fn gpu_bound() -> Self {
-        Self { gpu: -1.0, workload: 1.0, ..Self::default() }
+        Self {
+            gpu: -1.0,
+            workload: 1.0,
+            ..Self::default()
+        }
     }
 
     /// Memory-bound work.
     pub fn mem_bound() -> Self {
-        Self { mem: -1.0, workload: 1.0, ..Self::default() }
+        Self {
+            mem: -1.0,
+            workload: 1.0,
+            ..Self::default()
+        }
     }
 
     /// Energy-proportional term.
     pub fn energy_term() -> Self {
-        Self { energy: 1.0, workload: 1.0, ..Self::default() }
+        Self {
+            energy: 1.0,
+            workload: 1.0,
+            ..Self::default()
+        }
     }
 
     /// Thermal-proportional term.
     pub fn thermal_term() -> Self {
-        Self { thermal: 1.0, ..Self::default() }
+        Self {
+            thermal: 1.0,
+            ..Self::default()
+        }
     }
 
     /// Microarchitecture-sensitive interaction (drifts across platforms).
     pub fn microarch(exp: f64) -> Self {
-        Self { microarch: exp, ..Self::default() }
+        Self {
+            microarch: exp,
+            ..Self::default()
+        }
     }
 
     fn multiplier(&self, p: &EnvParams) -> f64 {
@@ -192,8 +214,12 @@ impl SystemModel {
 
     /// All node names in node order.
     pub fn names(&self) -> Vec<String> {
-        let mut names: Vec<String> =
-            self.space.options().iter().map(|o| o.name.clone()).collect();
+        let mut names: Vec<String> = self
+            .space
+            .options()
+            .iter()
+            .map(|o| o.name.clone())
+            .collect();
         names.extend(self.event_names.iter().cloned());
         names.extend(self.objective_names.iter().cloned());
         names
@@ -259,8 +285,7 @@ impl SystemModel {
                 // Box–Muller standard normal.
                 let u1: f64 = r.gen_range(1e-12..1.0);
                 let u2: f64 = r.gen_range(0.0..1.0);
-                let z = (-2.0 * u1.ln()).sqrt()
-                    * (2.0 * std::f64::consts::PI * u2).cos();
+                let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
                 v += node.noise_sd * z;
             }
             let v = node.transform.apply(v);
@@ -384,15 +409,8 @@ impl SystemBuilder {
 
     /// Adds a mechanism term `coeff · Π parents` (with environment
     /// exponents) to an event/objective.
-    pub fn term(
-        &mut self,
-        target: &str,
-        coeff: f64,
-        parents: &[&str],
-        env: EnvExp,
-    ) -> &mut Self {
-        let parent_ids: Vec<usize> =
-            parents.iter().map(|p| self.node_index(p)).collect();
+    pub fn term(&mut self, target: &str, coeff: f64, parents: &[&str], env: EnvExp) -> &mut Self {
+        let parent_ids: Vec<usize> = parents.iter().map(|p| self.node_index(p)).collect();
         let target_id = self.node_index(target);
         for &p in &parent_ids {
             assert!(p < target_id, "mechanism parent must precede target");
@@ -452,7 +470,9 @@ mod tests {
         let m = toy();
         let env = EnvParams::neutral();
         // knob = 2.0 → normalized 1.0; switch = 1.0 → normalized 1.0.
-        let c = Config { values: vec![2.0, 1.0] };
+        let c = Config {
+            values: vec![2.0, 1.0],
+        };
         let (internal, raw) = m.evaluate(&c, &env, None);
         // load = 0.1 + 1.0·1.0 + 0.5·1.0·1.0 = 1.6 → raw 1600.
         assert!((internal[2] - 1.6).abs() < 1e-12);
@@ -464,15 +484,26 @@ mod tests {
     #[test]
     fn environment_modulates_coefficients() {
         let m = toy();
-        let c = Config { values: vec![2.0, 1.0] };
-        let fast = EnvParams { cpu: 2.0, ..EnvParams::neutral() };
-        let slow = EnvParams { cpu: 0.5, ..EnvParams::neutral() };
+        let c = Config {
+            values: vec![2.0, 1.0],
+        };
+        let fast = EnvParams {
+            cpu: 2.0,
+            ..EnvParams::neutral()
+        };
+        let slow = EnvParams {
+            cpu: 0.5,
+            ..EnvParams::neutral()
+        };
         let l_fast = m.true_objectives(&c, &fast)[0];
         let l_slow = m.true_objectives(&c, &slow)[0];
         // cpu_bound: latency ∝ 1/cpu on the load term.
         assert!(l_fast < l_slow);
         // Microarch factor scales only the interaction term.
-        let micro = EnvParams { microarch: 2.0, ..EnvParams::neutral() };
+        let micro = EnvParams {
+            microarch: 2.0,
+            ..EnvParams::neutral()
+        };
         let (i_neutral, _) = m.evaluate(&c, &EnvParams::neutral(), None);
         let (i_micro, _) = m.evaluate(&c, &micro, None);
         assert!((i_micro[2] - i_neutral[2] - 0.5).abs() < 1e-12);
@@ -482,7 +513,9 @@ mod tests {
     fn noise_is_seed_deterministic() {
         let m = toy();
         let env = EnvParams::neutral();
-        let c = Config { values: vec![1.0, 0.0] };
+        let c = Config {
+            values: vec![1.0, 0.0],
+        };
         let mut m2 = toy();
         m2.nodes[0].noise_sd = 0.1;
         let mut r1 = StdRng::seed_from_u64(5);

@@ -31,9 +31,7 @@ pub mod systems;
 pub use config::{Config, ConfigOption, ConfigSpace, OptionKind};
 pub use dataset::{generate, Dataset};
 pub use environment::{EnvParams, Environment, Hardware, HardwareProfile, Workload};
-pub use faults::{
-    discover_faults, true_option_ace, Fault, FaultCatalog, FaultDiscoveryOptions,
-};
+pub use faults::{discover_faults, true_option_ace, Fault, FaultCatalog, FaultDiscoveryOptions};
 pub use gtm::{EnvExp, SystemBuilder, SystemModel, Transform};
 pub use measurement::{Sample, Simulator};
 pub use substrate::{AppWeights, ObjectiveWeights, BASE_EVENTS};

@@ -51,7 +51,12 @@ pub struct Simulator {
 impl Simulator {
     /// Creates a harness with the paper's 5-repetition protocol.
     pub fn new(model: SystemModel, env: Environment, seed: u64) -> Self {
-        Self { model, env, repetitions: 5, seed }
+        Self {
+            model,
+            env,
+            repetitions: 5,
+            seed,
+        }
     }
 
     /// Deterministic per-measurement RNG.

@@ -13,8 +13,7 @@
 use crate::config::OptionKind;
 use crate::gtm::{EnvExp, SystemBuilder, SystemModel, Transform};
 use crate::substrate::{
-    add_base_events, add_stack_options, add_standard_objectives, AppWeights,
-    ObjectiveWeights,
+    add_base_events, add_stack_options, add_standard_objectives, AppWeights, ObjectiveWeights,
 };
 
 /// Tracepoint subsystems (appendix Table 10).
@@ -66,8 +65,17 @@ pub fn sqlite_variant(n_options: usize, n_events: usize) -> SystemModel {
 
     // Reproduce the 8 PRAGMA options of the standard model.
     b.option("PRAGMA TEMP_STORE", &[0.0, 1.0, 2.0], OptionKind::Software);
-    b.option("PRAGMA JOURNAL_MODE", &[0.0, 1.0, 2.0, 3.0, 4.0], OptionKind::Software);
-    b.option_with_default("PRAGMA SYNCHRONOUS", &[0.0, 1.0, 2.0], OptionKind::Software, 1);
+    b.option(
+        "PRAGMA JOURNAL_MODE",
+        &[0.0, 1.0, 2.0, 3.0, 4.0],
+        OptionKind::Software,
+    );
+    b.option_with_default(
+        "PRAGMA SYNCHRONOUS",
+        &[0.0, 1.0, 2.0],
+        OptionKind::Software,
+        1,
+    );
     b.option("PRAGMA LOCKING_MODE", &[0.0, 1.0], OptionKind::Software);
     b.option_with_default(
         "PRAGMA CACHE_SIZE",
@@ -75,7 +83,12 @@ pub fn sqlite_variant(n_options: usize, n_events: usize) -> SystemModel {
         OptionKind::Software,
         2,
     );
-    b.option_with_default("PRAGMA PAGE_SIZE", &[2048.0, 4096.0, 8192.0], OptionKind::Software, 1);
+    b.option_with_default(
+        "PRAGMA PAGE_SIZE",
+        &[2048.0, 4096.0, 8192.0],
+        OptionKind::Software,
+        1,
+    );
     b.option("PRAGMA MAX_PAGE_COUNT", &[32.0, 64.0], OptionKind::Software);
     b.option(
         "PRAGMA MMAP_SIZE",
@@ -87,34 +100,73 @@ pub fn sqlite_variant(n_options: usize, n_events: usize) -> SystemModel {
     add_stack_options(&mut b);
     add_base_events(
         &mut b,
-        &AppWeights { compute: 0.6, memory: 1.0, branch: 0.7, io: 1.4 },
+        &AppWeights {
+            compute: 0.6,
+            memory: 1.0,
+            branch: 0.7,
+            io: 1.4,
+        },
     );
 
     // Core PRAGMA wiring (same as the standard model).
-    b.term("Number of Syscall Enter", 0.45, &["PRAGMA SYNCHRONOUS"], EnvExp::none())
-        .term("Number of Syscall Enter", -0.30, &["PRAGMA JOURNAL_MODE"], EnvExp::none())
-        .term("Cache References", -0.35, &["PRAGMA CACHE_SIZE"], EnvExp::none())
-        .term("Cache References", 0.25, &["PRAGMA PAGE_SIZE"], EnvExp::none())
-        .term(
-            "Major Faults",
-            0.40,
-            &["PRAGMA MMAP_SIZE", "vm.swappiness"],
-            EnvExp::microarch(0.5),
-        )
-        .term("Minor Faults", 0.30, &["PRAGMA MMAP_SIZE"], EnvExp::none())
-        .term("Scheduler Sleep Time", 0.45, &["PRAGMA SYNCHRONOUS"], EnvExp::none())
-        .term(
-            "Scheduler Sleep Time",
-            -0.25,
-            &["PRAGMA SYNCHRONOUS", "PRAGMA JOURNAL_MODE"],
-            EnvExp::microarch(0.4),
-        )
-        .term("Context Switches", 0.25, &["PRAGMA LOCKING_MODE"], EnvExp::none())
-        .term("Instructions", 0.20, &["PRAGMA TEMP_STORE"], EnvExp::none());
+    b.term(
+        "Number of Syscall Enter",
+        0.45,
+        &["PRAGMA SYNCHRONOUS"],
+        EnvExp::none(),
+    )
+    .term(
+        "Number of Syscall Enter",
+        -0.30,
+        &["PRAGMA JOURNAL_MODE"],
+        EnvExp::none(),
+    )
+    .term(
+        "Cache References",
+        -0.35,
+        &["PRAGMA CACHE_SIZE"],
+        EnvExp::none(),
+    )
+    .term(
+        "Cache References",
+        0.25,
+        &["PRAGMA PAGE_SIZE"],
+        EnvExp::none(),
+    )
+    .term(
+        "Major Faults",
+        0.40,
+        &["PRAGMA MMAP_SIZE", "vm.swappiness"],
+        EnvExp::microarch(0.5),
+    )
+    .term("Minor Faults", 0.30, &["PRAGMA MMAP_SIZE"], EnvExp::none())
+    .term(
+        "Scheduler Sleep Time",
+        0.45,
+        &["PRAGMA SYNCHRONOUS"],
+        EnvExp::none(),
+    )
+    .term(
+        "Scheduler Sleep Time",
+        -0.25,
+        &["PRAGMA SYNCHRONOUS", "PRAGMA JOURNAL_MODE"],
+        EnvExp::microarch(0.4),
+    )
+    .term(
+        "Context Switches",
+        0.25,
+        &["PRAGMA LOCKING_MODE"],
+        EnvExp::none(),
+    )
+    .term("Instructions", 0.20, &["PRAGMA TEMP_STORE"], EnvExp::none());
 
     // Weak hooks for a sparse subset of the padding options.
     for (k, name) in hooked.iter().enumerate() {
-        let target = if k % 2 == 0 { "Minor Faults" } else { "Instructions" };
+        let target = if k % 2 == 0 {
+            "Minor Faults"
+        } else {
+            "Instructions"
+        };
         b.term(target, 0.03, &[name.as_str()], EnvExp::none());
     }
 
@@ -144,7 +196,11 @@ pub fn sqlite_variant(n_options: usize, n_events: usize) -> SystemModel {
         "Latency",
         0.55,
         &["PRAGMA SYNCHRONOUS", "PRAGMA LOCKING_MODE"],
-        EnvExp { mem: -0.3, workload: 1.0, ..EnvExp::none() },
+        EnvExp {
+            mem: -0.3,
+            workload: 1.0,
+            ..EnvExp::none()
+        },
     )
     .term("Latency", 0.35, &["Scheduler Sleep Time"], EnvExp::none());
 

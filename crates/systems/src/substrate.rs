@@ -38,16 +38,33 @@ pub const BASE_EVENTS: [&str; 19] = [
 pub fn add_stack_options(b: &mut SystemBuilder) {
     // Kernel options — values straight from appendix Table 8. Defaults
     // index into the sane middle-of-the-road settings.
-    b.option_with_default("vm.vfs_cache_pressure", &[1.0, 100.0, 500.0], OptionKind::Kernel, 1);
+    b.option_with_default(
+        "vm.vfs_cache_pressure",
+        &[1.0, 100.0, 500.0],
+        OptionKind::Kernel,
+        1,
+    );
     b.option_with_default("vm.swappiness", &[10.0, 60.0, 90.0], OptionKind::Kernel, 1);
     b.option("vm.dirty_bytes", &[30.0, 60.0], OptionKind::Kernel);
-    b.option("vm.dirty_background_ratio", &[10.0, 80.0], OptionKind::Kernel);
-    b.option("vm.dirty_background_bytes", &[30.0, 60.0], OptionKind::Kernel);
+    b.option(
+        "vm.dirty_background_ratio",
+        &[10.0, 80.0],
+        OptionKind::Kernel,
+    );
+    b.option(
+        "vm.dirty_background_bytes",
+        &[30.0, 60.0],
+        OptionKind::Kernel,
+    );
     b.option("vm.dirty_ratio", &[5.0, 50.0], OptionKind::Kernel);
     b.option("vm.nr_hugepages", &[0.0, 1.0, 2.0], OptionKind::Kernel);
     b.option("vm.overcommit_ratio", &[50.0, 80.0], OptionKind::Kernel);
     b.option("vm.overcommit_memory", &[0.0, 2.0], OptionKind::Kernel);
-    b.option("vm.overcommit_hugepages", &[0.0, 1.0, 2.0], OptionKind::Kernel);
+    b.option(
+        "vm.overcommit_hugepages",
+        &[0.0, 1.0, 2.0],
+        OptionKind::Kernel,
+    );
     b.option_with_default(
         "kernel.cpu_time_max_percent",
         &[10.0, 40.0, 70.0, 100.0],
@@ -61,7 +78,11 @@ pub fn add_stack_options(b: &mut SystemBuilder) {
         &[24_000_000.0, 48_000_000.0],
         OptionKind::Kernel,
     );
-    b.option("kernel.sched_nr_migrate", &[32.0, 64.0, 128.0], OptionKind::Kernel);
+    b.option(
+        "kernel.sched_nr_migrate",
+        &[32.0, 64.0, 128.0],
+        OptionKind::Kernel,
+    );
     b.option(
         "kernel.sched_rt_period_us",
         &[1_000_000.0, 2_000_000.0],
@@ -73,8 +94,16 @@ pub fn add_stack_options(b: &mut SystemBuilder) {
         OptionKind::Kernel,
         1,
     );
-    b.option("kernel.sched_time_avg_ms", &[1000.0, 2000.0], OptionKind::Kernel);
-    b.option("kernel.sched_child_runs_first", &[0.0, 1.0], OptionKind::Kernel);
+    b.option(
+        "kernel.sched_time_avg_ms",
+        &[1000.0, 2000.0],
+        OptionKind::Kernel,
+    );
+    b.option(
+        "kernel.sched_child_runs_first",
+        &[0.0, 1.0],
+        OptionKind::Kernel,
+    );
     b.option_with_default("Swap Memory", &[1.0, 2.0, 3.0, 4.0], OptionKind::Kernel, 1);
     b.option("Scheduler Policy", &[0.0, 1.0], OptionKind::Kernel); // CFP, NOOP
     b.option("Drop Caches", &[0.0, 1.0, 2.0, 3.0], OptionKind::Kernel);
@@ -124,7 +153,12 @@ pub struct AppWeights {
 pub fn add_base_events(b: &mut SystemBuilder, w: &AppWeights) {
     b.event("Instructions", 4.0e9, 0.02)
         .bias("Instructions", 0.4 * w.compute)
-        .term("Instructions", 0.08, &["kernel.cpu_time_max_percent"], EnvExp::none())
+        .term(
+            "Instructions",
+            0.08,
+            &["kernel.cpu_time_max_percent"],
+            EnvExp::none(),
+        )
         .term(
             "Instructions",
             0.05,
@@ -134,7 +168,15 @@ pub fn add_base_events(b: &mut SystemBuilder, w: &AppWeights) {
 
     b.event("Cycles", 6.0e9, 0.02)
         .bias("Cycles", 0.15)
-        .term("Cycles", 1.0, &["Instructions"], EnvExp { cpu: -0.6, ..EnvExp::none() })
+        .term(
+            "Cycles",
+            1.0,
+            &["Instructions"],
+            EnvExp {
+                cpu: -0.6,
+                ..EnvExp::none()
+            },
+        )
         .term(
             "Cycles",
             -0.45,
@@ -148,7 +190,15 @@ pub fn add_base_events(b: &mut SystemBuilder, w: &AppWeights) {
 
     b.event("Cache Misses", 4.0e7, 0.03)
         .bias("Cache Misses", 0.05)
-        .term("Cache Misses", 0.35, &["Cache References"], EnvExp { mem: -0.5, ..EnvExp::none() })
+        .term(
+            "Cache Misses",
+            0.35,
+            &["Cache References"],
+            EnvExp {
+                mem: -0.5,
+                ..EnvExp::none()
+            },
+        )
         .term(
             "Cache Misses",
             0.30,
@@ -197,18 +247,48 @@ pub fn add_base_events(b: &mut SystemBuilder, w: &AppWeights) {
 
     b.event("Branch Loads Misses", 3.0e7, 0.03)
         .bias("Branch Loads Misses", 0.03)
-        .term("Branch Loads Misses", 0.25, &["Branch Loads"], EnvExp::microarch(0.5));
+        .term(
+            "Branch Loads Misses",
+            0.25,
+            &["Branch Loads"],
+            EnvExp::microarch(0.5),
+        );
 
     b.event("Branch Misses", 2.5e7, 0.03)
         .bias("Branch Misses", 0.03)
-        .term("Branch Misses", 0.3, &["Branch Loads"], EnvExp::microarch(0.6));
+        .term(
+            "Branch Misses",
+            0.3,
+            &["Branch Loads"],
+            EnvExp::microarch(0.6),
+        );
 
     b.event("Context Switches", 2.0e5, 0.03)
         .bias("Context Switches", 0.12 * w.io)
-        .term("Context Switches", -0.20, &["kernel.sched_latency_ns"], EnvExp::none())
-        .term("Context Switches", 0.22, &["kernel.sched_nr_migrate"], EnvExp::none())
-        .term("Context Switches", 0.18, &["Scheduler Policy"], EnvExp::none())
-        .term("Context Switches", 0.20, &["kernel.numa_balancing"], EnvExp::none())
+        .term(
+            "Context Switches",
+            -0.20,
+            &["kernel.sched_latency_ns"],
+            EnvExp::none(),
+        )
+        .term(
+            "Context Switches",
+            0.22,
+            &["kernel.sched_nr_migrate"],
+            EnvExp::none(),
+        )
+        .term(
+            "Context Switches",
+            0.18,
+            &["Scheduler Policy"],
+            EnvExp::none(),
+        )
+        .term(
+            "Context Switches",
+            0.20,
+            &["kernel.numa_balancing"],
+            EnvExp::none(),
+        )
         .term("Context Switches", 0.15, &["CPU Cores"], EnvExp::none());
 
     b.event("Migrations", 5.0e4, 0.03)
@@ -224,25 +304,58 @@ pub fn add_base_events(b: &mut SystemBuilder, w: &AppWeights) {
 
     b.event("Major Faults", 3.0e3, 0.04)
         .bias("Major Faults", 0.04)
-        .term("Major Faults", 0.30, &["vm.swappiness"], EnvExp { mem: -0.4, ..EnvExp::none() })
-        .term("Major Faults", -0.22, &["vm.swappiness", "Swap Memory"], EnvExp::none())
+        .term(
+            "Major Faults",
+            0.30,
+            &["vm.swappiness"],
+            EnvExp {
+                mem: -0.4,
+                ..EnvExp::none()
+            },
+        )
+        .term(
+            "Major Faults",
+            -0.22,
+            &["vm.swappiness", "Swap Memory"],
+            EnvExp::none(),
+        )
         .term(
             "Major Faults",
             0.45,
             &["vm.swappiness", "Drop Caches"],
             EnvExp::microarch(0.4),
         )
-        .term("Major Faults", 0.12, &["vm.overcommit_memory"], EnvExp::none());
+        .term(
+            "Major Faults",
+            0.12,
+            &["vm.overcommit_memory"],
+            EnvExp::none(),
+        );
 
     b.event("Minor Faults", 8.0e5, 0.03)
         .bias("Minor Faults", 0.10 * w.memory)
-        .term("Minor Faults", 0.25, &["vm.overcommit_memory"], EnvExp::none())
+        .term(
+            "Minor Faults",
+            0.25,
+            &["vm.overcommit_memory"],
+            EnvExp::none(),
+        )
         .term("Minor Faults", -0.18, &["vm.nr_hugepages"], EnvExp::none())
-        .term("Minor Faults", 0.12, &["vm.overcommit_ratio"], EnvExp::none());
+        .term(
+            "Minor Faults",
+            0.12,
+            &["vm.overcommit_ratio"],
+            EnvExp::none(),
+        );
 
     b.event("Scheduler Wait Time", 1.0e4, 0.03)
         .bias("Scheduler Wait Time", 0.25)
-        .term("Scheduler Wait Time", 0.5, &["Context Switches"], EnvExp::none())
+        .term(
+            "Scheduler Wait Time",
+            0.5,
+            &["Context Switches"],
+            EnvExp::none(),
+        )
         .term(
             "Scheduler Wait Time",
             -0.30,
@@ -270,7 +383,12 @@ pub fn add_base_events(b: &mut SystemBuilder, w: &AppWeights) {
             &["vm.dirty_background_ratio"],
             EnvExp::none(),
         )
-        .term("Scheduler Sleep Time", 0.18, &["vm.dirty_ratio"], EnvExp::none())
+        .term(
+            "Scheduler Sleep Time",
+            0.18,
+            &["vm.dirty_ratio"],
+            EnvExp::none(),
+        )
         .term(
             "Scheduler Sleep Time",
             -0.10,
@@ -297,7 +415,8 @@ pub fn add_base_events(b: &mut SystemBuilder, w: &AppWeights) {
         );
 
     // Deliberately (near-)isolated: exercises sparsity handling.
-    b.event("Emulation Faults", 1.0e2, 0.08).bias("Emulation Faults", 0.1);
+    b.event("Emulation Faults", 1.0e2, 0.08)
+        .bias("Emulation Faults", 0.1);
 }
 
 /// Weights wiring events into the three standard objectives.
@@ -325,10 +444,41 @@ pub struct ObjectiveWeights {
 pub fn add_standard_objectives(b: &mut SystemBuilder, w: &ObjectiveWeights) {
     b.objective("Latency", w.latency_scale, 0.02)
         .bias("Latency", 0.10)
-        .term("Latency", w.lat_cycles, &["Cycles"], EnvExp { cpu: -0.4, workload: 1.0, ..EnvExp::none() })
-        .term("Latency", w.lat_cache, &["Cache Misses"], EnvExp { mem: -0.5, workload: 1.0, ..EnvExp::none() })
-        .term("Latency", w.lat_faults, &["Major Faults"], EnvExp { workload: 0.5, ..EnvExp::none() })
-        .term("Latency", w.lat_wait, &["Scheduler Wait Time"], EnvExp::none())
+        .term(
+            "Latency",
+            w.lat_cycles,
+            &["Cycles"],
+            EnvExp {
+                cpu: -0.4,
+                workload: 1.0,
+                ..EnvExp::none()
+            },
+        )
+        .term(
+            "Latency",
+            w.lat_cache,
+            &["Cache Misses"],
+            EnvExp {
+                mem: -0.5,
+                workload: 1.0,
+                ..EnvExp::none()
+            },
+        )
+        .term(
+            "Latency",
+            w.lat_faults,
+            &["Major Faults"],
+            EnvExp {
+                workload: 0.5,
+                ..EnvExp::none()
+            },
+        )
+        .term(
+            "Latency",
+            w.lat_wait,
+            &["Scheduler Wait Time"],
+            EnvExp::none(),
+        )
         .term("Latency", 0.08, &["Minor Faults"], EnvExp::none());
 
     b.objective("Energy", w.energy_scale, 0.02)
@@ -338,16 +488,35 @@ pub fn add_standard_objectives(b: &mut SystemBuilder, w: &ObjectiveWeights) {
             "Energy",
             0.55,
             &["Cycles", "CPU Frequency"],
-            EnvExp { energy: 1.0, microarch: 0.3, ..EnvExp::none() },
+            EnvExp {
+                energy: 1.0,
+                microarch: 0.3,
+                ..EnvExp::none()
+            },
         )
-        .term("Energy", 0.30, &["Cycles", "GPU Frequency"], EnvExp::energy_term())
+        .term(
+            "Energy",
+            0.30,
+            &["Cycles", "GPU Frequency"],
+            EnvExp::energy_term(),
+        )
         .term("Energy", 0.20, &["Cache Misses"], EnvExp::energy_term())
         .term("Energy", 0.10, &["Major Faults"], EnvExp::none());
 
     b.objective("Heat", w.heat_scale, 0.03)
         .bias("Heat", 0.20)
-        .term("Heat", 0.40, &["Cycles", "CPU Frequency"], EnvExp::thermal_term())
-        .term("Heat", 0.30, &["Cycles", "GPU Frequency"], EnvExp::thermal_term())
+        .term(
+            "Heat",
+            0.40,
+            &["Cycles", "CPU Frequency"],
+            EnvExp::thermal_term(),
+        )
+        .term(
+            "Heat",
+            0.30,
+            &["Cycles", "GPU Frequency"],
+            EnvExp::thermal_term(),
+        )
         .term("Heat", 0.12, &["Cache Misses"], EnvExp::thermal_term());
 }
 
@@ -363,7 +532,12 @@ mod tests {
         add_stack_options(&mut b);
         add_base_events(
             &mut b,
-            &AppWeights { compute: 1.0, memory: 1.0, branch: 1.0, io: 1.0 },
+            &AppWeights {
+                compute: 1.0,
+                memory: 1.0,
+                branch: 1.0,
+                io: 1.0,
+            },
         );
         b.term("Instructions", 0.5, &["App Knob"], EnvExp::none());
         add_standard_objectives(
@@ -403,8 +577,18 @@ mod tests {
         let obj_lo = m.true_objectives(&lo, &env);
         let obj_hi = m.true_objectives(&hi, &env);
         // Latency improves with frequency, energy worsens.
-        assert!(obj_hi[0] < obj_lo[0], "latency {} !< {}", obj_hi[0], obj_lo[0]);
-        assert!(obj_hi[1] > obj_lo[1], "energy {} !> {}", obj_hi[1], obj_lo[1]);
+        assert!(
+            obj_hi[0] < obj_lo[0],
+            "latency {} !< {}",
+            obj_hi[0],
+            obj_lo[0]
+        );
+        assert!(
+            obj_hi[1] > obj_lo[1],
+            "energy {} !> {}",
+            obj_hi[1],
+            obj_lo[1]
+        );
     }
 
     #[test]

@@ -41,12 +41,20 @@ impl CacheScenario {
             misses.push(m);
             throughput.push(t.max(0.1));
         }
-        Self { policy, misses, throughput }
+        Self {
+            policy,
+            misses,
+            throughput,
+        }
     }
 
     /// Columns in `[policy, misses, throughput]` order.
     pub fn columns(&self) -> Vec<Vec<f64>> {
-        vec![self.policy.clone(), self.misses.clone(), self.throughput.clone()]
+        vec![
+            self.policy.clone(),
+            self.misses.clone(),
+            self.throughput.clone(),
+        ]
     }
 
     /// Column names.

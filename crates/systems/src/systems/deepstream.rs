@@ -6,8 +6,7 @@
 use crate::config::OptionKind;
 use crate::gtm::{EnvExp, SystemBuilder, SystemModel};
 use crate::substrate::{
-    add_base_events, add_stack_options, add_standard_objectives, AppWeights,
-    ObjectiveWeights,
+    add_base_events, add_stack_options, add_standard_objectives, AppWeights, ObjectiveWeights,
 };
 
 /// Builds the Deepstream model.
@@ -22,49 +21,126 @@ pub fn build() -> SystemModel {
         OptionKind::Software,
         1,
     );
-    b.option("Buffer Size", &[6000.0, 8000.0, 20000.0], OptionKind::Software);
-    b.option_with_default("Presets", &[0.0, 1.0, 2.0, 3.0, 4.0], OptionKind::Software, 2);
+    b.option(
+        "Buffer Size",
+        &[6000.0, 8000.0, 20000.0],
+        OptionKind::Software,
+    );
+    b.option_with_default(
+        "Presets",
+        &[0.0, 1.0, 2.0, 3.0, 4.0],
+        OptionKind::Software,
+        2,
+    );
     b.option("Maximum Rate", &[600.0, 1000.0], OptionKind::Software);
     b.option("Refresh", &[0.0, 1.0], OptionKind::Software);
 
     // Stream muxer (7 options).
-    b.option_with_default("Batch Size", &[1.0, 4.0, 8.0, 16.0, 30.0], OptionKind::Software, 2);
-    b.option("Batched Push Timeout", &[0.0, 5.0, 10.0, 20.0], OptionKind::Software);
-    b.option("Num Surfaces per Frame", &[1.0, 2.0, 3.0, 4.0], OptionKind::Software);
+    b.option_with_default(
+        "Batch Size",
+        &[1.0, 4.0, 8.0, 16.0, 30.0],
+        OptionKind::Software,
+        2,
+    );
+    b.option(
+        "Batched Push Timeout",
+        &[0.0, 5.0, 10.0, 20.0],
+        OptionKind::Software,
+    );
+    b.option(
+        "Num Surfaces per Frame",
+        &[1.0, 2.0, 3.0, 4.0],
+        OptionKind::Software,
+    );
     b.option("Enable Padding", &[0.0, 1.0], OptionKind::Software);
-    b.option_with_default("Buffer Pool Size", &[1.0, 8.0, 16.0, 26.0], OptionKind::Software, 1);
+    b.option_with_default(
+        "Buffer Pool Size",
+        &[1.0, 8.0, 16.0, 26.0],
+        OptionKind::Software,
+        1,
+    );
     b.option("Sync Inputs", &[0.0, 1.0], OptionKind::Software);
-    b.option("Nvbuf Memory Type", &[0.0, 1.0, 2.0, 3.0], OptionKind::Software);
+    b.option(
+        "Nvbuf Memory Type",
+        &[0.0, 1.0, 2.0, 3.0],
+        OptionKind::Software,
+    );
 
     // Detector / nvinfer (10 options).
-    b.option_with_default("Net Scale Factor", &[0.01, 0.1, 1.0, 10.0], OptionKind::Software, 2);
-    b.option_with_default("Infer Batch Size", &[1.0, 8.0, 16.0, 32.0, 60.0], OptionKind::Software, 1);
-    b.option_with_default("Interval", &[1.0, 2.0, 5.0, 10.0, 20.0], OptionKind::Software, 0);
+    b.option_with_default(
+        "Net Scale Factor",
+        &[0.01, 0.1, 1.0, 10.0],
+        OptionKind::Software,
+        2,
+    );
+    b.option_with_default(
+        "Infer Batch Size",
+        &[1.0, 8.0, 16.0, 32.0, 60.0],
+        OptionKind::Software,
+        1,
+    );
+    b.option_with_default(
+        "Interval",
+        &[1.0, 2.0, 5.0, 10.0, 20.0],
+        OptionKind::Software,
+        0,
+    );
     b.option("Offset", &[0.0, 1.0], OptionKind::Software);
     b.option("Process Mode", &[0.0, 1.0], OptionKind::Software);
     b.option("Use DLA Core", &[0.0, 1.0], OptionKind::Software);
     b.option("Enable DLA", &[0.0, 1.0], OptionKind::Software);
     b.option("Enable DBSCAN", &[0.0, 1.0], OptionKind::Software);
-    b.option("Secondary Reinfer Interval", &[0.0, 5.0, 10.0, 20.0], OptionKind::Software);
+    b.option(
+        "Secondary Reinfer Interval",
+        &[0.0, 5.0, 10.0, 20.0],
+        OptionKind::Software,
+    );
     b.option("Maintain Aspect Ratio", &[0.0, 1.0], OptionKind::Software);
 
     // Tracker / nvtracker (4 options).
-    b.option_with_default("IOU Threshold", &[0.0, 15.0, 30.0, 60.0], OptionKind::Software, 1);
+    b.option_with_default(
+        "IOU Threshold",
+        &[0.0, 15.0, 30.0, 60.0],
+        OptionKind::Software,
+        1,
+    );
     b.option("Enable Batch Process", &[0.0, 1.0], OptionKind::Software);
     b.option("Enable Past Frame", &[0.0, 1.0], OptionKind::Software);
-    b.option("Compute HW", &[0.0, 1.0, 2.0, 3.0, 4.0], OptionKind::Software);
+    b.option(
+        "Compute HW",
+        &[0.0, 1.0, 2.0, 3.0, 4.0],
+        OptionKind::Software,
+    );
 
     add_stack_options(&mut b);
     add_base_events(
         &mut b,
-        &AppWeights { compute: 1.2, memory: 1.2, branch: 0.9, io: 1.0 },
+        &AppWeights {
+            compute: 1.2,
+            memory: 1.2,
+            branch: 0.9,
+            io: 1.0,
+        },
     );
 
     // Pipeline event: GPU inference utilization.
     b.event("GPU Utilization", 100.0, 0.03)
         .bias("GPU Utilization", 0.50)
-        .term("GPU Utilization", 0.30, &["GPU Frequency"], EnvExp { gpu: 0.2, ..EnvExp::none() })
-        .term("GPU Utilization", 0.25, &["Infer Batch Size"], EnvExp::none())
+        .term(
+            "GPU Utilization",
+            0.30,
+            &["GPU Frequency"],
+            EnvExp {
+                gpu: 0.2,
+                ..EnvExp::none()
+            },
+        )
+        .term(
+            "GPU Utilization",
+            0.25,
+            &["Infer Batch Size"],
+            EnvExp::none(),
+        )
         .term("GPU Utilization", -0.30, &["Interval"], EnvExp::none())
         .term("GPU Utilization", -0.15, &["Enable DLA"], EnvExp::none());
 
@@ -72,10 +148,20 @@ pub fn build() -> SystemModel {
     b.term("Instructions", 0.45, &["Presets"], EnvExp::none())
         .term("Instructions", 0.30, &["Bitrate"], EnvExp::none())
         .term("Instructions", -0.20, &["Interval"], EnvExp::none())
-        .term("Instructions", 0.20, &["Num Surfaces per Frame"], EnvExp::none())
+        .term(
+            "Instructions",
+            0.20,
+            &["Num Surfaces per Frame"],
+            EnvExp::none(),
+        )
         .term("Instructions", 0.15, &["Enable DBSCAN"], EnvExp::none())
         .term("Cache References", 0.35, &["Buffer Size"], EnvExp::none())
-        .term("Cache References", 0.30, &["Buffer Pool Size"], EnvExp::none())
+        .term(
+            "Cache References",
+            0.30,
+            &["Buffer Pool Size"],
+            EnvExp::none(),
+        )
         .term(
             "Cache References",
             0.30,
@@ -90,14 +176,24 @@ pub fn build() -> SystemModel {
         )
         .term("Cache Misses", 0.20, &["Nvbuf Memory Type"], EnvExp::none())
         .term("Context Switches", 0.25, &["Sync Inputs"], EnvExp::none())
-        .term("Context Switches", 0.20, &["Batched Push Timeout"], EnvExp::none())
+        .term(
+            "Context Switches",
+            0.20,
+            &["Batched Push Timeout"],
+            EnvExp::none(),
+        )
         .term(
             "Minor Faults",
             0.30,
             &["Num Surfaces per Frame", "Buffer Pool Size"],
             EnvExp::none(),
         )
-        .term("Branch Misses", 0.20, &["Enable DBSCAN"], EnvExp::microarch(0.5))
+        .term(
+            "Branch Misses",
+            0.20,
+            &["Enable DBSCAN"],
+            EnvExp::microarch(0.5),
+        )
         .term("Branch Misses", 0.15, &["IOU Threshold"], EnvExp::none());
 
     // Objectives: the paper reports throughput (FPS) and energy for
@@ -120,7 +216,11 @@ pub fn build() -> SystemModel {
         "Latency",
         -0.50,
         &["GPU Utilization"],
-        EnvExp { gpu: -0.8, workload: 1.0, ..EnvExp::none() },
+        EnvExp {
+            gpu: -0.8,
+            workload: 1.0,
+            ..EnvExp::none()
+        },
     )
     .bias("Latency", 0.70)
     // Batching amortizes inference but adds muxer latency at large sizes
@@ -133,9 +233,19 @@ pub fn build() -> SystemModel {
         EnvExp::microarch(0.4),
     )
     .term("Latency", 0.30, &["Interval"], EnvExp::none())
-    .term("Energy", 0.45, &["GPU Utilization", "GPU Frequency"], EnvExp::energy_term())
+    .term(
+        "Energy",
+        0.45,
+        &["GPU Utilization", "GPU Frequency"],
+        EnvExp::energy_term(),
+    )
     .term("Energy", -0.20, &["Enable DLA"], EnvExp::energy_term())
-    .term("Heat", 0.30, &["GPU Utilization", "GPU Frequency"], EnvExp::thermal_term());
+    .term(
+        "Heat",
+        0.30,
+        &["GPU Utilization", "GPU Frequency"],
+        EnvExp::thermal_term(),
+    );
 
     b.build()
 }
@@ -157,8 +267,7 @@ mod tests {
         let m = build();
         let c = m.space.default_config();
         let lat_tx2 = m.true_objectives(&c, &Environment::on(Hardware::Tx2).params())[0];
-        let lat_xav =
-            m.true_objectives(&c, &Environment::on(Hardware::Xavier).params())[0];
+        let lat_xav = m.true_objectives(&c, &Environment::on(Hardware::Xavier).params())[0];
         assert!(lat_xav < lat_tx2, "{lat_xav} !< {lat_tx2}");
     }
 

@@ -8,8 +8,7 @@
 use crate::config::OptionKind;
 use crate::gtm::{EnvExp, SystemBuilder, SystemModel};
 use crate::substrate::{
-    add_base_events, add_stack_options, add_standard_objectives, AppWeights,
-    ObjectiveWeights,
+    add_base_events, add_stack_options, add_standard_objectives, AppWeights, ObjectiveWeights,
 };
 
 /// Resource profile distinguishing the three DL systems.
@@ -29,17 +28,35 @@ pub struct DlProfile {
 
 /// Xception profile (CIFAR10, 5k test images reference workload).
 pub fn xception_profile() -> DlProfile {
-    DlProfile { name: "Xception", gpu: 1.3, memory: 0.9, cpu: 0.7, latency_scale: 40.0 }
+    DlProfile {
+        name: "Xception",
+        gpu: 1.3,
+        memory: 0.9,
+        cpu: 0.7,
+        latency_scale: 40.0,
+    }
 }
 
 /// BERT profile (IMDb sentiment, 1k test reviews).
 pub fn bert_profile() -> DlProfile {
-    DlProfile { name: "BERT", gpu: 1.1, memory: 1.3, cpu: 0.6, latency_scale: 55.0 }
+    DlProfile {
+        name: "BERT",
+        gpu: 1.1,
+        memory: 1.3,
+        cpu: 0.6,
+        latency_scale: 55.0,
+    }
 }
 
 /// Deepspeech profile (Common Voice, 0.5 h audio).
 pub fn deepspeech_profile() -> DlProfile {
-    DlProfile { name: "Deepspeech", gpu: 0.9, memory: 1.0, cpu: 1.2, latency_scale: 70.0 }
+    DlProfile {
+        name: "Deepspeech",
+        gpu: 0.9,
+        memory: 1.0,
+        cpu: 1.2,
+        latency_scale: 70.0,
+    }
 }
 
 /// Builds a DL system from its profile.
@@ -67,8 +84,21 @@ pub fn build(profile: &DlProfile) -> SystemModel {
     // sense — tegrastats exposes it on Jetson.)
     b.event("GPU Utilization", 100.0, 0.03)
         .bias("GPU Utilization", 0.45 * profile.gpu)
-        .term("GPU Utilization", 0.30, &["GPU Frequency"], EnvExp { gpu: 0.2, ..EnvExp::none() })
-        .term("GPU Utilization", -0.20, &["Logical Devices"], EnvExp::none())
+        .term(
+            "GPU Utilization",
+            0.30,
+            &["GPU Frequency"],
+            EnvExp {
+                gpu: 0.2,
+                ..EnvExp::none()
+            },
+        )
+        .term(
+            "GPU Utilization",
+            -0.20,
+            &["Logical Devices"],
+            EnvExp::none(),
+        )
         .term(
             "GPU Utilization",
             0.25,
@@ -89,7 +119,10 @@ pub fn build(profile: &DlProfile) -> SystemModel {
         "Major Faults",
         0.35,
         &["Memory Growth", "Swap Memory"],
-        EnvExp { mem: -0.4, ..EnvExp::none() },
+        EnvExp {
+            mem: -0.4,
+            ..EnvExp::none()
+        },
     )
     .term("Instructions", 0.25, &["Logical Devices"], EnvExp::none());
 
@@ -112,11 +145,25 @@ pub fn build(profile: &DlProfile) -> SystemModel {
         "Latency",
         -0.55,
         &["GPU Utilization"],
-        EnvExp { gpu: -0.8, workload: 1.0, ..EnvExp::none() },
+        EnvExp {
+            gpu: -0.8,
+            workload: 1.0,
+            ..EnvExp::none()
+        },
     )
     .bias("Latency", 0.75) // keeps latency positive given the negative term
-    .term("Energy", 0.50, &["GPU Utilization", "GPU Frequency"], EnvExp::energy_term())
-    .term("Heat", 0.35, &["GPU Utilization", "GPU Frequency"], EnvExp::thermal_term());
+    .term(
+        "Energy",
+        0.50,
+        &["GPU Utilization", "GPU Frequency"],
+        EnvExp::energy_term(),
+    )
+    .term(
+        "Heat",
+        0.35,
+        &["GPU Utilization", "GPU Frequency"],
+        EnvExp::thermal_term(),
+    );
 
     b.build()
 }

@@ -56,21 +56,11 @@ impl SubjectSystem {
             SubjectSystem::Deepstream => {
                 "Video analytics pipeline, detection and tracking from 8 camera streams"
             }
-            SubjectSystem::Xception => {
-                "Image recognition, 5000/5000 test images from CIFAR10"
-            }
-            SubjectSystem::Bert => {
-                "NLP sentiment analysis, 1000/25000 test reviews from IMDb"
-            }
-            SubjectSystem::Deepspeech => {
-                "Speech-to-text, 0.5/1932 hours of Common Voice (English)"
-            }
-            SubjectSystem::X264 => {
-                "Encode a 20 second 11.2 MB 1920x1080 video from UGC"
-            }
-            SubjectSystem::Sqlite => {
-                "Sequential, batch and random reads, writes, deletions"
-            }
+            SubjectSystem::Xception => "Image recognition, 5000/5000 test images from CIFAR10",
+            SubjectSystem::Bert => "NLP sentiment analysis, 1000/25000 test reviews from IMDb",
+            SubjectSystem::Deepspeech => "Speech-to-text, 0.5/1932 hours of Common Voice (English)",
+            SubjectSystem::X264 => "Encode a 20 second 11.2 MB 1920x1080 video from UGC",
+            SubjectSystem::Sqlite => "Sequential, batch and random reads, writes, deletions",
         }
     }
 

@@ -16,9 +16,24 @@ pub fn build() -> SystemModel {
 
     // Hardware options (the forum fix touches all four).
     b.option_with_default("CPU Cores", &[1.0, 2.0, 3.0, 4.0], OptionKind::Hardware, 1);
-    b.option_with_default("CPU Frequency", &[0.3, 0.65, 1.0, 1.5, 2.0], OptionKind::Hardware, 1);
-    b.option_with_default("EMC Frequency", &[0.1, 0.5, 1.0, 1.4, 1.8], OptionKind::Hardware, 1);
-    b.option_with_default("GPU Frequency", &[0.1, 0.4, 0.7, 1.0, 1.3], OptionKind::Hardware, 1);
+    b.option_with_default(
+        "CPU Frequency",
+        &[0.3, 0.65, 1.0, 1.5, 2.0],
+        OptionKind::Hardware,
+        1,
+    );
+    b.option_with_default(
+        "EMC Frequency",
+        &[0.1, 0.5, 1.0, 1.4, 1.8],
+        OptionKind::Hardware,
+        1,
+    );
+    b.option_with_default(
+        "GPU Frequency",
+        &[0.1, 0.4, 0.7, 1.0, 1.3],
+        OptionKind::Hardware,
+        1,
+    );
 
     // Kernel options listed in Fig 12.
     b.option("Scheduler Policy", &[0.0, 1.0], OptionKind::Kernel);
@@ -28,11 +43,24 @@ pub fn build() -> SystemModel {
         OptionKind::Kernel,
         1,
     );
-    b.option("kernel.sched_child_runs_first", &[0.0, 1.0], OptionKind::Kernel);
-    b.option("vm.dirty_background_ratio", &[10.0, 80.0], OptionKind::Kernel);
+    b.option(
+        "kernel.sched_child_runs_first",
+        &[0.0, 1.0],
+        OptionKind::Kernel,
+    );
+    b.option(
+        "vm.dirty_background_ratio",
+        &[10.0, 80.0],
+        OptionKind::Kernel,
+    );
     b.option("vm.dirty_ratio", &[5.0, 50.0], OptionKind::Kernel);
     b.option("Drop Caches", &[0.0, 1.0, 2.0, 3.0], OptionKind::Kernel);
-    b.option_with_default("vm.vfs_cache_pressure", &[1.0, 100.0, 500.0], OptionKind::Kernel, 1);
+    b.option_with_default(
+        "vm.vfs_cache_pressure",
+        &[1.0, 100.0, 500.0],
+        OptionKind::Kernel,
+        1,
+    );
     b.option_with_default("vm.swappiness", &[10.0, 60.0, 90.0], OptionKind::Kernel, 1);
 
     // Events on the diagnostic path (Fig 23: the causal graph used to
@@ -41,15 +69,30 @@ pub fn build() -> SystemModel {
         .bias("Context Switches", 0.10)
         // Statically linked CUDA runtime thrashes the scheduler on the
         // migrated platform: the dominant indirect effect.
-        .term("Context Switches", 0.85, &["CUDA_STATIC"], EnvExp::microarch(1.0))
-        .term("Context Switches", 0.15, &["Scheduler Policy"], EnvExp::none())
+        .term(
+            "Context Switches",
+            0.85,
+            &["CUDA_STATIC"],
+            EnvExp::microarch(1.0),
+        )
+        .term(
+            "Context Switches",
+            0.15,
+            &["Scheduler Policy"],
+            EnvExp::none(),
+        )
         .term(
             "Context Switches",
             -0.10,
             &["kernel.sched_rt_runtime_us"],
             EnvExp::none(),
         )
-        .term("Context Switches", 0.10, &["kernel.sched_child_runs_first"], EnvExp::none());
+        .term(
+            "Context Switches",
+            0.10,
+            &["kernel.sched_child_runs_first"],
+            EnvExp::none(),
+        );
 
     b.event("Migrations", 5.0e4, 0.03)
         .bias("Migrations", 0.05)
@@ -58,27 +101,88 @@ pub fn build() -> SystemModel {
 
     b.event("Cache References", 1.5e8, 0.02)
         .bias("Cache References", 0.30)
-        .term("Cache References", 0.20, &["vm.vfs_cache_pressure"], EnvExp::none());
+        .term(
+            "Cache References",
+            0.20,
+            &["vm.vfs_cache_pressure"],
+            EnvExp::none(),
+        );
 
     b.event("Cache Misses", 4.0e7, 0.03)
         .bias("Cache Misses", 0.05)
-        .term("Cache Misses", 0.35, &["Cache References"], EnvExp { mem: -0.4, ..EnvExp::none() })
-        .term("Cache Misses", 0.25, &["Cache References", "Drop Caches"], EnvExp::none())
-        .term("Cache Misses", -0.20, &["Cache References", "EMC Frequency"], EnvExp::microarch(0.4))
+        .term(
+            "Cache Misses",
+            0.35,
+            &["Cache References"],
+            EnvExp {
+                mem: -0.4,
+                ..EnvExp::none()
+            },
+        )
+        .term(
+            "Cache Misses",
+            0.25,
+            &["Cache References", "Drop Caches"],
+            EnvExp::none(),
+        )
+        .term(
+            "Cache Misses",
+            -0.20,
+            &["Cache References", "EMC Frequency"],
+            EnvExp::microarch(0.4),
+        )
         .term("Cache Misses", 0.15, &["vm.swappiness"], EnvExp::none());
 
     // Objectives: frame latency (ms per frame; FPS = 1000/latency) and
     // energy.
     b.objective("Latency", 125.0, 0.02)
         .bias("Latency", 0.55)
-        .term("Latency", 0.90, &["Context Switches"], EnvExp { cpu: -0.3, microarch: 0.5, ..EnvExp::none() })
-        .term("Latency", 0.45, &["Cache Misses"], EnvExp { mem: -0.5, ..EnvExp::none() })
-        .term("Latency", -0.18, &["CPU Frequency"], EnvExp { cpu: -0.4, ..EnvExp::none() })
-        .term("Latency", -0.15, &["GPU Frequency"], EnvExp { gpu: -0.5, ..EnvExp::none() })
+        .term(
+            "Latency",
+            0.90,
+            &["Context Switches"],
+            EnvExp {
+                cpu: -0.3,
+                microarch: 0.5,
+                ..EnvExp::none()
+            },
+        )
+        .term(
+            "Latency",
+            0.45,
+            &["Cache Misses"],
+            EnvExp {
+                mem: -0.5,
+                ..EnvExp::none()
+            },
+        )
+        .term(
+            "Latency",
+            -0.18,
+            &["CPU Frequency"],
+            EnvExp {
+                cpu: -0.4,
+                ..EnvExp::none()
+            },
+        )
+        .term(
+            "Latency",
+            -0.15,
+            &["GPU Frequency"],
+            EnvExp {
+                gpu: -0.5,
+                ..EnvExp::none()
+            },
+        )
         .term("Latency", -0.08, &["CPU Cores"], EnvExp::none())
         .term("Latency", -0.10, &["EMC Frequency"], EnvExp::none())
         .term("Latency", 0.10, &["vm.dirty_ratio"], EnvExp::none())
-        .term("Latency", 0.06, &["vm.dirty_background_ratio"], EnvExp::none());
+        .term(
+            "Latency",
+            0.06,
+            &["vm.dirty_background_ratio"],
+            EnvExp::none(),
+        );
 
     b.objective("Energy", 60.0, 0.02)
         .bias("Energy", 0.15)

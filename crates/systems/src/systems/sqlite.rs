@@ -4,8 +4,7 @@
 use crate::config::OptionKind;
 use crate::gtm::{EnvExp, SystemBuilder, SystemModel};
 use crate::substrate::{
-    add_base_events, add_stack_options, add_standard_objectives, AppWeights,
-    ObjectiveWeights,
+    add_base_events, add_stack_options, add_standard_objectives, AppWeights, ObjectiveWeights,
 };
 
 /// Builds the SQLite model. Workload: sequential/batch/random reads,
@@ -50,61 +49,66 @@ pub fn build() -> SystemModel {
     add_stack_options(&mut b);
     add_base_events(
         &mut b,
-        &AppWeights { compute: 0.6, memory: 1.0, branch: 0.7, io: 1.4 },
+        &AppWeights {
+            compute: 0.6,
+            memory: 1.0,
+            branch: 0.7,
+            io: 1.4,
+        },
     );
 
     // PRAGMA → event wiring: journal/sync dominate syscall and fault
     // behaviour; cache/page sizing drives the memory hierarchy.
-    b.term("Number of Syscall Enter", 0.45, &["PRAGMA SYNCHRONOUS"], EnvExp::none())
-        .term(
-            "Number of Syscall Enter",
-            -0.30,
-            &["PRAGMA JOURNAL_MODE"],
-            EnvExp::none(),
-        )
-        .term(
-            "Cache References",
-            -0.35,
-            &["PRAGMA CACHE_SIZE"],
-            EnvExp::none(),
-        )
-        .term(
-            "Cache References",
-            0.25,
-            &["PRAGMA PAGE_SIZE"],
-            EnvExp::none(),
-        )
-        .term(
-            "Major Faults",
-            0.40,
-            &["PRAGMA MMAP_SIZE", "vm.swappiness"],
-            EnvExp::microarch(0.5),
-        )
-        .term(
-            "Minor Faults",
-            0.30,
-            &["PRAGMA MMAP_SIZE"],
-            EnvExp::none(),
-        )
-        .term(
-            "Scheduler Sleep Time",
-            0.45,
-            &["PRAGMA SYNCHRONOUS"],
-            EnvExp::none(),
-        )
-        .term(
-            "Scheduler Sleep Time",
-            -0.25,
-            &["PRAGMA SYNCHRONOUS", "PRAGMA JOURNAL_MODE"],
-            EnvExp::microarch(0.4),
-        )
-        .term(
-            "Context Switches",
-            0.25,
-            &["PRAGMA LOCKING_MODE"],
-            EnvExp::none(),
-        )
-        .term("Instructions", 0.20, &["PRAGMA TEMP_STORE"], EnvExp::none());
+    b.term(
+        "Number of Syscall Enter",
+        0.45,
+        &["PRAGMA SYNCHRONOUS"],
+        EnvExp::none(),
+    )
+    .term(
+        "Number of Syscall Enter",
+        -0.30,
+        &["PRAGMA JOURNAL_MODE"],
+        EnvExp::none(),
+    )
+    .term(
+        "Cache References",
+        -0.35,
+        &["PRAGMA CACHE_SIZE"],
+        EnvExp::none(),
+    )
+    .term(
+        "Cache References",
+        0.25,
+        &["PRAGMA PAGE_SIZE"],
+        EnvExp::none(),
+    )
+    .term(
+        "Major Faults",
+        0.40,
+        &["PRAGMA MMAP_SIZE", "vm.swappiness"],
+        EnvExp::microarch(0.5),
+    )
+    .term("Minor Faults", 0.30, &["PRAGMA MMAP_SIZE"], EnvExp::none())
+    .term(
+        "Scheduler Sleep Time",
+        0.45,
+        &["PRAGMA SYNCHRONOUS"],
+        EnvExp::none(),
+    )
+    .term(
+        "Scheduler Sleep Time",
+        -0.25,
+        &["PRAGMA SYNCHRONOUS", "PRAGMA JOURNAL_MODE"],
+        EnvExp::microarch(0.4),
+    )
+    .term(
+        "Context Switches",
+        0.25,
+        &["PRAGMA LOCKING_MODE"],
+        EnvExp::none(),
+    )
+    .term("Instructions", 0.20, &["PRAGMA TEMP_STORE"], EnvExp::none());
 
     add_standard_objectives(
         &mut b,
@@ -125,7 +129,11 @@ pub fn build() -> SystemModel {
         "Latency",
         0.55,
         &["PRAGMA SYNCHRONOUS", "PRAGMA LOCKING_MODE"],
-        EnvExp { mem: -0.3, workload: 1.0, ..EnvExp::none() },
+        EnvExp {
+            mem: -0.3,
+            workload: 1.0,
+            ..EnvExp::none()
+        },
     )
     .term("Latency", 0.35, &["Scheduler Sleep Time"], EnvExp::none());
 

@@ -4,8 +4,7 @@
 use crate::config::OptionKind;
 use crate::gtm::{EnvExp, SystemBuilder, SystemModel};
 use crate::substrate::{
-    add_base_events, add_stack_options, add_standard_objectives, AppWeights,
-    ObjectiveWeights,
+    add_base_events, add_stack_options, add_standard_objectives, AppWeights, ObjectiveWeights,
 };
 
 /// Builds the x264 model. Workload: "20s 1080p UGC video" (reference 1.0).
@@ -20,7 +19,11 @@ pub fn build() -> SystemModel {
         OptionKind::Software,
         1,
     );
-    b.option("Buffer Size", &[6000.0, 8000.0, 20000.0], OptionKind::Software);
+    b.option(
+        "Buffer Size",
+        &[6000.0, 8000.0, 20000.0],
+        OptionKind::Software,
+    );
     // Presets: ultrafast, veryfast, faster, medium, slower.
     b.option_with_default(
         "Presets",
@@ -34,7 +37,12 @@ pub fn build() -> SystemModel {
     add_stack_options(&mut b);
     add_base_events(
         &mut b,
-        &AppWeights { compute: 1.1, memory: 0.9, branch: 1.2, io: 0.5 },
+        &AppWeights {
+            compute: 1.1,
+            memory: 0.9,
+            branch: 1.2,
+            io: 0.5,
+        },
     );
 
     // Software → event wiring: slower presets and higher bitrate do more
@@ -58,7 +66,12 @@ pub fn build() -> SystemModel {
             &["Presets", "Refresh"],
             EnvExp::microarch(0.6),
         )
-        .term("Number of Syscall Enter", 0.15, &["Refresh"], EnvExp::none());
+        .term(
+            "Number of Syscall Enter",
+            0.15,
+            &["Refresh"],
+            EnvExp::none(),
+        );
 
     add_standard_objectives(
         &mut b,

@@ -10,8 +10,7 @@
 use unicorn::baselines::{BugDoc, DebugBudget, Debugger};
 use unicorn::core::{debug_fault, score_debugging, UnicornOptions};
 use unicorn::systems::{
-    discover_faults, Environment, FaultDiscoveryOptions, Hardware, Simulator,
-    SubjectSystem,
+    discover_faults, Environment, FaultDiscoveryOptions, Hardware, Simulator, SubjectSystem,
 };
 
 fn main() {
@@ -25,7 +24,10 @@ fn main() {
     // configurations with ground-truth root causes.
     let catalog = discover_faults(
         &sim,
-        &FaultDiscoveryOptions { n_samples: 1000, ..Default::default() },
+        &FaultDiscoveryOptions {
+            n_samples: 1000,
+            ..Default::default()
+        },
     );
     let fault = catalog
         .faults
@@ -48,7 +50,11 @@ fn main() {
         &sim,
         fault,
         &catalog,
-        &UnicornOptions { initial_samples: 75, budget: 15, ..Default::default() },
+        &UnicornOptions {
+            initial_samples: 75,
+            budget: 15,
+            ..Default::default()
+        },
     );
     let uni_scores = score_debugging(
         fault,
@@ -82,7 +88,10 @@ fn main() {
         &sim,
         fault,
         &catalog,
-        &DebugBudget { n_samples: 75, n_probes: 15 },
+        &DebugBudget {
+            n_samples: 75,
+            n_probes: 15,
+        },
         99,
     );
     let bd_scores = score_debugging(

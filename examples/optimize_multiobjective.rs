@@ -35,7 +35,11 @@ fn main() {
     );
 
     // Unicorn's causal multi-objective loop.
-    let opts = UnicornOptions { initial_samples: 25, budget: 35, ..Default::default() };
+    let opts = UnicornOptions {
+        initial_samples: 25,
+        budget: 35,
+        ..Default::default()
+    };
     let uni = optimize_multi(&sim, &[0, 1], &reference, &ref_point, &opts);
     println!(
         "\nUnicorn: {} evaluations, final hypervolume error {:.3}",
@@ -53,7 +57,11 @@ fn main() {
     let pesmo = pesmo_optimize(
         &sim,
         &[0, 1],
-        &PesmoOptions { n_init: 25, budget: 60, ..Default::default() },
+        &PesmoOptions {
+            n_init: 25,
+            budget: 60,
+            ..Default::default()
+        },
     );
     let pesmo_err = hv_error_history(&pesmo, &reference, &ref_point);
     println!(

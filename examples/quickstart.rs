@@ -5,7 +5,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use unicorn::discovery::{learn_causal_model, DiscoveryOptions};
+use unicorn::discovery::{learn_causal_model_on, DiscoveryOptions};
 use unicorn::inference::{CausalEngine, FittedScm, PerformanceQuery, QueryAnswer};
 use unicorn::systems::{generate, Environment, Hardware, Simulator, SubjectSystem};
 
@@ -27,9 +27,11 @@ fn main() {
     // 2. Measure 200 random configurations (5 repetitions, median).
     let data = generate(&sim, 200, 7);
 
-    // 3. Learn the causal performance model (Stage II).
-    let model = learn_causal_model(
-        &data.columns,
+    // 3. Learn the causal performance model (Stage II) over a shared
+    //    columnar view: the SCM fit below reuses its cached statistics.
+    let view = data.view();
+    let model = learn_causal_model_on(
+        &view,
         &data.names,
         &sim.model.tiers(),
         &DiscoveryOptions::default(),
@@ -40,11 +42,15 @@ fn main() {
     }
 
     // 4. Build the inference engine and estimate causal queries (Stage V).
-    let scm = FittedScm::fit(model.admg.clone(), &data.columns).expect("SCM fit");
+    let scm = FittedScm::fit_view(model.admg.clone(), &view).expect("SCM fit");
     let engine = CausalEngine::new(scm, sim.model.tiers(), Box::new(data.domains(&sim)));
 
     let latency = data.objective_node(0);
-    let cpu = sim.model.space.index_of("CPU Frequency").expect("known option");
+    let cpu = sim
+        .model
+        .space
+        .index_of("CPU Frequency")
+        .expect("known option");
 
     // "What is the causal effect of the CPU clock on encode latency?"
     if let QueryAnswer::Effect(ace) = engine.estimate(&PerformanceQuery::CausalEffect {
@@ -56,34 +62,28 @@ fn main() {
 
     // "E[latency | do(CPU Frequency = 0.3)] vs do(CPU Frequency = 2.0)"
     for (label, v) in [("0.3 GHz", 0.3), ("2.0 GHz", 2.0)] {
-        if let QueryAnswer::Expectation(e) =
-            engine.estimate(&PerformanceQuery::ExpectedObjective {
-                interventions: vec![(cpu, v)],
-                objective: latency,
-            })
-        {
+        if let QueryAnswer::Expectation(e) = engine.estimate(&PerformanceQuery::ExpectedObjective {
+            interventions: vec![(cpu, v)],
+            objective: latency,
+        }) {
             println!("E[Latency | do(CPU Frequency = {label})] = {e:.2} s");
         }
     }
 
     // "P(latency <= 30 s | do(CPU Frequency = 2.0 GHz))" — the paper's
     // P(Th > 40/s | do(BufferSize = 6k)) style QoS query.
-    if let QueryAnswer::Probability(p) =
-        engine.estimate(&PerformanceQuery::ProbabilityOfQos {
-            interventions: vec![(cpu, 2.0)],
-            objective: latency,
-            threshold: 30.0,
-        })
-    {
+    if let QueryAnswer::Probability(p) = engine.estimate(&PerformanceQuery::ProbabilityOfQos {
+        interventions: vec![(cpu, 2.0)],
+        objective: latency,
+        threshold: 30.0,
+    }) {
         println!("P(Latency <= 30 s | do(CPU Frequency = 2.0 GHz)) = {p:.2}");
     }
 
     // 5. Or phrase the same questions textually (the query DSL).
-    let parsed = unicorn::inference::parse_query(
-        &data.names,
-        "P(Latency <= 30 | do(CPU Frequency = 2.0))",
-    )
-    .expect("well-formed query");
+    let parsed =
+        unicorn::inference::parse_query(&data.names, "P(Latency <= 30 | do(CPU Frequency = 2.0))")
+            .expect("well-formed query");
     if let QueryAnswer::Probability(p) = engine.estimate(&parsed) {
         println!("DSL query answered: {p:.2}");
     }

@@ -11,9 +11,7 @@ use std::time::Instant;
 use unicorn::core::{debug_fault, UnicornOptions};
 use unicorn::discovery::DiscoveryOptions;
 use unicorn::systems::scalability::sqlite_variant;
-use unicorn::systems::{
-    discover_faults, Environment, FaultDiscoveryOptions, Hardware, Simulator,
-};
+use unicorn::systems::{discover_faults, Environment, FaultDiscoveryOptions, Hardware, Simulator};
 
 fn main() {
     let model = sqlite_variant(242, 288);
@@ -28,7 +26,11 @@ fn main() {
 
     let catalog = discover_faults(
         &sim,
-        &FaultDiscoveryOptions { n_samples: 400, ace_bases: 4, ..Default::default() },
+        &FaultDiscoveryOptions {
+            n_samples: 400,
+            ace_bases: 4,
+            ..Default::default()
+        },
     );
     let fault = catalog
         .faults
@@ -53,7 +55,12 @@ fn main() {
             relearn_every: 4,
             // Depth-1 conditioning is ample at this dimensionality and
             // keeps the 530-variable search interactive.
-            discovery: DiscoveryOptions { alpha: 1e-4, max_depth: 1, pds_depth: 0, ..Default::default() },
+            discovery: DiscoveryOptions {
+                alpha: 1e-4,
+                max_depth: 1,
+                pds_depth: 0,
+                ..Default::default()
+            },
             ..Default::default()
         },
     );

@@ -8,12 +8,10 @@
 //! ```
 
 use unicorn::core::{
-    learn_source_state, score_debugging, transfer_debug, TransferMode,
-    UnicornOptions,
+    learn_source_state, score_debugging, transfer_debug, TransferMode, UnicornOptions,
 };
 use unicorn::systems::{
-    discover_faults, Environment, FaultDiscoveryOptions, Hardware, Simulator,
-    SubjectSystem,
+    discover_faults, Environment, FaultDiscoveryOptions, Hardware, Simulator, SubjectSystem,
 };
 
 fn main() {
@@ -30,7 +28,10 @@ fn main() {
 
     let catalog = discover_faults(
         &target,
-        &FaultDiscoveryOptions { n_samples: 800, ..Default::default() },
+        &FaultDiscoveryOptions {
+            n_samples: 800,
+            ..Default::default()
+        },
     );
     let fault = catalog
         .faults
@@ -43,15 +44,26 @@ fn main() {
         fault.objectives, fault.true_objectives[1]
     );
 
-    let opts = UnicornOptions { initial_samples: 60, budget: 10, ..Default::default() };
-    println!("\nlearning source model on Xavier ({} samples)…", opts.initial_samples);
+    let opts = UnicornOptions {
+        initial_samples: 60,
+        budget: 10,
+        ..Default::default()
+    };
+    println!(
+        "\nlearning source model on Xavier ({} samples)…",
+        opts.initial_samples
+    );
     let src_state = learn_source_state(&source, &opts);
     println!(
         "source model: {} directed edges",
         src_state.model.admg.directed_edges().len()
     );
 
-    for mode in [TransferMode::Reuse, TransferMode::Update(25), TransferMode::Rerun] {
+    for mode in [
+        TransferMode::Reuse,
+        TransferMode::Update(25),
+        TransferMode::Rerun,
+    ] {
         let out = transfer_debug(&src_state, &target, fault, &catalog, &opts, mode);
         let scores = score_debugging(
             fault,

@@ -13,13 +13,39 @@
 //!
 //! | Module | Crate | Contents |
 //! |--------|-------|----------|
-//! | [`stats`] | `unicorn-stats` | numerics, CI tests, entropy, regression, Pareto |
+//! | [`stats`] | `unicorn-stats` | numerics, CI tests, entropy, regression, Pareto, the `DataView` data layer |
 //! | [`graph`] | `unicorn-graph` | PAGs, ADMGs, m-separation, causal paths, SHD |
 //! | [`discovery`] | `unicorn-discovery` | PC-stable, FCI, LatentSearch, entropic orientation |
 //! | [`inference`] | `unicorn-inference` | fitted SCMs, ACE/ICE, repairs, queries |
 //! | [`systems`] | `unicorn-systems` | simulated testbed, fault catalog, environments |
 //! | [`core`] | `unicorn-core` | the Unicorn loop: debugging, optimization, transfer |
 //! | [`baselines`] | `unicorn-baselines` | CBI, DD, EnCore, BugDoc, SMAC, PESMO |
+//!
+//! ## The `DataView` data layer
+//!
+//! Every stage of the pipeline reads the same observational sample
+//! thousands of times, so the workspace shares one columnar representation:
+//! [`stats::dataview::DataView`], an immutable, `Arc`-shared table of `f64`
+//! columns carrying lazily-computed cached sufficient statistics — per-
+//! column moments, the Pearson correlation matrix backing Fisher-Z, cached
+//! per-column discretizations, an LRU of joint conditioning-set codes (the
+//! G-test contingency substrate), and an LRU of memoized CI outcomes.
+//!
+//! **Ownership.** A view is immutable; `clone` is an `Arc` bump, and every
+//! clone shares the same caches. [`systems`]' `Dataset::view()` produces
+//! one; `discovery::learn_causal_model_on`, `inference::FittedScm::fit_view`,
+//! and the `core` loop all consume it, so structure learning, SCM fitting,
+//! and ACE queries hit the same warm caches.
+//!
+//! **Invalidation.** Growing the sample (Stage IV of the active-learning
+//! loop) goes through `DataView::append_rows` / `append_row`, which
+//! returns a *new* view over the extended columns with fresh, empty
+//! caches; statistics of the old sample are never silently reused, and
+//! outstanding clones of the old view remain valid. Cached values are pure
+//! functions of the immutable column data, so cached reads are
+//! bit-identical to direct recomputation (`tests/dataview_equivalence.rs`
+//! asserts this, along with thread-count-independence of the parallel
+//! PC-stable sweep).
 //!
 //! ## Quickstart
 //!

@@ -1,0 +1,148 @@
+//! Equivalence guarantees of the columnar data layer:
+//!
+//! 1. CI tests over a cached [`DataView`] return **bit-identical**
+//!    statistics and p-values to direct (uncached) computation.
+//! 2. The parallel PC-stable skeleton produces the same graph, sepsets,
+//!    and CI-test count for every worker-thread count.
+//! 3. The full discovery pipeline over a view equals the column-based
+//!    entry point.
+
+use unicorn::discovery::{
+    learn_causal_model, learn_causal_model_on, pc_skeleton_with_threads, DiscoveryOptions,
+};
+use unicorn::stats::dataview::DataView;
+use unicorn::stats::independence::{CiTest, MixedTest};
+use unicorn::systems::{generate, Environment, Hardware, Simulator, SubjectSystem};
+
+fn testbed(n: usize) -> (unicorn::systems::Dataset, Simulator) {
+    let sim = Simulator::new(
+        SubjectSystem::X264.build(),
+        Environment::on(Hardware::Tx2),
+        11,
+    );
+    let ds = generate(&sim, n, 0xAB);
+    (ds, sim)
+}
+
+#[test]
+fn cached_ci_results_bit_identical_to_direct() {
+    let (ds, _) = testbed(120);
+    let view = ds.view();
+    let direct = MixedTest::new(&ds.columns);
+    let cached = MixedTest::from_view(&view);
+    let p = ds.columns.len();
+    // A deterministic battery over pairs with assorted conditioning sets.
+    let mut checked = 0usize;
+    for x in 0..p.min(12) {
+        for y in (x + 1)..p.min(12) {
+            for z in [vec![], vec![(y + 1) % p], vec![(x + 2) % p, (y + 3) % p]] {
+                if z.contains(&x) || z.contains(&y) {
+                    continue;
+                }
+                let a = direct.test(x, y, &z);
+                let b = cached.test(x, y, &z);
+                assert_eq!(
+                    a.statistic.to_bits(),
+                    b.statistic.to_bits(),
+                    "statistic differs at ({x},{y}|{z:?})"
+                );
+                assert_eq!(
+                    a.p_value.to_bits(),
+                    b.p_value.to_bits(),
+                    "p-value differs at ({x},{y}|{z:?})"
+                );
+                // Second query must be served by the cache, identically.
+                let c = cached.test(x, y, &z);
+                assert_eq!(b.p_value.to_bits(), c.p_value.to_bits());
+                // Permuted arguments (swapped pair, reversed conditioning
+                // set) must produce the same bits on both backends — the
+                // cache entry written above must not leak rounding from
+                // one argument order into another.
+                let zr: Vec<usize> = z.iter().rev().copied().collect();
+                let d = direct.test(y, x, &zr);
+                let e = cached.test(y, x, &zr);
+                assert_eq!(a.p_value.to_bits(), d.p_value.to_bits());
+                assert_eq!(d.p_value.to_bits(), e.p_value.to_bits());
+                checked += 1;
+            }
+        }
+    }
+    assert!(checked > 50, "battery too small: {checked}");
+    assert!(
+        view.ci_cache_hits() >= checked as u64,
+        "cache was not exercised"
+    );
+}
+
+#[test]
+fn parallel_skeleton_identical_across_thread_counts() {
+    let (ds, sim) = testbed(150);
+    let tiers = sim.model.tiers();
+    let view = ds.view();
+    let n = ds.names.len();
+
+    let run = |threads: usize| {
+        // Fresh view per run so cache state cannot leak between runs.
+        let view = DataView::from_columns(view.columns());
+        let test = MixedTest::from_view(&view);
+        pc_skeleton_with_threads(&test, &ds.names, &tiers, 0.05, 2, threads)
+    };
+    let baseline = run(1);
+    for threads in [2, 8] {
+        let sk = run(threads);
+        assert_eq!(
+            sk.n_tests, baseline.n_tests,
+            "CI-test count differs at {threads} threads"
+        );
+        for x in 0..n {
+            for y in (x + 1)..n {
+                assert_eq!(
+                    sk.graph.adjacent(x, y),
+                    baseline.graph.adjacent(x, y),
+                    "edge ({x},{y}) differs at {threads} threads"
+                );
+                assert_eq!(
+                    sk.sepsets.get(x, y),
+                    baseline.sepsets.get(x, y),
+                    "sepset ({x},{y}) differs at {threads} threads"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn view_pipeline_equals_column_pipeline() {
+    let (ds, sim) = testbed(150);
+    let tiers = sim.model.tiers();
+    let opts = DiscoveryOptions {
+        max_depth: 1,
+        pds_depth: 1,
+        ..Default::default()
+    };
+    let by_columns = learn_causal_model(&ds.columns, &ds.names, &tiers, &opts);
+    let by_view = learn_causal_model_on(&ds.view(), &ds.names, &tiers, &opts);
+    assert_eq!(
+        by_columns.admg.directed_edges(),
+        by_view.admg.directed_edges()
+    );
+    assert_eq!(
+        by_columns.admg.bidirected_edges(),
+        by_view.admg.bidirected_edges()
+    );
+    assert_eq!(by_columns.n_ci_tests, by_view.n_ci_tests);
+}
+
+#[test]
+fn append_rows_equals_rebuild() {
+    let (ds, sim) = testbed(60);
+    let more = generate(&sim, 15, 0xCD);
+    let grown = ds
+        .view()
+        .append_rows(&(0..more.n_rows()).map(|r| more.row(r)).collect::<Vec<_>>());
+    let rebuilt = ds.extended_with(&more).view();
+    assert_eq!(grown.n_rows(), 75);
+    assert_eq!(grown.columns(), rebuilt.columns());
+    // Statistics computed on the grown view match a from-scratch build.
+    assert_eq!(*grown.correlation(), *rebuilt.correlation());
+}

@@ -6,7 +6,12 @@ use unicorn::graph::structural_hamming_distance;
 use unicorn::systems::{generate, Environment, Hardware, Simulator, SubjectSystem};
 
 fn opts() -> DiscoveryOptions {
-    DiscoveryOptions { alpha: 0.01, max_depth: 2, pds_depth: 0, ..Default::default() }
+    DiscoveryOptions {
+        alpha: 0.01,
+        max_depth: 2,
+        pds_depth: 0,
+        ..Default::default()
+    }
 }
 
 #[test]
@@ -26,9 +31,7 @@ fn learned_edges_are_mostly_true_edges() {
         // Count an edge as correct if the ground truth has the adjacency
         // (orientation may legitimately differ within the equivalence
         // class for event-event links).
-        if truth.directed_edges().contains(&(f, t))
-            || truth.directed_edges().contains(&(t, f))
-        {
+        if truth.directed_edges().contains(&(f, t)) || truth.directed_edges().contains(&(t, f)) {
             correct += 1;
         } else {
             wrong += 1;
@@ -81,6 +84,9 @@ fn tier_constraints_hold_in_learned_models() {
         assert!(f < n_opt + n_ev, "edge out of objective: {f} -> {t}");
     }
     for &(a, b) in model.admg.bidirected_edges() {
-        assert!(a >= n_opt && b >= n_opt, "bidirected edge touching an option");
+        assert!(
+            a >= n_opt && b >= n_opt,
+            "bidirected edge touching an option"
+        );
     }
 }

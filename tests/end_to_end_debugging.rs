@@ -3,8 +3,7 @@
 
 use unicorn::core::{debug_fault, score_debugging, UnicornOptions};
 use unicorn::systems::{
-    discover_faults, Environment, FaultDiscoveryOptions, Hardware, Simulator,
-    SubjectSystem,
+    discover_faults, Environment, FaultDiscoveryOptions, Hardware, Simulator, SubjectSystem,
 };
 
 fn fixture() -> (Simulator, unicorn::systems::FaultCatalog) {
@@ -15,7 +14,11 @@ fn fixture() -> (Simulator, unicorn::systems::FaultCatalog) {
     );
     let catalog = discover_faults(
         &sim,
-        &FaultDiscoveryOptions { n_samples: 600, ace_bases: 4, ..Default::default() },
+        &FaultDiscoveryOptions {
+            n_samples: 600,
+            ace_bases: 4,
+            ..Default::default()
+        },
     );
     (sim, catalog)
 }
@@ -32,7 +35,11 @@ fn unicorn_repairs_a_latency_fault_with_positive_gain() {
         &sim,
         fault,
         &catalog,
-        &UnicornOptions { initial_samples: 60, budget: 12, ..Default::default() },
+        &UnicornOptions {
+            initial_samples: 60,
+            budget: 12,
+            ..Default::default()
+        },
     );
     let after = sim.true_objectives(&out.best_config);
     let scores = score_debugging(
@@ -62,17 +69,17 @@ fn diagnosis_overlaps_ground_truth_root_causes() {
     let fault = catalog
         .faults
         .iter()
-        .max_by(|a, b| {
-            a.root_causes
-                .len()
-                .cmp(&b.root_causes.len())
-        })
+        .max_by(|a, b| a.root_causes.len().cmp(&b.root_causes.len()))
         .expect("fault exists");
     let out = debug_fault(
         &sim,
         fault,
         &catalog,
-        &UnicornOptions { initial_samples: 60, budget: 12, ..Default::default() },
+        &UnicornOptions {
+            initial_samples: 60,
+            budget: 12,
+            ..Default::default()
+        },
     );
     // At least one diagnosed option must be a true root cause — the ACE
     // ranking pushes the heavy hitters first.
@@ -96,7 +103,11 @@ fn multi_objective_fault_repair_improves_both_objectives() {
     );
     let catalog = discover_faults(
         &sim,
-        &FaultDiscoveryOptions { n_samples: 900, ace_bases: 4, ..Default::default() },
+        &FaultDiscoveryOptions {
+            n_samples: 900,
+            ace_bases: 4,
+            ..Default::default()
+        },
     );
     let Some(fault) = catalog.faults.iter().find(|f| f.is_multi_objective()) else {
         // Multi-objective tail faults are rare at this sample size; the
@@ -107,7 +118,11 @@ fn multi_objective_fault_repair_improves_both_objectives() {
         &sim,
         fault,
         &catalog,
-        &UnicornOptions { initial_samples: 60, budget: 12, ..Default::default() },
+        &UnicornOptions {
+            initial_samples: 60,
+            budget: 12,
+            ..Default::default()
+        },
     );
     let after = sim.true_objectives(&out.best_config);
     for &o in &fault.objectives {

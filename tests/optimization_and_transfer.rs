@@ -4,12 +4,11 @@
 
 use unicorn::baselines::{smac_optimize, SmacOptions};
 use unicorn::core::{
-    learn_source_state, optimize_single, transfer_debug, TransferMode,
-    UnicornOptions,
+    learn_source_state, optimize_single, transfer_debug, TransferMode, UnicornOptions,
 };
 use unicorn::systems::{
-    discover_faults, generate, Environment, FaultDiscoveryOptions, Hardware,
-    Simulator, SubjectSystem,
+    discover_faults, generate, Environment, FaultDiscoveryOptions, Hardware, Simulator,
+    SubjectSystem,
 };
 
 #[test]
@@ -19,7 +18,11 @@ fn optimization_beats_random_sampling_at_equal_budget() {
         Environment::on(Hardware::Tx2),
         61,
     );
-    let opts = UnicornOptions { initial_samples: 30, budget: 30, ..Default::default() };
+    let opts = UnicornOptions {
+        initial_samples: 30,
+        budget: 30,
+        ..Default::default()
+    };
     let out = optimize_single(&sim, 0, &opts);
     // Random baseline with the same total measurement count.
     let random = generate(&sim, 60, 999);
@@ -46,12 +49,20 @@ fn unicorn_and_smac_both_minimize_energy() {
     let uni = optimize_single(
         &sim,
         1,
-        &UnicornOptions { initial_samples: 25, budget: 25, ..Default::default() },
+        &UnicornOptions {
+            initial_samples: 25,
+            budget: 25,
+            ..Default::default()
+        },
     );
     let smac = smac_optimize(
         &sim,
         1,
-        &SmacOptions { n_init: 25, budget: 50, ..Default::default() },
+        &SmacOptions {
+            n_init: 25,
+            budget: 50,
+            ..Default::default()
+        },
     );
     // Both must land clearly below the default configuration.
     let default_energy = sim.true_objectives(&sim.model.space.default_config())[1];
@@ -73,10 +84,18 @@ fn transfer_reuse_close_to_rerun() {
     );
     let catalog = discover_faults(
         &target,
-        &FaultDiscoveryOptions { n_samples: 500, ace_bases: 4, ..Default::default() },
+        &FaultDiscoveryOptions {
+            n_samples: 500,
+            ace_bases: 4,
+            ..Default::default()
+        },
     );
     let fault = catalog.faults.first().expect("fault exists");
-    let opts = UnicornOptions { initial_samples: 50, budget: 8, ..Default::default() };
+    let opts = UnicornOptions {
+        initial_samples: 50,
+        budget: 8,
+        ..Default::default()
+    };
     let src_state = learn_source_state(&source, &opts);
 
     let o = fault.objectives[0];
@@ -94,5 +113,8 @@ fn transfer_reuse_close_to_rerun() {
         reuse >= rerun - 35.0,
         "reuse gain {reuse:.1}% collapsed vs rerun {rerun:.1}%"
     );
-    assert!(reuse > 0.0, "reused model failed to improve the fault at all");
+    assert!(
+        reuse > 0.0,
+        "reused model failed to improve the fault at all"
+    );
 }

@@ -23,7 +23,12 @@ fn large_sqlite_variant_learns_within_time_cap() {
         // Bonferroni-style alpha: at 530 variables the skeleton runs
         // ~1e5 pairwise tests, so a 0.05 level would admit thousands of
         // false edges and destroy the sparsity the method relies on.
-        &DiscoveryOptions { alpha: 1e-4, max_depth: 1, pds_depth: 0, ..Default::default() },
+        &DiscoveryOptions {
+            alpha: 1e-4,
+            max_depth: 1,
+            pds_depth: 0,
+            ..Default::default()
+        },
     );
     let elapsed = start.elapsed();
     assert!(
@@ -37,8 +42,9 @@ fn large_sqlite_variant_learns_within_time_cap() {
         learned.admg.average_degree()
     );
     // Causal paths into the objectives stay enumerable.
-    let objectives: Vec<usize> =
-        (0..sim.model.n_objectives()).map(|o| ds.objective_node(o)).collect();
+    let objectives: Vec<usize> = (0..sim.model.n_objectives())
+        .map(|o| ds.objective_node(o))
+        .collect();
     let paths = count_causal_paths(&learned.admg, &objectives, 10_000);
     assert!(paths < 10_000, "path explosion: {paths}");
 }
@@ -52,7 +58,10 @@ fn padded_deepstream_matches_base_objectives() {
     let a = base.true_objectives(&cfg, &env);
     let b = padded.true_objectives(&cfg, &env);
     for (x, y) in a.iter().zip(&b) {
-        assert!((x - y).abs() < 1e-9, "padding changed objectives: {x} vs {y}");
+        assert!(
+            (x - y).abs() < 1e-9,
+            "padding changed objectives: {x} vs {y}"
+        );
     }
 }
 
@@ -60,5 +69,8 @@ fn padded_deepstream_matches_base_objectives() {
 fn degree_drops_as_padding_grows() {
     let small = sqlite_variant(34, 19).true_admg().average_degree();
     let large = sqlite_variant(242, 288).true_admg().average_degree();
-    assert!(large < small, "degree did not drop: {small:.2} -> {large:.2}");
+    assert!(
+        large < small,
+        "degree did not drop: {small:.2} -> {large:.2}"
+    );
 }

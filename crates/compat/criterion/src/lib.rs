@@ -8,11 +8,72 @@
 //!   group's `sample_size`, or 20).
 //! * `UNICORN_BENCH_MAX_SECS` — soft wall-clock budget per benchmark
 //!   (default 5s): sampling stops early once exceeded.
+//! * `UNICORN_BENCH_JSON` — when set to a path, every benchmark's
+//!   min/mean/max and sample count are additionally written there as a
+//!   machine-readable JSON report when the suite finishes (the per-PR
+//!   perf-trajectory artifact uploaded by CI).
 
 use std::fmt::Display;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
+
+/// One reported benchmark, collected for the optional JSON report.
+struct ReportEntry {
+    name: String,
+    min_ns: u128,
+    mean_ns: u128,
+    max_ns: u128,
+    samples: usize,
+}
+
+fn report_log() -> &'static Mutex<Vec<ReportEntry>> {
+    static LOG: Mutex<Vec<ReportEntry>> = Mutex::new(Vec::new());
+    &LOG
+}
+
+/// Writes the collected results to `$UNICORN_BENCH_JSON` (no-op when the
+/// variable is unset). Called by `criterion_main!` after all groups ran;
+/// safe to call repeatedly — the file reflects everything reported so far.
+pub fn write_json_report() {
+    let Ok(path) = std::env::var("UNICORN_BENCH_JSON") else {
+        return;
+    };
+    // Minimal JSON string escaping (Rust's {:?} uses \u{..}, which JSON
+    // does not accept).
+    fn json_string(s: &str) -> String {
+        let mut out = String::with_capacity(s.len() + 2);
+        out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+        out
+    }
+    let entries = report_log().lock().expect("report log poisoned");
+    let mut out = String::from("{\n  \"benchmarks\": [\n");
+    for (i, e) in entries.iter().enumerate() {
+        let sep = if i + 1 < entries.len() { "," } else { "" };
+        out.push_str(&format!(
+            "    {{\"name\": {}, \"min_ns\": {}, \"mean_ns\": {}, \"max_ns\": {}, \"samples\": {}}}{sep}\n",
+            json_string(&e.name),
+            e.min_ns,
+            e.mean_ns,
+            e.max_ns,
+            e.samples
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    if let Err(err) = std::fs::write(&path, out) {
+        eprintln!("failed to write bench report to {path}: {err}");
+    }
+}
 
 /// Labels a parameterized benchmark within a group.
 pub struct BenchmarkId {
@@ -94,6 +155,16 @@ fn report(name: &str, times: &[Duration]) {
         fmt_dur(max),
         times.len()
     );
+    report_log()
+        .lock()
+        .expect("report log poisoned")
+        .push(ReportEntry {
+            name: name.to_string(),
+            min_ns: min.as_nanos(),
+            mean_ns: mean.as_nanos(),
+            max_ns: max.as_nanos(),
+            samples: times.len(),
+        });
 }
 
 fn fmt_dur(d: Duration) -> String {
@@ -198,12 +269,14 @@ macro_rules! criterion_group {
     };
 }
 
-/// Declares `main` for one or more suites.
+/// Declares `main` for one or more suites, writing the optional JSON
+/// report (`UNICORN_BENCH_JSON`) after the last group finishes.
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $( $group(); )+
+            $crate::write_json_report();
         }
     };
 }

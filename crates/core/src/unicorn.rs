@@ -8,7 +8,9 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use unicorn_discovery::{learn_causal_model_on, DiscoveryOptions, LearnedModel};
+use unicorn_discovery::{
+    learn_causal_model_incremental, DiscoveryOptions, LearnedModel, RelearnSession,
+};
 use unicorn_graph::NodeId;
 use unicorn_inference::{CausalEngine, FittedScm, RepairOptions};
 use unicorn_stats::dataview::DataView;
@@ -84,6 +86,13 @@ pub struct UnicornState {
     pub since_relearn: usize,
     /// Total measurements taken by the loop (excluding initial samples).
     pub measurements: usize,
+    /// Warm-start state for the incremental relearn path (previous
+    /// skeleton + model, keyed by data version and parameters).
+    session: RelearnSession,
+    /// The most recently fitted SCM, reused by [`Self::engine`]: returned
+    /// as-is while the data and structure are unchanged, warm-refit
+    /// (structure reused, regressions redone) when only the data grew.
+    scm: Option<FittedScm>,
     rng: StdRng,
 }
 
@@ -93,7 +102,14 @@ impl UnicornState {
     pub fn bootstrap(sim: &Simulator, opts: &UnicornOptions) -> Self {
         let data = unicorn_systems::generate(sim, opts.initial_samples, opts.seed);
         let view = data.view();
-        let model = learn_causal_model_on(&view, &data.names, &sim.model.tiers(), &opts.discovery);
+        let mut session = RelearnSession::default();
+        let model = learn_causal_model_incremental(
+            &view,
+            &data.names,
+            &sim.model.tiers(),
+            &opts.discovery,
+            &mut session,
+        );
         Self {
             data,
             view,
@@ -101,6 +117,8 @@ impl UnicornState {
             model,
             since_relearn: 0,
             measurements: 0,
+            session,
+            scm: None,
             rng: StdRng::seed_from_u64(opts.seed ^ 0x5EED),
         }
     }
@@ -129,10 +147,20 @@ impl UnicornState {
         &self.view
     }
 
-    /// Builds the causal engine over the current structure and data.
+    /// Builds the causal engine over the current structure and data. The
+    /// SCM is cached across builds: unchanged data + structure is an `Arc`
+    /// bump, a grown sample with an unchanged ADMG takes the warm-refit
+    /// path ([`FittedScm::refit_view`]), and only a structure change pays a
+    /// cold fit — all three produce identical fits.
     pub fn engine(&mut self, sim: &Simulator, opts: &UnicornOptions) -> CausalEngine {
         self.sync_view();
-        let scm = FittedScm::fit_view(self.model.admg.clone(), &self.view).expect("SCM fit failed");
+        let scm = match self.scm.take() {
+            Some(prev) if prev.admg() == &self.model.admg => {
+                prev.refit_view(&self.view).expect("SCM refit failed")
+            }
+            _ => FittedScm::fit_view(self.model.admg.clone(), &self.view).expect("SCM fit failed"),
+        };
+        self.scm = Some(scm.clone());
         CausalEngine::new(scm, sim.model.tiers(), Box::new(self.data.domains(sim)))
             .with_repair_options(opts.repair.clone())
     }
@@ -146,11 +174,14 @@ impl UnicornState {
     }
 
     /// Replaces the accumulated dataset wholesale (transfer workflows) and
-    /// rebuilds the view over it.
+    /// rebuilds the view over it, dropping warm-start state that referred
+    /// to the replaced sample.
     pub fn replace_data(&mut self, data: Dataset) {
         self.pending.clear();
         self.view = data.view();
         self.data = data;
+        self.session.clear();
+        self.scm = None;
     }
 
     /// Measures a configuration, appends the sample, and relearns the
@@ -171,14 +202,19 @@ impl UnicornState {
         sample
     }
 
-    /// Forces a structure relearn from all accumulated data (Stage IV).
+    /// Forces a structure relearn from all accumulated data (Stage IV):
+    /// staged rows are folded in as one epoch bump, then the incremental
+    /// path (merged sufficient statistics, surviving epoch-tagged caches,
+    /// skeleton warm start) relearns the structure — bit-identical to a
+    /// cold relearn on the same sample.
     pub fn relearn(&mut self, sim: &Simulator, opts: &UnicornOptions) {
         self.sync_view();
-        self.model = learn_causal_model_on(
+        self.model = learn_causal_model_incremental(
             &self.view,
             &self.data.names,
             &sim.model.tiers(),
             &opts.discovery,
+            &mut self.session,
         );
         self.since_relearn = 0;
     }
@@ -270,12 +306,16 @@ impl UnicornState {
         UnicornState {
             data: self.data.clone(),
             // Arc bump: the fork shares the parent's view (and its warm
-            // caches) until its first own fold copies-on-append.
+            // caches) until its first own fold — which, as a second append
+            // from the shared view, starts a fresh cache lineage so the
+            // branches cannot contaminate each other.
             view: self.view.clone(),
             pending: self.pending.clone(),
             model: self.model.clone(),
             since_relearn: 0,
             measurements: 0,
+            session: self.session.clone(),
+            scm: self.scm.clone(),
             rng: StdRng::seed_from_u64(seed ^ 0x7272),
         }
     }

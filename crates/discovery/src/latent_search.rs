@@ -16,7 +16,7 @@ use rand::{Rng, SeedableRng};
 use unicorn_stats::entropy::{entropy, entropy_of_dist, mutual_information};
 
 /// Tuning parameters for LatentSearch.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LatentSearchOptions {
     /// Latent cardinality to search over.
     pub z_arity: usize,
@@ -110,11 +110,20 @@ fn latent_search_once(
         .map(|yi| (0..xa).map(|xi| p_xy[xi][yi]).sum())
         .collect();
 
+    // `q(z)^{1−β}` is identically 1 at the default β = 1 — skip the powf
+    // (x^0 ≡ 1 and u/1.0 ≡ u exactly, so this changes no bits).
+    let z_exponent = 1.0 - opts.beta;
+    let mut q_z = vec![0.0; za];
+    let mut q_zx = vec![vec![0.0; xa]; za]; // q(z, x)
+    let mut q_zy = vec![vec![0.0; ya]; za]; // q(z, y)
+    let mut raw = vec![0.0; za];
     for _ in 0..opts.iters {
         // E-step quantities from the current q.
-        let mut q_z = vec![0.0; za];
-        let mut q_zx = vec![vec![0.0; xa]; za]; // q(z, x)
-        let mut q_zy = vec![vec![0.0; ya]; za]; // q(z, y)
+        q_z.iter_mut().for_each(|v| *v = 0.0);
+        q_zx.iter_mut()
+            .for_each(|r| r.iter_mut().for_each(|v| *v = 0.0));
+        q_zy.iter_mut()
+            .for_each(|r| r.iter_mut().for_each(|v| *v = 0.0));
         for zi in 0..za {
             for xi in 0..xa {
                 for yi in 0..ya {
@@ -135,12 +144,15 @@ fn latent_search_once(
                     continue;
                 }
                 let mut total = 0.0;
-                let mut raw = vec![0.0; za];
                 for zi in 0..za {
                     let qzx = q_zx[zi][xi] / p_x[xi];
                     let qzy = q_zy[zi][yi] / p_y[yi];
-                    let qz = q_z[zi].max(1e-300);
-                    raw[zi] = (qzx * qzy) / qz.powf(1.0 - opts.beta);
+                    let num = qzx * qzy;
+                    raw[zi] = if z_exponent == 0.0 {
+                        num
+                    } else {
+                        num / q_z[zi].max(1e-300).powf(z_exponent)
+                    };
                     total += raw[zi];
                 }
                 if total <= 0.0 {

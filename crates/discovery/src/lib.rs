@@ -43,16 +43,20 @@ pub use entropic::{
 };
 pub use latent_search::{latent_search, LatentSearchOptions, LatentSearchResult};
 pub use orient::{apply_fci_rules, orient_v_structures};
-pub use pds::{pds_prune, possible_d_sep};
+pub use pds::{pds_prune, pds_prune_with_threads, possible_d_sep};
 pub use resolve::{resolve_pag, Resolution, ResolveOptions};
-pub use skeleton::{pc_skeleton, pc_skeleton_with_threads, SepsetMap, Skeleton};
+pub use skeleton::{
+    pc_skeleton, pc_skeleton_incremental, pc_skeleton_with_threads, SepsetMap, Skeleton,
+    SkeletonMemo,
+};
 
 use unicorn_graph::{Admg, MixedGraph, TierConstraints};
 use unicorn_stats::dataview::DataView;
 use unicorn_stats::independence::{CiTest, MixedTest};
+use unicorn_stats::parallel::{default_threads, par_map};
 
 /// End-to-end configuration of the discovery pipeline.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DiscoveryOptions {
     /// CI-test significance level.
     pub alpha: f64,
@@ -69,6 +73,12 @@ pub struct DiscoveryOptions {
     /// Maximum parents re-admitted per objective by the completion pass
     /// (0 disables it).
     pub objective_completion: usize,
+    /// Worker threads for the skeleton sweep, the PDS prune, and the
+    /// completion pass; `None` defers to
+    /// [`unicorn_stats::parallel::default_threads`] (the `UNICORN_THREADS`
+    /// environment variable or the machine's parallelism). Every stage's
+    /// output is independent of this value.
+    pub threads: Option<usize>,
 }
 
 impl Default for DiscoveryOptions {
@@ -80,7 +90,15 @@ impl Default for DiscoveryOptions {
             pds_max_set: 8,
             resolve: ResolveOptions::default(),
             objective_completion: 4,
+            threads: None,
         }
+    }
+}
+
+impl DiscoveryOptions {
+    /// The effective worker-thread count.
+    pub fn effective_threads(&self) -> usize {
+        self.threads.unwrap_or_else(default_threads)
     }
 }
 
@@ -134,8 +152,37 @@ pub fn learn_causal_model_with_test(
     tiers: &TierConstraints,
     opts: &DiscoveryOptions,
 ) -> LearnedModel {
-    // 1. Adjacency search.
-    let mut sk = pc_skeleton(test, names, tiers, opts.alpha, opts.max_depth);
+    learn_pipeline(test, data, names, tiers, opts, None)
+}
+
+/// The shared pipeline body: cold when `memo` is `None`, warm-started
+/// otherwise. Output is a pure function of `(data, names, tiers, opts)`
+/// either way.
+fn learn_pipeline(
+    test: &dyn CiTest,
+    data: &DataView,
+    names: &[String],
+    tiers: &TierConstraints,
+    opts: &DiscoveryOptions,
+    memo: Option<&mut SkeletonMemo>,
+) -> LearnedModel {
+    let threads = opts.effective_threads();
+
+    // 1. Adjacency search (warm-started from the previous skeleton when a
+    //    memo is supplied and the data epoch is unchanged).
+    let mut sk = match memo {
+        Some(memo) => pc_skeleton_incremental(
+            test,
+            data,
+            names,
+            tiers,
+            opts.alpha,
+            opts.max_depth,
+            threads,
+            memo,
+        ),
+        None => pc_skeleton_with_threads(test, names, tiers, opts.alpha, opts.max_depth, threads),
+    };
     let mut n_tests = sk.n_tests;
 
     // 2. Provisional orientation so Possible-D-SEP sees colliders.
@@ -145,13 +192,14 @@ pub fn learn_causal_model_with_test(
     // 3. Possible-D-SEP pruning (the FCI-specific step), then re-orient
     //    from scratch on the reduced skeleton.
     if opts.pds_depth > 0 {
-        n_tests += pds_prune(
+        n_tests += pds_prune_with_threads(
             &mut sk.graph,
             test,
             &mut sk.sepsets,
             opts.alpha,
             opts.pds_depth,
             opts.pds_max_set,
+            threads,
         );
         pds::reset_to_circles(&mut sk.graph);
         tiers.orient(&mut sk.graph);
@@ -181,6 +229,7 @@ pub fn learn_causal_model_with_test(
             tiers,
             opts.alpha,
             opts.objective_completion,
+            threads,
         );
     }
 
@@ -197,12 +246,20 @@ pub fn learn_causal_model_with_test(
 /// dependent on `y` given `y`'s current directed parents (capped
 /// conditioning set), until nothing is significant at `alpha` or
 /// `max_extra` edges were added. Returns the number of CI tests run.
+///
+/// The candidate scan of each greedy step fans out over the worker pool:
+/// every candidate's CI test is independent of the others, and the winner
+/// (first strictly-lowest p-value in candidate order) is reduced from the
+/// ordered results, so the outcome and the test count are identical for
+/// every thread count. The outer greedy loop stays sequential — each step
+/// conditions on the parents admitted by the previous one.
 fn complete_objective_parents(
     admg: &mut Admg,
     test: &dyn CiTest,
     tiers: &TierConstraints,
     alpha: f64,
     max_extra: usize,
+    threads: usize,
 ) -> usize {
     use unicorn_graph::VarKind;
     let mut n_tests = 0usize;
@@ -211,17 +268,19 @@ fn complete_objective_parents(
             let parents = admg.parents(y);
             let mut cond: Vec<usize> = parents.clone();
             cond.truncate(8);
+            let siblings = admg.siblings(y);
+            let candidates: Vec<usize> = (0..tiers.len())
+                .filter(|&x| {
+                    x != y
+                        && tiers.kind(x) != VarKind::Objective
+                        && !parents.contains(&x)
+                        && !siblings.contains(&x)
+                })
+                .collect();
+            n_tests += candidates.len();
+            let outcomes = par_map(&candidates, threads, |_, &x| test.test(x, y, &cond));
             let mut best: Option<(f64, usize)> = None;
-            for x in 0..tiers.len() {
-                if x == y
-                    || tiers.kind(x) == VarKind::Objective
-                    || parents.contains(&x)
-                    || admg.siblings(y).contains(&x)
-                {
-                    continue;
-                }
-                n_tests += 1;
-                let out = test.test(x, y, &cond);
+            for (&x, out) in candidates.iter().zip(outcomes) {
                 if !out.independent(alpha) && best.is_none_or(|(bp, _)| out.p_value < bp) {
                     best = Some((out.p_value, x));
                 }
@@ -239,6 +298,80 @@ fn complete_objective_parents(
     n_tests
 }
 
+/// Warm-start state threaded through successive relearns of one growing
+/// sample: the previous skeleton (with the exact inputs it came from) and
+/// the previous full model keyed by data version + parameters.
+///
+/// [`learn_causal_model_incremental`] consults it to (i) return the
+/// previous model outright when nothing changed — every statistic it would
+/// recompute is a memoized pure function of the identical data — and
+/// (ii) warm-start the skeleton sweep otherwise. The session never affects
+/// *what* is computed, only whether a provably identical recomputation is
+/// skipped; `tests/incremental_relearn.rs` asserts bit-identity against
+/// cold runs across append schedules and thread counts.
+#[derive(Debug, Clone, Default)]
+pub struct RelearnSession {
+    skeleton: SkeletonMemo,
+    model: Option<(ModelKey, LearnedModel)>,
+}
+
+/// Fingerprint of one full pipeline run's inputs.
+#[derive(Debug, Clone, PartialEq)]
+struct ModelKey {
+    lineage: u64,
+    epoch: u64,
+    names: Vec<String>,
+    tiers: TierConstraints,
+    opts: DiscoveryOptions,
+}
+
+impl RelearnSession {
+    /// Drops all memoized state (forces the next relearn cold).
+    pub fn clear(&mut self) {
+        self.skeleton.clear();
+        self.model = None;
+    }
+}
+
+/// [`learn_causal_model_on`] with a warm-start [`RelearnSession`] — the
+/// Stage IV relearn path. The result is **bit-identical** to a cold
+/// [`learn_causal_model_on`] over the same view (graph, sepsets, CI-test
+/// count): after an append every CI outcome is epoch-stale, so the sweep
+/// re-tests every edge — but against O(new rows) merged sufficient
+/// statistics, incrementally extended discretizations, and a CI LRU whose
+/// structure survived the epoch bump; when the data is unchanged the
+/// memoized model is returned without recomputing anything.
+pub fn learn_causal_model_incremental(
+    data: &DataView,
+    names: &[String],
+    tiers: &TierConstraints,
+    opts: &DiscoveryOptions,
+    session: &mut RelearnSession,
+) -> LearnedModel {
+    let key = ModelKey {
+        lineage: data.lineage(),
+        epoch: data.epoch(),
+        names: names.to_vec(),
+        tiers: tiers.clone(),
+        // Every stage's output is thread-count independent (proven by the
+        // equivalence tests), so the worker count must not invalidate the
+        // memo.
+        opts: DiscoveryOptions {
+            threads: None,
+            ..opts.clone()
+        },
+    };
+    if let Some((k, model)) = &session.model {
+        if *k == key {
+            return model.clone();
+        }
+    }
+    let test = MixedTest::from_view(data);
+    let model = learn_pipeline(&test, data, names, tiers, opts, Some(&mut session.skeleton));
+    session.model = Some((key, model.clone()));
+    model
+}
+
 /// Incremental learner: owns the accumulated samples and relearns the model
 /// as new measurements arrive (§4 Stage IV). The FCI pipeline is re-run on
 /// the union of old and new data; because the causal mechanisms are sparse
@@ -246,10 +379,10 @@ fn complete_objective_parents(
 /// decreasing structural hamming distance.
 ///
 /// Samples are staged in a pending buffer; `relearn` folds them into the
-/// current [`DataView`] with [`DataView::append_rows`], so each relearn
-/// pass shares one view (cached correlation matrix, memoized CI outcomes,
-/// cached discretizations) across the skeleton, PDS, resolution, and
-/// completion stages.
+/// current [`DataView`] with [`DataView::append_rows`] — one epoch bump,
+/// O(new rows) — and drives [`learn_causal_model_incremental`], so
+/// successive relearns share merged sufficient statistics, surviving
+/// epoch-tagged caches, and the skeleton warm start.
 #[derive(Debug, Clone)]
 pub struct IncrementalLearner {
     view: DataView,
@@ -257,6 +390,7 @@ pub struct IncrementalLearner {
     names: Vec<String>,
     tiers: TierConstraints,
     opts: DiscoveryOptions,
+    session: RelearnSession,
     model: Option<LearnedModel>,
 }
 
@@ -270,6 +404,7 @@ impl IncrementalLearner {
             names,
             tiers,
             opts,
+            session: RelearnSession::default(),
             model: None,
         }
     }
@@ -285,14 +420,20 @@ impl IncrementalLearner {
         self.pending.push(row.to_vec());
     }
 
-    /// Folds pending samples into the view (invalidating its caches) and
-    /// relearns the model from all accumulated data.
+    /// Folds pending samples into the view (one epoch bump) and relearns
+    /// the model from all accumulated data along the incremental path.
     pub fn relearn(&mut self) -> &LearnedModel {
         if !self.pending.is_empty() {
             self.view = self.view.append_rows(&self.pending);
             self.pending.clear();
         }
-        let model = learn_causal_model_on(&self.view, &self.names, &self.tiers, &self.opts);
+        let model = learn_causal_model_incremental(
+            &self.view,
+            &self.names,
+            &self.tiers,
+            &self.opts,
+            &mut self.session,
+        );
         self.model = Some(model);
         self.model.as_ref().expect("just set")
     }

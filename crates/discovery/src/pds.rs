@@ -11,20 +11,23 @@
 
 use unicorn_graph::{Endpoint, MixedGraph, NodeId};
 use unicorn_stats::independence::CiTest;
+use unicorn_stats::parallel::{default_threads, par_map};
 
 use crate::skeleton::{for_each_subset, SepsetMap};
 
 /// Computes Possible-D-SEP(x) on a partially oriented graph.
 pub fn possible_d_sep(g: &MixedGraph, x: NodeId) -> Vec<NodeId> {
+    let n = g.n_nodes();
     let mut result: Vec<NodeId> = Vec::new();
     // Walk over edges (u, w): states are ordered pairs, extending paths.
-    let mut visited: Vec<(NodeId, NodeId)> = Vec::new();
+    // Visited states live in a dense bitmap — the walk revisits pairs
+    // heavily and a linear scan per pop made this quadratic in edges.
+    let mut visited = vec![false; n * n];
     let mut queue: Vec<(NodeId, NodeId)> = g.adjacencies(x).into_iter().map(|w| (x, w)).collect();
     while let Some((u, w)) = queue.pop() {
-        if visited.contains(&(u, w)) {
+        if std::mem::replace(&mut visited[u * n + w], true) {
             continue;
         }
-        visited.push((u, w));
         if w != x && !result.contains(&w) {
             result.push(w);
         }
@@ -46,6 +49,52 @@ pub fn possible_d_sep(g: &MixedGraph, x: NodeId) -> Vec<NodeId> {
     result
 }
 
+/// What the PDS phase decided about one edge against a fixed graph state.
+struct PdsDecision {
+    /// The separating set when the edge must be removed.
+    sepset: Option<Vec<NodeId>>,
+    /// CI tests this edge's subset search spent.
+    n_tests: usize,
+}
+
+/// The sequential per-edge PDS subset search, as a pure function of the
+/// current graph state (so it can run speculatively on worker threads).
+fn decide_edge(
+    g: &MixedGraph,
+    test: &dyn CiTest,
+    alpha: f64,
+    max_cond: usize,
+    max_pds: usize,
+    x: NodeId,
+    y: NodeId,
+) -> PdsDecision {
+    let mut n_tests = 0usize;
+    let mut sepset: Option<Vec<NodeId>> = None;
+    'directions: for (from, other) in [(x, y), (y, x)] {
+        let mut pds: Vec<NodeId> = possible_d_sep(g, from)
+            .into_iter()
+            .filter(|&v| v != other)
+            .collect();
+        pds.truncate(max_pds);
+        // Sizes 1..=max_cond; size 0 was already covered by PC.
+        for k in 1..=max_cond.min(pds.len()) {
+            let found = for_each_subset(&pds, k, &mut |s| {
+                n_tests += 1;
+                if test.test(x, y, s).independent(alpha) {
+                    sepset = Some(s.to_vec());
+                    true
+                } else {
+                    false
+                }
+            });
+            if found {
+                break 'directions;
+            }
+        }
+    }
+    PdsDecision { sepset, n_tests }
+}
+
 /// Re-tests every remaining edge against subsets of Possible-D-SEP and
 /// removes newly separable ones, recording sepsets. Conditioning sets are
 /// capped at `max_cond` and the PDS sets at `max_pds` nearest members
@@ -59,40 +108,68 @@ pub fn pds_prune(
     max_cond: usize,
     max_pds: usize,
 ) -> usize {
+    pds_prune_with_threads(
+        g,
+        test,
+        sepsets,
+        alpha,
+        max_cond,
+        max_pds,
+        default_threads(),
+    )
+}
+
+/// [`pds_prune`] sharded over `threads` workers, **bit-identical to the
+/// sequential pass** for every thread count (including the CI-test count).
+///
+/// The sequential algorithm is a loop-carried dependency: each edge's
+/// Possible-D-SEP sets are computed on the graph *after* all earlier
+/// removals. Sharding therefore runs in speculative rounds: all pending
+/// edges are decided in parallel against the current graph, decisions are
+/// applied in canonical order up to (and including) the first removal, and
+/// everything after that removal is re-decided against the mutated graph
+/// in the next round. Applied decisions — the only ones whose tests are
+/// counted — were each computed against exactly the graph state the
+/// sequential pass would have seen at that edge's turn, and discarded
+/// speculative tests stay cheap because their outcomes are memoized in the
+/// view's CI cache. Removals are rare in the PDS phase, so the expected
+/// round count is close to one.
+#[allow(clippy::too_many_arguments)]
+pub fn pds_prune_with_threads(
+    g: &mut MixedGraph,
+    test: &dyn CiTest,
+    sepsets: &mut SepsetMap,
+    alpha: f64,
+    max_cond: usize,
+    max_pds: usize,
+    threads: usize,
+) -> usize {
     let mut n_tests = 0usize;
     let edges: Vec<(NodeId, NodeId)> = g.edges().iter().map(|e| (e.a, e.b)).collect();
-    for (x, y) in edges {
-        if !g.adjacent(x, y) {
-            continue;
-        }
-        let mut removed = false;
-        for (from, other) in [(x, y), (y, x)] {
-            let mut pds: Vec<NodeId> = possible_d_sep(g, from)
-                .into_iter()
-                .filter(|&v| v != other)
-                .collect();
-            pds.truncate(max_pds);
-            // Sizes 1..=max_cond; size 0 was already covered by PC.
-            for k in 1..=max_cond.min(pds.len()) {
-                let found = for_each_subset(&pds, k, &mut |s| {
-                    n_tests += 1;
-                    if test.test(x, y, s).independent(alpha) {
-                        sepsets.insert(x, y, s.to_vec());
-                        true
-                    } else {
-                        false
-                    }
-                });
-                if found {
-                    g.remove_edge(x, y);
-                    removed = true;
-                    break;
-                }
-            }
-            if removed {
+    let mut i = 0usize;
+    while i < edges.len() {
+        let pending = &edges[i..];
+        let snapshot: &MixedGraph = g;
+        let decisions = par_map(pending, threads, |_, &(x, y)| {
+            decide_edge(snapshot, test, alpha, max_cond, max_pds, x, y)
+        });
+        let mut advanced = 0usize;
+        for (j, d) in decisions.into_iter().enumerate() {
+            // PDS removals only ever delete the pair under examination, so
+            // pending edges are still adjacent when their turn comes.
+            debug_assert!(g.adjacent(pending[j].0, pending[j].1));
+            n_tests += d.n_tests;
+            advanced = j + 1;
+            if let Some(s) = d.sepset {
+                let (x, y) = pending[j];
+                g.remove_edge(x, y);
+                sepsets.insert(x, y, s);
+                // The graph changed: later decisions may be stale — redo
+                // them against the mutated graph next round.
                 break;
             }
         }
+        i += advanced;
     }
     n_tests
 }

@@ -27,7 +27,7 @@ pub enum Resolution {
 }
 
 /// Options for the resolution step.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ResolveOptions {
     /// Bins for discretizing continuous variables.
     pub bins: usize,

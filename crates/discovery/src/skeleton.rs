@@ -18,6 +18,7 @@
 use std::collections::HashMap;
 
 use unicorn_graph::{MixedGraph, NodeId, TierConstraints};
+use unicorn_stats::dataview::DataView;
 use unicorn_stats::independence::CiTest;
 use unicorn_stats::parallel::{default_threads, par_map};
 
@@ -219,6 +220,85 @@ pub fn pc_skeleton_with_threads(
         sepsets,
         n_tests,
     }
+}
+
+/// Fingerprint of one skeleton run's inputs: the data version (lineage +
+/// epoch uniquely identify the rows a [`DataView`] holds) and every search
+/// parameter that affects the output. Thread count is deliberately absent —
+/// the sweep's output is thread-count independent.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SkeletonKey {
+    lineage: u64,
+    epoch: u64,
+    names: Vec<String>,
+    tiers: TierConstraints,
+    alpha: f64,
+    max_depth: usize,
+}
+
+/// Warm-start state carried between relearns: the previous skeleton and the
+/// exact inputs it was computed from.
+#[derive(Debug, Clone, Default)]
+pub struct SkeletonMemo {
+    prev: Option<(SkeletonKey, Skeleton)>,
+}
+
+impl SkeletonMemo {
+    /// Drops the memo (forces the next run cold).
+    pub fn clear(&mut self) {
+        self.prev = None;
+    }
+}
+
+/// [`pc_skeleton_with_threads`] with a dirty-edge warm start, guaranteed
+/// bit-identical (graph, sepsets, CI-test count) to a cold run on the same
+/// view — asserted by `tests/incremental_relearn.rs`.
+///
+/// The dirty-edge predicate is the per-outcome epoch check of the view's
+/// CI cache ([`DataView::ci_outcome`]): an edge is *dirty* when any CI
+/// outcome it needs was computed at another data epoch. Two regimes fall
+/// out:
+///
+/// * **Unchanged data** (memoized key matches the view's lineage + epoch
+///   and parameters): no edge is dirty; the previous skeleton — provably
+///   what a cold sweep would reproduce, since every test it would run is a
+///   pure function memoized at this epoch — is returned without testing
+///   anything.
+/// * **Appended rows**: appending touches every column's sufficient
+///   statistics, so *every* edge is dirty and the full level sweep re-runs
+///   (required for exactness — a skipped re-test could differ on the new
+///   sample). The sweep still runs against incrementally *merged* inputs:
+///   the O(new rows) correlation matrix and the epoch-refreshed CI cache,
+///   which is where the relearn speedup lives.
+///
+/// Any parameter or lineage mismatch falls back to the cold path.
+#[allow(clippy::too_many_arguments)]
+pub fn pc_skeleton_incremental(
+    test: &dyn CiTest,
+    data: &DataView,
+    names: &[String],
+    tiers: &TierConstraints,
+    alpha: f64,
+    max_depth: usize,
+    threads: usize,
+    memo: &mut SkeletonMemo,
+) -> Skeleton {
+    let key = SkeletonKey {
+        lineage: data.lineage(),
+        epoch: data.epoch(),
+        names: names.to_vec(),
+        tiers: tiers.clone(),
+        alpha,
+        max_depth,
+    };
+    if let Some((k, sk)) = &memo.prev {
+        if *k == key {
+            return sk.clone();
+        }
+    }
+    let sk = pc_skeleton_with_threads(test, names, tiers, alpha, max_depth, threads);
+    memo.prev = Some((key, sk.clone()));
+    sk
 }
 
 #[cfg(test)]

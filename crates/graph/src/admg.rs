@@ -8,7 +8,7 @@ use crate::NodeId;
 use std::collections::BTreeSet;
 
 /// An acyclic directed mixed graph.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Admg {
     names: Vec<String>,
     directed: Vec<(NodeId, NodeId)>,

@@ -25,7 +25,7 @@ pub enum VarKind {
 }
 
 /// Tier constraints over a fixed variable list.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TierConstraints {
     kinds: Vec<VarKind>,
 }

@@ -9,9 +9,12 @@
 //! latent confounders (bidirected edges) survive into the interventional
 //! distribution instead of being discarded.
 
+use std::sync::Arc;
+
 use unicorn_graph::{Admg, NodeId};
 use unicorn_stats::dataview::DataView;
-use unicorn_stats::regression::{fit_terms, PolyModel, Term};
+use unicorn_stats::regression::{fit_gram, PolyModel, Term, TermGram};
+use unicorn_stats::segment::Segment;
 use unicorn_stats::StatsError;
 
 /// How residual noise is injected during simulation.
@@ -38,18 +41,103 @@ struct NodeModel {
     residuals: Vec<f64>,
 }
 
+/// One node's cached regression sufficient statistics: the per-segment
+/// normal-equation contributions of its term set plus their running
+/// in-order folds, keyed by segment identity. A warm refit over a grown
+/// view locates the longest `Arc`-shared segment prefix, starts from that
+/// prefix's cached fold, and computes only the (new or rebuilt-tail)
+/// segments' contributions — O(new rows) per node instead of O(all rows).
+/// Segment prefixes are append-only within a lineage, so pointer equality
+/// of segment `k` certifies the whole prefix `0..=k`.
+#[derive(Debug, Clone)]
+struct NodeGrams {
+    segments: Vec<Arc<Segment>>,
+    grams: Vec<Arc<TermGram>>,
+    /// `folds[k]` = grams[0] + … + grams[k], folded in segment order.
+    folds: Vec<Arc<TermGram>>,
+}
+
+impl NodeGrams {
+    /// Builds the cache for one node over a view's segments, reusing the
+    /// previous cache's work for the shared segment prefix.
+    fn build(
+        view_segments: &[Arc<Segment>],
+        terms: &[Term],
+        v: NodeId,
+        prev: Option<&NodeGrams>,
+    ) -> NodeGrams {
+        let shared = prev.map_or(0, |p| {
+            p.segments
+                .iter()
+                .zip(view_segments)
+                .take_while(|(a, b)| Arc::ptr_eq(a, b))
+                .count()
+        });
+        let mut segments = Vec::with_capacity(view_segments.len());
+        let mut grams = Vec::with_capacity(view_segments.len());
+        let mut folds = Vec::with_capacity(view_segments.len());
+        if let Some(p) = prev {
+            segments.extend(p.segments[..shared].iter().cloned());
+            grams.extend(p.grams[..shared].iter().cloned());
+            folds.extend(p.folds[..shared].iter().cloned());
+        }
+        let mut acc: Option<TermGram> = folds.last().map(|f| TermGram::clone(f));
+        for seg in &view_segments[shared..] {
+            let gram = segment_gram(seg, terms, v);
+            let fold = match acc.take() {
+                Some(mut a) => {
+                    a.add(&gram);
+                    a
+                }
+                None => TermGram::clone(&gram),
+            };
+            segments.push(Arc::clone(seg));
+            grams.push(gram);
+            acc = Some(fold.clone());
+            folds.push(Arc::new(fold));
+        }
+        NodeGrams {
+            segments,
+            grams,
+            folds,
+        }
+    }
+
+    /// The fold over all segments (zeros when the view is empty).
+    fn total(&self, t: usize) -> TermGram {
+        self.folds
+            .last()
+            .map_or_else(|| TermGram::zeros(t), |f| TermGram::clone(f))
+    }
+}
+
 /// A structural causal model fitted to data over a fixed ADMG.
+///
+/// Fitted node models, cached regression Grams, and the topological order
+/// are `Arc`-shared, so cloning an SCM (the engine cache of the
+/// active-learning loop) is a handful of pointer bumps — never a copy of
+/// residual vectors or columns.
 #[derive(Debug, Clone)]
 pub struct FittedScm {
     admg: Admg,
-    nodes: Vec<NodeModel>,
+    nodes: Arc<Vec<NodeModel>>,
+    /// Per-node segment Grams (`None` for roots), consumed by
+    /// [`Self::refit_view`].
+    grams: Arc<Vec<Option<NodeGrams>>>,
     /// Training data as a shared columnar view (kept for root values and
     /// sweeps); cloning the SCM bumps the view's `Arc`, never the columns.
     data: DataView,
-    topo: Vec<NodeId>,
+    topo: Arc<Vec<NodeId>>,
     /// Sweep stride: expectation sweeps visit every `stride`-th row so the
     /// cost stays bounded on large datasets.
     stride: usize,
+}
+
+/// Computes one node's Gram for one segment (the segment's own columns
+/// are exactly one canonical chunk).
+fn segment_gram(seg: &Arc<Segment>, terms: &[Term], v: NodeId) -> Arc<TermGram> {
+    let cols: Vec<&[f64]> = seg.columns().iter().map(Vec::as_slice).collect();
+    Arc::new(TermGram::of_chunk(terms, &cols, seg.col(v)))
 }
 
 /// Builds the polynomial term set for a node given its parents: intercept,
@@ -88,6 +176,7 @@ impl FittedScm {
         let n_vars = admg.n_nodes();
         assert_eq!(columns.len(), n_vars, "column/node count mismatch");
         let mut nodes = Vec::with_capacity(n_vars);
+        let mut grams: Vec<Option<NodeGrams>> = Vec::with_capacity(n_vars);
         for v in 0..n_vars {
             let parents = admg.parents(v);
             if parents.is_empty() {
@@ -96,10 +185,17 @@ impl FittedScm {
                     model: None,
                     residuals: columns[v].clone(),
                 });
+                grams.push(None);
                 continue;
             }
             let terms = node_terms(&parents);
-            let model = fit_terms(columns, &columns[v], &terms)?;
+            // Normal equations accumulated and folded per segment (and
+            // cached for warm refits); the in-order fold is the canonical
+            // chunk fold, so this fit matches one over the contiguous
+            // columns.
+            let node_grams = NodeGrams::build(view.segments(), &terms, v, None);
+            let gram = node_grams.total(terms.len());
+            let model = fit_gram(&gram, columns, &columns[v], &terms)?;
             let pred = model.predict(columns);
             let residuals: Vec<f64> = columns[v]
                 .iter()
@@ -111,15 +207,82 @@ impl FittedScm {
                 model: Some(model),
                 residuals,
             });
+            grams.push(Some(node_grams));
         }
         let topo = admg.topological_order();
         let stride = (n_rows / 256).max(1);
         Ok(Self {
             admg,
-            nodes,
+            nodes: Arc::new(nodes),
+            grams: Arc::new(grams),
             data: view.clone(),
-            topo,
+            topo: Arc::new(topo),
             stride,
+        })
+    }
+
+    /// Warm-start refit over a (typically grown) view of the **same** ADMG:
+    /// reuses the graph, the topological order, each node's parent list
+    /// and polynomial term set, and — the O(new rows) part — every cached
+    /// per-segment Gram whose segment is still `Arc`-shared with the new
+    /// view, so only the appended/rebuilt segments' normal-equation
+    /// contributions are recomputed before re-solving. Because the reused
+    /// structure and Grams are exactly what [`Self::fit_view`] would
+    /// rederive from the same ADMG and rows (term sets are a pure function
+    /// of the parent list; Grams are canonical chunk sums), the result is
+    /// bit-identical to a cold fit. When the view is the very table this
+    /// SCM was fitted on, the fit is returned as a clone (`Arc` bumps)
+    /// without touching the data at all.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `view` has a different column count than the fitted ADMG.
+    pub fn refit_view(&self, view: &DataView) -> Result<Self, StatsError> {
+        if view.same_table(&self.data) {
+            return Ok(self.clone());
+        }
+        let columns = view.columns();
+        assert_eq!(
+            columns.len(),
+            self.nodes.len(),
+            "column/node count mismatch"
+        );
+        let mut nodes = Vec::with_capacity(self.nodes.len());
+        let mut grams: Vec<Option<NodeGrams>> = Vec::with_capacity(self.nodes.len());
+        for (v, prev) in self.nodes.iter().enumerate() {
+            let Some(model) = &prev.model else {
+                nodes.push(NodeModel {
+                    parents: prev.parents.clone(),
+                    model: None,
+                    residuals: columns[v].clone(),
+                });
+                grams.push(None);
+                continue;
+            };
+            let terms = &model.terms;
+            let node_grams = NodeGrams::build(view.segments(), terms, v, self.grams[v].as_ref());
+            let gram = node_grams.total(terms.len());
+            let model = fit_gram(&gram, columns, &columns[v], terms)?;
+            let pred = model.predict(columns);
+            let residuals: Vec<f64> = columns[v]
+                .iter()
+                .zip(&pred)
+                .map(|(obs, p)| obs - p)
+                .collect();
+            nodes.push(NodeModel {
+                parents: prev.parents.clone(),
+                model: Some(model),
+                residuals,
+            });
+            grams.push(Some(node_grams));
+        }
+        Ok(Self {
+            admg: self.admg.clone(),
+            nodes: Arc::new(nodes),
+            grams: Arc::new(grams),
+            data: view.clone(),
+            topo: Arc::clone(&self.topo),
+            stride: (view.n_rows() / 256).max(1),
         })
     }
 
@@ -171,7 +334,7 @@ impl FittedScm {
         mode: ResidualMode,
     ) -> Vec<f64> {
         let mut values = vec![0.0; self.n_vars()];
-        for &v in &self.topo {
+        for &v in self.topo.iter() {
             if let Some(&(_, x)) = interventions.iter().find(|&&(node, _)| node == v) {
                 values[v] = x;
                 continue;
@@ -276,7 +439,7 @@ impl FittedScm {
     /// expectations propagate with zero residuals.
     pub fn predict_from_assignment(&self, assignment: &[(NodeId, f64)], target: NodeId) -> f64 {
         let mut values = vec![0.0; self.n_vars()];
-        for &v in &self.topo {
+        for &v in self.topo.iter() {
             if let Some(&(_, x)) = assignment.iter().find(|&&(node, _)| node == v) {
                 values[v] = x;
                 continue;
@@ -386,6 +549,32 @@ mod tests {
         let scm = chain_scm(600);
         let y = scm.predict_from_assignment(&[(0, 0.8)], 2);
         assert!((y + 4.8).abs() < 0.3, "predicted {y}");
+    }
+
+    #[test]
+    fn warm_refit_identical_to_cold_fit() {
+        let scm = chain_scm(300);
+        // Grow the sample and refit warm vs cold.
+        let grown = scm
+            .view()
+            .append_rows(&[vec![0.5, 1.1, -3.2], vec![-0.25, -0.4, 1.3]]);
+        let warm = scm.refit_view(&grown).unwrap();
+        let cold = FittedScm::fit(scm.admg().clone(), grown.columns()).unwrap();
+        assert_eq!(warm.n_rows(), 302);
+        for v in 0..3 {
+            assert_eq!(warm.node_r2(v).to_bits(), cold.node_r2(v).to_bits());
+            assert_eq!(warm.parents_of(v), cold.parents_of(v));
+            for row in [0usize, 150, 301] {
+                let w = warm.counterfactual(row, &[(0, 0.3)]);
+                let c = cold.counterfactual(row, &[(0, 0.3)]);
+                for (a, b) in w.iter().zip(&c) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "row {row} diverged");
+                }
+            }
+        }
+        // Same-table refit is a structural clone.
+        let same = scm.refit_view(scm.view()).unwrap();
+        assert_eq!(same.n_rows(), scm.n_rows());
     }
 
     #[test]

@@ -7,9 +7,71 @@
 //! equivalence tests in `tests/dataview_equivalence.rs` assert this.
 
 use std::collections::HashMap;
-use std::hash::{Hash, Hasher};
+use std::hash::{BuildHasherDefault, Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
+
+/// A fast non-cryptographic hasher (the FxHash multiply-xor scheme rustc
+/// uses). The skeleton hot loop probes these caches thousands of times per
+/// level; SipHash's per-probe cost is measurable there, and HashDoS
+/// resistance buys nothing for process-internal statistic keys.
+#[derive(Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+const FX_SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(FX_SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rest.len()].copy_from_slice(rest);
+            self.add(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add(v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add(v as u64);
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`].
+pub type FxBuild = BuildHasherDefault<FxHasher>;
 
 const NIL: usize = usize::MAX;
 
@@ -23,7 +85,7 @@ struct Entry<K, V> {
 /// A fixed-capacity least-recently-used map: `HashMap` index into a slab of
 /// entries threaded on an intrusive doubly-linked recency list.
 pub struct LruCache<K, V> {
-    map: HashMap<K, usize>,
+    map: HashMap<K, usize, FxBuild>,
     slab: Vec<Entry<K, V>>,
     head: usize,
     tail: usize,
@@ -35,7 +97,7 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "LRU capacity must be positive");
         Self {
-            map: HashMap::with_capacity(capacity.min(4096)),
+            map: HashMap::with_capacity_and_hasher(capacity.min(4096), FxBuild::default()),
             slab: Vec::new(),
             head: NIL,
             tail: NIL,
@@ -77,6 +139,11 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
         if self.tail == NIL {
             self.tail = i;
         }
+    }
+
+    /// Looks up `key` without altering recency (read-only).
+    pub fn peek(&self, key: &K) -> Option<&V> {
+        self.map.get(key).map(|&i| &self.slab[i].value)
     }
 
     /// Looks up `key`, marking it most-recently used on a hit.
@@ -174,9 +241,15 @@ impl<K: Eq + Hash + Clone, V: Clone> ShardedLru<K, V> {
     }
 
     fn shard(&self, key: &K) -> &Mutex<LruCache<K, V>> {
-        let mut h = std::collections::hash_map::DefaultHasher::new();
+        let mut h = FxHasher::default();
         key.hash(&mut h);
-        &self.shards[(h.finish() as usize) % SHARDS]
+        // The shard's inner HashMap uses the same hash function; picking
+        // the shard from the LOW bits would leave every shard's keys
+        // agreeing on those bits and cluster hashbrown's bucket indices
+        // (which are the low bits). Use middle bits instead — untouched by
+        // bucket selection at any realistic table size and by the top-7
+        // control tag.
+        &self.shards[((h.finish() >> 32) as usize) % SHARDS]
     }
 
     /// Returns the cached value for `key`, or computes, caches, and returns
@@ -196,6 +269,24 @@ impl<K: Eq + Hash + Clone, V: Clone> ShardedLru<K, V> {
         v
     }
 
+    /// Raw lookup without touching the hit/miss counters or the recency
+    /// list (used by the epoch-aware wrapper, which keeps its own stats;
+    /// its working sets sit far below capacity, so recency upkeep on the
+    /// read path buys nothing and the skeleton hot loop probes here
+    /// thousands of times per level).
+    pub fn peek(&self, key: &K) -> Option<V> {
+        let shard = self.shard(key).lock().expect("lru poisoned");
+        shard.peek(key).cloned()
+    }
+
+    /// Raw insert without touching the hit/miss counters.
+    pub fn put(&self, key: K, value: V) {
+        self.shard(&key)
+            .lock()
+            .expect("lru poisoned")
+            .insert(key, value);
+    }
+
     /// Cache observability counters.
     pub fn stats(&self) -> &CacheStats {
         &self.stats
@@ -212,6 +303,76 @@ impl<K: Eq + Hash + Clone, V: Clone> ShardedLru<K, V> {
     /// True when every shard is empty.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+}
+
+/// An epoch-tagged [`ShardedLru`]: every entry records the data epoch it
+/// was computed at. A lookup *hits* only when the entry's epoch matches the
+/// caller's; a mismatched entry is reported as stale, recomputed, and
+/// overwritten in place. This is what lets the `DataView` caches *survive*
+/// sample appends — capacity, allocations, and hot keys persist across the
+/// epoch bump — while guaranteeing a value computed on one epoch's data is
+/// never served for another.
+pub struct EpochLru<K, V> {
+    inner: ShardedLru<K, (u64, V)>,
+    stats: CacheStats,
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> EpochLru<K, V> {
+    /// Creates an epoch-tagged cache with `capacity` entries in total.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            inner: ShardedLru::new(capacity),
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Returns the cached value when its epoch matches `epoch`, otherwise
+    /// computes, caches at `epoch`, and returns it. `compute` must be a
+    /// pure function of the key and the data identified by `epoch`; it may
+    /// consult [`Self::stale`] to upgrade a previous epoch's value.
+    pub fn get_or_insert_with(&self, key: K, epoch: u64, compute: impl FnOnce() -> V) -> V {
+        if let Some((e, v)) = self.inner.peek(&key) {
+            if e == epoch {
+                self.stats.hit();
+                return v;
+            }
+        }
+        self.stats.miss();
+        let v = compute();
+        self.inner.put(key, (epoch, v.clone()));
+        v
+    }
+
+    /// The entry stored under `key` regardless of epoch, with the epoch it
+    /// was computed at — the hook for incremental upgrades (e.g. extending
+    /// a categorical discretization by the appended rows only).
+    pub fn stale(&self, key: &K) -> Option<(u64, V)> {
+        self.inner.peek(key)
+    }
+
+    /// Hit/miss counters (hits count only epoch-exact lookups).
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// Total live entries across shards (any epoch).
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// True when no entries are cached.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+}
+
+impl<K, V> std::fmt::Debug for EpochLru<K, V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EpochLru")
+            .field("hits", &self.stats.hits())
+            .field("misses", &self.stats.misses())
+            .finish()
     }
 }
 
@@ -281,6 +442,24 @@ mod tests {
         assert_eq!(v1, v2);
         assert_eq!(c.stats().hits(), 1);
         assert_eq!(c.stats().misses(), 1);
+    }
+
+    #[test]
+    fn epoch_lru_hits_only_on_matching_epoch() {
+        let c: EpochLru<u32, f64> = EpochLru::new(16);
+        let v0 = c.get_or_insert_with(1, 0, || 1.5);
+        assert_eq!(v0, 1.5);
+        // Same epoch: hit, closure must not run.
+        let v1 = c.get_or_insert_with(1, 0, || panic!("must hit"));
+        assert_eq!(v1, 1.5);
+        // New epoch: stale entry visible, lookup misses and overwrites.
+        assert_eq!(c.stale(&1), Some((0, 1.5)));
+        let v2 = c.get_or_insert_with(1, 1, || 2.5);
+        assert_eq!(v2, 2.5);
+        assert_eq!(c.stale(&1), Some((1, 2.5)));
+        assert_eq!(c.stats().hits(), 1);
+        assert_eq!(c.stats().misses(), 2);
+        assert_eq!(c.len(), 1, "epoch bump must overwrite, not duplicate");
     }
 
     #[test]

@@ -1,9 +1,35 @@
 //! Correlation measures: Pearson, Spearman, and partial correlation.
+//!
+//! Pearson correlations are defined over the canonical chunked moments of
+//! [`crate::descriptive`] (fixed [`MOMENT_CHUNK`]-row chunks, Chan-merged in
+//! row order), so the segmented `DataView`'s incrementally merged
+//! correlation matrix is bit-identical to [`correlation_matrix`] on the
+//! contiguous columns.
 
-use crate::descriptive::{mean, std_dev};
+use crate::descriptive::{
+    chunk_comoment, merge_col_moments, merge_comoment, variance_of, ColMoments, MOMENT_CHUNK,
+};
 use crate::matrix::Matrix;
 use crate::ranking::ranks_with_ties;
 use crate::StatsError;
+
+/// Pearson correlation from merged moment summaries — the single final
+/// formula shared by [`pearson`] and the segmented `DataView`'s cached
+/// correlation matrix (identical guards, identical rounding).
+pub fn pearson_from_moments(mx: ColMoments, my: ColMoments, c2: f64) -> f64 {
+    debug_assert_eq!(mx.n, my.n);
+    let n = mx.n;
+    if n < 2 {
+        return 0.0;
+    }
+    let sx = variance_of(mx).sqrt();
+    let sy = variance_of(my).sqrt();
+    if sx < 1e-12 || sy < 1e-12 {
+        return 0.0;
+    }
+    let cov = c2 / (n - 1) as f64;
+    (cov / (sx * sy)).clamp(-1.0, 1.0)
+}
 
 /// Pearson product-moment correlation; 0 if either side is constant.
 pub fn pearson(x: &[f64], y: &[f64]) -> f64 {
@@ -11,20 +37,18 @@ pub fn pearson(x: &[f64], y: &[f64]) -> f64 {
     if x.len() < 2 {
         return 0.0;
     }
-    let mx = mean(x);
-    let my = mean(y);
-    let sx = std_dev(x);
-    let sy = std_dev(y);
-    if sx < 1e-12 || sy < 1e-12 {
-        return 0.0;
+    let mut mx = ColMoments::EMPTY;
+    let mut my = ColMoments::EMPTY;
+    let mut c2 = 0.0;
+    for (cx, cy) in x.chunks(MOMENT_CHUNK).zip(y.chunks(MOMENT_CHUNK)) {
+        let bx = ColMoments::of_chunk(cx);
+        let by = ColMoments::of_chunk(cy);
+        let bc2 = chunk_comoment(cx, cy, bx.mean, by.mean);
+        c2 = merge_comoment(c2, mx, my, bc2, bx, by);
+        mx = merge_col_moments(mx, bx);
+        my = merge_col_moments(my, by);
     }
-    let cov: f64 = x
-        .iter()
-        .zip(y)
-        .map(|(a, b)| (a - mx) * (b - my))
-        .sum::<f64>()
-        / (x.len() - 1) as f64;
-    (cov / (sx * sy)).clamp(-1.0, 1.0)
+    pearson_from_moments(mx, my, c2)
 }
 
 /// Spearman rank correlation (Pearson on tie-averaged ranks).
@@ -48,22 +72,56 @@ pub fn correlation_matrix(columns: &[Vec<f64>]) -> Matrix {
     m
 }
 
+/// First-order partial correlation `ρ(x,y·z)` from three marginal
+/// correlations; `None` when a conditioning margin is (numerically)
+/// degenerate — treated as uninformative by the caller.
+fn partial_first_order(rxy: f64, rxz: f64, ryz: f64) -> Option<f64> {
+    let dx = 1.0 - rxz * rxz;
+    let dy = 1.0 - ryz * ryz;
+    if dx <= 1e-12 || dy <= 1e-12 {
+        return None;
+    }
+    Some(((rxy - rxz * ryz) / (dx * dy).sqrt()).clamp(-1.0, 1.0))
+}
+
 /// Partial correlation of variables `x` and `y` given the conditioning set
-/// `z`, computed from a full correlation matrix via the precision matrix of
-/// the `{x, y} ∪ z` principal submatrix:
-/// `ρ(x,y·z) = −P₀₁ / √(P₀₀ P₁₁)`.
+/// `z`.
 ///
-/// Falls back to a ridge-regularized inverse when the submatrix is
-/// numerically singular (collinear conditioning variables), which yields a
-/// conservative estimate rather than aborting the surrounding search.
+/// Well-conditioned sets of size 1 and 2 — the overwhelming bulk of the
+/// bounded-depth skeleton sweep — use the closed-form recursion
+/// `ρ(x,y·zw) = (ρ(x,y·z) − ρ(x,w·z)·ρ(y,w·z)) / √((1−ρ²(x,w·z))(1−ρ²(y,w·z)))`,
+/// which needs no matrix allocation or inversion. Larger sets, and any
+/// size-1/2 set with a (near-)degenerate margin — the heavily collinear
+/// regime of the perf-counter stack, where the recursion's denominators
+/// vanish — invert the precision matrix of the `{x, y} ∪ z` principal
+/// submatrix, `ρ(x,y·z) = −P₀₁ / √(P₀₀ P₁₁)`, with the ridge-regularized
+/// fallback yielding a conservative estimate rather than aborting the
+/// surrounding search.
 pub fn partial_correlation(
     corr: &Matrix,
     x: usize,
     y: usize,
     z: &[usize],
 ) -> Result<f64, StatsError> {
-    if z.is_empty() {
-        return Ok(corr[(x, y)]);
+    match z {
+        [] => return Ok(corr[(x, y)]),
+        [a] => {
+            if let Some(r) = partial_first_order(corr[(x, y)], corr[(x, *a)], corr[(y, *a)]) {
+                return Ok(r);
+            }
+        }
+        [a, b] => {
+            if let (Some(rxy_a), Some(rxb_a), Some(ryb_a)) = (
+                partial_first_order(corr[(x, y)], corr[(x, *a)], corr[(y, *a)]),
+                partial_first_order(corr[(x, *b)], corr[(x, *a)], corr[(*b, *a)]),
+                partial_first_order(corr[(y, *b)], corr[(y, *a)], corr[(*b, *a)]),
+            ) {
+                if let Some(r) = partial_first_order(rxy_a, rxb_a, ryb_a) {
+                    return Ok(r);
+                }
+            }
+        }
+        _ => {}
     }
     let mut idx = vec![x, y];
     idx.extend_from_slice(z);

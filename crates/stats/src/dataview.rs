@@ -3,11 +3,8 @@
 //!
 //! Every layer of the pipeline (CI tests, skeleton search, entropic
 //! resolution, SCM fitting, the active-learning loop) reads the same
-//! observational sample thousands of times. Before this module each layer
-//! re-derived what it needed — discretizations, means, the correlation
-//! matrix, contingency/joint codes — from raw `Vec<Vec<f64>>` clones at
-//! every crate boundary. A [`DataView`] computes each statistic at most
-//! once per view and shares it across clones:
+//! observational sample thousands of times. A [`DataView`] computes each
+//! statistic at most once per data epoch and shares it across clones:
 //!
 //! * per-column means / variances / standard deviations,
 //! * the full Pearson correlation matrix (the Fisher-Z substrate),
@@ -17,24 +14,52 @@
 //! * an LRU of conditional-independence outcomes keyed by
 //!   `(test kind, x, y, conditioning set)`.
 //!
-//! # Ownership & invalidation
+//! # Segmented storage
 //!
-//! A `DataView` is immutable; cloning is an `Arc` bump. Growing the sample
-//! (the active-learning loop's Stage IV) goes through [`DataView::append_rows`],
-//! which builds a *new* view over the extended columns with *fresh, empty*
-//! caches — statistics of the old sample are never silently reused for the
-//! new one, and outstanding clones of the old view stay valid. Since every
-//! cached value is a pure function of the immutable column data, cached
-//! reads are bit-identical to direct recomputation.
+//! Columns are stored as a sequence of immutable [`Segment`]s of
+//! [`MOMENT_CHUNK`] rows each. Segmentation is canonical in the row count
+//! (segment `k` always covers rows `[k·CHUNK, (k+1)·CHUNK)`), so
+//! [`DataView::append_rows`] shares every sealed segment by `Arc` bump and
+//! rebuilds only the trailing partial one — O(new rows), not O(all rows).
+//! Column moments and the correlation matrix are Chan-merged from
+//! per-segment summaries in segment order, the exact arithmetic of
+//! [`crate::descriptive`] / [`crate::correlation::pearson`]; sealed-segment
+//! summaries are computed once ever and shared by every descendant view.
+//!
+//! # Epochs, lineage & invalidation
+//!
+//! A `DataView` is immutable; cloning is an `Arc` bump. Every view carries
+//! a globally unique *data epoch* and a *lineage* id. [`DataView::append_rows`]
+//! produces a child with a fresh epoch; the first append from a view also
+//! passes the discretization / joint-code / CI-outcome LRUs along (a second
+//! append from the same parent — a fork — starts fresh caches and a new
+//! lineage, so divergent branches can never contaminate each other).
+//! Cached entries are epoch-tagged: a lookup hits only when the entry was
+//! computed at the reader's epoch, otherwise the value is recomputed from
+//! the reader's own data and overwritten in place. Appends therefore
+//! *retain* the cache structure (capacity, hot keys) while every served
+//! value remains a pure function of the reader's data — cached reads stay
+//! bit-identical to direct recomputation (`tests/dataview_equivalence.rs`),
+//! and outstanding clones of older views stay valid.
+//!
+//! Within a lineage, data is append-only, which enables one true
+//! incremental upgrade: a categorical discretization whose value set
+//! already covers the appended rows is extended in O(new rows) instead of
+//! refit — the extension is provably identical to a cold refit.
 
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 
-use crate::cache::ShardedLru;
-use crate::correlation::correlation_matrix;
-use crate::descriptive::{mean, variance};
+use crate::cache::EpochLru;
+use crate::correlation::pearson_from_moments;
+use crate::descriptive::{
+    merge_col_moments, merge_comoment, variance_of, ColMoments, MOMENT_CHUNK,
+};
 use crate::discretize::Discretizer;
 use crate::entropy::joint_code;
 use crate::matrix::Matrix;
+use crate::segment::{n_pairs, pair_index, Segment};
+use crate::smallset::SmallIdSet;
 
 /// Per-column first and second moments.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -54,6 +79,10 @@ pub struct ColumnCodes {
     pub codes: Vec<usize>,
     /// Number of distinct codes.
     pub arity: usize,
+    /// The fitted discretizer (kept for incremental extension).
+    disc: Discretizer,
+    /// Rows covered when the fit was made.
+    n_rows: usize,
 }
 
 /// A joint encoding of a conditioning set: one stratum code per row.
@@ -68,25 +97,60 @@ pub struct JointCodes {
 /// Key of a cached CI outcome: `(kind, x, y, conditioning set)` with
 /// `x < y` (both supported tests are symmetric in their arguments). The
 /// kind tag carries the test family plus any parameters that change its
-/// arithmetic (e.g. G-test discretization settings).
-pub type CiKey = (u32, u32, u32, Vec<u32>);
+/// arithmetic (e.g. G-test discretization settings). The conditioning set
+/// is an inline [`SmallIdSet`], so probes for sets of at most 8 variables
+/// never touch the allocator.
+pub type CiKey = (u32, u32, u32, SmallIdSet);
+
+const CI_CACHE_CAPACITY: usize = 65_536;
+const JOINT_CACHE_CAPACITY: usize = 4_096;
+const CODE_CACHE_CAPACITY: usize = 4_096;
+
+/// Globally unique ids for data epochs and lineages.
+fn next_id() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    NEXT.fetch_add(1, Ordering::Relaxed)
+}
+
+/// The epoch-tagged caches shared along a lineage of appended views.
+struct Caches {
+    // (col, bins, max_levels) → fitted codes.
+    codes: EpochLru<(u32, u32, u32), Arc<ColumnCodes>>,
+    // (vars, bins, max_levels) → joint stratum codes.
+    joint: EpochLru<(SmallIdSet, u32, u32), Arc<JointCodes>>,
+    // CI-test memo: (kind, x, y, z) → (statistic, p_value).
+    ci: EpochLru<CiKey, (f64, f64)>,
+}
+
+impl Caches {
+    fn fresh() -> Arc<Caches> {
+        Arc::new(Caches {
+            codes: EpochLru::new(CODE_CACHE_CAPACITY),
+            joint: EpochLru::new(JOINT_CACHE_CAPACITY),
+            ci: EpochLru::new(CI_CACHE_CAPACITY),
+        })
+    }
+}
 
 struct Inner {
-    columns: Vec<Vec<f64>>,
+    segments: Vec<Arc<Segment>>,
     n_rows: usize,
+    n_cols: usize,
+    epoch: u64,
+    lineage: u64,
+    /// Set once this view has handed its caches to a child append; a
+    /// second append (a fork) gets fresh caches and a new lineage.
+    appended: AtomicBool,
+    caches: Arc<Caches>,
+    /// Lazily materialized contiguous columns (the seam with slice-based
+    /// consumers: regression, discretizer fitting, legacy call sites).
+    materialized: OnceLock<Vec<Vec<f64>>>,
     col_stats: OnceLock<Vec<ColumnStats>>,
     correlation: OnceLock<Matrix>,
-    // (col, bins, max_levels) → fitted codes. Discretizations are few and
-    // hot (one per column per parameterization), so no eviction.
-    codes: ShardedLru<(u32, u32, u32), Arc<ColumnCodes>>,
-    // (vars, bins, max_levels) → joint stratum codes.
-    joint: ShardedLru<(Vec<u32>, u32, u32), Arc<JointCodes>>,
-    // CI-test memo: (kind, x, y, z) → (statistic, p_value).
-    ci: ShardedLru<CiKey, (f64, f64)>,
 }
 
 /// An immutable, `Arc`-shared columnar table with cached sufficient
-/// statistics. See the module docs for the ownership and invalidation
+/// statistics. See the module docs for the segment/epoch/invalidation
 /// rules.
 #[derive(Clone)]
 pub struct DataView {
@@ -98,14 +162,27 @@ impl std::fmt::Debug for DataView {
         f.debug_struct("DataView")
             .field("n_cols", &self.n_cols())
             .field("n_rows", &self.n_rows())
-            .field("ci_cache", &self.inner.ci)
+            .field("epoch", &self.inner.epoch)
+            .field("lineage", &self.inner.lineage)
+            .field("segments", &self.inner.segments.len())
+            .field("ci_cache", &self.inner.caches.ci)
             .finish()
     }
 }
 
-const CI_CACHE_CAPACITY: usize = 65_536;
-const JOINT_CACHE_CAPACITY: usize = 4_096;
-const CODE_CACHE_CAPACITY: usize = 4_096;
+/// Splits contiguous columns into canonical segments.
+fn segment_columns(columns: &[Vec<f64>], n_rows: usize) -> Vec<Arc<Segment>> {
+    let mut segments = Vec::with_capacity(n_rows.div_ceil(MOMENT_CHUNK));
+    let mut start = 0;
+    while start < n_rows {
+        let end = (start + MOMENT_CHUNK).min(n_rows);
+        segments.push(Arc::new(Segment::new(
+            columns.iter().map(|c| c[start..end].to_vec()).collect(),
+        )));
+        start = end;
+    }
+    segments
+}
 
 impl DataView {
     /// Builds a view over owned columns. All columns must share one length.
@@ -114,15 +191,24 @@ impl DataView {
         for (i, c) in columns.iter().enumerate() {
             assert_eq!(c.len(), n_rows, "column {i} has ragged length");
         }
+        let n_cols = columns.len();
+        let segments = segment_columns(&columns, n_rows);
+        let materialized = OnceLock::new();
+        // The caller's columns double as the materialized form (moved, not
+        // copied).
+        let _ = materialized.set(columns);
         Self {
             inner: Arc::new(Inner {
-                columns,
+                segments,
                 n_rows,
+                n_cols,
+                epoch: next_id(),
+                lineage: next_id(),
+                appended: AtomicBool::new(false),
+                caches: Caches::fresh(),
+                materialized,
                 col_stats: OnceLock::new(),
                 correlation: OnceLock::new(),
-                codes: ShardedLru::new(CODE_CACHE_CAPACITY),
-                joint: ShardedLru::new(JOINT_CACHE_CAPACITY),
-                ci: ShardedLru::new(CI_CACHE_CAPACITY),
             }),
         }
     }
@@ -140,53 +226,170 @@ impl DataView {
 
     /// Number of columns (variables).
     pub fn n_cols(&self) -> usize {
-        self.inner.columns.len()
+        self.inner.n_cols
     }
 
-    /// One column as a slice.
+    /// The globally unique id of this view's data version. Two views share
+    /// an epoch only when they share the identical rows; every append
+    /// produces a fresh epoch.
+    pub fn epoch(&self) -> u64 {
+        self.inner.epoch
+    }
+
+    /// The id of the append chain this view belongs to. Within one lineage
+    /// data is append-only: any member's rows are a prefix of any later
+    /// member's rows.
+    pub fn lineage(&self) -> u64 {
+        self.inner.lineage
+    }
+
+    /// One column as a contiguous slice (materializes on first use).
     pub fn column(&self, i: usize) -> &[f64] {
-        &self.inner.columns[i]
+        &self.columns()[i]
     }
 
-    /// All columns (interop with column-major call sites).
+    /// All columns, contiguous (interop with column-major call sites;
+    /// materialized from the segments on first use, then cached).
     pub fn columns(&self) -> &[Vec<f64>] {
-        &self.inner.columns
+        self.inner.materialized.get_or_init(|| {
+            let mut cols: Vec<Vec<f64>> = (0..self.inner.n_cols)
+                .map(|_| Vec::with_capacity(self.inner.n_rows))
+                .collect();
+            for seg in &self.inner.segments {
+                for (out, part) in cols.iter_mut().zip(seg.columns()) {
+                    out.extend_from_slice(part);
+                }
+            }
+            cols
+        })
     }
 
-    /// One full row, materialized.
+    /// One full row, materialized (read straight from its segment).
     pub fn row(&self, r: usize) -> Vec<f64> {
-        self.inner.columns.iter().map(|c| c[r]).collect()
+        assert!(r < self.inner.n_rows, "row {r} out of bounds");
+        let seg = &self.inner.segments[r / MOMENT_CHUNK];
+        let off = r % MOMENT_CHUNK;
+        (0..self.inner.n_cols).map(|c| seg.col(c)[off]).collect()
     }
 
-    /// A new view over this view's columns extended by `rows`, with fresh
-    /// (empty) caches — the cache-invalidation point of the active-learning
-    /// loop. The old view and its statistics remain valid.
+    /// Calls `f` for every value of column `col` in rows `from..n_rows`
+    /// without materializing the column (the incremental-extension walk).
+    fn for_column_tail(&self, col: usize, from: usize, mut f: impl FnMut(f64)) {
+        let mut seg_idx = from / MOMENT_CHUNK;
+        let mut off = from % MOMENT_CHUNK;
+        while seg_idx < self.inner.segments.len() {
+            for &v in &self.inner.segments[seg_idx].col(col)[off..] {
+                f(v);
+            }
+            off = 0;
+            seg_idx += 1;
+        }
+    }
+
+    /// A new view over this view's rows extended by `rows` — the epoch
+    /// bump of the active-learning loop. Sealed segments are shared by
+    /// `Arc`; only the trailing partial segment is rebuilt, so the cost is
+    /// O(new rows), not O(all rows). The first append from a view passes
+    /// the epoch-tagged caches along (see the module docs); the old view
+    /// and its statistics remain valid.
     pub fn append_rows(&self, rows: &[Vec<f64>]) -> DataView {
-        let mut columns = self.inner.columns.clone();
-        for (r, row) in rows.iter().enumerate() {
-            assert_eq!(row.len(), columns.len(), "row {r} width mismatch");
-            for (col, &v) in columns.iter_mut().zip(row) {
+        self.append_impl(rows.iter().map(Vec::as_slice), rows.len())
+    }
+
+    /// [`DataView::append_rows`] for a single borrowed row (no
+    /// intermediate copy — the row lands directly in the new segment).
+    pub fn append_row(&self, row: &[f64]) -> DataView {
+        self.append_impl(std::iter::once(row), 1)
+    }
+
+    fn append_impl<'a>(&self, rows: impl Iterator<Item = &'a [f64]>, n_new: usize) -> DataView {
+        // Appending nothing must not bump the epoch (the data is
+        // identical) nor consume this view's one cache-inheriting append.
+        if n_new == 0 {
+            return self.clone();
+        }
+        let p = self.inner.n_cols;
+        if p == 0 {
+            return DataView::new(Vec::new());
+        }
+        let mut segments = self.inner.segments.clone();
+        // Reopen the trailing partial segment (copy ≤ one chunk of rows).
+        let mut builder: Vec<Vec<f64>> = match segments.last() {
+            Some(s) if !s.is_sealed() => {
+                let s = segments.pop().expect("just matched");
+                s.columns()
+                    .iter()
+                    .map(|c| {
+                        let mut v = Vec::with_capacity(MOMENT_CHUNK.min(c.len() + n_new));
+                        v.extend_from_slice(c);
+                        v
+                    })
+                    .collect()
+            }
+            _ => (0..p)
+                .map(|_| Vec::with_capacity(MOMENT_CHUNK.min(n_new)))
+                .collect(),
+        };
+        let mut n_rows = self.inner.n_rows;
+        for (r, row) in rows.enumerate() {
+            assert_eq!(row.len(), p, "row {r} width mismatch");
+            for (col, &v) in builder.iter_mut().zip(row) {
                 col.push(v);
             }
+            n_rows += 1;
+            if builder[0].len() == MOMENT_CHUNK {
+                let sealed = std::mem::replace(
+                    &mut builder,
+                    (0..p).map(|_| Vec::with_capacity(MOMENT_CHUNK)).collect(),
+                );
+                segments.push(Arc::new(Segment::new(sealed)));
+            }
         }
-        DataView::new(columns)
+        if !builder[0].is_empty() {
+            segments.push(Arc::new(Segment::new(builder)));
+        }
+        // First append inherits the caches; a fork starts fresh ones so
+        // divergent branches can never observe each other's data.
+        let (caches, lineage) = if self.inner.appended.swap(true, Ordering::AcqRel) {
+            (Caches::fresh(), next_id())
+        } else {
+            (Arc::clone(&self.inner.caches), self.inner.lineage)
+        };
+        DataView {
+            inner: Arc::new(Inner {
+                segments,
+                n_rows,
+                n_cols: p,
+                epoch: next_id(),
+                lineage,
+                appended: AtomicBool::new(false),
+                caches,
+                materialized: OnceLock::new(),
+                col_stats: OnceLock::new(),
+                correlation: OnceLock::new(),
+            }),
+        }
     }
 
-    /// [`DataView::append_rows`] for a single row.
-    pub fn append_row(&self, row: &[f64]) -> DataView {
-        self.append_rows(&[row.to_vec()])
-    }
-
-    /// Per-column moments, computed once per view.
+    /// Per-column moments, Chan-merged from the per-segment summaries in
+    /// segment order — bit-identical to `mean`/`variance` on the contiguous
+    /// column, and O(new rows) after an append (sealed-segment summaries
+    /// are shared).
     pub fn column_stats(&self) -> &[ColumnStats] {
         self.inner.col_stats.get_or_init(|| {
-            self.inner
-                .columns
-                .iter()
-                .map(|c| {
-                    let v = variance(c);
+            let p = self.inner.n_cols;
+            let mut acc = vec![ColMoments::EMPTY; p];
+            for seg in &self.inner.segments {
+                let st = seg.stats();
+                for (a, &b) in acc.iter_mut().zip(&st.cols) {
+                    *a = merge_col_moments(*a, b);
+                }
+            }
+            acc.into_iter()
+                .map(|m| {
+                    let v = variance_of(m);
                     ColumnStats {
-                        mean: mean(c),
+                        mean: m.mean,
                         variance: v,
                         std_dev: v.sqrt(),
                     }
@@ -195,37 +398,173 @@ impl DataView {
         })
     }
 
-    /// The full Pearson correlation matrix, computed once per view with
-    /// [`correlation_matrix`] (so cached and direct results are identical).
+    /// The full Pearson correlation matrix, Chan-merged from per-segment
+    /// moments and comoments in segment order. The merge is the exact
+    /// arithmetic of [`crate::correlation::pearson`] over canonical
+    /// [`MOMENT_CHUNK`] chunks, so the result is bit-identical to
+    /// [`crate::correlation::correlation_matrix`] on the contiguous
+    /// columns while costing only O(p² · (new rows + segments)) after an
+    /// append.
     pub fn correlation(&self) -> &Matrix {
-        self.inner
-            .correlation
-            .get_or_init(|| correlation_matrix(&self.inner.columns))
+        self.inner.correlation.get_or_init(|| {
+            let p = self.inner.n_cols;
+            let mut acc_cols = vec![ColMoments::EMPTY; p];
+            let mut acc_cross = vec![0.0; n_pairs(p)];
+            for seg in &self.inner.segments {
+                let st = seg.stats();
+                // Cross moments merge against the pre-merge column moments.
+                for i in 0..p {
+                    for j in (i + 1)..p {
+                        let k = pair_index(i, j, p);
+                        acc_cross[k] = merge_comoment(
+                            acc_cross[k],
+                            acc_cols[i],
+                            acc_cols[j],
+                            st.cross[k],
+                            st.cols[i],
+                            st.cols[j],
+                        );
+                    }
+                }
+                for (a, &b) in acc_cols.iter_mut().zip(&st.cols) {
+                    *a = merge_col_moments(*a, b);
+                }
+            }
+            let mut m = Matrix::identity(p);
+            for i in 0..p {
+                for j in (i + 1)..p {
+                    let r = pearson_from_moments(
+                        acc_cols[i],
+                        acc_cols[j],
+                        acc_cross[pair_index(i, j, p)],
+                    );
+                    m[(i, j)] = r;
+                    m[(j, i)] = r;
+                }
+            }
+            m
+        })
     }
 
     /// The cached discretization of column `col` under `(bins, max_levels)`
-    /// (see [`Discretizer::fit`]).
+    /// (see [`Discretizer::fit`]). After an append, a stale categorical fit
+    /// whose value set still covers the new rows is extended in O(new
+    /// rows); anything else is refit from the full column. Both paths are
+    /// provably identical to a cold fit.
     pub fn codes(&self, col: usize, bins: usize, max_levels: usize) -> Arc<ColumnCodes> {
         let key = (col as u32, bins as u32, max_levels as u32);
-        self.inner.codes.get_or_insert_with(key, || {
-            let d = Discretizer::fit(&self.inner.columns[col], bins, max_levels);
+        let epoch = self.inner.epoch;
+        self.inner.caches.codes.get_or_insert_with(key, epoch, || {
+            if let Some((_, stale)) = self.inner.caches.codes.stale(&key) {
+                if let Some(extended) = self.try_extend_codes(&stale, col) {
+                    return extended;
+                }
+            }
+            // Cold fit from the merge of cached per-segment sorted runs
+            // (O(n) instead of a full O(n log n) re-sort on every epoch).
+            let d = Discretizer::fit_sorted(&self.sorted_column(col), bins, max_levels);
+            let column = &self.columns()[col];
             Arc::new(ColumnCodes {
-                codes: d.transform(&self.inner.columns[col]),
+                codes: d.transform(column),
                 arity: d.arity(),
+                disc: d,
+                n_rows: self.inner.n_rows,
             })
         })
+    }
+
+    /// Upgrades a same-lineage stale fit covering a prefix of this view's
+    /// rows: valid as-is when the row counts match (lineages are
+    /// append-only, so equal counts ⇒ identical data), extended row-by-row
+    /// when the fit is categorical and every appended value is already in
+    /// its value set (then a cold refit would produce the same sorted
+    /// distinct values, hence the same codes).
+    fn try_extend_codes(&self, stale: &Arc<ColumnCodes>, col: usize) -> Option<Arc<ColumnCodes>> {
+        let n = self.inner.n_rows;
+        if stale.n_rows > n {
+            return None;
+        }
+        if stale.n_rows == n {
+            return Some(Arc::clone(stale));
+        }
+        let Discretizer::Categorical { values } = &stale.disc else {
+            return None;
+        };
+        let mut codes = Vec::with_capacity(n);
+        codes.extend_from_slice(&stale.codes);
+        let mut covered = true;
+        self.for_column_tail(col, stale.n_rows, |v| {
+            if covered {
+                match values.binary_search_by(|probe| {
+                    probe.partial_cmp(&v).expect("NaN in discretized column")
+                }) {
+                    Ok(_) => codes.push(stale.disc.code(v)),
+                    Err(_) => covered = false,
+                }
+            }
+        });
+        if !covered {
+            return None;
+        }
+        Some(Arc::new(ColumnCodes {
+            codes,
+            arity: stale.arity,
+            disc: stale.disc.clone(),
+            n_rows: n,
+        }))
+    }
+
+    /// Column `col` in ascending order, merged from the per-segment sorted
+    /// runs (which are cached in the shared segments, so after an append
+    /// only the rebuilt tail re-sorts; the tournament merge below is
+    /// O(n log segments)). Sorting is a pure function of the value
+    /// multiset, so the result is identical to sorting the contiguous
+    /// column.
+    pub fn sorted_column(&self, col: usize) -> Vec<f64> {
+        fn merge(a: &[f64], b: &[f64]) -> Vec<f64> {
+            let mut out = Vec::with_capacity(a.len() + b.len());
+            let (mut i, mut j) = (0, 0);
+            while i < a.len() && j < b.len() {
+                if a[i] <= b[j] {
+                    out.push(a[i]);
+                    i += 1;
+                } else {
+                    out.push(b[j]);
+                    j += 1;
+                }
+            }
+            out.extend_from_slice(&a[i..]);
+            out.extend_from_slice(&b[j..]);
+            out
+        }
+        // Tournament (pairwise-doubling) merge of the runs.
+        let mut runs: Vec<Vec<f64>> = self
+            .inner
+            .segments
+            .iter()
+            .map(|seg| seg.sorted_col(col).as_ref().clone())
+            .collect();
+        while runs.len() > 1 {
+            let mut next = Vec::with_capacity(runs.len().div_ceil(2));
+            let mut it = runs.into_iter();
+            while let Some(a) = it.next() {
+                match it.next() {
+                    Some(b) => next.push(merge(&a, &b)),
+                    None => next.push(a),
+                }
+            }
+            runs = next;
+        }
+        runs.pop().unwrap_or_default()
     }
 
     /// The cached joint stratum encoding of the conditioning set `z` under
     /// `(bins, max_levels)` — the row-wise contingency-table coordinate
     /// shared by every G-test conditioning on `z`.
     pub fn joint_codes(&self, z: &[usize], bins: usize, max_levels: usize) -> Arc<JointCodes> {
-        let key: (Vec<u32>, u32, u32) = (
-            z.iter().map(|&v| v as u32).collect(),
-            bins as u32,
-            max_levels as u32,
-        );
-        self.inner.joint.get_or_insert_with(key, || {
+        let key = (SmallIdSet::from_indices(z), bins as u32, max_levels as u32);
+        let epoch = self.inner.epoch;
+        self.inner.caches.joint.get_or_insert_with(key, epoch, || {
             let cols: Vec<Arc<ColumnCodes>> =
                 z.iter().map(|&i| self.codes(i, bins, max_levels)).collect();
             let refs: Vec<&[usize]> = cols.iter().map(|c| c.codes.as_slice()).collect();
@@ -238,25 +577,57 @@ impl DataView {
     }
 
     /// Memoized CI outcome: returns the cached `(statistic, p_value)` for
-    /// `key` or computes and caches it. `compute` must be a pure function
-    /// of the view data and the key.
+    /// `key` at this view's data epoch, or computes and caches it.
+    /// `compute` must be a pure function of the view data and the key. An
+    /// entry computed at another epoch is never served — it is refreshed in
+    /// place (this per-test epoch check is the "dirty edge" predicate of
+    /// the incremental skeleton: after an append every outcome is stale
+    /// exactly once, while repeat relearns on unchanged data hit every
+    /// entry).
     pub fn ci_outcome(&self, key: CiKey, compute: impl FnOnce() -> (f64, f64)) -> (f64, f64) {
-        self.inner.ci.get_or_insert_with(key, compute)
+        self.inner
+            .caches
+            .ci
+            .get_or_insert_with(key, self.inner.epoch, compute)
     }
 
     /// Hit count of the CI-outcome cache (observability for tests/benches).
+    /// Counters are shared along an append lineage.
     pub fn ci_cache_hits(&self) -> u64 {
-        self.inner.ci.stats().hits()
+        self.inner.caches.ci.stats().hits()
     }
 
     /// Miss count of the CI-outcome cache.
     pub fn ci_cache_misses(&self) -> u64 {
-        self.inner.ci.stats().misses()
+        self.inner.caches.ci.stats().misses()
     }
 
     /// True when `other` shares this view's allocation (Arc identity).
     pub fn same_table(&self, other: &DataView) -> bool {
         Arc::ptr_eq(&self.inner, &other.inner)
+    }
+
+    /// The canonical storage segments (consumers that maintain their own
+    /// per-segment summaries — e.g. the SCM's cached regression Grams —
+    /// key them by these `Arc` identities).
+    pub fn segments(&self) -> &[Arc<Segment>] {
+        &self.inner.segments
+    }
+
+    /// Number of storage segments (observability for tests/benches).
+    pub fn n_segments(&self) -> usize {
+        self.inner.segments.len()
+    }
+
+    /// Number of segments shared (by `Arc` identity) with `other` —
+    /// observability for the O(new rows) append guarantee.
+    pub fn shared_segments_with(&self, other: &DataView) -> usize {
+        self.inner
+            .segments
+            .iter()
+            .zip(&other.inner.segments)
+            .take_while(|(a, b)| Arc::ptr_eq(a, b))
+            .count()
     }
 }
 
@@ -264,14 +635,16 @@ impl DataView {
 /// symmetric queries share one entry.
 pub fn ci_key(kind: u32, x: usize, y: usize, z: &[usize]) -> CiKey {
     let (lo, hi) = if x <= y { (x, y) } else { (y, x) };
-    let mut zs: Vec<u32> = z.iter().map(|&v| v as u32).collect();
-    zs.sort_unstable();
+    let mut zs = SmallIdSet::from_indices(z);
+    zs.sort();
     (kind, lo as u32, hi as u32, zs)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::correlation::correlation_matrix;
+    use crate::descriptive::{mean, variance};
 
     fn view() -> DataView {
         DataView::new(vec![
@@ -316,10 +689,57 @@ mod tests {
         let _ = v.correlation();
         let w = v.append_rows(&[vec![5.0, 10.0, 3.0], vec![6.0, 12.0, 3.0]]);
         assert!(!v.same_table(&w));
+        assert_ne!(v.epoch(), w.epoch());
+        assert_eq!(v.lineage(), w.lineage(), "first append keeps the lineage");
         assert_eq!(w.n_rows(), 6);
         assert_eq!(v.n_rows(), 4, "old view untouched");
         // The new view's correlation reflects the new rows.
         assert_eq!(*w.correlation(), correlation_matrix(w.columns()));
+    }
+
+    #[test]
+    fn appends_share_sealed_segments() {
+        let n = 3 * MOMENT_CHUNK + 10;
+        let cols: Vec<Vec<f64>> = (0..2)
+            .map(|c| (0..n).map(|i| (i * (c + 1)) as f64).collect())
+            .collect();
+        let v = DataView::new(cols.clone());
+        assert_eq!(v.n_segments(), 4);
+        let w = v.append_row(&[1.0, 2.0]);
+        // The three sealed segments are shared; only the partial tail is
+        // rebuilt.
+        assert_eq!(w.shared_segments_with(&v), 3);
+        assert_eq!(w.n_rows(), n + 1);
+        // Grown-view statistics equal a cold rebuild, bit for bit.
+        let mut full = cols;
+        full[0].push(1.0);
+        full[1].push(2.0);
+        let cold = DataView::new(full);
+        assert_eq!(*w.correlation(), *cold.correlation());
+        assert_eq!(w.column_stats(), cold.column_stats());
+        assert_eq!(w.columns(), cold.columns());
+    }
+
+    #[test]
+    fn empty_append_is_identity() {
+        let v = view();
+        let w = v.append_rows(&[]);
+        assert!(v.same_table(&w), "empty append must not mint a new view");
+        // The real first append afterwards still inherits the caches.
+        let a = v.append_row(&[0.0, 0.0, 1.0]);
+        assert_eq!(a.lineage(), v.lineage());
+    }
+
+    #[test]
+    fn second_append_forks_lineage() {
+        let v = view();
+        let a = v.append_row(&[0.0, 0.0, 0.0]);
+        let b = v.append_row(&[9.0, 9.0, 9.0]);
+        assert_eq!(a.lineage(), v.lineage());
+        assert_ne!(b.lineage(), v.lineage(), "fork must isolate its caches");
+        // Both branches still compute correct (their own) statistics.
+        assert_eq!(*a.correlation(), correlation_matrix(a.columns()));
+        assert_eq!(*b.correlation(), correlation_matrix(b.columns()));
     }
 
     #[test]
@@ -331,6 +751,26 @@ mod tests {
         assert_eq!(a.arity, d.arity());
         let b = v.codes(2, 5, 8);
         assert!(Arc::ptr_eq(&a, &b), "second lookup must hit the cache");
+    }
+
+    #[test]
+    fn codes_extend_incrementally_across_appends() {
+        // Column 2 is categorical with values {1, 2}; appending covered
+        // values must extend the stale fit rather than refit.
+        let v = view();
+        let before = v.codes(2, 5, 8);
+        let w = v.append_row(&[5.0, 10.0, 1.0]);
+        let after = w.codes(2, 5, 8);
+        let d = Discretizer::fit(w.column(2), 5, 8);
+        assert_eq!(after.codes, d.transform(w.column(2)));
+        assert_eq!(after.arity, before.arity);
+        assert_eq!(after.codes[..4], before.codes[..]);
+        // A novel value forces a refit — still identical to direct.
+        let u = w.append_row(&[0.0, 0.0, 7.5]);
+        let refit = u.codes(2, 5, 8);
+        let d2 = Discretizer::fit(u.column(2), 5, 8);
+        assert_eq!(refit.codes, d2.transform(u.column(2)));
+        assert_eq!(refit.arity, d2.arity());
     }
 
     #[test]
@@ -353,6 +793,21 @@ mod tests {
         assert_eq!(first, second);
         assert_eq!(v.ci_cache_hits(), 1);
         assert_eq!(v.ci_cache_misses(), 1);
+    }
+
+    #[test]
+    fn ci_cache_survives_appends_but_never_serves_stale_values() {
+        let v = view();
+        let k = ci_key(0, 0, 1, &[]);
+        let old = v.ci_outcome(k.clone(), || (1.0, 0.5));
+        assert_eq!(old, (1.0, 0.5));
+        let w = v.append_row(&[7.0, 7.0, 1.0]);
+        // Same key, new epoch: the stale entry must be refreshed.
+        let new = w.ci_outcome(k.clone(), || (2.0, 0.25));
+        assert_eq!(new, (2.0, 0.25));
+        // And the refreshed entry now hits at the new epoch.
+        let hit = w.ci_outcome(k, || panic!("must hit refreshed entry"));
+        assert_eq!(hit, (2.0, 0.25));
     }
 
     #[test]

@@ -1,20 +1,137 @@
 //! Descriptive statistics over `f64` slices and column-major datasets.
+//!
+//! # Canonical chunked moments
+//!
+//! Means, variances, and (co)moments are defined *canonically* as a Chan-
+//! style merge over fixed-size chunks of [`MOMENT_CHUNK`] rows, folded in
+//! row order: each chunk contributes a two-pass `(n, mean, M2[, C2])`
+//! summary, and summaries combine with the numerically stable parallel
+//! update (Chan, Golub & LeVeque 1983). Because the chunk boundaries are a
+//! pure function of the row count — never of how the data was assembled —
+//! a statistic computed incrementally from per-chunk summaries (the
+//! segmented `DataView`) is **bit-identical** to direct computation over
+//! the contiguous column. For inputs of at most one chunk the result is
+//! bit-identical to the classic two-pass formulas these functions used
+//! previously.
+
+/// Rows per moment chunk. This is also the segment size of the chunked
+/// `DataView` columns — the two must agree for cached statistics to be
+/// bit-identical to direct recomputation. Sized so that rebuilding the
+/// partial tail segment on append (and recomputing its per-segment
+/// moment/Gram summaries) stays cheap relative to a relearn, while the
+/// per-segment merge overhead stays negligible.
+pub const MOMENT_CHUNK: usize = 64;
+
+/// First and second central moments of one column: count, mean, and
+/// `M2 = Σ (x − mean)²`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ColMoments {
+    /// Number of observations folded in.
+    pub n: usize,
+    /// Running mean.
+    pub mean: f64,
+    /// Sum of squared deviations from the running mean.
+    pub m2: f64,
+}
+
+impl ColMoments {
+    /// The empty summary (identity of [`merge_col_moments`]).
+    pub const EMPTY: ColMoments = ColMoments {
+        n: 0,
+        mean: 0.0,
+        m2: 0.0,
+    };
+
+    /// Two-pass summary of one chunk (at most [`MOMENT_CHUNK`] rows).
+    pub fn of_chunk(xs: &[f64]) -> ColMoments {
+        if xs.is_empty() {
+            return ColMoments::EMPTY;
+        }
+        let m = xs.iter().sum::<f64>() / xs.len() as f64;
+        let m2 = xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>();
+        ColMoments {
+            n: xs.len(),
+            mean: m,
+            m2,
+        }
+    }
+}
+
+/// Chan merge of two column summaries. Exact identity when either side is
+/// empty, so folds may start from [`ColMoments::EMPTY`].
+pub fn merge_col_moments(a: ColMoments, b: ColMoments) -> ColMoments {
+    if a.n == 0 {
+        return b;
+    }
+    if b.n == 0 {
+        return a;
+    }
+    let (na, nb) = (a.n as f64, b.n as f64);
+    let n = na + nb;
+    let delta = b.mean - a.mean;
+    ColMoments {
+        n: a.n + b.n,
+        mean: a.mean + delta * nb / n,
+        m2: a.m2 + b.m2 + delta * delta * na * nb / n,
+    }
+}
+
+/// Chan merge of a cross-column comoment `C2 = Σ (x − mean_x)(y − mean_y)`.
+/// `ax`/`ay` and `bx`/`by` are the per-column summaries of the two sides
+/// *before* merging.
+pub fn merge_comoment(
+    ac2: f64,
+    ax: ColMoments,
+    ay: ColMoments,
+    bc2: f64,
+    bx: ColMoments,
+    by: ColMoments,
+) -> f64 {
+    debug_assert_eq!(ax.n, ay.n);
+    debug_assert_eq!(bx.n, by.n);
+    if ax.n == 0 {
+        return bc2;
+    }
+    if bx.n == 0 {
+        return ac2;
+    }
+    let (na, nb) = (ax.n as f64, bx.n as f64);
+    let n = na + nb;
+    let dx = bx.mean - ax.mean;
+    let dy = by.mean - ay.mean;
+    ac2 + bc2 + dx * dy * na * nb / n
+}
+
+/// Comoment of one chunk given the chunk's own column means.
+pub fn chunk_comoment(xs: &[f64], ys: &[f64], mx: f64, my: f64) -> f64 {
+    xs.iter().zip(ys).map(|(x, y)| (x - mx) * (y - my)).sum()
+}
+
+/// Canonical moments of a full column: fold [`MOMENT_CHUNK`]-sized chunk
+/// summaries in row order.
+pub fn column_moments(xs: &[f64]) -> ColMoments {
+    xs.chunks(MOMENT_CHUNK)
+        .map(ColMoments::of_chunk)
+        .fold(ColMoments::EMPTY, merge_col_moments)
+}
 
 /// Arithmetic mean; 0 for an empty slice.
 pub fn mean(xs: &[f64]) -> f64 {
-    if xs.is_empty() {
-        return 0.0;
-    }
-    xs.iter().sum::<f64>() / xs.len() as f64
+    column_moments(xs).mean
 }
 
 /// Unbiased sample variance (n−1 denominator); 0 for fewer than 2 points.
 pub fn variance(xs: &[f64]) -> f64 {
-    if xs.len() < 2 {
+    variance_of(column_moments(xs))
+}
+
+/// Sample variance from a moment summary (shared by the cached and the
+/// direct computation paths so their bits agree).
+pub fn variance_of(m: ColMoments) -> f64 {
+    if m.n < 2 {
         return 0.0;
     }
-    let m = mean(xs);
-    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64
+    m.m2 / (m.n - 1) as f64
 }
 
 /// Sample standard deviation.

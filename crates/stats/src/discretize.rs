@@ -16,15 +16,23 @@ impl Discretizer {
     /// values it is treated as categorical, otherwise equal-frequency
     /// binning into `bins` buckets is used.
     pub fn fit(xs: &[f64], bins: usize, max_levels: usize) -> Self {
+        let mut sorted = xs.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in discretize"));
+        Self::fit_sorted(&sorted, bins, max_levels)
+    }
+
+    /// [`Discretizer::fit`] over an already ascending-sorted column. The
+    /// fit depends only on the value multiset, so this produces exactly
+    /// the discretizer `fit` would — callers holding sorted runs (the
+    /// segmented `DataView`) skip the O(n log n) re-sort.
+    pub fn fit_sorted(sorted: &[f64], bins: usize, max_levels: usize) -> Self {
         assert!(bins >= 2, "need at least two bins");
-        let mut distinct: Vec<f64> = xs.to_vec();
-        distinct.sort_by(|a, b| a.partial_cmp(b).expect("NaN in discretize"));
+        debug_assert!(sorted.is_sorted_by(|a, b| a <= b), "input not sorted");
+        let mut distinct: Vec<f64> = sorted.to_vec();
         distinct.dedup();
         if distinct.len() <= max_levels {
             return Discretizer::Categorical { values: distinct };
         }
-        let mut sorted = xs.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in discretize"));
         let n = sorted.len();
         let mut cuts = Vec::with_capacity(bins - 1);
         for b in 1..bins {

@@ -17,6 +17,7 @@ use crate::dataview::{CiKey, DataView};
 use crate::dist::{chi2_sf, normal_two_sided_p};
 use crate::entropy::{conditional_mutual_information, joint_code, mutual_information};
 use crate::matrix::Matrix;
+use crate::smallset::SmallIdSet;
 
 /// CI-cache tag for Fisher-Z outcomes.
 const KIND_FISHER: u32 = 0;
@@ -35,24 +36,31 @@ fn kind_gtest(bins: usize, max_levels: usize) -> u32 {
 /// sorted conditioning set. Both supported tests are symmetric in `x`/`y`
 /// and in the order of `z`, so this changes nothing mathematically while
 /// making the float rounding — and therefore the cached bits — a function
-/// of the *set* queried rather than of the caller's argument order.
-fn canonical(x: usize, y: usize, z: &[usize]) -> (usize, usize, Vec<usize>) {
+/// of the *set* queried rather than of the caller's argument order. The
+/// skeleton sweep always passes already-sorted sets, so the common path
+/// borrows instead of allocating.
+fn canonical<'a>(
+    x: usize,
+    y: usize,
+    z: &'a [usize],
+) -> (usize, usize, std::borrow::Cow<'a, [usize]>) {
     let (lo, hi) = if x <= y { (x, y) } else { (y, x) };
-    let mut zs = z.to_vec();
-    zs.sort_unstable();
-    (lo, hi, zs)
+    if z.is_sorted() {
+        (lo, hi, std::borrow::Cow::Borrowed(z))
+    } else {
+        let mut zs = z.to_vec();
+        zs.sort_unstable();
+        (lo, hi, std::borrow::Cow::Owned(zs))
+    }
 }
 
 /// Cache key for already-canonical arguments (avoids the re-sort that
-/// [`crate::dataview::ci_key`] performs for arbitrary callers).
+/// [`crate::dataview::ci_key`] performs for arbitrary callers). The
+/// conditioning set lands in an inline [`SmallIdSet`], so keys for sets of
+/// at most 8 variables are allocation-free.
 fn key_of(kind: u32, x: usize, y: usize, z: &[usize]) -> CiKey {
     debug_assert!(x <= y && z.is_sorted());
-    (
-        kind,
-        x as u32,
-        y as u32,
-        z.iter().map(|&v| v as u32).collect(),
-    )
+    (kind, x as u32, y as u32, SmallIdSet::from_indices(z))
 }
 
 /// Outcome of a conditional-independence test.
@@ -238,7 +246,7 @@ impl GTest {
 impl CiTest for GTest {
     fn test(&self, x: usize, y: usize, z: &[usize]) -> CiOutcome {
         let (x, y, z) = canonical(x, y, z);
-        let z = z.as_slice();
+        let z: &[usize] = &z;
         let (statistic, p_value) = match &self.backend {
             GBackend::Owned { codes, arities, n } => {
                 if z.is_empty() {

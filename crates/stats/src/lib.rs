@@ -24,9 +24,11 @@ pub mod parallel;
 pub mod pareto;
 pub mod ranking;
 pub mod regression;
+pub mod segment;
+pub mod smallset;
 pub mod special;
 
-pub use cache::{CacheStats, LruCache, ShardedLru};
+pub use cache::{CacheStats, EpochLru, LruCache, ShardedLru};
 pub use correlation::{correlation_matrix, partial_correlation, pearson, spearman};
 pub use dataview::{ColumnCodes, ColumnStats, DataView, JointCodes};
 pub use descriptive::{mape, mean, median, quantile, r_squared, standardize, std_dev, variance};
@@ -38,6 +40,7 @@ pub use parallel::{default_threads, par_map};
 pub use pareto::{dominates, hypervolume_2d, hypervolume_error, pareto_front};
 pub use ranking::{jaccard, ranks_with_ties, weighted_jaccard};
 pub use regression::{bic, fit_terms, stepwise_fit, PolyModel, StepwiseOptions, Term};
+pub use smallset::SmallIdSet;
 
 /// Errors surfaced by the numerics layer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -7,7 +7,7 @@
 //! "we characterize the functional nodes with polynomial models").
 
 use crate::descriptive::{mape, mean, r_squared};
-use crate::matrix::{ols, Matrix};
+use crate::matrix::Matrix;
 use crate::StatsError;
 
 /// A polynomial term: a multiset of variable indices.
@@ -88,12 +88,36 @@ impl PolyModel {
             .sum()
     }
 
-    /// Predicts all rows of column-major data.
+    /// Predicts all rows of column-major data. Accumulates term by term
+    /// with direct column indexing — the same addition order as
+    /// [`Self::predict_row`] per row (both fold terms in order from 0.0),
+    /// so results are bit-identical, just without the per-value virtual
+    /// dispatch. Degree ≤ 2 terms (everything the SCM's functional nodes
+    /// use) take unrolled inner loops.
     pub fn predict(&self, columns: &[Vec<f64>]) -> Vec<f64> {
         let n = columns.first().map_or(0, Vec::len);
-        (0..n)
-            .map(|r| self.predict_row(&|i: usize| columns[i][r]))
-            .collect()
+        let mut out = vec![0.0; n];
+        for (term, &b) in self.terms.iter().zip(&self.coefficients) {
+            match term.0.as_slice() {
+                [] => out.iter_mut().for_each(|o| *o += b),
+                [i] => {
+                    let c = &columns[*i];
+                    out.iter_mut().zip(c).for_each(|(o, &v)| *o += b * v);
+                }
+                [i, j] => {
+                    let (ci, cj) = (&columns[*i], &columns[*j]);
+                    for ((o, &vi), &vj) in out.iter_mut().zip(ci).zip(cj) {
+                        *o += b * (vi * vj);
+                    }
+                }
+                idx => {
+                    for (r, o) in out.iter_mut().enumerate() {
+                        *o += b * idx.iter().map(|&i| columns[i][r]).product::<f64>();
+                    }
+                }
+            }
+        }
+        out
     }
 
     /// Coefficient of a specific term, if present.
@@ -115,31 +139,151 @@ impl PolyModel {
     }
 }
 
-/// Builds the design matrix for a term set over column-major data.
-fn design(columns: &[Vec<f64>], terms: &[Term]) -> Matrix {
-    let n = columns.first().map_or(0, Vec::len);
-    let mut m = Matrix::zeros(n, terms.len());
-    for r in 0..n {
-        for (c, t) in terms.iter().enumerate() {
-            m[(r, c)] = t.eval(&|i: usize| columns[i][r]);
-        }
-    }
-    m
+/// The normal equations `XᵀX` / `Xᵀy` of a term set, accumulated over a
+/// run of rows — the mergeable sufficient statistic of an OLS fit.
+///
+/// Like the moment layer in [`crate::descriptive`], Grams are defined
+/// *canonically* over fixed [`MOMENT_CHUNK`]-row chunks summed in row
+/// order: [`fit_terms`] folds per-chunk Grams exactly as an incremental
+/// consumer folds cached per-segment Grams, so a warm-started refit over
+/// shared segments is bit-identical to a cold fit.
+#[derive(Debug, Clone)]
+pub struct TermGram {
+    /// Rows folded in.
+    pub n: usize,
+    /// `XᵀX`, `t × t`.
+    pub xtx: Matrix,
+    /// `Xᵀy`, length `t`.
+    pub xty: Vec<f64>,
 }
 
-/// Fits OLS coefficients for a fixed term set.
-pub fn fit_terms(columns: &[Vec<f64>], y: &[f64], terms: &[Term]) -> Result<PolyModel, StatsError> {
-    let x = design(columns, terms);
-    let beta = ols(&x, y)?;
-    let pred = x.matvec(&beta);
-    let n = y.len() as f64;
-    let sse: f64 = y.iter().zip(&pred).map(|(a, p)| (a - p) * (a - p)).sum();
-    Ok(PolyModel {
+use crate::descriptive::MOMENT_CHUNK;
+
+impl TermGram {
+    /// The all-zero Gram (identity of [`TermGram::add`]).
+    pub fn zeros(t: usize) -> Self {
+        Self {
+            n: 0,
+            xtx: Matrix::zeros(t, t),
+            xty: vec![0.0; t],
+        }
+    }
+
+    /// Gram of one chunk of rows. `cols[i]` is column `i` restricted to
+    /// the chunk (chunk-local row indexing); `y` is the chunk's response.
+    ///
+    /// Evaluates the chunk's design block term-major, then fills each
+    /// normal-equation entry as one ordered dot product over the chunk's
+    /// rows — the same per-entry row-order sum a row-major accumulation
+    /// produces, so the result is independent of this loop structure.
+    pub fn of_chunk(terms: &[Term], cols: &[&[f64]], y: &[f64]) -> Self {
+        let t = terms.len();
+        let n = y.len();
+        let mut g = Self::zeros(t);
+        g.n = n;
+        let mut block = vec![0.0; t * n];
+        for (c, term) in terms.iter().enumerate() {
+            let row = &mut block[c * n..(c + 1) * n];
+            match term.0.as_slice() {
+                [] => row.fill(1.0),
+                [i] => row.copy_from_slice(&cols[*i][..n]),
+                [i, j] => {
+                    let (ci, cj) = (&cols[*i][..n], &cols[*j][..n]);
+                    for ((o, &vi), &vj) in row.iter_mut().zip(ci).zip(cj) {
+                        *o = vi * vj;
+                    }
+                }
+                idx => {
+                    for (r, o) in row.iter_mut().enumerate() {
+                        *o = idx.iter().map(|&i| cols[i][r]).product();
+                    }
+                }
+            }
+        }
+        for a in 0..t {
+            let ra = &block[a * n..(a + 1) * n];
+            for b in a..t {
+                let rb = &block[b * n..(b + 1) * n];
+                g.xtx[(a, b)] = ra.iter().zip(rb).map(|(&u, &v)| u * v).sum();
+            }
+            g.xty[a] = ra.iter().zip(y).map(|(&u, &v)| u * v).sum();
+        }
+        g
+    }
+
+    /// Element-wise merge (row-run concatenation); callers must fold
+    /// chunks in row order.
+    pub fn add(&mut self, other: &TermGram) {
+        debug_assert_eq!(self.xty.len(), other.xty.len(), "gram size mismatch");
+        self.n += other.n;
+        let t = self.xty.len();
+        for a in 0..t {
+            for b in a..t {
+                self.xtx[(a, b)] += other.xtx[(a, b)];
+            }
+            self.xty[a] += other.xty[a];
+        }
+    }
+
+    /// Solves the (ridge-stabilized, mirrored) normal equations for the
+    /// coefficient vector.
+    pub fn solve(&self) -> Result<Vec<f64>, StatsError> {
+        let t = self.xty.len();
+        let mut xtx = self.xtx.clone();
+        for a in 0..t {
+            for b in (a + 1)..t {
+                xtx[(b, a)] = xtx[(a, b)];
+            }
+            xtx[(a, a)] += 1e-10;
+        }
+        xtx.solve(&self.xty)
+    }
+}
+
+/// The canonical chunked Gram of a full column-major dataset.
+pub fn gram_of_columns(columns: &[Vec<f64>], y: &[f64], terms: &[Term]) -> TermGram {
+    let n = y.len();
+    let mut gram = TermGram::zeros(terms.len());
+    let mut start = 0;
+    while start < n {
+        let end = (start + MOMENT_CHUNK).min(n);
+        let cols: Vec<&[f64]> = columns.iter().map(|c| &c[start..end]).collect();
+        let chunk = TermGram::of_chunk(terms, &cols, &y[start..end]);
+        gram.add(&chunk);
+        start = end;
+    }
+    gram
+}
+
+/// Finishes a fit from accumulated normal equations: solve, then score the
+/// model on the full data (predictions are recomputed from the
+/// coefficients, so callers fitting from merged Grams and callers fitting
+/// cold share one code path).
+pub fn fit_gram(
+    gram: &TermGram,
+    columns: &[Vec<f64>],
+    y: &[f64],
+    terms: &[Term],
+) -> Result<PolyModel, StatsError> {
+    let beta = gram.solve()?;
+    let mut model = PolyModel {
         terms: terms.to_vec(),
         coefficients: beta,
-        sigma2: (sse / n).max(1e-300),
-        r2: r_squared(y, &pred),
-    })
+        sigma2: 0.0,
+        r2: 0.0,
+    };
+    let pred = model.predict(columns);
+    let n = y.len() as f64;
+    let sse: f64 = y.iter().zip(&pred).map(|(a, p)| (a - p) * (a - p)).sum();
+    model.sigma2 = (sse / n).max(1e-300);
+    model.r2 = r_squared(y, &pred);
+    Ok(model)
+}
+
+/// Fits OLS coefficients for a fixed term set (canonical chunked normal
+/// equations; see [`TermGram`]).
+pub fn fit_terms(columns: &[Vec<f64>], y: &[f64], terms: &[Term]) -> Result<PolyModel, StatsError> {
+    fit_gram(&gram_of_columns(columns, y, terms), columns, y, terms)
 }
 
 /// Bayesian information criterion of a fitted model (lower is better).

@@ -1,0 +1,169 @@
+//! Immutable column segments — the storage unit of the chunked
+//! [`crate::dataview::DataView`].
+//!
+//! A segment holds up to [`MOMENT_CHUNK`] rows of every column, plus a
+//! lazily computed, `Arc`-shared summary of the canonical per-column and
+//! cross-column moments defined in [`crate::descriptive`]. Segmentation is
+//! *canonical in the row count*: segment `k` always covers rows
+//! `[k·MOMENT_CHUNK, (k+1)·MOMENT_CHUNK)`, regardless of the append
+//! schedule that produced the view. Appends therefore share every sealed
+//! (full) segment by `Arc` bump and rebuild only the trailing partial
+//! segment — O(new rows) — while any two views over the same rows agree on
+//! segment boundaries, which is what makes incrementally merged statistics
+//! bit-identical to a cold recomputation.
+
+use std::sync::{Arc, OnceLock};
+
+use crate::descriptive::{chunk_comoment, ColMoments, MOMENT_CHUNK};
+
+/// Index of the pair `(i, j)` with `i < j` in a packed upper triangle over
+/// `p` columns (row-major: all pairs of row 0 first).
+pub fn pair_index(i: usize, j: usize, p: usize) -> usize {
+    debug_assert!(i < j && j < p);
+    i * p - i * (i + 1) / 2 + (j - i - 1)
+}
+
+/// Number of packed pairs over `p` columns.
+pub fn n_pairs(p: usize) -> usize {
+    p * (p - 1) / 2
+}
+
+/// Per-segment sufficient statistics: one [`ColMoments`] per column and the
+/// packed upper triangle of cross-column comoments
+/// `C2(i, j) = Σ (xᵢ − meanᵢ)(xⱼ − meanⱼ)` over the segment's rows.
+#[derive(Debug, Clone)]
+pub struct SegmentStats {
+    /// Per-column chunk moments.
+    pub cols: Vec<ColMoments>,
+    /// Packed `C2` upper triangle (see [`pair_index`]).
+    pub cross: Vec<f64>,
+}
+
+/// One immutable chunk of rows across all columns.
+#[derive(Debug)]
+pub struct Segment {
+    cols: Vec<Vec<f64>>,
+    rows: usize,
+    stats: OnceLock<SegmentStats>,
+    /// Per-column sorted runs, computed lazily (the quantile-discretizer
+    /// substrate: a grown view merges cached runs instead of re-sorting
+    /// the full column).
+    sorted: Vec<OnceLock<Arc<Vec<f64>>>>,
+}
+
+impl Segment {
+    /// Builds a segment from column-major data (`cols[column][row]`); all
+    /// columns must share one length of at most [`MOMENT_CHUNK`] rows.
+    pub fn new(cols: Vec<Vec<f64>>) -> Self {
+        let rows = cols.first().map_or(0, Vec::len);
+        debug_assert!(rows <= MOMENT_CHUNK, "segment over capacity");
+        debug_assert!(cols.iter().all(|c| c.len() == rows), "ragged segment");
+        let sorted = (0..cols.len()).map(|_| OnceLock::new()).collect();
+        Self {
+            cols,
+            rows,
+            stats: OnceLock::new(),
+            sorted,
+        }
+    }
+
+    /// Rows stored in this segment.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// True when the segment holds a full [`MOMENT_CHUNK`] of rows.
+    pub fn is_sealed(&self) -> bool {
+        self.rows == MOMENT_CHUNK
+    }
+
+    /// One column of this segment.
+    pub fn col(&self, i: usize) -> &[f64] {
+        &self.cols[i]
+    }
+
+    /// The column-major data (used when rebuilding the partial tail).
+    pub fn columns(&self) -> &[Vec<f64>] {
+        &self.cols
+    }
+
+    /// Column `i`'s values in ascending order, computed once and shared by
+    /// every view holding this segment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the column contains NaN.
+    pub fn sorted_col(&self, i: usize) -> &Arc<Vec<f64>> {
+        self.sorted[i].get_or_init(|| {
+            let mut v = self.cols[i].clone();
+            v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in sorted column"));
+            Arc::new(v)
+        })
+    }
+
+    /// The segment's moment summary, computed once and shared by every view
+    /// holding this segment.
+    pub fn stats(&self) -> &SegmentStats {
+        self.stats.get_or_init(|| {
+            let p = self.cols.len();
+            let cols: Vec<ColMoments> = self.cols.iter().map(|c| ColMoments::of_chunk(c)).collect();
+            let mut cross = vec![0.0; n_pairs(p)];
+            for i in 0..p {
+                for j in (i + 1)..p {
+                    cross[pair_index(i, j, p)] =
+                        chunk_comoment(&self.cols[i], &self.cols[j], cols[i].mean, cols[j].mean);
+                }
+            }
+            SegmentStats { cols, cross }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::descriptive::{column_moments, merge_col_moments};
+
+    #[test]
+    fn pair_index_is_a_bijection() {
+        let p = 7;
+        let mut seen = vec![false; n_pairs(p)];
+        for i in 0..p {
+            for j in (i + 1)..p {
+                let k = pair_index(i, j, p);
+                assert!(!seen[k], "collision at ({i},{j})");
+                seen[k] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn segment_stats_match_canonical_moments() {
+        let n = MOMENT_CHUNK - 5;
+        let xs: Vec<f64> = (0..n).map(|i| (i as f64).sin()).collect();
+        let ys: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let seg = Segment::new(vec![xs.clone(), ys]);
+        let st = seg.stats();
+        // A single chunk's segment moments equal the canonical column fold.
+        assert_eq!(st.cols[0], column_moments(&xs));
+        assert_eq!(st.cols.len(), 2);
+        assert_eq!(st.cross.len(), 1);
+    }
+
+    #[test]
+    fn sealed_segment_merge_reproduces_full_column() {
+        // Two sealed segments merged in order equal the canonical moments
+        // of the concatenated column, bit for bit.
+        let full: Vec<f64> = (0..2 * MOMENT_CHUNK)
+            .map(|i| (i as f64) * 0.7 - 3.0)
+            .collect();
+        let a = Segment::new(vec![full[..MOMENT_CHUNK].to_vec()]);
+        let b = Segment::new(vec![full[MOMENT_CHUNK..].to_vec()]);
+        let merged = merge_col_moments(a.stats().cols[0], b.stats().cols[0]);
+        let direct = column_moments(&full);
+        assert_eq!(merged.n, direct.n);
+        assert_eq!(merged.mean.to_bits(), direct.mean.to_bits());
+        assert_eq!(merged.m2.to_bits(), direct.m2.to_bits());
+    }
+}

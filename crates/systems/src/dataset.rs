@@ -65,9 +65,13 @@ impl Dataset {
     }
 
     /// An immutable shared view over the current contents, carrying the
-    /// cached sufficient statistics every downstream stage reads. Callers
-    /// that keep measuring should hold the view and grow it with
-    /// [`DataView::append_row`] rather than rebuilding it per sample.
+    /// cached sufficient statistics every downstream stage reads. Each
+    /// call starts a fresh segment lineage with empty caches, so callers
+    /// that keep measuring should request the view once and grow it with
+    /// [`DataView::append_row`] / [`DataView::append_rows`] — O(new rows),
+    /// sealed segments shared, epoch-tagged caches carried along — rather
+    /// than rebuilding it per sample (`UnicornState` does exactly this,
+    /// keeping its view's rows aligned with the dataset's).
     pub fn view(&self) -> DataView {
         DataView::from_columns(&self.columns)
     }

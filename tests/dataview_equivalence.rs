@@ -146,3 +146,38 @@ fn append_rows_equals_rebuild() {
     // Statistics computed on the grown view match a from-scratch build.
     assert_eq!(*grown.correlation(), *rebuilt.correlation());
 }
+
+#[test]
+fn append_chain_shares_segments_and_matches_cold_statistics() {
+    // A long single-row append chain (the measure_and_update cadence):
+    // sealed segments are Arc-shared between consecutive views, and every
+    // cached statistic along the chain is bit-identical to a cold build.
+    let (ds, sim) = testbed(300);
+    let more = generate(&sim, 40, 0x5E6);
+    let mut view = ds.view();
+    let mut cold_ds = ds.clone();
+    for r in 0..more.n_rows() {
+        let prev = view.clone();
+        view = view.append_row(&more.row(r));
+        cold_ds.push_row(&more.row(r));
+        // Sealed segments are shared with the predecessor (300+ rows ⇒
+        // sealed segments exist throughout).
+        assert!(view.shared_segments_with(&prev) >= 1, "no segment sharing");
+        assert_eq!(view.lineage(), prev.lineage(), "chain must keep lineage");
+        assert_ne!(view.epoch(), prev.epoch(), "append must bump the epoch");
+    }
+    let cold = cold_ds.view();
+    assert_eq!(view.n_rows(), 340);
+    assert_eq!(view.columns(), cold.columns());
+    assert_eq!(*view.correlation(), *cold.correlation());
+    assert_eq!(view.column_stats(), cold.column_stats());
+    // CI outcomes on the grown view match the cold view bit for bit.
+    let warm_test = MixedTest::from_view(&view);
+    let cold_test = MixedTest::from_view(&cold);
+    for (x, y, z) in [(0, 1, vec![]), (0, 2, vec![1]), (2, 3, vec![0, 1])] {
+        let a = warm_test.test(x, y, &z);
+        let b = cold_test.test(x, y, &z);
+        assert_eq!(a.statistic.to_bits(), b.statistic.to_bits());
+        assert_eq!(a.p_value.to_bits(), b.p_value.to_bits());
+    }
+}

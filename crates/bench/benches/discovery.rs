@@ -1,11 +1,11 @@
 //! Criterion micro-benchmarks of the causal-discovery pipeline — the
 //! "Discovery" column of Table 3 at machine precision.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use unicorn_discovery::{
-    learn_causal_model, learn_causal_model_incremental, learn_causal_model_on, pc_skeleton,
-    pc_skeleton_with_threads, DiscoveryOptions, RelearnSession,
+    learn_causal_model, learn_causal_model_on, pc_skeleton, pc_skeleton_with_threads,
+    DiscoveryOptions,
 };
 use unicorn_stats::dataview::DataView;
 use unicorn_stats::independence::MixedTest;
@@ -86,119 +86,6 @@ fn bench_dataview(c: &mut Criterion) {
     group.finish();
 }
 
-/// The fig11/fig14-style active-learning loop (the ISSUE 2 acceptance
-/// target): start from n = 1000 measured samples, then per iteration
-/// append one measurement and rebuild the causal engine's SCM (Stage III
-/// reads it every step), relearning the structure every 5 iterations, for
-/// 50 iterations. The *cold* arm replays the PR 1 loop shape: every
-/// append lands in a fresh-cache view over copied columns, every engine
-/// build refits the SCM from scratch, and every relearn re-derives the
-/// correlation matrix, every discretization, and every CI outcome. The
-/// *incremental* arm holds one segmented view (O(new rows) appends,
-/// epoch-tagged surviving caches), warm-refits the SCM from cached
-/// per-segment Grams, and drives `learn_causal_model_incremental` over a
-/// `RelearnSession`. Both arms produce bit-identical models
-/// (`tests/incremental_relearn.rs`, `FittedScm::refit_view` docs).
-///
-/// Note the cold arm still benefits from this PR's shared optimizations
-/// (closed-form low-order partial correlations, block-design Grams,
-/// FxHash cache shards, tightened LatentSearch inner loops); the actual
-/// PR 1 binary runs this same loop in ~340 ms on the reference container,
-/// against ~90 ms for the incremental arm (~3.8×) and ~140 ms cold.
-fn bench_relearn_loop(c: &mut Criterion) {
-    let sim = Simulator::new(
-        SubjectSystem::X264.build(),
-        Environment::on(Hardware::Tx2),
-        0xBE,
-    );
-    const INITIAL: usize = 1000;
-    const ITERATIONS: usize = 50;
-    const RELEARN_EVERY: usize = 5;
-    let stream = generate(&sim, INITIAL + ITERATIONS, 0xD3);
-    let tiers = sim.model.tiers();
-    // The Unicorn loop's discovery settings (UnicornOptions::default).
-    let opts = DiscoveryOptions {
-        alpha: 0.01,
-        max_depth: 2,
-        pds_depth: 1,
-        ..Default::default()
-    };
-    let initial: Vec<Vec<f64>> = stream
-        .columns
-        .iter()
-        .map(|c| c[..INITIAL].to_vec())
-        .collect();
-    let appended: Vec<Vec<f64>> = (INITIAL..INITIAL + ITERATIONS)
-        .map(|r| stream.row(r))
-        .collect();
-
-    let mut group = c.benchmark_group("relearn_loop_x264_n1000_every5_x50");
-    group.sample_size(10);
-    group.bench_function("cold_fresh_caches", |b| {
-        b.iter(|| {
-            let mut cols = initial.clone();
-            let mut model = None;
-            for (i, row) in appended.iter().enumerate() {
-                for (col, &v) in cols.iter_mut().zip(row) {
-                    col.push(v);
-                }
-                // PR 1 appends started a fresh-cache view over copied
-                // columns; the engine refit the SCM from scratch on it.
-                let view = DataView::from_columns(&cols);
-                if (i + 1) % RELEARN_EVERY == 0 {
-                    model = Some(learn_causal_model_on(&view, &stream.names, &tiers, &opts));
-                }
-                let m = model.get_or_insert_with(|| {
-                    learn_causal_model_on(&view, &stream.names, &tiers, &opts)
-                });
-                black_box(
-                    unicorn_inference::FittedScm::fit_view(m.admg.clone(), &view).expect("SCM fit"),
-                );
-            }
-        });
-    });
-    group.bench_function("incremental", |b| {
-        b.iter(|| {
-            let mut view = DataView::from_columns(&initial);
-            let mut session = RelearnSession::default();
-            let mut model = None;
-            let mut scm: Option<unicorn_inference::FittedScm> = None;
-            for (i, row) in appended.iter().enumerate() {
-                view = view.append_row(row);
-                if (i + 1) % RELEARN_EVERY == 0 {
-                    model = Some(learn_causal_model_incremental(
-                        &view,
-                        &stream.names,
-                        &tiers,
-                        &opts,
-                        &mut session,
-                    ));
-                }
-                let m = model.get_or_insert_with(|| {
-                    learn_causal_model_incremental(
-                        &view,
-                        &stream.names,
-                        &tiers,
-                        &opts,
-                        &mut session,
-                    )
-                });
-                // Engine build: warm refit while the structure is stable
-                // (the UnicornState::engine policy).
-                scm = Some(match scm.take() {
-                    Some(prev) if prev.admg() == &m.admg => {
-                        prev.refit_view(&view).expect("SCM refit")
-                    }
-                    _ => unicorn_inference::FittedScm::fit_view(m.admg.clone(), &view)
-                        .expect("SCM fit"),
-                });
-                black_box(scm.as_ref().map(unicorn_inference::FittedScm::n_rows));
-            }
-        });
-    });
-    group.finish();
-}
-
 fn bench_full_pipeline(c: &mut Criterion) {
     let mut group = c.benchmark_group("learn_causal_model");
     group.sample_size(10);
@@ -219,11 +106,5 @@ fn bench_full_pipeline(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_skeleton,
-    bench_dataview,
-    bench_relearn_loop,
-    bench_full_pipeline
-);
+criterion_group!(benches, bench_skeleton, bench_dataview, bench_full_pipeline);
 criterion_main!(benches);

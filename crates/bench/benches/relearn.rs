@@ -1,0 +1,148 @@
+//! The fig11-style relearn-loop benchmark (the Stage-IV wall-clock metric
+//! the roadmap tracks per PR), split into its own target so CI can emit
+//! its JSON report (`BENCH_relearn_loop.json`) alongside the discovery
+//! microbenchmarks.
+//!
+//! Shape: start from n = 1000 measured x264 samples, then per iteration
+//! append one measurement and rebuild the causal engine's SCM (Stage III
+//! reads it every step), relearning the structure every 5 iterations, for
+//! 50 iterations. The *cold* arm replays the PR 1 loop: every append
+//! lands in a fresh-cache view over copied columns, every engine build
+//! refits the SCM from scratch, and every relearn re-derives every
+//! statistic. The *incremental* arm is the current production path:
+//! one segmented view (O(new rows) appends, epoch-surviving caches),
+//! one persistent worker pool reused by every stage
+//! (`DiscoveryOptions::exec` plus `FittedScm::fit_view_on`), warm SCM
+//! refits from cached per-segment Grams, and
+//! `learn_causal_model_incremental` over a `RelearnSession`.
+//! Both arms produce bit-identical models (`tests/incremental_relearn.rs`,
+//! `tests/executor_determinism.rs`).
+
+use std::sync::Arc;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use unicorn_discovery::{
+    learn_causal_model_incremental, learn_causal_model_on, DiscoveryOptions, RelearnSession,
+};
+use unicorn_exec::Executor;
+use unicorn_stats::dataview::DataView;
+use unicorn_systems::{generate, Environment, Hardware, Simulator, SubjectSystem};
+
+fn bench_relearn_loop(c: &mut Criterion) {
+    let sim = Simulator::new(
+        SubjectSystem::X264.build(),
+        Environment::on(Hardware::Tx2),
+        0xBE,
+    );
+    const INITIAL: usize = 1000;
+    const ITERATIONS: usize = 50;
+    const RELEARN_EVERY: usize = 5;
+    let stream = generate(&sim, INITIAL + ITERATIONS, 0xD3);
+    let tiers = sim.model.tiers();
+    // The Unicorn loop's discovery settings (UnicornOptions::default).
+    let base_opts = DiscoveryOptions {
+        alpha: 0.01,
+        max_depth: 2,
+        pds_depth: 1,
+        ..Default::default()
+    };
+    let initial: Vec<Vec<f64>> = stream
+        .columns
+        .iter()
+        .map(|c| c[..INITIAL].to_vec())
+        .collect();
+    let appended: Vec<Vec<f64>> = (INITIAL..INITIAL + ITERATIONS)
+        .map(|r| stream.row(r))
+        .collect();
+
+    let mut group = c.benchmark_group("relearn_loop_x264_n1000_every5_x50");
+    group.sample_size(10);
+    group.bench_function("cold_fresh_caches", |b| {
+        b.iter(|| {
+            let mut cols = initial.clone();
+            let mut model = None;
+            for (i, row) in appended.iter().enumerate() {
+                for (col, &v) in cols.iter_mut().zip(row) {
+                    col.push(v);
+                }
+                // PR 1 appends started a fresh-cache view over copied
+                // columns; the engine refit the SCM from scratch on it.
+                let view = DataView::from_columns(&cols);
+                if (i + 1) % RELEARN_EVERY == 0 {
+                    model = Some(learn_causal_model_on(
+                        &view,
+                        &stream.names,
+                        &tiers,
+                        &base_opts,
+                    ));
+                }
+                let m = model.get_or_insert_with(|| {
+                    learn_causal_model_on(&view, &stream.names, &tiers, &base_opts)
+                });
+                black_box(
+                    unicorn_inference::FittedScm::fit_view(m.admg.clone(), &view).expect("SCM fit"),
+                );
+            }
+        });
+    });
+    group.bench_function("incremental", |b| {
+        // One pool for the whole loop — the UnicornState policy: workers
+        // are spawned at most once and reused by every relearn and fit.
+        let pool = Executor::new(unicorn_exec::default_threads());
+        let opts = DiscoveryOptions {
+            exec: Some(Arc::clone(&pool)),
+            ..base_opts.clone()
+        };
+        b.iter(|| {
+            let mut view = DataView::from_columns(&initial);
+            let mut session = RelearnSession::default();
+            let mut model = None;
+            let mut scm: Option<unicorn_inference::FittedScm> = None;
+            for (i, row) in appended.iter().enumerate() {
+                view = view.append_row(row);
+                if (i + 1) % RELEARN_EVERY == 0 {
+                    model = Some(learn_causal_model_incremental(
+                        &view,
+                        &stream.names,
+                        &tiers,
+                        &opts,
+                        &mut session,
+                    ));
+                }
+                let m = model.get_or_insert_with(|| {
+                    learn_causal_model_incremental(
+                        &view,
+                        &stream.names,
+                        &tiers,
+                        &opts,
+                        &mut session,
+                    )
+                });
+                // Engine build: warm refit while the structure is stable
+                // (the UnicornState::engine policy); the refit inherits
+                // the fit's pool.
+                scm = Some(match scm.take() {
+                    Some(prev) if prev.admg() == &m.admg => {
+                        prev.refit_view(&view).expect("SCM refit")
+                    }
+                    _ => unicorn_inference::FittedScm::fit_view_on(
+                        m.admg.clone(),
+                        &view,
+                        Arc::clone(&pool),
+                    )
+                    .expect("SCM fit"),
+                });
+                black_box(scm.as_ref().map(unicorn_inference::FittedScm::n_rows));
+            }
+        });
+        assert!(
+            pool.workers_spawned() <= pool.threads().saturating_sub(1),
+            "pool must not respawn workers"
+        );
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_relearn_loop);
+criterion_main!(benches);

@@ -5,12 +5,15 @@
 //! measurements, engine construction, and ACE-guided exploration. The
 //! debugging and optimization tasks build their Stage III policies on top.
 
+use std::sync::Arc;
+
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use unicorn_discovery::{
     learn_causal_model_incremental, DiscoveryOptions, LearnedModel, RelearnSession,
 };
+use unicorn_exec::Executor;
 use unicorn_graph::NodeId;
 use unicorn_inference::{CausalEngine, FittedScm, RepairOptions};
 use unicorn_stats::dataview::DataView;
@@ -74,9 +77,10 @@ pub struct UnicornState {
     /// read this view's cached sufficient statistics. New measurements are
     /// staged in `pending` and folded in lazily (one
     /// [`DataView::append_rows`] per engine build / relearn, not one
-    /// column copy per sample); folding starts the new view with empty
-    /// caches, so statistics of the old sample are never reused for the
-    /// extended one.
+    /// column copy per sample). Folding bumps the data epoch: the
+    /// epoch-tagged caches survive along the lineage, but an entry
+    /// computed on the old sample is never served for the extended one
+    /// (see the `dataview` module docs for the invalidation rules).
     view: DataView,
     /// Measured rows not yet folded into `view`.
     pending: Vec<Vec<f64>>,
@@ -93,6 +97,11 @@ pub struct UnicornState {
     /// as-is while the data and structure are unchanged, warm-refit
     /// (structure reused, regressions redone) when only the data grew.
     scm: Option<FittedScm>,
+    /// The one worker pool of this state's lifetime: every relearn
+    /// (skeleton sweep, PDS rounds, entropic resolution, completion scan)
+    /// and every SCM fit/refit fans out over it, so workers are spawned at
+    /// most once and reused across the whole active-learning loop.
+    exec: Arc<Executor>,
     rng: StdRng,
 }
 
@@ -102,12 +111,15 @@ impl UnicornState {
     pub fn bootstrap(sim: &Simulator, opts: &UnicornOptions) -> Self {
         let data = unicorn_systems::generate(sim, opts.initial_samples, opts.seed);
         let view = data.view();
+        // The state's one pool: the caller's, if the options carry one,
+        // otherwise the pipeline default.
+        let exec = opts.discovery.executor();
         let mut session = RelearnSession::default();
         let model = learn_causal_model_incremental(
             &view,
             &data.names,
             &sim.model.tiers(),
-            &opts.discovery,
+            &Self::discovery_opts(&opts.discovery, &exec),
             &mut session,
         );
         Self {
@@ -119,8 +131,23 @@ impl UnicornState {
             measurements: 0,
             session,
             scm: None,
+            exec,
             rng: StdRng::seed_from_u64(opts.seed ^ 0x5EED),
         }
+    }
+
+    /// The caller's discovery options pinned to this state's pool.
+    fn discovery_opts(base: &DiscoveryOptions, exec: &Arc<Executor>) -> DiscoveryOptions {
+        DiscoveryOptions {
+            exec: Some(Arc::clone(exec)),
+            ..base.clone()
+        }
+    }
+
+    /// This state's worker pool (shared by forks; observability for the
+    /// spawn-at-most-once guarantee).
+    pub fn executor(&self) -> &Arc<Executor> {
+        &self.exec
     }
 
     /// Folds staged measurements into the shared view.
@@ -158,7 +185,10 @@ impl UnicornState {
             Some(prev) if prev.admg() == &self.model.admg => {
                 prev.refit_view(&self.view).expect("SCM refit failed")
             }
-            _ => FittedScm::fit_view(self.model.admg.clone(), &self.view).expect("SCM fit failed"),
+            _ => {
+                FittedScm::fit_view_on(self.model.admg.clone(), &self.view, Arc::clone(&self.exec))
+                    .expect("SCM fit failed")
+            }
         };
         self.scm = Some(scm.clone());
         CausalEngine::new(scm, sim.model.tiers(), Box::new(self.data.domains(sim)))
@@ -213,7 +243,7 @@ impl UnicornState {
             &self.view,
             &self.data.names,
             &sim.model.tiers(),
-            &opts.discovery,
+            &Self::discovery_opts(&opts.discovery, &self.exec),
             &mut self.session,
         );
         self.since_relearn = 0;
@@ -316,6 +346,9 @@ impl UnicornState {
             measurements: 0,
             session: self.session.clone(),
             scm: self.scm.clone(),
+            // Forks share the parent's pool (an Arc bump): workers are
+            // still spawned at most once across the whole family.
+            exec: Arc::clone(&self.exec),
             rng: StdRng::seed_from_u64(seed ^ 0x7272),
         }
     }
@@ -371,6 +404,34 @@ mod tests {
         assert_eq!(st.since_relearn, 0);
         assert_eq!(st.data.n_rows(), 43);
         assert_eq!(st.measurements, 3);
+    }
+
+    #[test]
+    fn state_pool_spawns_workers_at_most_once() {
+        let s = sim();
+        let pool = Executor::new(2);
+        let mut opts = small_opts();
+        opts.discovery.exec = Some(Arc::clone(&pool));
+        let mut st = UnicornState::bootstrap(&s, &opts);
+        assert!(
+            Arc::ptr_eq(st.executor(), &pool),
+            "state must adopt the pool"
+        );
+        let spawned_after_bootstrap = pool.workers_spawned();
+        let c = s.model.space.default_config();
+        for _ in 0..7 {
+            st.measure_and_update(&s, &opts, &c); // relearns every 3
+            let _ = st.engine(&s, &opts); // SCM fit/refit on the same pool
+        }
+        assert_eq!(
+            pool.workers_spawned(),
+            spawned_after_bootstrap,
+            "the pool must reuse its workers across the whole relearn loop"
+        );
+        assert!(pool.workers_spawned() <= 1);
+        // Forks share the pool rather than spawning their own.
+        let fork = st.fork(1);
+        assert!(Arc::ptr_eq(fork.executor(), &pool));
     }
 
     #[test]

@@ -43,17 +43,19 @@ pub use entropic::{
 };
 pub use latent_search::{latent_search, LatentSearchOptions, LatentSearchResult};
 pub use orient::{apply_fci_rules, orient_v_structures};
-pub use pds::{pds_prune, pds_prune_with_threads, possible_d_sep};
-pub use resolve::{resolve_pag, Resolution, ResolveOptions};
+pub use pds::{pds_prune, pds_prune_on, possible_d_sep};
+pub use resolve::{resolve_pag, resolve_pag_on, Resolution, ResolveOptions};
 pub use skeleton::{
-    pc_skeleton, pc_skeleton_incremental, pc_skeleton_with_threads, SepsetMap, Skeleton,
-    SkeletonMemo,
+    pc_skeleton, pc_skeleton_incremental, pc_skeleton_on, pc_skeleton_with_threads, SepsetMap,
+    Skeleton, SkeletonMemo,
 };
 
+use std::sync::Arc;
+
+use unicorn_exec::Executor;
 use unicorn_graph::{Admg, MixedGraph, TierConstraints};
 use unicorn_stats::dataview::DataView;
 use unicorn_stats::independence::{CiTest, MixedTest};
-use unicorn_stats::parallel::{default_threads, par_map};
 
 /// End-to-end configuration of the discovery pipeline.
 #[derive(Debug, Clone, PartialEq)]
@@ -73,12 +75,21 @@ pub struct DiscoveryOptions {
     /// Maximum parents re-admitted per objective by the completion pass
     /// (0 disables it).
     pub objective_completion: usize,
-    /// Worker threads for the skeleton sweep, the PDS prune, and the
-    /// completion pass; `None` defers to
-    /// [`unicorn_stats::parallel::default_threads`] (the `UNICORN_THREADS`
-    /// environment variable or the machine's parallelism). Every stage's
-    /// output is independent of this value.
+    /// Worker threads for every parallel stage when no [`Self::exec`] pool
+    /// is supplied; `None` defers to [`unicorn_exec::default_threads`]
+    /// (the `UNICORN_THREADS` environment variable or the machine's
+    /// parallelism). Every stage's output is independent of this value.
     pub threads: Option<usize>,
+    /// The worker pool every parallel stage fans out over — the skeleton
+    /// sweep, the PDS speculative rounds, the per-edge entropic
+    /// resolution, and the objective-completion scan. `None` falls back to
+    /// the process-default pool (or a transient one sized by
+    /// [`Self::threads`]); long-lived callers such as `UnicornState`
+    /// supply their own so workers are spawned once and reused across the
+    /// whole relearn loop. Output is independent of the pool used
+    /// (executor equality is pool identity, so the derived `PartialEq`
+    /// stays meaningful).
+    pub exec: Option<Arc<Executor>>,
 }
 
 impl Default for DiscoveryOptions {
@@ -91,14 +102,21 @@ impl Default for DiscoveryOptions {
             resolve: ResolveOptions::default(),
             objective_completion: 4,
             threads: None,
+            exec: None,
         }
     }
 }
 
 impl DiscoveryOptions {
-    /// The effective worker-thread count.
-    pub fn effective_threads(&self) -> usize {
-        self.threads.unwrap_or_else(default_threads)
+    /// The worker pool the pipeline fans out over: the supplied
+    /// [`Self::exec`], a transient pool when only [`Self::threads`] is
+    /// set, or the process-default pool.
+    pub fn executor(&self) -> Arc<Executor> {
+        match (&self.exec, self.threads) {
+            (Some(e), _) => Arc::clone(e),
+            (None, Some(n)) => Executor::new(n),
+            (None, None) => Executor::global(),
+        }
     }
 }
 
@@ -166,7 +184,9 @@ fn learn_pipeline(
     opts: &DiscoveryOptions,
     memo: Option<&mut SkeletonMemo>,
 ) -> LearnedModel {
-    let threads = opts.effective_threads();
+    // One pool for every stage of this run (and, when the caller supplied
+    // it, for every run of the relearn loop).
+    let exec = opts.executor();
 
     // 1. Adjacency search (warm-started from the previous skeleton when a
     //    memo is supplied and the data epoch is unchanged).
@@ -178,10 +198,10 @@ fn learn_pipeline(
             tiers,
             opts.alpha,
             opts.max_depth,
-            threads,
+            &exec,
             memo,
         ),
-        None => pc_skeleton_with_threads(test, names, tiers, opts.alpha, opts.max_depth, threads),
+        None => pc_skeleton_on(test, names, tiers, opts.alpha, opts.max_depth, &exec),
     };
     let mut n_tests = sk.n_tests;
 
@@ -192,14 +212,14 @@ fn learn_pipeline(
     // 3. Possible-D-SEP pruning (the FCI-specific step), then re-orient
     //    from scratch on the reduced skeleton.
     if opts.pds_depth > 0 {
-        n_tests += pds_prune_with_threads(
+        n_tests += pds_prune_on(
             &mut sk.graph,
             test,
             &mut sk.sepsets,
             opts.alpha,
             opts.pds_depth,
             opts.pds_max_set,
-            threads,
+            &exec,
         );
         pds::reset_to_circles(&mut sk.graph);
         tiers.orient(&mut sk.graph);
@@ -210,8 +230,9 @@ fn learn_pipeline(
     apply_fci_rules(&mut sk.graph, &sk.sepsets, tiers);
     let pag = sk.graph.clone();
 
-    // 5. Entropic resolution into an ADMG.
-    let (mut admg, _log) = resolve_pag(&pag, data, tiers, &opts.resolve);
+    // 5. Entropic resolution into an ADMG — per-edge LatentSearch fanned
+    //    over the pool with a canonical-order merge.
+    let (mut admg, _log) = resolve_pag_on(&pag, data, tiers, &opts.resolve, &exec);
 
     // 6. Objective-parent completion (an extension in the spirit of §11's
     //    "algorithmic innovations for learning better structure"). The
@@ -229,7 +250,7 @@ fn learn_pipeline(
             tiers,
             opts.alpha,
             opts.objective_completion,
-            threads,
+            &exec,
         );
     }
 
@@ -259,7 +280,7 @@ fn complete_objective_parents(
     tiers: &TierConstraints,
     alpha: f64,
     max_extra: usize,
-    threads: usize,
+    exec: &Executor,
 ) -> usize {
     use unicorn_graph::VarKind;
     let mut n_tests = 0usize;
@@ -278,7 +299,7 @@ fn complete_objective_parents(
                 })
                 .collect();
             n_tests += candidates.len();
-            let outcomes = par_map(&candidates, threads, |_, &x| test.test(x, y, &cond));
+            let outcomes = exec.par_map(&candidates, |_, &x| test.test(x, y, &cond));
             let mut best: Option<(f64, usize)> = None;
             for (&x, out) in candidates.iter().zip(outcomes) {
                 if !out.independent(alpha) && best.is_none_or(|(bp, _)| out.p_value < bp) {
@@ -353,11 +374,12 @@ pub fn learn_causal_model_incremental(
         epoch: data.epoch(),
         names: names.to_vec(),
         tiers: tiers.clone(),
-        // Every stage's output is thread-count independent (proven by the
-        // equivalence tests), so the worker count must not invalidate the
-        // memo.
+        // Every stage's output is thread-count and pool independent
+        // (proven by the equivalence tests), so neither the worker count
+        // nor the pool identity may invalidate the memo.
         opts: DiscoveryOptions {
             threads: None,
+            exec: None,
             ..opts.clone()
         },
     };

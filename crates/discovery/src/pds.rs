@@ -9,9 +9,9 @@
 //! (`u` adjacent to `t`). Each remaining edge is retested against subsets
 //! of `pds`.
 
+use unicorn_exec::Executor;
 use unicorn_graph::{Endpoint, MixedGraph, NodeId};
 use unicorn_stats::independence::CiTest;
-use unicorn_stats::parallel::{default_threads, par_map};
 
 use crate::skeleton::{for_each_subset, SepsetMap};
 
@@ -108,18 +108,18 @@ pub fn pds_prune(
     max_cond: usize,
     max_pds: usize,
 ) -> usize {
-    pds_prune_with_threads(
+    pds_prune_on(
         g,
         test,
         sepsets,
         alpha,
         max_cond,
         max_pds,
-        default_threads(),
+        &Executor::global(),
     )
 }
 
-/// [`pds_prune`] sharded over `threads` workers, **bit-identical to the
+/// [`pds_prune`] sharded over the worker pool, **bit-identical to the
 /// sequential pass** for every thread count (including the CI-test count).
 ///
 /// The sequential algorithm is a loop-carried dependency: each edge's
@@ -135,14 +135,14 @@ pub fn pds_prune(
 /// view's CI cache. Removals are rare in the PDS phase, so the expected
 /// round count is close to one.
 #[allow(clippy::too_many_arguments)]
-pub fn pds_prune_with_threads(
+pub fn pds_prune_on(
     g: &mut MixedGraph,
     test: &dyn CiTest,
     sepsets: &mut SepsetMap,
     alpha: f64,
     max_cond: usize,
     max_pds: usize,
-    threads: usize,
+    exec: &Executor,
 ) -> usize {
     let mut n_tests = 0usize;
     let edges: Vec<(NodeId, NodeId)> = g.edges().iter().map(|e| (e.a, e.b)).collect();
@@ -150,7 +150,7 @@ pub fn pds_prune_with_threads(
     while i < edges.len() {
         let pending = &edges[i..];
         let snapshot: &MixedGraph = g;
-        let decisions = par_map(pending, threads, |_, &(x, y)| {
+        let decisions = exec.par_map(pending, |_, &(x, y)| {
             decide_edge(snapshot, test, alpha, max_cond, max_pds, x, y)
         });
         let mut advanced = 0usize;

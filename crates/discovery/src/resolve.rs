@@ -6,7 +6,16 @@
 //! becomes bidirected; (ii) otherwise picks the direction whose exogenous
 //! variable has lower entropy. Tier constraints always win: nothing points
 //! into a configuration option and objectives stay sinks.
+//!
+//! Each edge's verdict is a pure function of `(edge, data, tiers, opts)` —
+//! LatentSearch seeds its own RNG per call — so the per-edge stage (the
+//! largest per-relearn block once the skeleton went incremental) fans out
+//! over the worker pool and the verdicts are merged **in canonical edge
+//! order**: the ADMG insertions, the candidate ordering, and the
+//! resolution log are exactly the sequential pass's, for every thread
+//! count.
 
+use unicorn_exec::Executor;
 use unicorn_graph::{Admg, Endpoint, MixedGraph, NodeId, TierConstraints};
 use unicorn_stats::dataview::DataView;
 
@@ -57,14 +66,44 @@ struct Candidate {
     confidence: f64,
 }
 
-/// Resolves a PAG into an ADMG using entropic causal discovery, inserting
-/// directed edges in descending confidence order and demoting any edge
-/// that would create a cycle (first to its reverse, then to bidirected).
+/// One edge's independent verdict, computed on a worker and merged in
+/// canonical edge order.
+enum EdgeVerdict {
+    /// Insert a directed candidate (cycle-safe pass runs later).
+    Directed {
+        from: NodeId,
+        to: NodeId,
+        confidence: f64,
+        res: Resolution,
+    },
+    /// Record a bidirected (confounded) edge immediately.
+    Bidirected { a: NodeId, b: NodeId },
+}
+
+/// [`resolve_pag`] over the process-default worker pool.
 pub fn resolve_pag(
     pag: &MixedGraph,
     data: &DataView,
     tiers: &TierConstraints,
     opts: &ResolveOptions,
+) -> (Admg, Vec<(NodeId, NodeId, Resolution)>) {
+    resolve_pag_on(pag, data, tiers, opts, &Executor::global())
+}
+
+/// Resolves a PAG into an ADMG using entropic causal discovery, inserting
+/// directed edges in descending confidence order and demoting any edge
+/// that would create a cycle (first to its reverse, then to bidirected).
+///
+/// Per-edge verdicts (the LatentSearch / minimum-entropy-coupling work)
+/// fan out over `exec`; the merge below re-applies them in edge order, so
+/// the ADMG, candidate ordering, and log are identical to a serial pass
+/// for every worker count.
+pub fn resolve_pag_on(
+    pag: &MixedGraph,
+    data: &DataView,
+    tiers: &TierConstraints,
+    opts: &ResolveOptions,
+    exec: &Executor,
 ) -> (Admg, Vec<(NodeId, NodeId, Resolution)>) {
     let mut admg = Admg::new(pag.names().to_vec());
     let mut log = Vec::new();
@@ -72,50 +111,41 @@ pub fn resolve_pag(
 
     // Only the columns needing entropic treatment are discretized; the
     // view caches each fit so repeated resolutions (the active-learning
-    // loop relearns every few samples) reuse them.
+    // loop relearns every few samples) reuse them across edges and
+    // worker threads alike.
     let code_of = |v: NodeId| data.codes(v, opts.bins, opts.max_levels);
 
-    for e in pag.edges() {
+    let edges = pag.edges();
+    let verdicts = exec.par_map(&edges, |_, e| {
         let (a, b) = (e.a, e.b);
         match (e.mark_a, e.mark_b) {
             // Fully resolved already.
-            (Endpoint::Tail, Endpoint::Arrow) => {
-                candidates.push(Candidate {
-                    from: a,
-                    to: b,
-                    confidence: f64::INFINITY,
-                });
-                log.push((a, b, Resolution::AlreadyOriented));
-            }
-            (Endpoint::Arrow, Endpoint::Tail) => {
-                candidates.push(Candidate {
-                    from: b,
-                    to: a,
-                    confidence: f64::INFINITY,
-                });
-                log.push((b, a, Resolution::AlreadyOriented));
-            }
-            (Endpoint::Arrow, Endpoint::Arrow) => {
-                admg.add_bidirected(a, b);
-                log.push((a, b, Resolution::Confounded));
-            }
+            (Endpoint::Tail, Endpoint::Arrow) => EdgeVerdict::Directed {
+                from: a,
+                to: b,
+                confidence: f64::INFINITY,
+                res: Resolution::AlreadyOriented,
+            },
+            (Endpoint::Arrow, Endpoint::Tail) => EdgeVerdict::Directed {
+                from: b,
+                to: a,
+                confidence: f64::INFINITY,
+                res: Resolution::AlreadyOriented,
+            },
+            (Endpoint::Arrow, Endpoint::Arrow) => EdgeVerdict::Bidirected { a, b },
             // Tail–circle: the tail end is an ancestor ⇒ orient out of it.
-            (Endpoint::Tail, Endpoint::Circle) => {
-                candidates.push(Candidate {
-                    from: a,
-                    to: b,
-                    confidence: f64::INFINITY,
-                });
-                log.push((a, b, Resolution::Tiered));
-            }
-            (Endpoint::Circle, Endpoint::Tail) => {
-                candidates.push(Candidate {
-                    from: b,
-                    to: a,
-                    confidence: f64::INFINITY,
-                });
-                log.push((b, a, Resolution::Tiered));
-            }
+            (Endpoint::Tail, Endpoint::Circle) => EdgeVerdict::Directed {
+                from: a,
+                to: b,
+                confidence: f64::INFINITY,
+                res: Resolution::Tiered,
+            },
+            (Endpoint::Circle, Endpoint::Tail) => EdgeVerdict::Directed {
+                from: b,
+                to: a,
+                confidence: f64::INFINITY,
+                res: Resolution::Tiered,
+            },
             // Circle–arrow (a o→ b): either a → b or a ↔ b.
             (Endpoint::Circle, Endpoint::Arrow) | (Endpoint::Arrow, Endpoint::Circle) => {
                 let (tail_end, head_end) = if e.mark_a == Endpoint::Circle {
@@ -127,15 +157,17 @@ pub fn resolve_pag(
                 let cy = code_of(head_end);
                 let ls = latent_search(&cx.codes, &cy.codes, cx.arity, cy.arity, &opts.latent);
                 if ls.confounded && !tiers.arrowhead_forbidden_at(tail_end, head_end) {
-                    admg.add_bidirected(tail_end, head_end);
-                    log.push((tail_end, head_end, Resolution::Confounded));
+                    EdgeVerdict::Bidirected {
+                        a: tail_end,
+                        b: head_end,
+                    }
                 } else {
-                    candidates.push(Candidate {
+                    EdgeVerdict::Directed {
                         from: tail_end,
                         to: head_end,
                         confidence: 1.0,
-                    });
-                    log.push((tail_end, head_end, Resolution::Tiered));
+                        res: Resolution::Tiered,
+                    }
                 }
             }
             // Tail–tail encodes selection bias, which the causal
@@ -148,9 +180,7 @@ pub fn resolve_pag(
                 let a_in_forbidden = tiers.arrowhead_forbidden_at(a, b);
                 let b_in_forbidden = tiers.arrowhead_forbidden_at(b, a);
                 if ls.confounded && !a_in_forbidden && !b_in_forbidden {
-                    admg.add_bidirected(a, b);
-                    log.push((a, b, Resolution::Confounded));
-                    continue;
+                    return EdgeVerdict::Bidirected { a, b };
                 }
                 let (dir, gap) =
                     entropic_direction(&cx.codes, &cy.codes, cx.arity, cy.arity, opts.entropic_tol);
@@ -162,12 +192,36 @@ pub fn resolve_pag(
                 if tiers.arrowhead_forbidden_at(to, from) {
                     std::mem::swap(&mut from, &mut to);
                 }
-                candidates.push(Candidate {
+                EdgeVerdict::Directed {
                     from,
                     to,
                     confidence: gap,
+                    res: Resolution::Entropic(dir),
+                }
+            }
+        }
+    });
+
+    // Canonical-order merge: replay the verdicts in edge order, exactly as
+    // the sequential loop would have applied them.
+    for verdict in verdicts {
+        match verdict {
+            EdgeVerdict::Directed {
+                from,
+                to,
+                confidence,
+                res,
+            } => {
+                candidates.push(Candidate {
+                    from,
+                    to,
+                    confidence,
                 });
-                log.push((from, to, Resolution::Entropic(dir)));
+                log.push((from, to, res));
+            }
+            EdgeVerdict::Bidirected { a, b } => {
+                admg.add_bidirected(a, b);
+                log.push((a, b, Resolution::Confounded));
             }
         }
     }

@@ -10,17 +10,26 @@
 //!
 //! Because each level's removals depend only on that snapshot (never on
 //! other removals within the level), the per-level edge sweep is
-//! embarrassingly parallel: [`pc_skeleton_with_threads`] fans the edge
-//! candidates out over worker threads and merges results in canonical edge
+//! embarrassingly parallel: [`pc_skeleton_on`] fans the edge candidates
+//! out over the shared worker pool and merges results in canonical edge
 //! order, so the output graph, sepsets, and test count are identical for
 //! every thread count (asserted by `tests/dataview_equivalence.rs`).
+//!
+//! Within one edge's decision the two directions' subset enumerations can
+//! overlap; those repeats are served from a **per-edge, per-level outcome
+//! table** (a lock-free local map) instead of re-probing the view's
+//! sharded epoch-LRU — the hot per-relearn floor identified by the
+//! roadmap. The underlying [`CiTest`] still memoizes first computations in
+//! the view cache for the later PDS and completion stages.
 
 use std::collections::HashMap;
 
+use unicorn_exec::Executor;
 use unicorn_graph::{MixedGraph, NodeId, TierConstraints};
+use unicorn_stats::cache::FxBuild;
 use unicorn_stats::dataview::DataView;
-use unicorn_stats::independence::CiTest;
-use unicorn_stats::parallel::{default_threads, par_map};
+use unicorn_stats::independence::{CiOutcome, CiTest};
+use unicorn_stats::smallset::SmallIdSet;
 
 /// Separating sets recorded during skeleton search, keyed by canonical
 /// (low, high) node pairs.
@@ -117,7 +126,7 @@ pub fn pc_skeleton(
     alpha: f64,
     max_depth: usize,
 ) -> Skeleton {
-    pc_skeleton_with_threads(test, names, tiers, alpha, max_depth, default_threads())
+    pc_skeleton_on(test, names, tiers, alpha, max_depth, &Executor::global())
 }
 
 /// What one level-ℓ sweep decided about a single edge.
@@ -129,12 +138,8 @@ struct EdgeDecision {
 }
 
 /// [`pc_skeleton`] with an explicit worker-thread count (1 ⇒ serial).
-///
-/// Within a level, every edge's fate depends only on the level's adjacency
-/// snapshot — PC-stable's defining property — so edges are tested
-/// concurrently and the removals/sepsets merged in canonical `(x, y)`
-/// order afterwards. Output is therefore identical for every `threads`
-/// value, including the CI-test count.
+/// Spawns a transient pool; hot paths should hold an [`Executor`] and call
+/// [`pc_skeleton_on`] so workers are reused across calls.
 pub fn pc_skeleton_with_threads(
     test: &dyn CiTest,
     names: &[String],
@@ -142,6 +147,31 @@ pub fn pc_skeleton_with_threads(
     alpha: f64,
     max_depth: usize,
     threads: usize,
+) -> Skeleton {
+    pc_skeleton_on(
+        test,
+        names,
+        tiers,
+        alpha,
+        max_depth,
+        &Executor::new(threads),
+    )
+}
+
+/// [`pc_skeleton`] over an explicit worker pool.
+///
+/// Within a level, every edge's fate depends only on the level's adjacency
+/// snapshot — PC-stable's defining property — so edges are tested
+/// concurrently over the pool and the removals/sepsets merged in canonical
+/// `(x, y)` order afterwards. Output is therefore identical for every
+/// worker count, including the CI-test count.
+pub fn pc_skeleton_on(
+    test: &dyn CiTest,
+    names: &[String],
+    tiers: &TierConstraints,
+    alpha: f64,
+    max_depth: usize,
+    exec: &Executor,
 ) -> Skeleton {
     let n = names.len();
     assert_eq!(test.n_vars(), n, "test/variable count mismatch");
@@ -174,9 +204,16 @@ pub fn pc_skeleton_with_threads(
                 }
             }
         }
-        let decisions = par_map(&edges, threads, |_, &(x, y)| {
+        let decisions = exec.par_map(&edges, |_, &(x, y)| {
             let mut local_tests = 0usize;
             let mut sepset: Option<Vec<NodeId>> = None;
+            // Per-edge, per-level outcome table: the two directions'
+            // subset enumerations overlap wherever a conditioning set is
+            // drawn from both adjacency lists; repeats hit this lock-free
+            // local map instead of re-probing the view's epoch-LRU. The
+            // enumeration count (`local_tests`) is unchanged, so the
+            // CI-test trace stays bit-identical.
+            let mut table: HashMap<SmallIdSet, CiOutcome, FxBuild> = HashMap::default();
             for (from, other) in [(x, y), (y, x)] {
                 let candidates: Vec<NodeId> = snapshot[from]
                     .iter()
@@ -188,7 +225,19 @@ pub fn pc_skeleton_with_threads(
                 }
                 let found = for_each_subset(&candidates, depth, &mut |s| {
                     local_tests += 1;
-                    if test.test(x, y, s).independent(alpha) {
+                    // Canonical (sorted) key so the two directions agree on
+                    // a subset drawn from differently-ordered candidates.
+                    let mut key = SmallIdSet::from_indices(s);
+                    key.sort();
+                    let out = match table.get(&key) {
+                        Some(out) => *out,
+                        None => {
+                            let out = test.test(x, y, s);
+                            table.insert(key, out);
+                            out
+                        }
+                    };
+                    if out.independent(alpha) {
                         sepset = Some(s.to_vec());
                         true
                     } else {
@@ -224,8 +273,14 @@ pub fn pc_skeleton_with_threads(
 
 /// Fingerprint of one skeleton run's inputs: the data version (lineage +
 /// epoch uniquely identify the rows a [`DataView`] holds) and every search
-/// parameter that affects the output. Thread count is deliberately absent —
-/// the sweep's output is thread-count independent.
+/// parameter that affects the output. Thread count and pool identity are
+/// deliberately absent — the sweep's output is thread-count independent.
+///
+/// The CI-test *identity* is also absent (a `dyn CiTest` has none to
+/// key on): a [`SkeletonMemo`] must always be driven with the same test
+/// family and parameters over one growing view, as
+/// [`crate::learn_causal_model_incremental`] does by construction.
+/// Switching tests mid-memo requires [`SkeletonMemo::clear`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct SkeletonKey {
     lineage: u64,
@@ -250,7 +305,7 @@ impl SkeletonMemo {
     }
 }
 
-/// [`pc_skeleton_with_threads`] with a dirty-edge warm start, guaranteed
+/// [`pc_skeleton_on`] with a dirty-edge warm start, guaranteed
 /// bit-identical (graph, sepsets, CI-test count) to a cold run on the same
 /// view — asserted by `tests/incremental_relearn.rs`.
 ///
@@ -280,7 +335,7 @@ pub fn pc_skeleton_incremental(
     tiers: &TierConstraints,
     alpha: f64,
     max_depth: usize,
-    threads: usize,
+    exec: &Executor,
     memo: &mut SkeletonMemo,
 ) -> Skeleton {
     let key = SkeletonKey {
@@ -296,7 +351,7 @@ pub fn pc_skeleton_incremental(
             return sk.clone();
         }
     }
-    let sk = pc_skeleton_with_threads(test, names, tiers, alpha, max_depth, threads);
+    let sk = pc_skeleton_on(test, names, tiers, alpha, max_depth, exec);
     memo.prev = Some((key, sk.clone()));
     sk
 }

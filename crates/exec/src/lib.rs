@@ -1,0 +1,514 @@
+//! # unicorn-exec
+//!
+//! The workspace's one parallelism subsystem: a **persistent, lazily
+//! spawned worker pool** ([`Executor`]) with a deterministic ordered map.
+//! Every parallel site of the pipeline — the PC-stable level sweep, the
+//! Possible-D-SEP speculative rounds, the objective-completion scan, the
+//! per-edge entropic resolution, per-node SCM regressions, and batch
+//! simulation sweeps — fans its work over one shared `Arc<Executor>`
+//! instead of spawning scoped threads per call.
+//!
+//! ## Determinism contract
+//!
+//! [`Executor::par_map`] applies a pure function to every item of a slice
+//! and returns the results **in input order**, for every worker count,
+//! including 1. Scheduling (dynamic chunk claiming off an atomic cursor)
+//! affects only *which thread* computes an item, never *what* is computed
+//! or where the result lands; a stage is therefore thread-count
+//! independent exactly when its per-item function is a pure function of
+//! the item (the property the pipeline's equivalence tests assert
+//! end-to-end). Reductions that must be bit-identical across thread
+//! counts fold the ordered results sequentially on the caller.
+//!
+//! ## Pool lifecycle
+//!
+//! Workers are spawned lazily on the first `par_map` that has more items
+//! than threads can absorb serially, and then **reused** for every later
+//! call — the pool spawns each worker at most once for the executor's
+//! lifetime ([`Executor::workers_spawned`] is monotonic and bounded by
+//! `threads − 1`). The submitting thread always participates in its own
+//! batch, so nested `par_map` calls (a worker's task submitting another
+//! batch to the same pool) can never deadlock: the inner submitter drives
+//! its own batch to completion even when every other worker is busy.
+//!
+//! Worker panics are caught per task and re-raised on the submitting
+//! thread with the failing item index and the original payload's message
+//! — a batch never aborts the process from a detached thread.
+//!
+//! ## Adopting the pool in a new stage
+//!
+//! 1. Express the stage as independent per-item decisions against an
+//!    immutable snapshot (no intra-batch mutation).
+//! 2. Fan the items out with `exec.par_map(&items, |i, item| …)`.
+//! 3. Merge the ordered results sequentially in canonical item order.
+//!
+//! Anything that follows this recipe is bit-identical across thread
+//! counts by construction.
+
+use std::any::Any;
+use std::mem::{ManuallyDrop, MaybeUninit};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread::JoinHandle;
+
+/// Default worker count: the `UNICORN_THREADS` environment variable if it
+/// parses as a positive integer (`1` forces serial execution; `0` is
+/// rejected with a panic — a zero-thread pool cannot make progress, and
+/// silently clamping it up would mask a misconfigured deployment),
+/// otherwise the machine's available parallelism, capped at 16. A
+/// non-numeric value falls back to the machine default.
+pub fn default_threads() -> usize {
+    if let Ok(v) = std::env::var("UNICORN_THREADS") {
+        if let Some(n) = threads_from_env(&v) {
+            return n;
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(16)
+}
+
+/// Parses a `UNICORN_THREADS` value: `Some(n)` for a positive integer,
+/// `None` (fall back to the machine default) for non-numeric input, and an
+/// explicit panic for `0`.
+fn threads_from_env(v: &str) -> Option<usize> {
+    match v.parse::<usize>() {
+        Ok(0) => panic!(
+            "UNICORN_THREADS=0 is invalid: the worker count must be at least 1 \
+             (set UNICORN_THREADS=1 to force serial execution)"
+        ),
+        Ok(n) => Some(n),
+        Err(_) => None,
+    }
+}
+
+/// A lifetime-erased handle to a batch's per-item closure. The submitting
+/// thread keeps the closure alive on its stack until every item has run
+/// (it blocks on the batch's completion latch before returning), which is
+/// what makes the raw pointer sound.
+struct ErasedTask {
+    data: *const (),
+    call: unsafe fn(*const (), usize),
+}
+
+// SAFETY: the pointee is a `Fn(usize) + Sync` closure shared immutably
+// across workers, kept alive by the submitting thread for the batch's
+// whole lifetime.
+unsafe impl Send for ErasedTask {}
+unsafe impl Sync for ErasedTask {}
+
+/// Erases a per-item closure into an [`ErasedTask`].
+///
+/// SAFETY contract for the caller: `c` must outlive every invocation of
+/// the returned task (enforced by waiting on batch completion).
+fn erase<C: Fn(usize) + Sync>(c: &C) -> ErasedTask {
+    unsafe fn call<C: Fn(usize)>(data: *const (), i: usize) {
+        // SAFETY: `data` was produced from `&C` below and the closure is
+        // still alive (see the contract above).
+        unsafe { (*data.cast::<C>())(i) }
+    }
+    ErasedTask {
+        data: (c as *const C).cast(),
+        call: call::<C>,
+    }
+}
+
+/// One in-flight `par_map` call: an atomic work cursor that workers claim
+/// chunks from, a completion latch, and the first panic observed.
+struct Batch {
+    /// Next unclaimed item index (claimed `chunk` items at a time).
+    cursor: AtomicUsize,
+    n_items: usize,
+    /// Items claimed per cursor bump — the dynamic-stealing granularity.
+    chunk: usize,
+    /// Items not yet finished; the last decrement releases the latch.
+    remaining: AtomicUsize,
+    task: ErasedTask,
+    done: Mutex<bool>,
+    done_cv: Condvar,
+    /// First panic observed: `(item index, payload)`.
+    panic: Mutex<Option<(usize, Box<dyn Any + Send>)>>,
+}
+
+/// Claims and runs chunks of `batch` until the cursor is exhausted. Shared
+/// by pool workers and the submitting thread (which is what makes nested
+/// submission deadlock-free: a submitter always drains its own batch).
+fn run_batch(batch: &Batch) {
+    loop {
+        let start = batch.cursor.fetch_add(batch.chunk, Ordering::Relaxed);
+        if start >= batch.n_items {
+            return;
+        }
+        let end = (start + batch.chunk).min(batch.n_items);
+        for i in start..end {
+            // SAFETY: the submitting thread keeps the closure (and the
+            // slices it borrows) alive until `remaining` reaches zero,
+            // which cannot happen before this call returns.
+            let outcome = catch_unwind(AssertUnwindSafe(|| unsafe {
+                (batch.task.call)(batch.task.data, i)
+            }));
+            if let Err(payload) = outcome {
+                let mut slot = batch.panic.lock().expect("panic slot poisoned");
+                if slot.is_none() {
+                    *slot = Some((i, payload));
+                }
+            }
+        }
+        let ran = end - start;
+        if batch.remaining.fetch_sub(ran, Ordering::AcqRel) == ran {
+            // Last chunk of the batch: release the completion latch. After
+            // this point no thread dereferences the erased task again (the
+            // cursor is necessarily exhausted).
+            *batch.done.lock().expect("batch latch poisoned") = true;
+            batch.done_cv.notify_all();
+        }
+    }
+}
+
+/// State shared between the executor handle and its workers.
+struct PoolShared {
+    queue: Mutex<Queue>,
+    work: Condvar,
+}
+
+struct Queue {
+    /// Batches with unclaimed items (exhausted ones are pruned on access).
+    batches: Vec<Arc<Batch>>,
+    shutdown: bool,
+}
+
+/// A persistent worker pool with a deterministic ordered map. See the
+/// module docs for the determinism contract and lifecycle.
+///
+/// Cheap to share (`Arc<Executor>`); equality is pool *identity* (two
+/// handles are equal only when they name the same pool), which lets option
+/// structs carrying an executor keep a meaningful `PartialEq`.
+pub struct Executor {
+    threads: usize,
+    shared: Arc<PoolShared>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Executor {
+    /// Creates a pool that will use up to `threads` threads (including the
+    /// submitting thread; a value of 0 is treated as 1). No worker thread
+    /// is spawned until a batch actually needs one, so a serial pool costs
+    /// nothing.
+    pub fn new(threads: usize) -> Arc<Executor> {
+        Arc::new(Executor {
+            threads: threads.max(1),
+            shared: Arc::new(PoolShared {
+                queue: Mutex::new(Queue {
+                    batches: Vec::new(),
+                    shutdown: false,
+                }),
+                work: Condvar::new(),
+            }),
+            workers: Mutex::new(Vec::new()),
+        })
+    }
+
+    /// The process-wide default pool, sized by [`default_threads`] at first
+    /// use. Legacy thread-count-free entry points fan out over this pool.
+    pub fn global() -> Arc<Executor> {
+        static GLOBAL: OnceLock<Arc<Executor>> = OnceLock::new();
+        Arc::clone(GLOBAL.get_or_init(|| Executor::new(default_threads())))
+    }
+
+    /// Maximum threads this pool will use (submitting thread included).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Worker threads spawned so far — monotonic, at most `threads − 1`,
+    /// and constant once the pool has warmed up (the "spawn at most once"
+    /// guarantee the relearn-loop acceptance test asserts).
+    pub fn workers_spawned(&self) -> usize {
+        self.workers.lock().expect("worker registry poisoned").len()
+    }
+
+    /// Applies `f` to every item and returns the results **in input
+    /// order**; `f` receives `(index, &item)`. Serial when the pool is
+    /// single-threaded or the batch is trivially small — the parallel and
+    /// serial paths run the same `f` on the same items, so output never
+    /// depends on the thread count.
+    ///
+    /// Panics in `f` are re-raised here with the failing item index and
+    /// the original message. May be called from inside another `par_map`
+    /// task on the same pool (nested submission); the calling task then
+    /// participates in the inner batch, so progress is guaranteed.
+    pub fn par_map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        let n = items.len();
+        let helpers = self.threads.min(n).saturating_sub(1);
+        if helpers == 0 || n < 2 {
+            return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+        }
+
+        // Result slots written by whichever thread claims each index; the
+        // indices are claimed exactly once, so the writes are disjoint.
+        let mut slots: Vec<MaybeUninit<R>> = Vec::with_capacity(n);
+        slots.resize_with(n, MaybeUninit::uninit);
+        struct Slots<R>(*mut MaybeUninit<R>);
+        // SAFETY: workers write disjoint slots of a buffer the submitting
+        // thread keeps alive past batch completion.
+        unsafe impl<R: Send> Send for Slots<R> {}
+        unsafe impl<R: Send> Sync for Slots<R> {}
+        impl<R> Slots<R> {
+            /// SAFETY: each index must be written at most once, while the
+            /// backing buffer is alive.
+            unsafe fn write(&self, i: usize, v: R) {
+                unsafe { self.0.add(i).write(MaybeUninit::new(v)) };
+            }
+        }
+        let out = Slots::<R>(slots.as_mut_ptr());
+
+        let runner = |i: usize| {
+            let v = f(i, &items[i]);
+            // SAFETY: index `i` is claimed exactly once (atomic cursor).
+            unsafe { out.write(i, v) };
+        };
+        let batch = Arc::new(Batch {
+            cursor: AtomicUsize::new(0),
+            n_items: n,
+            // Small enough for dynamic balancing, big enough that the
+            // cursor is not contended per item.
+            chunk: (n / (4 * (helpers + 1))).max(1),
+            remaining: AtomicUsize::new(n),
+            task: erase(&runner),
+            done: Mutex::new(false),
+            done_cv: Condvar::new(),
+            panic: Mutex::new(None),
+        });
+
+        self.ensure_workers(helpers);
+        {
+            let mut q = self.shared.queue.lock().expect("executor queue poisoned");
+            q.batches
+                .retain(|b| b.cursor.load(Ordering::Relaxed) < b.n_items);
+            q.batches.push(Arc::clone(&batch));
+        }
+        self.shared.work.notify_all();
+
+        // The submitter participates, then waits for in-flight chunks
+        // claimed by other workers.
+        run_batch(&batch);
+        let mut done = batch.done.lock().expect("batch latch poisoned");
+        while !*done {
+            done = batch.done_cv.wait(done).expect("batch latch poisoned");
+        }
+        drop(done);
+
+        if let Some((index, payload)) = batch.panic.lock().expect("panic slot poisoned").take() {
+            // Slots of other finished items are leaked (MaybeUninit never
+            // drops) — safe, and this path is already unwinding the whole
+            // computation with task context attached.
+            panic!(
+                "executor task {index} of {n} panicked: {}",
+                payload_message(payload.as_ref())
+            );
+        }
+
+        let mut slots = ManuallyDrop::new(slots);
+        // SAFETY: `remaining` reached zero with no panic recorded, so every
+        // slot was initialized exactly once; MaybeUninit<R> and R share a
+        // layout.
+        unsafe { Vec::from_raw_parts(slots.as_mut_ptr().cast::<R>(), n, slots.capacity()) }
+    }
+
+    /// Spawns workers up to `needed` (never more than `threads − 1`, never
+    /// re-spawning one that already exists).
+    fn ensure_workers(&self, needed: usize) {
+        let needed = needed.min(self.threads.saturating_sub(1));
+        let mut ws = self.workers.lock().expect("worker registry poisoned");
+        while ws.len() < needed {
+            let shared = Arc::clone(&self.shared);
+            let handle = std::thread::Builder::new()
+                .name(format!("unicorn-exec-{}", ws.len()))
+                .spawn(move || worker_loop(&shared))
+                .expect("failed to spawn executor worker");
+            ws.push(handle);
+        }
+    }
+}
+
+impl PartialEq for Executor {
+    /// Pool identity: true only for the very same pool.
+    fn eq(&self, other: &Self) -> bool {
+        std::ptr::eq(self, other)
+    }
+}
+
+impl std::fmt::Debug for Executor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Executor")
+            .field("threads", &self.threads)
+            .field("workers_spawned", &self.workers_spawned())
+            .finish()
+    }
+}
+
+impl Drop for Executor {
+    fn drop(&mut self) {
+        {
+            let mut q = self.shared.queue.lock().expect("executor queue poisoned");
+            q.shutdown = true;
+        }
+        self.shared.work.notify_all();
+        for h in self
+            .workers
+            .get_mut()
+            .expect("worker registry poisoned")
+            .drain(..)
+        {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Blocks on the queue until a batch has claimable work, helps drain it,
+/// repeats; exits on shutdown.
+fn worker_loop(shared: &PoolShared) {
+    loop {
+        let batch = {
+            let mut q = shared.queue.lock().expect("executor queue poisoned");
+            loop {
+                if q.shutdown {
+                    return;
+                }
+                q.batches
+                    .retain(|b| b.cursor.load(Ordering::Relaxed) < b.n_items);
+                if let Some(b) = q.batches.first() {
+                    break Arc::clone(b);
+                }
+                q = shared.work.wait(q).expect("executor queue poisoned");
+            }
+        };
+        run_batch(&batch);
+    }
+}
+
+/// Best-effort extraction of a panic payload's message (`&str` / `String`
+/// payloads — everything `panic!` produces; other payloads get a marker).
+fn payload_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_in_input_order_any_thread_count() {
+        let items: Vec<usize> = (0..257).collect();
+        let expect: Vec<usize> = items.iter().map(|&x| x * 3 + 1).collect();
+        for threads in [0, 1, 2, 3, 8, 64] {
+            let pool = Executor::new(threads);
+            let got = pool.par_map(&items, |i, &x| {
+                assert_eq!(i, x, "index must match item position");
+                x * 3 + 1
+            });
+            assert_eq!(got, expect, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let pool = Executor::new(8);
+        let none: Vec<u8> = Vec::new();
+        assert!(pool.par_map(&none, |_, &x| x).is_empty());
+        assert_eq!(pool.par_map(&[42], |_, &x| x + 1), vec![43]);
+    }
+
+    #[test]
+    fn pool_is_reused_not_respawned() {
+        let pool = Executor::new(4);
+        assert_eq!(pool.workers_spawned(), 0, "spawning is lazy");
+        let items: Vec<usize> = (0..100).collect();
+        let _ = pool.par_map(&items, |_, &x| x * 2);
+        let after_first = pool.workers_spawned();
+        assert!(after_first <= 3);
+        for _ in 0..20 {
+            let _ = pool.par_map(&items, |_, &x| x * 2);
+        }
+        assert_eq!(
+            pool.workers_spawned(),
+            after_first,
+            "workers must be spawned at most once"
+        );
+    }
+
+    #[test]
+    fn nested_submission_does_not_deadlock() {
+        let pool = Executor::new(2);
+        let outer: Vec<usize> = (0..8).collect();
+        let got = pool.par_map(&outer, |_, &x| {
+            let inner: Vec<usize> = (0..50).collect();
+            let partial = pool.par_map(&inner, |_, &y| x * 100 + y);
+            partial.iter().sum::<usize>()
+        });
+        let expect: Vec<usize> = (0..8).map(|x| (0..50).map(|y| x * 100 + y).sum()).collect();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn panic_propagates_payload_and_index() {
+        let pool = Executor::new(4);
+        let items: Vec<usize> = (0..64).collect();
+        let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.par_map(&items, |_, &x| {
+                if x == 13 {
+                    panic!("boom at {x}");
+                }
+                x
+            })
+        }));
+        let payload = caught.expect_err("must propagate the worker panic");
+        let msg = payload_message(payload.as_ref());
+        assert!(msg.contains("task 13"), "missing failing index: {msg}");
+        assert!(
+            msg.contains("boom at 13"),
+            "missing original payload: {msg}"
+        );
+        // The pool survives a panicked batch.
+        assert_eq!(pool.par_map(&[1, 2, 3], |_, &x| x + 1), vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn threads_env_parsing() {
+        assert_eq!(threads_from_env("8"), Some(8));
+        assert_eq!(threads_from_env("1"), Some(1));
+        assert_eq!(threads_from_env("not-a-number"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "UNICORN_THREADS=0 is invalid")]
+    fn zero_threads_rejected_explicitly() {
+        let _ = threads_from_env("0");
+    }
+
+    #[test]
+    fn default_threads_positive() {
+        assert!(default_threads() >= 1);
+    }
+
+    #[test]
+    fn identity_equality() {
+        let a = Executor::new(2);
+        let b = Executor::new(2);
+        assert_eq!(*a, *a);
+        assert_ne!(*a, *b, "distinct pools must not compare equal");
+    }
+}

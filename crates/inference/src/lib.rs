@@ -37,4 +37,4 @@ pub use queries::{PerformanceQuery, QueryAnswer};
 pub use repair::{
     generate_repairs, ice, rank_repairs, root_cause_candidates, QosGoal, Repair, RepairOptions,
 };
-pub use scm::{FittedScm, ResidualMode};
+pub use scm::{FittedScm, ResidualMode, SimulationOptions};

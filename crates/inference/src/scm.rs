@@ -11,11 +11,22 @@
 
 use std::sync::Arc;
 
+use unicorn_exec::Executor;
 use unicorn_graph::{Admg, NodeId};
 use unicorn_stats::dataview::DataView;
 use unicorn_stats::regression::{fit_gram, PolyModel, Term, TermGram};
 use unicorn_stats::segment::Segment;
 use unicorn_stats::StatsError;
+
+/// Options for batch simulation sweeps ([`FittedScm::simulate_batch`] and
+/// the `_with` query variants).
+#[derive(Debug, Clone, Default)]
+pub struct SimulationOptions {
+    /// Sweep stride override: visit every `stride`-th training row.
+    /// `None` keeps the fitted default (`max(n / 256, 1)`), which bounds
+    /// sweep cost on large samples.
+    pub stride: Option<usize>,
+}
 
 /// How residual noise is injected during simulation.
 #[derive(Debug, Clone, Copy)]
@@ -131,7 +142,13 @@ pub struct FittedScm {
     /// Sweep stride: expectation sweeps visit every `stride`-th row so the
     /// cost stays bounded on large datasets.
     stride: usize,
+    /// The worker pool per-node regressions and batch simulation sweeps
+    /// fan out over (inherited by [`Self::refit_view`] and clones).
+    exec: Arc<Executor>,
 }
+
+/// One node's fit result, computed independently on a worker.
+type NodeFit = Result<(NodeModel, Option<NodeGrams>), StatsError>;
 
 /// Computes one node's Gram for one segment (the segment's own columns
 /// are exactly one canonical chunk).
@@ -168,25 +185,39 @@ impl FittedScm {
     }
 
     /// Fits the SCM over a shared [`DataView`]: one regression per node
-    /// with directed parents. The view is retained (Arc-shared, never
-    /// copied) for simulation sweeps and counterfactual abduction.
+    /// with directed parents, over the process-default worker pool. The
+    /// view is retained (Arc-shared, never copied) for simulation sweeps
+    /// and counterfactual abduction.
     pub fn fit_view(admg: Admg, view: &DataView) -> Result<Self, StatsError> {
+        Self::fit_view_on(admg, view, Executor::global())
+    }
+
+    /// [`Self::fit_view`] over an explicit worker pool. Per-node
+    /// regressions are independent of each other, so they fan out over
+    /// `exec` and are reassembled in node order — the fit (and the error
+    /// reported, if any) is bit-identical for every worker count. The pool
+    /// is retained for warm refits and batch simulation sweeps.
+    pub fn fit_view_on(
+        admg: Admg,
+        view: &DataView,
+        exec: Arc<Executor>,
+    ) -> Result<Self, StatsError> {
         let columns = view.columns();
         let n_rows = view.n_rows();
         let n_vars = admg.n_nodes();
         assert_eq!(columns.len(), n_vars, "column/node count mismatch");
-        let mut nodes = Vec::with_capacity(n_vars);
-        let mut grams: Vec<Option<NodeGrams>> = Vec::with_capacity(n_vars);
-        for v in 0..n_vars {
+        let ids: Vec<usize> = (0..n_vars).collect();
+        let fits = exec.par_map(&ids, |_, &v| -> NodeFit {
             let parents = admg.parents(v);
             if parents.is_empty() {
-                nodes.push(NodeModel {
-                    parents,
-                    model: None,
-                    residuals: columns[v].clone(),
-                });
-                grams.push(None);
-                continue;
+                return Ok((
+                    NodeModel {
+                        parents,
+                        model: None,
+                        residuals: columns[v].clone(),
+                    },
+                    None,
+                ));
             }
             let terms = node_terms(&parents);
             // Normal equations accumulated and folded per segment (and
@@ -202,12 +233,23 @@ impl FittedScm {
                 .zip(&pred)
                 .map(|(obs, p)| obs - p)
                 .collect();
-            nodes.push(NodeModel {
-                parents,
-                model: Some(model),
-                residuals,
-            });
-            grams.push(Some(node_grams));
+            Ok((
+                NodeModel {
+                    parents,
+                    model: Some(model),
+                    residuals,
+                },
+                Some(node_grams),
+            ))
+        });
+        let mut nodes = Vec::with_capacity(n_vars);
+        let mut grams: Vec<Option<NodeGrams>> = Vec::with_capacity(n_vars);
+        // Merge in node order; the first failing node's error is reported,
+        // exactly as a sequential pass would.
+        for fit in fits {
+            let (node, gram) = fit?;
+            nodes.push(node);
+            grams.push(gram);
         }
         let topo = admg.topological_order();
         let stride = (n_rows / 256).max(1);
@@ -218,6 +260,7 @@ impl FittedScm {
             data: view.clone(),
             topo: Arc::new(topo),
             stride,
+            exec,
         })
     }
 
@@ -247,17 +290,18 @@ impl FittedScm {
             self.nodes.len(),
             "column/node count mismatch"
         );
-        let mut nodes = Vec::with_capacity(self.nodes.len());
-        let mut grams: Vec<Option<NodeGrams>> = Vec::with_capacity(self.nodes.len());
-        for (v, prev) in self.nodes.iter().enumerate() {
+        let ids: Vec<usize> = (0..self.nodes.len()).collect();
+        let fits = self.exec.par_map(&ids, |_, &v| -> NodeFit {
+            let prev = &self.nodes[v];
             let Some(model) = &prev.model else {
-                nodes.push(NodeModel {
-                    parents: prev.parents.clone(),
-                    model: None,
-                    residuals: columns[v].clone(),
-                });
-                grams.push(None);
-                continue;
+                return Ok((
+                    NodeModel {
+                        parents: prev.parents.clone(),
+                        model: None,
+                        residuals: columns[v].clone(),
+                    },
+                    None,
+                ));
             };
             let terms = &model.terms;
             let node_grams = NodeGrams::build(view.segments(), terms, v, self.grams[v].as_ref());
@@ -269,12 +313,21 @@ impl FittedScm {
                 .zip(&pred)
                 .map(|(obs, p)| obs - p)
                 .collect();
-            nodes.push(NodeModel {
-                parents: prev.parents.clone(),
-                model: Some(model),
-                residuals,
-            });
-            grams.push(Some(node_grams));
+            Ok((
+                NodeModel {
+                    parents: prev.parents.clone(),
+                    model: Some(model),
+                    residuals,
+                },
+                Some(node_grams),
+            ))
+        });
+        let mut nodes = Vec::with_capacity(self.nodes.len());
+        let mut grams: Vec<Option<NodeGrams>> = Vec::with_capacity(self.nodes.len());
+        for fit in fits {
+            let (node, gram) = fit?;
+            nodes.push(node);
+            grams.push(gram);
         }
         Ok(Self {
             admg: self.admg.clone(),
@@ -283,6 +336,7 @@ impl FittedScm {
             data: view.clone(),
             topo: Arc::clone(&self.topo),
             stride: (view.n_rows() / 256).max(1),
+            exec: Arc::clone(&self.exec),
         })
     }
 
@@ -314,6 +368,16 @@ impl FittedScm {
     /// Training R² of a node's functional model (1.0 for roots).
     pub fn node_r2(&self, v: NodeId) -> f64 {
         self.nodes[v].model.as_ref().map_or(1.0, |m| m.r2)
+    }
+
+    /// Fitted polynomial coefficients of a node's functional model
+    /// (`None` for roots) — exposed so equivalence tests can assert SCM
+    /// fits are bit-identical across thread counts.
+    pub fn coefficients_of(&self, v: NodeId) -> Option<&[f64]> {
+        self.nodes[v]
+            .model
+            .as_ref()
+            .map(|m| m.coefficients.as_slice())
     }
 
     /// Directed parents the node's functional model was fitted on.
@@ -371,6 +435,31 @@ impl FittedScm {
         values
     }
 
+    /// The strided sweep-row indices a g-formula query visits.
+    fn sweep_rows(&self, opts: &SimulationOptions) -> Vec<usize> {
+        let stride = opts.stride.unwrap_or(self.stride).max(1);
+        (0..self.n_rows()).step_by(stride).collect()
+    }
+
+    /// Simulates every listed training row's exogenous draw under
+    /// `interventions`, fanned over the worker pool, results **in row
+    /// order**. `mode_of` picks the residual mode per swept row (e.g.
+    /// `|r| ResidualMode::FromRow(r)` for the g-formula sweep). Each row's
+    /// simulation is a pure function of the fit, so the batch is
+    /// bit-identical to a serial loop for every worker count.
+    pub fn simulate_batch<M>(
+        &self,
+        rows: &[usize],
+        interventions: &[(NodeId, f64)],
+        mode_of: M,
+    ) -> Vec<Vec<f64>>
+    where
+        M: Fn(usize) -> ResidualMode + Sync,
+    {
+        self.exec
+            .par_map(rows, |_, &r| self.simulate(r, interventions, mode_of(r)))
+    }
+
     /// Interventional expectation `E[target | do(interventions)]`,
     /// estimated by the empirical g-formula: sweep the training rows
     /// (strided), treat each row's exogenous vector as one Monte-Carlo
@@ -380,20 +469,26 @@ impl FittedScm {
         target: NodeId,
         interventions: &[(NodeId, f64)],
     ) -> f64 {
-        let n = self.n_rows();
-        if n == 0 {
+        self.interventional_expectation_with(target, interventions, &SimulationOptions::default())
+    }
+
+    /// [`Self::interventional_expectation`] with explicit
+    /// [`SimulationOptions`]. The batch row evaluation fans out over the
+    /// pool; the average folds the ordered per-row values sequentially, so
+    /// the result is bit-identical to the serial sweep.
+    pub fn interventional_expectation_with(
+        &self,
+        target: NodeId,
+        interventions: &[(NodeId, f64)],
+        opts: &SimulationOptions,
+    ) -> f64 {
+        if self.n_rows() == 0 {
             return 0.0;
         }
-        let mut total = 0.0;
-        let mut count = 0usize;
-        let mut r = 0;
-        while r < n {
-            let vals = self.simulate(r, interventions, ResidualMode::FromRow(r));
-            total += vals[target];
-            count += 1;
-            r += self.stride;
-        }
-        total / count as f64
+        let rows = self.sweep_rows(opts);
+        let vals = self.simulate_batch(&rows, interventions, ResidualMode::FromRow);
+        let total: f64 = vals.iter().map(|v| v[target]).sum();
+        total / rows.len() as f64
     }
 
     /// Interventional probability `P(pred(target) | do(interventions))`
@@ -408,22 +503,37 @@ impl FittedScm {
         weight: f64,
         pred: &dyn Fn(f64) -> bool,
     ) -> f64 {
-        let n = self.n_rows();
-        if n == 0 {
+        self.interventional_probability_with(
+            target,
+            interventions,
+            abduct_row,
+            weight,
+            pred,
+            &SimulationOptions::default(),
+        )
+    }
+
+    /// [`Self::interventional_probability`] with explicit
+    /// [`SimulationOptions`] (batch row evaluation over the pool).
+    pub fn interventional_probability_with(
+        &self,
+        target: NodeId,
+        interventions: &[(NodeId, f64)],
+        abduct_row: usize,
+        weight: f64,
+        pred: &dyn Fn(f64) -> bool,
+        opts: &SimulationOptions,
+    ) -> f64 {
+        if self.n_rows() == 0 {
             return 0.0;
         }
-        let mut hits = 0usize;
-        let mut count = 0usize;
-        let mut r = 0;
-        while r < n {
-            let vals = self.simulate(r, interventions, ResidualMode::Blend { abduct_row, weight });
-            if pred(vals[target]) {
-                hits += 1;
-            }
-            count += 1;
-            r += self.stride;
-        }
-        hits as f64 / count as f64
+        let rows = self.sweep_rows(opts);
+        let vals = self.simulate_batch(&rows, interventions, |_| ResidualMode::Blend {
+            abduct_row,
+            weight,
+        });
+        let hits = vals.iter().filter(|v| pred(v[target])).count();
+        hits as f64 / rows.len() as f64
     }
 
     /// Deterministic counterfactual: abduct the residuals of `row`, apply
@@ -575,6 +685,54 @@ mod tests {
         // Same-table refit is a structural clone.
         let same = scm.refit_view(scm.view()).unwrap();
         assert_eq!(same.n_rows(), scm.n_rows());
+    }
+
+    #[test]
+    fn parallel_fit_bit_identical_across_pools() {
+        let serial = chain_scm(300);
+        let view = serial.view().clone();
+        for threads in [2usize, 8] {
+            let pool = Executor::new(threads);
+            let par = FittedScm::fit_view_on(serial.admg().clone(), &view, pool).unwrap();
+            for v in 0..3 {
+                assert_eq!(par.node_r2(v).to_bits(), serial.node_r2(v).to_bits());
+                match (par.coefficients_of(v), serial.coefficients_of(v)) {
+                    (None, None) => {}
+                    (Some(a), Some(b)) => {
+                        assert_eq!(a.len(), b.len());
+                        for (x, y) in a.iter().zip(b) {
+                            assert_eq!(x.to_bits(), y.to_bits(), "threads {threads} node {v}");
+                        }
+                    }
+                    other => panic!("model presence diverged: {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batch_sweep_matches_serial_loop() {
+        let scm = chain_scm(600);
+        // The batch (pool) sweep must reproduce the serial fold bit for
+        // bit, and an explicit stride of 1 must visit every row.
+        let e_default = scm.interventional_expectation(2, &[(0, 1.0)]);
+        let e_again =
+            scm.interventional_expectation_with(2, &[(0, 1.0)], &SimulationOptions::default());
+        assert_eq!(e_default.to_bits(), e_again.to_bits());
+        let rows: Vec<usize> = (0..scm.n_rows()).step_by(scm.stride).collect();
+        let batch = scm.simulate_batch(&rows, &[(0, 1.0)], ResidualMode::FromRow);
+        let total: f64 = batch.iter().map(|v| v[2]).sum();
+        assert_eq!((total / rows.len() as f64).to_bits(), e_default.to_bits());
+        let p = scm.interventional_probability(2, &[(0, 1.0)], 0, 0.0, &|y| y < -3.0);
+        let p_strided = scm.interventional_probability_with(
+            2,
+            &[(0, 1.0)],
+            0,
+            0.0,
+            &|y| y < -3.0,
+            &SimulationOptions { stride: Some(1) },
+        );
+        assert!(p > 0.9 && p_strided > 0.9);
     }
 
     #[test]

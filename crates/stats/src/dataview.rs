@@ -42,21 +42,24 @@
 //! bit-identical to direct recomputation (`tests/dataview_equivalence.rs`),
 //! and outstanding clones of older views stay valid.
 //!
-//! Within a lineage, data is append-only, which enables one true
-//! incremental upgrade: a categorical discretization whose value set
+//! Within a lineage, data is append-only, which enables two true
+//! incremental upgrades: a categorical discretization whose value set
 //! already covers the appended rows is extended in O(new rows) instead of
-//! refit — the extension is provably identical to a cold refit.
+//! refit, and a joint conditioning-set encoding whose member fits all
+//! survived in their prefix lineages extends its first-seen stratum codes
+//! by the appended rows only. Both extensions are provably identical to a
+//! cold rebuild.
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 
-use crate::cache::EpochLru;
+use crate::cache::{EpochLru, FxBuild};
 use crate::correlation::pearson_from_moments;
 use crate::descriptive::{
     merge_col_moments, merge_comoment, variance_of, ColMoments, MOMENT_CHUNK,
 };
 use crate::discretize::Discretizer;
-use crate::entropy::joint_code;
 use crate::matrix::Matrix;
 use crate::segment::{n_pairs, pair_index, Segment};
 use crate::smallset::SmallIdSet;
@@ -83,15 +86,50 @@ pub struct ColumnCodes {
     disc: Discretizer,
     /// Rows covered when the fit was made.
     n_rows: usize,
+    /// Identity of the append-only code prefix this fit belongs to: a cold
+    /// fit mints a fresh id, an incremental extension inherits its base's.
+    /// Two fits sharing a `prefix_lineage` therefore agree code-for-code on
+    /// their common row prefix — the invariant the joint-code extension
+    /// relies on.
+    prefix_lineage: u64,
 }
 
 /// A joint encoding of a conditioning set: one stratum code per row.
+/// Stratum codes are assigned in **first-seen row order**, so within a
+/// member-code prefix lineage they are prefix-stable under appends — the
+/// cached first-seen map lets [`DataView::joint_codes`] extend a stale
+/// encoding by the appended rows only instead of re-coding every row.
 #[derive(Debug, Clone)]
 pub struct JointCodes {
     /// Stratum code per row.
     pub codes: Vec<usize>,
     /// Product of member arities (contingency-table stratum count).
     pub strata: f64,
+    /// First-seen map from member-code tuples to stratum codes (kept for
+    /// incremental extension).
+    map: HashMap<Vec<usize>, usize, FxBuild>,
+    /// `prefix_lineage` of each member fit this encoding was built from.
+    member_lineages: Vec<u64>,
+    /// Rows covered when the encoding was built.
+    n_rows: usize,
+}
+
+/// Appends first-seen-order stratum codes for rows `from..to` of the member
+/// code columns — the exact assignment rule of
+/// [`crate::entropy::joint_code`], factored so both the cold build
+/// (`from = 0` on empty state) and the incremental extension share it.
+fn extend_joint_codes(
+    cols: &[Arc<ColumnCodes>],
+    codes: &mut Vec<usize>,
+    map: &mut HashMap<Vec<usize>, usize, FxBuild>,
+    from: usize,
+    to: usize,
+) {
+    for i in from..to {
+        let key: Vec<usize> = cols.iter().map(|c| c.codes[i]).collect();
+        let next = map.len();
+        codes.push(*map.entry(key).or_insert(next));
+    }
 }
 
 /// Key of a cached CI outcome: `(kind, x, y, conditioning set)` with
@@ -120,6 +158,11 @@ struct Caches {
     joint: EpochLru<(SmallIdSet, u32, u32), Arc<JointCodes>>,
     // CI-test memo: (kind, x, y, z) → (statistic, p_value).
     ci: EpochLru<CiKey, (f64, f64)>,
+    /// Joint encodings extended incrementally (vs re-coded cold) —
+    /// observability so tests can prove the O(new rows) path actually
+    /// fires (extension and cold rebuild are otherwise indistinguishable:
+    /// first-seen codes are prefix-stable either way).
+    joint_extensions: AtomicU64,
 }
 
 impl Caches {
@@ -128,6 +171,7 @@ impl Caches {
             codes: EpochLru::new(CODE_CACHE_CAPACITY),
             joint: EpochLru::new(JOINT_CACHE_CAPACITY),
             ci: EpochLru::new(CI_CACHE_CAPACITY),
+            joint_extensions: AtomicU64::new(0),
         })
     }
 }
@@ -469,6 +513,7 @@ impl DataView {
                 arity: d.arity(),
                 disc: d,
                 n_rows: self.inner.n_rows,
+                prefix_lineage: next_id(),
             })
         })
     }
@@ -511,6 +556,9 @@ impl DataView {
             arity: stale.arity,
             disc: stale.disc.clone(),
             n_rows: n,
+            // The extension appends to the stale fit's codes verbatim, so
+            // it stays in the same append-only prefix lineage.
+            prefix_lineage: stale.prefix_lineage,
         }))
     }
 
@@ -561,17 +609,58 @@ impl DataView {
     /// The cached joint stratum encoding of the conditioning set `z` under
     /// `(bins, max_levels)` — the row-wise contingency-table coordinate
     /// shared by every G-test conditioning on `z`.
+    ///
+    /// After an append, a stale encoding whose member fits all survived in
+    /// the same prefix lineage (categorical extensions, or unchanged fits)
+    /// is **extended by the appended rows only**: first-seen-order stratum
+    /// codes are prefix-stable whenever every member's code column is,
+    /// so re-coding starts from the cached first-seen map instead of row
+    /// zero — mirroring the categorical-discretization O(new rows) path.
+    /// Any member that was refit cold (a quantile fit, or a novel
+    /// categorical value) breaks the lineage and forces a cold re-code.
+    /// Both paths are provably identical to [`crate::entropy::joint_code`]
+    /// over the full member columns.
     pub fn joint_codes(&self, z: &[usize], bins: usize, max_levels: usize) -> Arc<JointCodes> {
         let key = (SmallIdSet::from_indices(z), bins as u32, max_levels as u32);
         let epoch = self.inner.epoch;
+        let stale_key = key.clone();
         self.inner.caches.joint.get_or_insert_with(key, epoch, || {
+            let n = self.inner.n_rows;
             let cols: Vec<Arc<ColumnCodes>> =
                 z.iter().map(|&i| self.codes(i, bins, max_levels)).collect();
-            let refs: Vec<&[usize]> = cols.iter().map(|c| c.codes.as_slice()).collect();
             let strata: f64 = cols.iter().map(|c| c.arity.max(1) as f64).product();
+            let member_lineages: Vec<u64> = cols.iter().map(|c| c.prefix_lineage).collect();
+            if let Some((_, stale)) = self.inner.caches.joint.stale(&stale_key) {
+                // Every member still in its recorded prefix lineage ⇒ the
+                // stale encoding is exactly what rows 0..stale.n_rows of
+                // the current member columns produce; extend it.
+                if stale.n_rows <= n && stale.member_lineages == member_lineages {
+                    self.inner
+                        .caches
+                        .joint_extensions
+                        .fetch_add(1, Ordering::Relaxed);
+                    let mut codes = Vec::with_capacity(n);
+                    codes.extend_from_slice(&stale.codes);
+                    let mut map = stale.map.clone();
+                    extend_joint_codes(&cols, &mut codes, &mut map, stale.n_rows, n);
+                    return Arc::new(JointCodes {
+                        codes,
+                        strata,
+                        map,
+                        member_lineages,
+                        n_rows: n,
+                    });
+                }
+            }
+            let mut codes = Vec::with_capacity(n);
+            let mut map = HashMap::default();
+            extend_joint_codes(&cols, &mut codes, &mut map, 0, n);
             Arc::new(JointCodes {
-                codes: joint_code(&refs, self.inner.n_rows),
+                codes,
                 strata,
+                map,
+                member_lineages,
+                n_rows: n,
             })
         })
     }
@@ -600,6 +689,13 @@ impl DataView {
     /// Miss count of the CI-outcome cache.
     pub fn ci_cache_misses(&self) -> u64 {
         self.inner.caches.ci.stats().misses()
+    }
+
+    /// How many joint encodings were extended incrementally (rather than
+    /// re-coded cold) along this view's lineage — observability for the
+    /// O(new rows) joint-code guarantee.
+    pub fn joint_code_extensions(&self) -> u64 {
+        self.inner.caches.joint_extensions.load(Ordering::Relaxed)
     }
 
     /// True when `other` shares this view's allocation (Arc identity).
@@ -781,6 +877,83 @@ mod tests {
         let a2 = v.codes(2, 5, 8).arity;
         assert_eq!(j.strata, (a0 * a2) as f64);
         assert_eq!(j.codes.len(), v.n_rows());
+    }
+
+    /// The cold joint encoding must reproduce `entropy::joint_code` on the
+    /// member code columns, bit for bit (same first-seen assignment rule).
+    #[test]
+    fn joint_codes_match_entropy_joint_code() {
+        let v = view();
+        let j = v.joint_codes(&[0, 2], 5, 8);
+        let c0 = v.codes(0, 5, 8);
+        let c2 = v.codes(2, 5, 8);
+        let direct = crate::entropy::joint_code(&[&c0.codes, &c2.codes], v.n_rows());
+        assert_eq!(j.codes, direct);
+    }
+
+    /// Appending rows whose member values are already covered extends the
+    /// cached joint encoding along the lineage; every step must equal a
+    /// cold re-code of the grown member columns.
+    #[test]
+    fn joint_codes_extend_incrementally_across_appends() {
+        // Two categorical columns (values {1,2} and {0,1}).
+        let mut v = DataView::new(vec![
+            vec![1.0, 2.0, 1.0, 2.0],
+            vec![0.0, 0.0, 1.0, 1.0],
+            vec![1.0, 2.0, 2.0, 1.0],
+        ]);
+        let first = v.joint_codes(&[0, 1], 5, 8);
+        assert_eq!(first.n_rows, 4);
+        for step in 0..3 {
+            let row = [
+                vec![1.0, 1.0, 2.0],
+                vec![2.0, 0.0, 1.0],
+                vec![2.0, 1.0, 1.0],
+            ][step]
+                .clone();
+            v = v.append_row(&row);
+            let j = v.joint_codes(&[0, 1], 5, 8);
+            let c0 = v.codes(0, 5, 8);
+            let c1 = v.codes(1, 5, 8);
+            let cold = crate::entropy::joint_code(&[&c0.codes, &c1.codes], v.n_rows());
+            assert_eq!(j.codes, cold, "step {step} diverged from cold re-code");
+            assert_eq!(j.n_rows, v.n_rows());
+            // The O(new rows) path must actually have fired (equality
+            // alone cannot distinguish it from a cold fallback).
+            assert_eq!(
+                v.joint_code_extensions(),
+                step as u64 + 1,
+                "step {step} fell back to a cold re-code"
+            );
+            // The member fits survived in their prefix lineages, so the
+            // encoding extended instead of restarting: the prefix is the
+            // previous encoding verbatim.
+            assert_eq!(&j.codes[..j.codes.len() - 1], {
+                let prev = v.n_rows() - 1;
+                &crate::entropy::joint_code(&[&c0.codes[..prev], &c1.codes[..prev]], prev)[..]
+            });
+        }
+    }
+
+    /// A novel categorical value refits the member cold (new prefix
+    /// lineage), which must force a cold joint re-code — still identical
+    /// to direct computation.
+    #[test]
+    fn joint_codes_fall_back_cold_on_lineage_break() {
+        let mut v = DataView::new(vec![vec![1.0, 2.0, 1.0, 2.0], vec![0.0, 1.0, 0.0, 1.0]]);
+        let _ = v.joint_codes(&[0, 1], 5, 8);
+        // 9.0 is a novel value for column 0: its fit restarts.
+        v = v.append_row(&[9.0, 0.0]);
+        let j = v.joint_codes(&[0, 1], 5, 8);
+        let c0 = v.codes(0, 5, 8);
+        let c1 = v.codes(1, 5, 8);
+        let cold = crate::entropy::joint_code(&[&c0.codes, &c1.codes], v.n_rows());
+        assert_eq!(j.codes, cold);
+        assert_eq!(
+            v.joint_code_extensions(),
+            0,
+            "a broken member lineage must force the cold path"
+        );
     }
 
     #[test]

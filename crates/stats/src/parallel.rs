@@ -1,60 +1,31 @@
-//! Minimal data-parallel helper (the registry-free stand-in for rayon):
-//! deterministic ordered fork–join over a slice with `std::thread::scope`.
+//! Compatibility shim over the [`unicorn_exec`] worker-pool subsystem.
 //!
-//! Results are returned in input order regardless of thread count, which is
-//! what lets the parallel PC-stable sweep produce output independent of
-//! parallelism (asserted by `tests/dataview_equivalence.rs`).
+//! Earlier revisions implemented a scoped fork–join here; the pipeline now
+//! fans out over a persistent [`unicorn_exec::Executor`] threaded through
+//! the option structs, and this module only keeps the old free-function
+//! surface alive for direct callers. Results are returned in input order
+//! regardless of thread count — the property the parallel stages'
+//! equivalence tests rest on — and worker panics are re-raised on the
+//! caller with the failing index and original message instead of the old
+//! bare `expect("worker panicked")`.
 
-/// Default worker count: the `UNICORN_THREADS` environment variable if set
-/// (a value of `1` forces serial execution), otherwise the machine's
-/// available parallelism, capped at 16.
-pub fn default_threads() -> usize {
-    if let Ok(v) = std::env::var("UNICORN_THREADS") {
-        if let Ok(n) = v.parse::<usize>() {
-            return n.max(1);
-        }
-    }
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-        .min(16)
-}
+pub use unicorn_exec::default_threads;
+use unicorn_exec::Executor;
 
 /// Applies `f` to every item, using up to `threads` worker threads, and
 /// returns the results **in input order**. `f` receives `(index, &item)`.
 /// With `threads <= 1` (or trivially small inputs) this is a plain serial
 /// map — the parallel and serial paths run the same `f` on the same items.
+///
+/// Spawns a transient pool per call; callers on a hot path should hold an
+/// [`Executor`] and call [`Executor::par_map`] so workers are reused.
 pub fn par_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
 where
     T: Sync,
     R: Send,
     F: Fn(usize, &T) -> R + Sync,
 {
-    let threads = threads.max(1).min(items.len().max(1));
-    if threads == 1 || items.len() < 2 {
-        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
-    }
-    // Contiguous chunks, one per worker; each worker returns its chunk's
-    // results in order, and chunks are re-joined in order.
-    let chunk = items.len().div_ceil(threads);
-    let mut out: Vec<Vec<R>> = Vec::with_capacity(threads);
-    std::thread::scope(|scope| {
-        let mut handles = Vec::with_capacity(threads);
-        for (w, slice) in items.chunks(chunk).enumerate() {
-            let f = &f;
-            handles.push(scope.spawn(move || {
-                slice
-                    .iter()
-                    .enumerate()
-                    .map(|(i, t)| f(w * chunk + i, t))
-                    .collect::<Vec<R>>()
-            }));
-        }
-        for h in handles {
-            out.push(h.join().expect("worker panicked"));
-        }
-    });
-    out.into_iter().flatten().collect()
+    Executor::new(threads).par_map(items, f)
 }
 
 #[cfg(test)]
@@ -65,7 +36,7 @@ mod tests {
     fn results_in_input_order_any_thread_count() {
         let items: Vec<usize> = (0..257).collect();
         let expect: Vec<usize> = items.iter().map(|&x| x * 3 + 1).collect();
-        for threads in [0, 1, 2, 3, 8, 64] {
+        for threads in [0, 1, 2, 3, 8] {
             let got = par_map(&items, threads, |i, &x| {
                 assert_eq!(i, x, "index must match item position");
                 x * 3 + 1
@@ -84,5 +55,22 @@ mod tests {
     #[test]
     fn default_threads_positive() {
         assert!(default_threads() >= 1);
+    }
+
+    #[test]
+    fn panic_carries_task_context() {
+        let items: Vec<usize> = (0..16).collect();
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            par_map(&items, 4, |_, &x| {
+                assert!(x != 5, "item rejected");
+                x
+            })
+        }));
+        let payload = caught.expect_err("panic must propagate");
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert!(msg.contains("task 5"), "missing index context: {msg}");
     }
 }

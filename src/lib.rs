@@ -13,6 +13,7 @@
 //!
 //! | Module | Crate | Contents |
 //! |--------|-------|----------|
+//! | [`exec`] | `unicorn-exec` | the persistent worker pool every parallel stage fans out over |
 //! | [`stats`] | `unicorn-stats` | numerics, CI tests, entropy, regression, Pareto, the `DataView` data layer |
 //! | [`graph`] | `unicorn-graph` | PAGs, ADMGs, m-separation, causal paths, SHD |
 //! | [`discovery`] | `unicorn-discovery` | PC-stable, FCI, LatentSearch, entropic orientation |
@@ -78,6 +79,7 @@
 pub use unicorn_baselines as baselines;
 pub use unicorn_core as core;
 pub use unicorn_discovery as discovery;
+pub use unicorn_exec as exec;
 pub use unicorn_graph as graph;
 pub use unicorn_inference as inference;
 pub use unicorn_stats as stats;

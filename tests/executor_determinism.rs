@@ -1,0 +1,191 @@
+//! The determinism contract of the unified executor: with a **single
+//! reused pool** per thread count (workers spawned at most once, shared by
+//! every relearn of the schedule and by the SCM fits), the full pipeline
+//! output — graph, sepsets, CI-test-count trace, and fitted SCM
+//! coefficients — is bit-identical for pools of 1, 2, and 8 threads, and
+//! identical to the thread-free default path. Also covers nested
+//! `par_map` submission (pipelines running *inside* pool tasks).
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use unicorn::discovery::{
+    learn_causal_model_incremental, DiscoveryOptions, LearnedModel, RelearnSession,
+};
+use unicorn::exec::Executor;
+use unicorn::graph::{TierConstraints, VarKind};
+use unicorn::inference::FittedScm;
+use unicorn::stats::dataview::DataView;
+
+fn lcg(state: &mut u64) -> f64 {
+    *state = state
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    ((*state >> 11) as f64 / (1u64 << 53) as f64) - 0.5
+}
+
+/// Five-variable stack: opt0 → ev0 → obj, opt1 → ev1 → obj, ev0 → ev1.
+fn stack_stream(n: usize, seed: u64) -> Vec<Vec<f64>> {
+    let mut s = seed.wrapping_mul(2862933555777941757).wrapping_add(3037);
+    let mut cols: Vec<Vec<f64>> = (0..5).map(|_| Vec::with_capacity(n)).collect();
+    for i in 0..n {
+        let o0 = (i % 4) as f64;
+        let o1 = ((i / 2) % 2) as f64;
+        let e0 = 2.0 * o0 + 0.4 * lcg(&mut s);
+        let e1 = 1.5 * o1 - 0.5 * e0 + 0.4 * lcg(&mut s);
+        let obj = -e0 + 0.5 * e1 + 0.3 * lcg(&mut s);
+        for (c, v) in cols.iter_mut().zip([o0, o1, e0, e1, obj]) {
+            c.push(v);
+        }
+    }
+    cols
+}
+
+fn stack_names_tiers() -> (Vec<String>, TierConstraints) {
+    let names = ["opt0", "opt1", "ev0", "ev1", "obj"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let tiers = TierConstraints::new(vec![
+        VarKind::ConfigOption,
+        VarKind::ConfigOption,
+        VarKind::SystemEvent,
+        VarKind::SystemEvent,
+        VarKind::Objective,
+    ]);
+    (names, tiers)
+}
+
+/// Comparable fingerprint of one relearn step: structure, sepsets, test
+/// count, and the SCM's coefficient bits fitted on the same pool.
+#[derive(Debug, Clone, PartialEq)]
+struct Trace {
+    directed: Vec<(usize, usize)>,
+    bidirected: Vec<(usize, usize)>,
+    n_ci_tests: usize,
+    sepsets: Vec<(usize, usize, Option<Vec<usize>>)>,
+    scm_coefficient_bits: Vec<Option<Vec<u64>>>,
+}
+
+fn trace_of(m: &LearnedModel, view: &DataView, exec: &Arc<Executor>) -> Trace {
+    let n_vars = 5;
+    let mut sepsets = Vec::new();
+    for x in 0..n_vars {
+        for y in (x + 1)..n_vars {
+            sepsets.push((x, y, m.sepsets.get(x, y).map(<[usize]>::to_vec)));
+        }
+    }
+    let scm = FittedScm::fit_view_on(m.admg.clone(), view, Arc::clone(exec)).expect("SCM fit");
+    let scm_coefficient_bits = (0..n_vars)
+        .map(|v| {
+            scm.coefficients_of(v)
+                .map(|cs| cs.iter().map(|c| c.to_bits()).collect())
+        })
+        .collect();
+    Trace {
+        directed: m.admg.directed_edges().to_vec(),
+        bidirected: m.admg.bidirected_edges().to_vec(),
+        n_ci_tests: m.n_ci_tests,
+        sepsets,
+        scm_coefficient_bits,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// One pool per thread count, reused across an arbitrary append /
+    /// relearn schedule: every step's full trace must agree across pools.
+    #[test]
+    fn pipeline_bit_identical_across_reused_pools(
+        seed in 0u64..1_000_000,
+        batches in prop::collection::vec(1usize..4, 2..5),
+    ) {
+        let (names, tiers) = stack_names_tiers();
+        let n0 = 40usize;
+        let total: usize = n0 + batches.iter().sum::<usize>();
+        let stream = stack_stream(total, seed);
+        let initial: Vec<Vec<f64>> = stream.iter().map(|c| c[..n0].to_vec()).collect();
+
+        let mut traces_by_pool: Vec<Vec<Trace>> = Vec::new();
+        for &threads in &[1usize, 2, 8] {
+            // The single pool of this arm — reused by every relearn and
+            // every SCM fit below.
+            let pool = Executor::new(threads);
+            let opts = DiscoveryOptions {
+                alpha: 0.01,
+                max_depth: 2,
+                pds_depth: 1,
+                objective_completion: 2,
+                exec: Some(Arc::clone(&pool)),
+                ..DiscoveryOptions::default()
+            };
+            let mut session = RelearnSession::default();
+            let mut view = DataView::from_columns(&initial);
+            let mut cursor = n0;
+            let mut traces = Vec::new();
+            let mut spawned_after_first = None;
+            for &batch in &batches {
+                let rows: Vec<Vec<f64>> = (cursor..cursor + batch)
+                    .map(|r| stream.iter().map(|c| c[r]).collect())
+                    .collect();
+                cursor += batch;
+                view = view.append_rows(&rows);
+                let model =
+                    learn_causal_model_incremental(&view, &names, &tiers, &opts, &mut session);
+                traces.push(trace_of(&model, &view, &pool));
+                // Spawn-at-most-once: after the first relearn the worker
+                // count never grows again.
+                match spawned_after_first {
+                    None => spawned_after_first = Some(pool.workers_spawned()),
+                    Some(n) => prop_assert_eq!(pool.workers_spawned(), n),
+                }
+            }
+            prop_assert!(pool.workers_spawned() <= threads.saturating_sub(1));
+            traces_by_pool.push(traces);
+        }
+        prop_assert_eq!(&traces_by_pool[0], &traces_by_pool[1]);
+        prop_assert_eq!(&traces_by_pool[0], &traces_by_pool[2]);
+    }
+}
+
+/// Running whole pipelines *inside* pool tasks (nested `par_map` on the
+/// same executor) must neither deadlock nor change any output.
+#[test]
+fn nested_pipelines_on_one_pool_match_serial() {
+    let (names, tiers) = stack_names_tiers();
+    let pool = Executor::new(2);
+    let opts = DiscoveryOptions {
+        alpha: 0.01,
+        max_depth: 2,
+        pds_depth: 1,
+        exec: Some(Arc::clone(&pool)),
+        ..DiscoveryOptions::default()
+    };
+    let seeds: Vec<u64> = vec![3, 11, 29];
+    let nested = pool.par_map(&seeds, |_, &seed| {
+        let cols = stack_stream(60, seed);
+        let view = DataView::from_columns(&cols);
+        let mut session = RelearnSession::default();
+        let model = learn_causal_model_incremental(&view, &names, &tiers, &opts, &mut session);
+        trace_of(&model, &view, &pool)
+    });
+    for (i, &seed) in seeds.iter().enumerate() {
+        let cols = stack_stream(60, seed);
+        let view = DataView::from_columns(&cols);
+        let serial_opts = DiscoveryOptions {
+            exec: Some(Executor::new(1)),
+            ..opts.clone()
+        };
+        let mut session = RelearnSession::default();
+        let model =
+            learn_causal_model_incremental(&view, &names, &tiers, &serial_opts, &mut session);
+        let serial_pool = Executor::new(1);
+        assert_eq!(
+            nested[i],
+            trace_of(&model, &view, &serial_pool),
+            "seed {seed} diverged under nested submission"
+        );
+    }
+}

@@ -50,11 +50,15 @@ fn bench_interventional(c: &mut Criterion) {
 
 fn bench_repair_ranking(c: &mut Criterion) {
     let (sim, ds, scm) = setup();
-    let engine = CausalEngine::new(scm, sim.model.tiers(), Box::new(ds.domains(&sim)))
-        .with_repair_options(RepairOptions {
-            max_pairs: 8,
-            ..Default::default()
-        });
+    let engine = CausalEngine::new(
+        scm,
+        sim.model.tiers(),
+        std::sync::Arc::new(ds.domains(&sim)),
+    )
+    .with_repair_options(RepairOptions {
+        max_pairs: 8,
+        ..Default::default()
+    });
     let goal = QosGoal::single(
         ds.objective_node(0),
         unicorn_stats::quantile(ds.objective_column(0), 0.5),

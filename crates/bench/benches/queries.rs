@@ -1,0 +1,172 @@
+//! The Stage III/V query-fan-out benchmark (`BENCH_queries.json`): the
+//! debugging query sweep (root-cause ranking), the option-ACE table, and
+//! the repair sweep on x264 at n = 1000, each in two arms:
+//!
+//! * `per_intervention` — the legacy serial path: one interventional
+//!   g-formula sweep per estimate (the free functions in `ace`/`repair`,
+//!   exactly what the engine did before the planner).
+//! * `batched` — the engine's compiled [`unicorn_inference::QueryPlan`]:
+//!   the whole query set deduplicated, ancestor-sharing per swept row,
+//!   fanned over the worker pool, canonically merged.
+//!
+//! Both arms produce bit-identical answers
+//! (`tests/query_plan_determinism.rs`); the benchmark measures the
+//! latency win of planning. The batched arm wins even on a single core:
+//! interventions recompute only the intervened nodes' descendants on top
+//! of one shared baseline sweep, and overlapping path links are simulated
+//! once.
+
+use std::sync::Arc;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use unicorn_discovery::{learn_causal_model_on, DiscoveryOptions};
+use unicorn_graph::{TierConstraints, VarKind};
+use unicorn_inference::{
+    generate_repairs, option_aces, rank_repairs, root_cause_candidates, CausalEngine,
+    ExplicitDomain, FittedScm, QosGoal, RepairOptions,
+};
+use unicorn_systems::{generate, Environment, Hardware, Simulator, SubjectSystem};
+
+struct Setup {
+    engine: CausalEngine,
+    domain: ExplicitDomain,
+    tiers: TierConstraints,
+    goal: QosGoal,
+    objective: usize,
+    fault_row: usize,
+    repair_opts: RepairOptions,
+}
+
+fn setup() -> Setup {
+    let sim = Simulator::new(
+        SubjectSystem::X264.build(),
+        Environment::on(Hardware::Tx2),
+        0xBE,
+    );
+    let ds = generate(&sim, 1000, 0xD4);
+    let view = ds.view();
+    let tiers = sim.model.tiers();
+    let model = learn_causal_model_on(
+        &view,
+        &ds.names,
+        &tiers,
+        &DiscoveryOptions {
+            alpha: 0.01,
+            max_depth: 2,
+            pds_depth: 1,
+            ..Default::default()
+        },
+    );
+    let scm = FittedScm::fit_view(model.admg, &view).expect("SCM fit");
+    let objective = ds.objective_node(0);
+    // Fault: the worst latency sample; QoS: restore to the median.
+    let obj_col = ds.objective_column(0);
+    let fault_row = obj_col
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).expect("NaN objective"))
+        .map(|(i, _)| i)
+        .expect("non-empty sample");
+    let goal = QosGoal::single(objective, unicorn_stats::quantile(obj_col, 0.5));
+    let domain = ds.domains(&sim);
+    let repair_opts = RepairOptions {
+        max_pairs: 8,
+        ..Default::default()
+    };
+    let engine = CausalEngine::new(scm, tiers.clone(), Arc::new(domain.clone()))
+        .with_repair_options(repair_opts.clone());
+    Setup {
+        engine,
+        domain,
+        tiers,
+        goal,
+        objective,
+        fault_row,
+        repair_opts,
+    }
+}
+
+/// The pre-planner `CausalEngine::rank_root_causes` loop, verbatim.
+fn legacy_rank_root_causes(s: &Setup) -> Vec<(usize, f64)> {
+    let scm = s.engine.scm();
+    let candidates = root_cause_candidates(scm, &s.goal, &s.tiers, &s.domain, &s.repair_opts);
+    let mut scores: Vec<(usize, f64)> = candidates
+        .iter()
+        .map(|&o| {
+            let total: f64 = s
+                .goal
+                .thresholds
+                .iter()
+                .map(|&(obj, _)| option_aces(scm, obj, &[o], &s.domain)[0].1)
+                .sum();
+            (o, total)
+        })
+        .collect();
+    scores.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("NaN ACE"));
+    scores
+}
+
+/// The pre-planner `CausalEngine::recommend_repairs` loop, verbatim.
+fn legacy_recommend_repairs(s: &Setup) -> Vec<unicorn_inference::Repair> {
+    let scm = s.engine.scm();
+    let candidates = root_cause_candidates(scm, &s.goal, &s.tiers, &s.domain, &s.repair_opts);
+    let fault: Vec<f64> = (0..scm.n_vars())
+        .map(|v| scm.data()[v][s.fault_row])
+        .collect();
+    let repairs = generate_repairs(&fault, &candidates, &s.domain, &s.repair_opts);
+    rank_repairs(scm, &s.goal, s.fault_row, repairs, &s.repair_opts)
+}
+
+fn bench_queries(c: &mut Criterion) {
+    let s = setup();
+    let options = s.tiers.of_kind(VarKind::ConfigOption);
+
+    // Cross-check once: the arms must agree bit for bit before timing.
+    {
+        let legacy: Vec<(usize, u64)> =
+            option_aces(s.engine.scm(), s.objective, &options, &s.domain)
+                .into_iter()
+                .map(|(o, a)| (o, a.to_bits()))
+                .collect();
+        let batched: Vec<(usize, u64)> = s
+            .engine
+            .option_effects(s.objective)
+            .into_iter()
+            .map(|(o, a)| (o, a.to_bits()))
+            .collect();
+        assert_eq!(legacy, batched, "arms diverged — benchmark invalid");
+    }
+
+    let mut group = c.benchmark_group("queries_x264_n1000");
+    group.sample_size(10);
+    group.bench_function("option_aces/per_intervention", |b| {
+        b.iter(|| {
+            black_box(option_aces(
+                s.engine.scm(),
+                s.objective,
+                &options,
+                &s.domain,
+            ))
+        });
+    });
+    group.bench_function("option_aces/batched", |b| {
+        b.iter(|| black_box(s.engine.option_effects(s.objective)));
+    });
+    group.bench_function("debug_fault_root_causes/per_intervention", |b| {
+        b.iter(|| black_box(legacy_rank_root_causes(&s)));
+    });
+    group.bench_function("debug_fault_root_causes/batched", |b| {
+        b.iter(|| black_box(s.engine.rank_root_causes(&s.goal)));
+    });
+    group.bench_function("repair_sweep/per_intervention", |b| {
+        b.iter(|| black_box(legacy_recommend_repairs(&s)));
+    });
+    group.bench_function("repair_sweep/batched", |b| {
+        b.iter(|| black_box(s.engine.recommend_repairs(&s.goal, s.fault_row)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_queries);
+criterion_main!(benches);

@@ -56,11 +56,15 @@ fn run(scenario: Scenario, scale: Scale, t: &mut Table) {
         .collect();
     let paths = count_causal_paths(&model.admg, &objectives, 10_000);
     let scm = FittedScm::fit_view(model.admg.clone(), &view).expect("fit");
-    let engine = CausalEngine::new(scm, sim.model.tiers(), Box::new(ds.domains(&sim)))
-        .with_repair_options(RepairOptions {
-            max_pairs: 30,
-            ..Default::default()
-        });
+    let engine = CausalEngine::new(
+        scm,
+        sim.model.tiers(),
+        std::sync::Arc::new(ds.domains(&sim)),
+    )
+    .with_repair_options(RepairOptions {
+        max_pairs: 30,
+        ..Default::default()
+    });
     let goal = QosGoal::single(
         ds.objective_node(0),
         unicorn_stats::quantile(ds.objective_column(0), 0.5),

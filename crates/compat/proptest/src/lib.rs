@@ -221,6 +221,17 @@ macro_rules! prop_assert_eq {
             )));
         }
     }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$a, &$b);
+        if left != right {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "{} (left: {:?}, right: {:?})",
+                format!($($fmt)+),
+                left,
+                right
+            )));
+        }
+    }};
 }
 
 /// The usual glob-import surface.

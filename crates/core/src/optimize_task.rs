@@ -63,18 +63,42 @@ fn candidates(
     incumbent_row: usize,
 ) -> Vec<Config> {
     let mut out = Vec::new();
-    // Per-option best move under the fitted SCM.
+    // Per-option best move under the fitted SCM: the whole
+    // options × grid-values counterfactual sweep compiles into ONE query
+    // plan (deduplicated, fanned over the state's pool) instead of one
+    // SCM call per candidate value — the same answers, batched.
+    let mut plan = unicorn_inference::QueryPlan::new();
+    let grids: Vec<Vec<f64>> = (0..sim.model.n_options())
+        .map(|o| sim.model.space.option(o).values.clone())
+        .collect();
+    let handles: Vec<Vec<unicorn_inference::PlanHandle>> = grids
+        .iter()
+        .enumerate()
+        .map(|(o, grid)| {
+            if grid.len() < 2 {
+                return Vec::new();
+            }
+            grid.iter()
+                .map(|&v| {
+                    let mut c = incumbent.clone();
+                    c.values[o] = v;
+                    let raw: Vec<(usize, f64)> = (0..sim.model.n_options())
+                        .map(|i| (i, c.values[i]))
+                        .collect();
+                    plan.counterfactual(incumbent_row, &raw)
+                })
+                .collect()
+        })
+        .collect();
+    let results = engine.scm().evaluate_plan(&plan);
     let mut moves: Vec<(f64, usize, f64)> = Vec::new(); // (predicted, option, value)
-    for o in 0..sim.model.n_options() {
-        let grid = sim.model.space.option(o).values.clone();
+    for (o, grid) in grids.iter().enumerate() {
         if grid.len() < 2 {
             continue;
         }
         let mut best: Option<(f64, f64)> = None; // (predicted, value)
-        for &v in &grid {
-            let mut c = incumbent.clone();
-            c.values[o] = v;
-            let p = predict_cf(engine, sim, &c, objective, incumbent_row);
+        for (&v, &h) in grid.iter().zip(&handles[o]) {
+            let p = results.values(h)[objective];
             if best.is_none_or(|(bp, _)| p < bp) {
                 best = Some((p, v));
             }
@@ -107,21 +131,36 @@ fn candidates(
     out
 }
 
-/// Counterfactual prediction anchored at a measured row: abduct that row's
-/// residuals, intervene with the candidate's options, read the objective.
-/// Near the incumbent this corrects each functional node's systematic bias
-/// with the residuals actually observed there.
-fn predict_cf(
+/// Counterfactual predictions anchored at a measured row, for a whole
+/// candidate pool as one compiled plan: abduct that row's residuals,
+/// intervene with each candidate's options, and read the objectives off
+/// the simulated vectors. Near the incumbent this corrects each
+/// functional node's systematic bias with the residuals actually observed
+/// there. One counterfactual item per configuration (deduplicated — every
+/// objective reads the same simulated vector), evaluated in a single
+/// pool-parallel batch; each item is bit-identical to a serial
+/// `FittedScm::counterfactual` call.
+fn predict_cf_batch(
     engine: &unicorn_inference::CausalEngine,
     sim: &Simulator,
-    config: &Config,
-    objective: usize,
+    pool: &[Config],
     row: usize,
-) -> f64 {
-    let raw: Vec<(usize, f64)> = (0..sim.model.n_options())
-        .map(|i| (i, config.values[i]))
+) -> Vec<Vec<f64>> {
+    let mut plan = unicorn_inference::QueryPlan::new();
+    let handles: Vec<unicorn_inference::PlanHandle> = pool
+        .iter()
+        .map(|config| {
+            let raw: Vec<(usize, f64)> = (0..sim.model.n_options())
+                .map(|i| (i, config.values[i]))
+                .collect();
+            plan.counterfactual(row, &raw)
+        })
         .collect();
-    engine.scm().counterfactual(row, &raw)[objective]
+    let results = engine.scm().evaluate_plan(&plan);
+    handles
+        .iter()
+        .map(|&h| results.values(h).to_vec())
+        .collect()
 }
 
 /// Single-objective optimization of `objective_idx` (0 = latency, …).
@@ -157,12 +196,16 @@ pub fn optimize_single(
         } else {
             let mut pool = candidates(sim, &mut state, &engine, obj_node, &best_config, best_row);
             pool.retain(|c| !tried.contains(c));
+            // One batched counterfactual sweep scores the whole pool.
+            let predicted = predict_cf_batch(&engine, sim, &pool, best_row);
             pool.into_iter()
+                .zip(predicted)
                 .min_by(|a, b| {
-                    predict_cf(&engine, sim, a, obj_node, best_row)
-                        .partial_cmp(&predict_cf(&engine, sim, b, obj_node, best_row))
+                    a.1[obj_node]
+                        .partial_cmp(&b.1[obj_node])
                         .expect("NaN prediction")
                 })
+                .map(|(c, _)| c)
                 .unwrap_or_else(|| {
                     // Every model-suggested move has been measured: the
                     // model needs fresh evidence elsewhere.
@@ -266,14 +309,17 @@ pub fn optimize_multi(
                 incumbent_idx,
             ));
             pool.retain(|c| !configs.contains(c));
+            // One batched counterfactual sweep serves both objectives of
+            // every candidate (each config is a single deduplicated item).
+            let predicted = predict_cf_batch(&engine, sim, &pool, incumbent_idx);
             pool.into_iter()
+                .zip(predicted)
                 .min_by(|a, b| {
-                    let sa = w * predict_cf(&engine, sim, a, obj_nodes[0], incumbent_idx)
-                        + (1.0 - w) * predict_cf(&engine, sim, a, obj_nodes[1], incumbent_idx);
-                    let sb = w * predict_cf(&engine, sim, b, obj_nodes[0], incumbent_idx)
-                        + (1.0 - w) * predict_cf(&engine, sim, b, obj_nodes[1], incumbent_idx);
+                    let sa = w * a.1[obj_nodes[0]] + (1.0 - w) * a.1[obj_nodes[1]];
+                    let sb = w * b.1[obj_nodes[0]] + (1.0 - w) * b.1[obj_nodes[1]];
                     sa.partial_cmp(&sb).expect("NaN prediction")
                 })
+                .map(|(c, _)| c)
                 .unwrap_or_else(|| {
                     let mut rng_clone = state.rng().clone();
                     sim.model.space.random_config(&mut rng_clone)

@@ -178,7 +178,10 @@ impl UnicornState {
     /// SCM is cached across builds: unchanged data + structure is an `Arc`
     /// bump, a grown sample with an unchanged ADMG takes the warm-refit
     /// path ([`FittedScm::refit_view`]), and only a structure change pays a
-    /// cold fit — all three produce identical fits.
+    /// cold fit — all three produce identical fits. The engine `Arc`-shares
+    /// the SCM and value domain, so it clones cheaply across worker
+    /// threads and relearn iterations, and every query it answers is one
+    /// compiled, pool-parallel plan batch.
     pub fn engine(&mut self, sim: &Simulator, opts: &UnicornOptions) -> CausalEngine {
         self.sync_view();
         let scm = match self.scm.take() {
@@ -191,7 +194,7 @@ impl UnicornState {
             }
         };
         self.scm = Some(scm.clone());
-        CausalEngine::new(scm, sim.model.tiers(), Box::new(self.data.domains(sim)))
+        CausalEngine::new(scm, sim.model.tiers(), Arc::new(self.data.domains(sim)))
             .with_repair_options(opts.repair.clone())
     }
 
@@ -255,6 +258,11 @@ impl UnicornState {
     /// values of `base`. "Changes in the options [with higher effects] are
     /// more likely to have a larger effect on performance objectives, and
     /// therefore we can learn more about the performance behavior."
+    ///
+    /// The whole option-effect table is obtained as **one** submitted
+    /// query plan (`CausalEngine::option_effects` compiles the full
+    /// options × values sweep grid), not one interventional call per
+    /// option — the Stage III fan-out batches over the state's pool.
     pub fn ace_weighted_explore(
         &mut self,
         sim: &Simulator,

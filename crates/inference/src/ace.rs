@@ -8,13 +8,16 @@
 
 use unicorn_graph::{backtrack_causal_paths, CausalPath, NodeId};
 
+use crate::plan::{DomainCache, PlanHandle, QueryPlan};
 use crate::scm::FittedScm;
 
 /// Supplies the permissible values of each variable: configuration options
 /// enumerate their domains; system events use empirical quantiles of the
 /// observed data (they cannot be intervened in practice, but their link
-/// ACEs still rank paths).
-pub trait ValueDomain {
+/// ACEs still rank paths). `Send + Sync` so engines holding an
+/// `Arc<dyn ValueDomain>` (and the plans compiled from them) can cross
+/// worker threads.
+pub trait ValueDomain: Send + Sync {
     /// Candidate values for `do(node = ·)` sweeps.
     fn values(&self, node: NodeId) -> Vec<f64>;
 }
@@ -46,16 +49,10 @@ pub fn quantile_values(column: &[f64]) -> Vec<f64> {
     vals
 }
 
-/// Average causal effect of `x` on `z`, swept over `values` (mean absolute
-/// pairwise difference of interventional expectations).
-pub fn ace(scm: &FittedScm, z: NodeId, x: NodeId, values: &[f64]) -> f64 {
-    if values.len() < 2 {
-        return 0.0;
-    }
-    let means: Vec<f64> = values
-        .iter()
-        .map(|&v| scm.interventional_expectation(z, &[(x, v)]))
-        .collect();
+/// The ACE fold over interventional means in value order — the one
+/// definition shared by the legacy serial [`ace`] and every planned path,
+/// so both produce bit-identical effects from equal means.
+pub(crate) fn ace_from_means(means: &[f64]) -> f64 {
     let mut total = 0.0;
     let mut pairs = 0usize;
     for i in 0..means.len() {
@@ -65,6 +62,57 @@ pub fn ace(scm: &FittedScm, z: NodeId, x: NodeId, values: &[f64]) -> f64 {
         }
     }
     total / pairs as f64
+}
+
+/// Average causal effect of `x` on `z`, swept over `values` (mean absolute
+/// pairwise difference of interventional expectations).
+///
+/// This is the **legacy serial reference path** (one interventional sweep
+/// per value); the engine answers through compiled [`QueryPlan`]s instead,
+/// and `tests/query_plan_determinism.rs` pins the two bit-identical.
+pub fn ace(scm: &FittedScm, z: NodeId, x: NodeId, values: &[f64]) -> f64 {
+    if values.len() < 2 {
+        return 0.0;
+    }
+    let means: Vec<f64> = values
+        .iter()
+        .map(|&v| scm.interventional_expectation(z, &[(x, v)]))
+        .collect();
+    ace_from_means(&means)
+}
+
+/// Registers the expectation items of one `ACE(z, x)` estimate on a plan
+/// (one per permissible value; `None` when fewer than two values exist —
+/// the legacy path's 0.0 short-circuit).
+pub(crate) fn plan_ace(
+    plan: &mut QueryPlan,
+    z: NodeId,
+    x: NodeId,
+    values: &[f64],
+) -> Option<Vec<PlanHandle>> {
+    if values.len() < 2 {
+        return None;
+    }
+    Some(
+        values
+            .iter()
+            .map(|&v| plan.expectation(z, &[(x, v)]))
+            .collect(),
+    )
+}
+
+/// Resolves a [`plan_ace`] registration against evaluated results.
+pub(crate) fn ace_of_handles(
+    results: &crate::plan::PlanResults,
+    handles: &Option<Vec<PlanHandle>>,
+) -> f64 {
+    match handles {
+        None => 0.0,
+        Some(hs) => {
+            let means: Vec<f64> = hs.iter().map(|&h| results.scalar(h)).collect();
+            ace_from_means(&means)
+        }
+    }
 }
 
 /// Signed effect of moving `x` from `a` to `b` on `z`.
@@ -100,6 +148,10 @@ pub struct RankedPath {
 /// path ACE, keeping the top `k` (§4: "we select the top K paths with the
 /// largest Path-ACE values, for each non-functional property"; the paper
 /// uses K = 3…25).
+///
+/// Legacy serial reference path — the engine uses
+/// [`rank_causal_paths_planned`], which compiles every link sweep of every
+/// path into one deduplicated plan.
 pub fn rank_causal_paths(
     scm: &FittedScm,
     objective: NodeId,
@@ -119,8 +171,60 @@ pub fn rank_causal_paths(
     ranked
 }
 
+/// [`rank_causal_paths`] through one compiled plan: every link ACE of
+/// every enumerated path becomes a set of expectation items, deduplicated
+/// across paths (shared links are estimated once) and across repeated
+/// sweeps of the same `do(x = v)`; one `evaluate_plan` then answers them
+/// all, and scores/ordering reproduce the serial path bit for bit.
+pub fn rank_causal_paths_planned(
+    scm: &FittedScm,
+    objective: NodeId,
+    cache: &mut DomainCache<'_>,
+    k: usize,
+    path_cap: usize,
+) -> Vec<RankedPath> {
+    let paths = backtrack_causal_paths(scm.admg(), objective, path_cap);
+    let mut plan = QueryPlan::new();
+    // Per path, per link (x, z): the ACE handles of the link sweep.
+    let links: Vec<Vec<Option<Vec<PlanHandle>>>> = paths
+        .iter()
+        .map(|p| {
+            p.nodes
+                .windows(2)
+                .map(|w| plan_ace(&mut plan, w[1], w[0], &cache.values(w[0])))
+                .collect()
+        })
+        .collect();
+    let results = scm.evaluate_plan(&plan);
+    let mut ranked: Vec<RankedPath> = paths
+        .into_iter()
+        .zip(&links)
+        .map(|(p, link_handles)| {
+            // The exact `path_ace` fold: mean link ACE in path order.
+            let score = if p.nodes.len() < 2 {
+                0.0
+            } else {
+                let mut total = 0.0;
+                let mut n = 0usize;
+                for handles in link_handles {
+                    total += ace_of_handles(&results, handles);
+                    n += 1;
+                }
+                total / n as f64
+            };
+            RankedPath { path: p, score }
+        })
+        .collect();
+    ranked.sort_by(|a, b| b.score.partial_cmp(&a.score).expect("NaN path score"));
+    ranked.truncate(k);
+    ranked
+}
+
 /// Per-option ACE on an objective: the primary root-cause ranking signal
 /// and the weight vector of the paper's accuracy metric.
+///
+/// Legacy serial reference path — the engine uses
+/// [`option_aces_planned`].
 pub fn option_aces(
     scm: &FittedScm,
     objective: NodeId,
@@ -130,6 +234,29 @@ pub fn option_aces(
     let mut out: Vec<(NodeId, f64)> = options
         .iter()
         .map(|&o| (o, ace(scm, objective, o, &domain.values(o))))
+        .collect();
+    out.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("NaN ACE"));
+    out
+}
+
+/// [`option_aces`] through one compiled plan: the whole options × values
+/// sweep grid is submitted as a single deduplicated batch.
+pub fn option_aces_planned(
+    scm: &FittedScm,
+    objective: NodeId,
+    options: &[NodeId],
+    cache: &mut DomainCache<'_>,
+) -> Vec<(NodeId, f64)> {
+    let mut plan = QueryPlan::new();
+    let handles: Vec<Option<Vec<PlanHandle>>> = options
+        .iter()
+        .map(|&o| plan_ace(&mut plan, objective, o, &cache.values(o)))
+        .collect();
+    let results = scm.evaluate_plan(&plan);
+    let mut out: Vec<(NodeId, f64)> = options
+        .iter()
+        .zip(&handles)
+        .map(|(&o, hs)| (o, ace_of_handles(&results, hs)))
         .collect();
     out.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("NaN ACE"));
     out

@@ -1,28 +1,45 @@
 //! The causal inference engine facade: a fitted SCM plus tier knowledge
 //! and value domains, exposing the operations the Unicorn loop needs
 //! (root-cause ranking, repair recommendation, path ranking).
+//!
+//! Every entry point **compiles** its whole query set into one
+//! [`crate::plan::QueryPlan`] and answers it with a single
+//! [`FittedScm::evaluate_plan`] batch — never one intervention at a time.
+//! The SCM and value domain are `Arc`-shared, so the engine (and the
+//! plans built from it) clone cheaply across worker threads and relearn
+//! iterations.
+
+use std::sync::Arc;
 
 use unicorn_graph::{NodeId, TierConstraints, VarKind};
 
-use crate::ace::{option_aces, rank_causal_paths, RankedPath, ValueDomain};
+use crate::ace::{
+    ace_of_handles, option_aces_planned, plan_ace, rank_causal_paths_planned, RankedPath,
+    ValueDomain,
+};
+use crate::plan::{DomainCache, QueryPlan};
 use crate::repair::{
-    generate_repairs, rank_repairs, root_cause_candidates, QosGoal, Repair, RepairOptions,
+    generate_repairs_cached, rank_repairs_planned, root_cause_candidates_planned, QosGoal, Repair,
+    RepairOptions,
 };
 use crate::scm::FittedScm;
 
-/// The engine bundling model, constraints and domains.
+/// The engine bundling model, constraints and domains. Cloning is a
+/// handful of `Arc` bumps — the fit, its caches, and the domain are
+/// shared, never copied.
+#[derive(Clone)]
 pub struct CausalEngine {
-    scm: FittedScm,
+    scm: Arc<FittedScm>,
     tiers: TierConstraints,
-    domain: Box<dyn ValueDomain>,
+    domain: Arc<dyn ValueDomain>,
     repair_opts: RepairOptions,
 }
 
 impl CausalEngine {
     /// Builds an engine with default repair options.
-    pub fn new(scm: FittedScm, tiers: TierConstraints, domain: Box<dyn ValueDomain>) -> Self {
+    pub fn new(scm: FittedScm, tiers: TierConstraints, domain: Arc<dyn ValueDomain>) -> Self {
         Self {
-            scm,
+            scm: Arc::new(scm),
             tiers,
             domain,
             repair_opts: RepairOptions::default(),
@@ -37,6 +54,12 @@ impl CausalEngine {
 
     /// The fitted SCM.
     pub fn scm(&self) -> &FittedScm {
+        &self.scm
+    }
+
+    /// The shared fitted SCM (for callers that batch their own plans
+    /// across threads).
+    pub fn scm_shared(&self) -> &Arc<FittedScm> {
         &self.scm
     }
 
@@ -60,12 +83,14 @@ impl CausalEngine {
         self.tiers.of_kind(VarKind::ConfigOption)
     }
 
-    /// Top-K causal paths into an objective, ranked by path ACE.
+    /// Top-K causal paths into an objective, ranked by path ACE — all
+    /// link sweeps of all paths compiled into one deduplicated plan.
     pub fn top_paths(&self, objective: NodeId, k: usize) -> Vec<RankedPath> {
-        rank_causal_paths(
+        let mut cache = DomainCache::new(self.domain.as_ref());
+        rank_causal_paths_planned(
             &self.scm,
             objective,
-            self.domain.as_ref(),
+            &mut cache,
             k,
             self.repair_opts.path_cap,
         )
@@ -73,24 +98,36 @@ impl CausalEngine {
 
     /// Ranks configuration options by their ACE on the goal objectives,
     /// restricted to options appearing on top-ranked causal paths — the
-    /// root-cause list (descending).
+    /// root-cause list (descending). Candidate discovery and the
+    /// objectives × candidates × values ACE grid are each one planned
+    /// batch; sweeps shared between objectives are simulated once.
     pub fn rank_root_causes(&self, goal: &QosGoal) -> Vec<(NodeId, f64)> {
-        let candidates = root_cause_candidates(
+        let mut cache = DomainCache::new(self.domain.as_ref());
+        let candidates = root_cause_candidates_planned(
             &self.scm,
             goal,
             &self.tiers,
-            self.domain.as_ref(),
+            &mut cache,
             &self.repair_opts,
         );
+        let mut plan = QueryPlan::new();
+        // candidate × objective ACE handles, in the serial path's order.
+        let handles: Vec<Vec<_>> = candidates
+            .iter()
+            .map(|&o| {
+                goal.thresholds
+                    .iter()
+                    .map(|&(obj, _)| plan_ace(&mut plan, obj, o, &cache.values(o)))
+                    .collect()
+            })
+            .collect();
+        let results = self.scm.evaluate_plan(&plan);
         // Sum the per-objective ACEs so multi-objective faults weigh both.
         let mut scores: Vec<(NodeId, f64)> = candidates
             .iter()
-            .map(|&o| {
-                let total: f64 = goal
-                    .thresholds
-                    .iter()
-                    .map(|&(obj, _)| option_aces(&self.scm, obj, &[o], self.domain.as_ref())[0].1)
-                    .sum();
+            .zip(&handles)
+            .map(|(&o, per_obj)| {
+                let total: f64 = per_obj.iter().map(|hs| ace_of_handles(&results, hs)).sum();
                 (o, total)
             })
             .collect();
@@ -99,27 +136,30 @@ impl CausalEngine {
     }
 
     /// Recommends counterfactual repairs for the fault observed at
-    /// `fault_row`, best first.
+    /// `fault_row`, best first. The whole repair sweep — every candidate
+    /// ICE estimate plus its counterfactual — is one planned batch.
     pub fn recommend_repairs(&self, goal: &QosGoal, fault_row: usize) -> Vec<Repair> {
-        let candidates = root_cause_candidates(
+        let mut cache = DomainCache::new(self.domain.as_ref());
+        let candidates = root_cause_candidates_planned(
             &self.scm,
             goal,
             &self.tiers,
-            self.domain.as_ref(),
+            &mut cache,
             &self.repair_opts,
         );
         let fault: Vec<f64> = (0..self.scm.n_vars())
             .map(|v| self.scm.data()[v][fault_row])
             .collect();
-        let repairs =
-            generate_repairs(&fault, &candidates, self.domain.as_ref(), &self.repair_opts);
-        rank_repairs(&self.scm, goal, fault_row, repairs, &self.repair_opts)
+        let repairs = generate_repairs_cached(&fault, &candidates, &mut cache, &self.repair_opts);
+        rank_repairs_planned(&self.scm, goal, fault_row, repairs, &self.repair_opts)
     }
 
     /// ACE of every option on `objective`, descending — the weight vector
-    /// used by the paper's accuracy metric and by Stage III sampling.
+    /// used by the paper's accuracy metric and by Stage III sampling. The
+    /// whole options × values grid is one planned batch.
     pub fn option_effects(&self, objective: NodeId) -> Vec<(NodeId, f64)> {
-        option_aces(&self.scm, objective, &self.options(), self.domain.as_ref())
+        let mut cache = DomainCache::new(self.domain.as_ref());
+        option_aces_planned(&self.scm, objective, &self.options(), &mut cache)
     }
 }
 
@@ -167,7 +207,7 @@ mod tests {
         let domain = ExplicitDomain {
             values: vec![vec![0.0, 1.0], vec![0.0, 1.0], vec![], vec![]],
         };
-        (CausalEngine::new(scm, tiers, Box::new(domain)), 7)
+        (CausalEngine::new(scm, tiers, Arc::new(domain)), 7)
     }
 
     #[test]

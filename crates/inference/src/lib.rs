@@ -13,6 +13,12 @@
 //! * [`repair`] — counterfactual repair sets and ICE scoring (Eqs 2–5).
 //! * [`identify`] — bow-arc identifiability screening and backdoor-set
 //!   search.
+//! * [`plan`] — the batched causal query planner: engine entry points
+//!   compile their whole query sets into a deduplicated [`QueryPlan`]
+//!   which [`FittedScm::evaluate_plan`] executes as one pool-parallel,
+//!   ancestor-sharing batch — answers bit-identical to the legacy serial
+//!   loops at any thread count. See the `plan` module docs for how a new
+//!   query type expresses itself as plan items plus a canonical merge.
 //! * [`queries`] — the user-facing performance-query interface
 //!   (Stages I and V).
 //! * [`dsl`] — a textual query language over it (the §11 future-work
@@ -22,19 +28,22 @@ pub mod ace;
 pub mod dsl;
 pub mod engine;
 pub mod identify;
+pub mod plan;
 pub mod queries;
 pub mod repair;
 pub mod scm;
 
 pub use ace::{
-    ace, ace_signed, option_aces, path_ace, quantile_values, rank_causal_paths, ExplicitDomain,
-    RankedPath, ValueDomain,
+    ace, ace_signed, option_aces, option_aces_planned, path_ace, quantile_values,
+    rank_causal_paths, rank_causal_paths_planned, ExplicitDomain, RankedPath, ValueDomain,
 };
 pub use dsl::{parse_query, ParseError};
 pub use engine::CausalEngine;
 pub use identify::{find_backdoor_set, identifiable, satisfies_backdoor};
+pub use plan::{DomainCache, Intervention, PlanHandle, PlanResults, QueryPlan};
 pub use queries::{PerformanceQuery, QueryAnswer};
 pub use repair::{
-    generate_repairs, ice, rank_repairs, root_cause_candidates, QosGoal, Repair, RepairOptions,
+    generate_repairs, generate_repairs_cached, ice, rank_repairs, rank_repairs_planned,
+    root_cause_candidates, root_cause_candidates_planned, QosGoal, Repair, RepairOptions,
 };
 pub use scm::{FittedScm, ResidualMode, SimulationOptions};

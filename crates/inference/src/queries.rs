@@ -6,10 +6,14 @@
 //! counterfactuals) over the learned causal performance model and answers
 //! them, or reports them unidentifiable.
 
+use std::sync::Arc;
+
 use unicorn_graph::NodeId;
 
+use crate::ace::{ace_of_handles, plan_ace};
 use crate::engine::CausalEngine;
 use crate::identify::identifiable;
+use crate::plan::{DomainCache, QueryPlan};
 use crate::repair::{QosGoal, Repair};
 
 /// A user-facing performance query.
@@ -80,69 +84,116 @@ pub enum QueryAnswer {
 }
 
 impl CausalEngine {
-    /// Estimates a performance query against the learned model.
+    /// Estimates a performance query against the learned model. Scalar
+    /// queries compile into a (single-item or per-value) [`QueryPlan`] and
+    /// run through the batched evaluator; [`Self::estimate_all`] batches
+    /// several of them into one plan.
     pub fn estimate(&self, query: &PerformanceQuery) -> QueryAnswer {
-        match query {
-            PerformanceQuery::RootCauses { goal } => {
-                QueryAnswer::RootCauses(self.rank_root_causes(goal))
-            }
-            PerformanceQuery::Repairs { goal, fault_row } => {
-                QueryAnswer::Repairs(self.recommend_repairs(goal, *fault_row))
-            }
-            PerformanceQuery::ProbabilityOfQos {
-                interventions,
-                objective,
-                threshold,
-            } => {
-                for &(x, _) in interventions {
-                    if !identifiable(self.scm().admg(), x, *objective) {
-                        return QueryAnswer::Unidentifiable {
-                            cause: x,
-                            effect: *objective,
-                        };
-                    }
-                }
-                let t = *threshold;
-                QueryAnswer::Probability(self.scm().interventional_probability(
-                    *objective,
-                    interventions,
-                    0,
-                    0.0,
-                    &|y| y <= t,
-                ))
-            }
-            PerformanceQuery::ExpectedObjective {
-                interventions,
-                objective,
-            } => {
-                for &(x, _) in interventions {
-                    if !identifiable(self.scm().admg(), x, *objective) {
-                        return QueryAnswer::Unidentifiable {
-                            cause: x,
-                            effect: *objective,
-                        };
-                    }
-                }
-                QueryAnswer::Expectation(
-                    self.scm()
-                        .interventional_expectation(*objective, interventions),
-                )
-            }
-            PerformanceQuery::CausalEffect { option, objective } => {
-                if !identifiable(self.scm().admg(), *option, *objective) {
-                    return QueryAnswer::Unidentifiable {
-                        cause: *option,
-                        effect: *objective,
-                    };
-                }
-                QueryAnswer::Effect(crate::ace::ace(
-                    self.scm(),
-                    *objective,
-                    *option,
-                    &self.domain().values(*option),
-                ))
-            }
+        self.estimate_all(std::slice::from_ref(query))
+            .pop()
+            .expect("one answer per query")
+    }
+
+    /// Estimates a whole set of performance queries as **one** compiled
+    /// plan: repeated interventional sweeps across the queries (the same
+    /// `do(·)` asked about different objectives, overlapping ACE grids)
+    /// are simulated once, and answers come back in query order —
+    /// bit-identical to estimating each query alone.
+    ///
+    /// `RootCauses` / `Repairs` queries run their own engine batches (they
+    /// rank and mine paths, not just estimate scalars) and are answered in
+    /// place.
+    pub fn estimate_all(&self, queries: &[PerformanceQuery]) -> Vec<QueryAnswer> {
+        /// How a query's answer reads out of the evaluated plan.
+        enum Pending {
+            Done(QueryAnswer),
+            Probability(crate::plan::PlanHandle),
+            Expectation(crate::plan::PlanHandle),
+            Effect(Option<Vec<crate::plan::PlanHandle>>),
         }
+        let mut cache = DomainCache::new(self.domain());
+        let mut plan = QueryPlan::new();
+        let pending: Vec<Pending> = queries
+            .iter()
+            .map(|query| match query {
+                PerformanceQuery::RootCauses { goal } => {
+                    Pending::Done(QueryAnswer::RootCauses(self.rank_root_causes(goal)))
+                }
+                PerformanceQuery::Repairs { goal, fault_row } => Pending::Done(
+                    QueryAnswer::Repairs(self.recommend_repairs(goal, *fault_row)),
+                ),
+                PerformanceQuery::ProbabilityOfQos {
+                    interventions,
+                    objective,
+                    threshold,
+                } => {
+                    for &(x, _) in interventions {
+                        if !identifiable(self.scm().admg(), x, *objective) {
+                            return Pending::Done(QueryAnswer::Unidentifiable {
+                                cause: x,
+                                effect: *objective,
+                            });
+                        }
+                    }
+                    let t = *threshold;
+                    Pending::Probability(plan.probability(
+                        *objective,
+                        interventions,
+                        0,
+                        0.0,
+                        Arc::new(move |y| y <= t),
+                    ))
+                }
+                PerformanceQuery::ExpectedObjective {
+                    interventions,
+                    objective,
+                } => {
+                    for &(x, _) in interventions {
+                        if !identifiable(self.scm().admg(), x, *objective) {
+                            return Pending::Done(QueryAnswer::Unidentifiable {
+                                cause: x,
+                                effect: *objective,
+                            });
+                        }
+                    }
+                    Pending::Expectation(plan.expectation(*objective, interventions))
+                }
+                PerformanceQuery::CausalEffect { option, objective } => {
+                    if !identifiable(self.scm().admg(), *option, *objective) {
+                        return Pending::Done(QueryAnswer::Unidentifiable {
+                            cause: *option,
+                            effect: *objective,
+                        });
+                    }
+                    Pending::Effect(plan_ace(
+                        &mut plan,
+                        *objective,
+                        *option,
+                        &cache.values(*option),
+                    ))
+                }
+            })
+            .collect();
+        let results = (plan.n_items() > 0).then(|| self.scm().evaluate_plan(&plan));
+        pending
+            .into_iter()
+            .map(|p| match p {
+                Pending::Done(a) => a,
+                Pending::Probability(h) => {
+                    QueryAnswer::Probability(results.as_ref().expect("plan evaluated").scalar(h))
+                }
+                Pending::Expectation(h) => {
+                    QueryAnswer::Expectation(results.as_ref().expect("plan evaluated").scalar(h))
+                }
+                // Fewer than two permissible values: the legacy path's 0.0
+                // short-circuit, no plan evaluation needed.
+                Pending::Effect(None) => QueryAnswer::Effect(0.0),
+                Pending::Effect(hs @ Some(_)) => QueryAnswer::Effect(ace_of_handles(
+                    results.as_ref().expect("plan evaluated"),
+                    &hs,
+                )),
+            })
+            .collect()
     }
 }
 
@@ -172,7 +223,7 @@ mod tests {
         let domain = ExplicitDomain {
             values: vec![vec![0.0, 1.0, 2.0], vec![], vec![]],
         };
-        CausalEngine::new(scm, tiers, Box::new(domain))
+        CausalEngine::new(scm, tiers, std::sync::Arc::new(domain))
     }
 
     #[test]
@@ -260,7 +311,7 @@ mod tests {
         let domain = ExplicitDomain {
             values: vec![vec![0.0, 1.0], vec![]],
         };
-        let e = CausalEngine::new(scm, tiers, Box::new(domain));
+        let e = CausalEngine::new(scm, tiers, std::sync::Arc::new(domain));
         let ans = e.estimate(&PerformanceQuery::CausalEffect {
             option: 0,
             objective: 1,

@@ -15,7 +15,8 @@
 
 use unicorn_graph::{NodeId, TierConstraints, VarKind};
 
-use crate::ace::{rank_causal_paths, ValueDomain};
+use crate::ace::{rank_causal_paths, rank_causal_paths_planned, ValueDomain};
+use crate::plan::{DomainCache, QueryPlan};
 use crate::scm::FittedScm;
 
 /// One candidate repair: a set of option assignments.
@@ -89,9 +90,38 @@ pub fn root_cause_candidates(
     domain: &dyn ValueDomain,
     opts: &RepairOptions,
 ) -> Vec<NodeId> {
+    collect_candidates(goal, tiers, |objective| {
+        rank_causal_paths(scm, objective, domain, opts.top_k_paths, opts.path_cap)
+    })
+}
+
+/// [`root_cause_candidates`] through the planner: each objective's path
+/// ranking is one compiled, deduplicated batch
+/// ([`rank_causal_paths_planned`]); the candidate collection order is the
+/// serial path's, bit for bit.
+pub fn root_cause_candidates_planned(
+    scm: &FittedScm,
+    goal: &QosGoal,
+    tiers: &TierConstraints,
+    cache: &mut DomainCache<'_>,
+    opts: &RepairOptions,
+) -> Vec<NodeId> {
+    collect_candidates(goal, tiers, |objective| {
+        rank_causal_paths_planned(scm, objective, cache, opts.top_k_paths, opts.path_cap)
+    })
+}
+
+/// The one candidate-collection rule (first-seen configuration options on
+/// the top-ranked paths of every goal objective), shared by the legacy and
+/// planned entry points so the collection order cannot drift between them.
+fn collect_candidates(
+    goal: &QosGoal,
+    tiers: &TierConstraints,
+    mut rank: impl FnMut(NodeId) -> Vec<crate::ace::RankedPath>,
+) -> Vec<NodeId> {
     let mut found: Vec<NodeId> = Vec::new();
     for &(objective, _) in &goal.thresholds {
-        for ranked in rank_causal_paths(scm, objective, domain, opts.top_k_paths, opts.path_cap) {
+        for ranked in rank(objective) {
             for &node in &ranked.path.nodes {
                 if tiers.kind(node) == VarKind::ConfigOption && !found.contains(&node) {
                     found.push(node);
@@ -112,9 +142,23 @@ pub fn generate_repairs(
     domain: &dyn ValueDomain,
     opts: &RepairOptions,
 ) -> Vec<Repair> {
+    let mut cache = DomainCache::new(domain);
+    generate_repairs_cached(fault_values, candidates, &mut cache, opts)
+}
+
+/// [`generate_repairs`] against a per-plan [`DomainCache`]: each
+/// candidate's permissible values are fetched once (the pairwise loop
+/// re-probes them quadratically otherwise), in the exact legacy
+/// enumeration order.
+pub fn generate_repairs_cached(
+    fault_values: &[f64],
+    candidates: &[NodeId],
+    cache: &mut DomainCache<'_>,
+    opts: &RepairOptions,
+) -> Vec<Repair> {
     let mut repairs = Vec::new();
     for &o in candidates {
-        for v in domain.values(o) {
+        for &v in cache.values(o).iter() {
             if (v - fault_values[o]).abs() > 1e-12 {
                 repairs.push(Repair {
                     assignments: vec![(o, v)],
@@ -128,11 +172,12 @@ pub fn generate_repairs(
     let mut pairs = 0usize;
     'outer: for (i, &o1) in candidates.iter().enumerate() {
         for &o2 in candidates.iter().skip(i + 1) {
-            for v1 in domain.values(o1) {
+            let (vals1, vals2) = (cache.values(o1), cache.values(o2));
+            for &v1 in vals1.iter() {
                 if (v1 - fault_values[o1]).abs() <= 1e-12 {
                     continue;
                 }
-                for v2 in domain.values(o2) {
+                for &v2 in vals2.iter() {
                     if (v2 - fault_values[o2]).abs() <= 1e-12 {
                         continue;
                     }
@@ -157,6 +202,9 @@ pub fn generate_repairs(
 /// early-loop case where *no* candidate reaches the QoS threshold and all
 /// ICEs saturate — are broken by the deterministic counterfactual
 /// improvement of the goal objectives.
+///
+/// Legacy serial reference path (one ICE sweep and one counterfactual per
+/// repair) — the engine uses [`rank_repairs_planned`].
 pub fn rank_repairs(
     scm: &FittedScm,
     goal: &QosGoal,
@@ -168,29 +216,79 @@ pub fn rank_repairs(
     for r in &mut repairs {
         r.ice = ice(scm, goal, fault_row, &r.assignments, opts.abduct_weight);
         let cf = scm.counterfactual(fault_row, &r.assignments);
-        r.improvement = goal
-            .thresholds
-            .iter()
-            .map(|&(o, _)| {
-                let before = factual[o];
-                if before.abs() < 1e-12 {
-                    0.0
-                } else {
-                    (before - cf[o]) / before.abs()
-                }
-            })
-            .sum();
+        r.improvement = improvement_of(goal, &factual, &cf);
     }
+    sort_repairs(&mut repairs);
+    repairs
+}
+
+/// The counterfactual relative improvement of the goal objectives — the
+/// single definition shared by [`rank_repairs`] and
+/// [`rank_repairs_planned`], so a scoring tweak cannot desynchronize the
+/// two paths' bit-identity contract.
+fn improvement_of(goal: &QosGoal, factual: &[f64], cf: &[f64]) -> f64 {
+    goal.thresholds
+        .iter()
+        .map(|&(o, _)| {
+            let before = factual[o];
+            if before.abs() < 1e-12 {
+                0.0
+            } else {
+                (before - cf[o]) / before.abs()
+            }
+        })
+        .sum()
+}
+
+/// The canonical `(ICE, improvement)` descending sort, shared by both
+/// ranking paths.
+fn sort_repairs(repairs: &mut [Repair]) {
     repairs.sort_by(|a, b| {
         (b.ice, b.improvement)
             .partial_cmp(&(a.ice, a.improvement))
             .expect("NaN repair score")
     });
+}
+
+/// [`rank_repairs`] through one compiled plan: the factual counterfactual,
+/// every repair's ICE sweep, and every repair's counterfactual compile
+/// into a single deduplicated batch (repairs proposing the same
+/// assignment set share their sweeps), one `evaluate_plan` answers them
+/// all, and the scoring/sorting arithmetic is the serial path's — so the
+/// ranked list is bit-identical at any thread count.
+pub fn rank_repairs_planned(
+    scm: &FittedScm,
+    goal: &QosGoal,
+    fault_row: usize,
+    mut repairs: Vec<Repair>,
+    opts: &RepairOptions,
+) -> Vec<Repair> {
+    let mut plan = QueryPlan::new();
+    let factual_h = plan.counterfactual(fault_row, &[]);
+    let handles: Vec<_> = repairs
+        .iter()
+        .map(|r| {
+            (
+                plan.ice(goal, fault_row, &r.assignments, opts.abduct_weight),
+                plan.counterfactual(fault_row, &r.assignments),
+            )
+        })
+        .collect();
+    let results = scm.evaluate_plan(&plan);
+    let factual = results.values(factual_h);
+    for (r, &(ice_h, cf_h)) in repairs.iter_mut().zip(&handles) {
+        r.ice = results.scalar(ice_h);
+        r.improvement = improvement_of(goal, factual, results.values(cf_h));
+    }
+    sort_repairs(&mut repairs);
     repairs
 }
 
 /// Individual causal effect of a repair (Eq 5):
 /// `Pr(all objectives within QoS | repair) − Pr(fault persists | repair)`.
+///
+/// Legacy serial reference sweep — plans register the same estimate via
+/// [`QueryPlan::ice`].
 pub fn ice(
     scm: &FittedScm,
     goal: &QosGoal,

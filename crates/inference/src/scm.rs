@@ -13,6 +13,8 @@ use std::sync::Arc;
 
 use unicorn_exec::Executor;
 use unicorn_graph::{Admg, NodeId};
+
+use crate::plan::{PlanOutput, PlanResults, QueryPlan, Reduction, SweepMode};
 use unicorn_stats::dataview::DataView;
 use unicorn_stats::regression::{fit_gram, PolyModel, Term, TermGram};
 use unicorn_stats::segment::Segment;
@@ -149,6 +151,36 @@ pub struct FittedScm {
 
 /// One node's fit result, computed independently on a worker.
 type NodeFit = Result<(NodeModel, Option<NodeGrams>), StatsError>;
+
+/// The residual injected for one node under a residual mode — the single
+/// definition shared by [`FittedScm::simulate`] and the planner's
+/// affected-node resimulation, so both paths are bit-identical by
+/// construction.
+fn residual_for(nm: &NodeModel, base_row: usize, mode: ResidualMode) -> f64 {
+    match mode {
+        ResidualMode::None => {
+            if nm.model.is_none() {
+                nm.residuals[base_row]
+            } else {
+                0.0
+            }
+        }
+        ResidualMode::FromRow(r) => {
+            if nm.model.is_none() {
+                nm.residuals[base_row]
+            } else {
+                nm.residuals[r]
+            }
+        }
+        ResidualMode::Blend { abduct_row, weight } => {
+            if nm.model.is_none() {
+                nm.residuals[base_row]
+            } else {
+                weight * nm.residuals[abduct_row] + (1.0 - weight) * nm.residuals[base_row]
+            }
+        }
+    }
+}
 
 /// Computes one node's Gram for one segment (the segment's own columns
 /// are exactly one canonical chunk).
@@ -404,29 +436,37 @@ impl FittedScm {
                 continue;
             }
             let nm = &self.nodes[v];
-            let residual = match mode {
-                ResidualMode::None => {
-                    if nm.model.is_none() {
-                        nm.residuals[base_row]
-                    } else {
-                        0.0
-                    }
-                }
-                ResidualMode::FromRow(r) => {
-                    if nm.model.is_none() {
-                        nm.residuals[base_row]
-                    } else {
-                        nm.residuals[r]
-                    }
-                }
-                ResidualMode::Blend { abduct_row, weight } => {
-                    if nm.model.is_none() {
-                        nm.residuals[base_row]
-                    } else {
-                        weight * nm.residuals[abduct_row] + (1.0 - weight) * nm.residuals[base_row]
-                    }
-                }
+            let residual = residual_for(nm, base_row, mode);
+            values[v] = match &nm.model {
+                None => residual,
+                Some(m) => m.predict_row(&|i: usize| values[i]) + residual,
             };
+        }
+        values
+    }
+
+    /// Re-simulates only the `affected` nodes (intervened nodes plus their
+    /// descendants, in topological order) on top of a no-intervention
+    /// `baseline` sweep of the same `(base_row, mode)`. Every node outside
+    /// the affected set has bit-identical inputs in both sweeps, so the
+    /// result equals a full [`Self::simulate`] with the interventions —
+    /// the planner's ancestor-sharing shortcut.
+    fn resimulate_affected(
+        &self,
+        baseline: &[f64],
+        interventions: &[(NodeId, f64)],
+        affected: &[NodeId],
+        base_row: usize,
+        mode: ResidualMode,
+    ) -> Vec<f64> {
+        let mut values = baseline.to_vec();
+        for &v in affected {
+            if let Some(&(_, x)) = interventions.iter().find(|&&(node, _)| node == v) {
+                values[v] = x;
+                continue;
+            }
+            let nm = &self.nodes[v];
+            let residual = residual_for(nm, base_row, mode);
             values[v] = match &nm.model {
                 None => residual,
                 Some(m) => m.predict_row(&|i: usize| values[i]) + residual,
@@ -436,9 +476,261 @@ impl FittedScm {
     }
 
     /// The strided sweep-row indices a g-formula query visits.
-    fn sweep_rows(&self, opts: &SimulationOptions) -> Vec<usize> {
+    pub(crate) fn sweep_rows(&self, opts: &SimulationOptions) -> Vec<usize> {
         let stride = opts.stride.unwrap_or(self.stride).max(1);
         (0..self.n_rows()).step_by(stride).collect()
+    }
+
+    /// Executes a compiled [`QueryPlan`]: one topological baseline sweep
+    /// per `(row, residual mode)` shared by every intervention of that
+    /// batch (each intervention re-simulates only its intervened nodes
+    /// and their descendants), independent `(row, sweep-chunk)` items
+    /// fanned over the shared pool via `par_map`, and per-item reductions
+    /// folded in canonical plan order — so every answer is bit-identical
+    /// to the legacy one-intervention-at-a-time serial loops at any
+    /// thread count (`tests/query_plan_determinism.rs`).
+    pub fn evaluate_plan(&self, plan: &QueryPlan) -> PlanResults {
+        /// Same-row sweeps are chunked this many per work item so large
+        /// single-row batches (e.g. one counterfactual per repair) still
+        /// fan out across workers.
+        const ROW_SWEEP_CHUNK: usize = 8;
+
+        // Per-sweep execution state: the affected node set (intervened ∪
+        // descendants, topological order) and the attached consumers.
+        struct SweepExec {
+            affected: Vec<NodeId>,
+            consumers: Vec<usize>,
+        }
+        let n_vars = self.n_vars();
+        let mut execs: Vec<SweepExec> = plan
+            .sweeps
+            .iter()
+            .map(|sw| {
+                let mut hit = vec![false; n_vars];
+                for &(node, _) in &sw.intervention.assignments {
+                    hit[node] = true;
+                    for d in self.admg.descendants(node) {
+                        hit[d] = true;
+                    }
+                }
+                SweepExec {
+                    affected: self.topo.iter().copied().filter(|&v| hit[v]).collect(),
+                    consumers: Vec::new(),
+                }
+            })
+            .collect();
+        for (ci, c) in plan.consumers.iter().enumerate() {
+            execs[c.sweep()].consumers.push(ci);
+        }
+
+        // Group sweeps sharing (row list, per-row residual mode): all
+        // g-formula sweeps form one group; abduction sweeps group by
+        // (fault row, weight); single-row sweeps group by row.
+        let mut groups: Vec<(SweepMode, Vec<usize>)> = Vec::new();
+        for (si, sw) in plan.sweeps.iter().enumerate() {
+            match groups.iter_mut().find(|(m, _)| *m == sw.mode) {
+                Some((_, list)) => list.push(si),
+                None => groups.push((sw.mode, vec![si])),
+            }
+        }
+
+        /// One work item: the sweeps `sweeps[lo..hi]` evaluated at `row`
+        /// under `mode`, sharing one baseline simulation.
+        struct Task {
+            row: usize,
+            mode: ResidualMode,
+            sweeps: Arc<Vec<usize>>,
+            lo: usize,
+            hi: usize,
+            /// Index of this task's shared baseline slot: single-row
+            /// groups split into several chunk tasks, which compute their
+            /// common `(row, mode)` baseline once and share it.
+            shared_baseline: Option<usize>,
+        }
+        let strided = self.sweep_rows(&plan.opts);
+        let mut tasks: Vec<Task> = Vec::new();
+        let mut n_row_groups = 0usize;
+        for (mode, sweeps) in groups {
+            let sweeps = Arc::new(sweeps);
+            match mode {
+                SweepMode::GFormula => {
+                    for &row in &strided {
+                        tasks.push(Task {
+                            row,
+                            mode: ResidualMode::FromRow(row),
+                            sweeps: Arc::clone(&sweeps),
+                            lo: 0,
+                            hi: sweeps.len(),
+                            shared_baseline: None,
+                        });
+                    }
+                }
+                SweepMode::Abduct { abduct_row, weight } => {
+                    for &row in &strided {
+                        tasks.push(Task {
+                            row,
+                            mode: ResidualMode::Blend { abduct_row, weight },
+                            sweeps: Arc::clone(&sweeps),
+                            lo: 0,
+                            hi: sweeps.len(),
+                            shared_baseline: None,
+                        });
+                    }
+                }
+                SweepMode::Row(row) => {
+                    let slot = n_row_groups;
+                    n_row_groups += 1;
+                    let mut lo = 0;
+                    while lo < sweeps.len() {
+                        let hi = (lo + ROW_SWEEP_CHUNK).min(sweeps.len());
+                        tasks.push(Task {
+                            row,
+                            mode: ResidualMode::FromRow(row),
+                            sweeps: Arc::clone(&sweeps),
+                            lo,
+                            hi,
+                            shared_baseline: Some(slot),
+                        });
+                        lo = hi;
+                    }
+                }
+            }
+        }
+
+        /// One consumer's contribution from one swept row.
+        enum Contribution {
+            Value(f64),
+            Flag(bool),
+            Full(Vec<f64>),
+        }
+        // Shared baseline slots for single-row groups: each group's
+        // no-intervention sweep is simulated exactly once and shared by
+        // all of its chunk tasks (the first task to need it fills the
+        // slot; the value is a pure function of the fit either way).
+        let row_baselines: Vec<std::sync::OnceLock<Vec<f64>>> = (0..n_row_groups)
+            .map(|_| std::sync::OnceLock::new())
+            .collect();
+        let task_results = self.exec.par_map(&tasks, |_, t| {
+            let own_baseline;
+            let baseline: &[f64] = match t.shared_baseline {
+                Some(slot) => row_baselines[slot].get_or_init(|| self.simulate(t.row, &[], t.mode)),
+                None => {
+                    own_baseline = self.simulate(t.row, &[], t.mode);
+                    &own_baseline
+                }
+            };
+            let mut out: Vec<(usize, Contribution)> = Vec::new();
+            for &si in &t.sweeps[t.lo..t.hi] {
+                let assignments = &plan.sweeps[si].intervention.assignments;
+                let ex = &execs[si];
+                let storage;
+                let values: &[f64] = if assignments.is_empty() {
+                    baseline
+                } else {
+                    storage = self.resimulate_affected(
+                        baseline,
+                        assignments,
+                        &ex.affected,
+                        t.row,
+                        t.mode,
+                    );
+                    &storage
+                };
+                for &ci in &ex.consumers {
+                    let contrib = match &plan.consumers[ci] {
+                        Reduction::Mean { target, .. } => Contribution::Value(values[*target]),
+                        Reduction::Probability { target, pred, .. } => {
+                            Contribution::Flag(pred(values[*target]))
+                        }
+                        Reduction::Ice { goal, .. } => Contribution::Flag(goal.satisfied(values)),
+                        Reduction::Values { .. } => Contribution::Full(values.to_vec()),
+                    };
+                    out.push((ci, contrib));
+                }
+            }
+            out
+        });
+
+        // Canonical merge: tasks are ordered (group, then ascending row /
+        // chunk), and each consumer reads exactly one group, so folding
+        // the ordered task results replays every legacy loop's row order.
+        enum Acc {
+            Mean {
+                total: f64,
+                count: usize,
+            },
+            Prob {
+                hits: usize,
+                count: usize,
+            },
+            Ice {
+                fixed: usize,
+                bad: usize,
+                count: usize,
+            },
+            Full(Option<Vec<f64>>),
+        }
+        let mut accs: Vec<Acc> = plan
+            .consumers
+            .iter()
+            .map(|c| match c {
+                Reduction::Mean { .. } => Acc::Mean {
+                    total: 0.0,
+                    count: 0,
+                },
+                Reduction::Probability { .. } => Acc::Prob { hits: 0, count: 0 },
+                Reduction::Ice { .. } => Acc::Ice {
+                    fixed: 0,
+                    bad: 0,
+                    count: 0,
+                },
+                Reduction::Values { .. } => Acc::Full(None),
+            })
+            .collect();
+        for contribs in task_results {
+            for (ci, contrib) in contribs {
+                match (&mut accs[ci], contrib) {
+                    (Acc::Mean { total, count }, Contribution::Value(v)) => {
+                        *total += v;
+                        *count += 1;
+                    }
+                    (Acc::Prob { hits, count }, Contribution::Flag(hit)) => {
+                        if hit {
+                            *hits += 1;
+                        }
+                        *count += 1;
+                    }
+                    (Acc::Ice { fixed, bad, count }, Contribution::Flag(ok)) => {
+                        if ok {
+                            *fixed += 1;
+                        } else {
+                            *bad += 1;
+                        }
+                        *count += 1;
+                    }
+                    (Acc::Full(slot), Contribution::Full(v)) => *slot = Some(v),
+                    _ => unreachable!("contribution kind mismatch"),
+                }
+            }
+        }
+        let outputs = accs
+            .into_iter()
+            .map(|acc| match acc {
+                // Empty sweeps (no training rows) answer 0.0, exactly as
+                // the legacy entry points do.
+                Acc::Mean { count: 0, .. } | Acc::Prob { count: 0, .. } => PlanOutput::Scalar(0.0),
+                Acc::Ice { count: 0, .. } => PlanOutput::Scalar(0.0),
+                Acc::Mean { total, count } => PlanOutput::Scalar(total / count as f64),
+                Acc::Prob { hits, count } => PlanOutput::Scalar(hits as f64 / count as f64),
+                Acc::Ice { fixed, bad, count } => {
+                    PlanOutput::Scalar((fixed as f64 - bad as f64) / count as f64)
+                }
+                Acc::Full(values) => {
+                    PlanOutput::Values(values.expect("single-row sweep produced no values"))
+                }
+            })
+            .collect();
+        PlanResults { outputs }
     }
 
     /// Simulates every listed training row's exogenous draw under

@@ -504,9 +504,19 @@ impl DataView {
                     return extended;
                 }
             }
-            // Cold fit from the merge of cached per-segment sorted runs
-            // (O(n) instead of a full O(n log n) re-sort on every epoch).
-            let d = Discretizer::fit_sorted(&self.sorted_column(col), bins, max_levels);
+            // Cold fit straight off the cached per-segment sorted runs:
+            // the categorical probe gallops (bailing at max_levels + 1
+            // distinct values) and each quantile cut is a multi-run order
+            // statistic — O(bins · log n) selection per epoch, never a
+            // merged-column rescan. Identical to the rescan path
+            // (`tests/dataview_equivalence.rs::quantile_cuts_match_rescan`).
+            let runs: Vec<&[f64]> = self
+                .inner
+                .segments
+                .iter()
+                .map(|seg| seg.sorted_col(col).as_slice())
+                .collect();
+            let d = Discretizer::fit_runs(&runs, bins, max_levels);
             let column = &self.columns()[col];
             Arc::new(ColumnCodes {
                 codes: d.transform(column),

@@ -43,7 +43,11 @@ fn main() {
 
     // 4. Build the inference engine and estimate causal queries (Stage V).
     let scm = FittedScm::fit_view(model.admg.clone(), &view).expect("SCM fit");
-    let engine = CausalEngine::new(scm, sim.model.tiers(), Box::new(data.domains(&sim)));
+    let engine = CausalEngine::new(
+        scm,
+        sim.model.tiers(),
+        std::sync::Arc::new(data.domains(&sim)),
+    );
 
     let latency = data.objective_node(0);
     let cpu = sim

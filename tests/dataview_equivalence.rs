@@ -134,6 +134,41 @@ fn view_pipeline_equals_column_pipeline() {
 }
 
 #[test]
+fn quantile_cuts_match_rescan() {
+    // The cold discretizer fit runs as an order-statistics merge over the
+    // cached per-segment sorted runs; its cuts (and hence codes) must be
+    // bit-identical to a fit over the merged, re-scanned sorted column —
+    // at every epoch of an append chain.
+    use unicorn::stats::discretize::Discretizer;
+    let (ds, _) = testbed(150);
+    let mut view = ds.view();
+    for step in 0..3 {
+        if step > 0 {
+            let extra: Vec<Vec<f64>> = (0..step * 17)
+                .map(|i| {
+                    (0..ds.columns.len())
+                        .map(|c| ds.columns[c][(i * 7 + step) % ds.n_rows()])
+                        .collect()
+                })
+                .collect();
+            view = view.append_rows(&extra);
+        }
+        for col in 0..ds.columns.len() {
+            for (bins, max_levels) in [(4usize, 8usize), (5, 4)] {
+                let cached = view.codes(col, bins, max_levels);
+                let rescan = Discretizer::fit_sorted(&view.sorted_column(col), bins, max_levels);
+                assert_eq!(
+                    cached.codes,
+                    rescan.transform(&view.columns()[col]),
+                    "col {col} bins {bins} step {step}"
+                );
+                assert_eq!(cached.arity, rescan.arity());
+            }
+        }
+    }
+}
+
+#[test]
 fn append_rows_equals_rebuild() {
     let (ds, sim) = testbed(60);
     let more = generate(&sim, 15, 0xCD);

@@ -1,0 +1,33 @@
+//! The full-pipeline suite bench (`BENCH_suite.json`): every entry of
+//! [`ScenarioRegistry::standard`] — the five real subject-system families
+//! of Table 1 plus the synthetic family points — is driven through all
+//! five Unicorn stages (discover → SCM fit → debug → optimize → transfer
+//! where a shift is defined) over the shared executor, and the
+//! per-scenario wall clocks, CI-test counts, SHD against the planted
+//! graph, and query latencies land in one machine-readable report.
+//!
+//! ```sh
+//! UNICORN_BENCH_JSON=BENCH_suite.json cargo bench -p unicorn-bench --bench suite
+//! ```
+//!
+//! `UNICORN_SUITE_FILTER=<substring>` restricts the run to matching
+//! scenario names. The report's `benchmarks` section is consumable by the
+//! `bench-gate` regression gate.
+
+use unicorn_bench::suite::{render_json, run_suite, SuiteOptions};
+use unicorn_systems::ScenarioRegistry;
+
+fn main() {
+    let registry = ScenarioRegistry::standard();
+    println!(
+        "suite: {} scenarios ({} real systems, {} total entries)\n",
+        registry.len(),
+        registry.real_systems().len(),
+        registry.len(),
+    );
+    let reports = run_suite(&registry, &SuiteOptions::default());
+    let path =
+        std::env::var("UNICORN_BENCH_JSON").unwrap_or_else(|_| "BENCH_suite.json".to_string());
+    std::fs::write(&path, render_json(&reports)).expect("write suite report");
+    println!("\nsuite report: {} scenarios -> {path}", reports.len());
+}

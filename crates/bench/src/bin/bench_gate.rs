@@ -1,0 +1,86 @@
+//! The CI bench-regression gate: `bench-gate <baseline.json>
+//! <current.json>` exits non-zero when any benchmark of the baseline
+//! regressed by more than the tolerance (default 25%, configurable via
+//! `UNICORN_BENCH_GATE_PCT`) or vanished from the current report.
+//!
+//! Baselines are checked in under `benchmarks/baselines/`; to refresh
+//! one, rerun the bench on the reference machine with
+//! `UNICORN_BENCH_JSON` pointing at the baseline file and commit the
+//! diff (see `benchmarks/baselines/README.md`).
+
+use std::process::ExitCode;
+
+use unicorn_bench::gate::{compare, min_ns_from_env, parse_report, tolerance_from_env};
+
+fn load(path: &str) -> Result<Vec<unicorn_bench::gate::BenchRecord>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    parse_report(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    let (baseline_path, current_path) = match &args[1..] {
+        [b, c] => (b, c),
+        _ => {
+            eprintln!("usage: bench-gate <baseline.json> <current.json>");
+            return ExitCode::from(2);
+        }
+    };
+    let tolerance = tolerance_from_env();
+    let min_ns = min_ns_from_env();
+    let (baseline, current) = match (load(baseline_path), load(current_path)) {
+        (Ok(b), Ok(c)) => (b, c),
+        (b, c) => {
+            for err in [b.err(), c.err()].into_iter().flatten() {
+                eprintln!("bench-gate: {err}");
+            }
+            return ExitCode::from(2);
+        }
+    };
+
+    println!(
+        "bench-gate: {} vs {} (tolerance {tolerance:.0}%, floor {:.1} ms)",
+        baseline_path,
+        current_path,
+        min_ns / 1e6
+    );
+    let comparisons = compare(&baseline, &current, tolerance, min_ns);
+    let mut regressions = 0usize;
+    for c in &comparisons {
+        let verdict = if c.regressed {
+            "REGRESSED"
+        } else if c.enforced {
+            "ok"
+        } else {
+            "ok (below floor)"
+        };
+        match (c.current_ns, c.delta_pct) {
+            (Some(cur), Some(delta)) => println!(
+                "  {:<56} {:>10.3} ms -> {:>10.3} ms  {:>+7.1}%  {verdict}",
+                c.name,
+                c.baseline_ns / 1e6,
+                cur / 1e6,
+                delta,
+            ),
+            _ => println!(
+                "  {:<56} {:>10.3} ms -> (missing)              {verdict}",
+                c.name,
+                c.baseline_ns / 1e6,
+            ),
+        }
+        regressions += usize::from(c.regressed);
+    }
+    if regressions > 0 {
+        eprintln!(
+            "bench-gate: {regressions} benchmark(s) regressed beyond {tolerance:.0}% \
+             (raise UNICORN_BENCH_GATE_PCT only with cause; refresh \
+             benchmarks/baselines/ when a slowdown is intended)"
+        );
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "bench-gate: all {} benchmarks within tolerance",
+        comparisons.len()
+    );
+    ExitCode::SUCCESS
+}

@@ -1,14 +1,19 @@
 //! Table 1 — overview of the subject systems: workload, |C| (measured
 //! configurations in the paper; here the full space cardinality is also
 //! shown), |O| options, |S| events, |H| hardware platforms, |P| objectives.
+//!
+//! The system list comes from the scenario registry: registering a new
+//! real system ([`ScenarioRegistry::standard`]) puts it in this table —
+//! and in every other registry-driven harness — automatically.
 
 use unicorn_bench::{section, Table};
-use unicorn_systems::{Hardware, SubjectSystem};
+use unicorn_systems::{Hardware, ScenarioRegistry};
 
 fn main() {
     section("Table 1: Overview of the subject systems");
+    let registry = ScenarioRegistry::standard();
     let mut t = Table::new(&["System", "Workload", "|Space|", "|O|", "|S|", "|H|", "|P|"]);
-    for sys in SubjectSystem::all() {
+    for sys in registry.real_systems() {
         let m = sys.build();
         t.row(vec![
             sys.name().to_string(),

@@ -2,6 +2,9 @@
 //! Deepstream (→ 288 events) on Xavier. For each scenario: causal-path and
 //! repair-query counts, average node degree, repair gain, and the wall
 //! time of discovery, query evaluation, and one full fault diagnosis.
+//!
+//! The scenario list comes from [`ScenarioRegistry::scalability`]: adding
+//! a registry entry adds a table row.
 
 use std::time::Instant;
 
@@ -12,28 +15,23 @@ use unicorn_graph::paths::count_causal_paths;
 use unicorn_inference::{
     generate_repairs, root_cause_candidates, CausalEngine, FittedScm, QosGoal, RepairOptions,
 };
-use unicorn_systems::scalability::{deepstream_variant, sqlite_variant};
 use unicorn_systems::{
-    discover_faults, generate, Environment, FaultDiscoveryOptions, Hardware, Simulator, SystemModel,
+    discover_faults, generate, FaultDiscoveryOptions, Scenario, ScenarioRegistry,
 };
 
-struct Scenario {
-    system: &'static str,
-    model: SystemModel,
-}
-
 #[allow(clippy::too_many_lines)]
-fn run(scenario: Scenario, scale: Scale, t: &mut Table) {
+fn run(scenario: &Scenario, scale: Scale, t: &mut Table) {
     let n = match scale {
-        Scale::Quick => 250,
+        Scale::Quick => scenario.suite_samples,
         Scale::Full => 800,
     };
-    let sim = Simulator::new(scenario.model, Environment::on(Hardware::Xavier), 0x3AB);
+    let sim = scenario.simulator(0x3AB);
     let ds = generate(&sim, n, 0x5CA1E);
 
-    // Discovery timing.
-    // Alpha scales down with the quadratic number of pairwise tests
-    // (multiple-testing control keeps the big variants sparse).
+    // Discovery timing. Every row runs the same depth-1 profile so the
+    // table isolates the *size* axis; only alpha scales down with the
+    // quadratic number of pairwise tests (multiple-testing control keeps
+    // the big variants sparse).
     let alpha = if sim.model.n_nodes() > 150 {
         1e-4
     } else {
@@ -124,7 +122,7 @@ fn run(scenario: Scenario, scale: Scale, t: &mut Table) {
     };
 
     t.row(vec![
-        scenario.system.to_string(),
+        sim.model.name.clone(),
         sim.model.n_options().to_string(),
         sim.model.n_events().to_string(),
         paths.to_string(),
@@ -152,46 +150,9 @@ fn main() {
         "Query eval (s)",
         "Total (s)",
     ]);
-    run(
-        Scenario {
-            system: "SQLite",
-            model: sqlite_variant(34, 19),
-        },
-        scale,
-        &mut t,
-    );
-    run(
-        Scenario {
-            system: "SQLite",
-            model: sqlite_variant(242, 19),
-        },
-        scale,
-        &mut t,
-    );
-    run(
-        Scenario {
-            system: "SQLite",
-            model: sqlite_variant(242, 288),
-        },
-        scale,
-        &mut t,
-    );
-    run(
-        Scenario {
-            system: "Deepstream",
-            model: deepstream_variant(20),
-        },
-        scale,
-        &mut t,
-    );
-    run(
-        Scenario {
-            system: "Deepstream",
-            model: deepstream_variant(288),
-        },
-        scale,
-        &mut t,
-    );
+    for scenario in &ScenarioRegistry::scalability() {
+        run(scenario, scale, &mut t);
+    }
     t.print();
     println!(
         "\nExpected shape (paper's Table 3): runtime grows sub-exponentially \

@@ -1,0 +1,312 @@
+//! The bench-regression gate: compares a current `BENCH_*.json` report
+//! (the criterion shim's `benchmarks` array — also emitted by the suite
+//! harness) against a checked-in baseline and fails when any benchmark's
+//! mean wall clock regressed beyond a tolerance.
+//!
+//! Consumed by the `bench-gate` binary, which CI runs after every bench
+//! step:
+//!
+//! ```sh
+//! cargo run --release -p unicorn-bench --bin bench-gate -- \
+//!     benchmarks/baselines/BENCH_discovery.json BENCH_discovery.json
+//! ```
+//!
+//! The tolerance defaults to 25% and is configurable via the
+//! `UNICORN_BENCH_GATE_PCT` environment variable. Baselines live under
+//! `benchmarks/baselines/` — see the README there for the refresh
+//! protocol (rerun the bench with `UNICORN_BENCH_JSON` pointing at the
+//! baseline file on the reference machine, commit the diff).
+
+/// One benchmark of a report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchRecord {
+    /// Benchmark name (`group/function` style).
+    pub name: String,
+    /// Mean wall clock in nanoseconds.
+    pub mean_ns: f64,
+}
+
+/// Extracts the `benchmarks` array from a report produced by the
+/// criterion shim or the suite harness. A deliberately small parser for
+/// the closed format both writers emit (flat objects, string names,
+/// integer nanoseconds) — not a general JSON reader.
+pub fn parse_report(json: &str) -> Result<Vec<BenchRecord>, String> {
+    let key = "\"benchmarks\"";
+    let start = json
+        .find(key)
+        .ok_or_else(|| "no \"benchmarks\" key in report".to_string())?;
+    let rest = &json[start + key.len()..];
+    let open = rest
+        .find('[')
+        .ok_or_else(|| "no array after \"benchmarks\"".to_string())?;
+    let body = &rest[open + 1..];
+
+    let mut records = Vec::new();
+    let mut chars = body.char_indices();
+    let mut obj_start = None;
+    let mut in_string = false;
+    let mut escaped = false;
+    for (i, c) in &mut chars {
+        if in_string {
+            match c {
+                _ if escaped => escaped = false,
+                '\\' => escaped = true,
+                '"' => in_string = false,
+                _ => {}
+            }
+            continue;
+        }
+        match c {
+            '"' => in_string = true,
+            '{' => obj_start = Some(i),
+            '}' => {
+                let s = obj_start
+                    .take()
+                    .ok_or_else(|| "unbalanced object in benchmarks array".to_string())?;
+                records.push(parse_object(&body[s + 1..i])?);
+            }
+            ']' if obj_start.is_none() => return Ok(records),
+            _ => {}
+        }
+    }
+    Err("unterminated benchmarks array".to_string())
+}
+
+/// Parses one flat `{"name": "...", "mean_ns": 123, ...}` object body.
+fn parse_object(body: &str) -> Result<BenchRecord, String> {
+    let name = string_field(body, "name")?;
+    let mean_ns = number_field(body, "mean_ns")?;
+    Ok(BenchRecord { name, mean_ns })
+}
+
+fn string_field(body: &str, field: &str) -> Result<String, String> {
+    let key = format!("\"{field}\"");
+    let at = body
+        .find(&key)
+        .ok_or_else(|| format!("missing field {field}"))?;
+    let rest = body[at + key.len()..]
+        .trim_start()
+        .strip_prefix(':')
+        .ok_or_else(|| format!("malformed field {field}"))?
+        .trim_start();
+    let mut out = String::new();
+    let mut chars = rest.chars();
+    if chars.next() != Some('"') {
+        return Err(format!("field {field} is not a string"));
+    }
+    let mut escaped = false;
+    for c in chars {
+        if escaped {
+            match c {
+                '"' => out.push('"'),
+                '\\' => out.push('\\'),
+                'n' => out.push('\n'),
+                't' => out.push('\t'),
+                other => {
+                    out.push('\\');
+                    out.push(other);
+                }
+            }
+            escaped = false;
+        } else {
+            match c {
+                '\\' => escaped = true,
+                '"' => return Ok(out),
+                c => out.push(c),
+            }
+        }
+    }
+    Err(format!("unterminated string in field {field}"))
+}
+
+fn number_field(body: &str, field: &str) -> Result<f64, String> {
+    let key = format!("\"{field}\"");
+    let at = body
+        .find(&key)
+        .ok_or_else(|| format!("missing field {field}"))?;
+    let rest = body[at + key.len()..]
+        .trim_start()
+        .strip_prefix(':')
+        .ok_or_else(|| format!("malformed field {field}"))?
+        .trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == '+' || c == 'e'))
+        .unwrap_or(rest.len());
+    rest[..end]
+        .parse::<f64>()
+        .map_err(|e| format!("field {field}: {e}"))
+}
+
+/// One benchmark's baseline-vs-current comparison.
+#[derive(Debug, Clone)]
+pub struct Comparison {
+    /// Benchmark name.
+    pub name: String,
+    /// Baseline mean (ns).
+    pub baseline_ns: f64,
+    /// Current mean (ns), `None` when the benchmark disappeared.
+    pub current_ns: Option<f64>,
+    /// Relative change in percent (`+` is a slowdown).
+    pub delta_pct: Option<f64>,
+    /// False when the baseline mean sits below the noise floor — the
+    /// delta is reported but cannot trip the gate (sub-floor wall clocks
+    /// jitter far beyond any honest tolerance).
+    pub enforced: bool,
+    /// True when this comparison breaches the tolerance (and is
+    /// enforced).
+    pub regressed: bool,
+}
+
+/// Compares every baseline benchmark against the current report: a
+/// benchmark regresses when its current mean exceeds the baseline mean by
+/// more than `tolerance_pct` percent, or when it vanished from the
+/// current report. Baseline means below `min_ns` are compared but not
+/// enforced (scheduler noise dominates sub-floor timings). Benchmarks new
+/// in the current report are ignored — they have no baseline to regress
+/// from; refresh the baseline to start tracking them.
+pub fn compare(
+    baseline: &[BenchRecord],
+    current: &[BenchRecord],
+    tolerance_pct: f64,
+    min_ns: f64,
+) -> Vec<Comparison> {
+    baseline
+        .iter()
+        .map(|b| {
+            let enforced = b.mean_ns >= min_ns;
+            let cur = current.iter().find(|c| c.name == b.name);
+            match cur {
+                Some(c) => {
+                    let delta = (c.mean_ns - b.mean_ns) / b.mean_ns * 100.0;
+                    Comparison {
+                        name: b.name.clone(),
+                        baseline_ns: b.mean_ns,
+                        current_ns: Some(c.mean_ns),
+                        delta_pct: Some(delta),
+                        enforced,
+                        regressed: enforced && delta > tolerance_pct,
+                    }
+                }
+                None => Comparison {
+                    name: b.name.clone(),
+                    baseline_ns: b.mean_ns,
+                    current_ns: None,
+                    delta_pct: None,
+                    enforced: true,
+                    regressed: true,
+                },
+            }
+        })
+        .collect()
+}
+
+/// The gate tolerance: `UNICORN_BENCH_GATE_PCT` or 25%.
+pub fn tolerance_from_env() -> f64 {
+    std::env::var("UNICORN_BENCH_GATE_PCT")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .unwrap_or(25.0)
+}
+
+/// The gate noise floor in nanoseconds: `UNICORN_BENCH_GATE_MIN_MS`
+/// (milliseconds) or 1 ms.
+pub fn min_ns_from_env() -> f64 {
+    std::env::var("UNICORN_BENCH_GATE_MIN_MS")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .unwrap_or(1.0)
+        * 1e6
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const REPORT: &str = r#"{
+  "benchmarks": [
+    {"name": "discovery/skeleton \"quoted\"", "min_ns": 1, "mean_ns": 1000000, "max_ns": 3, "samples": 3},
+    {"name": "discovery/full", "min_ns": 1, "mean_ns": 2000000, "max_ns": 3, "samples": 3}
+  ]
+}
+"#;
+
+    #[test]
+    fn parses_the_shim_format_including_escapes() {
+        let records = parse_report(REPORT).expect("parse");
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].name, "discovery/skeleton \"quoted\"");
+        assert_eq!(records[0].mean_ns, 1e6);
+        assert_eq!(records[1].mean_ns, 2e6);
+    }
+
+    #[test]
+    fn parses_reports_with_extra_sections() {
+        // The suite report carries a trailing "scenarios" array; the gate
+        // must read only the benchmarks.
+        let json = REPORT.replace(
+            "\n}\n",
+            ",\n  \"scenarios\": [{\"name\": \"x\", \"mean_ns\": 5}]\n}\n",
+        );
+        let records = parse_report(&json).expect("parse");
+        assert_eq!(records.len(), 2);
+    }
+
+    #[test]
+    fn regression_detection_honours_the_tolerance() {
+        let baseline = parse_report(REPORT).expect("parse");
+        let mut current = baseline.clone();
+        current[0].mean_ns = 1.2e6; // +20%: inside a 25% tolerance
+        current[1].mean_ns = 2.6e6; // +30%: outside
+        let cmp = compare(&baseline, &current, 25.0, 0.0);
+        assert!(!cmp[0].regressed);
+        assert!(cmp[1].regressed);
+        // Looser tolerance clears it.
+        assert!(!compare(&baseline, &current, 40.0, 0.0)[1].regressed);
+        // Improvements never trip the gate.
+        current[1].mean_ns = 0.5e6;
+        assert!(compare(&baseline, &current, 25.0, 0.0)
+            .iter()
+            .all(|c| !c.regressed));
+    }
+
+    #[test]
+    fn noise_floor_reports_but_does_not_enforce() {
+        let baseline = vec![BenchRecord {
+            name: "tiny/stage".to_string(),
+            mean_ns: 2e5, // 0.2 ms
+        }];
+        let current = vec![BenchRecord {
+            name: "tiny/stage".to_string(),
+            mean_ns: 8e5, // +300%, but under a 1 ms floor
+        }];
+        let cmp = compare(&baseline, &current, 25.0, 1e6);
+        assert!(!cmp[0].enforced);
+        assert!(!cmp[0].regressed);
+        assert_eq!(cmp[0].delta_pct.map(f64::round), Some(300.0));
+        // With the floor off it trips.
+        assert!(compare(&baseline, &current, 25.0, 0.0)[0].regressed);
+    }
+
+    #[test]
+    fn missing_benchmarks_trip_the_gate_but_new_ones_do_not() {
+        let baseline = parse_report(REPORT).expect("parse");
+        let current = vec![
+            baseline[0].clone(),
+            BenchRecord {
+                name: "brand/new".to_string(),
+                mean_ns: 1.0,
+            },
+        ];
+        let cmp = compare(&baseline, &current, 25.0, 0.0);
+        assert!(!cmp[0].regressed);
+        assert!(cmp[1].regressed, "vanished benchmark must fail the gate");
+        assert_eq!(cmp.len(), 2, "new benchmarks are not compared");
+    }
+
+    #[test]
+    fn malformed_reports_error_out() {
+        assert!(parse_report("{}").is_err());
+        assert!(parse_report("{\"benchmarks\": [").is_err());
+        assert!(parse_report("{\"benchmarks\": [{\"name\": \"x\"}]}").is_err());
+    }
+}

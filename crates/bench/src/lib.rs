@@ -8,10 +8,14 @@
 //! All binaries honour the `UNICORN_SCALE` environment variable
 //! (`quick` — default, minutes; `full` — paper-scale).
 
+pub mod gate;
 pub mod harness;
 pub mod report;
+pub mod suite;
 pub mod transfer_analysis;
 
+pub use gate::{compare, parse_report, BenchRecord, Comparison};
 pub use harness::{catalog, run_cell, run_method, simulator, transfer_modes, DebugMethod, Scale};
 pub use report::{f1, f2, render_series, section, Table};
+pub use suite::{discovery_profile, run_scenario, run_suite, ScenarioReport, SuiteOptions};
 pub use transfer_analysis::{causal_terms, causal_transfer, regression_transfer, TransferStats};

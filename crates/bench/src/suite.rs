@@ -1,0 +1,398 @@
+//! The full-pipeline suite harness: every [`ScenarioRegistry`] entry is
+//! driven through all five Unicorn stages — observational sampling,
+//! causal discovery, SCM fitting, debugging (with its relearn loop),
+//! optimization, and, where the scenario defines an environment shift,
+//! transfer — recording per-scenario wall clock, CI-test counts, SHD
+//! against the planted ground-truth graph, and query latencies.
+//!
+//! The `suite` bench target (`cargo bench -p unicorn-bench --bench
+//! suite`) runs [`run_suite`] over [`ScenarioRegistry::standard`] and
+//! writes one machine-readable `BENCH_suite.json` (path overridable via
+//! `UNICORN_BENCH_JSON`): a criterion-shim-compatible `benchmarks` array
+//! (one wall-clock entry per scenario × stage, consumable by the
+//! `bench-gate` regression gate) plus a `scenarios` array with the
+//! quality metrics. `UNICORN_SUITE_FILTER=<substring>` restricts the run
+//! to matching scenario names.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use unicorn_core::{
+    debug_fault, gain_percent, learn_source_state, optimize_single, transfer_debug, TransferMode,
+    UnicornOptions,
+};
+use unicorn_discovery::{learn_causal_model_on, DiscoveryOptions};
+use unicorn_graph::{skeleton_distance, structural_hamming_distance};
+use unicorn_inference::{CausalEngine, FittedScm, QosGoal};
+use unicorn_systems::{
+    discover_faults, generate, FaultDiscoveryOptions, Scenario, ScenarioRegistry,
+};
+
+/// Suite-scale loop budgets (kept small: the suite's job is covering the
+/// scenario matrix end to end, not paper-scale evaluation).
+#[derive(Debug, Clone)]
+pub struct SuiteOptions {
+    /// Base RNG seed.
+    pub seed: u64,
+    /// Initial samples granted to the debug/optimize/transfer loops.
+    pub loop_samples: usize,
+    /// Debug-loop measurement budget.
+    pub debug_budget: usize,
+    /// Optimization measurement budget.
+    pub optimize_budget: usize,
+    /// Fault-catalog sample size.
+    pub catalog_samples: usize,
+    /// Target samples folded in by the transfer `Update` regime.
+    pub transfer_update: usize,
+}
+
+impl Default for SuiteOptions {
+    fn default() -> Self {
+        Self {
+            seed: 0x5017E,
+            loop_samples: 60,
+            debug_budget: 3,
+            optimize_budget: 3,
+            catalog_samples: 300,
+            transfer_update: 10,
+        }
+    }
+}
+
+/// The discovery profile suite-scale harnesses use, scaled to the
+/// variable count: multiple-testing control (a stricter alpha and
+/// shallower conditioning) keeps the big variants sparse — the Table 3
+/// regime — while the standard systems run the loop defaults.
+pub fn discovery_profile(n_nodes: usize) -> DiscoveryOptions {
+    if n_nodes > 150 {
+        DiscoveryOptions {
+            alpha: 1e-4,
+            max_depth: 1,
+            pds_depth: 0,
+            ..Default::default()
+        }
+    } else {
+        DiscoveryOptions {
+            alpha: 0.01,
+            max_depth: 2,
+            pds_depth: 1,
+            ..Default::default()
+        }
+    }
+}
+
+/// Everything the suite records about one scenario.
+#[derive(Debug, Clone)]
+pub struct ScenarioReport {
+    /// Registry name.
+    pub name: String,
+    /// Option count.
+    pub n_options: usize,
+    /// Event count.
+    pub n_events: usize,
+    /// Objective count.
+    pub n_objectives: usize,
+    /// Observational samples drawn for discovery.
+    pub n_samples: usize,
+    /// Stage II wall clock (ms).
+    pub discovery_ms: f64,
+    /// CI tests executed by discovery.
+    pub ci_tests: usize,
+    /// Structural hamming distance of the learned ADMG vs the planted
+    /// ground truth (adjacency + endpoint marks).
+    pub shd: usize,
+    /// Adjacency-only distance vs the planted skeleton.
+    pub skeleton_shd: usize,
+    /// SCM fit wall clock (ms).
+    pub scm_fit_ms: f64,
+    /// Stage V query latency (ms): the full option-ACE table plus a
+    /// root-cause ranking, each as one compiled plan batch.
+    pub query_ms: f64,
+    /// Debug-task wall clock (ms): catalog fault → full repair loop.
+    pub debug_ms: f64,
+    /// Ground-truth gain of the debug repair (percent).
+    pub debug_gain_pct: f64,
+    /// Optimization-task wall clock (ms).
+    pub optimize_ms: f64,
+    /// Transfer-task wall clock (ms); `None` when the scenario defines no
+    /// environment shift.
+    pub transfer_ms: Option<f64>,
+    /// End-to-end wall clock (ms).
+    pub total_ms: f64,
+}
+
+fn ms(t: Instant) -> f64 {
+    t.elapsed().as_secs_f64() * 1e3
+}
+
+/// Drives one scenario through the full five-stage pipeline.
+pub fn run_scenario(sc: &Scenario, opts: &SuiteOptions) -> ScenarioReport {
+    let t_total = Instant::now();
+    let sim = sc.simulator(opts.seed);
+    let truth = sim.model.true_admg();
+    let tiers = sim.model.tiers();
+    let disc = discovery_profile(sim.model.n_nodes());
+
+    // Stage I: observational sample.
+    let ds = generate(&sim, sc.suite_samples, opts.seed ^ 0xDA7A);
+    let view = ds.view();
+
+    // Stage II: causal discovery, scored against the planted graph.
+    let t = Instant::now();
+    let model = learn_causal_model_on(&view, &ds.names, &tiers, &disc);
+    let discovery_ms = ms(t);
+    let learned = model.admg.to_mixed();
+    let planted = truth.to_mixed();
+    let shd = structural_hamming_distance(&learned, &planted);
+    let skeleton_shd = skeleton_distance(&learned, &planted);
+
+    // SCM fit over the same shared view.
+    let t = Instant::now();
+    let scm = FittedScm::fit_view(model.admg.clone(), &view).expect("SCM fit");
+    let scm_fit_ms = ms(t);
+
+    // Stage V: the query surface as compiled plan batches.
+    let engine = CausalEngine::new(scm, tiers.clone(), Arc::new(ds.domains(&sim)));
+    let objective = ds.objective_node(0);
+    let goal = QosGoal::single(
+        objective,
+        unicorn_stats::quantile(ds.objective_column(0), 0.5),
+    );
+    let t = Instant::now();
+    let aces = engine.option_effects(objective);
+    let ranked = engine.rank_root_causes(&goal);
+    let query_ms = ms(t);
+    assert_eq!(aces.len(), sim.model.n_options());
+    drop(ranked);
+
+    // Stages III/IV: the debugging loop on a catalog fault.
+    let loop_opts = UnicornOptions {
+        initial_samples: opts.loop_samples,
+        budget: opts.debug_budget,
+        relearn_every: 2,
+        discovery: disc.clone(),
+        seed: opts.seed,
+        ..Default::default()
+    };
+    let cat = discover_faults(
+        &sim,
+        &FaultDiscoveryOptions {
+            n_samples: opts.catalog_samples,
+            ace_bases: 2,
+            ..Default::default()
+        },
+    );
+    let (debug_ms, debug_gain_pct) = match cat.faults.first() {
+        Some(fault) => {
+            let t = Instant::now();
+            let out = debug_fault(&sim, fault, &cat, &loop_opts);
+            let elapsed = ms(t);
+            let o = fault.objectives[0];
+            let after = sim.true_objectives(&out.best_config)[o];
+            (elapsed, gain_percent(fault.true_objectives[o], after))
+        }
+        None => (0.0, 0.0),
+    };
+
+    // Optimization.
+    let t = Instant::now();
+    let opt = optimize_single(
+        &sim,
+        0,
+        &UnicornOptions {
+            budget: opts.optimize_budget,
+            ..loop_opts.clone()
+        },
+    );
+    let optimize_ms = ms(t);
+    assert!(opt.best_value.is_finite());
+
+    // Transfer (only when the scenario defines a shift).
+    let transfer_ms = sc.target_simulator(opts.seed ^ 0x7A26E7).map(|target| {
+        let t = Instant::now();
+        let src_state = learn_source_state(&sim, &loop_opts);
+        let tcat = discover_faults(
+            &target,
+            &FaultDiscoveryOptions {
+                n_samples: opts.catalog_samples.min(200),
+                ace_bases: 2,
+                ..Default::default()
+            },
+        );
+        if let Some(fault) = tcat.faults.first() {
+            let _ = transfer_debug(
+                &src_state,
+                &target,
+                fault,
+                &tcat,
+                &loop_opts,
+                TransferMode::Update(opts.transfer_update),
+            );
+        }
+        ms(t)
+    });
+
+    ScenarioReport {
+        name: sc.name.clone(),
+        n_options: sim.model.n_options(),
+        n_events: sim.model.n_events(),
+        n_objectives: sim.model.n_objectives(),
+        n_samples: sc.suite_samples,
+        discovery_ms,
+        ci_tests: model.n_ci_tests,
+        shd,
+        skeleton_shd,
+        scm_fit_ms,
+        query_ms,
+        debug_ms,
+        debug_gain_pct,
+        optimize_ms,
+        transfer_ms,
+        total_ms: ms(t_total),
+    }
+}
+
+/// Runs every registry entry (optionally filtered by
+/// `UNICORN_SUITE_FILTER`) through [`run_scenario`].
+pub fn run_suite(reg: &ScenarioRegistry, opts: &SuiteOptions) -> Vec<ScenarioReport> {
+    let filter = std::env::var("UNICORN_SUITE_FILTER").unwrap_or_default();
+    let mut reports = Vec::new();
+    for sc in reg.iter() {
+        if !filter.is_empty() && !sc.name.contains(&filter) {
+            continue;
+        }
+        let r = run_scenario(sc, opts);
+        println!(
+            "{:<26} discovery {:>8.1} ms ({} CI tests, SHD {}, skel {})  \
+             fit {:>6.1} ms  queries {:>6.1} ms  debug {:>8.1} ms ({:.0}% gain)  \
+             optimize {:>8.1} ms  transfer {:>8}  total {:>9.1} ms",
+            r.name,
+            r.discovery_ms,
+            r.ci_tests,
+            r.shd,
+            r.skeleton_shd,
+            r.scm_fit_ms,
+            r.query_ms,
+            r.debug_ms,
+            r.debug_gain_pct,
+            r.optimize_ms,
+            r.transfer_ms
+                .map_or("—".to_string(), |t| format!("{t:.1} ms")),
+            r.total_ms,
+        );
+        reports.push(r);
+    }
+    reports
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Renders the suite report: a criterion-compatible `benchmarks` array
+/// (one entry per scenario × stage, so the `bench-gate` can diff suite
+/// runs against a baseline) plus a `scenarios` array with the quality
+/// metrics.
+pub fn render_json(reports: &[ScenarioReport]) -> String {
+    let mut benches: Vec<(String, f64)> = Vec::new();
+    for r in reports {
+        benches.push((format!("suite/{}/discovery", r.name), r.discovery_ms));
+        benches.push((format!("suite/{}/scm_fit", r.name), r.scm_fit_ms));
+        benches.push((format!("suite/{}/queries", r.name), r.query_ms));
+        benches.push((format!("suite/{}/debug", r.name), r.debug_ms));
+        benches.push((format!("suite/{}/optimize", r.name), r.optimize_ms));
+        if let Some(t) = r.transfer_ms {
+            benches.push((format!("suite/{}/transfer", r.name), t));
+        }
+        benches.push((format!("suite/{}/total", r.name), r.total_ms));
+    }
+    let mut out = String::from("{\n  \"benchmarks\": [\n");
+    for (i, (name, ms)) in benches.iter().enumerate() {
+        let ns = (ms * 1e6).round() as u128;
+        let sep = if i + 1 < benches.len() { "," } else { "" };
+        out.push_str(&format!(
+            "    {{\"name\": {}, \"min_ns\": {ns}, \"mean_ns\": {ns}, \"max_ns\": {ns}, \"samples\": 1}}{sep}\n",
+            json_string(name)
+        ));
+    }
+    out.push_str("  ],\n  \"scenarios\": [\n");
+    for (i, r) in reports.iter().enumerate() {
+        let sep = if i + 1 < reports.len() { "," } else { "" };
+        out.push_str(&format!(
+            "    {{\"name\": {}, \"n_options\": {}, \"n_events\": {}, \
+             \"n_objectives\": {}, \"n_samples\": {}, \"ci_tests\": {}, \
+             \"shd\": {}, \"skeleton_shd\": {}, \"debug_gain_pct\": {:.2}, \
+             \"discovery_ms\": {:.3}, \"scm_fit_ms\": {:.3}, \"query_ms\": {:.3}, \
+             \"debug_ms\": {:.3}, \"optimize_ms\": {:.3}, \"transfer_ms\": {}, \
+             \"total_ms\": {:.3}}}{sep}\n",
+            json_string(&r.name),
+            r.n_options,
+            r.n_events,
+            r.n_objectives,
+            r.n_samples,
+            r.ci_tests,
+            r.shd,
+            r.skeleton_shd,
+            r.debug_gain_pct,
+            r.discovery_ms,
+            r.scm_fit_ms,
+            r.query_ms,
+            r.debug_ms,
+            r.optimize_ms,
+            r.transfer_ms
+                .map_or("null".to_string(), |t| format!("{t:.3}")),
+            r.total_ms,
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unicorn_systems::{Interaction, Scenario, ScenarioSpec};
+
+    #[test]
+    fn discovery_profile_scales_with_variable_count() {
+        let small = discovery_profile(60);
+        assert_eq!(small.max_depth, 2);
+        let big = discovery_profile(500);
+        assert_eq!(big.max_depth, 1);
+        assert!(big.alpha < small.alpha);
+    }
+
+    #[test]
+    fn one_synthetic_scenario_runs_end_to_end() {
+        let sc = Scenario::synthetic(ScenarioSpec::family(10, Interaction::Sparse, 1, 0))
+            .with_samples(80);
+        let opts = SuiteOptions {
+            loop_samples: 40,
+            debug_budget: 1,
+            optimize_budget: 1,
+            catalog_samples: 120,
+            ..Default::default()
+        };
+        let r = run_scenario(&sc, &opts);
+        assert_eq!(r.n_options, 10);
+        assert!(r.discovery_ms > 0.0 && r.total_ms >= r.discovery_ms);
+        assert!(r.ci_tests > 0);
+        assert!(r.transfer_ms.is_none(), "no shift on this spec");
+        // The report renders as JSON with both sections.
+        let json = render_json(&[r]);
+        assert!(json.contains("\"benchmarks\""));
+        assert!(json.contains("\"scenarios\""));
+        assert!(json.contains("suite/synth-opt10-sparse-1obj/total"));
+    }
+}

@@ -67,7 +67,9 @@ pub fn transfer_debug(
         TransferMode::Update(k) => {
             let mut state = source_state.fork(opts.seed);
             let fresh = unicorn_systems::generate(target_sim, k, opts.seed ^ 0xBEEF);
-            state.replace_data(state.data.extended_with(&fresh));
+            // Columnar segmented append: O(k), keeps the source view's
+            // sealed segments and warm caches alive for the relearn.
+            state.extend_data(&fresh);
             state.relearn(target_sim, opts);
             debug_fault_with_state(target_sim, fault, catalog, opts, &mut state, start)
         }

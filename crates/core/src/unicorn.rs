@@ -217,6 +217,19 @@ impl UnicornState {
         self.scm = None;
     }
 
+    /// Appends a whole dataset (e.g. fresh target-environment samples in a
+    /// transfer update) to the accumulated data: columns extend in place
+    /// and the shared view grows through the segmented columnar append —
+    /// O(new rows), sealed segments shared, epoch-tagged caches carried
+    /// along — instead of the full view rebuild `replace_data` pays. The
+    /// warm-start relearn state survives, and the incremental relearn
+    /// contract keeps the next structure bit-identical to a cold one.
+    pub fn extend_data(&mut self, other: &Dataset) {
+        self.sync_view();
+        self.data.extend_from(other);
+        self.view = self.view.append_columns(&other.columns);
+    }
+
     /// Measures a configuration, appends the sample, and relearns the
     /// structure on the configured cadence. Returns the measured sample.
     pub fn measure_and_update(
@@ -440,6 +453,30 @@ mod tests {
         // Forks share the pool rather than spawning their own.
         let fork = st.fork(1);
         assert!(Arc::ptr_eq(fork.executor(), &pool));
+    }
+
+    #[test]
+    fn extend_data_matches_replace_data_bit_for_bit() {
+        let s = sim();
+        let opts = small_opts();
+        let st = UnicornState::bootstrap(&s, &opts);
+        let fresh = unicorn_systems::generate(&s, 12, 99);
+        // Segmented columnar extension (warm caches survive) …
+        let mut a = st.fork(1);
+        a.extend_data(&fresh);
+        a.relearn(&s, &opts);
+        // … against the wholesale replacement (cold view, cold session).
+        let mut b = st.fork(1);
+        let ext = b.data.extended_with(&fresh);
+        b.replace_data(ext);
+        b.relearn(&s, &opts);
+        assert_eq!(a.data.n_rows(), b.data.n_rows());
+        assert_eq!(a.view().columns(), b.view().columns());
+        assert_eq!(a.model.admg.directed_edges(), b.model.admg.directed_edges());
+        assert_eq!(
+            a.model.admg.bidirected_edges(),
+            b.model.admg.bidirected_edges()
+        );
     }
 
     #[test]

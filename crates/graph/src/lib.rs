@@ -19,7 +19,7 @@ pub mod tiers;
 pub use admg::Admg;
 pub use mixed::{Edge, Endpoint, MixedGraph};
 pub use paths::{backtrack_causal_paths, CausalPath};
-pub use shd::structural_hamming_distance;
+pub use shd::{skeleton_distance, structural_hamming_distance};
 pub use tiers::{TierConstraints, VarKind};
 
 /// Node identifier: index into the graph's node table.

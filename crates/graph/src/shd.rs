@@ -32,6 +32,29 @@ pub fn structural_hamming_distance(a: &MixedGraph, b: &MixedGraph) -> usize {
     dist
 }
 
+/// Skeleton-only structural distance: one unit per unordered node pair
+/// whose *adjacency* differs (edge vs no edge), ignoring endpoint marks.
+/// This is the metric for "did discovery find the planted skeleton" —
+/// orientation quality is scored separately by
+/// [`structural_hamming_distance`].
+///
+/// # Panics
+///
+/// Panics if the graphs have different node counts.
+pub fn skeleton_distance(a: &MixedGraph, b: &MixedGraph) -> usize {
+    assert_eq!(a.n_nodes(), b.n_nodes(), "graphs must share a node set");
+    let n = a.n_nodes();
+    let mut dist = 0;
+    for i in 0..n {
+        for j in i + 1..n {
+            if a.edge(i, j).is_some() != b.edge(i, j).is_some() {
+                dist += 1;
+            }
+        }
+    }
+    dist
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -73,6 +96,17 @@ mod tests {
         let mut b = MixedGraph::new(names(2));
         b.set_edge(0, 1, Endpoint::Tail, Endpoint::Arrow);
         assert_eq!(structural_hamming_distance(&a, &b), 1);
+    }
+
+    #[test]
+    fn skeleton_distance_ignores_marks_but_counts_adjacency() {
+        let mut a = MixedGraph::new(names(3));
+        a.add_directed_edge(0, 1);
+        let mut b = MixedGraph::new(names(3));
+        b.add_directed_edge(1, 0); // same adjacency, flipped marks
+        b.add_bidirected_edge(1, 2); // extra adjacency
+        assert_eq!(skeleton_distance(&a, &b), 1);
+        assert_eq!(structural_hamming_distance(&a, &b), 2);
     }
 
     #[test]

@@ -337,16 +337,37 @@ impl DataView {
     /// the epoch-tagged caches along (see the module docs); the old view
     /// and its statistics remain valid.
     pub fn append_rows(&self, rows: &[Vec<f64>]) -> DataView {
-        self.append_impl(rows.iter().map(Vec::as_slice), rows.len())
+        for (r, row) in rows.iter().enumerate() {
+            assert_eq!(row.len(), self.inner.n_cols, "row {r} width mismatch");
+        }
+        self.append_cells(rows.len(), |c, r| rows[r][c])
     }
 
     /// [`DataView::append_rows`] for a single borrowed row (no
     /// intermediate copy — the row lands directly in the new segment).
     pub fn append_row(&self, row: &[f64]) -> DataView {
-        self.append_impl(std::iter::once(row), 1)
+        assert_eq!(row.len(), self.inner.n_cols, "row width mismatch");
+        self.append_cells(1, |c, _| row[c])
     }
 
-    fn append_impl<'a>(&self, rows: impl Iterator<Item = &'a [f64]>, n_new: usize) -> DataView {
+    /// Columnar counterpart of [`DataView::append_rows`]: appends
+    /// `columns[c][r]` for every new row `r` straight from borrowed
+    /// columns — no per-row `Vec` materialization. Dataset concatenation
+    /// (a transfer update, a suite-scale merge) lands on the same
+    /// segmented path: sealed segments shared by `Arc`, only the partial
+    /// tail rebuilt, O(new rows).
+    pub fn append_columns(&self, columns: &[Vec<f64>]) -> DataView {
+        assert_eq!(columns.len(), self.inner.n_cols, "column-count mismatch");
+        let n_new = columns.first().map_or(0, Vec::len);
+        for (c, col) in columns.iter().enumerate() {
+            assert_eq!(col.len(), n_new, "column {c} length mismatch");
+        }
+        self.append_cells(n_new, |c, r| columns[c][r])
+    }
+
+    /// The one segmented append body: `cell(col, row)` supplies the new
+    /// values; callers adapt row- or column-major inputs.
+    fn append_cells(&self, n_new: usize, cell: impl Fn(usize, usize) -> f64) -> DataView {
         // Appending nothing must not bump the epoch (the data is
         // identical) nor consume this view's one cache-inheriting append.
         if n_new == 0 {
@@ -375,10 +396,9 @@ impl DataView {
                 .collect(),
         };
         let mut n_rows = self.inner.n_rows;
-        for (r, row) in rows.enumerate() {
-            assert_eq!(row.len(), p, "row {r} width mismatch");
-            for (col, &v) in builder.iter_mut().zip(row) {
-                col.push(v);
+        for r in 0..n_new {
+            for (c, col) in builder.iter_mut().enumerate() {
+                col.push(cell(c, r));
             }
             n_rows += 1;
             if builder[0].len() == MOMENT_CHUNK {
@@ -801,6 +821,31 @@ mod tests {
         assert_eq!(v.n_rows(), 4, "old view untouched");
         // The new view's correlation reflects the new rows.
         assert_eq!(*w.correlation(), correlation_matrix(w.columns()));
+    }
+
+    #[test]
+    fn append_columns_matches_append_rows_bit_for_bit() {
+        let n = MOMENT_CHUNK + 7; // crosses a segment boundary
+        let new_cols: Vec<Vec<f64>> = (0..3)
+            .map(|c| (0..n).map(|r| (r * 3 + c) as f64 * 0.5).collect())
+            .collect();
+        let new_rows: Vec<Vec<f64>> = (0..n)
+            .map(|r| new_cols.iter().map(|c| c[r]).collect())
+            .collect();
+        let by_cols = view().append_columns(&new_cols);
+        let by_rows = view().append_rows(&new_rows);
+        assert_eq!(by_cols.n_rows(), by_rows.n_rows());
+        assert_eq!(by_cols.columns(), by_rows.columns());
+        assert_eq!(*by_cols.correlation(), *by_rows.correlation());
+        assert_eq!(by_cols.column_stats(), by_rows.column_stats());
+        // Sealed segments of the base view are shared, as for row appends.
+        let v = view();
+        let w = v.append_columns(&new_cols);
+        assert_eq!(v.lineage(), w.lineage(), "first append keeps the lineage");
+        // Appending zero rows is the no-op contract of append_rows.
+        let empty: Vec<Vec<f64>> = vec![Vec::new(); 3];
+        let same = v.append_columns(&empty);
+        assert!(v.same_table(&same));
     }
 
     #[test]

@@ -115,13 +115,22 @@ impl Dataset {
         sim.model.tiers()
     }
 
-    /// Concatenates two datasets over the same node set.
-    pub fn extended_with(&self, other: &Dataset) -> Dataset {
+    /// Appends another dataset's rows in place, column-wise — O(new rows),
+    /// no per-row `Vec` round-trips. Long-lived loop states pair this with
+    /// [`DataView::append_columns`] so the shared view grows along the
+    /// same segmented path (see `UnicornState::extend_data`).
+    pub fn extend_from(&mut self, other: &Dataset) {
         assert_eq!(self.names, other.names, "incompatible datasets");
-        let mut out = self.clone();
-        for (col, o) in out.columns.iter_mut().zip(&other.columns) {
+        for (col, o) in self.columns.iter_mut().zip(&other.columns) {
             col.extend_from_slice(o);
         }
+    }
+
+    /// Concatenates two datasets over the same node set (column-wise; the
+    /// clone of `self` is the only O(existing rows) cost).
+    pub fn extended_with(&self, other: &Dataset) -> Dataset {
+        let mut out = self.clone();
+        out.extend_from(other);
         out
     }
 }

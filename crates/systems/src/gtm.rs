@@ -150,6 +150,23 @@ impl Transform {
     }
 }
 
+/// A hidden exogenous confounder: one standard-normal draw per (noisy)
+/// evaluation, added — scaled per target — to the pre-transform value of
+/// every target node. Latents are never observed: they have no column in
+/// the dataset, and the noiseless ground truth (`rng = None`) sets them to
+/// zero, so fault labels and true ACEs are unaffected. Their only trace is
+/// the correlation they induce between their targets — exactly the
+/// bidirected-edge semantics of an ADMG, which is how [`SystemModel::true_admg`]
+/// reports them.
+#[derive(Debug, Clone)]
+pub struct LatentConfounder {
+    /// Diagnostic name (e.g. `"latent_0"`).
+    pub name: String,
+    /// Confounded nodes: `(node index, weight)` — the node's pre-transform
+    /// value gains `weight · z`.
+    pub targets: Vec<(usize, f64)>,
+}
+
 /// A non-option node (event or objective) of the ground-truth model.
 #[derive(Debug, Clone)]
 pub struct GtNode {
@@ -179,6 +196,9 @@ pub struct SystemModel {
     /// Mechanisms for events then objectives (indices offset by
     /// `space.len()`).
     pub nodes: Vec<GtNode>,
+    /// Hidden exogenous confounders (empty for the paper's real systems;
+    /// planted by the synthetic scenario generator).
+    pub latents: Vec<LatentConfounder>,
 }
 
 impl SystemModel {
@@ -233,7 +253,8 @@ impl SystemModel {
         TierConstraints::new(kinds)
     }
 
-    /// The true causal graph (directed edges from term parents).
+    /// The true causal graph: directed edges from term parents, bidirected
+    /// edges between every pair of nodes sharing a latent confounder.
     pub fn true_admg(&self) -> Admg {
         let mut g = Admg::new(self.names());
         let base = self.space.len();
@@ -243,6 +264,15 @@ impl SystemModel {
                 for &p in &t.parents {
                     if p != target && !g.directed_edges().contains(&(p, target)) {
                         g.add_directed(p, target);
+                    }
+                }
+            }
+        }
+        for latent in &self.latents {
+            for (i, &(a, _)) in latent.targets.iter().enumerate() {
+                for &(b, _) in &latent.targets[i + 1..] {
+                    if a != b {
+                        g.add_bidirected(a, b);
                     }
                 }
             }
@@ -268,11 +298,27 @@ impl SystemModel {
             internal[i] = self.space.option(i).normalize(config.values[i]);
             raw[i] = config.values[i];
         }
+        // Hidden confounders draw first (declaration order), so the noise
+        // stream of latent-free models is byte-identical to before latents
+        // existed; that common case also stays allocation-free. The
+        // noiseless ground truth pins every latent at zero.
+        let mut latent_shift: Vec<f64> = Vec::new();
+        if !self.latents.is_empty() {
+            if let Some(r) = rng.as_deref_mut() {
+                latent_shift.resize(total, 0.0);
+                for latent in &self.latents {
+                    let z = standard_normal(r);
+                    for &(node, w) in &latent.targets {
+                        latent_shift[node] += w * z;
+                    }
+                }
+            }
+        }
         // Events then objectives are already in dependency order by
         // construction (builders only reference previously defined nodes).
         for (k, node) in self.nodes.iter().enumerate() {
             let idx = n_opt + k;
-            let mut v = node.bias;
+            let mut v = node.bias + latent_shift.get(idx).copied().unwrap_or(0.0);
             for t in &node.terms {
                 let mut prod = t.coeff * t.env.multiplier(env);
                 for &p in &t.parents {
@@ -282,11 +328,7 @@ impl SystemModel {
                 v += prod;
             }
             if let Some(r) = rng.as_deref_mut() {
-                // Box–Muller standard normal.
-                let u1: f64 = r.gen_range(1e-12..1.0);
-                let u2: f64 = r.gen_range(0.0..1.0);
-                let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
-                v += node.noise_sd * z;
+                v += node.noise_sd * standard_normal(r);
             }
             let v = node.transform.apply(v);
             internal[idx] = v;
@@ -302,6 +344,13 @@ impl SystemModel {
     }
 }
 
+/// Box–Muller standard normal (the one noise primitive of the testbed).
+fn standard_normal(r: &mut StdRng) -> f64 {
+    let u1: f64 = r.gen_range(1e-12..1.0);
+    let u2: f64 = r.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
 /// Fluent builder assembling a [`SystemModel`]. Mechanisms reference nodes
 /// by name, so system definitions read like the paper's appendix tables.
 #[derive(Debug)]
@@ -311,6 +360,7 @@ pub struct SystemBuilder {
     event_names: Vec<String>,
     objective_names: Vec<String>,
     nodes: Vec<GtNode>,
+    latents: Vec<LatentConfounder>,
 }
 
 impl SystemBuilder {
@@ -322,6 +372,7 @@ impl SystemBuilder {
             event_names: Vec::new(),
             objective_names: Vec::new(),
             nodes: Vec::new(),
+            latents: Vec::new(),
         }
     }
 
@@ -423,6 +474,30 @@ impl SystemBuilder {
         self
     }
 
+    /// Plants a hidden confounder over two or more (non-option) nodes:
+    /// every noisy evaluation draws one shared standard-normal value and
+    /// adds `weight · z` to each target. The ground-truth ADMG reports the
+    /// confounded pairs as bidirected edges.
+    pub fn latent(&mut self, name: &str, targets: &[(&str, f64)]) -> &mut Self {
+        assert!(targets.len() >= 2, "a confounder needs at least 2 targets");
+        let resolved: Vec<(usize, f64)> = targets
+            .iter()
+            .map(|&(n, w)| {
+                let idx = self.node_index(n);
+                assert!(
+                    idx >= self.space.len(),
+                    "latent confounders act on events/objectives, not options"
+                );
+                (idx, w)
+            })
+            .collect();
+        self.latents.push(LatentConfounder {
+            name: name.to_string(),
+            targets: resolved,
+        });
+        self
+    }
+
     /// Finishes the definition.
     pub fn build(self) -> SystemModel {
         SystemModel {
@@ -431,6 +506,7 @@ impl SystemBuilder {
             event_names: self.event_names,
             objective_names: self.objective_names,
             nodes: self.nodes,
+            latents: self.latents,
         }
     }
 }
@@ -541,6 +617,57 @@ mod tests {
         b.option("a", &[0.0, 1.0], OptionKind::Software)
             .event("e", 1.0, 0.0);
         b.term("e", 1.0, &["nope"], EnvExp::none());
+    }
+
+    #[test]
+    fn latent_confounder_reports_bidirected_and_stays_noiseless_invisible() {
+        let mut b = SystemBuilder::new("conf");
+        b.option("k", &[0.0, 1.0], OptionKind::Software)
+            .event("e1", 1.0, 0.01)
+            .event("e2", 1.0, 0.01)
+            .objective("obj", 1.0, 0.0);
+        b.bias("e1", 1.0)
+            .bias("e2", 1.0)
+            .bias("obj", 0.5)
+            .term("obj", 1.0, &["e1"], EnvExp::none())
+            .latent("u", &[("e1", 0.5), ("e2", 0.5)]);
+        let m = b.build();
+        // Ground truth: e1 ↔ e2 (nodes 1 and 2).
+        assert_eq!(m.true_admg().bidirected_edges(), &[(1, 2)]);
+        // The noiseless evaluation never sees the latent.
+        let c = Config { values: vec![0.0] };
+        let (clean, _) = m.evaluate(&c, &EnvParams::neutral(), None);
+        assert!((clean[1] - 1.0).abs() < 1e-12);
+        assert!((clean[2] - 1.0).abs() < 1e-12);
+        // Noisy draws of the two targets co-move strongly: the shared
+        // latent (σ·w = 0.5) dominates the private noise (σ = 0.01).
+        let (mut xs, mut ys) = (Vec::new(), Vec::new());
+        for seed in 0..400 {
+            let mut r = StdRng::seed_from_u64(seed);
+            let (i, _) = m.evaluate(&c, &EnvParams::neutral(), Some(&mut r));
+            xs.push(i[1]);
+            ys.push(i[2]);
+        }
+        let r = unicorn_stats::pearson(&xs, &ys);
+        assert!(r > 0.9, "confounded events should correlate, r = {r}");
+    }
+
+    #[test]
+    fn latent_free_models_keep_their_noise_stream() {
+        // The latent code path must not consume RNG draws when no latents
+        // are declared — the paper systems' measurements stay bit-stable.
+        let mut m = toy();
+        m.nodes[0].noise_sd = 0.1;
+        let c = Config {
+            values: vec![1.0, 0.0],
+        };
+        let mut r = StdRng::seed_from_u64(11);
+        let (a, _) = m.evaluate(&c, &EnvParams::neutral(), Some(&mut r));
+        let mut r2 = StdRng::seed_from_u64(11);
+        let z = standard_normal(&mut r2);
+        // First node's noise must be the first draw of the stream.
+        let clean = m.evaluate(&c, &EnvParams::neutral(), None).0[2];
+        assert!((a[2] - (clean + 0.1 * z)).abs() < 1e-12);
     }
 
     #[test]

@@ -24,6 +24,7 @@ pub mod faults;
 pub mod gtm;
 pub mod measurement;
 pub mod scalability;
+pub mod scenario;
 pub mod substrate;
 pub mod synthetic;
 pub mod systems;
@@ -32,8 +33,9 @@ pub use config::{Config, ConfigOption, ConfigSpace, OptionKind};
 pub use dataset::{generate, Dataset};
 pub use environment::{EnvParams, Environment, Hardware, HardwareProfile, Workload};
 pub use faults::{discover_faults, true_option_ace, Fault, FaultCatalog, FaultDiscoveryOptions};
-pub use gtm::{EnvExp, SystemBuilder, SystemModel, Transform};
+pub use gtm::{EnvExp, LatentConfounder, SystemBuilder, SystemModel, Transform};
 pub use measurement::{Sample, Simulator};
+pub use scenario::{EnvShift, Interaction, Scenario, ScenarioKind, ScenarioRegistry, ScenarioSpec};
 pub use substrate::{AppWeights, ObjectiveWeights, BASE_EVENTS};
 pub use synthetic::CacheScenario;
 pub use systems::SubjectSystem;

@@ -7,15 +7,15 @@
 
 use unicorn::discovery::{learn_causal_model_on, DiscoveryOptions};
 use unicorn::inference::{CausalEngine, FittedScm, PerformanceQuery, QueryAnswer};
-use unicorn::systems::{generate, Environment, Hardware, Simulator, SubjectSystem};
+use unicorn::systems::{generate, ScenarioRegistry};
 
 fn main() {
-    // 1. A simulated testbed: x264 deployed on a TX2-class board.
-    let sim = Simulator::new(
-        SubjectSystem::X264.build(),
-        Environment::on(Hardware::Tx2),
-        42,
-    );
+    // 1. A simulated testbed: x264 deployed on a TX2-class board, pulled
+    //    from the scenario registry (the one catalog every harness reads).
+    let sim = ScenarioRegistry::standard()
+        .get("x264")
+        .expect("registered scenario")
+        .simulator(42);
     println!(
         "x264: {} options, {} events, {} objectives, {:.2e} configurations",
         sim.model.n_options(),

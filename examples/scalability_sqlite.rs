@@ -10,19 +10,20 @@ use std::time::Instant;
 
 use unicorn::core::{debug_fault, UnicornOptions};
 use unicorn::discovery::DiscoveryOptions;
-use unicorn::systems::scalability::sqlite_variant;
-use unicorn::systems::{discover_faults, Environment, FaultDiscoveryOptions, Hardware, Simulator};
+use unicorn::systems::{discover_faults, FaultDiscoveryOptions, ScenarioRegistry};
 
 fn main() {
-    let model = sqlite_variant(242, 288);
+    let sim = ScenarioRegistry::scalability()
+        .get("sqlite-242opt-288ev")
+        .expect("registered scenario")
+        .simulator(3);
     println!(
         "SQLite scalability variant: {} options, {} events, {:.2e} \
          configurations",
-        model.n_options(),
-        model.n_events(),
-        model.space.cardinality() as f64,
+        sim.model.n_options(),
+        sim.model.n_events(),
+        sim.model.space.cardinality() as f64,
     );
-    let sim = Simulator::new(model, Environment::on(Hardware::Xavier), 3);
 
     let catalog = discover_faults(
         &sim,

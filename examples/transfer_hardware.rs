@@ -10,21 +10,17 @@
 use unicorn::core::{
     learn_source_state, score_debugging, transfer_debug, TransferMode, UnicornOptions,
 };
-use unicorn::systems::{
-    discover_faults, Environment, FaultDiscoveryOptions, Hardware, Simulator, SubjectSystem,
-};
+use unicorn::systems::{discover_faults, FaultDiscoveryOptions, ScenarioRegistry};
 
 fn main() {
-    let source = Simulator::new(
-        SubjectSystem::Xception.build(),
-        Environment::on(Hardware::Xavier),
-        31,
-    );
-    let target = Simulator::new(
-        SubjectSystem::Xception.build(),
-        Environment::on(Hardware::Tx2),
-        32,
-    );
+    // The registry's Xception entry carries the Fig 16 shift: source on
+    // Xavier, transfer target on TX2.
+    let registry = ScenarioRegistry::standard();
+    let scenario = registry.get("xception").expect("registered scenario");
+    let source = scenario.simulator(31);
+    let target = scenario
+        .target_simulator(32)
+        .expect("xception carries a hardware shift");
 
     let catalog = discover_faults(
         &target,

@@ -1,0 +1,185 @@
+//! The kernel microbenchmarks (`BENCH_kernels.json`): the three blocked
+//! kernel families behind the pipeline benches, each timed against its
+//! scalar reference arm so a regression in either the kernel or its
+//! dispatch is caught directly, not just through end-to-end noise.
+//!
+//! * `corr_matrix` — the chunk-major lane-blocked correlation matrix
+//!   ([`unicorn_stats::correlation_matrix`]) vs the pairwise scalar fold
+//!   (one [`unicorn_stats::pearson`] per pair).
+//! * `gtest_mi` / `gtest_cmi` — the dense structure-of-arrays contingency
+//!   kernels behind the G-test vs the sparse BTreeMap folds.
+//! * `scm_sweep` — the [`SIM_LANES`](unicorn_inference::SIM_LANES)-row
+//!   lane topological sweep ([`FittedScm::simulate_batch`]) vs a scalar
+//!   per-row [`FittedScm::simulate`] loop, both on one worker so the
+//!   delta is pure data-level parallelism.
+//!
+//! Every pair of arms is cross-checked bit-for-bit before timing.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use unicorn_exec::Executor;
+use unicorn_graph::Admg;
+use unicorn_inference::{FittedScm, ResidualMode};
+use unicorn_stats::{
+    conditional_mutual_information, conditional_mutual_information_sparse, correlation_matrix,
+    mutual_information, mutual_information_sparse, pearson, Matrix,
+};
+
+fn lcg(state: &mut u64) -> f64 {
+    *state = state
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    ((*state >> 11) as f64 / (1u64 << 53) as f64) - 0.5
+}
+
+/// Column-major synthetic data with mild cross-column structure.
+fn columns(p: usize, n: usize, seed: u64) -> Vec<Vec<f64>> {
+    let mut s = seed;
+    let mut cols: Vec<Vec<f64>> = (0..p).map(|_| Vec::with_capacity(n)).collect();
+    for _ in 0..n {
+        let shared = lcg(&mut s);
+        for (j, col) in cols.iter_mut().enumerate() {
+            col.push(lcg(&mut s) + shared * (j % 3) as f64 * 0.5);
+        }
+    }
+    cols
+}
+
+/// Integer codes in `0..arity`.
+fn codes(n: usize, arity: usize, seed: u64) -> Vec<usize> {
+    let mut s = seed;
+    (0..n)
+        .map(|_| (lcg(&mut s).abs() * 2.0 * arity as f64) as usize % arity)
+        .collect()
+}
+
+/// The scalar reference arm: one per-pair [`pearson`] fold.
+fn pairwise_scalar(cols: &[Vec<f64>]) -> Matrix {
+    let p = cols.len();
+    let mut m = Matrix::identity(p);
+    for i in 0..p {
+        for j in i + 1..p {
+            let r = pearson(&cols[i], &cols[j]);
+            m[(i, j)] = r;
+            m[(j, i)] = r;
+        }
+    }
+    m
+}
+
+/// A 12-node layered DAG fitted on LCG data, over one worker.
+fn fitted_scm(n: usize) -> FittedScm {
+    let p = 12usize;
+    let names: Vec<String> = (0..p).map(|v| format!("v{v}")).collect();
+    let mut g = Admg::new(names);
+    for v in 4..p {
+        g.add_directed(v % 4, v);
+        g.add_directed((v + 1) % 4, v);
+        if v >= 8 {
+            g.add_directed(v - 4, v);
+        }
+    }
+    let mut s = 7u64;
+    let mut cols: Vec<Vec<f64>> = (0..p).map(|_| Vec::with_capacity(n)).collect();
+    for _ in 0..n {
+        let mut row = vec![0.0f64; p];
+        for (v, r) in row.iter_mut().enumerate().take(4) {
+            let _ = v;
+            *r = lcg(&mut s);
+        }
+        for v in 4..p {
+            row[v] = 0.8 * row[v % 4] - 0.5 * row[(v + 1) % 4]
+                + if v >= 8 { 0.3 * row[v - 4] } else { 0.0 }
+                + 0.05 * lcg(&mut s);
+        }
+        for (col, &r) in cols.iter_mut().zip(&row) {
+            col.push(r);
+        }
+    }
+    FittedScm::fit_view_on(
+        g,
+        &unicorn_stats::DataView::from_columns(&cols),
+        Executor::new(1),
+    )
+    .expect("SCM fit")
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let (p, n) = (34, 2048);
+    let cols = columns(p, n, 0xC0FFEE);
+    let nc = 6000;
+    let (xs, ys, zs) = (codes(nc, 12, 0xA), codes(nc, 10, 0xB), codes(nc, 6, 0xC));
+    let scm = fitted_scm(1024);
+    let rows: Vec<usize> = (0..scm.n_rows()).step_by(2).collect();
+    let interventions = [(4usize, 0.25f64)];
+
+    // Cross-check once: every blocked arm must agree with its scalar
+    // reference bit for bit before timing.
+    {
+        let blocked = correlation_matrix(&cols);
+        let scalar = pairwise_scalar(&cols);
+        for i in 0..p {
+            for j in 0..p {
+                assert_eq!(
+                    blocked[(i, j)].to_bits(),
+                    scalar[(i, j)].to_bits(),
+                    "correlation arms diverged at ({i},{j})"
+                );
+            }
+        }
+        assert_eq!(
+            mutual_information(&xs, &ys).to_bits(),
+            mutual_information_sparse(&xs, &ys).to_bits(),
+            "MI arms diverged"
+        );
+        assert_eq!(
+            conditional_mutual_information(&xs, &ys, &zs).to_bits(),
+            conditional_mutual_information_sparse(&xs, &ys, &zs).to_bits(),
+            "CMI arms diverged"
+        );
+        let lanes = scm.simulate_batch(&rows, &interventions, ResidualMode::FromRow);
+        for (&r, lane) in rows.iter().zip(&lanes) {
+            let scalar = scm.simulate(r, &interventions, ResidualMode::FromRow(r));
+            for (a, b) in lane.iter().zip(&scalar) {
+                assert_eq!(a.to_bits(), b.to_bits(), "SCM sweep arms diverged at {r}");
+            }
+        }
+    }
+
+    let mut group = c.benchmark_group("kernels");
+    group.sample_size(20);
+    group.bench_function("corr_matrix/blocked_p34_n2048", |b| {
+        b.iter(|| black_box(correlation_matrix(&cols)));
+    });
+    group.bench_function("corr_matrix/pairwise_scalar_p34_n2048", |b| {
+        b.iter(|| black_box(pairwise_scalar(&cols)));
+    });
+    group.bench_function("gtest_mi/dense_n6000", |b| {
+        b.iter(|| black_box(mutual_information(&xs, &ys)));
+    });
+    group.bench_function("gtest_mi/sparse_n6000", |b| {
+        b.iter(|| black_box(mutual_information_sparse(&xs, &ys)));
+    });
+    group.bench_function("gtest_cmi/dense_n6000", |b| {
+        b.iter(|| black_box(conditional_mutual_information(&xs, &ys, &zs)));
+    });
+    group.bench_function("gtest_cmi/sparse_n6000", |b| {
+        b.iter(|| black_box(conditional_mutual_information_sparse(&xs, &ys, &zs)));
+    });
+    group.bench_function("scm_sweep/lanes_rows512", |b| {
+        b.iter(|| black_box(scm.simulate_batch(&rows, &interventions, ResidualMode::FromRow)));
+    });
+    group.bench_function("scm_sweep/scalar_rows512", |b| {
+        b.iter(|| {
+            let out: Vec<Vec<f64>> = rows
+                .iter()
+                .map(|&r| scm.simulate(r, &interventions, ResidualMode::FromRow(r)))
+                .collect();
+            black_box(out)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

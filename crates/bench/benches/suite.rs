@@ -11,23 +11,36 @@
 //! ```
 //!
 //! `UNICORN_SUITE_FILTER=<substring>` restricts the run to matching
-//! scenario names. The report's `benchmarks` section is consumable by the
-//! `bench-gate` regression gate.
+//! scenario names; `UNICORN_BENCH_SAMPLES=<n>` runs the whole suite `n`
+//! times and reports min/mean/max per stage, so the suite bench-gate can
+//! use a tight tolerance on mean timings. The report's `benchmarks`
+//! section is consumable by the `bench-gate` regression gate.
 
-use unicorn_bench::suite::{render_json, run_suite, SuiteOptions};
+use unicorn_bench::suite::{render_json_runs, run_suite, SuiteOptions};
 use unicorn_systems::ScenarioRegistry;
 
 fn main() {
     let registry = ScenarioRegistry::standard();
+    let samples = std::env::var("UNICORN_BENCH_SAMPLES")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(1);
     println!(
-        "suite: {} scenarios ({} real systems, {} total entries)\n",
+        "suite: {} scenarios ({} real systems), {samples} sample pass(es)\n",
         registry.len(),
         registry.real_systems().len(),
-        registry.len(),
     );
-    let reports = run_suite(&registry, &SuiteOptions::default());
+    let runs: Vec<_> = (0..samples)
+        .map(|pass| {
+            if samples > 1 {
+                println!("-- pass {}/{samples} --", pass + 1);
+            }
+            run_suite(&registry, &SuiteOptions::default())
+        })
+        .collect();
     let path =
         std::env::var("UNICORN_BENCH_JSON").unwrap_or_else(|_| "BENCH_suite.json".to_string());
-    std::fs::write(&path, render_json(&reports)).expect("write suite report");
-    println!("\nsuite report: {} scenarios -> {path}", reports.len());
+    std::fs::write(&path, render_json_runs(&runs)).expect("write suite report");
+    println!("\nsuite report: {} scenarios -> {path}", runs[0].len());
 }

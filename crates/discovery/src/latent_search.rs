@@ -62,77 +62,89 @@ pub struct LatentSearchResult {
     pub confounded: bool,
 }
 
-/// Builds the empirical joint `p(x, y)` as a dense `x_arity × y_arity`
-/// table.
-fn joint(x: &[usize], y: &[usize], xa: usize, ya: usize) -> Vec<Vec<f64>> {
-    let mut p = vec![vec![0.0; ya]; xa];
+/// Builds the empirical joint `p(x, y)` as a dense row-major
+/// `x_arity × y_arity` table (`p[xi * ya + yi]`).
+fn joint(x: &[usize], y: &[usize], xa: usize, ya: usize) -> Vec<f64> {
+    let mut p = vec![0.0; xa * ya];
     for (&xi, &yi) in x.iter().zip(y) {
-        p[xi.min(xa - 1)][yi.min(ya - 1)] += 1.0;
+        p[xi.min(xa - 1) * ya + yi.min(ya - 1)] += 1.0;
     }
     let n = x.len() as f64;
-    for row in &mut p {
-        for v in row.iter_mut() {
-            *v /= n;
-        }
+    for v in &mut p {
+        *v /= n;
     }
     p
 }
 
 /// One restart of the alternating minimization. Returns `(H(Z), I(X;Y|Z))`.
-// Index loops: each (x, y) cell is scattered across the z-major axis of q.
-#[allow(clippy::needless_range_loop)]
+///
+/// All distributions live in flat contiguous arrays (`q[(zi·xa + xi)·ya +
+/// yi]`, `p_xy[xi·ya + yi]`): the 60-iteration EM loop is the hot kernel
+/// of entropic resolution, and the nested-`Vec` layout it replaced spent
+/// its time chasing pointers. The operation sequence — every multiply,
+/// add, and divide, in the same order — is unchanged, so the fitted `q`
+/// and both diagnostics are bit-identical to the nested version.
 fn latent_search_once(
-    p_xy: &[Vec<f64>],
+    p_xy: &[f64],
     xa: usize,
     ya: usize,
     opts: &LatentSearchOptions,
     rng: &mut StdRng,
 ) -> (f64, f64) {
     let za = opts.z_arity;
-    // q[z][x][y] = q(z | x, y), initialized to a random simplex point.
-    let mut q = vec![vec![vec![0.0; ya]; xa]; za];
+    let xy = xa * ya;
+    // q[(zi·xa + xi)·ya + yi] = q(z | x, y), initialized to a random
+    // simplex point; RNG draws in (x, y, z) order as before.
+    let mut q = vec![0.0; za * xy];
+    let mut raw = vec![0.0; za];
     for xi in 0..xa {
         for yi in 0..ya {
             let mut total = 0.0;
-            let mut raw = vec![0.0; za];
             for r in raw.iter_mut() {
                 *r = rng.gen::<f64>() + 1e-3;
                 total += *r;
             }
             for (zi, r) in raw.iter().enumerate() {
-                q[zi][xi][yi] = r / total;
+                q[zi * xy + xi * ya + yi] = r / total;
             }
         }
     }
 
-    let p_x: Vec<f64> = (0..xa).map(|xi| p_xy[xi].iter().sum()).collect();
+    let p_x: Vec<f64> = p_xy.chunks_exact(ya).map(|row| row.iter().sum()).collect();
     let p_y: Vec<f64> = (0..ya)
-        .map(|yi| (0..xa).map(|xi| p_xy[xi][yi]).sum())
+        .map(|yi| (0..xa).map(|xi| p_xy[xi * ya + yi]).sum())
         .collect();
 
     // `q(z)^{1−β}` is identically 1 at the default β = 1 — skip the powf
     // (x^0 ≡ 1 and u/1.0 ≡ u exactly, so this changes no bits).
     let z_exponent = 1.0 - opts.beta;
     let mut q_z = vec![0.0; za];
-    let mut q_zx = vec![vec![0.0; xa]; za]; // q(z, x)
-    let mut q_zy = vec![vec![0.0; ya]; za]; // q(z, y)
-    let mut raw = vec![0.0; za];
+    let mut q_zx = vec![0.0; za * xa]; // q(z, x), z-major
+    let mut q_zy = vec![0.0; za * ya]; // q(z, y), z-major
     for _ in 0..opts.iters {
-        // E-step quantities from the current q.
+        // E-step quantities from the current q: one contiguous sweep of
+        // q against p_xy per z-plane.
         q_z.iter_mut().for_each(|v| *v = 0.0);
-        q_zx.iter_mut()
-            .for_each(|r| r.iter_mut().for_each(|v| *v = 0.0));
-        q_zy.iter_mut()
-            .for_each(|r| r.iter_mut().for_each(|v| *v = 0.0));
+        q_zx.iter_mut().for_each(|v| *v = 0.0);
+        q_zy.iter_mut().for_each(|v| *v = 0.0);
         for zi in 0..za {
+            let plane = &q[zi * xy..(zi + 1) * xy];
+            let zx = &mut q_zx[zi * xa..(zi + 1) * xa];
+            let zy = &mut q_zy[zi * ya..(zi + 1) * ya];
+            let mut acc_z = 0.0;
             for xi in 0..xa {
+                let prow = &p_xy[xi * ya..(xi + 1) * ya];
+                let qrow = &plane[xi * ya..(xi + 1) * ya];
+                let mut acc_x = 0.0;
                 for yi in 0..ya {
-                    let m = p_xy[xi][yi] * q[zi][xi][yi];
-                    q_z[zi] += m;
-                    q_zx[zi][xi] += m;
-                    q_zy[zi][yi] += m;
+                    let m = prow[yi] * qrow[yi];
+                    acc_z += m;
+                    acc_x += m;
+                    zy[yi] += m;
                 }
+                zx[xi] = acc_x;
             }
+            q_z[zi] = acc_z;
         }
         // Update: q(z|x,y) ∝ q(z|x)·q(z|y) / q(z)^{1−β}.
         for xi in 0..xa {
@@ -140,13 +152,13 @@ fn latent_search_once(
                 continue;
             }
             for yi in 0..ya {
-                if p_y[yi] <= 0.0 || p_xy[xi][yi] <= 0.0 {
+                if p_y[yi] <= 0.0 || p_xy[xi * ya + yi] <= 0.0 {
                     continue;
                 }
                 let mut total = 0.0;
                 for zi in 0..za {
-                    let qzx = q_zx[zi][xi] / p_x[xi];
-                    let qzy = q_zy[zi][yi] / p_y[yi];
+                    let qzx = q_zx[zi * xa + xi] / p_x[xi];
+                    let qzy = q_zy[zi * ya + yi] / p_y[yi];
                     let num = qzx * qzy;
                     raw[zi] = if z_exponent == 0.0 {
                         num
@@ -159,7 +171,7 @@ fn latent_search_once(
                     continue;
                 }
                 for zi in 0..za {
-                    q[zi][xi][yi] = raw[zi] / total;
+                    q[zi * xy + xi * ya + yi] = raw[zi] / total;
                 }
             }
         }
@@ -167,17 +179,19 @@ fn latent_search_once(
 
     // Final diagnostics: H(Z) and I(X;Y|Z) from the fitted joint.
     let mut q_z = vec![0.0; za];
-    let mut q_xz = vec![vec![0.0; xa]; za];
-    let mut q_yz = vec![vec![0.0; ya]; za];
-    let mut q_xyz = vec![vec![vec![0.0; ya]; xa]; za];
+    let mut q_xz = vec![0.0; za * xa];
+    let mut q_yz = vec![0.0; za * ya];
+    let mut q_xyz = vec![0.0; za * xy];
     for zi in 0..za {
+        let plane = &q[zi * xy..(zi + 1) * xy];
+        let out = &mut q_xyz[zi * xy..(zi + 1) * xy];
         for xi in 0..xa {
             for yi in 0..ya {
-                let m = p_xy[xi][yi] * q[zi][xi][yi];
+                let m = p_xy[xi * ya + yi] * plane[xi * ya + yi];
                 q_z[zi] += m;
-                q_xz[zi][xi] += m;
-                q_yz[zi][yi] += m;
-                q_xyz[zi][xi][yi] = m;
+                q_xz[zi * xa + xi] += m;
+                q_yz[zi * ya + yi] += m;
+                out[xi * ya + yi] = m;
             }
         }
     }
@@ -191,13 +205,13 @@ fn latent_search_once(
         }
         for xi in 0..xa {
             for yi in 0..ya {
-                let qxyz = q_xyz[zi][xi][yi];
+                let qxyz = q_xyz[zi * xy + xi * ya + yi];
                 if qxyz <= 1e-15 {
                     continue;
                 }
                 let q_xy_given_z = qxyz / qz;
-                let q_x_given_z = q_xz[zi][xi] / qz;
-                let q_y_given_z = q_yz[zi][yi] / qz;
+                let q_x_given_z = q_xz[zi * xa + xi] / qz;
+                let q_y_given_z = q_yz[zi * ya + yi] / qz;
                 cmi += qxyz * (q_xy_given_z / (q_x_given_z * q_y_given_z)).log2();
             }
         }

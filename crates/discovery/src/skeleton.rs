@@ -188,23 +188,41 @@ pub fn pc_skeleton_on(
 
     let mut depth = 0usize;
     loop {
-        // PC-stable: snapshot adjacencies at the start of each level.
-        let snapshot: Vec<Vec<NodeId>> = (0..n).map(|v| g.adjacencies(v)).collect();
+        // PC-stable: snapshot adjacencies at the start of each level (one
+        // O(edges) pass; content and order identical to per-node
+        // `adjacencies` calls).
+        let snapshot: Vec<Vec<NodeId>> = g.adjacency_lists();
         let any_candidate = (0..n).any(|v| snapshot[v].len() > depth);
         if !any_candidate || depth > max_depth {
             break;
         }
         // Canonically-ordered surviving edges; each is decided
         // independently against the snapshot.
-        let mut edges: Vec<(NodeId, NodeId)> = Vec::new();
-        for x in 0..n {
-            for y in x + 1..n {
-                if g.adjacent(x, y) {
-                    edges.push((x, y));
-                }
-            }
-        }
+        let edges: Vec<(NodeId, NodeId)> = g.edge_pairs().collect();
         let decisions = exec.par_map(&edges, |_, &(x, y)| {
+            // Depth-0 fast path: the only conditioning set is the empty
+            // set, shared by both directions, so the edge's fate is one
+            // marginal test — removed after 1 enumeration, kept after 2
+            // (the second direction re-enumerates the empty set and hits
+            // the per-edge table in the general path below). Skipping the
+            // candidate vectors, the outcome table, and the subset
+            // recursion leaves the outcome, sepset, and test count
+            // bit-identical while dropping the per-edge allocations that
+            // dominate the level-0 sweep on wide datasets.
+            if depth == 0 {
+                let out = test.test(x, y, &[]);
+                return if out.independent(alpha) {
+                    EdgeDecision {
+                        sepset: Some(Vec::new()),
+                        n_tests: 1,
+                    }
+                } else {
+                    EdgeDecision {
+                        sepset: None,
+                        n_tests: 2,
+                    }
+                };
+            }
             let mut local_tests = 0usize;
             let mut sepset: Option<Vec<NodeId>> = None;
             // Per-edge, per-level outcome table: the two directions'

@@ -217,6 +217,28 @@ impl MixedGraph {
             .collect()
     }
 
+    /// Every node's neighbor list in one O(nodes + edges) pass: entry `x`
+    /// holds exactly what [`Self::adjacencies`]`(x)` returns, in the same
+    /// order (neighbors below `x` ascending, then neighbors above `x`
+    /// ascending — the canonical-key iteration order). Per-level sweeps
+    /// that snapshot every node's adjacencies use this instead of `n`
+    /// full edge scans.
+    pub fn adjacency_lists(&self) -> Vec<Vec<NodeId>> {
+        let mut lists = vec![Vec::new(); self.names.len()];
+        for &(a, b) in self.edges.keys() {
+            lists[a].push(b);
+            lists[b].push(a);
+        }
+        lists
+    }
+
+    /// Canonical `(low, high)` endpoint pairs of every edge, ascending —
+    /// the order a nested `x < y` / [`Self::adjacent`] scan would visit
+    /// them, without the per-pair lookups.
+    pub fn edge_pairs(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.edges.keys().copied()
+    }
+
     /// All edges.
     pub fn edges(&self) -> Vec<Edge> {
         self.edges

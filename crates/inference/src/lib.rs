@@ -46,4 +46,4 @@ pub use repair::{
     generate_repairs, generate_repairs_cached, ice, rank_repairs, rank_repairs_planned,
     root_cause_candidates, root_cause_candidates_planned, QosGoal, Repair, RepairOptions,
 };
-pub use scm::{FittedScm, ResidualMode, SimulationOptions};
+pub use scm::{FittedScm, ResidualMode, SimulationOptions, SIM_LANES};

@@ -91,15 +91,18 @@ struct SweepKey {
     mode: ModeKey,
 }
 
+/// Hashable identity of a [`SweepMode`] (`f64` weights by bits) — the
+/// sweep-dedup key here and the sweep-grouping key in
+/// [`crate::FittedScm::evaluate_plan`].
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
-enum ModeKey {
+pub(crate) enum ModeKey {
     GFormula,
     Abduct(usize, u64),
     Row(usize),
 }
 
 impl SweepMode {
-    fn key(&self) -> ModeKey {
+    pub(crate) fn key(&self) -> ModeKey {
         match *self {
             SweepMode::GFormula => ModeKey::GFormula,
             SweepMode::Abduct { abduct_row, weight } => {

@@ -8,13 +8,38 @@
 //! the noise terms — in particular, residual correlations induced by
 //! latent confounders (bidirected edges) survive into the interventional
 //! distribution instead of being discarded.
+//!
+//! # The lane-width/fold-order contract
+//!
+//! The batch sweep paths ([`FittedScm::evaluate_plan`],
+//! [`FittedScm::simulate_batch`]) simulate [`SIM_LANES`] swept rows per
+//! topological pass: per node, one coefficient load drives `SIM_LANES`
+//! fused predict/residual updates. This is bit-exact — not approximately
+//! equal — to the scalar per-row sweep, because swept rows are
+//! arithmetically *independent*: no floating-point reduction crosses
+//! lanes. Any future kernel must keep that shape:
+//!
+//! * **Within a lane, the scalar fold order is law.** Each lane's
+//!   prediction folds terms in model order from 0.0 with the exact
+//!   per-term expressions of [`PolyModel::predict_row`] (`b` for the
+//!   intercept, `b·vᵢ`, `b·(vᵢ·vⱼ)`, the ordered product for higher
+//!   degrees — the unrolling [`PolyModel::predict`] already pins), then
+//!   adds the injected residual. Never reassociate, never contract to
+//!   FMA, never batch *across* rows of one reduction.
+//! * **Lanes only across independent rows.** The lane width is free to
+//!   change (it is a throughput knob, not a semantic one); which rows
+//!   share a pass is not observable because no arithmetic connects them.
+//! * **Consumers fold in row order.** Lane results are read back lane 0
+//!   first, so per-consumer reductions replay the legacy ascending-row
+//!   serial fold bit for bit at any lane width or thread count.
 
+use std::collections::HashMap;
 use std::sync::Arc;
 
 use unicorn_exec::Executor;
 use unicorn_graph::{Admg, NodeId};
 
-use crate::plan::{PlanOutput, PlanResults, QueryPlan, Reduction, SweepMode};
+use crate::plan::{ModeKey, PlanOutput, PlanResults, QueryPlan, Reduction, SweepMode};
 use unicorn_stats::dataview::DataView;
 use unicorn_stats::regression::{fit_gram, PolyModel, Term, TermGram};
 use unicorn_stats::segment::Segment;
@@ -180,6 +205,38 @@ fn residual_for(nm: &NodeModel, base_row: usize, mode: ResidualMode) -> f64 {
             }
         }
     }
+}
+
+/// Swept rows simulated per topological pass by the batch sweep paths
+/// (see the module docs: a throughput knob — lanes never share any
+/// floating-point reduction, so the width is not observable in results).
+pub const SIM_LANES: usize = 8;
+
+/// Dense `do(·)` assignment map: `map[v] = Some(x)` iff `v` is clamped.
+/// Built once per sweep (or per call) instead of scanning the assignment
+/// list per topological node; first occurrence per node wins, the same
+/// rule as the linear scan it replaces.
+fn assignment_map(n_vars: usize, interventions: &[(NodeId, f64)]) -> Vec<Option<f64>> {
+    let mut map = vec![None; n_vars];
+    for &(node, x) in interventions {
+        if map[node].is_none() {
+            map[node] = Some(x);
+        }
+    }
+    map
+}
+
+/// The per-lane residual modes of one lane of swept rows under a sweep's
+/// row/residual policy.
+fn lane_modes(rows: &[usize; SIM_LANES], mode: SweepMode) -> [ResidualMode; SIM_LANES] {
+    let mut out = [ResidualMode::None; SIM_LANES];
+    for (m, &r) in out.iter_mut().zip(rows) {
+        *m = match mode {
+            SweepMode::GFormula | SweepMode::Row(_) => ResidualMode::FromRow(r),
+            SweepMode::Abduct { abduct_row, weight } => ResidualMode::Blend { abduct_row, weight },
+        };
+    }
+    out
 }
 
 /// Computes one node's Gram for one segment (the segment's own columns
@@ -429,9 +486,25 @@ impl FittedScm {
         interventions: &[(NodeId, f64)],
         mode: ResidualMode,
     ) -> Vec<f64> {
+        self.simulate_assigned(
+            base_row,
+            &assignment_map(self.n_vars(), interventions),
+            mode,
+        )
+    }
+
+    /// [`Self::simulate`] over a precomputed dense assignment map —
+    /// O(1) clamp lookups per topological node instead of a scan of the
+    /// intervention list.
+    fn simulate_assigned(
+        &self,
+        base_row: usize,
+        assign: &[Option<f64>],
+        mode: ResidualMode,
+    ) -> Vec<f64> {
         let mut values = vec![0.0; self.n_vars()];
         for &v in self.topo.iter() {
-            if let Some(&(_, x)) = interventions.iter().find(|&&(node, _)| node == v) {
+            if let Some(x) = assign[v] {
                 values[v] = x;
                 continue;
             }
@@ -454,14 +527,14 @@ impl FittedScm {
     fn resimulate_affected(
         &self,
         baseline: &[f64],
-        interventions: &[(NodeId, f64)],
+        assign: &[Option<f64>],
         affected: &[NodeId],
         base_row: usize,
         mode: ResidualMode,
     ) -> Vec<f64> {
         let mut values = baseline.to_vec();
         for &v in affected {
-            if let Some(&(_, x)) = interventions.iter().find(|&&(node, _)| node == v) {
+            if let Some(x) = assign[v] {
                 values[v] = x;
                 continue;
             }
@@ -471,6 +544,97 @@ impl FittedScm {
                 None => residual,
                 Some(m) => m.predict_row(&|i: usize| values[i]) + residual,
             };
+        }
+        values
+    }
+
+    /// One node's lane update: `SIM_LANES` fused predict/residual
+    /// evaluations off a single load of the node's coefficients. Each
+    /// lane's arithmetic is exactly [`Self::simulate_assigned`]'s scalar
+    /// body for that lane's row — the per-term expressions and the term
+    /// fold order match [`PolyModel::predict_row`] — so every lane is
+    /// bit-identical to the scalar sweep it replaces (see the module
+    /// docs).
+    fn node_lane_update(
+        &self,
+        v: NodeId,
+        values: &mut [[f64; SIM_LANES]],
+        assign: &[Option<f64>],
+        rows: &[usize; SIM_LANES],
+        modes: &[ResidualMode; SIM_LANES],
+    ) {
+        if let Some(x) = assign[v] {
+            values[v] = [x; SIM_LANES];
+            return;
+        }
+        let nm = &self.nodes[v];
+        let mut res = [0.0f64; SIM_LANES];
+        for ((r, &row), &mode) in res.iter_mut().zip(rows).zip(modes) {
+            *r = residual_for(nm, row, mode);
+        }
+        let Some(m) = &nm.model else {
+            values[v] = res;
+            return;
+        };
+        let mut pred = [0.0f64; SIM_LANES];
+        for (term, &b) in m.terms.iter().zip(&m.coefficients) {
+            match term.0.as_slice() {
+                [] => pred.iter_mut().for_each(|p| *p += b),
+                [i] => {
+                    let vi = values[*i];
+                    for (p, &a) in pred.iter_mut().zip(&vi) {
+                        *p += b * a;
+                    }
+                }
+                [i, j] => {
+                    let (vi, vj) = (values[*i], values[*j]);
+                    for ((p, &a), &c) in pred.iter_mut().zip(&vi).zip(&vj) {
+                        *p += b * (a * c);
+                    }
+                }
+                idx => {
+                    for (l, p) in pred.iter_mut().enumerate() {
+                        *p += b * idx.iter().map(|&i| values[i][l]).product::<f64>();
+                    }
+                }
+            }
+        }
+        for ((out, &p), &r) in values[v].iter_mut().zip(&pred).zip(&res) {
+            *out = p + r;
+        }
+    }
+
+    /// Simulates `SIM_LANES` exogenous rows in one topological pass under
+    /// one shared assignment map (node-major lane layout:
+    /// `result[node][lane]`). Lane `l` is bit-identical to
+    /// `simulate_assigned(rows[l], assign, modes[l])`.
+    fn simulate_lanes(
+        &self,
+        rows: &[usize; SIM_LANES],
+        assign: &[Option<f64>],
+        modes: &[ResidualMode; SIM_LANES],
+    ) -> Vec<[f64; SIM_LANES]> {
+        let mut values = vec![[0.0; SIM_LANES]; self.n_vars()];
+        for &v in self.topo.iter() {
+            self.node_lane_update(v, &mut values, assign, rows, modes);
+        }
+        values
+    }
+
+    /// Lane variant of [`Self::resimulate_affected`]: all `SIM_LANES`
+    /// lanes share one affected-set computation and re-simulate only the
+    /// affected nodes on top of the lane baseline.
+    fn resimulate_affected_lanes(
+        &self,
+        baseline: &[[f64; SIM_LANES]],
+        assign: &[Option<f64>],
+        affected: &[NodeId],
+        rows: &[usize; SIM_LANES],
+        modes: &[ResidualMode; SIM_LANES],
+    ) -> Vec<[f64; SIM_LANES]> {
+        let mut values = baseline.to_vec();
+        for &v in affected {
+            self.node_lane_update(v, &mut values, assign, rows, modes);
         }
         values
     }
@@ -496,9 +660,12 @@ impl FittedScm {
         const ROW_SWEEP_CHUNK: usize = 8;
 
         // Per-sweep execution state: the affected node set (intervened ∪
-        // descendants, topological order) and the attached consumers.
+        // descendants, topological order), the dense assignment map the
+        // simulators index per node (instead of scanning the assignment
+        // list), and the attached consumers.
         struct SweepExec {
             affected: Vec<NodeId>,
+            assign: Vec<Option<f64>>,
             consumers: Vec<usize>,
         }
         let n_vars = self.n_vars();
@@ -515,6 +682,7 @@ impl FittedScm {
                 }
                 SweepExec {
                     affected: self.topo.iter().copied().filter(|&v| hit[v]).collect(),
+                    assign: assignment_map(n_vars, &sw.intervention.assignments),
                     consumers: Vec::new(),
                 }
             })
@@ -525,27 +693,41 @@ impl FittedScm {
 
         // Group sweeps sharing (row list, per-row residual mode): all
         // g-formula sweeps form one group; abduction sweeps group by
-        // (fault row, weight); single-row sweeps group by row.
+        // (fault row, weight); single-row sweeps group by row. Keyed by
+        // the mode's hash identity; first-seen order, exactly as the
+        // linear scan it replaces produced.
         let mut groups: Vec<(SweepMode, Vec<usize>)> = Vec::new();
+        let mut group_index: HashMap<ModeKey, usize> = HashMap::new();
         for (si, sw) in plan.sweeps.iter().enumerate() {
-            match groups.iter_mut().find(|(m, _)| *m == sw.mode) {
-                Some((_, list)) => list.push(si),
-                None => groups.push((sw.mode, vec![si])),
+            match group_index.entry(sw.mode.key()) {
+                std::collections::hash_map::Entry::Occupied(e) => groups[*e.get()].1.push(si),
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(groups.len());
+                    groups.push((sw.mode, vec![si]));
+                }
             }
         }
 
-        /// One work item: the sweeps `sweeps[lo..hi]` evaluated at `row`
-        /// under `mode`, sharing one baseline simulation.
+        /// The work a task simulates.
+        enum TaskKind {
+            /// Up to [`SIM_LANES`] consecutive strided rows of a
+            /// whole-table (g-formula / abduction) group, all of the
+            /// group's sweeps, one lane baseline per task. `rows` is
+            /// padded by repeating the final row; lanes `>= n` are
+            /// simulated and discarded.
+            Lanes { rows: [usize; SIM_LANES], n: usize },
+            /// One chunk `sweeps[lo..hi]` of a single-row group, sharing
+            /// the group's baseline slot: single-row groups split into
+            /// several chunk tasks, which compute their common
+            /// `(row, mode)` baseline once and share it.
+            Chunk { lo: usize, hi: usize, slot: usize },
+        }
+        /// One work item of the sweep fan-out.
         struct Task {
             row: usize,
-            mode: ResidualMode,
+            mode: SweepMode,
             sweeps: Arc<Vec<usize>>,
-            lo: usize,
-            hi: usize,
-            /// Index of this task's shared baseline slot: single-row
-            /// groups split into several chunk tasks, which compute their
-            /// common `(row, mode)` baseline once and share it.
-            shared_baseline: Option<usize>,
+            kind: TaskKind,
         }
         let strided = self.sweep_rows(&plan.opts);
         let mut tasks: Vec<Task> = Vec::new();
@@ -553,27 +735,18 @@ impl FittedScm {
         for (mode, sweeps) in groups {
             let sweeps = Arc::new(sweeps);
             match mode {
-                SweepMode::GFormula => {
-                    for &row in &strided {
+                SweepMode::GFormula | SweepMode::Abduct { .. } => {
+                    for chunk in strided.chunks(SIM_LANES) {
+                        let mut rows = [chunk[chunk.len() - 1]; SIM_LANES];
+                        rows[..chunk.len()].copy_from_slice(chunk);
                         tasks.push(Task {
-                            row,
-                            mode: ResidualMode::FromRow(row),
+                            row: rows[0],
+                            mode,
                             sweeps: Arc::clone(&sweeps),
-                            lo: 0,
-                            hi: sweeps.len(),
-                            shared_baseline: None,
-                        });
-                    }
-                }
-                SweepMode::Abduct { abduct_row, weight } => {
-                    for &row in &strided {
-                        tasks.push(Task {
-                            row,
-                            mode: ResidualMode::Blend { abduct_row, weight },
-                            sweeps: Arc::clone(&sweeps),
-                            lo: 0,
-                            hi: sweeps.len(),
-                            shared_baseline: None,
+                            kind: TaskKind::Lanes {
+                                rows,
+                                n: chunk.len(),
+                            },
                         });
                     }
                 }
@@ -585,11 +758,9 @@ impl FittedScm {
                         let hi = (lo + ROW_SWEEP_CHUNK).min(sweeps.len());
                         tasks.push(Task {
                             row,
-                            mode: ResidualMode::FromRow(row),
+                            mode,
                             sweeps: Arc::clone(&sweeps),
-                            lo,
-                            hi,
-                            shared_baseline: Some(slot),
+                            kind: TaskKind::Chunk { lo, hi, slot },
                         });
                         lo = hi;
                     }
@@ -610,42 +781,89 @@ impl FittedScm {
         let row_baselines: Vec<std::sync::OnceLock<Vec<f64>>> = (0..n_row_groups)
             .map(|_| std::sync::OnceLock::new())
             .collect();
+        let no_assign: Vec<Option<f64>> = vec![None; n_vars];
         let task_results = self.exec.par_map(&tasks, |_, t| {
-            let own_baseline;
-            let baseline: &[f64] = match t.shared_baseline {
-                Some(slot) => row_baselines[slot].get_or_init(|| self.simulate(t.row, &[], t.mode)),
-                None => {
-                    own_baseline = self.simulate(t.row, &[], t.mode);
-                    &own_baseline
-                }
-            };
             let mut out: Vec<(usize, Contribution)> = Vec::new();
-            for &si in &t.sweeps[t.lo..t.hi] {
-                let assignments = &plan.sweeps[si].intervention.assignments;
-                let ex = &execs[si];
-                let storage;
-                let values: &[f64] = if assignments.is_empty() {
-                    baseline
-                } else {
-                    storage = self.resimulate_affected(
-                        baseline,
-                        assignments,
-                        &ex.affected,
-                        t.row,
-                        t.mode,
-                    );
-                    &storage
-                };
-                for &ci in &ex.consumers {
-                    let contrib = match &plan.consumers[ci] {
-                        Reduction::Mean { target, .. } => Contribution::Value(values[*target]),
-                        Reduction::Probability { target, pred, .. } => {
-                            Contribution::Flag(pred(values[*target]))
+            match t.kind {
+                TaskKind::Lanes { rows, n } => {
+                    let modes = lane_modes(&rows, t.mode);
+                    let baseline = self.simulate_lanes(&rows, &no_assign, &modes);
+                    for &si in t.sweeps.iter() {
+                        let ex = &execs[si];
+                        let storage;
+                        let values: &[[f64; SIM_LANES]] =
+                            if plan.sweeps[si].intervention.assignments.is_empty() {
+                                &baseline
+                            } else {
+                                storage = self.resimulate_affected_lanes(
+                                    &baseline,
+                                    &ex.assign,
+                                    &ex.affected,
+                                    &rows,
+                                    &modes,
+                                );
+                                &storage
+                            };
+                        // Lanes are read back in ascending-row order, so
+                        // each consumer's fold replays the legacy serial
+                        // row order.
+                        for l in 0..n {
+                            for &ci in &ex.consumers {
+                                let contrib = match &plan.consumers[ci] {
+                                    Reduction::Mean { target, .. } => {
+                                        Contribution::Value(values[*target][l])
+                                    }
+                                    Reduction::Probability { target, pred, .. } => {
+                                        Contribution::Flag(pred(values[*target][l]))
+                                    }
+                                    Reduction::Ice { goal, .. } => Contribution::Flag(
+                                        goal.thresholds.iter().all(|&(o, th)| values[o][l] <= th),
+                                    ),
+                                    Reduction::Values { .. } => Contribution::Full(
+                                        values.iter().map(|lane| lane[l]).collect(),
+                                    ),
+                                };
+                                out.push((ci, contrib));
+                            }
                         }
-                        Reduction::Ice { goal, .. } => Contribution::Flag(goal.satisfied(values)),
-                        Reduction::Values { .. } => Contribution::Full(values.to_vec()),
-                    };
-                    out.push((ci, contrib));
+                    }
+                }
+                TaskKind::Chunk { lo, hi, slot } => {
+                    let mode = ResidualMode::FromRow(t.row);
+                    let baseline: &[f64] = row_baselines[slot]
+                        .get_or_init(|| self.simulate_assigned(t.row, &no_assign, mode));
+                    for &si in &t.sweeps[lo..hi] {
+                        let ex = &execs[si];
+                        let storage;
+                        let values: &[f64] = if plan.sweeps[si].intervention.assignments.is_empty()
+                        {
+                            baseline
+                        } else {
+                            storage = self.resimulate_affected(
+                                baseline,
+                                &ex.assign,
+                                &ex.affected,
+                                t.row,
+                                mode,
+                            );
+                            &storage
+                        };
+                        for &ci in &ex.consumers {
+                            let contrib = match &plan.consumers[ci] {
+                                Reduction::Mean { target, .. } => {
+                                    Contribution::Value(values[*target])
+                                }
+                                Reduction::Probability { target, pred, .. } => {
+                                    Contribution::Flag(pred(values[*target]))
+                                }
+                                Reduction::Ice { goal, .. } => {
+                                    Contribution::Flag(goal.satisfied(values))
+                                }
+                                Reduction::Values { .. } => Contribution::Full(values.to_vec()),
+                            };
+                            out.push((ci, contrib));
+                        }
+                    }
                 }
             }
             out
@@ -734,11 +952,12 @@ impl FittedScm {
     }
 
     /// Simulates every listed training row's exogenous draw under
-    /// `interventions`, fanned over the worker pool, results **in row
-    /// order**. `mode_of` picks the residual mode per swept row (e.g.
-    /// `|r| ResidualMode::FromRow(r)` for the g-formula sweep). Each row's
-    /// simulation is a pure function of the fit, so the batch is
-    /// bit-identical to a serial loop for every worker count.
+    /// `interventions`, fanned over the worker pool in [`SIM_LANES`]-row
+    /// lanes, results **in row order**. `mode_of` picks the residual mode
+    /// per swept row (e.g. `|r| ResidualMode::FromRow(r)` for the
+    /// g-formula sweep). Each row's simulation is a pure function of the
+    /// fit and lanes share no arithmetic, so the batch is bit-identical
+    /// to a serial per-row loop for every worker count and lane width.
     pub fn simulate_batch<M>(
         &self,
         rows: &[usize],
@@ -748,8 +967,21 @@ impl FittedScm {
     where
         M: Fn(usize) -> ResidualMode + Sync,
     {
-        self.exec
-            .par_map(rows, |_, &r| self.simulate(r, interventions, mode_of(r)))
+        let assign = assignment_map(self.n_vars(), interventions);
+        let chunks: Vec<&[usize]> = rows.chunks(SIM_LANES).collect();
+        let per_chunk = self.exec.par_map(&chunks, |_, chunk| {
+            let mut lane_rows = [*chunk.last().expect("chunks are non-empty"); SIM_LANES];
+            lane_rows[..chunk.len()].copy_from_slice(chunk);
+            let mut modes = [ResidualMode::None; SIM_LANES];
+            for (m, &r) in modes.iter_mut().zip(&lane_rows) {
+                *m = mode_of(r);
+            }
+            let lanes = self.simulate_lanes(&lane_rows, &assign, &modes);
+            (0..chunk.len())
+                .map(|l| lanes.iter().map(|lane| lane[l]).collect::<Vec<f64>>())
+                .collect::<Vec<_>>()
+        });
+        per_chunk.into_iter().flatten().collect()
     }
 
     /// Interventional expectation `E[target | do(interventions)]`,
@@ -840,9 +1072,10 @@ impl FittedScm {
     /// paper's `semopy` role). Roots are clamped to the supplied values and
     /// expectations propagate with zero residuals.
     pub fn predict_from_assignment(&self, assignment: &[(NodeId, f64)], target: NodeId) -> f64 {
+        let assign = assignment_map(self.n_vars(), assignment);
         let mut values = vec![0.0; self.n_vars()];
         for &v in self.topo.iter() {
-            if let Some(&(_, x)) = assignment.iter().find(|&&(node, _)| node == v) {
+            if let Some(x) = assign[v] {
                 values[v] = x;
                 continue;
             }

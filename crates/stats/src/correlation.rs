@@ -11,6 +11,7 @@ use crate::descriptive::{
 };
 use crate::matrix::Matrix;
 use crate::ranking::ranks_with_ties;
+use crate::segment::{chunk_cross_comoments, n_pairs, pair_index};
 use crate::StatsError;
 
 /// Pearson correlation from merged moment summaries — the single final
@@ -59,12 +60,57 @@ pub fn spearman(x: &[f64], y: &[f64]) -> f64 {
 }
 
 /// Correlation matrix of a dataset given as columns.
+///
+/// Walks the data chunk-by-chunk rather than pair-by-pair: each chunk's
+/// per-column moments are computed **once** (the pairwise loop used to
+/// recompute them p times per column), its packed cross-comoment triangle
+/// is filled by the lane-blocked kernel
+/// ([`crate::segment::chunk_cross_comoments`]), and both merge into the
+/// running accumulators with the same chunk-order Chan updates
+/// [`pearson`] performs per pair. Every pair's fold is therefore
+/// bit-identical to `pearson(&columns[i], &columns[j])`, and to the
+/// segmented `DataView`'s cached matrix, which merges the identical
+/// per-segment summaries.
 pub fn correlation_matrix(columns: &[Vec<f64>]) -> Matrix {
     let p = columns.len();
+    let n = columns.first().map_or(0, Vec::len);
+    let mut acc_cols = vec![ColMoments::EMPTY; p];
+    let mut acc_cross = vec![0.0; n_pairs(p)];
+    let mut chunk_cols = vec![ColMoments::EMPTY; p];
+    let mut chunk_cross = vec![0.0; n_pairs(p)];
+    let mut means = vec![0.0; p];
+    let mut start = 0;
+    while start < n {
+        let end = (start + MOMENT_CHUNK).min(n);
+        let slices: Vec<&[f64]> = columns.iter().map(|c| &c[start..end]).collect();
+        for ((m, mu), s) in chunk_cols.iter_mut().zip(&mut means).zip(&slices) {
+            *m = ColMoments::of_chunk(s);
+            *mu = m.mean;
+        }
+        chunk_cross_comoments(&slices, &means, &mut chunk_cross);
+        // Cross moments merge against the pre-merge column moments.
+        for i in 0..p {
+            for j in (i + 1)..p {
+                let k = pair_index(i, j, p);
+                acc_cross[k] = merge_comoment(
+                    acc_cross[k],
+                    acc_cols[i],
+                    acc_cols[j],
+                    chunk_cross[k],
+                    chunk_cols[i],
+                    chunk_cols[j],
+                );
+            }
+        }
+        for (a, &b) in acc_cols.iter_mut().zip(&chunk_cols) {
+            *a = merge_col_moments(*a, b);
+        }
+        start = end;
+    }
     let mut m = Matrix::identity(p);
     for i in 0..p {
         for j in i + 1..p {
-            let r = pearson(&columns[i], &columns[j]);
+            let r = pearson_from_moments(acc_cols[i], acc_cols[j], acc_cross[pair_index(i, j, p)]);
             m[(i, j)] = r;
             m[(j, i)] = r;
         }
@@ -126,12 +172,12 @@ pub fn partial_correlation(
     let mut idx = vec![x, y];
     idx.extend_from_slice(z);
     let sub = corr.principal_submatrix(&idx);
-    let prec = sub.inverse_ridge()?;
-    let denom = (prec[(0, 0)] * prec[(1, 1)]).sqrt();
+    let (p00, p11, p01) = sub.precision_corner_ridge()?;
+    let denom = (p00 * p11).sqrt();
     if denom < 1e-300 {
         return Ok(0.0);
     }
-    Ok((-prec[(0, 1)] / denom).clamp(-1.0, 1.0))
+    Ok((-p01 / denom).clamp(-1.0, 1.0))
 }
 
 #[cfg(test)]

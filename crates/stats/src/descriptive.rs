@@ -13,6 +13,24 @@
 //! the contiguous column. For inputs of at most one chunk the result is
 //! bit-identical to the classic two-pass formulas these functions used
 //! previously.
+//!
+//! # The blocked-kernel contract
+//!
+//! The hot-path kernels here are *blocked*: [`chunk_comoment_lanes`]
+//! advances up to [`COMOMENT_LANES`] independent pair accumulators per row
+//! so the compiler can keep several FMA chains in flight (and vectorize
+//! them). Blocking is only ever applied **across independent reductions**
+//! — never within one. Any future kernel must keep two invariants or the
+//! house bit-exactness guarantee (cached == cold, incremental == direct,
+//! the golden quickstart transcript) breaks:
+//!
+//! 1. **f64 only, no reassociation.** Each single statistic's fold
+//!    (`Σ` over a chunk's rows, the chunk-order Chan merge) performs the
+//!    exact operation sequence of the scalar definition. Lanes may only
+//!    add *independent* accumulators side by side.
+//! 2. **Fixed fold order.** Rows fold in row order within a chunk; chunks
+//!    fold in chunk order. Lane width is free to change (it does not
+//!    affect any bit), but fold order is not.
 
 /// Rows per moment chunk. This is also the segment size of the chunked
 /// `DataView` columns — the two must agree for cached statistics to be
@@ -105,6 +123,56 @@ pub fn merge_comoment(
 /// Comoment of one chunk given the chunk's own column means.
 pub fn chunk_comoment(xs: &[f64], ys: &[f64], mx: f64, my: f64) -> f64 {
     xs.iter().zip(ys).map(|(x, y)| (x - mx) * (y - my)).sum()
+}
+
+/// Lane width of the blocked cross-moment kernel: how many independent
+/// pair accumulators [`chunk_comoment_lanes`] advances per row. Eight f64
+/// lanes fill one AVX-512 register (two AVX2 registers) and leave the
+/// scalar fallback loop short. Changing the width never changes any bit —
+/// lanes are independent reductions — only the blocking shape.
+pub const COMOMENT_LANES: usize = 8;
+
+/// Blocked comoment kernel: the comoments of one anchor column `xs`
+/// against every partner column in `ys`, walking the chunk's rows once
+/// with [`COMOMENT_LANES`] accumulators in flight.
+///
+/// Each lane performs exactly the operation sequence of
+/// [`chunk_comoment`]`(xs, ys[k], mx, my[k])` — row-order adds from 0.0 —
+/// so every output is bit-identical to the scalar kernel; the blocking
+/// only interleaves *independent* accumulators so they autovectorize.
+pub fn chunk_comoment_lanes(xs: &[f64], mx: f64, ys: &[&[f64]], my: &[f64], out: &mut [f64]) {
+    debug_assert_eq!(ys.len(), my.len());
+    debug_assert_eq!(ys.len(), out.len());
+    /// One fixed-width block: `L` independent row-order accumulators.
+    fn block<const L: usize>(xs: &[f64], mx: f64, ys: &[&[f64]], my: &[f64], out: &mut [f64]) {
+        let n = xs.len();
+        let mut acc = [0.0f64; L];
+        for y in &ys[..L] {
+            debug_assert_eq!(y.len(), n);
+        }
+        for (r, &x) in xs.iter().enumerate() {
+            let d = x - mx;
+            for k in 0..L {
+                acc[k] += d * (ys[k][r] - my[k]);
+            }
+        }
+        out[..L].copy_from_slice(&acc);
+    }
+    let mut at = 0;
+    while ys.len() - at >= COMOMENT_LANES {
+        block::<COMOMENT_LANES>(xs, mx, &ys[at..], &my[at..], &mut out[at..]);
+        at += COMOMENT_LANES;
+    }
+    match ys.len() - at {
+        0 => {}
+        1 => block::<1>(xs, mx, &ys[at..], &my[at..], &mut out[at..]),
+        2 => block::<2>(xs, mx, &ys[at..], &my[at..], &mut out[at..]),
+        3 => block::<3>(xs, mx, &ys[at..], &my[at..], &mut out[at..]),
+        4 => block::<4>(xs, mx, &ys[at..], &my[at..], &mut out[at..]),
+        5 => block::<5>(xs, mx, &ys[at..], &my[at..], &mut out[at..]),
+        6 => block::<6>(xs, mx, &ys[at..], &my[at..], &mut out[at..]),
+        _ => block::<7>(xs, mx, &ys[at..], &my[at..], &mut out[at..]),
+    }
 }
 
 /// Canonical moments of a full column: fold [`MOMENT_CHUNK`]-sized chunk

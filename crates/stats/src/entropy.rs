@@ -3,8 +3,55 @@
 //!
 //! All entropies are in **bits** (log base 2), matching the entropic causal
 //! inference literature the paper builds on (Kocaoglu et al., AAAI'17).
+//!
+//! # Dense contingency kernels
+//!
+//! [`mutual_information`] and [`conditional_mutual_information`] — the
+//! G-test hot path of Stage II discovery — accumulate their contingency
+//! tables as flat structure-of-arrays count vectors indexed by the
+//! precomputed integer codes (`counts[x·|Y| + y] += 1`), not as per-row
+//! tree/hash probes. A dense table iterated in **ascending code order**
+//! visits exactly the key sequence a `BTreeMap` fold visits (absent keys
+//! are zero-count cells, skipped on both paths), so every entropy term and
+//! every stratum fold is performed in the identical order with identical
+//! operands — the dense kernels are bit-identical to the sparse reference
+//! folds ([`mutual_information_sparse`],
+//! [`conditional_mutual_information_sparse`]), which remain the fallback
+//! for degenerate code spaces (huge sparse code values) and the pin for
+//! the equivalence proptests.
 
 use std::collections::{BTreeMap, HashMap};
+
+/// Exclusive upper bound of a code column (`max + 1`); 0 when empty.
+fn code_bound(xs: &[usize]) -> usize {
+    xs.iter().max().map_or(0, |&m| m + 1)
+}
+
+/// Whether a dense table of `cells` count cells is worth allocating for
+/// `n` rows: bounded both absolutely (memory) and relative to the row
+/// count (a table much larger than the sample would spend longer zeroing
+/// and scanning cells than the sparse fold spends probing).
+fn dense_feasible(cells: Option<usize>, n: usize) -> bool {
+    const DENSE_CELL_BUDGET: usize = 1 << 22;
+    match cells {
+        Some(c) => c <= DENSE_CELL_BUDGET && c <= 16 * n.max(256),
+        None => false,
+    }
+}
+
+/// Entropy of a dense count vector in ascending code order: the exact
+/// term sequence of [`entropy`]'s BTreeMap fold (zero cells are skipped,
+/// as absent keys are).
+fn entropy_from_counts(counts: &[u32], n: f64) -> f64 {
+    counts
+        .iter()
+        .filter(|&&c| c > 0)
+        .map(|&c| {
+            let p = c as f64 / n;
+            -p * p.log2()
+        })
+        .sum()
+}
 
 /// Shannon entropy of a probability vector (entries may include zeros;
 /// they contribute nothing).
@@ -61,13 +108,114 @@ pub fn conditional_entropy(xs: &[usize], ys: &[usize]) -> f64 {
 
 /// Mutual information I(X; Y) = H(X) + H(Y) − H(X, Y); clamped at 0 to
 /// absorb floating-point negatives.
+///
+/// Uses the dense contingency kernel (see the module docs) when the code
+/// space is small enough, the sparse fold otherwise — both produce
+/// identical bits.
 pub fn mutual_information(xs: &[usize], ys: &[usize]) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "length mismatch");
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let (nx, ny) = (code_bound(xs), code_bound(ys));
+    if !dense_feasible(nx.checked_mul(ny), xs.len()) {
+        return mutual_information_sparse(xs, ys);
+    }
+    let mut joint = vec![0u32; nx * ny];
+    for (&x, &y) in xs.iter().zip(ys) {
+        joint[x * ny + y] += 1;
+    }
+    // Marginals from integer row/column sums (counts are exact, so the
+    // summation order is immaterial here — only the float folds below
+    // must stay ordered).
+    let mut cx = vec![0u32; nx];
+    let mut cy = vec![0u32; ny];
+    for x in 0..nx {
+        let row = &joint[x * ny..(x + 1) * ny];
+        for (cyk, &c) in cy.iter_mut().zip(row) {
+            cx[x] += c;
+            *cyk += c;
+        }
+    }
+    let n = xs.len() as f64;
+    let hx = entropy_from_counts(&cx, n);
+    let hy = entropy_from_counts(&cy, n);
+    // Ascending joint index = lexicographic (x, y) = the BTreeMap tuple
+    // key order of `joint_entropy`.
+    let hxy = entropy_from_counts(&joint, n);
+    (hx + hy - hxy).max(0.0)
+}
+
+/// The sparse (BTreeMap-fold) reference of [`mutual_information`]: the
+/// original definition, kept as the fallback for degenerate code spaces
+/// and as the pin the dense kernel's equivalence proptests compare
+/// against.
+pub fn mutual_information_sparse(xs: &[usize], ys: &[usize]) -> f64 {
     (entropy(xs) + entropy(ys) - joint_entropy(xs, ys)).max(0.0)
 }
 
 /// Conditional mutual information I(X; Y | Z) for an integer-coded
 /// conditioning column: `Σ_z p(z) · I(X; Y | Z = z)`.
+///
+/// Uses one dense `|Z| × |X| × |Y|` count array filled in a single pass
+/// over the precomputed code lanes when the code space is small enough
+/// (see the module docs), the per-stratum sparse fold otherwise — both
+/// produce identical bits: strata are visited in ascending z order, and
+/// each stratum's marginal/joint entropy terms fold in ascending code
+/// order, exactly as the BTreeMap path does.
 pub fn conditional_mutual_information(xs: &[usize], ys: &[usize], zs: &[usize]) -> f64 {
+    assert!(
+        xs.len() == ys.len() && ys.len() == zs.len(),
+        "length mismatch"
+    );
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let (nx, ny, nz) = (code_bound(xs), code_bound(ys), code_bound(zs));
+    let cells = nx.checked_mul(ny).and_then(|c| c.checked_mul(nz));
+    if !dense_feasible(cells, xs.len()) {
+        return conditional_mutual_information_sparse(xs, ys, zs);
+    }
+    let stride = nx * ny;
+    let mut counts = vec![0u32; nz * stride];
+    for i in 0..xs.len() {
+        counts[zs[i] * stride + xs[i] * ny + ys[i]] += 1;
+    }
+    let n = xs.len() as f64;
+    let mut cx = vec![0u32; nx];
+    let mut cy = vec![0u32; ny];
+    let mut total = 0.0;
+    for z in 0..nz {
+        let stratum = &counts[z * stride..(z + 1) * stride];
+        cx.fill(0);
+        cy.fill(0);
+        let mut rows: u64 = 0;
+        for x in 0..nx {
+            let row = &stratum[x * ny..(x + 1) * ny];
+            for (cyk, &c) in cy.iter_mut().zip(row) {
+                cx[x] += c;
+                *cyk += c;
+                rows += c as u64;
+            }
+        }
+        if rows == 0 {
+            // An empty stratum has no key in the sparse fold either.
+            continue;
+        }
+        let nzf = rows as f64;
+        let hx = entropy_from_counts(&cx, nzf);
+        let hy = entropy_from_counts(&cy, nzf);
+        let hxy = entropy_from_counts(stratum, nzf);
+        total += (nzf / n) * (hx + hy - hxy).max(0.0);
+    }
+    total
+}
+
+/// The sparse (stratified BTreeMap) reference of
+/// [`conditional_mutual_information`]: the original definition, kept as
+/// the fallback for degenerate code spaces and as the equivalence-proptest
+/// pin.
+pub fn conditional_mutual_information_sparse(xs: &[usize], ys: &[usize], zs: &[usize]) -> f64 {
     assert!(
         xs.len() == ys.len() && ys.len() == zs.len(),
         "length mismatch"
@@ -84,7 +232,7 @@ pub fn conditional_mutual_information(xs: &[usize], ys: &[usize], zs: &[usize]) 
     let n = xs.len() as f64;
     strata
         .values()
-        .map(|(sx, sy)| (sx.len() as f64 / n) * mutual_information(sx, sy))
+        .map(|(sx, sy)| (sx.len() as f64 / n) * mutual_information_sparse(sx, sy))
         .sum()
 }
 

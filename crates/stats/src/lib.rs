@@ -33,7 +33,10 @@ pub use correlation::{correlation_matrix, partial_correlation, pearson, spearman
 pub use dataview::{ColumnCodes, ColumnStats, DataView, JointCodes};
 pub use descriptive::{mape, mean, median, quantile, r_squared, standardize, std_dev, variance};
 pub use discretize::{discretize_columns, Discretizer};
-pub use entropy::{conditional_mutual_information, entropy, mutual_information};
+pub use entropy::{
+    conditional_mutual_information, conditional_mutual_information_sparse, entropy,
+    mutual_information, mutual_information_sparse,
+};
 pub use independence::{CiOutcome, CiTest, FisherZ, GTest, MixedTest};
 pub use matrix::{ols, Matrix};
 pub use parallel::{default_threads, par_map};

@@ -14,7 +14,7 @@
 
 use std::sync::{Arc, OnceLock};
 
-use crate::descriptive::{chunk_comoment, ColMoments, MOMENT_CHUNK};
+use crate::descriptive::{chunk_comoment_lanes, ColMoments, MOMENT_CHUNK};
 
 /// Index of the pair `(i, j)` with `i < j` in a packed upper triangle over
 /// `p` columns (row-major: all pairs of row 0 first).
@@ -23,9 +23,36 @@ pub fn pair_index(i: usize, j: usize, p: usize) -> usize {
     i * p - i * (i + 1) / 2 + (j - i - 1)
 }
 
-/// Number of packed pairs over `p` columns.
+/// Number of packed pairs over `p` columns (0 for `p` of 0 or 1).
 pub fn n_pairs(p: usize) -> usize {
-    p * (p - 1) / 2
+    p * p.saturating_sub(1) / 2
+}
+
+/// Fills the packed upper-triangle cross comoments of one chunk: for every
+/// pair `(i, j)`, `cross[pair_index(i, j, p)] = Σ (xᵢ − mᵢ)(xⱼ − mⱼ)` over
+/// the chunk's rows. Walks the triangle anchor-by-anchor — pairs `(i, ·)`
+/// are contiguous in the packed layout — handing each anchor's partner
+/// block to the lane-blocked kernel, so every pair's accumulation stays
+/// bit-identical to [`crate::descriptive::chunk_comoment`] while up to
+/// [`crate::descriptive::COMOMENT_LANES`] pairs advance per row. Shared by
+/// [`Segment::stats`] (the cached path) and
+/// [`crate::correlation::correlation_matrix`] (the direct path), so the
+/// two stay bit-identical by construction.
+pub fn chunk_cross_comoments(cols: &[&[f64]], means: &[f64], cross: &mut [f64]) {
+    let p = cols.len();
+    debug_assert_eq!(means.len(), p);
+    debug_assert_eq!(cross.len(), n_pairs(p));
+    for i in 0..p.saturating_sub(1) {
+        let lo = pair_index(i, i + 1, p);
+        let hi = lo + (p - 1 - i);
+        chunk_comoment_lanes(
+            cols[i],
+            means[i],
+            &cols[i + 1..],
+            &means[i + 1..],
+            &mut cross[lo..hi],
+        );
+    }
 }
 
 /// Per-segment sufficient statistics: one [`ColMoments`] per column and the
@@ -107,13 +134,10 @@ impl Segment {
         self.stats.get_or_init(|| {
             let p = self.cols.len();
             let cols: Vec<ColMoments> = self.cols.iter().map(|c| ColMoments::of_chunk(c)).collect();
+            let slices: Vec<&[f64]> = self.cols.iter().map(Vec::as_slice).collect();
+            let means: Vec<f64> = cols.iter().map(|m| m.mean).collect();
             let mut cross = vec![0.0; n_pairs(p)];
-            for i in 0..p {
-                for j in (i + 1)..p {
-                    cross[pair_index(i, j, p)] =
-                        chunk_comoment(&self.cols[i], &self.cols[j], cols[i].mean, cols[j].mean);
-                }
-            }
+            chunk_cross_comoments(&slices, &means, &mut cross);
             SegmentStats { cols, cross }
         })
     }

@@ -1,0 +1,219 @@
+//! Blocked-kernel equivalence proptests: the lane-blocked moment and
+//! comoment kernels, the dense contingency (G-test) kernels, and the
+//! 8-row SCM lane sweep must reproduce their scalar reference paths **bit
+//! for bit** — at every awkward length (empty input, shorter than one
+//! lane, length not a lane multiple, segment boundaries straddled). These
+//! pins are what lets the house bit-exactness invariant survive future
+//! kernel work: a reassociated fold or a contracted FMA shows up here as
+//! a hard failure, not as benchmark-only drift.
+
+use proptest::prelude::*;
+
+use unicorn::inference::{FittedScm, ResidualMode, SIM_LANES};
+use unicorn::stats::correlation_matrix;
+use unicorn::stats::descriptive::{chunk_comoment, chunk_comoment_lanes, MOMENT_CHUNK};
+use unicorn::stats::entropy::{
+    conditional_mutual_information, conditional_mutual_information_sparse, mutual_information,
+    mutual_information_sparse,
+};
+use unicorn::stats::pearson;
+use unicorn::stats::segment::{chunk_cross_comoments, n_pairs, pair_index};
+
+/// A layered chain ADMG over `p` nodes (0 and 1 are roots).
+fn chain_admg(p: usize) -> unicorn::graph::Admg {
+    let mut g = unicorn::graph::Admg::new((0..p).map(|i| format!("v{i}")).collect());
+    for v in 2..p {
+        g.add_directed(v - 2, v);
+        g.add_directed(v - 1, v);
+    }
+    g
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The lane-blocked comoment kernel equals the scalar per-pair fold
+    /// for any partner count (full lanes, remainders 1..=7, fewer
+    /// partners than one lane) and any chunk length.
+    #[test]
+    fn comoment_lanes_match_scalar_kernel(
+        n in 0usize..(MOMENT_CHUNK + 1),
+        p in 0usize..19,
+        seed in 0u64..1_000,
+    ) {
+        let mut s = seed.wrapping_mul(2654435761).wrapping_add(1);
+        let mut next = move || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((s >> 11) as f64 / (1u64 << 53) as f64) - 0.5
+        };
+        let xs: Vec<f64> = (0..n).map(|_| next() * 100.0).collect();
+        let ys: Vec<Vec<f64>> = (0..p)
+            .map(|_| (0..n).map(|_| next() * 100.0).collect())
+            .collect();
+        let mx = xs.iter().sum::<f64>() / (n.max(1)) as f64;
+        let my: Vec<f64> = ys
+            .iter()
+            .map(|c| c.iter().sum::<f64>() / (n.max(1)) as f64)
+            .collect();
+        let slices: Vec<&[f64]> = ys.iter().map(Vec::as_slice).collect();
+        let mut out = vec![0.0; p];
+        chunk_comoment_lanes(&xs, mx, &slices, &my, &mut out);
+        for k in 0..p {
+            let scalar = chunk_comoment(&xs, &ys[k], mx, my[k]);
+            prop_assert_eq!(
+                out[k].to_bits(), scalar.to_bits(),
+                "partner {} diverged (n={}, p={})", k, n, p
+            );
+        }
+    }
+
+    /// The chunk-major blocked correlation matrix equals the scalar
+    /// per-pair `pearson` fold across chunk-straddling lengths.
+    #[test]
+    fn correlation_matrix_matches_per_pair_pearson(
+        n in 0usize..(2 * MOMENT_CHUNK + 3),
+        p in 0usize..11,
+        seed in 0u64..1_000,
+    ) {
+        let mut s = seed.wrapping_mul(0x9E3779B9).wrapping_add(7);
+        let mut next = move || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((s >> 11) as f64 / (1u64 << 53) as f64) - 0.5
+        };
+        let cols: Vec<Vec<f64>> = (0..p)
+            .map(|_| (0..n).map(|_| next() * 10.0).collect())
+            .collect();
+        let m = correlation_matrix(&cols);
+        for i in 0..p {
+            prop_assert_eq!(m[(i, i)].to_bits(), 1.0f64.to_bits());
+            for j in (i + 1)..p {
+                let r = pearson(&cols[i], &cols[j]);
+                prop_assert_eq!(
+                    m[(i, j)].to_bits(), r.to_bits(),
+                    "pair ({}, {}) diverged (n={})", i, j, n
+                );
+                prop_assert_eq!(m[(j, i)].to_bits(), r.to_bits());
+            }
+        }
+    }
+
+    /// The packed cross-comoment triangle covers every pair exactly once
+    /// with the scalar kernel's bits.
+    #[test]
+    fn cross_comoment_triangle_matches_pairs(
+        n in 0usize..(MOMENT_CHUNK + 1),
+        p in 0usize..12,
+        seed in 0u64..500,
+    ) {
+        let mut s = seed.wrapping_add(3);
+        let mut next = move || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((s >> 11) as f64 / (1u64 << 53) as f64) - 0.5
+        };
+        let cols: Vec<Vec<f64>> = (0..p)
+            .map(|_| (0..n).map(|_| next()).collect())
+            .collect();
+        let means: Vec<f64> = cols
+            .iter()
+            .map(|c| c.iter().sum::<f64>() / (n.max(1)) as f64)
+            .collect();
+        let slices: Vec<&[f64]> = cols.iter().map(Vec::as_slice).collect();
+        let mut cross = vec![0.0; n_pairs(p)];
+        chunk_cross_comoments(&slices, &means, &mut cross);
+        for i in 0..p {
+            for j in (i + 1)..p {
+                let scalar = chunk_comoment(&cols[i], &cols[j], means[i], means[j]);
+                prop_assert_eq!(
+                    cross[pair_index(i, j, p)].to_bits(), scalar.to_bits(),
+                    "pair ({}, {}) diverged", i, j
+                );
+            }
+        }
+    }
+
+    /// The dense contingency MI/CMI kernels equal the sparse BTreeMap
+    /// folds bit for bit, including sparse code spaces with unused codes
+    /// (zero rows/columns/strata in the dense array).
+    #[test]
+    fn dense_contingency_matches_sparse_folds(
+        pairs in prop::collection::vec((0usize..9, 0usize..7, 0usize..5), 0..300),
+    ) {
+        let xs: Vec<usize> = pairs.iter().map(|&(x, _, _)| x * 2).collect();
+        let ys: Vec<usize> = pairs.iter().map(|&(_, y, _)| y * 3).collect();
+        let zs: Vec<usize> = pairs.iter().map(|&(_, _, z)| z).collect();
+        let mi = mutual_information(&xs, &ys);
+        let mi_ref = mutual_information_sparse(&xs, &ys);
+        prop_assert_eq!(mi.to_bits(), mi_ref.to_bits(), "MI diverged");
+        let cmi = conditional_mutual_information(&xs, &ys, &zs);
+        let cmi_ref = conditional_mutual_information_sparse(&xs, &ys, &zs);
+        prop_assert_eq!(cmi.to_bits(), cmi_ref.to_bits(), "CMI diverged");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The 8-row SCM lane sweep equals the scalar per-row simulation for
+    /// every row-count remainder mod `SIM_LANES`, with and without
+    /// interventions, under both g-formula and blended-abduction
+    /// residual modes.
+    #[test]
+    fn scm_lane_sweep_matches_scalar_rows(
+        n_rows in 1usize..40,
+        p in 3usize..8,
+        n_sweep in 0usize..20,
+        intervene in 0usize..2,
+        seed in 0u64..200,
+    ) {
+        let mut s = seed.wrapping_mul(31).wrapping_add(11);
+        let mut next = move || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((s >> 11) as f64 / (1u64 << 53) as f64) - 0.5
+        };
+        let mut cols = vec![Vec::with_capacity(n_rows); p];
+        for _ in 0..n_rows {
+            let mut row = vec![0.0f64; p];
+            row[0] = next();
+            row[1] = next();
+            for v in 2..p {
+                row[v] = 0.7 * row[v - 2] - 0.4 * row[v - 1] + 0.05 * next();
+            }
+            for (c, &x) in cols.iter_mut().zip(&row) {
+                c.push(x);
+            }
+        }
+        let scm = FittedScm::fit(chain_admg(p), &cols).unwrap();
+        let rows: Vec<usize> = (0..n_sweep.min(n_rows.saturating_mul(2)))
+            .map(|i| i % n_rows)
+            .collect();
+        let interventions: Vec<(usize, f64)> =
+            if intervene == 1 { vec![(1, 0.25), (p - 1, -0.5)] } else { Vec::new() };
+        // Row counts 0..40 exercise every remainder mod SIM_LANES,
+        // including sweeps shorter than one lane.
+        let _ = SIM_LANES;
+        // G-formula residual mode.
+        let batch = scm.simulate_batch(&rows, &interventions, ResidualMode::FromRow);
+        prop_assert_eq!(batch.len(), rows.len());
+        for (&r, lane) in rows.iter().zip(&batch) {
+            let scalar = scm.simulate(r, &interventions, ResidualMode::FromRow(r));
+            for (v, (a, b)) in lane.iter().zip(&scalar).enumerate() {
+                prop_assert_eq!(
+                    a.to_bits(), b.to_bits(),
+                    "row {} node {} diverged (g-formula)", r, v
+                );
+            }
+        }
+        // Blended abduction against row 0.
+        let blend = |_r: usize| ResidualMode::Blend { abduct_row: 0, weight: 0.75 };
+        let batch = scm.simulate_batch(&rows, &interventions, blend);
+        for (&r, lane) in rows.iter().zip(&batch) {
+            let scalar = scm.simulate(r, &interventions, blend(r));
+            for (v, (a, b)) in lane.iter().zip(&scalar).enumerate() {
+                prop_assert_eq!(
+                    a.to_bits(), b.to_bits(),
+                    "row {} node {} diverged (abduction)", r, v
+                );
+            }
+        }
+    }
+}

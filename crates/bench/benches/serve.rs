@@ -1,0 +1,156 @@
+//! The serving-layer benchmark (`BENCH_serve.json`): 32 concurrent
+//! overlapping clients' worth of performance queries against one learned
+//! x264 snapshot, in three arms:
+//!
+//! * `serial` — the no-daemon reference: every request evaluated alone
+//!   (`CausalEngine::estimate` per query), each paying its own baseline
+//!   sweep, its own interventional sweeps, its own domain probes.
+//! * `coalesced` — one admission window's worth of requests compiled
+//!   into one merged `PlanBatch` per round
+//!   (`unicorn_inference::answer_coalesced`): duplicate sweeps
+//!   deduplicated across requests, the no-intervention baseline shared,
+//!   one domain probe per (node, grid).
+//! * `admission_pipeline` — the same workload pushed through the real
+//!   `unicorn-serve` machinery: an `AdmissionQueue` drained by a live
+//!   batcher thread against a published `SnapshotCell` epoch.
+//!
+//! Every arm is asserted bit-identical to `serial` before timing — the
+//! daemon's coalescing is a throughput optimization, never a semantics
+//! change. The checked-in baseline shows the coalesced arm well over 3×
+//! the serial arm; CI's bench gate keeps both from regressing.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use unicorn_core::{SnapshotCell, UnicornOptions, UnicornState};
+use unicorn_graph::VarKind;
+use unicorn_inference::{answer_coalesced, PerformanceQuery, QueryAnswer};
+use unicorn_serve::admission::{run_batcher, AdmissionQueue};
+use unicorn_systems::{Environment, Hardware, Simulator, SubjectSystem};
+
+const CLIENTS: usize = 32;
+
+struct Setup {
+    snapshots: Arc<SnapshotCell>,
+    queries: Vec<PerformanceQuery>,
+}
+
+fn setup() -> Setup {
+    let sim = Simulator::new(
+        SubjectSystem::X264.build(),
+        Environment::on(Hardware::Tx2),
+        0xBE,
+    );
+    let opts = UnicornOptions {
+        initial_samples: 200,
+        ..UnicornOptions::default()
+    };
+    let mut state = UnicornState::bootstrap(&sim, &opts);
+    let snapshots = Arc::new(SnapshotCell::new(state.publish_snapshot(&sim, &opts)));
+
+    // 32 concurrent clients with heavy overlap: interest concentrates on
+    // a handful of options and objectives, as it does in an interactive
+    // debugging session — exactly the workload admission batching dedups.
+    let tiers = sim.model.tiers();
+    let options = tiers.of_kind(VarKind::ConfigOption);
+    let objectives = tiers.of_kind(VarKind::Objective);
+    let queries: Vec<PerformanceQuery> = (0..CLIENTS)
+        .map(|c| {
+            let option = options[c % 4];
+            let objective = objectives[c % 2];
+            let values = &sim.model.space.option(c % 4).values;
+            match c % 3 {
+                0 => PerformanceQuery::CausalEffect { option, objective },
+                1 => PerformanceQuery::ProbabilityOfQos {
+                    interventions: vec![(option, values[0])],
+                    objective,
+                    threshold: 30.0,
+                },
+                _ => PerformanceQuery::ExpectedObjective {
+                    interventions: vec![(option, values[values.len() - 1])],
+                    objective,
+                },
+            }
+        })
+        .collect();
+    Setup { snapshots, queries }
+}
+
+fn serial(s: &Setup) -> Vec<QueryAnswer> {
+    let snap = s.snapshots.load();
+    s.queries.iter().map(|q| snap.engine.estimate(q)).collect()
+}
+
+fn coalesced(s: &Setup) -> Vec<QueryAnswer> {
+    let snap = s.snapshots.load();
+    answer_coalesced(&snap.engine, &s.queries)
+}
+
+fn admission_pipeline(s: &Setup, queue: &AdmissionQueue) -> Vec<QueryAnswer> {
+    let receivers: Vec<_> = s.queries.iter().map(|q| queue.submit(q.clone())).collect();
+    receivers
+        .into_iter()
+        .map(|rx| rx.recv().expect("batcher died").answer)
+        .collect()
+}
+
+fn bits(answers: &[QueryAnswer]) -> Vec<(u8, u64)> {
+    answers
+        .iter()
+        .map(|a| match a {
+            QueryAnswer::Effect(x) => (0u8, x.to_bits()),
+            QueryAnswer::Probability(x) => (1, x.to_bits()),
+            QueryAnswer::Expectation(x) => (2, x.to_bits()),
+            other => panic!("scalar workload produced {other:?}"),
+        })
+        .collect()
+}
+
+fn bench_serve(c: &mut Criterion) {
+    let s = setup();
+
+    // The live serving pipeline: one batcher thread with a short real
+    // admission window, so the 32 submissions coalesce into one batch
+    // the way concurrent clients would within a window.
+    let queue = AdmissionQueue::new();
+    let batcher = {
+        let queue = Arc::clone(&queue);
+        let snapshots = Arc::clone(&s.snapshots);
+        std::thread::spawn(move || run_batcher(&queue, &snapshots, Duration::from_micros(500)))
+    };
+
+    // Bit-identity across all three arms before any timing: coalescing
+    // must be invisible in the answers.
+    let reference = bits(&serial(&s));
+    assert_eq!(
+        reference,
+        bits(&coalesced(&s)),
+        "coalesced arm diverged — benchmark invalid"
+    );
+    assert_eq!(
+        reference,
+        bits(&admission_pipeline(&s, &queue)),
+        "admission pipeline diverged — benchmark invalid"
+    );
+
+    let mut group = c.benchmark_group("serve_x264_32_clients");
+    group.sample_size(10);
+    group.bench_function("scalar_window/serial", |b| {
+        b.iter(|| black_box(serial(&s)));
+    });
+    group.bench_function("scalar_window/coalesced", |b| {
+        b.iter(|| black_box(coalesced(&s)));
+    });
+    group.bench_function("scalar_window/admission_pipeline", |b| {
+        b.iter(|| black_box(admission_pipeline(&s, &queue)));
+    });
+    group.finish();
+
+    queue.close();
+    let _ = batcher.join();
+}
+
+criterion_group!(benches, bench_serve);
+criterion_main!(benches);

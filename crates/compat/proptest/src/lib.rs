@@ -56,6 +56,28 @@ pub trait Strategy {
     type Value;
     /// Draws one value.
     fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Maps generated values through `f`. There is no shrinking in this
+    /// stand-in, so the combinator is plain composition.
+    fn prop_map<T, F: Fn(Self::Value) -> T>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy produced by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, T, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        (self.f)(self.inner.generate(rng))
+    }
 }
 
 impl Strategy for std::ops::Range<f64> {
@@ -75,7 +97,7 @@ macro_rules! int_strategy {
         }
     )*};
 }
-int_strategy!(usize, u64, u32, i64, i32);
+int_strategy!(usize, u64, u32, u8, i64, i32);
 
 impl<A: Strategy, B: Strategy> Strategy for (A, B) {
     type Value = (A::Value, B::Value);
@@ -91,6 +113,18 @@ impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
             self.0.generate(rng),
             self.1.generate(rng),
             self.2.generate(rng),
+        )
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy, D: Strategy> Strategy for (A, B, C, D) {
+    type Value = (A::Value, B::Value, C::Value, D::Value);
+    fn generate(&self, rng: &mut StdRng) -> Self::Value {
+        (
+            self.0.generate(rng),
+            self.1.generate(rng),
+            self.2.generate(rng),
+            self.3.generate(rng),
         )
     }
 }
@@ -267,6 +301,16 @@ mod tests {
             prop_assert!(p.0 < 3);
             prop_assert_eq!(p.0, p.0);
             prop_assert!(p.1 >= 0.5 && p.1 < 1.5);
+        }
+
+        #[test]
+        fn four_tuples_and_prop_map_compose(
+            q in (0u8..4, 0usize..7, 0usize..7, -1.0f64..1.0).prop_map(|(k, a, b, t)| {
+                (k as usize + a + b, t)
+            }),
+        ) {
+            prop_assert!(q.0 < 16);
+            prop_assert!(q.1 >= -1.0 && q.1 < 1.0);
         }
     }
 

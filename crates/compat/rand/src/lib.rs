@@ -83,7 +83,7 @@ macro_rules! int_range {
         }
     )*};
 }
-int_range!(usize, u64, u32, i64, i32);
+int_range!(usize, u64, u32, u8, i64, i32);
 
 impl SampleRange<f64> for std::ops::Range<f64> {
     fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> f64 {

@@ -13,6 +13,10 @@
 //! * [`transfer`] — model reuse across environments (§8, Fig 16/17,
 //!   Table 15).
 //! * [`metrics`] — the evaluation metrics of §6.
+//! * [`snapshot`] — epoch-snapshot publication for the resident serving
+//!   daemon (`unicornd`): immutable [`EngineSnapshot`]s behind a
+//!   pointer-flip [`SnapshotCell`], with discretization prefill at build
+//!   time.
 //!
 //! ```no_run
 //! use unicorn_core::{debug_fault, UnicornOptions};
@@ -35,11 +39,13 @@
 pub mod debug_task;
 pub mod metrics;
 pub mod optimize_task;
+pub mod snapshot;
 pub mod transfer;
 pub mod unicorn;
 
 pub use debug_task::{debug_fault, debug_fault_with_state, DebugIteration, DebugOutcome};
 pub use metrics::{gain_percent, mean_scores, score_debugging, DebugScores};
 pub use optimize_task::{optimize_multi, optimize_single, MultiOptimizeOutcome, OptimizeOutcome};
+pub use snapshot::{EngineSnapshot, SnapshotCell};
 pub use transfer::{learn_source_state, transfer_debug, TransferMode};
 pub use unicorn::{UnicornOptions, UnicornState};

@@ -171,6 +171,72 @@ pub fn rank_causal_paths(
     ranked
 }
 
+/// The compile half of a path ranking: the enumerated paths plus, per
+/// path and per link `(x, z)`, the registered ACE handles. Finish with
+/// [`finish_path_rank`] once the plan (or the merged batch carrying it)
+/// has been evaluated — the split lets `coalesce` interleave one
+/// objective's ranking round with other requests' work.
+pub(crate) struct PathRankCompilation {
+    paths: Vec<CausalPath>,
+    links: Vec<Vec<Option<Vec<PlanHandle>>>>,
+}
+
+/// Registers every link ACE of every causal path into `objective` on
+/// `plan`, deduplicated across paths (shared links are estimated once)
+/// and across repeated sweeps of the same `do(x = v)`.
+pub(crate) fn compile_path_rank(
+    plan: &mut QueryPlan,
+    scm: &FittedScm,
+    objective: NodeId,
+    cache: &mut DomainCache<'_>,
+    path_cap: usize,
+) -> PathRankCompilation {
+    let paths = backtrack_causal_paths(scm.admg(), objective, path_cap);
+    // Per path, per link (x, z): the ACE handles of the link sweep.
+    let links: Vec<Vec<Option<Vec<PlanHandle>>>> = paths
+        .iter()
+        .map(|p| {
+            p.nodes
+                .windows(2)
+                .map(|w| plan_ace(plan, w[1], w[0], &cache.values(w[0])))
+                .collect()
+        })
+        .collect();
+    PathRankCompilation { paths, links }
+}
+
+/// Resolves a [`compile_path_rank`] registration: the exact `path_ace`
+/// fold (mean link ACE in path order), descending sort, top-`k` truncate
+/// — the serial path's arithmetic bit for bit.
+pub(crate) fn finish_path_rank(
+    comp: PathRankCompilation,
+    results: &crate::plan::PlanResults,
+    k: usize,
+) -> Vec<RankedPath> {
+    let PathRankCompilation { paths, links } = comp;
+    let mut ranked: Vec<RankedPath> = paths
+        .into_iter()
+        .zip(&links)
+        .map(|(p, link_handles)| {
+            let score = if p.nodes.len() < 2 {
+                0.0
+            } else {
+                let mut total = 0.0;
+                let mut n = 0usize;
+                for handles in link_handles {
+                    total += ace_of_handles(results, handles);
+                    n += 1;
+                }
+                total / n as f64
+            };
+            RankedPath { path: p, score }
+        })
+        .collect();
+    ranked.sort_by(|a, b| b.score.partial_cmp(&a.score).expect("NaN path score"));
+    ranked.truncate(k);
+    ranked
+}
+
 /// [`rank_causal_paths`] through one compiled plan: every link ACE of
 /// every enumerated path becomes a set of expectation items, deduplicated
 /// across paths (shared links are estimated once) and across repeated
@@ -183,41 +249,10 @@ pub fn rank_causal_paths_planned(
     k: usize,
     path_cap: usize,
 ) -> Vec<RankedPath> {
-    let paths = backtrack_causal_paths(scm.admg(), objective, path_cap);
     let mut plan = QueryPlan::new();
-    // Per path, per link (x, z): the ACE handles of the link sweep.
-    let links: Vec<Vec<Option<Vec<PlanHandle>>>> = paths
-        .iter()
-        .map(|p| {
-            p.nodes
-                .windows(2)
-                .map(|w| plan_ace(&mut plan, w[1], w[0], &cache.values(w[0])))
-                .collect()
-        })
-        .collect();
+    let comp = compile_path_rank(&mut plan, scm, objective, cache, path_cap);
     let results = scm.evaluate_plan(&plan);
-    let mut ranked: Vec<RankedPath> = paths
-        .into_iter()
-        .zip(&links)
-        .map(|(p, link_handles)| {
-            // The exact `path_ace` fold: mean link ACE in path order.
-            let score = if p.nodes.len() < 2 {
-                0.0
-            } else {
-                let mut total = 0.0;
-                let mut n = 0usize;
-                for handles in link_handles {
-                    total += ace_of_handles(&results, handles);
-                    n += 1;
-                }
-                total / n as f64
-            };
-            RankedPath { path: p, score }
-        })
-        .collect();
-    ranked.sort_by(|a, b| b.score.partial_cmp(&a.score).expect("NaN path score"));
-    ranked.truncate(k);
-    ranked
+    finish_path_rank(comp, &results, k)
 }
 
 /// Per-option ACE on an objective: the primary root-cause ranking signal

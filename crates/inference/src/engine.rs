@@ -111,28 +111,9 @@ impl CausalEngine {
             &self.repair_opts,
         );
         let mut plan = QueryPlan::new();
-        // candidate × objective ACE handles, in the serial path's order.
-        let handles: Vec<Vec<_>> = candidates
-            .iter()
-            .map(|&o| {
-                goal.thresholds
-                    .iter()
-                    .map(|&(obj, _)| plan_ace(&mut plan, obj, o, &cache.values(o)))
-                    .collect()
-            })
-            .collect();
+        let handles = compile_root_cause_grid(&mut plan, &candidates, goal, &mut cache);
         let results = self.scm.evaluate_plan(&plan);
-        // Sum the per-objective ACEs so multi-objective faults weigh both.
-        let mut scores: Vec<(NodeId, f64)> = candidates
-            .iter()
-            .zip(&handles)
-            .map(|(&o, per_obj)| {
-                let total: f64 = per_obj.iter().map(|hs| ace_of_handles(&results, hs)).sum();
-                (o, total)
-            })
-            .collect();
-        scores.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("NaN ACE"));
-        scores
+        finish_root_cause_grid(&candidates, &handles, &results)
     }
 
     /// Recommends counterfactual repairs for the fault observed at
@@ -161,6 +142,47 @@ impl CausalEngine {
         let mut cache = DomainCache::new(self.domain.as_ref());
         option_aces_planned(&self.scm, objective, &self.options(), &mut cache)
     }
+}
+
+/// Per-candidate, per-objective ACE handles of the root-cause grid, in
+/// the serial path's registration order. Shared by
+/// [`CausalEngine::rank_root_causes`] and the coalesced driver so the
+/// grid arithmetic cannot drift between them.
+pub(crate) fn compile_root_cause_grid(
+    plan: &mut QueryPlan,
+    candidates: &[NodeId],
+    goal: &QosGoal,
+    cache: &mut DomainCache<'_>,
+) -> Vec<Vec<Option<Vec<crate::plan::PlanHandle>>>> {
+    candidates
+        .iter()
+        .map(|&o| {
+            goal.thresholds
+                .iter()
+                .map(|&(obj, _)| plan_ace(plan, obj, o, &cache.values(o)))
+                .collect()
+        })
+        .collect()
+}
+
+/// Resolves a [`compile_root_cause_grid`] registration: per-objective
+/// ACEs summed per candidate (so multi-objective faults weigh both),
+/// sorted descending.
+pub(crate) fn finish_root_cause_grid(
+    candidates: &[NodeId],
+    handles: &[Vec<Option<Vec<crate::plan::PlanHandle>>>],
+    results: &crate::plan::PlanResults,
+) -> Vec<(NodeId, f64)> {
+    let mut scores: Vec<(NodeId, f64)> = candidates
+        .iter()
+        .zip(handles)
+        .map(|(&o, per_obj)| {
+            let total: f64 = per_obj.iter().map(|hs| ace_of_handles(results, hs)).sum();
+            (o, total)
+        })
+        .collect();
+    scores.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("NaN ACE"));
+    scores
 }
 
 #[cfg(test)]

@@ -21,10 +21,16 @@
 //!   query type expresses itself as plan items plus a canonical merge.
 //! * [`queries`] — the user-facing performance-query interface
 //!   (Stages I and V).
+//! * [`coalesce`] — cross-request query coalescing: performance queries
+//!   unrolled into resumable compile/advance rounds so a serving layer
+//!   (`unicornd`) can merge many concurrent requests into one
+//!   [`plan::PlanBatch`] per admission window, answers bit-identical to
+//!   estimating each request alone.
 //! * [`dsl`] — a textual query language over it (the §11 future-work
 //!   direction), e.g. `P(Latency <= 30 | do(CPU Frequency = 2.0))`.
 
 pub mod ace;
+pub mod coalesce;
 pub mod dsl;
 pub mod engine;
 pub mod identify;
@@ -37,10 +43,11 @@ pub use ace::{
     ace, ace_signed, option_aces, option_aces_planned, path_ace, quantile_values,
     rank_causal_paths, rank_causal_paths_planned, ExplicitDomain, RankedPath, ValueDomain,
 };
+pub use coalesce::{answer_coalesced, CoalescedQuery};
 pub use dsl::{parse_query, ParseError};
 pub use engine::CausalEngine;
 pub use identify::{find_backdoor_set, identifiable, satisfies_backdoor};
-pub use plan::{DomainCache, Intervention, PlanHandle, PlanResults, QueryPlan};
+pub use plan::{DomainCache, Intervention, PlanBatch, PlanHandle, PlanResults, QueryPlan};
 pub use queries::{PerformanceQuery, QueryAnswer};
 pub use repair::{
     generate_repairs, generate_repairs_cached, ice, rank_repairs, rank_repairs_planned,

@@ -363,6 +363,146 @@ impl QueryPlan {
     }
 }
 
+/// A merge of several independently compiled [`QueryPlan`]s into one —
+/// the admission-batching primitive behind `unicornd`'s query coalescing.
+///
+/// [`PlanBatch::add`] replays a request's sweeps and reductions into the
+/// shared merged plan, deduplicating sweeps (and scalar consumers)
+/// *across* requests exactly as [`QueryPlan`] deduplicates them within
+/// one: two concurrent clients probing the same `do(x = v)` grid share
+/// one set of simulations, and every merged plan shares the single
+/// no-intervention baseline sweep per (row, mode). One
+/// [`crate::FittedScm::evaluate_plan`] call answers the whole batch;
+/// [`PlanBatch::demux`] then projects the merged results back into each
+/// request's own handle order.
+///
+/// **Bit-identity:** a reduction reads only its own sweep's simulations,
+/// which are pure functions of `(fit, canonical assignments, mode,
+/// stride)`, and `evaluate_plan` folds each consumer's per-row
+/// contributions in ascending row order regardless of what else is in
+/// the plan — so every demuxed answer is bit-identical to evaluating
+/// that request's plan alone (`tests/serve_coalescing.rs`).
+#[derive(Debug, Clone, Default)]
+pub struct PlanBatch {
+    merged: QueryPlan,
+    /// Per admitted request, its consumers' handles into the merged plan,
+    /// in the request plan's own registration order.
+    requests: Vec<Vec<PlanHandle>>,
+}
+
+impl PlanBatch {
+    /// An empty batch with default [`SimulationOptions`].
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty batch with explicit sweep options; every added plan must
+    /// have been compiled with equal options.
+    pub fn with_options(opts: SimulationOptions) -> Self {
+        Self {
+            merged: QueryPlan::with_options(opts),
+            requests: Vec::new(),
+        }
+    }
+
+    /// Merges a compiled request plan into the batch, returning its slot
+    /// (pass it back to [`PlanBatch::demux`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `plan` was compiled with different
+    /// [`SimulationOptions`] than the batch — merged sweeps share one
+    /// stride, so differing options would silently change answers.
+    pub fn add(&mut self, plan: &QueryPlan) -> usize {
+        assert_eq!(
+            plan.opts, self.merged.opts,
+            "merged plans must share SimulationOptions"
+        );
+        // Replay sweeps in the request's registration order (assignments
+        // are already canonical; re-canonicalizing is idempotent).
+        let sweep_map: Vec<usize> = plan
+            .sweeps
+            .iter()
+            .map(|sw| {
+                self.merged.sweep_of(
+                    &sw.intervention.assignments,
+                    sw.mode,
+                    &sw.intervention.targets,
+                )
+            })
+            .collect();
+        // Replay consumers: scalar kinds dedup across requests through the
+        // merged plan's consumer index; probability predicates are opaque
+        // and never dedup (matching `QueryPlan::probability`).
+        let handles: Vec<PlanHandle> = plan
+            .consumers
+            .iter()
+            .map(|c| match c {
+                Reduction::Mean { sweep, target } => {
+                    let (sweep, target) = (sweep_map[*sweep], *target);
+                    self.merged
+                        .scalar_consumer((sweep, 0, vec![(target, 0)]), || Reduction::Mean {
+                            sweep,
+                            target,
+                        })
+                }
+                Reduction::Probability {
+                    sweep,
+                    target,
+                    pred,
+                } => {
+                    self.merged.consumers.push(Reduction::Probability {
+                        sweep: sweep_map[*sweep],
+                        target: *target,
+                        pred: Arc::clone(pred),
+                    });
+                    PlanHandle(self.merged.consumers.len() - 1)
+                }
+                Reduction::Ice { sweep, goal } => {
+                    let sweep = sweep_map[*sweep];
+                    let key_payload: Vec<(NodeId, u64)> = goal
+                        .thresholds
+                        .iter()
+                        .map(|&(o, t)| (o, t.to_bits()))
+                        .collect();
+                    let goal = goal.clone();
+                    self.merged
+                        .scalar_consumer((sweep, 1, key_payload), || Reduction::Ice { sweep, goal })
+                }
+                Reduction::Values { sweep } => {
+                    let sweep = sweep_map[*sweep];
+                    self.merged
+                        .scalar_consumer((sweep, 2, Vec::new()), || Reduction::Values { sweep })
+                }
+            })
+            .collect();
+        self.requests.push(handles);
+        self.requests.len() - 1
+    }
+
+    /// The merged plan, ready for [`crate::FittedScm::evaluate_plan`].
+    pub fn merged(&self) -> &QueryPlan {
+        &self.merged
+    }
+
+    /// Number of admitted request plans.
+    pub fn n_requests(&self) -> usize {
+        self.requests.len()
+    }
+
+    /// Projects the merged results back into request `slot`'s own
+    /// [`PlanResults`]: the request's original [`PlanHandle`]s index it
+    /// exactly as if the request had been evaluated alone.
+    pub fn demux(&self, results: &PlanResults, slot: usize) -> PlanResults {
+        PlanResults {
+            outputs: self.requests[slot]
+                .iter()
+                .map(|h| results.outputs[h.0].clone())
+                .collect(),
+        }
+    }
+}
+
 /// One evaluated plan item.
 #[derive(Debug, Clone)]
 pub(crate) enum PlanOutput {

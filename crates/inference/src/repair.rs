@@ -260,12 +260,35 @@ pub fn rank_repairs_planned(
     scm: &FittedScm,
     goal: &QosGoal,
     fault_row: usize,
-    mut repairs: Vec<Repair>,
+    repairs: Vec<Repair>,
     opts: &RepairOptions,
 ) -> Vec<Repair> {
     let mut plan = QueryPlan::new();
-    let factual_h = plan.counterfactual(fault_row, &[]);
-    let handles: Vec<_> = repairs
+    let comp = compile_repair_rank(&mut plan, goal, fault_row, &repairs, opts);
+    let results = scm.evaluate_plan(&plan);
+    finish_repair_rank(comp, goal, repairs, &results)
+}
+
+/// The compile half of a repair ranking: the factual counterfactual
+/// handle plus per-repair `(ICE, counterfactual)` handles. Finish with
+/// [`finish_repair_rank`] once the plan has been evaluated.
+pub(crate) struct RepairRankCompilation {
+    factual: crate::plan::PlanHandle,
+    handles: Vec<(crate::plan::PlanHandle, crate::plan::PlanHandle)>,
+}
+
+/// Registers the factual counterfactual, every repair's ICE sweep, and
+/// every repair's counterfactual on `plan` (repairs proposing the same
+/// assignment set share their sweeps).
+pub(crate) fn compile_repair_rank(
+    plan: &mut QueryPlan,
+    goal: &QosGoal,
+    fault_row: usize,
+    repairs: &[Repair],
+    opts: &RepairOptions,
+) -> RepairRankCompilation {
+    let factual = plan.counterfactual(fault_row, &[]);
+    let handles = repairs
         .iter()
         .map(|r| {
             (
@@ -274,9 +297,19 @@ pub fn rank_repairs_planned(
             )
         })
         .collect();
-    let results = scm.evaluate_plan(&plan);
-    let factual = results.values(factual_h);
-    for (r, &(ice_h, cf_h)) in repairs.iter_mut().zip(&handles) {
+    RepairRankCompilation { factual, handles }
+}
+
+/// Resolves a [`compile_repair_rank`] registration with the serial path's
+/// scoring and sorting arithmetic.
+pub(crate) fn finish_repair_rank(
+    comp: RepairRankCompilation,
+    goal: &QosGoal,
+    mut repairs: Vec<Repair>,
+    results: &crate::plan::PlanResults,
+) -> Vec<Repair> {
+    let factual = results.values(comp.factual);
+    for (r, &(ice_h, cf_h)) in repairs.iter_mut().zip(&comp.handles) {
         r.ice = results.scalar(ice_h);
         r.improvement = improvement_of(goal, factual, results.values(cf_h));
     }

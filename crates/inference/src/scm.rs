@@ -47,7 +47,7 @@ use unicorn_stats::StatsError;
 
 /// Options for batch simulation sweeps ([`FittedScm::simulate_batch`] and
 /// the `_with` query variants).
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct SimulationOptions {
     /// Sweep stride override: visit every `stride`-th training row.
     /// `None` keeps the fitted default (`max(n / 256, 1)`), which bounds

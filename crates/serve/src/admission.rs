@@ -1,0 +1,138 @@
+//! Admission batching: the daemon's perf headline.
+//!
+//! Connection threads never evaluate anything themselves — they submit
+//! their parsed query to the [`AdmissionQueue`] and block on a reply
+//! channel. A single batcher thread drains the queue: when a request
+//! arrives it waits one *admission window* (default a few milliseconds)
+//! for concurrent requests to pile up, loads the current snapshot once,
+//! and answers the whole batch through
+//! [`unicorn_inference::answer_coalesced`] — every request compiled into
+//! one merged [`unicorn_inference::PlanBatch`] per coalescing round, with
+//! duplicate interventional sweeps deduplicated, the no-intervention
+//! baseline shared, and one `DomainCache` probe per (node, grid) across
+//! the window. Answers are demultiplexed per request and are bit-identical
+//! to evaluating each request alone (`tests/serve_coalescing.rs` proves
+//! this property-style; the serve bench asserts it on every sample).
+//!
+//! Because the batch holds one `Arc` snapshot for its whole lifetime, an
+//! epoch flip mid-batch is harmless: the in-flight batch finishes against
+//! the epoch it loaded, and the next batch picks up the new one.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+use unicorn_core::SnapshotCell;
+use unicorn_inference::{answer_coalesced, PerformanceQuery, QueryAnswer};
+
+/// A coalesced answer: the payload plus the epoch that produced it.
+#[derive(Debug, Clone)]
+pub struct ServedAnswer {
+    /// Epoch of the snapshot the batch ran against.
+    pub epoch: u64,
+    /// The answer, bit-identical to a standalone `estimate`.
+    pub answer: QueryAnswer,
+}
+
+struct Job {
+    query: PerformanceQuery,
+    reply: Sender<ServedAnswer>,
+}
+
+/// The submission side of the admission batcher.
+///
+/// Counters are observability for tests and the bench: `submitted` /
+/// `batches` expose the coalescing ratio actually achieved.
+pub struct AdmissionQueue {
+    jobs: Mutex<VecDeque<Job>>,
+    arrived: Condvar,
+    open: AtomicBool,
+    submitted: AtomicU64,
+    batches: AtomicU64,
+}
+
+impl AdmissionQueue {
+    /// An open, empty queue.
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self {
+            jobs: Mutex::new(VecDeque::new()),
+            arrived: Condvar::new(),
+            open: AtomicBool::new(true),
+            submitted: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+        })
+    }
+
+    /// Submits a query for the next admission window. Returns the
+    /// receiver the batcher will answer on; blocks nobody.
+    pub fn submit(&self, query: PerformanceQuery) -> Receiver<ServedAnswer> {
+        let (reply, rx) = channel();
+        self.submitted.fetch_add(1, Ordering::Relaxed);
+        let mut jobs = self.jobs.lock().expect("admission queue poisoned");
+        jobs.push_back(Job { query, reply });
+        drop(jobs);
+        self.arrived.notify_one();
+        rx
+    }
+
+    /// Closes the queue: the batcher drains what is queued and exits.
+    pub fn close(&self) {
+        self.open.store(false, Ordering::SeqCst);
+        self.arrived.notify_all();
+    }
+
+    /// Total queries submitted so far.
+    pub fn submitted(&self) -> u64 {
+        self.submitted.load(Ordering::Relaxed)
+    }
+
+    /// Total batches evaluated so far. `submitted() / batches()` is the
+    /// realized coalescing factor.
+    pub fn batches(&self) -> u64 {
+        self.batches.load(Ordering::Relaxed)
+    }
+
+    /// Blocks until at least one job is queued (or the queue closes),
+    /// then holds admission open for `window` and drains everything that
+    /// arrived. `None` means closed-and-empty: the batcher should exit.
+    fn take_batch(&self, window: Duration) -> Option<Vec<Job>> {
+        let mut jobs = self.jobs.lock().expect("admission queue poisoned");
+        while jobs.is_empty() {
+            if !self.open.load(Ordering::SeqCst) {
+                return None;
+            }
+            jobs = self.arrived.wait(jobs).expect("admission queue poisoned");
+        }
+        if !window.is_zero() {
+            // Admission window: let concurrent requests join this batch.
+            // Sleeping without the lock keeps submission wait-free.
+            drop(jobs);
+            std::thread::sleep(window);
+            jobs = self.jobs.lock().expect("admission queue poisoned");
+        }
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        Some(jobs.drain(..).collect())
+    }
+}
+
+/// The batcher loop: drain a window's worth of requests, answer them as
+/// one coalesced plan batch against the current snapshot, demux replies.
+///
+/// Runs until [`AdmissionQueue::close`] is called and the queue drains.
+/// Send failures (client gave up) are ignored — the batch's other
+/// answers are unaffected.
+pub fn run_batcher(queue: &AdmissionQueue, snapshots: &SnapshotCell, window: Duration) {
+    while let Some(batch) = queue.take_batch(window) {
+        let snap = snapshots.load();
+        let queries: Vec<PerformanceQuery> = batch.iter().map(|j| j.query.clone()).collect();
+        let answers = answer_coalesced(&snap.engine, &queries);
+        for (job, answer) in batch.into_iter().zip(answers) {
+            let _ = job.reply.send(ServedAnswer {
+                epoch: snap.epoch,
+                answer,
+            });
+        }
+    }
+}

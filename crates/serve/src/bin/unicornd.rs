@@ -1,0 +1,142 @@
+//! `unicornd` — the resident Unicorn serving daemon.
+//!
+//! Boots a simulated subject system, learns the causal performance model
+//! once, publishes it as epoch 1's snapshot, and serves causal queries
+//! over HTTP/JSON until killed. With `--smoke` it instead binds an
+//! OS-assigned loopback port, issues one ACE query and one root-cause
+//! query against itself over real TCP, prints the two reply bodies to
+//! stdout, and exits — CI byte-diffs that output against
+//! `tests/golden/serve_smoke.txt`.
+//!
+//! ```sh
+//! unicornd [--addr 127.0.0.1:7077] [--window-us 2000]
+//!          [--samples 60] [--seed 42] [--smoke]
+//! ```
+
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Duration;
+
+use unicorn_core::{SnapshotCell, UnicornOptions, UnicornState};
+use unicorn_serve::{http_request, ServeOptions, Server};
+use unicorn_systems::{Environment, Hardware, Simulator, SubjectSystem};
+
+struct Args {
+    addr: String,
+    window: Duration,
+    samples: usize,
+    seed: u64,
+    smoke: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        addr: "127.0.0.1:7077".into(),
+        window: Duration::from_micros(2000),
+        samples: 60,
+        seed: 42,
+        smoke: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |flag: &str| it.next().ok_or_else(|| format!("{flag} needs a value"));
+        match flag.as_str() {
+            "--addr" => args.addr = value("--addr")?,
+            "--window-us" => {
+                args.window = Duration::from_micros(
+                    value("--window-us")?
+                        .parse()
+                        .map_err(|_| "--window-us must be an integer".to_string())?,
+                )
+            }
+            "--samples" => {
+                args.samples = value("--samples")?
+                    .parse()
+                    .map_err(|_| "--samples must be an integer".to_string())?
+            }
+            "--seed" => {
+                args.seed = value("--seed")?
+                    .parse()
+                    .map_err(|_| "--seed must be an integer".to_string())?
+            }
+            "--smoke" => args.smoke = true,
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("unicornd: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    // Boot: learn the model once, publish it as the serving snapshot.
+    let sim = Simulator::new(
+        SubjectSystem::X264.build(),
+        Environment::on(Hardware::Tx2),
+        args.seed,
+    );
+    let opts = UnicornOptions {
+        initial_samples: args.samples,
+        ..UnicornOptions::default()
+    };
+    let mut state = UnicornState::bootstrap(&sim, &opts);
+    let snapshots = Arc::new(SnapshotCell::new(state.publish_snapshot(&sim, &opts)));
+
+    let serve_opts = ServeOptions {
+        addr: if args.smoke {
+            "127.0.0.1:0".into()
+        } else {
+            args.addr.clone()
+        },
+        window: args.window,
+    };
+    let server = match Server::start(snapshots, &serve_opts) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("unicornd: bind {}: {e}", serve_opts.addr);
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if args.smoke {
+        return smoke(server);
+    }
+
+    eprintln!("unicornd: serving on {}", server.addr());
+    loop {
+        std::thread::sleep(Duration::from_secs(3600));
+    }
+}
+
+/// Self-driving smoke: two queries through the real TCP path, reply
+/// bodies on stdout (the CI golden), clean shutdown.
+fn smoke(server: Server) -> ExitCode {
+    let addr = server.addr();
+    let queries = [
+        r#"{"type":"causal_effect","option":"Buffer Size","objective":"Latency"}"#,
+        r#"{"type":"root_causes","goal":[["Latency",30]]}"#,
+    ];
+    for body in queries {
+        match http_request(addr, "POST", "/query", Some(body)) {
+            Ok((200, reply)) => println!("{reply}"),
+            Ok((status, reply)) => {
+                eprintln!("unicornd: smoke query failed: HTTP {status}: {reply}");
+                server.shutdown();
+                return ExitCode::FAILURE;
+            }
+            Err(e) => {
+                eprintln!("unicornd: smoke query failed: {e}");
+                server.shutdown();
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    server.shutdown();
+    ExitCode::SUCCESS
+}

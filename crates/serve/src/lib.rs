@@ -1,0 +1,69 @@
+//! # unicorn-serve — `unicornd`
+//!
+//! A resident serving daemon over the Unicorn engine: long-lived process,
+//! epoch-snapshotted model state, many concurrent clients, one coalesced
+//! plan batch per admission window.
+//!
+//! ## Architecture
+//!
+//! ```text
+//!  clients ──HTTP──▶ conn threads ──submit──▶ AdmissionQueue
+//!                                                  │  (window: ~1–5 ms)
+//!                                             batcher thread
+//!                                                  │  load() ─── SnapshotCell ◀── publish() ── relearn
+//!                                             answer_coalesced
+//!                                     (one merged PlanBatch per round)
+//! ```
+//!
+//! * **Snapshots** ([`unicorn_core::snapshot`]): queries never touch
+//!   mutable state. The daemon reads an `Arc<EngineSnapshot>` from a
+//!   [`unicorn_core::SnapshotCell`]; a background relearn builds the next
+//!   epoch and publishes it with a pointer flip. In-flight batches finish
+//!   against the epoch they loaded.
+//! * **Admission batching** ([`admission`]): requests arriving within the
+//!   window compile into one merged `PlanBatch` —
+//!   duplicate interventional sweeps deduplicated across requests, the
+//!   no-intervention baseline shared, one domain probe per (node, grid)
+//!   per window — and the merged results are demultiplexed per request.
+//!   Answers are **bit-identical** to evaluating each request alone; the
+//!   win is throughput, never semantics.
+//! * **Protocol** ([`protocol`], [`json`]): a deterministic JSON dialect
+//!   over a minimal `std::net` HTTP/1.1 subset ([`server`]) — no
+//!   registry access, so no tokio; the persistent `unicorn_exec`
+//!   executor inside the engine is the scheduler that matters.
+//!
+//! ## Adding a new query endpoint
+//!
+//! The daemon answers whatever [`unicorn_inference::PerformanceQuery`]
+//! can express; a new query kind threads through four small seams:
+//!
+//! 1. **Inference**: add the variant to `PerformanceQuery` /
+//!    `QueryAnswer`, and teach `unicorn_inference::coalesce` to compile
+//!    it — either a one-round scalar (emit plan items in
+//!    `CoalescedQuery::compile`, harvest them in `advance`) or a
+//!    multi-round state if it needs intermediate results. Reuse the
+//!    `compile_*`/`finish_*` pairs the engine's own entry points use so
+//!    coalesced answers cannot drift from standalone ones.
+//! 2. **Protocol parse**: add a `"type"` arm in
+//!    [`protocol::parse_request`] mapping request JSON (nodes by name)
+//!    to the new variant.
+//! 3. **Protocol render**: add the answer arm in
+//!    [`protocol::render_reply`]. Keep field order fixed — replies are
+//!    byte-diffed in CI.
+//! 4. **Tests**: extend `tests/serve_coalescing.rs` with the new query
+//!    in the mixed workload — the proptest then proves its merged-batch
+//!    answer is bit-identical to `engine.estimate`, interleaved with an
+//!    epoch flip.
+//!
+//! No server/admission changes are needed: routing is uniform over
+//! `PerformanceQuery`.
+
+pub mod admission;
+pub mod json;
+pub mod protocol;
+pub mod server;
+
+pub use admission::{run_batcher, AdmissionQueue, ServedAnswer};
+pub use json::{parse as parse_json, Json};
+pub use protocol::{parse_request, render_error, render_reply};
+pub use server::{http_request, ServeOptions, Server};

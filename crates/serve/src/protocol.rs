@@ -1,0 +1,279 @@
+//! The wire protocol: JSON request bodies ↔ [`PerformanceQuery`], and
+//! [`QueryAnswer`] → JSON reply bodies.
+//!
+//! Requests name nodes by their column names (the snapshot's name table
+//! resolves them to `NodeId`s); replies carry the epoch of the snapshot
+//! that answered, so a client can observe model-generation transitions.
+//!
+//! Request shapes (all `POST /query`):
+//!
+//! ```json
+//! {"type":"causal_effect","option":"Buffer Size","objective":"Latency"}
+//! {"type":"probability","interventions":[["CRF",30]],"objective":"Latency","threshold":30}
+//! {"type":"expectation","interventions":[["CRF",30]],"objective":"Latency"}
+//! {"type":"root_causes","goal":[["Latency",30]]}
+//! {"type":"repairs","goal":[["Latency",30]],"fault_row":7}
+//! ```
+//!
+//! Reply shape: `{"epoch":N,"answer":{...}}` with `answer.type` one of
+//! `effect`, `probability`, `expectation`, `root_causes`, `repairs`,
+//! `unidentifiable`. Serialization is deterministic (ordered fields,
+//! shortest-roundtrip floats) — the CI smoke golden diffs replies
+//! byte-for-byte.
+
+use unicorn_graph::NodeId;
+use unicorn_inference::{PerformanceQuery, QosGoal, QueryAnswer};
+
+use crate::json::{parse, Json};
+
+/// Parses a request body against a snapshot's node-name table.
+pub fn parse_request(body: &str, names: &[String]) -> Result<PerformanceQuery, String> {
+    let doc = parse(body)?;
+    let kind = doc
+        .get("type")
+        .and_then(Json::as_str)
+        .ok_or("request needs a string \"type\" field")?;
+    match kind {
+        "causal_effect" => Ok(PerformanceQuery::CausalEffect {
+            option: node_field(&doc, "option", names)?,
+            objective: node_field(&doc, "objective", names)?,
+        }),
+        "probability" => Ok(PerformanceQuery::ProbabilityOfQos {
+            interventions: pairs_field(&doc, "interventions", names)?,
+            objective: node_field(&doc, "objective", names)?,
+            threshold: num_field(&doc, "threshold")?,
+        }),
+        "expectation" => Ok(PerformanceQuery::ExpectedObjective {
+            interventions: pairs_field(&doc, "interventions", names)?,
+            objective: node_field(&doc, "objective", names)?,
+        }),
+        "root_causes" => Ok(PerformanceQuery::RootCauses {
+            goal: goal_field(&doc, names)?,
+        }),
+        "repairs" => {
+            let fault_row = num_field(&doc, "fault_row")?;
+            if fault_row < 0.0 || fault_row.fract() != 0.0 {
+                return Err("\"fault_row\" must be a non-negative integer".into());
+            }
+            Ok(PerformanceQuery::Repairs {
+                goal: goal_field(&doc, names)?,
+                fault_row: fault_row as usize,
+            })
+        }
+        other => Err(format!("unknown query type {other:?}")),
+    }
+}
+
+/// Renders a reply body: the answering snapshot's epoch plus the answer.
+pub fn render_reply(epoch: u64, answer: &QueryAnswer, names: &[String]) -> String {
+    let answer = match answer {
+        QueryAnswer::Effect(x) => scalar("effect", *x),
+        QueryAnswer::Probability(x) => scalar("probability", *x),
+        QueryAnswer::Expectation(x) => scalar("expectation", *x),
+        QueryAnswer::RootCauses(ranked) => Json::Obj(vec![
+            ("type".into(), Json::Str("root_causes".into())),
+            (
+                "ranked".into(),
+                Json::Arr(
+                    ranked
+                        .iter()
+                        .map(|&(node, score)| {
+                            Json::Arr(vec![Json::Str(names[node].clone()), Json::Num(score)])
+                        })
+                        .collect(),
+                ),
+            ),
+        ]),
+        QueryAnswer::Repairs(repairs) => Json::Obj(vec![
+            ("type".into(), Json::Str("repairs".into())),
+            (
+                "repairs".into(),
+                Json::Arr(
+                    repairs
+                        .iter()
+                        .map(|r| {
+                            Json::Obj(vec![
+                                (
+                                    "assignments".into(),
+                                    Json::Arr(
+                                        r.assignments
+                                            .iter()
+                                            .map(|&(node, v)| {
+                                                Json::Arr(vec![
+                                                    Json::Str(names[node].clone()),
+                                                    Json::Num(v),
+                                                ])
+                                            })
+                                            .collect(),
+                                    ),
+                                ),
+                                ("ice".into(), Json::Num(r.ice)),
+                                ("improvement".into(), Json::Num(r.improvement)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ]),
+        QueryAnswer::Unidentifiable { cause, effect } => Json::Obj(vec![
+            ("type".into(), Json::Str("unidentifiable".into())),
+            ("cause".into(), Json::Str(names[*cause].clone())),
+            ("effect".into(), Json::Str(names[*effect].clone())),
+        ]),
+    };
+    Json::Obj(vec![
+        ("epoch".into(), Json::Num(epoch as f64)),
+        ("answer".into(), answer),
+    ])
+    .to_string()
+}
+
+/// Renders an error reply body.
+pub fn render_error(message: &str) -> String {
+    Json::Obj(vec![("error".into(), Json::Str(message.into()))]).to_string()
+}
+
+fn scalar(kind: &str, value: f64) -> Json {
+    Json::Obj(vec![
+        ("type".into(), Json::Str(kind.into())),
+        ("value".into(), Json::Num(value)),
+    ])
+}
+
+fn resolve(name: &str, names: &[String]) -> Result<NodeId, String> {
+    names
+        .iter()
+        .position(|n| n == name)
+        .ok_or_else(|| format!("unknown node {name:?}"))
+}
+
+fn node_field(doc: &Json, field: &str, names: &[String]) -> Result<NodeId, String> {
+    let name = doc
+        .get(field)
+        .and_then(Json::as_str)
+        .ok_or_else(|| format!("request needs a string {field:?} field"))?;
+    resolve(name, names)
+}
+
+fn num_field(doc: &Json, field: &str) -> Result<f64, String> {
+    doc.get(field)
+        .and_then(Json::as_num)
+        .ok_or_else(|| format!("request needs a numeric {field:?} field"))
+}
+
+/// Parses a `[["name", value], ...]` pair list.
+fn pairs_field(doc: &Json, field: &str, names: &[String]) -> Result<Vec<(NodeId, f64)>, String> {
+    let items = doc
+        .get(field)
+        .and_then(Json::as_arr)
+        .ok_or_else(|| format!("request needs an array {field:?} field"))?;
+    items
+        .iter()
+        .map(|item| {
+            let pair = item
+                .as_arr()
+                .filter(|p| p.len() == 2)
+                .ok_or_else(|| format!("each {field} entry must be a [\"name\", value] pair"))?;
+            let node = pair[0]
+                .as_str()
+                .ok_or_else(|| format!("{field} entry name must be a string"))
+                .and_then(|n| resolve(n, names))?;
+            let value = pair[1]
+                .as_num()
+                .ok_or_else(|| format!("{field} entry value must be a number"))?;
+            Ok((node, value))
+        })
+        .collect()
+}
+
+fn goal_field(doc: &Json, names: &[String]) -> Result<QosGoal, String> {
+    Ok(QosGoal {
+        thresholds: pairs_field(doc, "goal", names)?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn names() -> Vec<String> {
+        vec!["CRF".into(), "Buffer Size".into(), "Latency".into()]
+    }
+
+    #[test]
+    fn parses_every_query_type() {
+        let names = names();
+        let q = parse_request(
+            r#"{"type":"causal_effect","option":"Buffer Size","objective":"Latency"}"#,
+            &names,
+        )
+        .unwrap();
+        assert!(matches!(
+            q,
+            PerformanceQuery::CausalEffect {
+                option: 1,
+                objective: 2
+            }
+        ));
+
+        let q = parse_request(
+            r#"{"type":"probability","interventions":[["CRF",23],["Buffer Size",6000]],"objective":"Latency","threshold":30}"#,
+            &names,
+        )
+        .unwrap();
+        match q {
+            PerformanceQuery::ProbabilityOfQos {
+                interventions,
+                objective,
+                threshold,
+            } => {
+                assert_eq!(interventions, vec![(0, 23.0), (1, 6000.0)]);
+                assert_eq!(objective, 2);
+                assert_eq!(threshold, 30.0);
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+
+        let q = parse_request(
+            r#"{"type":"repairs","goal":[["Latency",28.5]],"fault_row":7}"#,
+            &names,
+        )
+        .unwrap();
+        match q {
+            PerformanceQuery::Repairs { goal, fault_row } => {
+                assert_eq!(goal.thresholds, vec![(2, 28.5)]);
+                assert_eq!(fault_row, 7);
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_unknown_nodes_and_types() {
+        let names = names();
+        assert!(parse_request(
+            r#"{"type":"causal_effect","option":"Nope","objective":"Latency"}"#,
+            &names
+        )
+        .unwrap_err()
+        .contains("unknown node"));
+        assert!(parse_request(r#"{"type":"mystery"}"#, &names).is_err());
+        assert!(parse_request(r#"{"type":"repairs","goal":[],"fault_row":1.5}"#, &names).is_err());
+    }
+
+    #[test]
+    fn reply_rendering_is_deterministic() {
+        let names = names();
+        let reply = render_reply(
+            3,
+            &QueryAnswer::RootCauses(vec![(1, 0.5), (0, -0.25)]),
+            &names,
+        );
+        assert_eq!(
+            reply,
+            r#"{"epoch":3,"answer":{"type":"root_causes","ranked":[["Buffer Size",0.5],["CRF",-0.25]]}}"#
+        );
+        let reply = render_reply(0, &QueryAnswer::Effect(1.0), &names);
+        assert_eq!(reply, r#"{"epoch":0,"answer":{"type":"effect","value":1}}"#);
+    }
+}

@@ -1,0 +1,281 @@
+//! The HTTP front of `unicornd`: `std::net` TCP, one thread per
+//! connection, a single batcher thread behind the admission queue.
+//!
+//! The daemon deliberately speaks a minimal HTTP/1.1 subset (no
+//! keep-alive, no chunked bodies): the workspace has no registry access,
+//! and the persistent `unicorn_exec::Executor` inside the engine is the
+//! scheduler that matters — connection threads only parse, enqueue, and
+//! block on their reply channel.
+//!
+//! Endpoints:
+//!
+//! * `GET /health` — `{"ok":true,"epoch":N}` from the current snapshot.
+//! * `POST /query` — a protocol request body (see [`crate::protocol`]);
+//!   replies `{"epoch":N,"answer":{...}}`, or HTTP 400 with
+//!   `{"error":"..."}` on a malformed request.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use unicorn_core::SnapshotCell;
+
+use crate::admission::{run_batcher, AdmissionQueue};
+use crate::protocol::{parse_request, render_error, render_reply};
+
+/// Server tunables.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Bind address; use port 0 for an OS-assigned loopback port.
+    pub addr: String,
+    /// Admission window: how long a batch holds the door open for
+    /// concurrent requests after the first arrival. Zero disables
+    /// coalescing delay (each batch takes whatever is already queued).
+    pub window: Duration,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".into(),
+            window: Duration::from_millis(2),
+        }
+    }
+}
+
+/// A running daemon: accept loop + batcher, both joined on shutdown.
+pub struct Server {
+    addr: SocketAddr,
+    queue: Arc<AdmissionQueue>,
+    snapshots: Arc<SnapshotCell>,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+    batcher_thread: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds, spawns the batcher and the accept loop, and returns. The
+    /// server serves whatever snapshot the cell currently holds;
+    /// publishing to the cell flips the model generation live.
+    pub fn start(snapshots: Arc<SnapshotCell>, opts: &ServeOptions) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(&opts.addr)?;
+        let addr = listener.local_addr()?;
+        let queue = AdmissionQueue::new();
+        let stop = Arc::new(AtomicBool::new(false));
+
+        let batcher_thread = {
+            let queue = Arc::clone(&queue);
+            let snapshots = Arc::clone(&snapshots);
+            let window = opts.window;
+            std::thread::Builder::new()
+                .name("unicornd-batcher".into())
+                .spawn(move || run_batcher(&queue, &snapshots, window))?
+        };
+
+        let accept_thread = {
+            let queue = Arc::clone(&queue);
+            let snapshots = Arc::clone(&snapshots);
+            let stop = Arc::clone(&stop);
+            std::thread::Builder::new()
+                .name("unicornd-accept".into())
+                .spawn(move || {
+                    for conn in listener.incoming() {
+                        if stop.load(Ordering::SeqCst) {
+                            break;
+                        }
+                        let Ok(stream) = conn else { continue };
+                        let queue = Arc::clone(&queue);
+                        let snapshots = Arc::clone(&snapshots);
+                        // One thread per connection: parse, enqueue,
+                        // block on the reply channel, write, close.
+                        let spawned = std::thread::Builder::new()
+                            .name("unicornd-conn".into())
+                            .spawn(move || handle_connection(stream, &queue, &snapshots));
+                        drop(spawned);
+                    }
+                })?
+        };
+
+        Ok(Self {
+            addr,
+            queue,
+            snapshots,
+            stop,
+            accept_thread: Some(accept_thread),
+            batcher_thread: Some(batcher_thread),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The snapshot cell this server reads — publish here to flip epochs.
+    pub fn snapshots(&self) -> &Arc<SnapshotCell> {
+        &self.snapshots
+    }
+
+    /// The admission queue (coalescing counters for tests/benches).
+    pub fn queue(&self) -> &Arc<AdmissionQueue> {
+        &self.queue
+    }
+
+    /// Stops accepting, drains the batcher, joins both threads.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Wake the accept loop with a no-op connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        self.queue.close();
+        if let Some(t) = self.batcher_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Reads one HTTP request, routes it, writes one response, closes.
+fn handle_connection(mut stream: TcpStream, queue: &AdmissionQueue, snapshots: &SnapshotCell) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
+    let Ok((method, path, body)) = read_request(&mut stream) else {
+        let _ = write_response(&mut stream, 400, &render_error("malformed HTTP request"));
+        return;
+    };
+    match (method.as_str(), path.as_str()) {
+        ("GET", "/health") => {
+            let epoch = snapshots.load().epoch;
+            let _ = write_response(
+                &mut stream,
+                200,
+                &format!("{{\"ok\":true,\"epoch\":{epoch}}}"),
+            );
+        }
+        ("POST", "/query") => {
+            // Names are stable across epochs of one system; the batch's
+            // snapshot decides the answering epoch.
+            let names = snapshots.load().names.clone();
+            match parse_request(&body, &names) {
+                Err(e) => {
+                    let _ = write_response(&mut stream, 400, &render_error(&e));
+                }
+                Ok(query) => match queue.submit(query).recv() {
+                    Ok(served) => {
+                        let reply = render_reply(served.epoch, &served.answer, &names);
+                        let _ = write_response(&mut stream, 200, &reply);
+                    }
+                    Err(_) => {
+                        let _ =
+                            write_response(&mut stream, 503, &render_error("server shutting down"));
+                    }
+                },
+            }
+        }
+        _ => {
+            let _ = write_response(&mut stream, 404, &render_error("no such endpoint"));
+        }
+    }
+}
+
+/// Parses the request line + headers + Content-Length body of one
+/// HTTP/1.1 request. Returns `(method, path, body)`.
+fn read_request(stream: &mut TcpStream) -> std::io::Result<(String, String, String)> {
+    let mut buf = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 1024];
+    let header_end = loop {
+        if let Some(at) = find_header_end(&buf) {
+            break at;
+        }
+        if buf.len() > 1 << 20 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                "headers too large",
+            ));
+        }
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(std::io::ErrorKind::UnexpectedEof.into());
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    };
+
+    let head = String::from_utf8_lossy(&buf[..header_end]).into_owned();
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or_default();
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or_default().to_string();
+    let path = parts.next().unwrap_or_default().to_string();
+
+    let mut content_length = 0usize;
+    for line in lines {
+        if let Some((k, v)) = line.split_once(':') {
+            if k.trim().eq_ignore_ascii_case("content-length") {
+                content_length = v.trim().parse().unwrap_or(0);
+            }
+        }
+    }
+
+    let mut body = buf[header_end + 4..].to_vec();
+    while body.len() < content_length {
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            break;
+        }
+        body.extend_from_slice(&chunk[..n]);
+    }
+    body.truncate(content_length);
+    Ok((method, path, String::from_utf8_lossy(&body).into_owned()))
+}
+
+fn find_header_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+fn write_response(stream: &mut TcpStream, status: u16, body: &str) -> std::io::Result<()> {
+    let reason = match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        _ => "Service Unavailable",
+    };
+    let head = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+/// A one-shot HTTP client for the smoke path and tests: sends `body` to
+/// `POST path` (or a bodiless `GET path`) and returns `(status, body)`.
+pub fn http_request(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> std::io::Result<(u16, String)> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(60)))?;
+    let body = body.unwrap_or("");
+    let request = format!(
+        "{method} {path} HTTP/1.1\r\nHost: unicornd\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(request.as_bytes())?;
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw)?;
+    let (head, reply_body) = raw
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidData, "no header end"))?;
+    let status = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidData, "no status"))?;
+    Ok((status, reply_body.to_string()))
+}

@@ -114,6 +114,15 @@ pub struct JointCodes {
     n_rows: usize,
 }
 
+impl JointCodes {
+    /// Distinct stratum count. First-seen codes are contiguous from 0, so
+    /// this is also the exclusive code bound — the `nz` the dense CMI
+    /// kernel needs without a `max`-scan.
+    pub fn distinct(&self) -> usize {
+        self.map.len()
+    }
+}
+
 /// Appends first-seen-order stratum codes for rows `from..to` of the member
 /// code columns — the exact assignment rule of
 /// [`crate::entropy::joint_code`], factored so both the cold build

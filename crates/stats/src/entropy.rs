@@ -113,11 +113,28 @@ pub fn conditional_entropy(xs: &[usize], ys: &[usize]) -> f64 {
 /// space is small enough, the sparse fold otherwise — both produce
 /// identical bits.
 pub fn mutual_information(xs: &[usize], ys: &[usize]) -> f64 {
+    if xs.is_empty() {
+        assert_eq!(xs.len(), ys.len(), "length mismatch");
+        return 0.0;
+    }
+    mutual_information_bounded(xs, ys, code_bound(xs), code_bound(ys))
+}
+
+/// [`mutual_information`] with caller-supplied code bounds (`x < nx` and
+/// `y < ny` for every row), skipping the per-call `max`-scans over the
+/// code columns. Callers holding cached discretization arities (the
+/// G-test CI backends) pass them straight through. Any valid upper bound
+/// produces identical bits: oversized bounds only add zero-count cells,
+/// which both the dense ascending-code folds and the sparse BTreeMap
+/// folds skip — at worst the dense/sparse dispatch flips, and those two
+/// paths are bit-identical by construction (module docs).
+pub fn mutual_information_bounded(xs: &[usize], ys: &[usize], nx: usize, ny: usize) -> f64 {
     assert_eq!(xs.len(), ys.len(), "length mismatch");
     if xs.is_empty() {
         return 0.0;
     }
-    let (nx, ny) = (code_bound(xs), code_bound(ys));
+    debug_assert!(xs.iter().all(|&x| x < nx), "x code out of bound");
+    debug_assert!(ys.iter().all(|&y| y < ny), "y code out of bound");
     if !dense_feasible(nx.checked_mul(ny), xs.len()) {
         return mutual_information_sparse(xs, ys);
     }
@@ -164,6 +181,37 @@ pub fn mutual_information_sparse(xs: &[usize], ys: &[usize]) -> f64 {
 /// each stratum's marginal/joint entropy terms fold in ascending code
 /// order, exactly as the BTreeMap path does.
 pub fn conditional_mutual_information(xs: &[usize], ys: &[usize], zs: &[usize]) -> f64 {
+    if xs.is_empty() {
+        assert!(
+            xs.len() == ys.len() && ys.len() == zs.len(),
+            "length mismatch"
+        );
+        return 0.0;
+    }
+    conditional_mutual_information_bounded(
+        xs,
+        ys,
+        zs,
+        code_bound(xs),
+        code_bound(ys),
+        code_bound(zs),
+    )
+}
+
+/// [`conditional_mutual_information`] with caller-supplied code bounds
+/// (`x < nx`, `y < ny`, `z < nz` for every row), skipping the per-call
+/// `max`-scans. Same bit-identity contract as
+/// [`mutual_information_bounded`]: any valid upper bound yields the same
+/// bits, since zero-count cells and empty strata are skipped on every
+/// path.
+pub fn conditional_mutual_information_bounded(
+    xs: &[usize],
+    ys: &[usize],
+    zs: &[usize],
+    nx: usize,
+    ny: usize,
+    nz: usize,
+) -> f64 {
     assert!(
         xs.len() == ys.len() && ys.len() == zs.len(),
         "length mismatch"
@@ -171,7 +219,9 @@ pub fn conditional_mutual_information(xs: &[usize], ys: &[usize], zs: &[usize]) 
     if xs.is_empty() {
         return 0.0;
     }
-    let (nx, ny, nz) = (code_bound(xs), code_bound(ys), code_bound(zs));
+    debug_assert!(xs.iter().all(|&x| x < nx), "x code out of bound");
+    debug_assert!(ys.iter().all(|&y| y < ny), "y code out of bound");
+    debug_assert!(zs.iter().all(|&z| z < nz), "z code out of bound");
     let cells = nx.checked_mul(ny).and_then(|c| c.checked_mul(nz));
     if !dense_feasible(cells, xs.len()) {
         return conditional_mutual_information_sparse(xs, ys, zs);
@@ -240,6 +290,14 @@ pub fn conditional_mutual_information_sparse(xs: &[usize], ys: &[usize], zs: &[u
 /// use as a joint conditioning variable. Codes are assigned in first-seen
 /// order, so the result is deterministic for a given row order.
 pub fn joint_code(columns: &[&[usize]], n: usize) -> Vec<usize> {
+    joint_code_counted(columns, n).0
+}
+
+/// [`joint_code`] returning the distinct stratum count alongside the
+/// codes. First-seen codes are contiguous from 0, so the count is also
+/// the exclusive code bound — callers can feed it straight to
+/// [`conditional_mutual_information_bounded`] without rescanning.
+pub fn joint_code_counted(columns: &[&[usize]], n: usize) -> (Vec<usize>, usize) {
     let mut codes: HashMap<Vec<usize>, usize> = HashMap::new();
     let mut out = Vec::with_capacity(n);
     for i in 0..n {
@@ -247,7 +305,8 @@ pub fn joint_code(columns: &[&[usize]], n: usize) -> Vec<usize> {
         let next = codes.len();
         out.push(*codes.entry(key).or_insert(next));
     }
-    out
+    let distinct = codes.len();
+    (out, distinct)
 }
 
 /// Empirical conditional distributions p(Y | X = x) as a map from x-code to
@@ -306,6 +365,33 @@ mod tests {
         let ys = zs;
         assert!(mutual_information(&xs, &ys) > 0.9);
         assert!(conditional_mutual_information(&xs, &ys, &zs).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bounded_variants_match_scanned_bounds_bitwise() {
+        let xs = [0usize, 2, 1, 2, 0, 1, 2, 0];
+        let ys = [1usize, 0, 1, 2, 2, 0, 1, 2];
+        let zs = [0usize, 1, 0, 1, 1, 0, 0, 1];
+        let mi = mutual_information(&xs, &ys);
+        // Exact and oversized bounds both reproduce the scanned result
+        // bit for bit (extra cells are zero-count and skipped).
+        assert_eq!(
+            mi.to_bits(),
+            mutual_information_bounded(&xs, &ys, 3, 3).to_bits()
+        );
+        assert_eq!(
+            mi.to_bits(),
+            mutual_information_bounded(&xs, &ys, 7, 5).to_bits()
+        );
+        let cmi = conditional_mutual_information(&xs, &ys, &zs);
+        assert_eq!(
+            cmi.to_bits(),
+            conditional_mutual_information_bounded(&xs, &ys, &zs, 3, 3, 2).to_bits()
+        );
+        assert_eq!(
+            cmi.to_bits(),
+            conditional_mutual_information_bounded(&xs, &ys, &zs, 6, 4, 3).to_bits()
+        );
     }
 
     #[test]

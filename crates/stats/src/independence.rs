@@ -15,7 +15,9 @@
 use crate::correlation::{correlation_matrix, partial_correlation};
 use crate::dataview::{CiKey, DataView};
 use crate::dist::{chi2_sf, normal_two_sided_p};
-use crate::entropy::{conditional_mutual_information, joint_code, mutual_information};
+use crate::entropy::{
+    conditional_mutual_information_bounded, joint_code_counted, mutual_information_bounded,
+};
 use crate::matrix::Matrix;
 use crate::smallset::SmallIdSet;
 
@@ -172,24 +174,30 @@ impl CiTest for FisherZ {
     }
 }
 
-/// The G-test arithmetic on code slices shared by both backends.
+/// The G-test arithmetic on code slices shared by both backends. The
+/// arities double as code bounds for the dense contingency kernels
+/// (every code is `< arity` by the discretizer's contract), so the MI
+/// estimators skip their per-call `max`-scans over the code columns; a
+/// conditioning set passes `(codes, distinct stratum count, df strata)`.
 fn g_outcome(
     x_codes: &[usize],
     y_codes: &[usize],
     x_arity: usize,
     y_arity: usize,
-    zcode: Option<(&[usize], f64)>,
+    zcode: Option<(&[usize], usize, f64)>,
     n: usize,
 ) -> (f64, f64) {
     let nf = n as f64;
     let (mi, df) = match zcode {
         None => {
-            let mi = mutual_information(x_codes, y_codes);
+            let mi = mutual_information_bounded(x_codes, y_codes, x_arity, y_arity);
             let df = (x_arity.max(2) - 1) * (y_arity.max(2) - 1);
             (mi, df as f64)
         }
-        Some((zc, strata)) => {
-            let mi = conditional_mutual_information(x_codes, y_codes, zc);
+        Some((zc, z_arity, strata)) => {
+            let mi = conditional_mutual_information_bounded(
+                x_codes, y_codes, zc, x_arity, y_arity, z_arity,
+            );
             let df = (x_arity.max(2) - 1) as f64 * (y_arity.max(2) - 1) as f64 * strata;
             (mi, df)
         }
@@ -221,6 +229,8 @@ pub struct GTest {
 
 impl GTest {
     /// Builds the test from pre-discretized columns and their arities.
+    /// Every code must satisfy `codes[c][i] < arities[c]` — the arities
+    /// are used as dense-kernel code bounds, not just degrees of freedom.
     pub fn new(codes: Vec<Vec<usize>>, arities: Vec<usize>) -> Self {
         let n = codes.first().map_or(0, Vec::len);
         Self {
@@ -253,14 +263,14 @@ impl CiTest for GTest {
                     g_outcome(&codes[x], &codes[y], arities[x], arities[y], None, *n)
                 } else {
                     let zcols: Vec<&[usize]> = z.iter().map(|&i| codes[i].as_slice()).collect();
-                    let zcode = joint_code(&zcols, *n);
+                    let (zcode, z_arity) = joint_code_counted(&zcols, *n);
                     let strata: f64 = z.iter().map(|&i| arities[i].max(1) as f64).product();
                     g_outcome(
                         &codes[x],
                         &codes[y],
                         arities[x],
                         arities[y],
-                        Some((&zcode, strata)),
+                        Some((&zcode, z_arity, strata)),
                         *n,
                     )
                 }
@@ -292,7 +302,7 @@ impl CiTest for GTest {
                             &cy.codes,
                             cx.arity,
                             cy.arity,
-                            Some((&jz.codes, jz.strata)),
+                            Some((&jz.codes, jz.distinct(), jz.strata)),
                             view.n_rows(),
                         )
                     }

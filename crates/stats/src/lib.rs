@@ -34,8 +34,9 @@ pub use dataview::{ColumnCodes, ColumnStats, DataView, JointCodes};
 pub use descriptive::{mape, mean, median, quantile, r_squared, standardize, std_dev, variance};
 pub use discretize::{discretize_columns, Discretizer};
 pub use entropy::{
-    conditional_mutual_information, conditional_mutual_information_sparse, entropy,
-    mutual_information, mutual_information_sparse,
+    conditional_mutual_information, conditional_mutual_information_bounded,
+    conditional_mutual_information_sparse, entropy, mutual_information, mutual_information_bounded,
+    mutual_information_sparse,
 };
 pub use independence::{CiOutcome, CiTest, FisherZ, GTest, MixedTest};
 pub use matrix::{ols, Matrix};

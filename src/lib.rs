@@ -20,6 +20,7 @@
 //! | [`inference`] | `unicorn-inference` | fitted SCMs, ACE/ICE, repairs, queries |
 //! | [`systems`] | `unicorn-systems` | simulated testbed, fault catalog, environments |
 //! | [`core`] | `unicorn-core` | the Unicorn loop: debugging, optimization, transfer |
+//! | [`serve`] | `unicorn-serve` | `unicornd`: resident daemon, admission-batched query coalescing |
 //! | [`baselines`] | `unicorn-baselines` | CBI, DD, EnCore, BugDoc, SMAC, PESMO |
 //!
 //! ## The `DataView` data layer
@@ -82,5 +83,6 @@ pub use unicorn_discovery as discovery;
 pub use unicorn_exec as exec;
 pub use unicorn_graph as graph;
 pub use unicorn_inference as inference;
+pub use unicorn_serve as serve;
 pub use unicorn_stats as stats;
 pub use unicorn_systems as systems;

@@ -1,0 +1,227 @@
+//! Serving-layer coalescing invariants: a merged admission batch must be
+//! a pure throughput optimization. For any workload of performance
+//! queries, the demultiplexed answers of one coalesced `PlanBatch` are
+//! bit-identical to estimating each query alone — at every worker-pool
+//! size — and an epoch flip interleaved with an in-flight batch never
+//! leaks across the snapshot boundary: the in-flight reader keeps the
+//! epoch it loaded, post-flip requests see the new one.
+
+use std::sync::{Arc, OnceLock};
+
+use proptest::prelude::*;
+
+use unicorn::core::{SnapshotCell, UnicornOptions, UnicornState};
+use unicorn::exec::Executor;
+use unicorn::graph::{NodeId, VarKind};
+use unicorn::inference::{answer_coalesced, PerformanceQuery, QosGoal, QueryAnswer};
+use unicorn::systems::{Environment, Hardware, Simulator, SubjectSystem};
+
+const POOLS: [usize; 3] = [1, 2, 8];
+const SAMPLES: usize = 60;
+
+fn sim() -> Simulator {
+    Simulator::new(
+        SubjectSystem::X264.build(),
+        Environment::on(Hardware::Tx2),
+        42,
+    )
+}
+
+fn opts_on(pool: usize) -> UnicornOptions {
+    let mut opts = UnicornOptions {
+        initial_samples: SAMPLES,
+        ..UnicornOptions::default()
+    };
+    opts.discovery.exec = Some(Executor::new(pool));
+    opts
+}
+
+/// One learned snapshot per pool size, built once: the model is
+/// bit-identical across pools (the house thread-count contract), so the
+/// per-pool snapshots differ only in executor.
+fn snapshots() -> &'static Vec<Arc<unicorn::core::EngineSnapshot>> {
+    static SNAPSHOTS: OnceLock<Vec<Arc<unicorn::core::EngineSnapshot>>> = OnceLock::new();
+    SNAPSHOTS.get_or_init(|| {
+        let sim = sim();
+        POOLS
+            .iter()
+            .map(|&pool| {
+                let opts = opts_on(pool);
+                UnicornState::bootstrap(&sim, &opts).publish_snapshot(&sim, &opts)
+            })
+            .collect()
+    })
+}
+
+/// Strict bitwise equality of answers (scores, order, payloads).
+fn assert_bits_equal(a: &QueryAnswer, b: &QueryAnswer, what: &str) {
+    match (a, b) {
+        (QueryAnswer::Effect(x), QueryAnswer::Effect(y))
+        | (QueryAnswer::Probability(x), QueryAnswer::Probability(y))
+        | (QueryAnswer::Expectation(x), QueryAnswer::Expectation(y)) => {
+            assert_eq!(x.to_bits(), y.to_bits(), "{what}: scalar drift");
+        }
+        (QueryAnswer::RootCauses(xs), QueryAnswer::RootCauses(ys)) => {
+            assert_eq!(xs.len(), ys.len(), "{what}: rank length drift");
+            for ((nx, sx), (ny, sy)) in xs.iter().zip(ys) {
+                assert_eq!(nx, ny, "{what}: rank order drift");
+                assert_eq!(sx.to_bits(), sy.to_bits(), "{what}: score drift");
+            }
+        }
+        (QueryAnswer::Repairs(xs), QueryAnswer::Repairs(ys)) => {
+            assert_eq!(xs.len(), ys.len(), "{what}: repair count drift");
+            for (x, y) in xs.iter().zip(ys) {
+                assert_eq!(x.assignments, y.assignments, "{what}: assignment drift");
+                assert_eq!(x.ice.to_bits(), y.ice.to_bits(), "{what}: ICE drift");
+                assert_eq!(
+                    x.improvement.to_bits(),
+                    y.improvement.to_bits(),
+                    "{what}: improvement drift"
+                );
+            }
+        }
+        (
+            QueryAnswer::Unidentifiable {
+                cause: c1,
+                effect: e1,
+            },
+            QueryAnswer::Unidentifiable {
+                cause: c2,
+                effect: e2,
+            },
+        ) => {
+            assert_eq!((c1, e1), (c2, e2), "{what}: unidentifiable pair drift");
+        }
+        (a, b) => panic!("{what}: answer variant drift: {a:?} vs {b:?}"),
+    }
+}
+
+/// A raw generated query: kind + index/threshold material, mapped onto
+/// the system's actual nodes and domains at use time.
+#[derive(Debug, Clone)]
+struct RawQuery {
+    kind: u8,
+    a: usize,
+    b: usize,
+    threshold: f64,
+}
+
+fn raw_query() -> impl Strategy<Value = RawQuery> {
+    (0u8..5, 0usize..64, 0usize..64, 5.0f64..80.0).prop_map(|(kind, a, b, threshold)| RawQuery {
+        kind,
+        a,
+        b,
+        threshold,
+    })
+}
+
+fn realize(
+    raw: &RawQuery,
+    options: &[NodeId],
+    objectives: &[NodeId],
+    sim: &Simulator,
+) -> PerformanceQuery {
+    let option = options[raw.a % options.len()];
+    let objective = objectives[raw.b % objectives.len()];
+    // Intervene at a real domain value of the chosen option.
+    let values = &sim.model.space.option(raw.a % options.len()).values;
+    let value = values[raw.b % values.len()];
+    match raw.kind {
+        0 => PerformanceQuery::CausalEffect { option, objective },
+        1 => PerformanceQuery::ProbabilityOfQos {
+            interventions: vec![(option, value)],
+            objective,
+            threshold: raw.threshold,
+        },
+        2 => PerformanceQuery::ExpectedObjective {
+            interventions: vec![(option, value)],
+            objective,
+        },
+        3 => PerformanceQuery::RootCauses {
+            goal: QosGoal::single(objective, raw.threshold),
+        },
+        _ => PerformanceQuery::Repairs {
+            goal: QosGoal::single(objective, raw.threshold),
+            fault_row: raw.a % SAMPLES,
+        },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// The tentpole invariant: coalesced == standalone, bitwise, at every
+    /// pool size — and the answers agree bitwise *across* pool sizes.
+    #[test]
+    fn coalesced_batch_is_bit_identical_to_standalone(raws in prop::collection::vec(raw_query(), 1..5)) {
+        let sim = sim();
+        let tiers = sim.model.tiers();
+        let options = tiers.of_kind(VarKind::ConfigOption);
+        let objectives = tiers.of_kind(VarKind::Objective);
+        let queries: Vec<PerformanceQuery> = raws
+            .iter()
+            .map(|r| realize(r, &options, &objectives, &sim))
+            .collect();
+
+        let mut per_pool: Vec<Vec<QueryAnswer>> = Vec::new();
+        for (snap, pool) in snapshots().iter().zip(POOLS) {
+            let coalesced = answer_coalesced(&snap.engine, &queries);
+            for (i, (got, q)) in coalesced.iter().zip(&queries).enumerate() {
+                let want = snap.engine.estimate(q);
+                assert_bits_equal(got, &want, &format!("pool={pool} query#{i}"));
+            }
+            per_pool.push(coalesced);
+        }
+        for (answers, pool) in per_pool[1..].iter().zip(&POOLS[1..]) {
+            for (i, (got, base)) in answers.iter().zip(&per_pool[0]).enumerate() {
+                assert_bits_equal(got, base, &format!("pool={pool} vs pool=1 query#{i}"));
+            }
+        }
+    }
+
+    /// Epoch-flip interleave: a batch that loaded its snapshot before a
+    /// publish keeps computing against the old epoch (bit-identical to
+    /// that epoch's standalone answers); a load after the flip sees the
+    /// new epoch and its answers instead.
+    #[test]
+    fn epoch_flip_never_leaks_into_inflight_batches(raws in prop::collection::vec(raw_query(), 1..4)) {
+        let sim = sim();
+        let tiers = sim.model.tiers();
+        let options = tiers.of_kind(VarKind::ConfigOption);
+        let objectives = tiers.of_kind(VarKind::Objective);
+        let queries: Vec<PerformanceQuery> = raws
+            .iter()
+            .map(|r| realize(r, &options, &objectives, &sim))
+            .collect();
+
+        let opts = opts_on(2);
+        let mut state = UnicornState::bootstrap(&sim, &opts);
+        let cell = SnapshotCell::new(state.publish_snapshot(&sim, &opts));
+
+        // An in-flight batch loads its snapshot...
+        let held = cell.load();
+        let epoch_before = held.epoch;
+
+        // ...a relearn grows the data and flips the epoch underneath it...
+        let extra = unicorn::systems::generate(&sim, 16, 0xF11F);
+        state.extend_data(&extra);
+        cell.publish(state.publish_snapshot(&sim, &opts));
+
+        // ...and the in-flight batch still answers against the epoch it
+        // loaded, bit-identical to standalone estimates on that epoch.
+        prop_assert_eq!(held.epoch, epoch_before);
+        let coalesced = answer_coalesced(&held.engine, &queries);
+        for (i, (got, q)) in coalesced.iter().zip(&queries).enumerate() {
+            assert_bits_equal(got, &held.engine.estimate(q), &format!("in-flight query#{i}"));
+        }
+
+        // A post-flip admission sees the new epoch and the refit model.
+        let fresh = cell.load();
+        prop_assert!(fresh.epoch > epoch_before, "publish must advance the epoch");
+        prop_assert_eq!(fresh.n_rows, held.n_rows + 16);
+        let coalesced = answer_coalesced(&fresh.engine, &queries);
+        for (i, (got, q)) in coalesced.iter().zip(&queries).enumerate() {
+            assert_bits_equal(got, &fresh.engine.estimate(q), &format!("post-flip query#{i}"));
+        }
+    }
+}

@@ -1,0 +1,268 @@
+//! The fleet-scale benchmark (`BENCH_fleet.json`): N=1000 generate-on-
+//! demand synthetic tenants multiplexed through one `unicorn_core::Fleet`
+//! under mixed query / append / relearn traffic, in two arms:
+//!
+//! * `unbounded` — no memory budget: every tenant's statistic caches
+//!   stay resident. Run once, it fixes the reference answers and the
+//!   cache high-water mark the budget is derived from.
+//! * `budgeted` — the same admission order and traffic under a global
+//!   budget of (segment floor + ¼ of the unbounded cache bytes), so the
+//!   maintain pass must evict cold tenants' caches throughout. Every
+//!   answer is asserted **bit-identical** to the unbounded arm in-run:
+//!   eviction trades latency, never answers.
+//!
+//! Tenants come from `ScenarioRegistry::synthetic_on_demand` — replica
+//! groups of four share a spec and a bootstrap seed, so three of every
+//! four admissions exercise the cross-tenant warm start (the admitted
+//! model is adopted from the group head, provably bit-identical to the
+//! cold learn it skips).
+//!
+//! The report carries the usual `benchmarks` array for the bench gate
+//! (admission and mixed-traffic wall clocks, plus query p50/p99 encoded
+//! as pseudo-latencies) and a `fleet` section with throughput, peak
+//! accounted bytes, the budget, and eviction / warm-admission counts.
+//!
+//! ```sh
+//! UNICORN_BENCH_JSON=BENCH_fleet.json cargo bench -p unicorn-bench --bench fleet
+//! ```
+//!
+//! `UNICORN_BENCH_SAMPLES=<n>` repeats the budgeted arm `n` times (the
+//! gate reads mean timings); `UNICORN_FLEET_TENANTS=<n>` shrinks the
+//! fleet for quick local runs (the checked-in baseline is N=1000).
+
+use std::time::{Duration, Instant};
+
+use unicorn_core::{Fleet, FleetOptions, UnicornOptions};
+use unicorn_graph::VarKind;
+use unicorn_inference::PerformanceQuery;
+use unicorn_systems::{ScenarioRegistry, ScenarioSpec};
+
+/// Tenants per replica group share one bootstrap seed, so warm starts
+/// actually fire (bit-identical bootstrap data is the adoption gate).
+fn sample_seed(i: usize) -> u64 {
+    0xA5A5_0000 ^ (i / ScenarioRegistry::ON_DEMAND_REPLICAS) as u64
+}
+
+fn fleet_unicorn_opts() -> UnicornOptions {
+    let mut opts = UnicornOptions {
+        initial_samples: 20,
+        relearn_every: usize::MAX,
+        ..UnicornOptions::default()
+    };
+    // Shallow discovery keeps a thousand cold admissions interactive;
+    // depth is identical in both arms, so the bit-identity assertions
+    // still cover the full cache economy.
+    opts.discovery.max_depth = 1;
+    opts.discovery.pds_depth = 0;
+    opts
+}
+
+/// The per-tenant probe query: first option's effect on the first
+/// objective (resolved per spec, since tenants differ in shape).
+fn probe_query(spec: &ScenarioSpec) -> PerformanceQuery {
+    let tiers = spec.build().tiers();
+    PerformanceQuery::CausalEffect {
+        option: tiers.of_kind(VarKind::ConfigOption)[0],
+        objective: tiers.of_kind(VarKind::Objective)[0],
+    }
+}
+
+struct TrafficOutcome {
+    admit: Duration,
+    mixed: Duration,
+    latencies: Vec<Duration>,
+    answers: Vec<String>,
+    warm_admissions: u64,
+}
+
+/// Admits `n` tenants and drives the deterministic mixed-traffic script:
+/// one probe query per tenant, every 10th tenant also appends a batch,
+/// relearns, and re-queries; a maintain pass every 50 tenants models the
+/// serving loop's periodic sweep. Returns wall clocks, per-query
+/// latencies, and every answer (Debug-formatted — bitwise faithful).
+fn run_traffic(fleet: &mut Fleet, n: usize) -> TrafficOutcome {
+    let t0 = Instant::now();
+    for i in 0..n {
+        let spec = ScenarioRegistry::synthetic_on_demand(i);
+        fleet.admit(&format!("t{i}"), spec, sample_seed(i));
+    }
+    let admit = t0.elapsed();
+    let warm_admissions = fleet.stats().warm_admissions;
+
+    let mut latencies = Vec::with_capacity(n + n / 10);
+    let mut answers = Vec::with_capacity(n + n / 10);
+    let t1 = Instant::now();
+    for i in 0..n {
+        let name = format!("t{i}");
+        let q = probe_query(&ScenarioRegistry::synthetic_on_demand(i));
+        let tq = Instant::now();
+        let a = fleet.query(&name, &q);
+        latencies.push(tq.elapsed());
+        answers.push(format!("{a:?}"));
+        if i % 10 == 0 {
+            fleet.append(&name, 8, 0xFEED ^ i as u64);
+            fleet.relearn(&name);
+            let tq = Instant::now();
+            let a = fleet.query(&name, &q);
+            latencies.push(tq.elapsed());
+            answers.push(format!("{a:?}"));
+        }
+        if i % 50 == 49 {
+            fleet.maintain();
+        }
+    }
+    fleet.maintain();
+    let mixed = t1.elapsed();
+    TrafficOutcome {
+        admit,
+        mixed,
+        latencies,
+        answers,
+        warm_admissions,
+    }
+}
+
+fn percentile(sorted: &[Duration], p: f64) -> Duration {
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx]
+}
+
+struct Row {
+    name: String,
+    ns: Vec<u128>,
+}
+
+fn render_json(rows: &[Row], fleet_section: &str) -> String {
+    let mut out = String::from("{\n  \"benchmarks\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        let min = row.ns.iter().min().expect("samples");
+        let max = row.ns.iter().max().expect("samples");
+        let mean = row.ns.iter().sum::<u128>() / row.ns.len() as u128;
+        let sep = if i + 1 == rows.len() { "" } else { "," };
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"min_ns\": {min}, \"mean_ns\": {mean}, \"max_ns\": {max}, \"samples\": {}}}{sep}\n",
+            row.name,
+            row.ns.len(),
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str(fleet_section);
+    out.push_str("}\n");
+    out
+}
+
+fn main() {
+    let n: usize = std::env::var("UNICORN_FLEET_TENANTS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(1000);
+    let samples: usize = std::env::var("UNICORN_BENCH_SAMPLES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(1);
+
+    // Reference arm: unbounded. Fixes the expected answers and the cache
+    // high-water mark the budget is derived from.
+    println!("fleet: {n} tenants, unbounded reference arm");
+    let mut reference = Fleet::new(FleetOptions {
+        memory_budget: None,
+        unicorn: fleet_unicorn_opts(),
+        ..FleetOptions::default()
+    });
+    let ref_out = run_traffic(&mut reference, n);
+    let (ref_segments, ref_caches) = reference.accounted_breakdown();
+    let ref_stats = reference.stats();
+    assert!(
+        ref_out.warm_admissions > 0,
+        "replica groups must produce warm admissions"
+    );
+    drop(reference);
+
+    // The budget admits the raw floor plus a quarter of the unbounded
+    // cache footprint: tight enough that the maintain pass must keep
+    // evicting, loose enough that eviction can always reach it.
+    let budget = ref_segments + ref_caches / 4;
+    println!(
+        "fleet: budget {budget} B (floor {ref_segments} B + {} B of {ref_caches} B caches), {samples} budgeted pass(es)",
+        ref_caches / 4
+    );
+
+    let mut rows = vec![
+        Row {
+            name: format!("fleet_n{n}/admit_{n}"),
+            ns: Vec::new(),
+        },
+        Row {
+            name: format!("fleet_n{n}/mixed_traffic"),
+            ns: Vec::new(),
+        },
+        Row {
+            name: format!("fleet_n{n}/query_p50"),
+            ns: Vec::new(),
+        },
+        Row {
+            name: format!("fleet_n{n}/query_p99"),
+            ns: Vec::new(),
+        },
+    ];
+    let mut last_stats = None;
+    let mut throughput_qps = 0.0;
+    for pass in 0..samples {
+        let mut fleet = Fleet::new(FleetOptions {
+            memory_budget: Some(budget),
+            unicorn: fleet_unicorn_opts(),
+            ..FleetOptions::default()
+        });
+        let out = run_traffic(&mut fleet, n);
+        let stats = fleet.stats();
+
+        // In-run acceptance assertions: evictions actually happened,
+        // the post-sweep accounting respects the budget, and every
+        // evicted-then-rederived answer matches the unbounded arm
+        // bitwise.
+        assert!(stats.evictions > 0, "budgeted arm must evict");
+        assert!(
+            stats.peak_bytes <= budget,
+            "peak {} exceeds budget {budget}",
+            stats.peak_bytes
+        );
+        assert_eq!(out.warm_admissions, ref_out.warm_admissions);
+        assert_eq!(
+            out.answers, ref_out.answers,
+            "budgeted answers diverged from the unbounded arm"
+        );
+
+        let mut sorted = out.latencies.clone();
+        sorted.sort();
+        let queries = out.latencies.len();
+        throughput_qps = queries as f64 / out.mixed.as_secs_f64();
+        println!(
+            "pass {}/{samples}: admit {:?}, mixed {:?} ({queries} queries, {:.0} q/s), p50 {:?}, p99 {:?}, evictions {}, peak {} B",
+            pass + 1,
+            out.admit,
+            out.mixed,
+            throughput_qps,
+            percentile(&sorted, 0.50),
+            percentile(&sorted, 0.99),
+            stats.evictions,
+            stats.peak_bytes,
+        );
+        rows[0].ns.push(out.admit.as_nanos());
+        rows[1].ns.push(out.mixed.as_nanos());
+        rows[2].ns.push(percentile(&sorted, 0.50).as_nanos());
+        rows[3].ns.push(percentile(&sorted, 0.99).as_nanos());
+        last_stats = Some(stats);
+    }
+
+    let stats = last_stats.expect("at least one pass");
+    let fleet_section = format!(
+        "  \"fleet\": {{\"tenants\": {n}, \"budget_bytes\": {budget}, \"peak_bytes\": {}, \"unbounded_peak_bytes\": {}, \"evictions\": {}, \"warm_admissions\": {}, \"throughput_qps\": {:.1}}}\n",
+        stats.peak_bytes, ref_stats.peak_bytes, stats.evictions, stats.warm_admissions, throughput_qps,
+    );
+    let path =
+        std::env::var("UNICORN_BENCH_JSON").unwrap_or_else(|_| "BENCH_fleet.json".to_string());
+    std::fs::write(&path, render_json(&rows, &fleet_section)).expect("write fleet report");
+    println!("fleet report -> {path}");
+}

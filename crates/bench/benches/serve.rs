@@ -24,7 +24,7 @@ use std::time::Duration;
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
-use unicorn_core::{SnapshotCell, UnicornOptions, UnicornState};
+use unicorn_core::{SnapshotCell, SnapshotRouter, UnicornOptions, UnicornState, DEFAULT_TENANT};
 use unicorn_graph::VarKind;
 use unicorn_inference::{answer_coalesced, PerformanceQuery, QueryAnswer};
 use unicorn_serve::admission::{run_batcher, AdmissionQueue};
@@ -89,7 +89,11 @@ fn coalesced(s: &Setup) -> Vec<QueryAnswer> {
 }
 
 fn admission_pipeline(s: &Setup, queue: &AdmissionQueue) -> Vec<QueryAnswer> {
-    let receivers: Vec<_> = s.queries.iter().map(|q| queue.submit(q.clone())).collect();
+    let receivers: Vec<_> = s
+        .queries
+        .iter()
+        .map(|q| queue.submit(DEFAULT_TENANT, q.clone()))
+        .collect();
     receivers
         .into_iter()
         .map(|rx| rx.recv().expect("batcher died").answer)
@@ -117,8 +121,8 @@ fn bench_serve(c: &mut Criterion) {
     let queue = AdmissionQueue::new();
     let batcher = {
         let queue = Arc::clone(&queue);
-        let snapshots = Arc::clone(&s.snapshots);
-        std::thread::spawn(move || run_batcher(&queue, &snapshots, Duration::from_micros(500)))
+        let router = SnapshotRouter::single(Arc::clone(&s.snapshots));
+        std::thread::spawn(move || run_batcher(&queue, &router, Duration::from_micros(500)))
     };
 
     // Bit-identity across all three arms before any timing: coalescing

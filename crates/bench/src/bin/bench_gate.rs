@@ -10,7 +10,9 @@
 
 use std::process::ExitCode;
 
-use unicorn_bench::gate::{compare, min_ns_from_env, parse_report, tolerance_from_env};
+use unicorn_bench::gate::{
+    compare, min_ns_from_env, parse_report, stat_from_env, tolerance_from_env,
+};
 
 fn load(path: &str) -> Result<Vec<unicorn_bench::gate::BenchRecord>, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
@@ -28,6 +30,7 @@ fn main() -> ExitCode {
     };
     let tolerance = tolerance_from_env();
     let min_ns = min_ns_from_env();
+    let stat = stat_from_env();
     let (baseline, current) = match (load(baseline_path), load(current_path)) {
         (Ok(b), Ok(c)) => (b, c),
         (b, c) => {
@@ -39,12 +42,13 @@ fn main() -> ExitCode {
     };
 
     println!(
-        "bench-gate: {} vs {} (tolerance {tolerance:.0}%, floor {:.1} ms)",
+        "bench-gate: {} vs {} (tolerance {tolerance:.0}%, floor {:.2} ms, stat {})",
         baseline_path,
         current_path,
-        min_ns / 1e6
+        min_ns / 1e6,
+        stat.name(),
     );
-    let comparisons = compare(&baseline, &current, tolerance, min_ns);
+    let comparisons = compare(&baseline, &current, tolerance, min_ns, stat);
     let mut regressions = 0usize;
     for c in &comparisons {
         let verdict = if c.regressed {

@@ -24,6 +24,40 @@ pub struct BenchRecord {
     pub name: String,
     /// Mean wall clock in nanoseconds.
     pub mean_ns: f64,
+    /// Fastest sample in nanoseconds.
+    pub min_ns: f64,
+}
+
+/// Which statistic the gate compares. `Mean` is the default; `Min`
+/// (fastest sample) is the noise-resistant choice for benchmarks whose
+/// per-pass wall clocks are dominated by allocator or scheduler state
+/// rather than the code under test — an outlier pass inflates a mean but
+/// never a min, while a structural regression (a stage gone serial, a
+/// cache that stopped hitting) slows every pass including the fastest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GateStat {
+    /// Compare `mean_ns` (default).
+    Mean,
+    /// Compare `min_ns` (fastest sample).
+    Min,
+}
+
+impl GateStat {
+    /// The compared value of `record` under this statistic.
+    pub fn value(self, record: &BenchRecord) -> f64 {
+        match self {
+            GateStat::Mean => record.mean_ns,
+            GateStat::Min => record.min_ns,
+        }
+    }
+
+    /// Display name (`mean` / `min`).
+    pub fn name(self) -> &'static str {
+        match self {
+            GateStat::Mean => "mean",
+            GateStat::Min => "min",
+        }
+    }
 }
 
 /// Extracts the `benchmarks` array from a report produced by the
@@ -76,7 +110,12 @@ pub fn parse_report(json: &str) -> Result<Vec<BenchRecord>, String> {
 fn parse_object(body: &str) -> Result<BenchRecord, String> {
     let name = string_field(body, "name")?;
     let mean_ns = number_field(body, "mean_ns")?;
-    Ok(BenchRecord { name, mean_ns })
+    let min_ns = number_field(body, "min_ns")?;
+    Ok(BenchRecord {
+        name,
+        mean_ns,
+        min_ns,
+    })
 }
 
 fn string_field(body: &str, field: &str) -> Result<String, String> {
@@ -157,31 +196,36 @@ pub struct Comparison {
     pub regressed: bool,
 }
 
-/// Compares every baseline benchmark against the current report: a
-/// benchmark regresses when its current mean exceeds the baseline mean by
-/// more than `tolerance_pct` percent, or when it vanished from the
-/// current report. Baseline means below `min_ns` are compared but not
-/// enforced (scheduler noise dominates sub-floor timings). Benchmarks new
-/// in the current report are ignored — they have no baseline to regress
-/// from; refresh the baseline to start tracking them.
+/// Compares every baseline benchmark against the current report under
+/// `stat` (mean by default, min when opted in via
+/// `UNICORN_BENCH_GATE_STAT=min`): a benchmark regresses when its current
+/// value exceeds the baseline value by more than `tolerance_pct` percent,
+/// or when it vanished from the current report. Baseline values below
+/// `min_ns` are compared but not enforced (scheduler noise dominates
+/// sub-floor timings). Benchmarks new in the current report are ignored —
+/// they have no baseline to regress from; refresh the baseline to start
+/// tracking them.
 pub fn compare(
     baseline: &[BenchRecord],
     current: &[BenchRecord],
     tolerance_pct: f64,
     min_ns: f64,
+    stat: GateStat,
 ) -> Vec<Comparison> {
     baseline
         .iter()
         .map(|b| {
-            let enforced = b.mean_ns >= min_ns;
+            let base = stat.value(b);
+            let enforced = base >= min_ns;
             let cur = current.iter().find(|c| c.name == b.name);
             match cur {
                 Some(c) => {
-                    let delta = (c.mean_ns - b.mean_ns) / b.mean_ns * 100.0;
+                    let cur_v = stat.value(c);
+                    let delta = (cur_v - base) / base * 100.0;
                     Comparison {
                         name: b.name.clone(),
-                        baseline_ns: b.mean_ns,
-                        current_ns: Some(c.mean_ns),
+                        baseline_ns: base,
+                        current_ns: Some(cur_v),
                         delta_pct: Some(delta),
                         enforced,
                         regressed: enforced && delta > tolerance_pct,
@@ -189,7 +233,7 @@ pub fn compare(
                 }
                 None => Comparison {
                     name: b.name.clone(),
-                    baseline_ns: b.mean_ns,
+                    baseline_ns: base,
                     current_ns: None,
                     delta_pct: None,
                     enforced: true,
@@ -218,14 +262,25 @@ pub fn min_ns_from_env() -> f64 {
         * 1e6
 }
 
+/// The compared statistic: `UNICORN_BENCH_GATE_STAT` (`mean` or `min`),
+/// defaulting to mean. Unknown values fall back to mean rather than
+/// erroring — the gate must not pass vacuously because of a typo'd env
+/// var, and mean is the stricter default.
+pub fn stat_from_env() -> GateStat {
+    match std::env::var("UNICORN_BENCH_GATE_STAT") {
+        Ok(v) if v.eq_ignore_ascii_case("min") => GateStat::Min,
+        _ => GateStat::Mean,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     const REPORT: &str = r#"{
   "benchmarks": [
-    {"name": "discovery/skeleton \"quoted\"", "min_ns": 1, "mean_ns": 1000000, "max_ns": 3, "samples": 3},
-    {"name": "discovery/full", "min_ns": 1, "mean_ns": 2000000, "max_ns": 3, "samples": 3}
+    {"name": "discovery/skeleton \"quoted\"", "min_ns": 800000, "mean_ns": 1000000, "max_ns": 3000000, "samples": 3},
+    {"name": "discovery/full", "min_ns": 1500000, "mean_ns": 2000000, "max_ns": 3000000, "samples": 3}
   ]
 }
 "#;
@@ -257,16 +312,39 @@ mod tests {
         let mut current = baseline.clone();
         current[0].mean_ns = 1.2e6; // +20%: inside a 25% tolerance
         current[1].mean_ns = 2.6e6; // +30%: outside
-        let cmp = compare(&baseline, &current, 25.0, 0.0);
+        let cmp = compare(&baseline, &current, 25.0, 0.0, GateStat::Mean);
         assert!(!cmp[0].regressed);
         assert!(cmp[1].regressed);
         // Looser tolerance clears it.
-        assert!(!compare(&baseline, &current, 40.0, 0.0)[1].regressed);
+        assert!(!compare(&baseline, &current, 40.0, 0.0, GateStat::Mean)[1].regressed);
         // Improvements never trip the gate.
         current[1].mean_ns = 0.5e6;
-        assert!(compare(&baseline, &current, 25.0, 0.0)
+        assert!(compare(&baseline, &current, 25.0, 0.0, GateStat::Mean)
             .iter()
             .all(|c| !c.regressed));
+    }
+
+    #[test]
+    fn min_stat_ignores_outlier_passes_but_catches_real_slowdowns() {
+        let baseline = parse_report(REPORT).expect("parse");
+        let mut current = baseline.clone();
+        // An outlier pass: the mean blows past any tolerance while the
+        // fastest pass is unchanged — noise, not a regression.
+        current[0].mean_ns = 5e6;
+        assert!(compare(&baseline, &current, 25.0, 0.0, GateStat::Mean)[0].regressed);
+        assert!(!compare(&baseline, &current, 25.0, 0.0, GateStat::Min)[0].regressed);
+        // A structural slowdown moves the fastest pass too.
+        current[0].min_ns = 2e6; // baseline min 8e5: +150%
+        assert!(compare(&baseline, &current, 25.0, 0.0, GateStat::Min)[0].regressed);
+    }
+
+    #[test]
+    fn stat_selection_defaults_to_mean() {
+        assert_eq!(GateStat::Mean.name(), "mean");
+        assert_eq!(GateStat::Min.name(), "min");
+        let r = &parse_report(REPORT).expect("parse")[0];
+        assert_eq!(GateStat::Mean.value(r), 1e6);
+        assert_eq!(GateStat::Min.value(r), 8e5);
     }
 
     #[test]
@@ -274,17 +352,19 @@ mod tests {
         let baseline = vec![BenchRecord {
             name: "tiny/stage".to_string(),
             mean_ns: 2e5, // 0.2 ms
+            min_ns: 2e5,
         }];
         let current = vec![BenchRecord {
             name: "tiny/stage".to_string(),
             mean_ns: 8e5, // +300%, but under a 1 ms floor
+            min_ns: 8e5,
         }];
-        let cmp = compare(&baseline, &current, 25.0, 1e6);
+        let cmp = compare(&baseline, &current, 25.0, 1e6, GateStat::Mean);
         assert!(!cmp[0].enforced);
         assert!(!cmp[0].regressed);
         assert_eq!(cmp[0].delta_pct.map(f64::round), Some(300.0));
         // With the floor off it trips.
-        assert!(compare(&baseline, &current, 25.0, 0.0)[0].regressed);
+        assert!(compare(&baseline, &current, 25.0, 0.0, GateStat::Mean)[0].regressed);
     }
 
     #[test]
@@ -295,9 +375,10 @@ mod tests {
             BenchRecord {
                 name: "brand/new".to_string(),
                 mean_ns: 1.0,
+                min_ns: 1.0,
             },
         ];
-        let cmp = compare(&baseline, &current, 25.0, 0.0);
+        let cmp = compare(&baseline, &current, 25.0, 0.0, GateStat::Mean);
         assert!(!cmp[0].regressed);
         assert!(cmp[1].regressed, "vanished benchmark must fail the gate");
         assert_eq!(cmp.len(), 2, "new benchmarks are not compared");

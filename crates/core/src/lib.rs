@@ -16,7 +16,11 @@
 //! * [`snapshot`] — epoch-snapshot publication for the resident serving
 //!   daemon (`unicornd`): immutable [`EngineSnapshot`]s behind a
 //!   pointer-flip [`SnapshotCell`], with discretization prefill at build
-//!   time.
+//!   time, and the tenant-keyed [`SnapshotRouter`] the fleet serves
+//!   through.
+//! * [`fleet`] — multi-tenant multiplexing: many tenant loops under one
+//!   worker pool, a global memory budget with cold-cache eviction, and
+//!   cross-tenant warm-started admissions.
 //!
 //! ```no_run
 //! use unicorn_core::{debug_fault, UnicornOptions};
@@ -37,6 +41,7 @@
 //! ```
 
 pub mod debug_task;
+pub mod fleet;
 pub mod metrics;
 pub mod optimize_task;
 pub mod snapshot;
@@ -44,8 +49,9 @@ pub mod transfer;
 pub mod unicorn;
 
 pub use debug_task::{debug_fault, debug_fault_with_state, DebugIteration, DebugOutcome};
+pub use fleet::{Fleet, FleetOptions, FleetStats};
 pub use metrics::{gain_percent, mean_scores, score_debugging, DebugScores};
 pub use optimize_task::{optimize_multi, optimize_single, MultiOptimizeOutcome, OptimizeOutcome};
-pub use snapshot::{EngineSnapshot, SnapshotCell};
+pub use snapshot::{EngineSnapshot, SnapshotCell, SnapshotRouter, DEFAULT_TENANT};
 pub use transfer::{learn_source_state, transfer_debug, TransferMode};
 pub use unicorn::{UnicornOptions, UnicornState};

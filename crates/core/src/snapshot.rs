@@ -24,6 +24,7 @@
 //!   entropy-based diagnostics) never pays the serial cold-fill that
 //!   dominated `full_pipeline_uncached`.
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
@@ -109,6 +110,89 @@ impl SnapshotCell {
     /// Number of [`Self::publish`] calls so far.
     pub fn flips(&self) -> u64 {
         self.flips.load(Ordering::Relaxed)
+    }
+}
+
+/// Tenant name a single-tenant server publishes under (the implicit
+/// tenant of the legacy `/query` route).
+pub const DEFAULT_TENANT: &str = "default";
+
+/// A tenant-keyed directory of [`SnapshotCell`]s — the serving side of the
+/// fleet: each tenant publishes relearned snapshots into its own cell, and
+/// the admission batcher looks cells up per (tenant, window) round.
+///
+/// Insert-only by design: a registered tenant's cell `Arc` is stable for
+/// the router's lifetime, so batcher threads can cache lookups and
+/// in-flight queries never observe a cell swap (epoch flips happen
+/// *inside* the cell). The registry lock is held only for map operations,
+/// never across a load or publish.
+pub struct SnapshotRouter {
+    cells: Mutex<HashMap<String, Arc<SnapshotCell>>>,
+}
+
+impl SnapshotRouter {
+    /// An empty router.
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> Self {
+        Self {
+            cells: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// A router serving exactly `cell` under [`DEFAULT_TENANT`] — the
+    /// single-tenant daemon's shape, and what keeps the legacy `/query`
+    /// route working unchanged.
+    pub fn single(cell: Arc<SnapshotCell>) -> Arc<Self> {
+        let router = Self::new();
+        router.insert(DEFAULT_TENANT, cell);
+        Arc::new(router)
+    }
+
+    /// Registers `tenant`'s publication cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a duplicate tenant name — cells are insert-only, so a
+    /// second registration is a routing bug, not an update.
+    pub fn insert(&self, tenant: &str, cell: Arc<SnapshotCell>) {
+        let prev = self
+            .cells
+            .lock()
+            .expect("snapshot router poisoned")
+            .insert(tenant.to_string(), cell);
+        assert!(prev.is_none(), "duplicate tenant {tenant:?}");
+    }
+
+    /// The cell serving `tenant`, if registered.
+    pub fn get(&self, tenant: &str) -> Option<Arc<SnapshotCell>> {
+        self.cells
+            .lock()
+            .expect("snapshot router poisoned")
+            .get(tenant)
+            .cloned()
+    }
+
+    /// Registered tenant names, sorted (observability).
+    pub fn names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .cells
+            .lock()
+            .expect("snapshot router poisoned")
+            .keys()
+            .cloned()
+            .collect();
+        names.sort();
+        names
+    }
+
+    /// Number of registered tenants.
+    pub fn len(&self) -> usize {
+        self.cells.lock().expect("snapshot router poisoned").len()
+    }
+
+    /// True when no tenant is registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
     }
 }
 
@@ -225,6 +309,40 @@ mod tests {
         let fresh = cell.load();
         assert!(fresh.epoch > epoch0, "epoch must advance on fold");
         assert_eq!(fresh.n_rows, held.n_rows + 8);
+    }
+
+    #[test]
+    fn router_is_insert_only_with_stable_cells() {
+        let sim = small_sim();
+        let opts = small_opts();
+        let mut state = UnicornState::bootstrap(&sim, &opts);
+        let cell = Arc::new(SnapshotCell::new(state.publish_snapshot(&sim, &opts)));
+        let router = SnapshotRouter::single(cell);
+        assert_eq!(router.names(), vec![DEFAULT_TENANT.to_string()]);
+        assert!(router.get("nope").is_none());
+        let a = router.get(DEFAULT_TENANT).expect("registered");
+        // Publishing flips inside the cell; the router hands out the same
+        // cell Arc before and after.
+        let extra = unicorn_systems::generate(&sim, 4, 3);
+        state.extend_data(&extra);
+        a.publish(state.publish_snapshot(&sim, &opts));
+        let b = router.get(DEFAULT_TENANT).expect("registered");
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(a.flips(), 1);
+        assert_eq!(router.len(), 1);
+        assert!(!router.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate tenant")]
+    fn router_rejects_duplicate_tenants() {
+        let router = SnapshotRouter::new();
+        let sim = small_sim();
+        let opts = small_opts();
+        let mut state = UnicornState::bootstrap(&sim, &opts);
+        let snap = state.publish_snapshot(&sim, &opts);
+        router.insert("t", Arc::new(SnapshotCell::new(Arc::clone(&snap))));
+        router.insert("t", Arc::new(SnapshotCell::new(snap)));
     }
 
     #[test]

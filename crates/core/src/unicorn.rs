@@ -109,12 +109,25 @@ impl UnicornState {
     /// Bootstraps the loop: draws the initial sample set and learns the
     /// first causal performance model.
     pub fn bootstrap(sim: &Simulator, opts: &UnicornOptions) -> Self {
+        Self::bootstrap_with_session(sim, opts, RelearnSession::default())
+    }
+
+    /// [`Self::bootstrap`] starting from a caller-provided relearn session
+    /// — the fleet warm-start entry point: a session seeded with a near
+    /// neighbor's model (see [`RelearnSession::seed`]) lets the first
+    /// learn adopt it outright when the bootstrap sample is bit-identical,
+    /// and falls back to cold discovery otherwise. With a default session
+    /// this *is* `bootstrap`.
+    pub fn bootstrap_with_session(
+        sim: &Simulator,
+        opts: &UnicornOptions,
+        mut session: RelearnSession,
+    ) -> Self {
         let data = unicorn_systems::generate(sim, opts.initial_samples, opts.seed);
         let view = data.view();
         // The state's one pool: the caller's, if the options carry one,
         // otherwise the pipeline default.
         let exec = opts.discovery.executor();
-        let mut session = RelearnSession::default();
         let model = learn_causal_model_incremental(
             &view,
             &data.names,
@@ -148,6 +161,12 @@ impl UnicornState {
     /// spawn-at-most-once guarantee).
     pub fn executor(&self) -> &Arc<Executor> {
         &self.exec
+    }
+
+    /// The warm-start relearn session (observability: the fleet reads
+    /// [`RelearnSession::warm_adoptions`] to count cross-tenant hits).
+    pub fn session(&self) -> &RelearnSession {
+        &self.session
     }
 
     /// Folds staged measurements into the shared view.

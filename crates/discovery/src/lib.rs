@@ -334,6 +334,8 @@ fn complete_objective_parents(
 pub struct RelearnSession {
     skeleton: SkeletonMemo,
     model: Option<(ModelKey, LearnedModel)>,
+    seed: Option<SessionSeed>,
+    warm_adoptions: u64,
 }
 
 /// Fingerprint of one full pipeline run's inputs.
@@ -346,11 +348,82 @@ struct ModelKey {
     opts: DiscoveryOptions,
 }
 
+/// A donor model offered to this session's next cold learn, together with
+/// the exact inputs it was learned from. Adoption is gated on *bit equality
+/// of the data* plus equality of names, tiers, and normalized options —
+/// [`learn_pipeline`] is a pure function of those inputs, so an adopted
+/// model is provably the model a cold run would have produced.
+#[derive(Debug, Clone)]
+struct SessionSeed {
+    view: DataView,
+    names: Vec<String>,
+    tiers: TierConstraints,
+    /// Normalized (`threads: None`, `exec: None`) — pool identity never
+    /// affects results, so it must not block adoption.
+    opts: DiscoveryOptions,
+    model: LearnedModel,
+}
+
+/// True iff the two views hold bit-identical tables (shape plus exact
+/// `f64::to_bits` equality of every cell). Shared-segment prefixes are
+/// skipped by pointer identity, so the common warm-start case (a fork of
+/// the donor's data) compares O(tail) values.
+fn views_bit_equal(a: &DataView, b: &DataView) -> bool {
+    if a.n_rows() != b.n_rows() || a.n_cols() != b.n_cols() {
+        return false;
+    }
+    if a.same_table(b) {
+        return true;
+    }
+    (0..a.n_cols()).all(|c| {
+        a.column(c)
+            .iter()
+            .zip(b.column(c))
+            .all(|(x, y)| x.to_bits() == y.to_bits())
+    })
+}
+
 impl RelearnSession {
     /// Drops all memoized state (forces the next relearn cold).
     pub fn clear(&mut self) {
         self.skeleton.clear();
         self.model = None;
+        self.seed = None;
+    }
+
+    /// Offers a donor model (typically a near neighbor's, in fleet
+    /// warm-start) for this session's next cold learn. The seed is
+    /// consumed on the first [`learn_causal_model_incremental`] miss: if
+    /// the requested names, tiers, and normalized options match and the
+    /// requested view's data is bit-identical to `view`, the model is
+    /// adopted without recomputation; otherwise the learn runs cold and
+    /// the seed is dropped. Either way results are bit-identical to a
+    /// cold run — the seed can only skip a provably identical one.
+    pub fn seed(
+        &mut self,
+        view: DataView,
+        names: Vec<String>,
+        tiers: TierConstraints,
+        opts: &DiscoveryOptions,
+        model: LearnedModel,
+    ) {
+        self.seed = Some(SessionSeed {
+            view,
+            names,
+            tiers,
+            opts: DiscoveryOptions {
+                threads: None,
+                exec: None,
+                ..opts.clone()
+            },
+            model,
+        });
+    }
+
+    /// How many learns this session satisfied by adopting a seeded donor
+    /// model instead of running the pipeline.
+    pub fn warm_adoptions(&self) -> u64 {
+        self.warm_adoptions
     }
 }
 
@@ -386,6 +459,23 @@ pub fn learn_causal_model_incremental(
     if let Some((k, model)) = &session.model {
         if *k == key {
             return model.clone();
+        }
+    }
+    // One-shot donor adoption (fleet warm start): if a seeded model was
+    // learned from bit-identical inputs, it *is* the model this cold run
+    // would produce — `learn_pipeline` is a pure function of (data bits,
+    // names, tiers, normalized opts) — so adopt and memoize it under the
+    // current view's key. Any mismatch drops the seed and falls through
+    // to the cold path.
+    if let Some(seed) = session.seed.take() {
+        if seed.names == key.names
+            && seed.tiers == key.tiers
+            && seed.opts == key.opts
+            && views_bit_equal(&seed.view, data)
+        {
+            session.warm_adoptions += 1;
+            session.model = Some((key, seed.model.clone()));
+            return seed.model;
         }
     }
     let test = MixedTest::from_view(data);
@@ -539,6 +629,53 @@ mod tests {
         // The irrelevant option must be disconnected.
         assert!(model.admg.children(1).is_empty());
         assert!(model.n_ci_tests > 0);
+    }
+
+    #[test]
+    fn seeded_session_adopts_only_on_bit_identical_inputs() {
+        let (cols, names, tiers) = stack_data(300, 9);
+        let opts = DiscoveryOptions::default();
+        let view = DataView::new(cols.clone());
+        let mut donor = RelearnSession::default();
+        let model = learn_causal_model_incremental(&view, &names, &tiers, &opts, &mut donor);
+
+        // A fresh view over the same bits (different lineage) adopts the
+        // seeded model without recomputing: same graph, sepsets, CI count.
+        let twin = DataView::new(cols.clone());
+        assert!(!twin.same_table(&view));
+        let mut warm = RelearnSession::default();
+        warm.seed(
+            view.clone(),
+            names.clone(),
+            tiers.clone(),
+            &opts,
+            model.clone(),
+        );
+        let adopted = learn_causal_model_incremental(&twin, &names, &tiers, &opts, &mut warm);
+        assert_eq!(warm.warm_adoptions(), 1);
+        assert_eq!(adopted.admg.directed_edges(), model.admg.directed_edges());
+        assert_eq!(adopted.n_ci_tests, model.n_ci_tests);
+        // The adoption memoized under the twin's key: a repeat is a hit,
+        // not a second adoption.
+        let again = learn_causal_model_incremental(&twin, &names, &tiers, &opts, &mut warm);
+        assert_eq!(warm.warm_adoptions(), 1);
+        assert_eq!(again.n_ci_tests, model.n_ci_tests);
+
+        // Different data drops the seed and learns cold — and the result
+        // is bit-identical to a cold session on the same data.
+        let (other_cols, ..) = stack_data(300, 10);
+        let other = DataView::new(other_cols);
+        let mut cold = RelearnSession::default();
+        let cold_model = learn_causal_model_incremental(&other, &names, &tiers, &opts, &mut cold);
+        let mut mismatched = RelearnSession::default();
+        mismatched.seed(view.clone(), names.clone(), tiers.clone(), &opts, model);
+        let fresh = learn_causal_model_incremental(&other, &names, &tiers, &opts, &mut mismatched);
+        assert_eq!(mismatched.warm_adoptions(), 0);
+        assert_eq!(
+            fresh.admg.directed_edges(),
+            cold_model.admg.directed_edges()
+        );
+        assert_eq!(fresh.n_ci_tests, cold_model.n_ci_tests);
     }
 
     #[test]

@@ -1,11 +1,12 @@
 //! Admission batching: the daemon's perf headline.
 //!
 //! Connection threads never evaluate anything themselves — they submit
-//! their parsed query to the [`AdmissionQueue`] and block on a reply
-//! channel. A single batcher thread drains the queue: when a request
-//! arrives it waits one *admission window* (default a few milliseconds)
-//! for concurrent requests to pile up, loads the current snapshot once,
-//! and answers the whole batch through
+//! their parsed query (tagged with its tenant) to the [`AdmissionQueue`]
+//! and block on a reply channel. A single batcher thread drains the
+//! queue: when a request arrives it waits one *admission window* (default
+//! a few milliseconds) for concurrent requests to pile up — *across
+//! tenants* — then groups the drained round by tenant, loads each
+//! tenant's current snapshot once, and answers each group through
 //! [`unicorn_inference::answer_coalesced`] — every request compiled into
 //! one merged [`unicorn_inference::PlanBatch`] per coalescing round, with
 //! duplicate interventional sweeps deduplicated, the no-intervention
@@ -24,7 +25,7 @@ use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
 
-use unicorn_core::SnapshotCell;
+use unicorn_core::SnapshotRouter;
 use unicorn_inference::{answer_coalesced, PerformanceQuery, QueryAnswer};
 
 /// A coalesced answer: the payload plus the epoch that produced it.
@@ -37,6 +38,7 @@ pub struct ServedAnswer {
 }
 
 struct Job {
+    tenant: String,
     query: PerformanceQuery,
     reply: Sender<ServedAnswer>,
 }
@@ -65,13 +67,21 @@ impl AdmissionQueue {
         })
     }
 
-    /// Submits a query for the next admission window. Returns the
-    /// receiver the batcher will answer on; blocks nobody.
-    pub fn submit(&self, query: PerformanceQuery) -> Receiver<ServedAnswer> {
+    /// Submits a query against `tenant` for the next admission window
+    /// (single-tenant callers pass [`unicorn_core::DEFAULT_TENANT`]).
+    /// Returns the receiver the batcher will answer on; blocks nobody.
+    /// A submission for an unregistered tenant is answered by dropping
+    /// the reply sender — the receiver's `recv` errors, which the server
+    /// maps to 503.
+    pub fn submit(&self, tenant: &str, query: PerformanceQuery) -> Receiver<ServedAnswer> {
         let (reply, rx) = channel();
         self.submitted.fetch_add(1, Ordering::Relaxed);
         let mut jobs = self.jobs.lock().expect("admission queue poisoned");
-        jobs.push_back(Job { query, reply });
+        jobs.push_back(Job {
+            tenant: tenant.to_string(),
+            query,
+            reply,
+        });
         drop(jobs);
         self.arrived.notify_one();
         rx
@@ -88,8 +98,9 @@ impl AdmissionQueue {
         self.submitted.load(Ordering::Relaxed)
     }
 
-    /// Total batches evaluated so far. `submitted() / batches()` is the
-    /// realized coalescing factor.
+    /// Total plan batches evaluated so far — one per (tenant, window)
+    /// round. `submitted() / batches()` is the realized coalescing
+    /// factor.
     pub fn batches(&self) -> u64 {
         self.batches.load(Ordering::Relaxed)
     }
@@ -112,27 +123,46 @@ impl AdmissionQueue {
             std::thread::sleep(window);
             jobs = self.jobs.lock().expect("admission queue poisoned");
         }
-        self.batches.fetch_add(1, Ordering::Relaxed);
         Some(jobs.drain(..).collect())
     }
 }
 
-/// The batcher loop: drain a window's worth of requests, answer them as
-/// one coalesced plan batch against the current snapshot, demux replies.
+/// The batcher loop: drain a window's worth of requests, group them by
+/// tenant preserving arrival order, and answer each tenant group as one
+/// coalesced plan batch against that tenant's current snapshot — one
+/// [`unicorn_inference::PlanBatch`] per (tenant, window) round. Jobs for
+/// tenants the router does not know are dropped (their reply sender with
+/// them), which the connection thread surfaces as 503.
 ///
 /// Runs until [`AdmissionQueue::close`] is called and the queue drains.
 /// Send failures (client gave up) are ignored — the batch's other
 /// answers are unaffected.
-pub fn run_batcher(queue: &AdmissionQueue, snapshots: &SnapshotCell, window: Duration) {
+pub fn run_batcher(queue: &AdmissionQueue, router: &SnapshotRouter, window: Duration) {
     while let Some(batch) = queue.take_batch(window) {
-        let snap = snapshots.load();
-        let queries: Vec<PerformanceQuery> = batch.iter().map(|j| j.query.clone()).collect();
-        let answers = answer_coalesced(&snap.engine, &queries);
-        for (job, answer) in batch.into_iter().zip(answers) {
-            let _ = job.reply.send(ServedAnswer {
-                epoch: snap.epoch,
-                answer,
-            });
+        // Group by tenant in arrival order. Rounds hold a handful of
+        // distinct tenants, so a linear scan beats hashing and keeps the
+        // demux order deterministic.
+        let mut groups: Vec<(String, Vec<Job>)> = Vec::new();
+        for job in batch {
+            match groups.iter_mut().find(|(t, _)| *t == job.tenant) {
+                Some((_, jobs)) => jobs.push(job),
+                None => groups.push((job.tenant.clone(), vec![job])),
+            }
+        }
+        for (tenant, jobs) in groups {
+            let Some(cell) = router.get(&tenant) else {
+                continue; // dropping the jobs drops their reply senders
+            };
+            let snap = cell.load();
+            let queries: Vec<PerformanceQuery> = jobs.iter().map(|j| j.query.clone()).collect();
+            let answers = answer_coalesced(&snap.engine, &queries);
+            queue.batches.fetch_add(1, Ordering::Relaxed);
+            for (job, answer) in jobs.into_iter().zip(answers) {
+                let _ = job.reply.send(ServedAnswer {
+                    epoch: snap.epoch,
+                    answer,
+                });
+            }
         }
     }
 }

@@ -4,8 +4,9 @@
 //! once, publishes it as epoch 1's snapshot, and serves causal queries
 //! over HTTP/JSON until killed. With `--smoke` it instead binds an
 //! OS-assigned loopback port, issues one ACE query and one root-cause
-//! query against itself over real TCP, prints the two reply bodies to
-//! stdout, and exits — CI byte-diffs that output against
+//! query against itself over **one persistent TCP connection**
+//! (exercising keep-alive), prints the two reply bodies to stdout, and
+//! exits — CI byte-diffs that output against
 //! `tests/golden/serve_smoke.txt`.
 //!
 //! ```sh
@@ -18,7 +19,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use unicorn_core::{SnapshotCell, UnicornOptions, UnicornState};
-use unicorn_serve::{http_request, ServeOptions, Server};
+use unicorn_serve::{http_request_many, ServeOptions, Server};
 use unicorn_systems::{Environment, Hardware, Simulator, SubjectSystem};
 
 struct Args {
@@ -114,27 +115,38 @@ fn main() -> ExitCode {
     }
 }
 
-/// Self-driving smoke: two queries through the real TCP path, reply
-/// bodies on stdout (the CI golden), clean shutdown.
+/// Self-driving smoke: two queries through the real TCP path — both on
+/// one persistent connection — reply bodies on stdout (the CI golden),
+/// clean shutdown.
 fn smoke(server: Server) -> ExitCode {
     let addr = server.addr();
     let queries = [
-        r#"{"type":"causal_effect","option":"Buffer Size","objective":"Latency"}"#,
-        r#"{"type":"root_causes","goal":[["Latency",30]]}"#,
+        (
+            "POST",
+            "/query",
+            Some(r#"{"type":"causal_effect","option":"Buffer Size","objective":"Latency"}"#),
+        ),
+        (
+            "POST",
+            "/query",
+            Some(r#"{"type":"root_causes","goal":[["Latency",30]]}"#),
+        ),
     ];
-    for body in queries {
-        match http_request(addr, "POST", "/query", Some(body)) {
-            Ok((200, reply)) => println!("{reply}"),
-            Ok((status, reply)) => {
-                eprintln!("unicornd: smoke query failed: HTTP {status}: {reply}");
-                server.shutdown();
-                return ExitCode::FAILURE;
+    match http_request_many(addr, &queries) {
+        Ok(replies) => {
+            for (status, reply) in replies {
+                if status != 200 {
+                    eprintln!("unicornd: smoke query failed: HTTP {status}: {reply}");
+                    server.shutdown();
+                    return ExitCode::FAILURE;
+                }
+                println!("{reply}");
             }
-            Err(e) => {
-                eprintln!("unicornd: smoke query failed: {e}");
-                server.shutdown();
-                return ExitCode::FAILURE;
-            }
+        }
+        Err(e) => {
+            eprintln!("unicornd: smoke query failed: {e}");
+            server.shutdown();
+            return ExitCode::FAILURE;
         }
     }
     server.shutdown();

@@ -7,22 +7,29 @@
 //! ## Architecture
 //!
 //! ```text
-//!  clients ──HTTP──▶ conn threads ──submit──▶ AdmissionQueue
-//!                                                  │  (window: ~1–5 ms)
+//!  clients ══HTTP keep-alive══▶ conn threads ──submit(tenant, q)──▶ AdmissionQueue
+//!                                                  │  (window: ~1–5 ms, across tenants)
 //!                                             batcher thread
-//!                                                  │  load() ─── SnapshotCell ◀── publish() ── relearn
+//!                                                  │  group by tenant, then per group:
+//!                                                  │  load() ── SnapshotRouter[tenant] ◀── publish() ── relearn
 //!                                             answer_coalesced
-//!                                     (one merged PlanBatch per round)
+//!                                 (one merged PlanBatch per (tenant, window))
 //! ```
 //!
 //! * **Snapshots** ([`unicorn_core::snapshot`]): queries never touch
-//!   mutable state. The daemon reads an `Arc<EngineSnapshot>` from a
-//!   [`unicorn_core::SnapshotCell`]; a background relearn builds the next
-//!   epoch and publishes it with a pointer flip. In-flight batches finish
-//!   against the epoch they loaded.
-//! * **Admission batching** ([`admission`]): requests arriving within the
-//!   window compile into one merged `PlanBatch` —
-//!   duplicate interventional sweeps deduplicated across requests, the
+//!   mutable state. The daemon resolves the request's tenant through a
+//!   [`unicorn_core::SnapshotRouter`] and reads that tenant's
+//!   `Arc<EngineSnapshot>` from its [`unicorn_core::SnapshotCell`]; a
+//!   background relearn builds the next epoch and publishes it with a
+//!   pointer flip. In-flight batches finish against the epoch they
+//!   loaded. A single-tenant daemon is the one-entry router
+//!   ([`unicorn_core::SnapshotRouter::single`]); a fleet hands its
+//!   router ([`unicorn_core::fleet::Fleet::router`]) to
+//!   [`Server::start_router`] and is served on `/tenant/:id/query`.
+//! * **Admission batching** ([`admission`]): requests arriving within
+//!   the window — from any tenant — are grouped per tenant, and each
+//!   group compiles into one merged `PlanBatch` — duplicate
+//!   interventional sweeps deduplicated across requests, the
 //!   no-intervention baseline shared, one domain probe per (node, grid)
 //!   per window — and the merged results are demultiplexed per request.
 //!   Answers are **bit-identical** to evaluating each request alone; the
@@ -31,6 +38,9 @@
 //!   over a minimal `std::net` HTTP/1.1 subset ([`server`]) — no
 //!   registry access, so no tokio; the persistent `unicorn_exec`
 //!   executor inside the engine is the scheduler that matters.
+//!   Connections are persistent (HTTP/1.1 keep-alive semantics, honored
+//!   from the request's version token and `Connection:` header, with an
+//!   idle timeout); [`http_request_many`] is the matching client.
 //!
 //! ## Adding a new query endpoint
 //!
@@ -66,4 +76,4 @@ pub mod server;
 pub use admission::{run_batcher, AdmissionQueue, ServedAnswer};
 pub use json::{parse as parse_json, Json};
 pub use protocol::{parse_request, render_error, render_reply};
-pub use server::{http_request, ServeOptions, Server};
+pub use server::{http_request, http_request_many, ServeOptions, Server};

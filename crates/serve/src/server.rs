@@ -1,18 +1,25 @@
 //! The HTTP front of `unicornd`: `std::net` TCP, one thread per
 //! connection, a single batcher thread behind the admission queue.
 //!
-//! The daemon deliberately speaks a minimal HTTP/1.1 subset (no
-//! keep-alive, no chunked bodies): the workspace has no registry access,
-//! and the persistent `unicorn_exec::Executor` inside the engine is the
-//! scheduler that matters — connection threads only parse, enqueue, and
-//! block on their reply channel.
+//! The daemon deliberately speaks a minimal HTTP/1.1 subset (no chunked
+//! bodies): the workspace has no registry access, and the persistent
+//! `unicorn_exec::Executor` inside the engine is the scheduler that
+//! matters — connection threads only parse, enqueue, and block on their
+//! reply channel. Connections are persistent per HTTP/1.1 semantics:
+//! requests loop on one socket until the client sends `Connection:
+//! close` (or speaks HTTP/1.0 without `keep-alive`), closes its end, or
+//! goes idle past the read timeout.
 //!
 //! Endpoints:
 //!
-//! * `GET /health` — `{"ok":true,"epoch":N}` from the current snapshot.
-//! * `POST /query` — a protocol request body (see [`crate::protocol`]);
-//!   replies `{"epoch":N,"answer":{...}}`, or HTTP 400 with
-//!   `{"error":"..."}` on a malformed request.
+//! * `GET /health` — `{"ok":true,"epoch":N}` from the default tenant's
+//!   snapshot (`{"ok":true,"tenants":N}` on a fleet router with no
+//!   default tenant).
+//! * `POST /query` — a protocol request body (see [`crate::protocol`])
+//!   against the default tenant; replies `{"epoch":N,"answer":{...}}`,
+//!   or HTTP 400 with `{"error":"..."}` on a malformed request.
+//! * `POST /tenant/:id/query` — the same protocol against tenant `:id`
+//!   of the fleet router; 503 when no such tenant is registered.
 
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -21,7 +28,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use unicorn_core::SnapshotCell;
+use unicorn_core::{SnapshotCell, SnapshotRouter, DEFAULT_TENANT};
 
 use crate::admission::{run_batcher, AdmissionQueue};
 use crate::protocol::{parse_request, render_error, render_reply};
@@ -50,17 +57,27 @@ impl Default for ServeOptions {
 pub struct Server {
     addr: SocketAddr,
     queue: Arc<AdmissionQueue>,
-    snapshots: Arc<SnapshotCell>,
+    router: Arc<SnapshotRouter>,
     stop: Arc<AtomicBool>,
     accept_thread: Option<JoinHandle<()>>,
     batcher_thread: Option<JoinHandle<()>>,
 }
 
 impl Server {
-    /// Binds, spawns the batcher and the accept loop, and returns. The
-    /// server serves whatever snapshot the cell currently holds;
-    /// publishing to the cell flips the model generation live.
+    /// Binds a single-tenant server over `snapshots` (registered under
+    /// [`DEFAULT_TENANT`]). The server serves whatever snapshot the cell
+    /// currently holds; publishing to the cell flips the model
+    /// generation live.
     pub fn start(snapshots: Arc<SnapshotCell>, opts: &ServeOptions) -> std::io::Result<Self> {
+        Self::start_router(SnapshotRouter::single(snapshots), opts)
+    }
+
+    /// Binds, spawns the batcher and the accept loop over a (possibly
+    /// multi-tenant) snapshot router, and returns. Tenants registered
+    /// with the router — before or after start — are served on
+    /// `/tenant/:id/query`; the [`DEFAULT_TENANT`] cell, if present,
+    /// also answers the legacy `/query` route.
+    pub fn start_router(router: Arc<SnapshotRouter>, opts: &ServeOptions) -> std::io::Result<Self> {
         let listener = TcpListener::bind(&opts.addr)?;
         let addr = listener.local_addr()?;
         let queue = AdmissionQueue::new();
@@ -68,16 +85,16 @@ impl Server {
 
         let batcher_thread = {
             let queue = Arc::clone(&queue);
-            let snapshots = Arc::clone(&snapshots);
+            let router = Arc::clone(&router);
             let window = opts.window;
             std::thread::Builder::new()
                 .name("unicornd-batcher".into())
-                .spawn(move || run_batcher(&queue, &snapshots, window))?
+                .spawn(move || run_batcher(&queue, &router, window))?
         };
 
         let accept_thread = {
             let queue = Arc::clone(&queue);
-            let snapshots = Arc::clone(&snapshots);
+            let router = Arc::clone(&router);
             let stop = Arc::clone(&stop);
             std::thread::Builder::new()
                 .name("unicornd-accept".into())
@@ -88,12 +105,13 @@ impl Server {
                         }
                         let Ok(stream) = conn else { continue };
                         let queue = Arc::clone(&queue);
-                        let snapshots = Arc::clone(&snapshots);
+                        let router = Arc::clone(&router);
                         // One thread per connection: parse, enqueue,
-                        // block on the reply channel, write, close.
+                        // block on the reply channel, write, loop until
+                        // the client closes or goes idle.
                         let spawned = std::thread::Builder::new()
                             .name("unicornd-conn".into())
-                            .spawn(move || handle_connection(stream, &queue, &snapshots));
+                            .spawn(move || handle_connection(stream, &queue, &router));
                         drop(spawned);
                     }
                 })?
@@ -102,7 +120,7 @@ impl Server {
         Ok(Self {
             addr,
             queue,
-            snapshots,
+            router,
             stop,
             accept_thread: Some(accept_thread),
             batcher_thread: Some(batcher_thread),
@@ -114,9 +132,16 @@ impl Server {
         self.addr
     }
 
-    /// The snapshot cell this server reads — publish here to flip epochs.
-    pub fn snapshots(&self) -> &Arc<SnapshotCell> {
-        &self.snapshots
+    /// The snapshot router this server reads — publish into a tenant's
+    /// cell to flip its model generation live.
+    pub fn router(&self) -> &Arc<SnapshotRouter> {
+        &self.router
+    }
+
+    /// The default tenant's snapshot cell, if one is registered (the
+    /// single-tenant daemon's publication point).
+    pub fn snapshots(&self) -> Option<Arc<SnapshotCell>> {
+        self.router.get(DEFAULT_TENANT)
     }
 
     /// The admission queue (coalescing counters for tests/benches).
@@ -139,51 +164,101 @@ impl Server {
     }
 }
 
-/// Reads one HTTP request, routes it, writes one response, closes.
-fn handle_connection(mut stream: TcpStream, queue: &AdmissionQueue, snapshots: &SnapshotCell) {
-    let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
-    let Ok((method, path, body)) = read_request(&mut stream) else {
-        let _ = write_response(&mut stream, 400, &render_error("malformed HTTP request"));
-        return;
-    };
-    match (method.as_str(), path.as_str()) {
-        ("GET", "/health") => {
-            let epoch = snapshots.load().epoch;
-            let _ = write_response(
-                &mut stream,
-                200,
-                &format!("{{\"ok\":true,\"epoch\":{epoch}}}"),
-            );
-        }
-        ("POST", "/query") => {
-            // Names are stable across epochs of one system; the batch's
-            // snapshot decides the answering epoch.
-            let names = snapshots.load().names.clone();
-            match parse_request(&body, &names) {
-                Err(e) => {
-                    let _ = write_response(&mut stream, 400, &render_error(&e));
-                }
-                Ok(query) => match queue.submit(query).recv() {
-                    Ok(served) => {
-                        let reply = render_reply(served.epoch, &served.answer, &names);
-                        let _ = write_response(&mut stream, 200, &reply);
-                    }
-                    Err(_) => {
-                        let _ =
-                            write_response(&mut stream, 503, &render_error("server shutting down"));
-                    }
-                },
+/// How long a persistent connection may sit idle between requests before
+/// the server closes it.
+const IDLE_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Serves one connection: read a request, route it, write the response,
+/// and loop while the client keeps the connection alive. A clean close or
+/// idle timeout between requests ends the loop silently; a malformed
+/// request gets a 400 and a close.
+fn handle_connection(mut stream: TcpStream, queue: &AdmissionQueue, router: &SnapshotRouter) {
+    let _ = stream.set_read_timeout(Some(IDLE_TIMEOUT));
+    loop {
+        let req = match read_request(&mut stream) {
+            Ok(Some(req)) => req,
+            Ok(None) => return, // client closed / idle between requests
+            Err(_) => {
+                let _ = write_response(
+                    &mut stream,
+                    400,
+                    &render_error("malformed HTTP request"),
+                    true,
+                );
+                return;
             }
-        }
-        _ => {
-            let _ = write_response(&mut stream, 404, &render_error("no such endpoint"));
+        };
+        let close = !req.keep_alive;
+        let (status, body) = route(&req, queue, router);
+        if write_response(&mut stream, status, &body, close).is_err() || close {
+            return;
         }
     }
 }
 
+/// One parsed request off the wire.
+struct Request {
+    method: String,
+    path: String,
+    body: String,
+    /// Whether the client asked to keep the connection open (HTTP/1.1
+    /// default, overridden by a `Connection:` header either way).
+    keep_alive: bool,
+}
+
+/// Routes one request to `(status, reply body)`.
+fn route(req: &Request, queue: &AdmissionQueue, router: &SnapshotRouter) -> (u16, String) {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/health") => match router.get(DEFAULT_TENANT) {
+            Some(cell) => {
+                let epoch = cell.load().epoch;
+                (200, format!("{{\"ok\":true,\"epoch\":{epoch}}}"))
+            }
+            None => (200, format!("{{\"ok\":true,\"tenants\":{}}}", router.len())),
+        },
+        ("POST", "/query") => query_tenant(DEFAULT_TENANT, &req.body, queue, router),
+        ("POST", path) => match path
+            .strip_prefix("/tenant/")
+            .and_then(|rest| rest.strip_suffix("/query"))
+        {
+            Some(tenant) if !tenant.is_empty() && !tenant.contains('/') => {
+                query_tenant(tenant, &req.body, queue, router)
+            }
+            _ => (404, render_error("no such endpoint")),
+        },
+        _ => (404, render_error("no such endpoint")),
+    }
+}
+
+/// Parses and submits one query against `tenant`, blocking on the
+/// batcher's reply.
+fn query_tenant(
+    tenant: &str,
+    body: &str,
+    queue: &AdmissionQueue,
+    router: &SnapshotRouter,
+) -> (u16, String) {
+    // Names are stable across epochs of one tenant; the batch's snapshot
+    // decides the answering epoch. The lookup also rejects unknown
+    // tenants before their job would be dropped on the batcher floor.
+    let Some(cell) = router.get(tenant) else {
+        return (503, render_error("no such tenant"));
+    };
+    let names = cell.load().names.clone();
+    match parse_request(body, &names) {
+        Err(e) => (400, render_error(&e)),
+        Ok(query) => match queue.submit(tenant, query).recv() {
+            Ok(served) => (200, render_reply(served.epoch, &served.answer, &names)),
+            Err(_) => (503, render_error("server shutting down")),
+        },
+    }
+}
+
 /// Parses the request line + headers + Content-Length body of one
-/// HTTP/1.1 request. Returns `(method, path, body)`.
-fn read_request(stream: &mut TcpStream) -> std::io::Result<(String, String, String)> {
+/// HTTP/1.1 request. `Ok(None)` means the connection ended cleanly (EOF
+/// or idle timeout) before any request bytes arrived — the persistent
+/// connection's normal end of life.
+fn read_request(stream: &mut TcpStream) -> std::io::Result<Option<Request>> {
     let mut buf = Vec::with_capacity(1024);
     let mut chunk = [0u8; 1024];
     let header_end = loop {
@@ -196,8 +271,20 @@ fn read_request(stream: &mut TcpStream) -> std::io::Result<(String, String, Stri
                 "headers too large",
             ));
         }
-        let n = stream.read(&mut chunk)?;
+        let n = match stream.read(&mut chunk) {
+            Ok(n) => n,
+            Err(e) if buf.is_empty() => {
+                return match e.kind() {
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => Ok(None),
+                    _ => Err(e),
+                };
+            }
+            Err(e) => return Err(e),
+        };
         if n == 0 {
+            if buf.is_empty() {
+                return Ok(None);
+            }
             return Err(std::io::ErrorKind::UnexpectedEof.into());
         }
         buf.extend_from_slice(&chunk[..n]);
@@ -209,12 +296,22 @@ fn read_request(stream: &mut TcpStream) -> std::io::Result<(String, String, Stri
     let mut parts = request_line.split_whitespace();
     let method = parts.next().unwrap_or_default().to_string();
     let path = parts.next().unwrap_or_default().to_string();
+    let version = parts.next().unwrap_or("HTTP/1.1");
 
     let mut content_length = 0usize;
+    let mut keep_alive = !version.eq_ignore_ascii_case("HTTP/1.0");
     for line in lines {
         if let Some((k, v)) = line.split_once(':') {
-            if k.trim().eq_ignore_ascii_case("content-length") {
+            let k = k.trim();
+            if k.eq_ignore_ascii_case("content-length") {
                 content_length = v.trim().parse().unwrap_or(0);
+            } else if k.eq_ignore_ascii_case("connection") {
+                let v = v.trim();
+                if v.eq_ignore_ascii_case("close") {
+                    keep_alive = false;
+                } else if v.eq_ignore_ascii_case("keep-alive") {
+                    keep_alive = true;
+                }
             }
         }
     }
@@ -228,22 +325,33 @@ fn read_request(stream: &mut TcpStream) -> std::io::Result<(String, String, Stri
         body.extend_from_slice(&chunk[..n]);
     }
     body.truncate(content_length);
-    Ok((method, path, String::from_utf8_lossy(&body).into_owned()))
+    Ok(Some(Request {
+        method,
+        path,
+        body: String::from_utf8_lossy(&body).into_owned(),
+        keep_alive,
+    }))
 }
 
 fn find_header_end(buf: &[u8]) -> Option<usize> {
     buf.windows(4).position(|w| w == b"\r\n\r\n")
 }
 
-fn write_response(stream: &mut TcpStream, status: u16, body: &str) -> std::io::Result<()> {
+fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    body: &str,
+    close: bool,
+) -> std::io::Result<()> {
     let reason = match status {
         200 => "OK",
         400 => "Bad Request",
         404 => "Not Found",
         _ => "Service Unavailable",
     };
+    let connection = if close { "close" } else { "keep-alive" };
     let head = format!(
-        "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {connection}\r\n\r\n",
         body.len()
     );
     stream.write_all(head.as_bytes())?;
@@ -278,4 +386,69 @@ pub fn http_request(
         .and_then(|s| s.parse().ok())
         .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidData, "no status"))?;
     Ok((status, reply_body.to_string()))
+}
+
+/// A keep-alive HTTP client: sends every `(method, path, body)` request
+/// over **one** persistent connection, reading each response by its
+/// `Content-Length` before issuing the next, and returns the
+/// `(status, body)` pairs in order. Exercises the server's connection
+/// reuse — the smoke path and tests assert multiple round-trips without
+/// reconnecting.
+pub fn http_request_many(
+    addr: SocketAddr,
+    requests: &[(&str, &str, Option<&str>)],
+) -> std::io::Result<Vec<(u16, String)>> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(60)))?;
+    let mut replies = Vec::with_capacity(requests.len());
+    let mut pending: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 1024];
+    for (method, path, body) in requests {
+        let body = body.unwrap_or("");
+        let request = format!(
+            "{method} {path} HTTP/1.1\r\nHost: unicornd\r\nContent-Length: {}\r\nConnection: keep-alive\r\n\r\n{body}",
+            body.len()
+        );
+        stream.write_all(request.as_bytes())?;
+        stream.flush()?;
+
+        // Read one response: headers to \r\n\r\n, then Content-Length
+        // bytes of body. Anything past the body stays in `pending` for
+        // the next round-trip.
+        let header_end = loop {
+            if let Some(at) = find_header_end(&pending) {
+                break at;
+            }
+            let n = stream.read(&mut chunk)?;
+            if n == 0 {
+                return Err(std::io::ErrorKind::UnexpectedEof.into());
+            }
+            pending.extend_from_slice(&chunk[..n]);
+        };
+        let head = String::from_utf8_lossy(&pending[..header_end]).into_owned();
+        let status: u16 = head
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidData, "no status"))?;
+        let mut content_length = 0usize;
+        for line in head.split("\r\n").skip(1) {
+            if let Some((k, v)) = line.split_once(':') {
+                if k.trim().eq_ignore_ascii_case("content-length") {
+                    content_length = v.trim().parse().unwrap_or(0);
+                }
+            }
+        }
+        pending.drain(..header_end + 4);
+        while pending.len() < content_length {
+            let n = stream.read(&mut chunk)?;
+            if n == 0 {
+                return Err(std::io::ErrorKind::UnexpectedEof.into());
+            }
+            pending.extend_from_slice(&chunk[..n]);
+        }
+        let body_bytes: Vec<u8> = pending.drain(..content_length).collect();
+        replies.push((status, String::from_utf8_lossy(&body_bytes).into_owned()));
+    }
+    Ok(replies)
 }

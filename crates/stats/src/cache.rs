@@ -141,6 +141,25 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
         }
     }
 
+    /// Drops every entry, keeping the allocated capacity for reuse.
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.slab.clear();
+        self.head = NIL;
+        self.tail = NIL;
+    }
+
+    /// Approximate resident bytes: per-entry slab + index overhead plus
+    /// `value_bytes` of every live value. Every slab slot is live (eviction
+    /// reuses the tail slot in place), so the slab *is* the value set.
+    pub fn approx_bytes(&self, mut value_bytes: impl FnMut(&V) -> usize) -> usize {
+        let fixed = std::mem::size_of::<Entry<K, V>>() + std::mem::size_of::<(K, usize)>();
+        self.slab
+            .iter()
+            .map(|e| fixed + value_bytes(&e.value))
+            .sum()
+    }
+
     /// Looks up `key` without altering recency (read-only).
     pub fn peek(&self, key: &K) -> Option<&V> {
         self.map.get(key).map(|&i| &self.slab[i].value)
@@ -292,6 +311,27 @@ impl<K: Eq + Hash + Clone, V: Clone> ShardedLru<K, V> {
         &self.stats
     }
 
+    /// Drops every entry in every shard (the hit/miss counters are kept —
+    /// they are cumulative observability, not cache contents).
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            shard.lock().expect("lru poisoned").clear();
+        }
+    }
+
+    /// Approximate resident bytes across shards (see
+    /// [`LruCache::approx_bytes`]); takes each shard lock briefly.
+    pub fn approx_bytes(&self, mut value_bytes: impl FnMut(&V) -> usize) -> usize {
+        self.shards
+            .iter()
+            .map(|s| {
+                s.lock()
+                    .expect("lru poisoned")
+                    .approx_bytes(&mut value_bytes)
+            })
+            .sum()
+    }
+
     /// Total number of live entries across shards.
     pub fn len(&self) -> usize {
         self.shards
@@ -354,6 +394,21 @@ impl<K: Eq + Hash + Clone, V: Clone> EpochLru<K, V> {
     /// Hit/miss counters (hits count only epoch-exact lookups).
     pub fn stats(&self) -> &CacheStats {
         &self.stats
+    }
+
+    /// Drops every entry (any epoch), keeping counters and capacity. Safe
+    /// at any time: everything cached is a pure function of the key and
+    /// its epoch's data, so the next lookup recomputes bit-identically.
+    pub fn clear(&self) {
+        self.inner.clear();
+    }
+
+    /// Approximate resident bytes across shards: per-entry overhead plus
+    /// `value_bytes` of every cached value, any epoch. Cheap introspection
+    /// for memory-budget accounting — an estimate (map capacity and
+    /// allocator slack are not counted), not an allocator audit.
+    pub fn approx_bytes(&self, mut value_bytes: impl FnMut(&V) -> usize) -> usize {
+        self.inner.approx_bytes(|(_, v)| value_bytes(v))
     }
 
     /// Total live entries across shards (any epoch).
@@ -460,6 +515,43 @@ mod tests {
         assert_eq!(c.stats().hits(), 1);
         assert_eq!(c.stats().misses(), 2);
         assert_eq!(c.len(), 1, "epoch bump must overwrite, not duplicate");
+    }
+
+    #[test]
+    fn clear_empties_every_layer_and_reuse_works() {
+        let mut lru = LruCache::new(4);
+        lru.insert(1, 10);
+        lru.insert(2, 20);
+        lru.clear();
+        assert!(lru.is_empty());
+        assert_eq!(lru.get(&1), None);
+        lru.insert(3, 30);
+        assert_eq!(lru.get(&3), Some(&30));
+
+        let epoch: EpochLru<u32, u64> = EpochLru::new(16);
+        let _ = epoch.get_or_insert_with(1, 0, || 7);
+        let _ = epoch.get_or_insert_with(2, 0, || 8);
+        assert_eq!(epoch.len(), 2);
+        epoch.clear();
+        assert!(epoch.is_empty());
+        // Counters survive; recomputation after a clear is a miss.
+        let v = epoch.get_or_insert_with(1, 0, || 7);
+        assert_eq!(v, 7);
+        assert_eq!(epoch.stats().misses(), 3);
+    }
+
+    #[test]
+    fn approx_bytes_tracks_entries() {
+        let epoch: EpochLru<u32, Vec<u8>> = EpochLru::new(16);
+        assert_eq!(epoch.approx_bytes(Vec::len), 0);
+        let _ = epoch.get_or_insert_with(1, 0, || vec![0u8; 100]);
+        let one = epoch.approx_bytes(Vec::len);
+        assert!(one >= 100, "value bytes must be counted: {one}");
+        let _ = epoch.get_or_insert_with(2, 0, || vec![0u8; 100]);
+        let two = epoch.approx_bytes(Vec::len);
+        assert!(two > one, "second entry must grow the estimate");
+        epoch.clear();
+        assert_eq!(epoch.approx_bytes(Vec::len), 0);
     }
 
     #[test]

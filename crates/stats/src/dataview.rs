@@ -114,12 +114,40 @@ pub struct JointCodes {
     n_rows: usize,
 }
 
+impl ColumnCodes {
+    /// Approximate resident bytes of this fit (codes payload plus fixed
+    /// struct overhead; the discretizer's cut/value vector is counted).
+    pub fn approx_bytes(&self) -> usize {
+        let disc_values = match &self.disc {
+            Discretizer::Categorical { values } => values.len(),
+            Discretizer::Quantile { cuts } => cuts.len(),
+        };
+        std::mem::size_of::<Self>()
+            + self.codes.len() * std::mem::size_of::<usize>()
+            + disc_values * std::mem::size_of::<f64>()
+    }
+}
+
 impl JointCodes {
     /// Distinct stratum count. First-seen codes are contiguous from 0, so
     /// this is also the exclusive code bound — the `nz` the dense CMI
     /// kernel needs without a `max`-scan.
     pub fn distinct(&self) -> usize {
         self.map.len()
+    }
+
+    /// Approximate resident bytes of this encoding: the per-row codes, the
+    /// first-seen map's key tuples, and fixed struct overhead.
+    pub fn approx_bytes(&self) -> usize {
+        let usizes = std::mem::size_of::<usize>();
+        std::mem::size_of::<Self>()
+            + self.codes.len() * usizes
+            + self
+                .map
+                .keys()
+                .map(|k| (k.len() + 1) * usizes)
+                .sum::<usize>()
+            + self.member_lineages.len() * std::mem::size_of::<u64>()
     }
 }
 
@@ -182,6 +210,15 @@ impl Caches {
             ci: EpochLru::new(CI_CACHE_CAPACITY),
             joint_extensions: AtomicU64::new(0),
         })
+    }
+
+    /// Approximate resident bytes of the three epoch-LRUs (the CI cache's
+    /// values are inline in its entries, so only the per-entry overhead
+    /// counts there).
+    fn approx_bytes(&self) -> usize {
+        self.codes.approx_bytes(|c| c.approx_bytes())
+            + self.joint.approx_bytes(|j| j.approx_bytes())
+            + self.ci.approx_bytes(|_| 0)
     }
 }
 
@@ -754,6 +791,42 @@ impl DataView {
         self.inner.segments.len()
     }
 
+    /// Approximate resident bytes of the raw segment data (including any
+    /// materialized sorted runs and moment summaries). Segments are
+    /// `Arc`-shared across views of one lineage; callers accounting a
+    /// *set* of views should deduplicate by [`Self::segments`] `Arc`
+    /// identity before summing per-segment bytes.
+    pub fn segment_bytes(&self) -> usize {
+        self.inner.segments.iter().map(|s| s.approx_bytes()).sum()
+    }
+
+    /// Approximate resident bytes of the epoch-tagged statistic caches
+    /// (discretizations, joint encodings, CI outcomes). Caches are shared
+    /// along a lineage (`Arc`), so two views of one lineage report the
+    /// same pool — deduplicate by [`Self::lineage`] when accounting many
+    /// views.
+    pub fn cache_bytes(&self) -> usize {
+        self.inner.caches.approx_bytes()
+    }
+
+    /// [`Self::segment_bytes`] + [`Self::cache_bytes`]: the whole
+    /// approximate footprint of this view (double-counts nothing within
+    /// one view; see the per-part docs for cross-view deduplication).
+    pub fn approx_bytes(&self) -> usize {
+        self.segment_bytes() + self.cache_bytes()
+    }
+
+    /// Drops every entry of the statistic caches shared along this view's
+    /// lineage — the memory-budget eviction hook. Raw data (segments) and
+    /// per-view lazy state are untouched, and everything evicted is a pure
+    /// function of the data, so subsequent reads recompute bit-identical
+    /// values; only the next probe of each key pays a recomputation.
+    pub fn evict_statistic_caches(&self) {
+        self.inner.caches.codes.clear();
+        self.inner.caches.joint.clear();
+        self.inner.caches.ci.clear();
+    }
+
     /// Number of segments shared (by `Arc` identity) with `other` —
     /// observability for the O(new rows) append guarantee.
     pub fn shared_segments_with(&self, other: &DataView) -> usize {
@@ -1018,6 +1091,44 @@ mod tests {
             0,
             "a broken member lineage must force the cold path"
         );
+    }
+
+    #[test]
+    fn approx_bytes_and_eviction_roundtrip() {
+        let v = view();
+        let raw = v.segment_bytes();
+        assert!(raw >= 3 * 4 * std::mem::size_of::<f64>());
+        assert_eq!(v.cache_bytes(), 0, "no statistics cached yet");
+
+        // Populate all three caches.
+        let codes_before = v.codes(2, 5, 8);
+        let joint_before = v.joint_codes(&[0, 2], 5, 8);
+        let ci_before = v.ci_outcome(ci_key(0, 0, 1, &[]), || (1.5, 0.25));
+        let warm = v.cache_bytes();
+        assert!(warm > 0, "cached statistics must be visible");
+        assert_eq!(v.approx_bytes(), v.segment_bytes() + warm);
+
+        // Warming the codes cache materialized sorted runs inside the
+        // segments; those are data-side state and counted there.
+        let raw_warm = v.segment_bytes();
+        assert!(raw_warm >= raw);
+
+        // Eviction clears only the caches, never the data…
+        v.evict_statistic_caches();
+        assert_eq!(v.cache_bytes(), 0);
+        assert_eq!(v.segment_bytes(), raw_warm);
+        assert_eq!(v.n_rows(), 4);
+
+        // …and re-derivation is bit-identical.
+        let codes_after = v.codes(2, 5, 8);
+        assert_eq!(codes_after.codes, codes_before.codes);
+        assert_eq!(codes_after.arity, codes_before.arity);
+        let joint_after = v.joint_codes(&[0, 2], 5, 8);
+        assert_eq!(joint_after.codes, joint_before.codes);
+        assert_eq!(joint_after.strata.to_bits(), joint_before.strata.to_bits());
+        let ci_after = v.ci_outcome(ci_key(0, 0, 1, &[]), || (1.5, 0.25));
+        assert_eq!(ci_after.0.to_bits(), ci_before.0.to_bits());
+        assert_eq!(ci_after.1.to_bits(), ci_before.1.to_bits());
     }
 
     #[test]

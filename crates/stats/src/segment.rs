@@ -128,6 +128,20 @@ impl Segment {
         })
     }
 
+    /// Approximate resident bytes of this segment: raw column data plus
+    /// whatever lazy state has materialized (sorted runs, the moment
+    /// summary). Cheap introspection for memory-budget accounting — the
+    /// raw-data term is exact, the lazy terms count payloads only.
+    pub fn approx_bytes(&self) -> usize {
+        let f64s = std::mem::size_of::<f64>();
+        let mut bytes = self.cols.len() * self.rows * f64s;
+        bytes += self.sorted.iter().filter(|s| s.get().is_some()).count() * self.rows * f64s;
+        if let Some(st) = self.stats.get() {
+            bytes += st.cols.len() * std::mem::size_of::<ColMoments>() + st.cross.len() * f64s;
+        }
+        bytes
+    }
+
     /// The segment's moment summary, computed once and shared by every view
     /// holding this segment.
     pub fn stats(&self) -> &SegmentStats {
@@ -173,6 +187,22 @@ mod tests {
         assert_eq!(st.cols[0], column_moments(&xs));
         assert_eq!(st.cols.len(), 2);
         assert_eq!(st.cross.len(), 1);
+    }
+
+    #[test]
+    fn approx_bytes_grows_with_lazy_state() {
+        let n = 64;
+        let seg = Segment::new(vec![
+            (0..n).map(|i| i as f64).collect(),
+            (0..n).map(|i| (i as f64).cos()).collect(),
+        ]);
+        let raw = seg.approx_bytes();
+        assert_eq!(raw, 2 * n * std::mem::size_of::<f64>());
+        let _ = seg.sorted_col(0);
+        let with_sorted = seg.approx_bytes();
+        assert_eq!(with_sorted, raw + n * std::mem::size_of::<f64>());
+        let _ = seg.stats();
+        assert!(seg.approx_bytes() > with_sorted);
     }
 
     #[test]

@@ -188,6 +188,32 @@ impl ScenarioSpec {
         name
     }
 
+    /// Structural distance to another spec — the fleet layer's
+    /// nearest-neighbor metric for cross-tenant warm starts. Zero iff the
+    /// two specs expand to the identical system (every structural field
+    /// equal); counts one unit per categorical mismatch (interaction,
+    /// domain cycle, structure seed, objective/confounder counts) plus
+    /// normalized relative differences of the numeric fields. Symmetric.
+    pub fn distance(&self, other: &ScenarioSpec) -> f64 {
+        fn rel(a: f64, b: f64) -> f64 {
+            let m = a.abs().max(b.abs());
+            if m == 0.0 {
+                0.0
+            } else {
+                (a - b).abs() / m
+            }
+        }
+        let unit = |same: bool| if same { 0.0 } else { 1.0 };
+        rel(self.n_options as f64, other.n_options as f64)
+            + rel(self.n_events as f64, other.n_events as f64)
+            + rel(self.noise, other.noise)
+            + unit(self.interaction == other.interaction)
+            + unit(self.domain_sizes == other.domain_sizes)
+            + unit(self.n_objectives == other.n_objectives)
+            + unit(self.n_confounders == other.n_confounders)
+            + unit(self.structure_seed == other.structure_seed)
+    }
+
     /// The structure RNG: a pure function of every structural field, so
     /// two equal specs expand to bit-identical models.
     fn structure_rng(&self) -> StdRng {
@@ -597,6 +623,38 @@ impl ScenarioRegistry {
         reg
     }
 
+    /// Tenants per replica group of [`Self::synthetic_on_demand`]:
+    /// consecutive indices within one group expand to the identical spec,
+    /// modeling the fleet's real shape (many tenants running the same
+    /// software on the same platform) — the regime where cross-tenant
+    /// warm starts pay off.
+    pub const ON_DEMAND_REPLICAS: usize = 4;
+
+    /// The `i`-th on-demand synthetic tenant spec — a pure function of the
+    /// index, so a fleet bench or soak test can enumerate thousands of
+    /// tenants lazily without materializing a registry. Indices are
+    /// partitioned into replica groups of [`Self::ON_DEMAND_REPLICAS`]:
+    /// within a group the specs are equal ([`ScenarioSpec::distance`] 0),
+    /// across groups the option count, interaction depth, objective and
+    /// confounder counts, and structure seed all cycle, so neighboring
+    /// groups are structurally distinct family members. Specs are kept
+    /// small (6–16 options) so a thousand-tenant admission sweep stays
+    /// interactive.
+    pub fn synthetic_on_demand(i: usize) -> ScenarioSpec {
+        let g = i / Self::ON_DEMAND_REPLICAS;
+        let n_options = 6 + 2 * (g % 6);
+        let interaction = if g.is_multiple_of(2) {
+            Interaction::Sparse
+        } else {
+            Interaction::Dense
+        };
+        let n_objectives = 1 + g % 3;
+        let n_confounders = g % 3;
+        let mut spec = ScenarioSpec::family(n_options, interaction, n_objectives, n_confounders);
+        spec.structure_seed = 0xF1EE7 ^ ((g as u64) << 8);
+        spec
+    }
+
     /// The Table 3 scalability matrix (SQLite 34→242 options / 19→288
     /// events, Deepstream 20→288 events, all on Xavier).
     pub fn scalability() -> Self {
@@ -763,6 +821,64 @@ mod tests {
                 .n_events(),
             288
         );
+    }
+
+    #[test]
+    fn spec_distance_is_zero_iff_structurally_equal() {
+        let a = ScenarioSpec::family(12, Interaction::Dense, 2, 1);
+        assert_eq!(a.distance(&a), 0.0);
+        assert_eq!(a.distance(&a.clone()), 0.0);
+        // Each structural field moves the distance off zero, symmetrically.
+        let b = ScenarioSpec {
+            n_options: 14,
+            ..a.clone()
+        };
+        assert!(a.distance(&b) > 0.0);
+        assert_eq!(a.distance(&b), b.distance(&a));
+        let c = ScenarioSpec {
+            structure_seed: a.structure_seed ^ 1,
+            ..a.clone()
+        };
+        assert!(a.distance(&c) > 0.0);
+        // Nearer family members score lower than farther ones.
+        let near = ScenarioSpec {
+            n_options: 13,
+            ..a.clone()
+        };
+        let far = ScenarioSpec {
+            n_options: 24,
+            ..a.clone()
+        };
+        assert!(a.distance(&near) < a.distance(&far));
+    }
+
+    #[test]
+    fn on_demand_specs_are_pure_and_replica_grouped() {
+        const R: usize = ScenarioRegistry::ON_DEMAND_REPLICAS;
+        // Pure function of the index.
+        assert_eq!(
+            ScenarioRegistry::synthetic_on_demand(17),
+            ScenarioRegistry::synthetic_on_demand(17)
+        );
+        // Replicas within a group share the identical spec (distance 0);
+        // adjacent groups are structurally distinct.
+        for g in 0..6 {
+            let head = ScenarioRegistry::synthetic_on_demand(g * R);
+            for r in 1..R {
+                let peer = ScenarioRegistry::synthetic_on_demand(g * R + r);
+                assert_eq!(head, peer);
+                assert_eq!(head.distance(&peer), 0.0);
+            }
+            let next = ScenarioRegistry::synthetic_on_demand((g + 1) * R);
+            assert!(head.distance(&next) > 0.0, "group {g} must differ");
+        }
+        // Every on-demand spec expands to a valid, small model.
+        for i in [0, 5, 123, 997] {
+            let spec = ScenarioRegistry::synthetic_on_demand(i);
+            let m = spec.build();
+            assert!((6..=16).contains(&m.n_options()), "index {i}");
+            assert!(m.n_events() >= 4);
+        }
     }
 
     #[test]

@@ -1,0 +1,303 @@
+//! Fleet-layer invariants: multiplexing thousands of tenants behind one
+//! process must be invisible in the answers. For any mixed traffic of
+//! queries, appends, and relearns over a handful of tenants,
+//!
+//! * a **budget-constrained** fleet (budget below the segment floor, so
+//!   every maintain pass evicts every cache lineage) answers
+//!   bit-identically to an **unbounded** fleet — eviction re-derives
+//!   statistics, never perturbs them;
+//! * both fleets answer bit-identically to **standalone** per-tenant
+//!   [`UnicornState`]s replaying the same traffic — and the standalone
+//!   arm bootstraps *cold*, so the fleets' warm-started admissions
+//!   (replica tenants adopt the group head's model) are proven
+//!   bit-identical to the cold discovery they skipped;
+//! * all of the above holds at every worker-pool size, and the answers
+//!   agree bitwise *across* pool sizes.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use proptest::prelude::*;
+
+use unicorn::core::{Fleet, FleetOptions, UnicornOptions, UnicornState};
+use unicorn::exec::Executor;
+use unicorn::graph::VarKind;
+use unicorn::inference::{PerformanceQuery, QosGoal, QueryAnswer};
+use unicorn::serve::{http_request_many, ServeOptions, Server};
+use unicorn::systems::{generate, Scenario, ScenarioRegistry, ScenarioSpec, Simulator};
+
+const POOLS: [usize; 3] = [1, 2, 8];
+/// Indices 0..=4 of the on-demand family: one full replica group (three
+/// warm admissions off tenant 0) plus the head of the next group (a
+/// distant spec that must stay cold).
+const TENANTS: usize = 5;
+const BOOT_SAMPLES: usize = 24;
+
+fn tenant_spec(i: usize) -> ScenarioSpec {
+    ScenarioRegistry::synthetic_on_demand(i)
+}
+
+/// Replicas of a group share one bootstrap seed — warm adoption is gated
+/// on bit-identical bootstrap data, so this is what arms the transfer.
+fn tenant_seed(i: usize) -> u64 {
+    0x5EED ^ (i / ScenarioRegistry::ON_DEMAND_REPLICAS) as u64
+}
+
+fn base_opts(pool: usize) -> UnicornOptions {
+    let mut opts = UnicornOptions {
+        initial_samples: BOOT_SAMPLES,
+        relearn_every: usize::MAX,
+        ..UnicornOptions::default()
+    };
+    opts.discovery.max_depth = 1;
+    opts.discovery.pds_depth = 0;
+    opts.discovery.exec = Some(Executor::new(pool));
+    opts
+}
+
+fn fleet_on(pool: usize, memory_budget: Option<usize>) -> Fleet {
+    let mut fleet = Fleet::new(FleetOptions {
+        memory_budget,
+        unicorn: base_opts(pool),
+        ..FleetOptions::default()
+    });
+    for i in 0..TENANTS {
+        fleet.admit(&format!("t{i}"), tenant_spec(i), tenant_seed(i));
+    }
+    fleet
+}
+
+/// The standalone arm: per-tenant engines bootstrapped *cold* (no
+/// session seeding) on their own sims, sharing nothing.
+fn solo_on(pool: usize) -> Vec<(Simulator, UnicornOptions, UnicornState)> {
+    (0..TENANTS)
+        .map(|i| {
+            let sim = Scenario::synthetic(tenant_spec(i)).simulator(tenant_seed(i));
+            let mut opts = base_opts(pool);
+            opts.seed = tenant_seed(i);
+            let state = UnicornState::bootstrap(&sim, &opts);
+            (sim, opts, state)
+        })
+        .collect()
+}
+
+/// One step of generated traffic against one tenant.
+#[derive(Debug, Clone)]
+enum RawOp {
+    /// Answer one query (realized against the tenant's own nodes).
+    Query(RawQuery),
+    /// Append fresh samples, relearn the structure, then query.
+    Grow {
+        rows: usize,
+        seed: u64,
+        probe: RawQuery,
+    },
+}
+
+#[derive(Debug, Clone)]
+struct RawQuery {
+    kind: u8,
+    a: usize,
+    b: usize,
+    threshold: f64,
+}
+
+fn raw_query() -> impl Strategy<Value = RawQuery> {
+    (0u8..5, 0usize..64, 0usize..64, 5.0f64..80.0).prop_map(|(kind, a, b, threshold)| RawQuery {
+        kind,
+        a,
+        b,
+        threshold,
+    })
+}
+
+fn raw_op() -> impl Strategy<Value = (usize, RawOp)> {
+    (
+        (0usize..TENANTS, 0u8..4),
+        (1usize..5, 0u64..1000),
+        raw_query(),
+    )
+        .prop_map(|((tenant, sel), (rows, seed), probe)| {
+            // Three of four ops are queries, the fourth grows the tenant.
+            let op = if sel == 0 {
+                RawOp::Grow { rows, seed, probe }
+            } else {
+                RawOp::Query(probe)
+            };
+            (tenant, op)
+        })
+}
+
+fn realize(raw: &RawQuery, sim: &Simulator) -> PerformanceQuery {
+    let tiers = sim.model.tiers();
+    let options = tiers.of_kind(VarKind::ConfigOption);
+    let objectives = tiers.of_kind(VarKind::Objective);
+    let option = options[raw.a % options.len()];
+    let objective = objectives[raw.b % objectives.len()];
+    let values = &sim.model.space.option(raw.a % options.len()).values;
+    let value = values[raw.b % values.len()];
+    match raw.kind {
+        0 => PerformanceQuery::CausalEffect { option, objective },
+        1 => PerformanceQuery::ProbabilityOfQos {
+            interventions: vec![(option, value)],
+            objective,
+            threshold: raw.threshold,
+        },
+        2 => PerformanceQuery::ExpectedObjective {
+            interventions: vec![(option, value)],
+            objective,
+        },
+        3 => PerformanceQuery::RootCauses {
+            goal: QosGoal::single(objective, raw.threshold),
+        },
+        _ => PerformanceQuery::Repairs {
+            goal: QosGoal::single(objective, raw.threshold),
+            fault_row: raw.a % BOOT_SAMPLES,
+        },
+    }
+}
+
+/// Strict bitwise equality of answers (scores, order, payloads).
+fn assert_bits_equal(a: &QueryAnswer, b: &QueryAnswer, what: &str) {
+    match (a, b) {
+        (QueryAnswer::Effect(x), QueryAnswer::Effect(y))
+        | (QueryAnswer::Probability(x), QueryAnswer::Probability(y))
+        | (QueryAnswer::Expectation(x), QueryAnswer::Expectation(y)) => {
+            assert_eq!(x.to_bits(), y.to_bits(), "{what}: scalar drift");
+        }
+        (QueryAnswer::RootCauses(xs), QueryAnswer::RootCauses(ys)) => {
+            assert_eq!(xs.len(), ys.len(), "{what}: rank length drift");
+            for ((nx, sx), (ny, sy)) in xs.iter().zip(ys) {
+                assert_eq!(nx, ny, "{what}: rank order drift");
+                assert_eq!(sx.to_bits(), sy.to_bits(), "{what}: score drift");
+            }
+        }
+        (QueryAnswer::Repairs(xs), QueryAnswer::Repairs(ys)) => {
+            assert_eq!(xs.len(), ys.len(), "{what}: repair count drift");
+            for (x, y) in xs.iter().zip(ys) {
+                assert_eq!(x.assignments, y.assignments, "{what}: assignment drift");
+                assert_eq!(x.ice.to_bits(), y.ice.to_bits(), "{what}: ICE drift");
+                assert_eq!(
+                    x.improvement.to_bits(),
+                    y.improvement.to_bits(),
+                    "{what}: improvement drift"
+                );
+            }
+        }
+        (
+            QueryAnswer::Unidentifiable {
+                cause: c1,
+                effect: e1,
+            },
+            QueryAnswer::Unidentifiable {
+                cause: c2,
+                effect: e2,
+            },
+        ) => {
+            assert_eq!((c1, e1), (c2, e2), "{what}: unidentifiable pair drift");
+        }
+        (a, b) => panic!("{what}: answer variant drift: {a:?} vs {b:?}"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// The tentpole invariant: budgeted == unbounded == standalone-cold,
+    /// bitwise, under mixed traffic, at every pool size and across pool
+    /// sizes; the budgeted arm is forced to evict (budget of one byte)
+    /// and the fleets' warm admissions happen (and change nothing).
+    #[test]
+    fn budgeted_fleet_matches_unbounded_and_standalone(ops in prop::collection::vec(raw_op(), 1..7)) {
+        let mut per_pool: Vec<Vec<QueryAnswer>> = Vec::new();
+        for pool in POOLS {
+            // A one-byte budget sits below the segment floor: every
+            // maintain pass evicts every cache lineage the traffic warms.
+            let mut budgeted = fleet_on(pool, Some(1));
+            let mut unbounded = fleet_on(pool, None);
+            let mut solo = solo_on(pool);
+            prop_assert_eq!(budgeted.stats().warm_admissions, 3,
+                "one replica group of four must warm-start three admissions");
+            prop_assert_eq!(unbounded.stats().warm_admissions, 3);
+
+            let mut answers: Vec<QueryAnswer> = Vec::new();
+            for (step, (tenant, op)) in ops.iter().enumerate() {
+                let name = format!("t{tenant}");
+                let (sim, opts, state) = &mut solo[*tenant];
+                if let RawOp::Grow { rows, seed, .. } = op {
+                    budgeted.append(&name, *rows, *seed);
+                    budgeted.relearn(&name);
+                    unbounded.append(&name, *rows, *seed);
+                    unbounded.relearn(&name);
+                    state.extend_data(&generate(sim, *rows, *seed));
+                    state.relearn(sim, opts);
+                }
+                let raw = match op {
+                    RawOp::Query(raw) => raw,
+                    RawOp::Grow { probe, .. } => probe,
+                };
+                let q = realize(raw, sim);
+                let want = state.engine(sim, opts).estimate(&q);
+                let got_b = budgeted.query(&name, &q);
+                let got_u = unbounded.query(&name, &q);
+                assert_bits_equal(&got_b, &want, &format!("pool={pool} step#{step} budgeted vs solo"));
+                assert_bits_equal(&got_u, &want, &format!("pool={pool} step#{step} unbounded vs solo"));
+                answers.push(want);
+            }
+
+            let stats = budgeted.stats();
+            prop_assert!(stats.evictions > 0, "a one-byte budget must evict");
+            prop_assert_eq!(unbounded.stats().evictions, 0, "no budget, no evictions");
+            per_pool.push(answers);
+        }
+        for (answers, pool) in per_pool[1..].iter().zip(&POOLS[1..]) {
+            for (i, (got, base)) in answers.iter().zip(&per_pool[0]).enumerate() {
+                assert_bits_equal(got, base, &format!("pool={pool} vs pool=1 step#{i}"));
+            }
+        }
+    }
+}
+
+/// End-to-end multi-tenant serving: two tenants published through one
+/// fleet router, queried over one keep-alive connection via
+/// `/tenant/:id/query` — each reply bit-identical to the tenant's own
+/// engine; unknown tenants get 503 without disturbing the connection.
+#[test]
+fn fleet_router_serves_tenants_over_one_connection() {
+    let mut fleet = fleet_on(2, None);
+    fleet.publish("t0");
+    fleet.publish("t4");
+
+    let server = Server::start_router(
+        Arc::clone(fleet.router()),
+        &ServeOptions {
+            addr: "127.0.0.1:0".into(),
+            window: Duration::from_micros(200),
+        },
+    )
+    .expect("server start");
+
+    let body = r#"{"type":"root_causes","goal":[["latency",30]]}"#;
+    let replies = http_request_many(
+        server.addr(),
+        &[
+            ("POST", "/tenant/t0/query", Some(body)),
+            ("POST", "/tenant/t4/query", Some(body)),
+            ("POST", "/tenant/absent/query", Some(body)),
+            ("POST", "/tenant/t0/query", Some(body)),
+        ],
+    )
+    .expect("keep-alive round-trips");
+
+    assert_eq!(
+        replies.iter().map(|(s, _)| *s).collect::<Vec<_>>(),
+        [200, 200, 503, 200],
+        "tenant routing statuses: {replies:?}"
+    );
+    assert_eq!(replies[0].1, replies[3].1, "same tenant, same reply");
+    assert_ne!(
+        replies[0].1, replies[1].1,
+        "distinct tenants must answer from distinct models"
+    );
+    server.shutdown();
+}

@@ -17,10 +17,19 @@
 //! model is adopted from the group head, provably bit-identical to the
 //! cold learn it skips).
 //!
+//! After the mixed-traffic script, both arms run a **steady-state pass**:
+//! every tenant's probe asked twice back-to-back (the keep-alive
+//! debugging-session shape), with the usual periodic maintain sweeps.
+//! The repeat is served from the tenant's epoch-pinned `SweepCache`, so
+//! the pass measures the fleet's steady-state hit rate — and proves the
+//! budgeted arm's evict-then-rederive answers stay bit-identical to the
+//! unbounded arm's cache-warm ones.
+//!
 //! The report carries the usual `benchmarks` array for the bench gate
-//! (admission and mixed-traffic wall clocks, plus query p50/p99 encoded
-//! as pseudo-latencies) and a `fleet` section with throughput, peak
-//! accounted bytes, the budget, and eviction / warm-admission counts.
+//! (admission, mixed-traffic, and steady-state wall clocks, plus query
+//! p50/p99 encoded as pseudo-latencies) and a `fleet` section with
+//! throughput, peak accounted bytes, the budget, eviction /
+//! warm-admission counts, and the steady-state sweep-cache hit rate.
 //!
 //! ```sh
 //! UNICORN_BENCH_JSON=BENCH_fleet.json cargo bench -p unicorn-bench --bench fleet
@@ -34,7 +43,7 @@ use std::time::{Duration, Instant};
 
 use unicorn_core::{Fleet, FleetOptions, UnicornOptions};
 use unicorn_graph::VarKind;
-use unicorn_inference::PerformanceQuery;
+use unicorn_inference::{sweep_cache_enabled, PerformanceQuery};
 use unicorn_systems::{ScenarioRegistry, ScenarioSpec};
 
 /// Tenants per replica group share one bootstrap seed, so warm starts
@@ -122,6 +131,43 @@ fn run_traffic(fleet: &mut Fleet, n: usize) -> TrafficOutcome {
     }
 }
 
+struct SteadyOutcome {
+    wall: Duration,
+    answers: Vec<String>,
+    hits: u64,
+    misses: u64,
+}
+
+/// The steady-state pass: every tenant's probe asked twice back-to-back
+/// with no appends or relearns — repeated serving traffic against
+/// settled epochs. The immediate repeat is the sweep cache's bread and
+/// butter (no maintain can intervene), so the pass yields the fleet's
+/// steady-state hit rate alongside the answers (Debug-formatted —
+/// bitwise faithful) for the cross-arm identity assertion.
+fn steady_pass(fleet: &mut Fleet, n: usize) -> SteadyOutcome {
+    let before = fleet.stats();
+    let mut answers = Vec::with_capacity(2 * n);
+    let t0 = Instant::now();
+    for i in 0..n {
+        let name = format!("t{i}");
+        let q = probe_query(&ScenarioRegistry::synthetic_on_demand(i));
+        answers.push(format!("{:?}", fleet.query(&name, &q)));
+        answers.push(format!("{:?}", fleet.query(&name, &q)));
+        if i % 50 == 49 {
+            fleet.maintain();
+        }
+    }
+    fleet.maintain();
+    let wall = t0.elapsed();
+    let after = fleet.stats();
+    SteadyOutcome {
+        wall,
+        answers,
+        hits: after.sweep_hits - before.sweep_hits,
+        misses: after.sweep_misses - before.sweep_misses,
+    }
+}
+
 fn percentile(sorted: &[Duration], p: f64) -> Duration {
     let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
     sorted[idx]
@@ -173,11 +219,18 @@ fn main() {
     });
     let ref_out = run_traffic(&mut reference, n);
     let (ref_segments, ref_caches) = reference.accounted_breakdown();
+    let ref_steady = steady_pass(&mut reference, n);
     let ref_stats = reference.stats();
     assert!(
         ref_out.warm_admissions > 0,
         "replica groups must produce warm admissions"
     );
+    if sweep_cache_enabled() {
+        assert!(
+            ref_steady.hits > 0,
+            "unbounded steady-state repeats must hit the sweep cache"
+        );
+    }
     drop(reference);
 
     // The budget admits the raw floor plus a quarter of the unbounded
@@ -206,9 +259,14 @@ fn main() {
             name: format!("fleet_n{n}/query_p99"),
             ns: Vec::new(),
         },
+        Row {
+            name: format!("fleet_n{n}/steady_state_pass"),
+            ns: Vec::new(),
+        },
     ];
     let mut last_stats = None;
     let mut throughput_qps = 0.0;
+    let mut steady_hit_rate = 0.0;
     for pass in 0..samples {
         let mut fleet = Fleet::new(FleetOptions {
             memory_budget: Some(budget),
@@ -216,12 +274,14 @@ fn main() {
             ..FleetOptions::default()
         });
         let out = run_traffic(&mut fleet, n);
+        let steady = steady_pass(&mut fleet, n);
         let stats = fleet.stats();
 
-        // In-run acceptance assertions: evictions actually happened,
-        // the post-sweep accounting respects the budget, and every
-        // evicted-then-rederived answer matches the unbounded arm
-        // bitwise.
+        // In-run acceptance assertions: evictions actually happened, the
+        // post-sweep accounting (now including sweep-cache bytes)
+        // respects the budget through the steady-state pass, and every
+        // evicted-then-rederived answer — mixed traffic and steady
+        // repeats alike — matches the unbounded arm bitwise.
         assert!(stats.evictions > 0, "budgeted arm must evict");
         assert!(
             stats.peak_bytes <= budget,
@@ -233,19 +293,37 @@ fn main() {
             out.answers, ref_out.answers,
             "budgeted answers diverged from the unbounded arm"
         );
+        assert_eq!(
+            steady.answers, ref_steady.answers,
+            "budgeted steady-state answers diverged from the unbounded arm"
+        );
+        if sweep_cache_enabled() {
+            assert!(
+                steady.hits > 0,
+                "budgeted steady-state repeats must hit the sweep cache"
+            );
+        }
 
         let mut sorted = out.latencies.clone();
         sorted.sort();
         let queries = out.latencies.len();
         throughput_qps = queries as f64 / out.mixed.as_secs_f64();
+        let probes = steady.hits + steady.misses;
+        steady_hit_rate = if probes > 0 {
+            steady.hits as f64 / probes as f64
+        } else {
+            0.0
+        };
         println!(
-            "pass {}/{samples}: admit {:?}, mixed {:?} ({queries} queries, {:.0} q/s), p50 {:?}, p99 {:?}, evictions {}, peak {} B",
+            "pass {}/{samples}: admit {:?}, mixed {:?} ({queries} queries, {:.0} q/s), p50 {:?}, p99 {:?}, steady {:?} (hit rate {:.3}), evictions {}, peak {} B",
             pass + 1,
             out.admit,
             out.mixed,
             throughput_qps,
             percentile(&sorted, 0.50),
             percentile(&sorted, 0.99),
+            steady.wall,
+            steady_hit_rate,
             stats.evictions,
             stats.peak_bytes,
         );
@@ -253,13 +331,21 @@ fn main() {
         rows[1].ns.push(out.mixed.as_nanos());
         rows[2].ns.push(percentile(&sorted, 0.50).as_nanos());
         rows[3].ns.push(percentile(&sorted, 0.99).as_nanos());
+        rows[4].ns.push(steady.wall.as_nanos());
         last_stats = Some(stats);
     }
 
     let stats = last_stats.expect("at least one pass");
     let fleet_section = format!(
-        "  \"fleet\": {{\"tenants\": {n}, \"budget_bytes\": {budget}, \"peak_bytes\": {}, \"unbounded_peak_bytes\": {}, \"evictions\": {}, \"warm_admissions\": {}, \"throughput_qps\": {:.1}}}\n",
-        stats.peak_bytes, ref_stats.peak_bytes, stats.evictions, stats.warm_admissions, throughput_qps,
+        "  \"fleet\": {{\"tenants\": {n}, \"budget_bytes\": {budget}, \"peak_bytes\": {}, \"unbounded_peak_bytes\": {}, \"evictions\": {}, \"warm_admissions\": {}, \"throughput_qps\": {:.1}, \"steady_hit_rate\": {:.3}, \"sweep_hits\": {}, \"sweep_misses\": {}}}\n",
+        stats.peak_bytes,
+        ref_stats.peak_bytes,
+        stats.evictions,
+        stats.warm_admissions,
+        throughput_qps,
+        steady_hit_rate,
+        stats.sweep_hits,
+        stats.sweep_misses,
     );
     let path =
         std::env::var("UNICORN_BENCH_JSON").unwrap_or_else(|_| "BENCH_fleet.json".to_string());

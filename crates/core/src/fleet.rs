@@ -113,6 +113,11 @@ pub struct FleetStats {
     /// Admissions whose seeded neighbor model was adopted (skipping cold
     /// discovery with a provably bit-identical result).
     pub warm_admissions: u64,
+    /// Interventional sweep-cache hits summed over all tenants (0 when
+    /// `UNICORN_SWEEP_CACHE` disables caching).
+    pub sweep_hits: u64,
+    /// Interventional sweep-cache misses summed over all tenants.
+    pub sweep_misses: u64,
 }
 
 /// One registered tenant: its scenario point, private simulator and loop
@@ -143,34 +148,60 @@ impl Tenant {
     /// This tenant's `(segment bytes, cache bytes)`: the live view plus
     /// the published snapshot view, segments deduplicated by `Arc`
     /// identity and cache lineages counted once (a snapshot taken since
-    /// the last append shares the live view's lineage).
+    /// the last append shares the live view's lineage). The cache term
+    /// also charges the tenant's interventional sweep cache — state and
+    /// published snapshot share one `Arc`, deduplicated by identity like
+    /// the segments.
     fn bytes(&mut self) -> (usize, usize) {
         let mut seen_segments: HashSet<usize> = HashSet::new();
         let mut seen_lineages: HashSet<u64> = HashSet::new();
         let mut segments = 0usize;
         let mut caches = 0usize;
-        let mut account = |view: &unicorn_stats::dataview::DataView| {
-            for seg in view.segments() {
-                if seen_segments.insert(Arc::as_ptr(seg) as usize) {
-                    segments += seg.approx_bytes();
+        {
+            let mut account = |view: &unicorn_stats::dataview::DataView| {
+                for seg in view.segments() {
+                    if seen_segments.insert(Arc::as_ptr(seg) as usize) {
+                        segments += seg.approx_bytes();
+                    }
+                }
+                if seen_lineages.insert(view.lineage()) {
+                    caches += view.cache_bytes();
+                }
+            };
+            account(self.state.view());
+            if let Some(cell) = &self.cell {
+                account(&cell.load().view);
+            }
+        }
+        let mut seen_sweeps: HashSet<usize> = HashSet::new();
+        let mut sweep = |c: Option<&Arc<unicorn_inference::SweepCache>>| {
+            if let Some(c) = c {
+                if seen_sweeps.insert(Arc::as_ptr(c) as usize) {
+                    caches += c.approx_bytes();
                 }
             }
-            if seen_lineages.insert(view.lineage()) {
-                caches += view.cache_bytes();
-            }
         };
-        account(self.state.view());
+        sweep(self.state.sweep_cache());
         if let Some(cell) = &self.cell {
-            account(&cell.load().view);
+            sweep(cell.load().engine.sweep_cache());
         }
         (segments, caches)
     }
 
-    /// Clears the statistic caches of every view this tenant pins.
+    /// Clears the statistic caches of every view this tenant pins, plus
+    /// its interventional sweep cache — all memoized pure functions of
+    /// the data, so every evicted entry re-derives bit-identically.
     fn evict_caches(&mut self) {
         self.state.view().evict_statistic_caches();
+        if let Some(c) = self.state.sweep_cache() {
+            c.clear();
+        }
         if let Some(cell) = &self.cell {
-            cell.load().view.evict_statistic_caches();
+            let snap = cell.load();
+            snap.view.evict_statistic_caches();
+            if let Some(c) = snap.engine.sweep_cache() {
+                c.clear();
+            }
         }
         self.dirty = true;
     }
@@ -459,12 +490,21 @@ impl Fleet {
         let accounted_bytes = self.accounted_bytes();
         self.accounted = accounted_bytes;
         self.peak_bytes = self.peak_bytes.max(accounted_bytes);
+        let (sweep_hits, sweep_misses) = self
+            .tenants
+            .values()
+            .filter_map(|t| t.state.sweep_cache())
+            .fold((0u64, 0u64), |(h, m), c| {
+                (h + c.stats().hits(), m + c.stats().misses())
+            });
         FleetStats {
             tenants: self.tenants.len(),
             accounted_bytes,
             peak_bytes: self.peak_bytes,
             evictions: self.evictions,
             warm_admissions: self.warm_admissions,
+            sweep_hits,
+            sweep_misses,
         }
     }
 }

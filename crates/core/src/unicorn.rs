@@ -15,7 +15,7 @@ use unicorn_discovery::{
 };
 use unicorn_exec::Executor;
 use unicorn_graph::NodeId;
-use unicorn_inference::{CausalEngine, FittedScm, RepairOptions};
+use unicorn_inference::{sweep_cache_enabled, CausalEngine, FittedScm, RepairOptions, SweepCache};
 use unicorn_stats::dataview::DataView;
 use unicorn_systems::{Config, Dataset, Simulator};
 
@@ -102,6 +102,14 @@ pub struct UnicornState {
     /// and every SCM fit/refit fans out over it, so workers are spawned at
     /// most once and reused across the whole active-learning loop.
     exec: Arc<Executor>,
+    /// The one interventional sweep cache of this state's lifetime
+    /// (`None` when `UNICORN_SWEEP_CACHE` disables caching): attached to
+    /// every engine built from this state, so memoized sweep buffers
+    /// survive engine rebuilds, snapshot publications, and epoch bumps
+    /// along the lineage. Entries are epoch-tagged, so a relearn never
+    /// serves stale bits — and the fleet's budget sweep may clear it at
+    /// any time without changing an answer.
+    sweep_cache: Option<Arc<SweepCache>>,
     rng: StdRng,
 }
 
@@ -145,6 +153,7 @@ impl UnicornState {
             session,
             scm: None,
             exec,
+            sweep_cache: sweep_cache_enabled().then(|| Arc::new(SweepCache::default())),
             rng: StdRng::seed_from_u64(opts.seed ^ 0x5EED),
         }
     }
@@ -212,9 +221,23 @@ impl UnicornState {
                     .expect("SCM fit failed")
             }
         };
+        // (Re)attach this state's sweep cache: the refit path already
+        // inherits it along the lineage, but a cold fit starts bare and a
+        // forked state must use its own cache, not its parent's.
+        let scm = match &self.sweep_cache {
+            Some(c) => scm.with_sweep_cache(Arc::clone(c)),
+            None => scm,
+        };
         self.scm = Some(scm.clone());
         CausalEngine::new(scm, sim.model.tiers(), Arc::new(self.data.domains(sim)))
             .with_repair_options(opts.repair.clone())
+    }
+
+    /// This state's sweep cache (`None` when disabled by
+    /// `UNICORN_SWEEP_CACHE`) — fleet accounting reads its resident bytes,
+    /// the budget sweep clears it.
+    pub fn sweep_cache(&self) -> Option<&Arc<SweepCache>> {
+        self.sweep_cache.as_ref()
     }
 
     /// Records an already-measured sample into both the dataset and the
@@ -234,6 +257,11 @@ impl UnicornState {
         self.data = data;
         self.session.clear();
         self.scm = None;
+        // Epochs are globally unique, so the replaced lineage's sweep
+        // buffers could never be served again — free them eagerly.
+        if let Some(c) = &self.sweep_cache {
+            c.clear();
+        }
     }
 
     /// Appends a whole dataset (e.g. fresh target-environment samples in a
@@ -389,6 +417,10 @@ impl UnicornState {
             // Forks share the parent's pool (an Arc bump): workers are
             // still spawned at most once across the whole family.
             exec: Arc::clone(&self.exec),
+            // A fork gets its own sweep cache so per-tenant byte
+            // accounting and budget eviction stay independent; the first
+            // `engine()` call swaps it in over the inherited one.
+            sweep_cache: sweep_cache_enabled().then(|| Arc::new(SweepCache::default())),
             rng: StdRng::seed_from_u64(seed ^ 0x7272),
         }
     }

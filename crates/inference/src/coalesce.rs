@@ -397,8 +397,10 @@ pub fn answer_coalesced(engine: &CausalEngine, queries: &[PerformanceQuery]) -> 
         .iter()
         .map(|q| CoalescedQuery::new(engine, q))
         .collect();
-    // One domain probe per (node, grid) per window, shared by every job.
-    let mut cache = DomainCache::new(engine.domain());
+    // One domain probe per (node, grid) per *epoch* — the cache is backed
+    // by the engine's persistent store, so later windows served from the
+    // same snapshot reuse this window's probes.
+    let mut cache = engine.domain_cache();
     loop {
         let mut batch = PlanBatch::new();
         let mut slots: Vec<(usize, usize)> = Vec::new();

@@ -17,12 +17,13 @@ use crate::ace::{
     ace_of_handles, option_aces_planned, plan_ace, rank_causal_paths_planned, RankedPath,
     ValueDomain,
 };
-use crate::plan::{DomainCache, QueryPlan};
+use crate::plan::{DomainCache, DomainStore, QueryPlan};
 use crate::repair::{
     generate_repairs_cached, rank_repairs_planned, root_cause_candidates_planned, QosGoal, Repair,
     RepairOptions,
 };
 use crate::scm::FittedScm;
+use crate::sweep_cache::SweepCache;
 
 /// The engine bundling model, constraints and domains. Cloning is a
 /// handful of `Arc` bumps — the fit, its caches, and the domain are
@@ -33,6 +34,10 @@ pub struct CausalEngine {
     tiers: TierConstraints,
     domain: Arc<dyn ValueDomain>,
     repair_opts: RepairOptions,
+    /// Per-epoch domain-grid memo shared by every plan this engine
+    /// compiles: the engine lives exactly as long as one fitted epoch, so
+    /// a grid probed in one admission window serves every later one.
+    domain_store: Arc<DomainStore>,
 }
 
 impl CausalEngine {
@@ -43,6 +48,7 @@ impl CausalEngine {
             tiers,
             domain,
             repair_opts: RepairOptions::default(),
+            domain_store: Arc::new(DomainStore::new()),
         }
     }
 
@@ -50,6 +56,37 @@ impl CausalEngine {
     pub fn with_repair_options(mut self, opts: RepairOptions) -> Self {
         self.repair_opts = opts;
         self
+    }
+
+    /// Attaches a [`SweepCache`] to the underlying fit: every plan this
+    /// engine (or clones of it) evaluates will probe/populate it at the
+    /// fit's data epoch.
+    pub fn with_sweep_cache(mut self, cache: Arc<SweepCache>) -> Self {
+        self.scm = Arc::new(self.scm.as_ref().clone().with_sweep_cache(cache));
+        self
+    }
+
+    /// A clone of this engine that bypasses the sweep cache — the
+    /// reference arm for bit-identity assertions in benches and tests.
+    pub fn without_sweep_cache(&self) -> Self {
+        let mut e = self.clone();
+        e.scm = Arc::new(e.scm.without_sweep_cache());
+        e
+    }
+
+    /// The attached sweep cache, if any.
+    pub fn sweep_cache(&self) -> Option<&Arc<SweepCache>> {
+        self.scm.sweep_cache()
+    }
+
+    /// The engine-lifetime domain-grid store (one fitted epoch's probes).
+    pub fn domain_store(&self) -> &Arc<DomainStore> {
+        &self.domain_store
+    }
+
+    /// A plan-scoped domain cache backed by the engine's per-epoch store.
+    pub fn domain_cache(&self) -> DomainCache<'_> {
+        DomainCache::shared(self.domain.as_ref(), Arc::clone(&self.domain_store))
     }
 
     /// The fitted SCM.
@@ -86,7 +123,7 @@ impl CausalEngine {
     /// Top-K causal paths into an objective, ranked by path ACE — all
     /// link sweeps of all paths compiled into one deduplicated plan.
     pub fn top_paths(&self, objective: NodeId, k: usize) -> Vec<RankedPath> {
-        let mut cache = DomainCache::new(self.domain.as_ref());
+        let mut cache = self.domain_cache();
         rank_causal_paths_planned(
             &self.scm,
             objective,
@@ -102,7 +139,7 @@ impl CausalEngine {
     /// objectives × candidates × values ACE grid are each one planned
     /// batch; sweeps shared between objectives are simulated once.
     pub fn rank_root_causes(&self, goal: &QosGoal) -> Vec<(NodeId, f64)> {
-        let mut cache = DomainCache::new(self.domain.as_ref());
+        let mut cache = self.domain_cache();
         let candidates = root_cause_candidates_planned(
             &self.scm,
             goal,
@@ -120,7 +157,7 @@ impl CausalEngine {
     /// `fault_row`, best first. The whole repair sweep — every candidate
     /// ICE estimate plus its counterfactual — is one planned batch.
     pub fn recommend_repairs(&self, goal: &QosGoal, fault_row: usize) -> Vec<Repair> {
-        let mut cache = DomainCache::new(self.domain.as_ref());
+        let mut cache = self.domain_cache();
         let candidates = root_cause_candidates_planned(
             &self.scm,
             goal,
@@ -139,7 +176,7 @@ impl CausalEngine {
     /// used by the paper's accuracy metric and by Stage III sampling. The
     /// whole options × values grid is one planned batch.
     pub fn option_effects(&self, objective: NodeId) -> Vec<(NodeId, f64)> {
-        let mut cache = DomainCache::new(self.domain.as_ref());
+        let mut cache = self.domain_cache();
         option_aces_planned(&self.scm, objective, &self.options(), &mut cache)
     }
 }

@@ -38,6 +38,7 @@ pub mod plan;
 pub mod queries;
 pub mod repair;
 pub mod scm;
+pub mod sweep_cache;
 
 pub use ace::{
     ace, ace_signed, option_aces, option_aces_planned, path_ace, quantile_values,
@@ -47,10 +48,13 @@ pub use coalesce::{answer_coalesced, CoalescedQuery};
 pub use dsl::{parse_query, ParseError};
 pub use engine::CausalEngine;
 pub use identify::{find_backdoor_set, identifiable, satisfies_backdoor};
-pub use plan::{DomainCache, Intervention, PlanBatch, PlanHandle, PlanResults, QueryPlan};
+pub use plan::{
+    DomainCache, DomainStore, Intervention, PlanBatch, PlanHandle, PlanResults, QueryPlan,
+};
 pub use queries::{PerformanceQuery, QueryAnswer};
 pub use repair::{
     generate_repairs, generate_repairs_cached, ice, rank_repairs, rank_repairs_planned,
     root_cause_candidates, root_cause_candidates_planned, QosGoal, Repair, RepairOptions,
 };
 pub use scm::{FittedScm, ResidualMode, SimulationOptions, SIM_LANES};
+pub use sweep_cache::{sweep_cache_enabled, SweepCache, DEFAULT_SWEEP_CACHE_CAPACITY};

@@ -543,14 +543,68 @@ impl PlanResults {
     }
 }
 
+/// A thread-safe, engine-lifetime memo of domain grids: each node's
+/// permissible-value sweep is a pure function of `(node, fit)`, so an
+/// engine (which lives exactly as long as one fitted epoch) computes it
+/// once and every later plan — every admission window served from the
+/// same snapshot — reuses it. Attach to a [`DomainCache`] via
+/// [`DomainCache::shared`]; a refit builds a fresh engine and with it a
+/// fresh store, so cross-epoch reuse is impossible by construction.
+#[derive(Default)]
+pub struct DomainStore {
+    values: std::sync::Mutex<HashMap<NodeId, Arc<[f64]>>>,
+}
+
+impl DomainStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The grid for `node`, computing (under the lock, so exactly once)
+    /// on first probe.
+    pub fn get_or_insert_with(
+        &self,
+        node: NodeId,
+        compute: impl FnOnce() -> Arc<[f64]>,
+    ) -> Arc<[f64]> {
+        let mut guard = self.values.lock().expect("domain store poisoned");
+        Arc::clone(guard.entry(node).or_insert_with(compute))
+    }
+
+    /// Number of memoized node grids.
+    pub fn len(&self) -> usize {
+        self.values.lock().expect("domain store poisoned").len()
+    }
+
+    /// True when no grid has been probed yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Approximate resident bytes of the memoized grids.
+    pub fn approx_bytes(&self) -> usize {
+        let guard = self.values.lock().expect("domain store poisoned");
+        guard
+            .values()
+            .map(|v| std::mem::size_of::<(NodeId, Arc<[f64]>)>() + v.len() * 8)
+            .sum()
+    }
+}
+
 /// A per-plan memo of [`ValueDomain::values`] lookups: planners probe the
 /// same node's permissible values many times (every causal-path link,
 /// every repair candidate), and domains backed by empirical quantiles
 /// recompute them per call. The cache makes each node's sweep grid a
 /// single domain call per plan, shared across `ace.rs` and `repair.rs`.
+/// Backed by a [`DomainStore`] ([`Self::shared`]), the memo additionally
+/// persists for the engine's whole epoch, so repeated admission windows
+/// stop re-deriving quantile grids; probes are pure per `(node, fit)`,
+/// so both backings answer bit-identically.
 pub struct DomainCache<'d> {
     domain: &'d dyn ValueDomain,
     values: HashMap<NodeId, Arc<[f64]>>,
+    store: Option<Arc<DomainStore>>,
 }
 
 impl<'d> DomainCache<'d> {
@@ -559,16 +613,34 @@ impl<'d> DomainCache<'d> {
         Self {
             domain,
             values: HashMap::new(),
+            store: None,
         }
     }
 
-    /// The permissible values of `node`, computed at most once per plan.
+    /// Wraps a domain in a cache backed by a persistent per-epoch store:
+    /// grids already in `store` are reused, new probes are published to
+    /// it. The local map still short-circuits repeat probes within one
+    /// plan without touching the store's lock.
+    pub fn shared(domain: &'d dyn ValueDomain, store: Arc<DomainStore>) -> Self {
+        Self {
+            domain,
+            values: HashMap::new(),
+            store: Some(store),
+        }
+    }
+
+    /// The permissible values of `node`, computed at most once per plan
+    /// (at most once per epoch when store-backed).
     pub fn values(&mut self, node: NodeId) -> Arc<[f64]> {
-        Arc::clone(
-            self.values
-                .entry(node)
-                .or_insert_with(|| Arc::from(self.domain.values(node))),
-        )
+        if let Some(v) = self.values.get(&node) {
+            return Arc::clone(v);
+        }
+        let v = match &self.store {
+            Some(store) => store.get_or_insert_with(node, || Arc::from(self.domain.values(node))),
+            None => Arc::from(self.domain.values(node)),
+        };
+        self.values.insert(node, Arc::clone(&v));
+        v
     }
 
     /// The wrapped domain.
@@ -653,5 +725,30 @@ mod tests {
         assert_eq!(cache.values(3).as_ref(), &[0.0, 1.0]);
         assert_eq!(cache.values(4).as_ref(), &[0.0, 1.0]);
         assert_eq!(d.0.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn domain_store_persists_across_plan_caches() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        struct Counting(AtomicUsize);
+        impl ValueDomain for Counting {
+            fn values(&self, _node: NodeId) -> Vec<f64> {
+                self.0.fetch_add(1, Ordering::Relaxed);
+                vec![0.5, 1.5]
+            }
+        }
+        let d = Counting(AtomicUsize::new(0));
+        let store = Arc::new(DomainStore::new());
+        let mut first = DomainCache::shared(&d, Arc::clone(&store));
+        assert_eq!(first.values(2).as_ref(), &[0.5, 1.5]);
+        assert_eq!(first.values(2).as_ref(), &[0.5, 1.5]);
+        drop(first);
+        // A later plan's cache (the next admission window) reuses the
+        // store instead of re-probing the domain.
+        let mut second = DomainCache::shared(&d, Arc::clone(&store));
+        assert_eq!(second.values(2).as_ref(), &[0.5, 1.5]);
+        assert_eq!(d.0.load(Ordering::Relaxed), 1);
+        assert_eq!(store.len(), 1);
+        assert!(store.approx_bytes() >= 16);
     }
 }

@@ -13,7 +13,7 @@ use unicorn_graph::NodeId;
 use crate::ace::{ace_of_handles, plan_ace};
 use crate::engine::CausalEngine;
 use crate::identify::identifiable;
-use crate::plan::{DomainCache, QueryPlan};
+use crate::plan::QueryPlan;
 use crate::repair::{QosGoal, Repair};
 
 /// A user-facing performance query.
@@ -111,7 +111,7 @@ impl CausalEngine {
             Expectation(crate::plan::PlanHandle),
             Effect(Option<Vec<crate::plan::PlanHandle>>),
         }
-        let mut cache = DomainCache::new(self.domain());
+        let mut cache = self.domain_cache();
         let mut plan = QueryPlan::new();
         let pending: Vec<Pending> = queries
             .iter()

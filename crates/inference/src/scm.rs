@@ -40,6 +40,7 @@ use unicorn_exec::Executor;
 use unicorn_graph::{Admg, NodeId};
 
 use crate::plan::{ModeKey, PlanOutput, PlanResults, QueryPlan, Reduction, SweepMode};
+use crate::sweep_cache::SweepCache;
 use unicorn_stats::dataview::DataView;
 use unicorn_stats::regression::{fit_gram, PolyModel, Term, TermGram};
 use unicorn_stats::segment::Segment;
@@ -172,6 +173,11 @@ pub struct FittedScm {
     /// The worker pool per-node regressions and batch simulation sweeps
     /// fan out over (inherited by [`Self::refit_view`] and clones).
     exec: Arc<Executor>,
+    /// Epoch-pinned sweep-result cache consulted by
+    /// [`Self::evaluate_plan`] (`None` = always recompute). Inherited by
+    /// clones and warm refits, so one cache follows a tenant's whole
+    /// data lineage — the epoch tag keeps cross-epoch reads impossible.
+    sweep_cache: Option<Arc<SweepCache>>,
 }
 
 /// One node's fit result, computed independently on a worker.
@@ -237,6 +243,60 @@ fn lane_modes(rows: &[usize; SIM_LANES], mode: SweepMode) -> [ResidualMode; SIM_
         };
     }
     out
+}
+
+/// Folds one reduction from a sweep's result buffer, replaying the
+/// legacy serial loops' exact arithmetic: row-order sums starting from
+/// `0.0`, integer hit / ICE tallies divided once at the end, and the
+/// empty-sweep answer of `0.0`. `at(row, node)` reads one per-row target
+/// value; `full()` materializes a single-row sweep's whole simulated
+/// vector (only [`Reduction::Values`] calls it). Because hits and misses
+/// both fold through here, caching cannot perturb a single bit.
+fn fold_consumer(
+    c: &Reduction,
+    rows: usize,
+    at: impl Fn(usize, NodeId) -> f64,
+    full: impl FnOnce() -> Vec<f64>,
+) -> PlanOutput {
+    if rows == 0 {
+        if let Reduction::Values { .. } = c {
+            panic!("single-row sweep produced no values");
+        }
+        // Empty sweeps (no training rows) answer 0.0, exactly as the
+        // legacy entry points do.
+        return PlanOutput::Scalar(0.0);
+    }
+    match c {
+        Reduction::Mean { target, .. } => {
+            let mut total = 0.0;
+            for r in 0..rows {
+                total += at(r, *target);
+            }
+            PlanOutput::Scalar(total / rows as f64)
+        }
+        Reduction::Probability { target, pred, .. } => {
+            let mut hits = 0usize;
+            for r in 0..rows {
+                if pred(at(r, *target)) {
+                    hits += 1;
+                }
+            }
+            PlanOutput::Scalar(hits as f64 / rows as f64)
+        }
+        Reduction::Ice { goal, .. } => {
+            let mut fixed = 0usize;
+            let mut bad = 0usize;
+            for r in 0..rows {
+                if goal.thresholds.iter().all(|&(o, th)| at(r, o) <= th) {
+                    fixed += 1;
+                } else {
+                    bad += 1;
+                }
+            }
+            PlanOutput::Scalar((fixed as f64 - bad as f64) / rows as f64)
+        }
+        Reduction::Values { .. } => PlanOutput::Values(full()),
+    }
 }
 
 /// Computes one node's Gram for one segment (the segment's own columns
@@ -350,6 +410,7 @@ impl FittedScm {
             topo: Arc::new(topo),
             stride,
             exec,
+            sweep_cache: None,
         })
     }
 
@@ -426,7 +487,34 @@ impl FittedScm {
             topo: Arc::clone(&self.topo),
             stride: (view.n_rows() / 256).max(1),
             exec: Arc::clone(&self.exec),
+            // The cache follows the lineage across the epoch bump: hot
+            // keys and allocation survive, stale entries can never hit.
+            sweep_cache: self.sweep_cache.clone(),
         })
+    }
+
+    /// Attaches an epoch-pinned [`SweepCache`]: [`Self::evaluate_plan`]
+    /// probes it (at this fit's data epoch) before scheduling lane tasks
+    /// and inserts completed sweep buffers on miss. Never changes an
+    /// answer — hits replay the exact stored bits through the same fold
+    /// the miss path uses. Clones and warm refits inherit the cache.
+    pub fn with_sweep_cache(mut self, cache: Arc<SweepCache>) -> Self {
+        self.sweep_cache = Some(cache);
+        self
+    }
+
+    /// A clone of this fit that bypasses the sweep cache entirely — the
+    /// reference path cache-on results are asserted against.
+    pub fn without_sweep_cache(&self) -> Self {
+        Self {
+            sweep_cache: None,
+            ..self.clone()
+        }
+    }
+
+    /// The attached sweep cache, if any.
+    pub fn sweep_cache(&self) -> Option<&Arc<SweepCache>> {
+        self.sweep_cache.as_ref()
     }
 
     /// The underlying ADMG.
@@ -653,26 +741,54 @@ impl FittedScm {
     /// folded in canonical plan order — so every answer is bit-identical
     /// to the legacy one-intervention-at-a-time serial loops at any
     /// thread count (`tests/query_plan_determinism.rs`).
+    ///
+    /// Every sweep's simulated per-row target values are assembled into a
+    /// *result buffer* in ascending row order, and all reductions fold
+    /// from buffers — which makes the buffer the exact unit of caching.
+    /// With a [`SweepCache`] attached ([`Self::with_sweep_cache`]), each
+    /// sweep's canonical signature is probed at this fit's data epoch
+    /// before any task is scheduled: a hit skips the sweep's simulation
+    /// entirely (a fully-hit plan schedules nothing and pays only the
+    /// fold), a miss runs as always and inserts its buffer. Hits replay
+    /// stored bits through the identical fold, so cache-on, cache-off,
+    /// and standalone evaluation are bitwise equal
+    /// (`tests/sweep_cache_determinism.rs`).
     pub fn evaluate_plan(&self, plan: &QueryPlan) -> PlanResults {
         /// Same-row sweeps are chunked this many per work item so large
         /// single-row batches (e.g. one counterfactual per repair) still
         /// fan out across workers.
         const ROW_SWEEP_CHUNK: usize = 8;
 
-        // Per-sweep execution state: the affected node set (intervened ∪
-        // descendants, topological order), the dense assignment map the
-        // simulators index per node (instead of scanning the assignment
-        // list), and the attached consumers.
+        let n_vars = self.n_vars();
+        let strided = self.sweep_rows(&plan.opts);
+        let stride = plan.opts.stride.unwrap_or(self.stride).max(1);
+        let epoch = self.data.epoch();
+
+        // Probe phase: look every sweep up at this fit's epoch. A `Some`
+        // buffer needs no execution state, no group, and no tasks.
+        let cache = self.sweep_cache.as_deref();
+        let mut buffers: Vec<Option<Arc<Vec<f64>>>> = plan
+            .sweeps
+            .iter()
+            .map(|sw| cache.and_then(|c| c.get(&SweepCache::signature(sw, stride), epoch)))
+            .collect();
+
+        // Per-miss-sweep execution state: the affected node set
+        // (intervened ∪ descendants, topological order) and the dense
+        // assignment map the simulators index per node (instead of
+        // scanning the assignment list).
         struct SweepExec {
             affected: Vec<NodeId>,
             assign: Vec<Option<f64>>,
-            consumers: Vec<usize>,
         }
-        let n_vars = self.n_vars();
-        let mut execs: Vec<SweepExec> = plan
+        let execs: Vec<Option<SweepExec>> = plan
             .sweeps
             .iter()
-            .map(|sw| {
+            .zip(&buffers)
+            .map(|(sw, buf)| {
+                if buf.is_some() {
+                    return None;
+                }
                 let mut hit = vec![false; n_vars];
                 for &(node, _) in &sw.intervention.assignments {
                     hit[node] = true;
@@ -680,25 +796,26 @@ impl FittedScm {
                         hit[d] = true;
                     }
                 }
-                SweepExec {
+                Some(SweepExec {
                     affected: self.topo.iter().copied().filter(|&v| hit[v]).collect(),
                     assign: assignment_map(n_vars, &sw.intervention.assignments),
-                    consumers: Vec::new(),
-                }
+                })
             })
             .collect();
-        for (ci, c) in plan.consumers.iter().enumerate() {
-            execs[c.sweep()].consumers.push(ci);
-        }
 
-        // Group sweeps sharing (row list, per-row residual mode): all
-        // g-formula sweeps form one group; abduction sweeps group by
+        // Group miss sweeps sharing (row list, per-row residual mode):
+        // all g-formula sweeps form one group; abduction sweeps group by
         // (fault row, weight); single-row sweeps group by row. Keyed by
         // the mode's hash identity; first-seen order, exactly as the
-        // linear scan it replaces produced.
+        // linear scan it replaces produced. A group every one of whose
+        // sweeps hit the cache never forms, so its shared baseline sweep
+        // is never simulated — the cache's whole payoff.
         let mut groups: Vec<(SweepMode, Vec<usize>)> = Vec::new();
         let mut group_index: HashMap<ModeKey, usize> = HashMap::new();
         for (si, sw) in plan.sweeps.iter().enumerate() {
+            if buffers[si].is_some() {
+                continue;
+            }
             match group_index.entry(sw.mode.key()) {
                 std::collections::hash_map::Entry::Occupied(e) => groups[*e.get()].1.push(si),
                 std::collections::hash_map::Entry::Vacant(e) => {
@@ -729,7 +846,6 @@ impl FittedScm {
             sweeps: Arc<Vec<usize>>,
             kind: TaskKind,
         }
-        let strided = self.sweep_rows(&plan.opts);
         let mut tasks: Vec<Task> = Vec::new();
         let mut n_row_groups = 0usize;
         for (mode, sweeps) in groups {
@@ -768,12 +884,6 @@ impl FittedScm {
             }
         }
 
-        /// One consumer's contribution from one swept row.
-        enum Contribution {
-            Value(f64),
-            Flag(bool),
-            Full(Vec<f64>),
-        }
         // Shared baseline slots for single-row groups: each group's
         // no-intervention sweep is simulated exactly once and shared by
         // all of its chunk tasks (the first task to need it fills the
@@ -782,14 +892,18 @@ impl FittedScm {
             .map(|_| std::sync::OnceLock::new())
             .collect();
         let no_assign: Vec<Option<f64>> = vec![None; n_vars];
+        // Each task captures, per miss sweep it covers, the sweep's raw
+        // per-row buffer slice: the declared targets' simulated values in
+        // row-major ascending-row order (lane tasks read lanes back lane
+        // 0 first), or the full simulated vector for a single-row sweep.
         let task_results = self.exec.par_map(&tasks, |_, t| {
-            let mut out: Vec<(usize, Contribution)> = Vec::new();
+            let mut out: Vec<(usize, Vec<f64>)> = Vec::new();
             match t.kind {
                 TaskKind::Lanes { rows, n } => {
                     let modes = lane_modes(&rows, t.mode);
                     let baseline = self.simulate_lanes(&rows, &no_assign, &modes);
                     for &si in t.sweeps.iter() {
-                        let ex = &execs[si];
+                        let ex = execs[si].as_ref().expect("miss sweeps carry exec state");
                         let storage;
                         let values: &[[f64; SIM_LANES]] =
                             if plan.sweeps[si].intervention.assignments.is_empty() {
@@ -804,28 +918,12 @@ impl FittedScm {
                                 );
                                 &storage
                             };
-                        // Lanes are read back in ascending-row order, so
-                        // each consumer's fold replays the legacy serial
-                        // row order.
-                        for l in 0..n {
-                            for &ci in &ex.consumers {
-                                let contrib = match &plan.consumers[ci] {
-                                    Reduction::Mean { target, .. } => {
-                                        Contribution::Value(values[*target][l])
-                                    }
-                                    Reduction::Probability { target, pred, .. } => {
-                                        Contribution::Flag(pred(values[*target][l]))
-                                    }
-                                    Reduction::Ice { goal, .. } => Contribution::Flag(
-                                        goal.thresholds.iter().all(|&(o, th)| values[o][l] <= th),
-                                    ),
-                                    Reduction::Values { .. } => Contribution::Full(
-                                        values.iter().map(|lane| lane[l]).collect(),
-                                    ),
-                                };
-                                out.push((ci, contrib));
-                            }
-                        }
+                        let targets = &plan.sweeps[si].intervention.targets;
+                        let mut cap = Vec::with_capacity(n * targets.len());
+                        cap.extend(
+                            (0..n).flat_map(|l| targets.iter().map(move |&tgt| values[tgt][l])),
+                        );
+                        out.push((si, cap));
                     }
                 }
                 TaskKind::Chunk { lo, hi, slot } => {
@@ -833,118 +931,84 @@ impl FittedScm {
                     let baseline: &[f64] = row_baselines[slot]
                         .get_or_init(|| self.simulate_assigned(t.row, &no_assign, mode));
                     for &si in &t.sweeps[lo..hi] {
-                        let ex = &execs[si];
-                        let storage;
-                        let values: &[f64] = if plan.sweeps[si].intervention.assignments.is_empty()
-                        {
-                            baseline
-                        } else {
-                            storage = self.resimulate_affected(
-                                baseline,
-                                &ex.assign,
-                                &ex.affected,
-                                t.row,
-                                mode,
-                            );
-                            &storage
-                        };
-                        for &ci in &ex.consumers {
-                            let contrib = match &plan.consumers[ci] {
-                                Reduction::Mean { target, .. } => {
-                                    Contribution::Value(values[*target])
-                                }
-                                Reduction::Probability { target, pred, .. } => {
-                                    Contribution::Flag(pred(values[*target]))
-                                }
-                                Reduction::Ice { goal, .. } => {
-                                    Contribution::Flag(goal.satisfied(values))
-                                }
-                                Reduction::Values { .. } => Contribution::Full(values.to_vec()),
+                        let ex = execs[si].as_ref().expect("miss sweeps carry exec state");
+                        let values: Vec<f64> =
+                            if plan.sweeps[si].intervention.assignments.is_empty() {
+                                baseline.to_vec()
+                            } else {
+                                self.resimulate_affected(
+                                    baseline,
+                                    &ex.assign,
+                                    &ex.affected,
+                                    t.row,
+                                    mode,
+                                )
                             };
-                            out.push((ci, contrib));
-                        }
+                        out.push((si, values));
                     }
                 }
             }
             out
         });
 
-        // Canonical merge: tasks are ordered (group, then ascending row /
-        // chunk), and each consumer reads exactly one group, so folding
-        // the ordered task results replays every legacy loop's row order.
-        enum Acc {
-            Mean {
-                total: f64,
-                count: usize,
-            },
-            Prob {
-                hits: usize,
-                count: usize,
-            },
-            Ice {
-                fixed: usize,
-                bad: usize,
-                count: usize,
-            },
-            Full(Option<Vec<f64>>),
-        }
-        let mut accs: Vec<Acc> = plan
-            .consumers
-            .iter()
-            .map(|c| match c {
-                Reduction::Mean { .. } => Acc::Mean {
-                    total: 0.0,
-                    count: 0,
-                },
-                Reduction::Probability { .. } => Acc::Prob { hits: 0, count: 0 },
-                Reduction::Ice { .. } => Acc::Ice {
-                    fixed: 0,
-                    bad: 0,
-                    count: 0,
-                },
-                Reduction::Values { .. } => Acc::Full(None),
-            })
-            .collect();
-        for contribs in task_results {
-            for (ci, contrib) in contribs {
-                match (&mut accs[ci], contrib) {
-                    (Acc::Mean { total, count }, Contribution::Value(v)) => {
-                        *total += v;
-                        *count += 1;
-                    }
-                    (Acc::Prob { hits, count }, Contribution::Flag(hit)) => {
-                        if hit {
-                            *hits += 1;
-                        }
-                        *count += 1;
-                    }
-                    (Acc::Ice { fixed, bad, count }, Contribution::Flag(ok)) => {
-                        if ok {
-                            *fixed += 1;
-                        } else {
-                            *bad += 1;
-                        }
-                        *count += 1;
-                    }
-                    (Acc::Full(slot), Contribution::Full(v)) => *slot = Some(v),
-                    _ => unreachable!("contribution kind mismatch"),
+        // Assemble miss buffers: tasks are ordered (group, then ascending
+        // row / chunk) and `par_map` preserves input order, so appending
+        // each task's captures replays every sweep's ascending row order.
+        // Completed buffers are inserted into the cache at this epoch.
+        let mut assembled: Vec<Vec<f64>> = plan.sweeps.iter().map(|_| Vec::new()).collect();
+        for caps in task_results {
+            for (si, cap) in caps {
+                let buf = &mut assembled[si];
+                if buf.is_empty() {
+                    *buf = cap;
+                } else {
+                    buf.extend_from_slice(&cap);
                 }
             }
         }
-        let outputs = accs
-            .into_iter()
-            .map(|acc| match acc {
-                // Empty sweeps (no training rows) answer 0.0, exactly as
-                // the legacy entry points do.
-                Acc::Mean { count: 0, .. } | Acc::Prob { count: 0, .. } => PlanOutput::Scalar(0.0),
-                Acc::Ice { count: 0, .. } => PlanOutput::Scalar(0.0),
-                Acc::Mean { total, count } => PlanOutput::Scalar(total / count as f64),
-                Acc::Prob { hits, count } => PlanOutput::Scalar(hits as f64 / count as f64),
-                Acc::Ice { fixed, bad, count } => {
-                    PlanOutput::Scalar((fixed as f64 - bad as f64) / count as f64)
+        for (si, sw) in plan.sweeps.iter().enumerate() {
+            if buffers[si].is_none() {
+                let buf = Arc::new(std::mem::take(&mut assembled[si]));
+                if let Some(c) = cache {
+                    c.put(SweepCache::signature(sw, stride), epoch, Arc::clone(&buf));
                 }
-                Acc::Full(values) => {
-                    PlanOutput::Values(values.expect("single-row sweep produced no values"))
+                buffers[si] = Some(buf);
+            }
+        }
+
+        // Canonical fold, hit and miss alike: each consumer folds its
+        // sweep's buffer in ascending row order with the legacy serial
+        // loops' arithmetic (row-order sums, hit counts, ICE tallies).
+        let outputs = plan
+            .consumers
+            .iter()
+            .map(|c| {
+                let sw = &plan.sweeps[c.sweep()];
+                let buf = buffers[c.sweep()]
+                    .as_ref()
+                    .expect("every sweep has a buffer");
+                match sw.mode {
+                    // Single-row sweeps: the buffer is the full simulated
+                    // vector, indexed by node directly.
+                    SweepMode::Row(_) => {
+                        fold_consumer(c, 1, |_, node| buf[node], || buf.as_ref().clone())
+                    }
+                    // Whole-table sweeps: row-major (row, target) layout;
+                    // every consumer read is a declared target.
+                    SweepMode::GFormula | SweepMode::Abduct { .. } => {
+                        let targets = &sw.intervention.targets;
+                        fold_consumer(
+                            c,
+                            strided.len(),
+                            |r, node| {
+                                let ti = targets
+                                    .binary_search(&node)
+                                    .expect("consumer reads a declared sweep target");
+                                buf[r * targets.len() + ti]
+                            },
+                            || unreachable!("value-vector consumers attach to single-row sweeps"),
+                        )
+                    }
                 }
             })
             .collect();

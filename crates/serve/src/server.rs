@@ -15,6 +15,11 @@
 //! * `GET /health` — `{"ok":true,"epoch":N}` from the default tenant's
 //!   snapshot (`{"ok":true,"tenants":N}` on a fleet router with no
 //!   default tenant).
+//! * `GET /stats` — the default tenant's observability snapshot:
+//!   snapshot epoch, sweep-cache hit/miss/eviction counters and
+//!   accounted bytes, and the admission queue's coalescing counters, as
+//!   deterministic fixed-key-order JSON.
+//! * `GET /tenant/:id/stats` — the same against tenant `:id`.
 //! * `POST /query` — a protocol request body (see [`crate::protocol`])
 //!   against the default tenant; replies `{"epoch":N,"answer":{...}}`,
 //!   or HTTP 400 with `{"error":"..."}` on a malformed request.
@@ -31,6 +36,7 @@ use std::time::Duration;
 use unicorn_core::{SnapshotCell, SnapshotRouter, DEFAULT_TENANT};
 
 use crate::admission::{run_batcher, AdmissionQueue};
+use crate::json::Json;
 use crate::protocol::{parse_request, render_error, render_reply};
 
 /// Server tunables.
@@ -216,6 +222,16 @@ fn route(req: &Request, queue: &AdmissionQueue, router: &SnapshotRouter) -> (u16
             }
             None => (200, format!("{{\"ok\":true,\"tenants\":{}}}", router.len())),
         },
+        ("GET", "/stats") => tenant_stats(DEFAULT_TENANT, queue, router),
+        ("GET", path) => match path
+            .strip_prefix("/tenant/")
+            .and_then(|rest| rest.strip_suffix("/stats"))
+        {
+            Some(tenant) if !tenant.is_empty() && !tenant.contains('/') => {
+                tenant_stats(tenant, queue, router)
+            }
+            _ => (404, render_error("no such endpoint")),
+        },
         ("POST", "/query") => query_tenant(DEFAULT_TENANT, &req.body, queue, router),
         ("POST", path) => match path
             .strip_prefix("/tenant/")
@@ -228,6 +244,51 @@ fn route(req: &Request, queue: &AdmissionQueue, router: &SnapshotRouter) -> (u16
         },
         _ => (404, render_error("no such endpoint")),
     }
+}
+
+/// Renders `tenant`'s observability snapshot as deterministic JSON
+/// (fixed key order, integer counters): the snapshot epoch, the
+/// interventional sweep-cache counters (`enabled:false` zeros when
+/// `UNICORN_SWEEP_CACHE` disables caching), its accounted resident
+/// bytes, and the admission queue's coalescing counters. Counter values
+/// are monotone but timing-dependent — the smoke golden therefore pins
+/// the shape via the query path, not this endpoint's body.
+fn tenant_stats(tenant: &str, queue: &AdmissionQueue, router: &SnapshotRouter) -> (u16, String) {
+    let Some(cell) = router.get(tenant) else {
+        return (503, render_error("no such tenant"));
+    };
+    let snap = cell.load();
+    let sweep = match snap.engine.sweep_cache() {
+        Some(c) => Json::Obj(vec![
+            ("enabled".into(), Json::Bool(true)),
+            ("hits".into(), Json::Num(c.stats().hits() as f64)),
+            ("misses".into(), Json::Num(c.stats().misses() as f64)),
+            ("evictions".into(), Json::Num(c.evictions() as f64)),
+            ("entries".into(), Json::Num(c.len() as f64)),
+            ("approx_bytes".into(), Json::Num(c.approx_bytes() as f64)),
+        ]),
+        None => Json::Obj(vec![
+            ("enabled".into(), Json::Bool(false)),
+            ("hits".into(), Json::Num(0.0)),
+            ("misses".into(), Json::Num(0.0)),
+            ("evictions".into(), Json::Num(0.0)),
+            ("entries".into(), Json::Num(0.0)),
+            ("approx_bytes".into(), Json::Num(0.0)),
+        ]),
+    };
+    let body = Json::Obj(vec![
+        ("tenant".into(), Json::Str(tenant.into())),
+        ("epoch".into(), Json::Num(snap.epoch as f64)),
+        ("sweep_cache".into(), sweep),
+        (
+            "admission".into(),
+            Json::Obj(vec![
+                ("submitted".into(), Json::Num(queue.submitted() as f64)),
+                ("batches".into(), Json::Num(queue.batches() as f64)),
+            ]),
+        ),
+    ]);
+    (200, body.to_string())
 }
 
 /// Parses and submits one query against `tenant`, blocking on the

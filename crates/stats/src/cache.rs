@@ -176,16 +176,19 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
     }
 
     /// Inserts `key → value`, evicting the least-recently-used entry at
-    /// capacity. An existing key is overwritten and refreshed.
-    pub fn insert(&mut self, key: K, value: V) {
+    /// capacity. An existing key is overwritten and refreshed. Returns
+    /// `true` when an unrelated entry was evicted to make room — the
+    /// signal the sharded wrapper's eviction counter is built on.
+    pub fn insert(&mut self, key: K, value: V) -> bool {
         if let Some(&i) = self.map.get(&key) {
             self.slab[i].value = value;
             if self.head != i {
                 self.unlink(i);
                 self.push_front(i);
             }
-            return;
+            return false;
         }
+        let mut evicted = false;
         let i = if self.map.len() >= self.capacity {
             // Reuse the evicted tail slot.
             let victim = self.tail;
@@ -193,6 +196,7 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
             self.map.remove(&self.slab[victim].key);
             self.slab[victim].key = key.clone();
             self.slab[victim].value = value;
+            evicted = true;
             victim
         } else {
             self.slab.push(Entry {
@@ -205,6 +209,7 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
         };
         self.map.insert(key, i);
         self.push_front(i);
+        evicted
     }
 }
 
@@ -214,6 +219,7 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
 pub struct CacheStats {
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
 }
 
 impl CacheStats {
@@ -227,6 +233,11 @@ impl CacheStats {
         self.misses.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records a capacity eviction.
+    pub fn evicted(&self) {
+        self.evictions.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Total hits so far.
     pub fn hits(&self) -> u64 {
         self.hits.load(Ordering::Relaxed)
@@ -235,6 +246,11 @@ impl CacheStats {
     /// Total misses so far.
     pub fn misses(&self) -> u64 {
         self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Total capacity evictions so far.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
     }
 }
 
@@ -281,10 +297,14 @@ impl<K: Eq + Hash + Clone, V: Clone> ShardedLru<K, V> {
         }
         self.stats.miss();
         let v = compute();
-        self.shard(&key)
+        if self
+            .shard(&key)
             .lock()
             .expect("lru poisoned")
-            .insert(key, v.clone());
+            .insert(key, v.clone())
+        {
+            self.stats.evicted();
+        }
         v
     }
 
@@ -298,12 +318,18 @@ impl<K: Eq + Hash + Clone, V: Clone> ShardedLru<K, V> {
         shard.peek(key).cloned()
     }
 
-    /// Raw insert without touching the hit/miss counters.
+    /// Raw insert without touching the hit/miss counters (capacity
+    /// evictions are still counted — they are a property of the cache,
+    /// not of the probe discipline).
     pub fn put(&self, key: K, value: V) {
-        self.shard(&key)
+        if self
+            .shard(&key)
             .lock()
             .expect("lru poisoned")
-            .insert(key, value);
+            .insert(key, value)
+        {
+            self.stats.evicted();
+        }
     }
 
     /// Cache observability counters.
@@ -391,9 +417,42 @@ impl<K: Eq + Hash + Clone, V: Clone> EpochLru<K, V> {
         self.inner.peek(key)
     }
 
+    /// Probes for `key` at exactly `epoch`, counting a hit or miss. The
+    /// probe half of the split probe/insert discipline callers use when
+    /// the value is produced *later* by a batch computation (the sweep
+    /// cache probes every planned sweep up front, runs the misses through
+    /// the lane scheduler, then [`Self::put`]s the results) — unlike
+    /// [`Self::get_or_insert_with`], nothing is computed under the probe.
+    pub fn get(&self, key: &K, epoch: u64) -> Option<V> {
+        match self.inner.peek(key) {
+            Some((e, v)) if e == epoch => {
+                self.stats.hit();
+                Some(v)
+            }
+            _ => {
+                self.stats.miss();
+                None
+            }
+        }
+    }
+
+    /// Inserts `key → value` at `epoch`, overwriting any entry (stale or
+    /// current) under the same key. The insert half of the split
+    /// probe/insert discipline; does not touch the hit/miss counters.
+    pub fn put(&self, key: K, epoch: u64, value: V) {
+        self.inner.put(key, (epoch, value));
+    }
+
     /// Hit/miss counters (hits count only epoch-exact lookups).
     pub fn stats(&self) -> &CacheStats {
         &self.stats
+    }
+
+    /// Total capacity evictions in the backing store — distinct from the
+    /// in-place overwrite of a stale epoch's entry, which is not an
+    /// eviction (the key stays resident).
+    pub fn evictions(&self) -> u64 {
+        self.inner.stats().evictions()
     }
 
     /// Drops every entry (any epoch), keeping counters and capacity. Safe
@@ -515,6 +574,47 @@ mod tests {
         assert_eq!(c.stats().hits(), 1);
         assert_eq!(c.stats().misses(), 2);
         assert_eq!(c.len(), 1, "epoch bump must overwrite, not duplicate");
+    }
+
+    #[test]
+    fn epoch_lru_split_probe_insert() {
+        let c: EpochLru<u32, f64> = EpochLru::new(16);
+        assert_eq!(c.get(&7, 0), None, "cold probe misses");
+        c.put(7, 0, 4.25);
+        assert_eq!(c.get(&7, 0), Some(4.25), "probe hits at the put epoch");
+        assert_eq!(c.get(&7, 1), None, "stale epoch never hits");
+        c.put(7, 1, 8.5);
+        assert_eq!(c.get(&7, 1), Some(8.5));
+        assert_eq!(c.len(), 1, "epoch bump overwrites in place");
+        assert_eq!(c.stats().hits(), 2);
+        assert_eq!(c.stats().misses(), 2);
+    }
+
+    #[test]
+    fn eviction_counter_tracks_capacity_pressure() {
+        // SHARDS=8 shards of one slot each: the 9th distinct key must
+        // land on an occupied shard and evict.
+        let c: ShardedLru<u32, u32> = ShardedLru::new(8);
+        for k in 0..64 {
+            c.put(k, k);
+        }
+        assert!(c.stats().evictions() > 0, "one-slot shards must evict");
+        c.put(1000, 1);
+        c.put(1000, 2);
+        let before = c.stats().evictions();
+        c.put(1000, 3); // overwrite in place: not an eviction
+        assert_eq!(c.stats().evictions(), before);
+
+        let e: EpochLru<u32, u32> = EpochLru::new(8);
+        for k in 0..64 {
+            e.put(k, 0, k);
+        }
+        assert!(e.evictions() > 0);
+        assert_eq!(
+            e.stats().evictions(),
+            0,
+            "probe stats never count evictions"
+        );
     }
 
     #[test]

@@ -1,0 +1,459 @@
+//! The sweep-cache contract: memoizing interventional sweep buffers can
+//! change an answer's *cost*, never its *bits*. For any workload of
+//! performance queries,
+//!
+//! * a cache-carrying engine answers bit-identically to the same engine
+//!   with the cache bypassed and to a standalone engine that never had
+//!   one — cold pass and warm (hit-serving) pass alike, at pools of
+//!   1, 2, and 8 workers, with answers agreeing bitwise across pools;
+//! * interleaved epoch flips never serve a stale buffer: every answer at
+//!   every epoch — including re-queries of an old epoch's held snapshot
+//!   after newer epochs overwrote its entries — matches a cache-bypass
+//!   recomputation on that snapshot's own data;
+//! * a budget-constrained fleet whose maintain pass evicts sweep caches
+//!   mid-traffic answers bit-identically to an unbounded fleet; and
+//! * the `/stats` endpoint exposes the hit/miss/eviction counters as
+//!   deterministic fixed-key-order JSON.
+//!
+//! Every counter assertion is gated on `UNICORN_SWEEP_CACHE` actually
+//! enabling the cache, so the CI off-leg runs the same identity proofs
+//! over the bypass path.
+
+use std::sync::{Arc, OnceLock};
+use std::time::Duration;
+
+use proptest::prelude::*;
+
+use unicorn::core::{EngineSnapshot, Fleet, FleetOptions, UnicornOptions, UnicornState};
+use unicorn::exec::Executor;
+use unicorn::graph::{NodeId, VarKind};
+use unicorn::inference::{sweep_cache_enabled, PerformanceQuery, QosGoal, QueryAnswer};
+use unicorn::serve::{http_request, parse_json, Json, ServeOptions, Server};
+use unicorn::systems::{Environment, Hardware, ScenarioRegistry, Simulator, SubjectSystem};
+
+const POOLS: [usize; 3] = [1, 2, 8];
+const SAMPLES: usize = 60;
+
+fn sim() -> Simulator {
+    Simulator::new(
+        SubjectSystem::X264.build(),
+        Environment::on(Hardware::Tx2),
+        42,
+    )
+}
+
+fn opts_on(pool: usize) -> UnicornOptions {
+    let mut opts = UnicornOptions {
+        initial_samples: SAMPLES,
+        ..UnicornOptions::default()
+    };
+    opts.discovery.exec = Some(Executor::new(pool));
+    opts
+}
+
+/// One learned snapshot per pool size, built once and shared by all
+/// proptest cases (the cache accumulates across cases — which is the
+/// production shape: one long-lived snapshot, many admission windows).
+fn snapshots() -> &'static Vec<Arc<EngineSnapshot>> {
+    static SNAPSHOTS: OnceLock<Vec<Arc<EngineSnapshot>>> = OnceLock::new();
+    SNAPSHOTS.get_or_init(|| {
+        let sim = sim();
+        POOLS
+            .iter()
+            .map(|&pool| {
+                let opts = opts_on(pool);
+                UnicornState::bootstrap(&sim, &opts).publish_snapshot(&sim, &opts)
+            })
+            .collect()
+    })
+}
+
+/// Strict bitwise equality of answers (scores, order, payloads).
+fn assert_bits_equal(a: &QueryAnswer, b: &QueryAnswer, what: &str) {
+    match (a, b) {
+        (QueryAnswer::Effect(x), QueryAnswer::Effect(y))
+        | (QueryAnswer::Probability(x), QueryAnswer::Probability(y))
+        | (QueryAnswer::Expectation(x), QueryAnswer::Expectation(y)) => {
+            assert_eq!(x.to_bits(), y.to_bits(), "{what}: scalar drift");
+        }
+        (QueryAnswer::RootCauses(xs), QueryAnswer::RootCauses(ys)) => {
+            assert_eq!(xs.len(), ys.len(), "{what}: rank length drift");
+            for ((nx, sx), (ny, sy)) in xs.iter().zip(ys) {
+                assert_eq!(nx, ny, "{what}: rank order drift");
+                assert_eq!(sx.to_bits(), sy.to_bits(), "{what}: score drift");
+            }
+        }
+        (QueryAnswer::Repairs(xs), QueryAnswer::Repairs(ys)) => {
+            assert_eq!(xs.len(), ys.len(), "{what}: repair count drift");
+            for (x, y) in xs.iter().zip(ys) {
+                assert_eq!(x.assignments, y.assignments, "{what}: assignment drift");
+                assert_eq!(x.ice.to_bits(), y.ice.to_bits(), "{what}: ICE drift");
+                assert_eq!(
+                    x.improvement.to_bits(),
+                    y.improvement.to_bits(),
+                    "{what}: improvement drift"
+                );
+            }
+        }
+        (
+            QueryAnswer::Unidentifiable {
+                cause: c1,
+                effect: e1,
+            },
+            QueryAnswer::Unidentifiable {
+                cause: c2,
+                effect: e2,
+            },
+        ) => {
+            assert_eq!((c1, e1), (c2, e2), "{what}: unidentifiable pair drift");
+        }
+        (a, b) => panic!("{what}: answer variant drift: {a:?} vs {b:?}"),
+    }
+}
+
+/// A raw generated query: kind + index/threshold material, mapped onto
+/// the system's actual nodes and domains at use time.
+#[derive(Debug, Clone)]
+struct RawQuery {
+    kind: u8,
+    a: usize,
+    b: usize,
+    threshold: f64,
+}
+
+fn raw_query() -> impl Strategy<Value = RawQuery> {
+    (0u8..5, 0usize..64, 0usize..64, 5.0f64..80.0).prop_map(|(kind, a, b, threshold)| RawQuery {
+        kind,
+        a,
+        b,
+        threshold,
+    })
+}
+
+fn realize(
+    raw: &RawQuery,
+    options: &[NodeId],
+    objectives: &[NodeId],
+    sim: &Simulator,
+) -> PerformanceQuery {
+    let option = options[raw.a % options.len()];
+    let objective = objectives[raw.b % objectives.len()];
+    let values = &sim.model.space.option(raw.a % options.len()).values;
+    let value = values[raw.b % values.len()];
+    match raw.kind {
+        0 => PerformanceQuery::CausalEffect { option, objective },
+        1 => PerformanceQuery::ProbabilityOfQos {
+            interventions: vec![(option, value)],
+            objective,
+            threshold: raw.threshold,
+        },
+        2 => PerformanceQuery::ExpectedObjective {
+            interventions: vec![(option, value)],
+            objective,
+        },
+        3 => PerformanceQuery::RootCauses {
+            goal: QosGoal::single(objective, raw.threshold),
+        },
+        _ => PerformanceQuery::Repairs {
+            goal: QosGoal::single(objective, raw.threshold),
+            fault_row: raw.a % SAMPLES,
+        },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The tentpole invariant: cache-on (cold), cache-on (warm, serving
+    /// hits), and cache-bypass all answer bitwise-identically at every
+    /// pool size, and the answers agree bitwise across pool sizes.
+    #[test]
+    fn cached_answers_bit_identical_to_bypass(raws in prop::collection::vec(raw_query(), 1..5)) {
+        let sim = sim();
+        let tiers = sim.model.tiers();
+        let options = tiers.of_kind(VarKind::ConfigOption);
+        let objectives = tiers.of_kind(VarKind::Objective);
+        let queries: Vec<PerformanceQuery> = raws
+            .iter()
+            .map(|r| realize(r, &options, &objectives, &sim))
+            .collect();
+
+        let mut per_pool: Vec<Vec<QueryAnswer>> = Vec::new();
+        for (snap, pool) in snapshots().iter().zip(POOLS) {
+            prop_assert_eq!(
+                snap.engine.sweep_cache().is_some(),
+                sweep_cache_enabled(),
+                "snapshot engines carry the cache exactly when the gate is on"
+            );
+            let bypass = snap.engine.without_sweep_cache();
+            prop_assert!(bypass.sweep_cache().is_none());
+
+            // Cold pass (misses populate), warm pass (hits serve), and
+            // the bypass oracle that never touches the cache.
+            let cold: Vec<QueryAnswer> =
+                queries.iter().map(|q| snap.engine.estimate(q)).collect();
+            let hits_after_cold = snap.engine.sweep_cache().map(|c| c.stats().hits());
+            let warm: Vec<QueryAnswer> =
+                queries.iter().map(|q| snap.engine.estimate(q)).collect();
+            for (i, q) in queries.iter().enumerate() {
+                let want = bypass.estimate(q);
+                assert_bits_equal(&cold[i], &want, &format!("pool={pool} cold query#{i}"));
+                assert_bits_equal(&warm[i], &want, &format!("pool={pool} warm query#{i}"));
+            }
+            if let (Some(cache), Some(h0)) = (snap.engine.sweep_cache(), hits_after_cold) {
+                prop_assert!(
+                    cache.stats().hits() > h0,
+                    "pool={} repeat pass must serve hits (hits {} -> {})",
+                    pool, h0, cache.stats().hits()
+                );
+            }
+            per_pool.push(warm);
+        }
+        for (answers, pool) in per_pool[1..].iter().zip(&POOLS[1..]) {
+            for (i, (got, base)) in answers.iter().zip(&per_pool[0]).enumerate() {
+                assert_bits_equal(got, base, &format!("pool={pool} vs pool=1 query#{i}"));
+            }
+        }
+    }
+}
+
+/// Interleaved epoch flips: snapshots published across three epochs share
+/// one cache (the lineage's), old epochs' held snapshots are re-queried
+/// after newer epochs overwrote their entries, and every answer matches a
+/// cache-bypass recomputation on that snapshot's own data — a stale
+/// buffer is never served.
+#[test]
+fn epoch_flips_never_serve_stale_buffers() {
+    let sim = sim();
+    let opts = opts_on(2);
+    let mut state = UnicornState::bootstrap(&sim, &opts);
+    let tiers = sim.model.tiers();
+    let objective = tiers.of_kind(VarKind::Objective)[0];
+    let option = tiers.of_kind(VarKind::ConfigOption)[0];
+    let queries = [
+        PerformanceQuery::CausalEffect { option, objective },
+        PerformanceQuery::ExpectedObjective {
+            interventions: vec![(option, sim.model.space.option(0).values[0])],
+            objective,
+        },
+        PerformanceQuery::RootCauses {
+            goal: QosGoal::single(objective, 30.0),
+        },
+    ];
+
+    let mut held: Vec<Arc<EngineSnapshot>> = Vec::new();
+    for epoch_round in 0..3 {
+        let snap = state.publish_snapshot(&sim, &opts);
+        if let Some(cache) = snap.engine.sweep_cache() {
+            // One cache Arc follows the whole lineage across flips.
+            assert!(
+                held.iter().all(|h| {
+                    h.engine
+                        .sweep_cache()
+                        .is_some_and(|old| Arc::ptr_eq(old, cache))
+                }),
+                "snapshots along one lineage share one sweep cache"
+            );
+        }
+        held.push(Arc::clone(&snap));
+
+        // Interleave queries over *every* epoch still held: each round
+        // re-probes older epochs whose entries the newer ones overwrote,
+        // and the same-epoch repeat serves hits. Every answer must match
+        // the bypass oracle on that snapshot's own data.
+        for (si, s) in held.iter().enumerate() {
+            let bypass = s.engine.without_sweep_cache();
+            for (qi, q) in queries.iter().enumerate() {
+                let ctx = format!("round {epoch_round} snapshot#{si} query#{qi}");
+                assert_bits_equal(&s.engine.estimate(q), &bypass.estimate(q), &ctx);
+                assert_bits_equal(
+                    &s.engine.estimate(q),
+                    &bypass.estimate(q),
+                    &format!("{ctx} repeat"),
+                );
+            }
+        }
+
+        // Grow the data → the next publish flips the epoch.
+        let extra = unicorn::systems::generate(&sim, 8, 0xF00D ^ epoch_round as u64);
+        state.extend_data(&extra);
+    }
+    let epochs: Vec<u64> = held.iter().map(|s| s.epoch).collect();
+    assert!(
+        epochs.windows(2).all(|w| w[0] < w[1]),
+        "epochs must advance: {epochs:?}"
+    );
+    if let Some(cache) = held[0].engine.sweep_cache() {
+        assert!(cache.stats().hits() > 0, "same-epoch repeats must hit");
+        assert!(
+            cache.stats().misses() > 0,
+            "cross-epoch re-probes must miss (stale entries rejected)"
+        );
+    }
+}
+
+/// Fleet eviction mid-traffic: a budget at the raw-segment floor clears
+/// every tenant's sweep cache on every maintain pass, and the answers
+/// stay bit-identical to an unbounded fleet's — eviction is amnesia,
+/// never error. The unbounded fleet's caches meanwhile serve hits on the
+/// repeated probes.
+#[test]
+fn fleet_eviction_mid_traffic_keeps_answers_bit_identical() {
+    let spec = ScenarioRegistry::synthetic_on_demand(0);
+    let mut opts = UnicornOptions {
+        initial_samples: 24,
+        relearn_every: usize::MAX,
+        ..UnicornOptions::default()
+    };
+    opts.discovery.max_depth = 1;
+    opts.discovery.pds_depth = 0;
+    opts.discovery.exec = Some(Executor::new(2));
+    let fleet_opts = |budget| FleetOptions {
+        memory_budget: budget,
+        unicorn: opts.clone(),
+        ..FleetOptions::default()
+    };
+    let mut unbounded = Fleet::new(fleet_opts(None));
+    let mut budgeted = Fleet::new(fleet_opts(Some(1)));
+    for fleet in [&mut unbounded, &mut budgeted] {
+        fleet.admit("t0", spec.clone(), 3);
+        fleet.admit("t1", spec.clone(), 3);
+    }
+
+    let probe = {
+        let sim = unicorn::systems::Scenario::synthetic(spec).simulator(3);
+        let tiers = sim.model.tiers();
+        PerformanceQuery::CausalEffect {
+            option: tiers.of_kind(VarKind::ConfigOption)[0],
+            objective: tiers.of_kind(VarKind::Objective)[0],
+        }
+    };
+    for step in 0..6 {
+        let name = if step % 2 == 0 { "t0" } else { "t1" };
+        let a = budgeted.query(name, &probe);
+        let b = unbounded.query(name, &probe);
+        assert_bits_equal(&a, &b, &format!("step#{step} tenant {name}"));
+        // Evict mid-traffic: the next query re-derives from scratch.
+        budgeted.maintain();
+    }
+
+    let b_stats = budgeted.stats();
+    let u_stats = unbounded.stats();
+    assert!(b_stats.evictions > 0, "a one-byte budget must evict");
+    assert_eq!(u_stats.evictions, 0, "no budget, no evictions");
+    if sweep_cache_enabled() {
+        assert!(
+            u_stats.sweep_hits > 0,
+            "unbounded repeats must hit: {u_stats:?}"
+        );
+        assert!(
+            b_stats.sweep_misses > u_stats.sweep_misses,
+            "eviction must force extra misses: {b_stats:?} vs {u_stats:?}"
+        );
+    } else {
+        assert_eq!((b_stats.sweep_hits, b_stats.sweep_misses), (0, 0));
+    }
+}
+
+/// The `/stats` endpoint: deterministic key order, live counters, tenant
+/// routing, and 503 on unknown tenants.
+#[test]
+fn stats_endpoint_reports_sweep_cache_counters() {
+    let sim = sim();
+    let opts = opts_on(2);
+    let mut state = UnicornState::bootstrap(&sim, &opts);
+    let snap = state.publish_snapshot(&sim, &opts);
+    let epoch = snap.epoch;
+    let server = Server::start(
+        Arc::new(unicorn::core::SnapshotCell::new(snap)),
+        &ServeOptions {
+            addr: "127.0.0.1:0".into(),
+            window: Duration::from_micros(200),
+        },
+    )
+    .expect("server start");
+
+    let stats = |path: &str| {
+        let (status, body) = http_request(server.addr(), "GET", path, None).expect("GET");
+        (status, body)
+    };
+    let field = |doc: &Json, path: &[&str]| -> Json {
+        let mut cur = doc.clone();
+        for key in path {
+            cur = cur
+                .get(key)
+                .unwrap_or_else(|| panic!("missing {key}"))
+                .clone();
+        }
+        cur
+    };
+
+    let (status, body) = stats("/stats");
+    assert_eq!(status, 200, "{body}");
+    // Deterministic shape: fixed key order straight off the wire.
+    assert!(
+        body.starts_with(&format!(
+            "{{\"tenant\":\"default\",\"epoch\":{epoch},\"sweep_cache\":{{\"enabled\":"
+        )),
+        "unexpected stats shape: {body}"
+    );
+    let doc = parse_json(&body).expect("stats JSON");
+    assert_eq!(
+        field(&doc, &["sweep_cache", "enabled"]),
+        Json::Bool(sweep_cache_enabled())
+    );
+    let submitted0 = field(&doc, &["admission", "submitted"]).as_num().unwrap();
+
+    // Traffic moves the counters: a query batch records misses, its
+    // repeat records hits, and `submitted` counts both.
+    let q = r#"{"type":"causal_effect","option":"crf","objective":"latency"}"#;
+    let names = server
+        .snapshots()
+        .expect("default cell")
+        .load()
+        .names
+        .clone();
+    let option_name = &names[sim.model.tiers().of_kind(VarKind::ConfigOption)[0]];
+    let objective_name = &names[sim.model.tiers().of_kind(VarKind::Objective)[0]];
+    let q = q
+        .replace("crf", option_name)
+        .replace("latency", objective_name);
+    for _ in 0..2 {
+        let (status, reply) =
+            http_request(server.addr(), "POST", "/query", Some(&q)).expect("query");
+        assert_eq!(status, 200, "{reply}");
+    }
+
+    let (status, body) = stats("/tenant/default/stats");
+    assert_eq!(status, 200, "{body}");
+    let doc = parse_json(&body).expect("stats JSON");
+    assert_eq!(field(&doc, &["tenant"]), Json::Str("default".into()));
+    let submitted1 = field(&doc, &["admission", "submitted"]).as_num().unwrap();
+    assert!(
+        submitted1 >= submitted0 + 2.0,
+        "submitted must count queries"
+    );
+    if sweep_cache_enabled() {
+        assert!(
+            field(&doc, &["sweep_cache", "misses"]).as_num().unwrap() > 0.0,
+            "first query must record misses: {body}"
+        );
+        assert!(
+            field(&doc, &["sweep_cache", "hits"]).as_num().unwrap() > 0.0,
+            "repeat query must record hits: {body}"
+        );
+        assert!(
+            field(&doc, &["sweep_cache", "approx_bytes"])
+                .as_num()
+                .unwrap()
+                > 0.0,
+            "resident buffers must be accounted: {body}"
+        );
+    }
+
+    let (status, _) = stats("/tenant/absent/stats");
+    assert_eq!(status, 503, "unknown tenants get 503");
+    let (status, _) = stats("/nope");
+    assert_eq!(status, 404);
+    server.shutdown();
+}

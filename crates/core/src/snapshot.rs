@@ -60,6 +60,26 @@ pub struct EngineSnapshot {
     pub n_rows: usize,
 }
 
+impl EngineSnapshot {
+    /// Objective-node ids in this snapshot's tier order — the residual
+    /// targets drift detection watches.
+    pub fn objective_nodes(&self) -> Vec<unicorn_graph::NodeId> {
+        self.engine
+            .tiers()
+            .of_kind(unicorn_graph::VarKind::Objective)
+    }
+
+    /// Per-objective prediction residuals (`observed − predicted`) of one
+    /// incoming measurement row against this snapshot's fitted SCM, in
+    /// [`Self::objective_nodes`] order. A pure function of `(snapshot,
+    /// row)` — the tap the streaming-ingest drift detectors sample.
+    pub fn objective_residuals(&self, row: &[f64]) -> Vec<f64> {
+        self.engine
+            .scm()
+            .residuals_against(row, &self.objective_nodes())
+    }
+}
+
 impl std::fmt::Debug for EngineSnapshot {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("EngineSnapshot")

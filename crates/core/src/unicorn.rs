@@ -248,6 +248,21 @@ impl UnicornState {
         self.pending.push(sample.row());
     }
 
+    /// Records one already-measured raw data row (node order: options,
+    /// events, objectives) — the streaming-ingestion fold hook. Rows enter
+    /// the dataset and the staged pending set exactly like
+    /// [`Self::record_sample`], so the next [`Self::relearn`] /
+    /// [`Self::engine`] folds them through the segmented append path in a
+    /// single epoch bump.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the row width does not match the dataset.
+    pub fn record_row(&mut self, row: &[f64]) {
+        self.data.push_row(row);
+        self.pending.push(row.to_vec());
+    }
+
     /// Replaces the accumulated dataset wholesale (transfer workflows) and
     /// rebuilds the view over it, dropping warm-start state that referred
     /// to the replaced sample.

@@ -1154,6 +1154,49 @@ impl FittedScm {
         }
         values[target]
     }
+
+    /// Prediction residuals `observed − predicted` of one *unseen*
+    /// measurement row against this fitted model, one per `target` node.
+    ///
+    /// Every non-target column of `row` is clamped as an assignment and a
+    /// single topological sweep propagates conditional expectations into
+    /// the targets (zero injected residuals) — the targets themselves are
+    /// deliberately left unassigned so their observed values never leak
+    /// into their own predictions. The result is a pure function of
+    /// `(model, row)`, which is what keeps the drift detectors built on
+    /// top deterministic across thread counts and flush boundaries.
+    pub fn residuals_against(&self, row: &[f64], targets: &[NodeId]) -> Vec<f64> {
+        assert_eq!(row.len(), self.n_vars(), "row width mismatch");
+        let mut assign: Vec<Option<f64>> = row.iter().map(|&x| Some(x)).collect();
+        for &t in targets {
+            assign[t] = None;
+        }
+        let mut values = vec![0.0; self.n_vars()];
+        for &v in self.topo.iter() {
+            if let Some(x) = assign[v] {
+                values[v] = x;
+                continue;
+            }
+            values[v] = match &self.nodes[v].model {
+                None => self.data.column_stats()[v].mean,
+                Some(m) => m.predict_row(&|i: usize| values[i]),
+            };
+        }
+        targets.iter().map(|&t| row[t] - values[t]).collect()
+    }
+
+    /// Root-mean-square of a node's training residuals, floored at
+    /// `1e-12` so it is always a valid divisor — the unit scale the
+    /// ingest layer normalizes streaming residuals by, making drift
+    /// thresholds dimensionless across objectives.
+    pub fn residual_rms(&self, v: NodeId) -> f64 {
+        let r = &self.nodes[v].residuals;
+        if r.is_empty() {
+            return 1e-12;
+        }
+        let ms = r.iter().map(|x| x * x).sum::<f64>() / r.len() as f64;
+        ms.sqrt().max(1e-12)
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,73 @@
+//! Streaming telemetry ingestion with drift-triggered relearn.
+//!
+//! The paper's Stage V loop ("measure, update, relearn every *k*") is a
+//! batch schedule; this crate turns it into a *source → transform →
+//! learn* streaming loop that decides **when** to relearn from the data
+//! itself. Live measurement rows enter per tenant, fold through the
+//! segmented append path, and a change detector over the fitted SCM's
+//! prediction residuals pulls the relearn trigger:
+//!
+//! ```text
+//!   clients ──POST /v1/tenants/:id/ingest──▶ IngestQueue (bounded, backpressure)
+//!                                                │ take_flush(interval)
+//!                                                ▼
+//!                                          IngestWorker thread
+//!                                                │ per row
+//!                                                ▼
+//!          ┌─────────────────────── IngestPipeline ───────────────────────┐
+//!          │ residuals vs pinned SCM ─▶ DriftBank (Page-Hinkley / CUSUM)  │
+//!          │ record_row (staged fold) ─▶ on trigger or max staleness:     │
+//!          │   relearn ▶ publish_snapshot ▶ SnapshotCell.publish (flip)   │
+//!          └──────────────────────────────────────────────────────────────┘
+//! ```
+//!
+//! Connection threads keep answering from the old epoch while the worker
+//! builds the next one; the publish is a pointer flip. The whole loop
+//! inherits the house invariant: a streamed-then-relearned state is
+//! **bit-identical** to a cold learn over the concatenated rows, and the
+//! trigger decision is a pure function of the row stream — independent of
+//! flush-chunk boundaries, worker-pool width, and interleaved query load.
+//!
+//! Determinism is engineered in three places:
+//!
+//! * residuals are computed against the *pinned* SCM of the last
+//!   published epoch (never a half-updated model), one row at a time;
+//! * residuals are normalized by each objective's training-residual RMS
+//!   ([`unicorn_inference::FittedScm::residual_rms`]), so thresholds are
+//!   dimensionless and survive objective rescaling;
+//! * a mid-batch trigger relearns *immediately* — the remaining rows of
+//!   the flush are scored against the freshly published model, so the
+//!   trigger row never depends on where a flush boundary fell.
+//!
+//! # Adding a detector
+//!
+//! Detectors are deliberately plain state machines, not trait objects —
+//! an enum keeps them `Clone`, comparable, and free of dynamic dispatch
+//! in the per-row hot path. To add one:
+//!
+//! 1. Add a variant to [`DetectorKind`] and a state struct alongside
+//!    [`PageHinkley`]/[`Cusum`] in `drift.rs`. Its `update(&mut self, x)
+//!    -> bool` must be a pure fold over the normalized residual stream —
+//!    no clocks, no randomness, no allocation-order dependence.
+//! 2. Wire the variant into `Detector::new` and `Detector::update` in
+//!    `drift.rs` (one match arm each).
+//! 3. Give its knobs defaults in [`DriftOptions`] (reuse `delta`/`lambda`
+//!    where the semantics fit — bias and threshold in RMS units).
+//! 4. Extend `drift_trigger_is_chunk_invariant` in
+//!    `tests/ingest_drift_determinism.rs` with the new kind: the proptest
+//!    already asserts chunk- and pool-invariance for every kind it sweeps.
+//!
+//! The serving integration (`unicorn_serve`) needs no change: it stores a
+//! [`DriftOptions`] in its `ServeConfig` and everything downstream is
+//! data-driven.
+
+pub mod drift;
+pub mod pipeline;
+pub mod queue;
+
+pub use drift::{Cusum, DetectorKind, DriftBank, DriftOptions, PageHinkley};
+pub use pipeline::{
+    DriftStats, IngestEndpoint, IngestPipeline, IngestRouter, IngestWorker, RelearnEvent,
+    RelearnReason,
+};
+pub use queue::{IngestAck, IngestQueue};

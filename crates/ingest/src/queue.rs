@@ -1,0 +1,198 @@
+//! The bounded ingest buffer: producers (connection threads) push rows,
+//! one consumer (the tenant's `IngestWorker`) drains flushes.
+//!
+//! Mirrors the Mutex+Condvar idiom of `unicorn_serve::admission`'s
+//! `AdmissionQueue`: producers push and `notify_one`; the consumer waits
+//! on the condvar, then sleeps the flush interval *outside* the lock so
+//! a burst coalesces into one flush, then drains everything buffered.
+//! Unlike admission, the buffer is **bounded**: a full buffer drops the
+//! overflowing rows at the door and says so in the ack — explicit
+//! backpressure the wire layer surfaces as a 503, never an unbounded
+//! queue behind a slow relearn.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// What happened to one ingest submission: how many rows entered the
+/// buffer and how many were shed because it was full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IngestAck {
+    /// Rows accepted into the buffer.
+    pub accepted: u64,
+    /// Rows dropped at the door (buffer full).
+    pub dropped: u64,
+}
+
+/// A bounded MPSC row buffer with interval-coalesced flushes.
+pub struct IngestQueue {
+    buf: Mutex<VecDeque<Vec<f64>>>,
+    arrived: Condvar,
+    open: AtomicBool,
+    capacity: usize,
+    rows: AtomicU64,
+    flushes: AtomicU64,
+    dropped: AtomicU64,
+}
+
+impl IngestQueue {
+    /// An open queue holding at most `capacity` buffered rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `capacity` is zero — a queue that can hold nothing
+    /// would drop every row, which is a configuration bug.
+    pub fn new(capacity: usize) -> Arc<Self> {
+        assert!(capacity > 0, "ingest buffer capacity must be positive");
+        Arc::new(Self {
+            buf: Mutex::new(VecDeque::new()),
+            arrived: Condvar::new(),
+            open: AtomicBool::new(true),
+            capacity,
+            rows: AtomicU64::new(0),
+            flushes: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+        })
+    }
+
+    /// Offers `rows` to the buffer, non-blocking. Rows are admitted in
+    /// order until the buffer is full; the rest are dropped and counted.
+    /// A closed queue drops everything (shutdown backpressure).
+    pub fn push_rows(&self, rows: Vec<Vec<f64>>) -> IngestAck {
+        let n = rows.len() as u64;
+        if !self.open.load(Ordering::SeqCst) {
+            self.dropped.fetch_add(n, Ordering::Relaxed);
+            return IngestAck {
+                accepted: 0,
+                dropped: n,
+            };
+        }
+        let mut buf = self.buf.lock().expect("ingest queue poisoned");
+        let mut accepted = 0u64;
+        for row in rows {
+            if buf.len() >= self.capacity {
+                break;
+            }
+            buf.push_back(row);
+            accepted += 1;
+        }
+        drop(buf);
+        let dropped = n - accepted;
+        self.rows.fetch_add(accepted, Ordering::Relaxed);
+        self.dropped.fetch_add(dropped, Ordering::Relaxed);
+        if accepted > 0 {
+            self.arrived.notify_one();
+        }
+        IngestAck { accepted, dropped }
+    }
+
+    /// Blocks until at least one row is buffered, lets the flush
+    /// `interval` elapse (outside the lock) so a burst coalesces, then
+    /// drains and returns everything buffered. Returns `None` once the
+    /// queue is closed *and* empty — the worker's shutdown signal.
+    pub fn take_flush(&self, interval: Duration) -> Option<Vec<Vec<f64>>> {
+        let mut buf = self.buf.lock().expect("ingest queue poisoned");
+        while buf.is_empty() {
+            if !self.open.load(Ordering::SeqCst) {
+                return None;
+            }
+            buf = self.arrived.wait(buf).expect("ingest queue poisoned");
+        }
+        if !interval.is_zero() {
+            drop(buf);
+            std::thread::sleep(interval);
+            buf = self.buf.lock().expect("ingest queue poisoned");
+        }
+        let batch: Vec<Vec<f64>> = buf.drain(..).collect();
+        drop(buf);
+        self.flushes.fetch_add(1, Ordering::Relaxed);
+        Some(batch)
+    }
+
+    /// Closes the queue: subsequent pushes are dropped, and the consumer
+    /// drains what remains before [`Self::take_flush`] returns `None`.
+    pub fn close(&self) {
+        self.open.store(false, Ordering::SeqCst);
+        self.arrived.notify_all();
+    }
+
+    /// Maximum buffered rows.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Total rows accepted into the buffer so far.
+    pub fn rows(&self) -> u64 {
+        self.rows.load(Ordering::Relaxed)
+    }
+
+    /// Total flushes drained so far.
+    pub fn flushes(&self) -> u64 {
+        self.flushes.load(Ordering::Relaxed)
+    }
+
+    /// Total rows dropped (backpressure or post-close).
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_up_to_capacity_and_drops_the_rest() {
+        let q = IngestQueue::new(3);
+        let ack = q.push_rows(vec![vec![1.0]; 5]);
+        assert_eq!(
+            ack,
+            IngestAck {
+                accepted: 3,
+                dropped: 2
+            }
+        );
+        assert_eq!(q.rows(), 3);
+        assert_eq!(q.dropped(), 2);
+        // Draining frees the capacity again.
+        let batch = q.take_flush(Duration::ZERO).expect("open queue");
+        assert_eq!(batch.len(), 3);
+        assert_eq!(q.flushes(), 1);
+        let ack = q.push_rows(vec![vec![2.0]; 2]);
+        assert_eq!(ack.accepted, 2);
+    }
+
+    #[test]
+    fn close_drains_then_signals_none() {
+        let q = IngestQueue::new(8);
+        q.push_rows(vec![vec![1.0], vec![2.0]]);
+        q.close();
+        // Pushes after close are shed entirely.
+        let ack = q.push_rows(vec![vec![3.0]]);
+        assert_eq!(ack.accepted, 0);
+        assert_eq!(ack.dropped, 1);
+        // The buffered rows still drain, then the shutdown signal.
+        assert_eq!(q.take_flush(Duration::ZERO).expect("drain").len(), 2);
+        assert!(q.take_flush(Duration::ZERO).is_none());
+    }
+
+    #[test]
+    fn flush_interval_coalesces_a_burst() {
+        let q = IngestQueue::new(64);
+        let producer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || {
+                for i in 0..4 {
+                    q.push_rows(vec![vec![i as f64]]);
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+            })
+        };
+        // A generous interval lets the whole burst land in one flush
+        // batch (the first push wakes us, the sleep coalesces the rest).
+        let batch = q.take_flush(Duration::from_millis(100)).expect("open");
+        assert_eq!(batch.len(), 4, "burst must coalesce into one flush");
+        producer.join().expect("producer");
+    }
+}

@@ -2,53 +2,71 @@
 //!
 //! Boots a simulated subject system, learns the causal performance model
 //! once, publishes it as epoch 1's snapshot, and serves causal queries
-//! over HTTP/JSON until killed. With `--smoke` it instead binds an
-//! OS-assigned loopback port, issues one ACE query and one root-cause
-//! query against itself over **one persistent TCP connection**
-//! (exercising keep-alive), prints the two reply bodies to stdout, and
-//! exits — CI byte-diffs that output against
-//! `tests/golden/serve_smoke.txt`.
+//! over HTTP/JSON until killed. Configuration is parsed once at boot
+//! into a typed [`ServeConfig`] (see `unicorn_serve::config` for the
+//! variable table); explicit CLI flags outrank environment variables.
+//!
+//! The daemon also runs the streaming-ingestion loop for the default
+//! tenant: rows POSTed to `/v1/tenants/default/ingest` land in a bounded
+//! buffer, and a background worker folds flushes into the model, watches
+//! drift detectors over SCM prediction residuals, and on a trigger (or
+//! the max-staleness fallback) relearns off-thread and publishes the
+//! next epoch while connection threads keep answering from the old one.
+//!
+//! With `--smoke` it instead binds an OS-assigned loopback port, issues
+//! one ACE query and one root-cause query against itself over **one
+//! persistent TCP connection** (exercising keep-alive), prints the two
+//! reply bodies to stdout, and exits — CI byte-diffs that output against
+//! `tests/golden/serve_smoke.txt`. `--smoke-v1` does the same over the
+//! versioned surface — the two `/v1/` query replies (byte-identical to
+//! the legacy ones), a deterministic ingest ack, and the two fixed
+//! `/v1/` error bodies — diffed against `tests/golden/serve_smoke_v1.txt`.
 //!
 //! ```sh
 //! unicornd [--addr 127.0.0.1:7077] [--window-us 2000]
-//!          [--samples 60] [--seed 42] [--smoke]
+//!          [--samples 60] [--seed 42] [--smoke] [--smoke-v1]
 //! ```
 
 use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::Duration;
 
-use unicorn_core::{SnapshotCell, UnicornOptions, UnicornState};
-use unicorn_serve::{http_request_many, ServeOptions, Server};
+use unicorn_core::{SnapshotCell, SnapshotRouter, UnicornOptions, UnicornState, DEFAULT_TENANT};
+use unicorn_ingest::{
+    DriftStats, IngestEndpoint, IngestPipeline, IngestQueue, IngestRouter, IngestWorker,
+};
+use unicorn_serve::{http_request_many, Json, ServeConfig, Server};
 use unicorn_systems::{Environment, Hardware, Simulator, SubjectSystem};
 
 struct Args {
-    addr: String,
-    window: Duration,
+    addr: Option<String>,
+    window: Option<Duration>,
     samples: usize,
     seed: u64,
     smoke: bool,
+    smoke_v1: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
-        addr: "127.0.0.1:7077".into(),
-        window: Duration::from_micros(2000),
+        addr: None,
+        window: None,
         samples: 60,
         seed: 42,
         smoke: false,
+        smoke_v1: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         let mut value = |flag: &str| it.next().ok_or_else(|| format!("{flag} needs a value"));
         match flag.as_str() {
-            "--addr" => args.addr = value("--addr")?,
+            "--addr" => args.addr = Some(value("--addr")?),
             "--window-us" => {
-                args.window = Duration::from_micros(
+                args.window = Some(Duration::from_micros(
                     value("--window-us")?
                         .parse()
                         .map_err(|_| "--window-us must be an integer".to_string())?,
-                )
+                ))
             }
             "--samples" => {
                 args.samples = value("--samples")?
@@ -61,6 +79,7 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|_| "--seed must be an integer".to_string())?
             }
             "--smoke" => args.smoke = true,
+            "--smoke-v1" => args.smoke_v1 = true,
             other => return Err(format!("unknown flag {other}")),
         }
     }
@@ -75,6 +94,24 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    // Config precedence: built-in default < env var < explicit CLI flag.
+    let mut config = match ServeConfig::from_env() {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("unicornd: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Some(addr) = &args.addr {
+        config.addr = addr.clone();
+    }
+    if let Some(window) = args.window {
+        config.window = window;
+    }
+    let smoke = args.smoke || args.smoke_v1;
+    if smoke {
+        config.addr = "127.0.0.1:0".into();
+    }
 
     // Boot: learn the model once, publish it as the serving snapshot.
     let sim = Simulator::new(
@@ -87,39 +124,90 @@ fn main() -> ExitCode {
         ..UnicornOptions::default()
     };
     let mut state = UnicornState::bootstrap(&sim, &opts);
-    let snapshots = Arc::new(SnapshotCell::new(state.publish_snapshot(&sim, &opts)));
+    let cell = Arc::new(SnapshotCell::new(state.publish_snapshot(&sim, &opts)));
+    let router = SnapshotRouter::single(Arc::clone(&cell));
 
-    let serve_opts = ServeOptions {
-        addr: if args.smoke {
-            "127.0.0.1:0".into()
-        } else {
-            args.addr.clone()
+    // The default tenant's ingest plumbing: a bounded buffer the server
+    // pushes into, and the background relearn worker that owns the
+    // state from here on (connection threads only read snapshots).
+    let queue = IngestQueue::new(config.ingest.buffer_rows);
+    let drift_stats = Arc::new(DriftStats::default());
+    let pipeline = IngestPipeline::new(
+        state,
+        sim.clone(),
+        opts,
+        Arc::clone(&cell),
+        config.drift,
+        Arc::clone(&drift_stats),
+    );
+    let worker = IngestWorker::spawn(pipeline, Arc::clone(&queue), config.ingest.flush_interval);
+    let ingest = Arc::new(IngestRouter::new());
+    ingest.insert(
+        DEFAULT_TENANT,
+        IngestEndpoint {
+            queue: Arc::clone(&queue),
+            drift: drift_stats,
         },
-        window: args.window,
-    };
-    let server = match Server::start(snapshots, &serve_opts) {
+    );
+
+    let server = match Server::start_with_ingest(router, ingest, &config.serve_options()) {
         Ok(s) => s,
         Err(e) => {
-            eprintln!("unicornd: bind {}: {e}", serve_opts.addr);
+            eprintln!("unicornd: bind {}: {e}", config.addr);
             return ExitCode::FAILURE;
         }
     };
 
-    if args.smoke {
-        return smoke(server);
+    if smoke {
+        let code = if args.smoke_v1 {
+            smoke_v1(&server, &sim)
+        } else {
+            smoke_legacy(&server)
+        };
+        server.shutdown();
+        queue.close();
+        worker.join();
+        return code;
     }
 
-    eprintln!("unicornd: serving on {}", server.addr());
+    eprintln!(
+        "unicornd: serving on {} (threads {}, sweep_cache {}, ingest buffer {} rows / flush {:?}, drift {:?})",
+        server.addr(),
+        config.threads,
+        config.sweep_cache,
+        config.ingest.buffer_rows,
+        config.ingest.flush_interval,
+        config.drift.detector,
+    );
     loop {
         std::thread::sleep(Duration::from_secs(3600));
     }
 }
 
+/// Issues `requests` over one persistent connection and prints each
+/// reply body to stdout, failing unless the statuses match `expect`.
+fn drive(server: &Server, requests: &[(&str, &str, Option<&str>)], expect: &[u16]) -> ExitCode {
+    match http_request_many(server.addr(), requests) {
+        Ok(replies) => {
+            for ((status, reply), want) in replies.iter().zip(expect) {
+                if status != want {
+                    eprintln!("unicornd: smoke query failed: HTTP {status} (want {want}): {reply}");
+                    return ExitCode::FAILURE;
+                }
+                println!("{reply}");
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("unicornd: smoke query failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 /// Self-driving smoke: two queries through the real TCP path — both on
-/// one persistent connection — reply bodies on stdout (the CI golden),
-/// clean shutdown.
-fn smoke(server: Server) -> ExitCode {
-    let addr = server.addr();
+/// one persistent connection — reply bodies on stdout (the CI golden).
+fn smoke_legacy(server: &Server) -> ExitCode {
     let queries = [
         (
             "POST",
@@ -132,23 +220,46 @@ fn smoke(server: Server) -> ExitCode {
             Some(r#"{"type":"root_causes","goal":[["Latency",30]]}"#),
         ),
     ];
-    match http_request_many(addr, &queries) {
-        Ok(replies) => {
-            for (status, reply) in replies {
-                if status != 200 {
-                    eprintln!("unicornd: smoke query failed: HTTP {status}: {reply}");
-                    server.shutdown();
-                    return ExitCode::FAILURE;
-                }
-                println!("{reply}");
-            }
-        }
-        Err(e) => {
-            eprintln!("unicornd: smoke query failed: {e}");
-            server.shutdown();
-            return ExitCode::FAILURE;
-        }
-    }
-    server.shutdown();
-    ExitCode::SUCCESS
+    drive(server, &queries, &[200, 200])
+}
+
+/// The `/v1/` smoke: the two legacy queries on the versioned route
+/// (replies must be byte-identical to the legacy golden's), a
+/// deterministic two-row ingest ack, and the two fixed error bodies —
+/// unknown tenant and unknown endpoint — all on one connection.
+fn smoke_v1(server: &Server, sim: &Simulator) -> ExitCode {
+    // Two deterministic measurement rows for the ingest ack (the worker
+    // folds them after the ack; with default thresholds two
+    // in-distribution rows never trigger a relearn).
+    let data = unicorn_systems::generate(sim, 2, 0xD1F7);
+    let rows = Json::Arr(
+        (0..data.n_rows())
+            .map(|r| Json::Arr(data.columns.iter().map(|c| Json::Num(c[r])).collect()))
+            .collect(),
+    );
+    let ingest_body = Json::Obj(vec![("rows".into(), rows)]).to_string();
+    let requests = [
+        (
+            "POST",
+            "/v1/tenants/default/query",
+            Some(r#"{"type":"causal_effect","option":"Buffer Size","objective":"Latency"}"#),
+        ),
+        (
+            "POST",
+            "/v1/tenants/default/query",
+            Some(r#"{"type":"root_causes","goal":[["Latency",30]]}"#),
+        ),
+        (
+            "POST",
+            "/v1/tenants/default/ingest",
+            Some(ingest_body.as_str()),
+        ),
+        (
+            "POST",
+            "/v1/tenants/nope/query",
+            Some(r#"{"type":"root_causes","goal":[["Latency",30]]}"#),
+        ),
+        ("GET", "/v1/bogus", None),
+    ];
+    drive(server, &requests, &[200, 200, 200, 404, 404])
 }

@@ -1,0 +1,188 @@
+//! `ServeConfig` — the daemon's env-knob sprawl, parsed once at boot.
+//!
+//! Environment variables remain the configuration source (they compose
+//! with the CI matrix and need no flag plumbing), but the daemon reads
+//! them exactly once, here, into one typed struct — new knobs stop
+//! threading raw `std::env::var` calls through the stack, and a typo in
+//! a value is a boot-time error naming the variable instead of a
+//! silently applied default.
+//!
+//! **Precedence** (lowest to highest): built-in default < environment
+//! variable < explicit CLI flag (`unicornd --addr`/`--window-us`
+//! overwrite the parsed config after [`ServeConfig::from_env`]).
+//!
+//! | Variable | Default | Meaning |
+//! |---|---|---|
+//! | `UNICORN_ADDR` | `127.0.0.1:7077` | bind address |
+//! | `UNICORN_ADMISSION_WINDOW_US` | `2000` | admission coalescing window (µs) |
+//! | `UNICORN_THREADS` | cores, capped at 16 | worker-pool width (resolved by `unicorn_exec`) |
+//! | `UNICORN_SWEEP_CACHE` | on | `off`/`0`/`false` disables the sweep cache (resolved by `unicorn_inference`) |
+//! | `UNICORN_INGEST_BUFFER` | `1024` | bounded ingest buffer capacity (rows) |
+//! | `UNICORN_INGEST_FLUSH_MS` | `50` | ingest flush-coalescing interval (ms) |
+//! | `UNICORN_DRIFT_DETECTOR` | `page_hinkley` | `page_hinkley` or `cusum` |
+//! | `UNICORN_DRIFT_DELTA` | `0.1` | per-sample drift allowance (RMS units) |
+//! | `UNICORN_DRIFT_LAMBDA` | `8` | trigger threshold (RMS units) |
+//! | `UNICORN_DRIFT_MIN_ROWS` | `12` | cold-start gate before a detector may trigger |
+//! | `UNICORN_RELEARN_MAX_STALENESS` | `256` | rows before the staleness-fallback relearn |
+//!
+//! `UNICORN_THREADS` and `UNICORN_SWEEP_CACHE` are *resolved* by their
+//! owning crates (the executor and the sweep cache read them at
+//! construction); this config validates and mirrors them so `unicornd`
+//! can log one coherent boot line and fail fast on garbage.
+
+use std::time::Duration;
+
+use unicorn_ingest::{DetectorKind, DriftOptions};
+
+use crate::server::ServeOptions;
+
+/// Streaming-ingestion knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct IngestConfig {
+    /// Bounded ingest buffer capacity in rows; overflow is dropped with
+    /// explicit backpressure.
+    pub buffer_rows: usize,
+    /// How long a flush holds the door open after the first buffered row
+    /// (burst coalescing), mirroring the admission window.
+    pub flush_interval: Duration,
+}
+
+/// Everything `unicornd` is configured by, parsed once at boot.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address (`UNICORN_ADDR`).
+    pub addr: String,
+    /// Admission coalescing window (`UNICORN_ADMISSION_WINDOW_US`).
+    pub window: Duration,
+    /// Worker-pool width, as `unicorn_exec` resolves it.
+    pub threads: usize,
+    /// Whether the interventional sweep cache is enabled, as
+    /// `unicorn_inference` resolves it.
+    pub sweep_cache: bool,
+    /// Streaming-ingestion knobs.
+    pub ingest: IngestConfig,
+    /// Drift-detection thresholds for the background relearn loop.
+    pub drift: DriftOptions,
+}
+
+impl ServeConfig {
+    /// Parses the full configuration from the environment. Any present
+    /// but malformed variable is an `Err` naming it.
+    pub fn from_env() -> Result<Self, String> {
+        // Validate the pool width here (Err, not the executor's panic),
+        // then let the owning crate resolve the effective value.
+        if let Ok(v) = std::env::var("UNICORN_THREADS") {
+            let n: usize = v
+                .trim()
+                .parse()
+                .map_err(|_| format!("UNICORN_THREADS: cannot parse {v:?} as a thread count"))?;
+            if n == 0 {
+                return Err("UNICORN_THREADS: must be positive".into());
+            }
+        }
+        let defaults = DriftOptions::default();
+        let detector = match std::env::var("UNICORN_DRIFT_DETECTOR") {
+            Err(_) => defaults.detector,
+            Ok(v) => match v.trim() {
+                "page_hinkley" => DetectorKind::PageHinkley,
+                "cusum" => DetectorKind::Cusum,
+                other => {
+                    return Err(format!(
+                        "UNICORN_DRIFT_DETECTOR: unknown detector {other:?} \
+                         (expected \"page_hinkley\" or \"cusum\")"
+                    ))
+                }
+            },
+        };
+        let config = Self {
+            addr: std::env::var("UNICORN_ADDR").unwrap_or_else(|_| "127.0.0.1:7077".into()),
+            window: Duration::from_micros(parsed("UNICORN_ADMISSION_WINDOW_US", 2000u64)?),
+            threads: unicorn_exec::default_threads(),
+            sweep_cache: unicorn_inference::sweep_cache_enabled(),
+            ingest: IngestConfig {
+                buffer_rows: parsed("UNICORN_INGEST_BUFFER", 1024usize)?,
+                flush_interval: Duration::from_millis(parsed("UNICORN_INGEST_FLUSH_MS", 50u64)?),
+            },
+            drift: DriftOptions {
+                detector,
+                delta: parsed("UNICORN_DRIFT_DELTA", defaults.delta)?,
+                lambda: parsed("UNICORN_DRIFT_LAMBDA", defaults.lambda)?,
+                min_rows: parsed("UNICORN_DRIFT_MIN_ROWS", defaults.min_rows)?,
+                max_staleness_rows: parsed(
+                    "UNICORN_RELEARN_MAX_STALENESS",
+                    defaults.max_staleness_rows,
+                )?,
+            },
+        };
+        if config.ingest.buffer_rows == 0 {
+            return Err("UNICORN_INGEST_BUFFER: must be positive".into());
+        }
+        if !(config.drift.delta.is_finite() && config.drift.delta >= 0.0) {
+            return Err("UNICORN_DRIFT_DELTA: must be a non-negative number".into());
+        }
+        if !(config.drift.lambda.is_finite() && config.drift.lambda > 0.0) {
+            return Err("UNICORN_DRIFT_LAMBDA: must be a positive number".into());
+        }
+        Ok(config)
+    }
+
+    /// The server-side slice of the config.
+    pub fn serve_options(&self) -> ServeOptions {
+        ServeOptions {
+            addr: self.addr.clone(),
+            window: self.window,
+        }
+    }
+}
+
+/// Parses `name` from the environment, or hands back `default` when the
+/// variable is unset.
+fn parsed<T: std::str::FromStr>(name: &str, default: T) -> Result<T, String> {
+    match std::env::var(name) {
+        Err(_) => Ok(default),
+        Ok(v) => v
+            .trim()
+            .parse()
+            .map_err(|_| format!("{name}: cannot parse {v:?}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // One test covers all env interaction: tests in this binary run in
+    // parallel, and these variables are read nowhere else at test time.
+    #[test]
+    fn defaults_and_overrides_and_errors() {
+        let config = ServeConfig::from_env().expect("default env parses");
+        assert_eq!(config.addr, "127.0.0.1:7077");
+        assert_eq!(config.window, Duration::from_micros(2000));
+        assert!(config.threads >= 1);
+        assert_eq!(config.ingest.buffer_rows, 1024);
+        assert_eq!(config.ingest.flush_interval, Duration::from_millis(50));
+        assert_eq!(config.drift.detector, DetectorKind::PageHinkley);
+        assert_eq!(config.drift.max_staleness_rows, 256);
+        let opts = config.serve_options();
+        assert_eq!(opts.addr, config.addr);
+        assert_eq!(opts.window, config.window);
+
+        std::env::set_var("UNICORN_DRIFT_DETECTOR", "cusum");
+        std::env::set_var("UNICORN_DRIFT_LAMBDA", "4.5");
+        std::env::set_var("UNICORN_INGEST_BUFFER", "64");
+        let config = ServeConfig::from_env().expect("overridden env parses");
+        assert_eq!(config.drift.detector, DetectorKind::Cusum);
+        assert_eq!(config.drift.lambda, 4.5);
+        assert_eq!(config.ingest.buffer_rows, 64);
+
+        std::env::set_var("UNICORN_DRIFT_LAMBDA", "much");
+        let err = ServeConfig::from_env().expect_err("garbage must not boot");
+        assert!(err.contains("UNICORN_DRIFT_LAMBDA"), "{err}");
+        std::env::set_var("UNICORN_DRIFT_LAMBDA", "-1");
+        assert!(ServeConfig::from_env().is_err(), "negative lambda rejected");
+
+        std::env::remove_var("UNICORN_DRIFT_DETECTOR");
+        std::env::remove_var("UNICORN_DRIFT_LAMBDA");
+        std::env::remove_var("UNICORN_INGEST_BUFFER");
+    }
+}

@@ -8,12 +8,13 @@
 //!
 //! ```text
 //!  clients ══HTTP keep-alive══▶ conn threads ──submit(tenant, q)──▶ AdmissionQueue
-//!                                                  │  (window: ~1–5 ms, across tenants)
-//!                                             batcher thread
-//!                                                  │  group by tenant, then per group:
-//!                                                  │  load() ── SnapshotRouter[tenant] ◀── publish() ── relearn
-//!                                             answer_coalesced
-//!                                 (one merged PlanBatch per (tenant, window))
+//!              │                                   │  (window: ~1–5 ms, across tenants)
+//!              │ POST /v1/tenants/:id/ingest  batcher thread
+//!              ▼                                   │  group by tenant, then per group:
+//!        IngestQueue (bounded)                     │  load() ── SnapshotRouter[tenant] ◀─┐
+//!              │ flush interval                answer_coalesced                 publish()│
+//!              ▼                  (one merged PlanBatch per (tenant, window))            │
+//!        ingest worker ── residuals ─▶ drift detect ─▶ relearn ───────────────────────▶─┘
 //! ```
 //!
 //! * **Snapshots** ([`unicorn_core::snapshot`]): queries never touch
@@ -40,7 +41,23 @@
 //!   executor inside the engine is the scheduler that matters.
 //!   Connections are persistent (HTTP/1.1 keep-alive semantics, honored
 //!   from the request's version token and `Connection:` header, with an
-//!   idle timeout); [`http_request_many`] is the matching client.
+//!   idle timeout); [`http_request_many`] is the matching client. The
+//!   versioned `/v1/` surface routes through one typed pair
+//!   ([`WireRequest`] / [`WireResponse`]) with the single error shape
+//!   `{"error":{"code","message"}}`; legacy routes are thin aliases over
+//!   the same handlers, byte-identical to their pre-`/v1` selves.
+//! * **Ingest & drift** (`unicorn_ingest`, wired by `unicornd`): live
+//!   measurement rows enter a bounded per-tenant `IngestQueue` via
+//!   `POST /v1/tenants/:id/ingest` (explicit backpressure when full); a
+//!   background worker folds flushes into the tenant's `UnicornState`,
+//!   watches Page-Hinkley/CUSUM detectors over SCM prediction residuals,
+//!   and on a trigger (or the max-staleness fallback) relearns off-thread
+//!   and publishes the next epoch with a pointer flip. `/stats` carries
+//!   the ingest/drift counters.
+//! * **Config** ([`config`]): every env knob is parsed once at daemon
+//!   boot into a typed [`ServeConfig`] (precedence: default < env var <
+//!   CLI flag) instead of raw `std::env::var` calls sprinkled through
+//!   the stack.
 //!
 //! ## Adding a new query endpoint
 //!
@@ -69,11 +86,16 @@
 //! `PerformanceQuery`.
 
 pub mod admission;
+pub mod config;
 pub mod json;
 pub mod protocol;
 pub mod server;
 
 pub use admission::{run_batcher, AdmissionQueue, ServedAnswer};
+pub use config::{IngestConfig, ServeConfig};
 pub use json::{parse as parse_json, Json};
-pub use protocol::{parse_request, render_error, render_reply};
+pub use protocol::{
+    parse_ingest, parse_request, parse_v1, render_error, render_reply, render_v1_error,
+    render_v1_ok, ErrorCode, WireError, WireRequest, WireResponse,
+};
 pub use server::{http_request, http_request_many, ServeOptions, Server};

@@ -20,7 +20,27 @@
 //! `unidentifiable`. Serialization is deterministic (ordered fields,
 //! shortest-roundtrip floats) — the CI smoke golden diffs replies
 //! byte-for-byte.
+//!
+//! ## The versioned `/v1/` surface
+//!
+//! The daemon's grown-by-accretion routes are consolidated behind one
+//! typed request/response pair: [`parse_v1`] maps `(method, path, body)`
+//! to a [`WireRequest`], the server dispatches it, and the outcome — a
+//! [`WireResponse`] or a [`WireError`] — renders deterministically:
+//!
+//! * `POST /v1/tenants/:id/query`  — a query body as above
+//! * `POST /v1/tenants/:id/ingest` — `{"rows":[[...],...]}` measurement
+//!   rows in node order; ack `{"accepted":N,"dropped":M}` (drops are the
+//!   bounded ingest buffer's explicit backpressure)
+//! * `GET  /v1/tenants/:id/stats`  — the tenant observability snapshot
+//! * `GET  /v1/stats`              — the same for the default tenant
+//!
+//! Every `/v1/` error has the single body shape
+//! `{"error":{"code":"...","message":"..."}}` (fixed key order, codes in
+//! [`ErrorCode`]) — replacing the ad-hoc `{"error":"..."}` bodies, which
+//! the legacy routes keep byte-for-byte.
 
+use unicorn_core::DEFAULT_TENANT;
 use unicorn_graph::NodeId;
 use unicorn_inference::{PerformanceQuery, QosGoal, QueryAnswer};
 
@@ -128,9 +148,258 @@ pub fn render_reply(epoch: u64, answer: &QueryAnswer, names: &[String]) -> Strin
     .to_string()
 }
 
-/// Renders an error reply body.
+/// Renders a legacy error reply body (`{"error":"..."}`). The `/v1/`
+/// surface uses [`render_v1_error`] instead.
 pub fn render_error(message: &str) -> String {
     Json::Obj(vec![("error".into(), Json::Str(message.into()))]).to_string()
+}
+
+/// Machine-readable error codes of the `/v1/` surface. The code decides
+/// the HTTP status; the human-readable message rides alongside it in the
+/// error body.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The request body or a field in it failed to parse/resolve (400).
+    BadRequest,
+    /// No route matches the method + path (404).
+    UnknownEndpoint,
+    /// The path names a tenant the router does not serve (404 on `/v1/`;
+    /// the legacy routes answered 503 and still do).
+    UnknownTenant,
+    /// The tenant's bounded ingest buffer shed the entire submission
+    /// (503) — retry after the worker drains a flush.
+    Backpressure,
+    /// The admission queue closed mid-request (503).
+    ShuttingDown,
+}
+
+impl ErrorCode {
+    /// The wire spelling inside `{"error":{"code":...}}`.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorCode::BadRequest => "bad_request",
+            ErrorCode::UnknownEndpoint => "unknown_endpoint",
+            ErrorCode::UnknownTenant => "unknown_tenant",
+            ErrorCode::Backpressure => "backpressure",
+            ErrorCode::ShuttingDown => "shutting_down",
+        }
+    }
+
+    /// HTTP status the `/v1/` surface maps the code to.
+    pub fn http_status(self) -> u16 {
+        match self {
+            ErrorCode::BadRequest => 400,
+            ErrorCode::UnknownEndpoint | ErrorCode::UnknownTenant => 404,
+            ErrorCode::Backpressure | ErrorCode::ShuttingDown => 503,
+        }
+    }
+
+    /// HTTP status of the pre-`/v1` routes for the same failure — kept
+    /// distinct because the legacy surface answered 503 (not 404) for an
+    /// unknown tenant and must stay byte- and status-identical.
+    pub fn legacy_status(self) -> u16 {
+        match self {
+            ErrorCode::BadRequest => 400,
+            ErrorCode::UnknownEndpoint => 404,
+            ErrorCode::UnknownTenant | ErrorCode::Backpressure | ErrorCode::ShuttingDown => 503,
+        }
+    }
+}
+
+/// A typed wire-level failure: code + message, rendered as the single
+/// deterministic `/v1/` error shape (or the legacy `{"error":"..."}`
+/// body on the alias routes).
+#[derive(Debug, Clone)]
+pub struct WireError {
+    /// Machine-readable failure class.
+    pub code: ErrorCode,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+impl WireError {
+    /// An error with an explicit code and message.
+    pub fn new(code: ErrorCode, message: impl Into<String>) -> Self {
+        Self {
+            code,
+            message: message.into(),
+        }
+    }
+
+    /// A parse/validation failure (exact legacy message preserved).
+    pub fn bad_request(message: impl Into<String>) -> Self {
+        Self::new(ErrorCode::BadRequest, message)
+    }
+
+    /// The fixed unknown-endpoint error.
+    pub fn unknown_endpoint() -> Self {
+        Self::new(ErrorCode::UnknownEndpoint, "no such endpoint")
+    }
+
+    /// The fixed unknown-tenant error.
+    pub fn unknown_tenant() -> Self {
+        Self::new(ErrorCode::UnknownTenant, "no such tenant")
+    }
+
+    /// The fixed shutdown error.
+    pub fn shutting_down() -> Self {
+        Self::new(ErrorCode::ShuttingDown, "server shutting down")
+    }
+}
+
+/// One routed `/v1/` request — the typed half of the wire pair. Bodies
+/// stay raw here because parsing a query or an ingest batch needs the
+/// tenant's snapshot (name table / row width); the server's dispatcher
+/// resolves the tenant and finishes the parse.
+#[derive(Debug, Clone)]
+pub enum WireRequest {
+    /// `POST /v1/tenants/:id/query`.
+    Query {
+        /// Target tenant.
+        tenant: String,
+        /// Raw JSON query body (see [`parse_request`]).
+        body: String,
+    },
+    /// `POST /v1/tenants/:id/ingest`.
+    Ingest {
+        /// Target tenant.
+        tenant: String,
+        /// Raw JSON ingest body (see [`parse_ingest`]).
+        body: String,
+    },
+    /// `GET /v1/tenants/:id/stats` (and `GET /v1/stats` for the default
+    /// tenant).
+    TenantStats {
+        /// Target tenant.
+        tenant: String,
+    },
+}
+
+/// One successful `/v1/` response — the other typed half. Rendered by
+/// [`render_v1_ok`]; success bodies are shared with the legacy alias
+/// routes byte-for-byte.
+#[derive(Debug, Clone)]
+pub enum WireResponse {
+    /// A query answer with the epoch that answered and the name table it
+    /// renders against.
+    Answer {
+        /// Epoch of the answering snapshot.
+        epoch: u64,
+        /// The engine's answer.
+        answer: QueryAnswer,
+        /// Node names of the answering tenant (render table).
+        names: Vec<String>,
+    },
+    /// An ingest acknowledgement (accepted / backpressure-dropped rows).
+    Ingested {
+        /// Rows admitted into the tenant's buffer.
+        accepted: u64,
+        /// Rows shed because the buffer was full.
+        dropped: u64,
+    },
+    /// A pre-rendered deterministic stats document.
+    Stats(Json),
+}
+
+/// Routes one `/v1/`-prefixed request to a [`WireRequest`]. Pure — no
+/// router or queue access — so the route table is unit-testable off the
+/// socket.
+pub fn parse_v1(method: &str, path: &str, body: &str) -> Result<WireRequest, WireError> {
+    if method == "GET" && path == "/v1/stats" {
+        return Ok(WireRequest::TenantStats {
+            tenant: DEFAULT_TENANT.into(),
+        });
+    }
+    if let Some(rest) = path.strip_prefix("/v1/tenants/") {
+        if let Some((tenant, action)) = rest.rsplit_once('/') {
+            if !tenant.is_empty() && !tenant.contains('/') {
+                match (method, action) {
+                    ("POST", "query") => {
+                        return Ok(WireRequest::Query {
+                            tenant: tenant.into(),
+                            body: body.into(),
+                        })
+                    }
+                    ("POST", "ingest") => {
+                        return Ok(WireRequest::Ingest {
+                            tenant: tenant.into(),
+                            body: body.into(),
+                        })
+                    }
+                    ("GET", "stats") => {
+                        return Ok(WireRequest::TenantStats {
+                            tenant: tenant.into(),
+                        })
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+    Err(WireError::unknown_endpoint())
+}
+
+/// Parses an ingest body `{"rows":[[...],...]}` into measurement rows,
+/// validating that every row has exactly `width` finite values (node
+/// order: options, events, objectives).
+pub fn parse_ingest(body: &str, width: usize) -> Result<Vec<Vec<f64>>, String> {
+    let doc = parse(body)?;
+    let rows = doc
+        .get("rows")
+        .and_then(Json::as_arr)
+        .ok_or("ingest body needs an array \"rows\" field")?;
+    rows.iter()
+        .map(|row| {
+            let vals = row
+                .as_arr()
+                .ok_or("each ingest row must be an array of numbers")?;
+            if vals.len() != width {
+                return Err(format!(
+                    "ingest row has {} values, snapshot has {width} columns",
+                    vals.len()
+                ));
+            }
+            vals.iter()
+                .map(|v| {
+                    v.as_num()
+                        .filter(|x| x.is_finite())
+                        .ok_or_else(|| "ingest row values must be finite numbers".to_string())
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Renders a successful `/v1/` response body. Query and stats bodies are
+/// the exact legacy bodies — the `/v1/` surface re-shapes errors, never
+/// answers.
+pub fn render_v1_ok(resp: &WireResponse) -> String {
+    match resp {
+        WireResponse::Answer {
+            epoch,
+            answer,
+            names,
+        } => render_reply(*epoch, answer, names),
+        WireResponse::Ingested { accepted, dropped } => Json::Obj(vec![
+            ("accepted".into(), Json::Num(*accepted as f64)),
+            ("dropped".into(), Json::Num(*dropped as f64)),
+        ])
+        .to_string(),
+        WireResponse::Stats(doc) => doc.to_string(),
+    }
+}
+
+/// Renders the single deterministic `/v1/` error body:
+/// `{"error":{"code":"...","message":"..."}}`, fixed key order.
+pub fn render_v1_error(err: &WireError) -> String {
+    Json::Obj(vec![(
+        "error".into(),
+        Json::Obj(vec![
+            ("code".into(), Json::Str(err.code.as_str().into())),
+            ("message".into(), Json::Str(err.message.clone())),
+        ]),
+    )])
+    .to_string()
 }
 
 fn scalar(kind: &str, value: f64) -> Json {
@@ -275,5 +544,67 @@ mod tests {
         );
         let reply = render_reply(0, &QueryAnswer::Effect(1.0), &names);
         assert_eq!(reply, r#"{"epoch":0,"answer":{"type":"effect","value":1}}"#);
+    }
+
+    #[test]
+    fn v1_route_table() {
+        let r = parse_v1("POST", "/v1/tenants/t7/query", "{}").unwrap();
+        assert!(matches!(r, WireRequest::Query { ref tenant, .. } if tenant == "t7"));
+        let r = parse_v1("POST", "/v1/tenants/t7/ingest", "{}").unwrap();
+        assert!(matches!(r, WireRequest::Ingest { ref tenant, .. } if tenant == "t7"));
+        let r = parse_v1("GET", "/v1/tenants/t7/stats", "").unwrap();
+        assert!(matches!(r, WireRequest::TenantStats { ref tenant } if tenant == "t7"));
+        let r = parse_v1("GET", "/v1/stats", "").unwrap();
+        assert!(
+            matches!(r, WireRequest::TenantStats { ref tenant } if tenant == DEFAULT_TENANT),
+            "/v1/stats aliases the default tenant"
+        );
+        // Wrong method, embedded slash, empty tenant, unknown action.
+        for (m, p) in [
+            ("GET", "/v1/tenants/t7/query"),
+            ("POST", "/v1/tenants/a/b/query"),
+            ("POST", "/v1/tenants//query"),
+            ("POST", "/v1/tenants/t7/frobnicate"),
+            ("GET", "/v1"),
+        ] {
+            let err = parse_v1(m, p, "").unwrap_err();
+            assert_eq!(err.code, ErrorCode::UnknownEndpoint, "{m} {p}");
+        }
+    }
+
+    #[test]
+    fn ingest_body_is_width_and_finiteness_checked() {
+        let rows = parse_ingest(r#"{"rows":[[1,2,3],[4,5,6]]}"#, 3).unwrap();
+        assert_eq!(rows, vec![vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]);
+        assert!(parse_ingest(r#"{"rows":[[1,2]]}"#, 3)
+            .unwrap_err()
+            .contains("columns"));
+        assert!(parse_ingest(r#"{"rows":[[1,"x",3]]}"#, 3)
+            .unwrap_err()
+            .contains("finite"));
+        assert!(parse_ingest(r#"{"nope":true}"#, 3).is_err());
+        assert_eq!(
+            parse_ingest(r#"{"rows":[]}"#, 3).unwrap(),
+            Vec::<Vec<f64>>::new()
+        );
+    }
+
+    #[test]
+    fn v1_bodies_are_deterministic() {
+        assert_eq!(
+            render_v1_ok(&WireResponse::Ingested {
+                accepted: 5,
+                dropped: 2
+            }),
+            r#"{"accepted":5,"dropped":2}"#
+        );
+        assert_eq!(
+            render_v1_error(&WireError::unknown_tenant()),
+            r#"{"error":{"code":"unknown_tenant","message":"no such tenant"}}"#
+        );
+        assert_eq!(ErrorCode::UnknownTenant.http_status(), 404);
+        assert_eq!(ErrorCode::UnknownTenant.legacy_status(), 503);
+        assert_eq!(ErrorCode::Backpressure.http_status(), 503);
+        assert_eq!(WireError::shutting_down().message, "server shutting down");
     }
 }

@@ -10,21 +10,31 @@
 //! close` (or speaks HTTP/1.0 without `keep-alive`), closes its end, or
 //! goes idle past the read timeout.
 //!
-//! Endpoints:
+//! Endpoints — the versioned `/v1/` surface (see [`crate::protocol`] for
+//! the typed request/response pair and the deterministic error shape):
+//!
+//! * `POST /v1/tenants/:id/query` — a protocol query body; replies
+//!   `{"epoch":N,"answer":{...}}`.
+//! * `POST /v1/tenants/:id/ingest` — `{"rows":[[...],...]}` measurement
+//!   rows into the tenant's bounded ingest buffer; acks
+//!   `{"accepted":N,"dropped":M}`, 503 `backpressure` when the whole
+//!   submission is shed.
+//! * `GET /v1/tenants/:id/stats` — the tenant's observability snapshot.
+//! * `GET /v1/stats` — the same for the default tenant.
+//!
+//! Legacy routes, kept as thin aliases over the same handlers (success
+//! bodies shared byte-for-byte; errors keep the old `{"error":"..."}`
+//! shape and status codes):
 //!
 //! * `GET /health` — `{"ok":true,"epoch":N}` from the default tenant's
 //!   snapshot (`{"ok":true,"tenants":N}` on a fleet router with no
 //!   default tenant).
-//! * `GET /stats` — the default tenant's observability snapshot:
-//!   snapshot epoch, sweep-cache hit/miss/eviction counters and
-//!   accounted bytes, and the admission queue's coalescing counters, as
-//!   deterministic fixed-key-order JSON.
-//! * `GET /tenant/:id/stats` — the same against tenant `:id`.
-//! * `POST /query` — a protocol request body (see [`crate::protocol`])
-//!   against the default tenant; replies `{"epoch":N,"answer":{...}}`,
-//!   or HTTP 400 with `{"error":"..."}` on a malformed request.
-//! * `POST /tenant/:id/query` — the same protocol against tenant `:id`
-//!   of the fleet router; 503 when no such tenant is registered.
+//! * `GET /stats`, `GET /tenant/:id/stats` — observability snapshot:
+//!   snapshot epoch, sweep-cache counters, admission coalescing
+//!   counters, and the ingest/drift counters, as deterministic
+//!   fixed-key-order JSON.
+//! * `POST /query`, `POST /tenant/:id/query` — the protocol query
+//!   against the default tenant / tenant `:id`.
 
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -34,10 +44,14 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use unicorn_core::{SnapshotCell, SnapshotRouter, DEFAULT_TENANT};
+use unicorn_ingest::IngestRouter;
 
 use crate::admission::{run_batcher, AdmissionQueue};
 use crate::json::Json;
-use crate::protocol::{parse_request, render_error, render_reply};
+use crate::protocol::{
+    parse_ingest, parse_request, parse_v1, render_error, render_v1_error, render_v1_ok, ErrorCode,
+    WireError, WireRequest, WireResponse,
+};
 
 /// Server tunables.
 #[derive(Debug, Clone)]
@@ -64,6 +78,7 @@ pub struct Server {
     addr: SocketAddr,
     queue: Arc<AdmissionQueue>,
     router: Arc<SnapshotRouter>,
+    ingest: Arc<IngestRouter>,
     stop: Arc<AtomicBool>,
     accept_thread: Option<JoinHandle<()>>,
     batcher_thread: Option<JoinHandle<()>>,
@@ -78,12 +93,25 @@ impl Server {
         Self::start_router(SnapshotRouter::single(snapshots), opts)
     }
 
+    /// [`Self::start_with_ingest`] with no ingest endpoints — every
+    /// `/v1/tenants/:id/ingest` request answers 404.
+    pub fn start_router(router: Arc<SnapshotRouter>, opts: &ServeOptions) -> std::io::Result<Self> {
+        Self::start_with_ingest(router, Arc::new(IngestRouter::new()), opts)
+    }
+
     /// Binds, spawns the batcher and the accept loop over a (possibly
     /// multi-tenant) snapshot router, and returns. Tenants registered
-    /// with the router — before or after start — are served on
-    /// `/tenant/:id/query`; the [`DEFAULT_TENANT`] cell, if present,
-    /// also answers the legacy `/query` route.
-    pub fn start_router(router: Arc<SnapshotRouter>, opts: &ServeOptions) -> std::io::Result<Self> {
+    /// with the snapshot router — before or after start — are served on
+    /// the query/stats routes; the [`DEFAULT_TENANT`] cell, if present,
+    /// also answers the legacy `/query` route. Tenants registered with
+    /// the ingest router additionally accept rows on
+    /// `/v1/tenants/:id/ingest` (the daemon's background relearn worker
+    /// drains them; the server itself only buffers).
+    pub fn start_with_ingest(
+        router: Arc<SnapshotRouter>,
+        ingest: Arc<IngestRouter>,
+        opts: &ServeOptions,
+    ) -> std::io::Result<Self> {
         let listener = TcpListener::bind(&opts.addr)?;
         let addr = listener.local_addr()?;
         let queue = AdmissionQueue::new();
@@ -101,6 +129,7 @@ impl Server {
         let accept_thread = {
             let queue = Arc::clone(&queue);
             let router = Arc::clone(&router);
+            let ingest = Arc::clone(&ingest);
             let stop = Arc::clone(&stop);
             std::thread::Builder::new()
                 .name("unicornd-accept".into())
@@ -112,12 +141,13 @@ impl Server {
                         let Ok(stream) = conn else { continue };
                         let queue = Arc::clone(&queue);
                         let router = Arc::clone(&router);
+                        let ingest = Arc::clone(&ingest);
                         // One thread per connection: parse, enqueue,
                         // block on the reply channel, write, loop until
                         // the client closes or goes idle.
                         let spawned = std::thread::Builder::new()
                             .name("unicornd-conn".into())
-                            .spawn(move || handle_connection(stream, &queue, &router));
+                            .spawn(move || handle_connection(stream, &queue, &router, &ingest));
                         drop(spawned);
                     }
                 })?
@@ -127,6 +157,7 @@ impl Server {
             addr,
             queue,
             router,
+            ingest,
             stop,
             accept_thread: Some(accept_thread),
             batcher_thread: Some(batcher_thread),
@@ -155,6 +186,12 @@ impl Server {
         &self.queue
     }
 
+    /// The ingest router this server buffers rows through (empty unless
+    /// started via [`Self::start_with_ingest`]).
+    pub fn ingest(&self) -> &Arc<IngestRouter> {
+        &self.ingest
+    }
+
     /// Stops accepting, drains the batcher, joins both threads.
     pub fn shutdown(mut self) {
         self.stop.store(true, Ordering::SeqCst);
@@ -178,7 +215,12 @@ const IDLE_TIMEOUT: Duration = Duration::from_secs(30);
 /// and loop while the client keeps the connection alive. A clean close or
 /// idle timeout between requests ends the loop silently; a malformed
 /// request gets a 400 and a close.
-fn handle_connection(mut stream: TcpStream, queue: &AdmissionQueue, router: &SnapshotRouter) {
+fn handle_connection(
+    mut stream: TcpStream,
+    queue: &AdmissionQueue,
+    router: &SnapshotRouter,
+    ingest: &IngestRouter,
+) {
     let _ = stream.set_read_timeout(Some(IDLE_TIMEOUT));
     loop {
         let req = match read_request(&mut stream) {
@@ -195,7 +237,7 @@ fn handle_connection(mut stream: TcpStream, queue: &AdmissionQueue, router: &Sna
             }
         };
         let close = !req.keep_alive;
-        let (status, body) = route(&req, queue, router);
+        let (status, body) = route(&req, queue, router, ingest);
         if write_response(&mut stream, status, &body, close).is_err() || close {
             return;
         }
@@ -212,8 +254,50 @@ struct Request {
     keep_alive: bool,
 }
 
-/// Routes one request to `(status, reply body)`.
-fn route(req: &Request, queue: &AdmissionQueue, router: &SnapshotRouter) -> (u16, String) {
+/// Routes one request to `(status, reply body)`. Every query/ingest/
+/// stats route — `/v1/` and legacy alike — funnels through the same
+/// typed [`dispatch`]; the two surfaces differ only in how they render
+/// the `Result` (v1's `{"error":{"code","message"}}` vs the legacy
+/// `{"error":"..."}` bodies and status codes).
+fn route(
+    req: &Request,
+    queue: &AdmissionQueue,
+    router: &SnapshotRouter,
+    ingest: &IngestRouter,
+) -> (u16, String) {
+    if req.path == "/v1" || req.path.starts_with("/v1/") {
+        let result = parse_v1(&req.method, &req.path, &req.body)
+            .and_then(|wire| dispatch(wire, queue, router, ingest));
+        return match result {
+            Ok(resp) => (200, render_v1_ok(&resp)),
+            Err(e) => (e.code.http_status(), render_v1_error(&e)),
+        };
+    }
+    let legacy = |result: Result<WireResponse, WireError>| match result {
+        Ok(resp) => (200, render_v1_ok(&resp)),
+        Err(e) => (e.code.legacy_status(), render_error(&e.message)),
+    };
+    let stats = |tenant: &str| {
+        legacy(dispatch(
+            WireRequest::TenantStats {
+                tenant: tenant.into(),
+            },
+            queue,
+            router,
+            ingest,
+        ))
+    };
+    let query = |tenant: &str| {
+        legacy(dispatch(
+            WireRequest::Query {
+                tenant: tenant.into(),
+                body: req.body.clone(),
+            },
+            queue,
+            router,
+            ingest,
+        ))
+    };
     match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/health") => match router.get(DEFAULT_TENANT) {
             Some(cell) => {
@@ -222,40 +306,58 @@ fn route(req: &Request, queue: &AdmissionQueue, router: &SnapshotRouter) -> (u16
             }
             None => (200, format!("{{\"ok\":true,\"tenants\":{}}}", router.len())),
         },
-        ("GET", "/stats") => tenant_stats(DEFAULT_TENANT, queue, router),
+        ("GET", "/stats") => stats(DEFAULT_TENANT),
         ("GET", path) => match path
             .strip_prefix("/tenant/")
             .and_then(|rest| rest.strip_suffix("/stats"))
         {
-            Some(tenant) if !tenant.is_empty() && !tenant.contains('/') => {
-                tenant_stats(tenant, queue, router)
-            }
-            _ => (404, render_error("no such endpoint")),
+            Some(tenant) if !tenant.is_empty() && !tenant.contains('/') => stats(tenant),
+            _ => legacy(Err(WireError::unknown_endpoint())),
         },
-        ("POST", "/query") => query_tenant(DEFAULT_TENANT, &req.body, queue, router),
+        ("POST", "/query") => query(DEFAULT_TENANT),
         ("POST", path) => match path
             .strip_prefix("/tenant/")
             .and_then(|rest| rest.strip_suffix("/query"))
         {
-            Some(tenant) if !tenant.is_empty() && !tenant.contains('/') => {
-                query_tenant(tenant, &req.body, queue, router)
-            }
-            _ => (404, render_error("no such endpoint")),
+            Some(tenant) if !tenant.is_empty() && !tenant.contains('/') => query(tenant),
+            _ => legacy(Err(WireError::unknown_endpoint())),
         },
-        _ => (404, render_error("no such endpoint")),
+        _ => legacy(Err(WireError::unknown_endpoint())),
     }
 }
 
-/// Renders `tenant`'s observability snapshot as deterministic JSON
+/// Executes one typed request against the routers — the single handler
+/// set behind both wire surfaces.
+fn dispatch(
+    wire: WireRequest,
+    queue: &AdmissionQueue,
+    router: &SnapshotRouter,
+    ingest: &IngestRouter,
+) -> Result<WireResponse, WireError> {
+    match wire {
+        WireRequest::Query { tenant, body } => do_query(&tenant, &body, queue, router),
+        WireRequest::Ingest { tenant, body } => do_ingest(&tenant, &body, router, ingest),
+        WireRequest::TenantStats { tenant } => do_stats(&tenant, queue, router, ingest),
+    }
+}
+
+/// Builds `tenant`'s observability snapshot as deterministic JSON
 /// (fixed key order, integer counters): the snapshot epoch, the
 /// interventional sweep-cache counters (`enabled:false` zeros when
 /// `UNICORN_SWEEP_CACHE` disables caching), its accounted resident
-/// bytes, and the admission queue's coalescing counters. Counter values
-/// are monotone but timing-dependent — the smoke golden therefore pins
-/// the shape via the query path, not this endpoint's body.
-fn tenant_stats(tenant: &str, queue: &AdmissionQueue, router: &SnapshotRouter) -> (u16, String) {
+/// bytes, the admission queue's coalescing counters, and the tenant's
+/// ingest/drift counters (zeros when the tenant has no ingest
+/// endpoint). Counter values are monotone but timing-dependent — the
+/// smoke golden therefore pins the shape via the query path, not this
+/// endpoint's body.
+fn do_stats(
+    tenant: &str,
+    queue: &AdmissionQueue,
+    router: &SnapshotRouter,
+    ingest: &IngestRouter,
+) -> Result<WireResponse, WireError> {
     let Some(cell) = router.get(tenant) else {
-        return (503, render_error("no such tenant"));
+        return Err(WireError::unknown_tenant());
     };
     let snap = cell.load();
     let sweep = match snap.engine.sweep_cache() {
@@ -276,6 +378,13 @@ fn tenant_stats(tenant: &str, queue: &AdmissionQueue, router: &SnapshotRouter) -
             ("approx_bytes".into(), Json::Num(0.0)),
         ]),
     };
+    let endpoint = ingest.get(tenant);
+    let (rows, flushes, dropped) = endpoint.as_ref().map_or((0, 0, 0), |e| {
+        (e.queue.rows(), e.queue.flushes(), e.queue.dropped())
+    });
+    let (triggers, last_trigger_epoch) = endpoint.as_ref().map_or((0, 0), |e| {
+        (e.drift.triggers(), e.drift.last_trigger_epoch())
+    });
     let body = Json::Obj(vec![
         ("tenant".into(), Json::Str(tenant.into())),
         ("epoch".into(), Json::Num(snap.epoch as f64)),
@@ -287,32 +396,87 @@ fn tenant_stats(tenant: &str, queue: &AdmissionQueue, router: &SnapshotRouter) -
                 ("batches".into(), Json::Num(queue.batches() as f64)),
             ]),
         ),
+        (
+            "ingest".into(),
+            Json::Obj(vec![
+                ("rows".into(), Json::Num(rows as f64)),
+                ("flushes".into(), Json::Num(flushes as f64)),
+                ("dropped".into(), Json::Num(dropped as f64)),
+            ]),
+        ),
+        (
+            "drift".into(),
+            Json::Obj(vec![
+                ("triggers".into(), Json::Num(triggers as f64)),
+                (
+                    "last_trigger_epoch".into(),
+                    Json::Num(last_trigger_epoch as f64),
+                ),
+            ]),
+        ),
     ]);
-    (200, body.to_string())
+    Ok(WireResponse::Stats(body))
 }
 
 /// Parses and submits one query against `tenant`, blocking on the
 /// batcher's reply.
-fn query_tenant(
+fn do_query(
     tenant: &str,
     body: &str,
     queue: &AdmissionQueue,
     router: &SnapshotRouter,
-) -> (u16, String) {
+) -> Result<WireResponse, WireError> {
     // Names are stable across epochs of one tenant; the batch's snapshot
     // decides the answering epoch. The lookup also rejects unknown
     // tenants before their job would be dropped on the batcher floor.
     let Some(cell) = router.get(tenant) else {
-        return (503, render_error("no such tenant"));
+        return Err(WireError::unknown_tenant());
     };
     let names = cell.load().names.clone();
-    match parse_request(body, &names) {
-        Err(e) => (400, render_error(&e)),
-        Ok(query) => match queue.submit(tenant, query).recv() {
-            Ok(served) => (200, render_reply(served.epoch, &served.answer, &names)),
-            Err(_) => (503, render_error("server shutting down")),
-        },
+    let query = parse_request(body, &names).map_err(WireError::bad_request)?;
+    let served = queue
+        .submit(tenant, query)
+        .recv()
+        .map_err(|_| WireError::shutting_down())?;
+    Ok(WireResponse::Answer {
+        epoch: served.epoch,
+        answer: served.answer,
+        names,
+    })
+}
+
+/// Validates one ingest submission against `tenant`'s snapshot width and
+/// offers it to the tenant's bounded buffer. The ack is decided entirely
+/// at buffer admission — deterministic given the buffer's occupancy — and
+/// a fully shed submission is explicit backpressure, not silence.
+fn do_ingest(
+    tenant: &str,
+    body: &str,
+    router: &SnapshotRouter,
+    ingest: &IngestRouter,
+) -> Result<WireResponse, WireError> {
+    let Some(cell) = router.get(tenant) else {
+        return Err(WireError::unknown_tenant());
+    };
+    let width = cell.load().names.len();
+    let Some(endpoint) = ingest.get(tenant) else {
+        return Err(WireError::new(
+            ErrorCode::UnknownEndpoint,
+            "ingest not enabled for this tenant",
+        ));
+    };
+    let rows = parse_ingest(body, width).map_err(WireError::bad_request)?;
+    let ack = endpoint.queue.push_rows(rows);
+    if ack.accepted == 0 && ack.dropped > 0 {
+        return Err(WireError::new(
+            ErrorCode::Backpressure,
+            "ingest buffer full",
+        ));
     }
+    Ok(WireResponse::Ingested {
+        accepted: ack.accepted,
+        dropped: ack.dropped,
+    })
 }
 
 /// Parses the request line + headers + Content-Length body of one

@@ -623,6 +623,22 @@ impl ScenarioRegistry {
         reg
     }
 
+    /// The drift-soak scenario: x264 on TX2 with a 2.5× workload surge
+    /// as the mid-stream environment shift — the regime the streaming
+    /// ingestion drift detectors are soaked against (`benches/soak.rs`).
+    /// Deliberately its own registry, not a [`Self::standard`] entry:
+    /// the suite bench iterates `standard()`, and its baseline pins that
+    /// scenario set.
+    pub fn drift_soak() -> Self {
+        let mut reg = Self::new();
+        reg.add(
+            Scenario::real(SubjectSystem::X264, Hardware::Tx2)
+                .with_shift(EnvShift::to_workload(2.5))
+                .with_name("x264-drift-soak"),
+        );
+        reg
+    }
+
     /// Tenants per replica group of [`Self::synthetic_on_demand`]:
     /// consecutive indices within one group expand to the identical spec,
     /// modeling the fleet's real shape (many tenants running the same

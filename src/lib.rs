@@ -20,7 +20,8 @@
 //! | [`inference`] | `unicorn-inference` | fitted SCMs, ACE/ICE, repairs, queries |
 //! | [`systems`] | `unicorn-systems` | simulated testbed, fault catalog, environments |
 //! | [`core`] | `unicorn-core` | the Unicorn loop: debugging, optimization, transfer |
-//! | [`serve`] | `unicorn-serve` | `unicornd`: resident daemon, admission-batched query coalescing |
+//! | [`serve`] | `unicorn-serve` | `unicornd`: resident daemon, admission-batched query coalescing, the versioned `/v1/` wire API |
+//! | [`ingest`] | `unicorn-ingest` | streaming telemetry ingestion: bounded row queues, drift detection over SCM residuals, background relearn |
 //! | [`baselines`] | `unicorn-baselines` | CBI, DD, EnCore, BugDoc, SMAC, PESMO |
 //!
 //! ## The `DataView` data layer
@@ -83,6 +84,7 @@ pub use unicorn_discovery as discovery;
 pub use unicorn_exec as exec;
 pub use unicorn_graph as graph;
 pub use unicorn_inference as inference;
+pub use unicorn_ingest as ingest;
 pub use unicorn_serve as serve;
 pub use unicorn_stats as stats;
 pub use unicorn_systems as systems;
